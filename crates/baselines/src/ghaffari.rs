@@ -1,0 +1,189 @@
+//! Ghaffari's 2016 desire-level MIS algorithm (SODA'16).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sleepy_net::{Action, Incoming, MessageSize, NodeCtx, Outbox, Protocol};
+
+/// Messages of [`Ghaffari`]. Desire levels are powers of two, transmitted
+/// as exponents, so every message is O(log log n) bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GhaffariMsg {
+    /// The sender's desire level p = 2^{−exponent}.
+    Desire {
+        /// The exponent e with p = 2^{−e} (e ≥ 1).
+        exponent: u8,
+    },
+    /// The sender marked itself this phase.
+    Mark,
+    /// The sender joined the MIS.
+    Join,
+    /// The sender was eliminated.
+    Removed,
+}
+
+impl MessageSize for GhaffariMsg {
+    fn bits(&self) -> usize {
+        match self {
+            GhaffariMsg::Desire { .. } => 2 + 8,
+            _ => 2,
+        }
+    }
+}
+
+/// Largest tracked desire exponent (p never drops below 2^{−60}).
+const MAX_EXPONENT: u8 = 60;
+
+/// Ghaffari's algorithm: every undecided node maintains a desire level
+/// p_v ∈ {2^{−1}, 2^{−2}, …} starting at 1/2. Each phase it marks itself
+/// with probability p_v; a marked node with no marked neighbor joins the
+/// MIS. The desire level halves when the neighborhood pressure
+/// Σ_{u ∈ N(v)} p_u is at least 2 and doubles (capped at 1/2) otherwise.
+///
+/// This is the node-centric algorithm §1.3 of the paper discusses: each
+/// node individually finishes in O(log deg + log 1/ε) rounds with
+/// probability 1 − ε, yet its node-averaged complexity is still Θ(log n)
+/// in the traditional model.
+///
+/// Phase layout (4 rounds): desire exchange → mark → join → cleanup.
+#[derive(Debug)]
+pub struct Ghaffari {
+    rng: SmallRng,
+    exponent: u8,
+    pressure: f64,
+    marked: bool,
+    will_join: bool,
+    in_mis: Option<bool>,
+    announced_join: bool,
+    eliminated_now: bool,
+}
+
+impl Ghaffari {
+    /// Creates the node protocol; `seed` is the run's master seed.
+    pub fn new(id: sleepy_graph::NodeId, seed: u64) -> Self {
+        Ghaffari {
+            rng: SmallRng::seed_from_u64(crate::runner::mix_seed(seed, id) ^ 0x6A11),
+            exponent: 1,
+            pressure: 0.0,
+            marked: false,
+            will_join: false,
+            in_mis: None,
+            announced_join: false,
+            eliminated_now: false,
+        }
+    }
+}
+
+impl Protocol for Ghaffari {
+    type Msg = GhaffariMsg;
+    type Output = bool;
+
+    fn send(&mut self, ctx: &NodeCtx, out: &mut Outbox<GhaffariMsg>) {
+        match ctx.round % 4 {
+            0 => out.broadcast(GhaffariMsg::Desire { exponent: self.exponent }),
+            1 => {
+                let p = 0.5f64.powi(self.exponent as i32);
+                self.marked = self.rng.gen_bool(p);
+                if self.marked {
+                    out.broadcast(GhaffariMsg::Mark);
+                }
+            }
+            2 => {
+                if self.will_join && self.in_mis.is_none() {
+                    self.in_mis = Some(true);
+                    self.announced_join = true;
+                    out.broadcast(GhaffariMsg::Join);
+                }
+            }
+            _ => {
+                if self.eliminated_now {
+                    out.broadcast(GhaffariMsg::Removed);
+                }
+            }
+        }
+    }
+
+    fn receive(&mut self, ctx: &NodeCtx, inbox: &[Incoming<GhaffariMsg>]) -> Action {
+        match ctx.round % 4 {
+            0 => {
+                self.pressure = inbox
+                    .iter()
+                    .filter_map(|m| match m.msg {
+                        GhaffariMsg::Desire { exponent } => {
+                            Some(0.5f64.powi(exponent as i32))
+                        }
+                        _ => None,
+                    })
+                    .sum();
+                Action::Continue
+            }
+            1 => {
+                let marked_neighbor = inbox.iter().any(|m| m.msg == GhaffariMsg::Mark);
+                self.will_join = self.marked && !marked_neighbor;
+                Action::Continue
+            }
+            2 => {
+                if self.announced_join {
+                    return Action::Terminate;
+                }
+                if inbox.iter().any(|m| m.msg == GhaffariMsg::Join) {
+                    debug_assert!(self.in_mis.is_none());
+                    self.in_mis = Some(false);
+                    self.eliminated_now = true;
+                }
+                Action::Continue
+            }
+            _ => {
+                if self.eliminated_now {
+                    return Action::Terminate;
+                }
+                // Desire update against this phase's pressure.
+                if self.pressure >= 2.0 {
+                    self.exponent = (self.exponent + 1).min(MAX_EXPONENT);
+                } else {
+                    self.exponent = self.exponent.saturating_sub(1).max(1);
+                }
+                Action::Continue
+            }
+        }
+    }
+
+    fn output(&self) -> Option<bool> {
+        self.in_mis
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runner::{run_baseline, tests::assert_valid_mis, BaselineKind};
+    use sleepy_graph::generators;
+    use sleepy_net::EngineConfig;
+
+    #[test]
+    fn ghaffari_valid_mis() {
+        for (i, g) in [
+            generators::cycle(20).unwrap(),
+            generators::clique(8).unwrap(),
+            generators::gnp(70, 0.1, 4).unwrap(),
+            generators::star(12).unwrap(),
+        ]
+        .iter()
+        .enumerate()
+        {
+            for seed in 0..4 {
+                let run =
+                    run_baseline(g, BaselineKind::Ghaffari, seed, &EngineConfig::default())
+                        .unwrap();
+                assert_valid_mis(g, &run.in_mis, &format!("ghaffari g{i} s{seed}"));
+            }
+        }
+    }
+
+    #[test]
+    fn ghaffari_terminates_reasonably_fast() {
+        let n = 1000;
+        let g = generators::gnp(n, 8.0 / n as f64, 6).unwrap();
+        let run = run_baseline(&g, BaselineKind::Ghaffari, 6, &EngineConfig::default()).unwrap();
+        let cap = (40.0 * (n as f64).log2()) as u64;
+        assert!(run.metrics.total_rounds < cap, "{} rounds", run.metrics.total_rounds);
+    }
+}

@@ -1,0 +1,57 @@
+//! # sleepy-baselines
+//!
+//! Baseline distributed MIS algorithms in the **traditional** (always-awake)
+//! model, implemented on the same engine as the sleeping-model algorithms so
+//! all four complexity measures of the paper are directly comparable
+//! (Table 1's "prior MIS algorithms" row):
+//!
+//! * [`LubyA`] — Luby's algorithm, marking variant: each phase a node marks
+//!   itself with probability 1/(2d(v)); higher-degree marked neighbors win
+//!   conflicts (ties by id). O(log n) rounds whp.
+//! * [`LubyB`] — Luby's algorithm, random-priority variant (also the
+//!   Alon–Babai–Itai style): each phase every alive node draws a fresh
+//!   random priority; local minima join. O(log n) rounds whp.
+//! * [`GreedyCrt`] — the parallel/distributed randomized greedy of
+//!   Coppersmith–Raghavan–Tompa: one random rank drawn up front, local
+//!   maxima join each phase. O(log n) rounds whp (Fischer–Noever), and the
+//!   output is the lexicographically-first MIS of the rank order.
+//! * [`Ghaffari`] — Ghaffari's 2016 desire-level algorithm: nodes maintain
+//!   an exponential desire level p_v, doubling/halving against the
+//!   neighborhood pressure Σ p_u; marked nodes with no marked neighbor
+//!   join.
+//! * [`LubyColoring`] — Luby's randomized (Δ+1)-coloring, the problem the
+//!   paper's §1.5 notes *is* solvable with O(1) node-averaged rounds in
+//!   the traditional model (unlike MIS).
+//!
+//! Every protocol follows the Barenboim–Tzur termination convention the
+//! paper adopts: as soon as a node's status is decided *and announced to
+//! its neighbors*, it terminates — so node-averaged round complexity is
+//! meaningful. None of them ever sleeps: awake complexity equals round
+//! complexity, which is exactly the comparison the paper draws.
+//!
+//! ```
+//! use sleepy_baselines::{run_baseline, BaselineKind};
+//! use sleepy_graph::generators;
+//! use sleepy_net::EngineConfig;
+//!
+//! let g = generators::cycle(20).unwrap();
+//! let run = run_baseline(&g, BaselineKind::LubyB, 7, &EngineConfig::default())?;
+//! let size = run.in_mis.iter().filter(|&&b| b).count();
+//! assert!((7..=10).contains(&size));
+//! # Ok::<(), sleepy_net::EngineError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coloring;
+mod ghaffari;
+mod greedy;
+mod luby;
+mod runner;
+
+pub use coloring::{ColoringMsg, LubyColoring};
+pub use ghaffari::Ghaffari;
+pub use greedy::GreedyCrt;
+pub use luby::{LubyA, LubyB};
+pub use runner::{run_baseline, BaselineKind, BaselineRun, ALL_BASELINES};

@@ -1,0 +1,34 @@
+//! Bench target for **Corollary 1**: checks (and times) the equivalence
+//! between Algorithm 1 and the sequential lexicographically-first MIS of
+//! the rank order.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sleepy_bench::bench_graph;
+use sleepy_mis::{depth_alg1, derive_all, execute_sleeping_mis, MisConfig};
+use sleepy_verify::lexicographically_first_mis;
+
+fn corollary1(c: &mut Criterion) {
+    let n = 1 << 11;
+    let g = bench_graph(n, 51);
+    let seed = 13;
+    let out = execute_sleeping_mis(&g, MisConfig::alg1(seed)).expect("executes");
+    let coins = derive_all(seed, n);
+    let k = depth_alg1(n);
+    let keys: Vec<u128> = (0..n).map(|v| coins[v].rank(k)).collect();
+    let reference = lexicographically_first_mis(&g, &keys);
+    assert_eq!(out.in_mis, reference, "Corollary 1 must hold on this instance");
+    println!(
+        "\nCorollary 1 verified at n = {n}: SleepingMIS == lexicographically-first MIS \
+         ({} nodes in the MIS)",
+        out.mis_nodes().len()
+    );
+    c.bench_function("corollary1/sleeping_mis_2048", |b| {
+        b.iter(|| execute_sleeping_mis(&g, MisConfig::alg1(seed)).expect("executes"))
+    });
+    c.bench_function("corollary1/sequential_reference_2048", |b| {
+        b.iter(|| lexicographically_first_mis(&g, &keys))
+    });
+}
+
+criterion_group!(benches, corollary1);
+criterion_main!(benches);

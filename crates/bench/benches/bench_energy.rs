@@ -1,0 +1,32 @@
+//! Bench target for the **energy experiment**: prints the per-model energy
+//! comparison once on a sensor-network instance and times the full
+//! engine+energy pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sleepy_baselines::{run_baseline, BaselineKind};
+use sleepy_bench::bench_geometric;
+use sleepy_mis::{run_sleeping_mis, MisConfig};
+use sleepy_net::{EnergyModel, EngineConfig};
+
+fn energy(c: &mut Criterion) {
+    let n = 512;
+    let g = bench_geometric(n, 61);
+    let ec = EngineConfig::default();
+    let model = EnergyModel::awake_rounds_only();
+    let alg1 = run_sleeping_mis(&g, MisConfig::alg1(3), &ec).expect("runs").metrics;
+    let alg2 = run_sleeping_mis(&g, MisConfig::alg2(3), &ec).expect("runs").metrics;
+    let luby = run_baseline(&g, BaselineKind::LubyB, 3, &ec).expect("runs").metrics;
+    println!("\nEnergy (awake-rounds model) on a {n}-node sensor network:");
+    println!("  SleepingMIS       mean/node = {:.2}", model.report(&alg1).mean);
+    println!("  Fast-SleepingMIS  mean/node = {:.2}", model.report(&alg2).mean);
+    println!("  Luby-B            mean/node = {:.2} (early termination)", model.report(&luby).mean);
+    c.bench_function("energy/alg2_engine_512", |b| {
+        b.iter(|| run_sleeping_mis(&g, MisConfig::alg2(3), &ec).expect("runs"))
+    });
+    c.bench_function("energy/luby_engine_512", |b| {
+        b.iter(|| run_baseline(&g, BaselineKind::LubyB, 3, &ec).expect("runs"))
+    });
+}
+
+criterion_group!(benches, energy);
+criterion_main!(benches);

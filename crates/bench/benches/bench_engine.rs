@@ -1,0 +1,39 @@
+//! Micro-benchmarks of the sleeping-model engine: protocol runs vs the
+//! combinatorial executor, and baseline algorithm throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sleepy_baselines::{run_baseline, BaselineKind};
+use sleepy_bench::bench_graph;
+use sleepy_mis::{execute_sleeping_mis, run_sleeping_mis, MisConfig};
+use sleepy_net::EngineConfig;
+
+fn engine(c: &mut Criterion) {
+    let n = 1 << 10;
+    let g = bench_graph(n, 31);
+    let mut group = c.benchmark_group("engine");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function(BenchmarkId::new("alg1_protocol", n), |b| {
+        b.iter(|| {
+            run_sleeping_mis(&g, MisConfig::alg1(3), &EngineConfig::default())
+                .expect("protocol runs")
+        })
+    });
+    group.bench_function(BenchmarkId::new("alg1_executor", n), |b| {
+        b.iter(|| execute_sleeping_mis(&g, MisConfig::alg1(3)).expect("executes"))
+    });
+    group.bench_function(BenchmarkId::new("alg2_protocol", n), |b| {
+        b.iter(|| {
+            run_sleeping_mis(&g, MisConfig::alg2(3), &EngineConfig::default())
+                .expect("protocol runs")
+        })
+    });
+    for kind in [BaselineKind::LubyB, BaselineKind::GreedyCrt] {
+        group.bench_function(BenchmarkId::new("baseline", kind.to_string()), |b| {
+            b.iter(|| run_baseline(&g, kind, 3, &EngineConfig::default()).expect("runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine);
+criterion_main!(benches);

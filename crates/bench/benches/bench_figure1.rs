@@ -1,0 +1,25 @@
+//! Bench target for **Figure 1**: regenerates the recursion-tree timing
+//! labels (printing them once) and times the schedule-tree construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sleepy_harness::figure1::run_figure1;
+use sleepy_mis::{schedule_tree, Schedule};
+
+fn figure1(c: &mut Criterion) {
+    let report = run_figure1().expect("figure 1 regenerates");
+    assert!(report.labels_match_paper, "Figure 1 labels must match the paper");
+    println!("\nFigure 1 labels (path: first-reached, finish):");
+    for node in &report.figure_convention {
+        let name = if node.path.is_empty() { "root" } else { &node.path };
+        println!("  {:<5} ({}, {})", name, node.first_reached, node.finish);
+    }
+    c.bench_function("figure1/schedule_tree_depth16", |b| {
+        b.iter(|| schedule_tree(16, &Schedule::alg1(), 0).expect("tree builds"))
+    });
+    c.bench_function("figure1/full_report", |b| {
+        b.iter(|| run_figure1().expect("figure 1 regenerates"))
+    });
+}
+
+criterion_group!(benches, figure1);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Bench target for **Figure 2**: regenerates the level-occupancy profile
+//! of both algorithms' recursion trees (printing the series once) and
+//! times the profile computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sleepy_bench::bench_graph;
+use sleepy_harness::figure2::{run_figure2, Figure2Config};
+use sleepy_mis::{execute_sleeping_mis, MisConfig};
+
+fn figure2(c: &mut Criterion) {
+    let cfg = Figure2Config { n: 1 << 12, trials: 3, ..Figure2Config::default() };
+    let report = run_figure2(&cfg).expect("figure 2 regenerates");
+    println!(
+        "\nFigure 2 series at n = {} (depth alg1 = {}, alg2 = {}):",
+        cfg.n, report.alg1_depth, report.alg2_depth
+    );
+    println!("  depth  alg1-measured  alg2-measured  (3/4)^i*n");
+    for d in 0..=report.alg2_depth as usize {
+        println!(
+            "  {:>5}  {:>13.1}  {:>13.1}  {:>9.1}",
+            d,
+            report.alg1_levels[d].measured,
+            report.alg2_levels[d].measured,
+            report.alg1_levels[d].predicted_bound
+        );
+    }
+    let g = bench_graph(1 << 12, 17);
+    c.bench_function("figure2/z_profile_4096", |b| {
+        b.iter(|| {
+            let out = execute_sleeping_mis(&g, MisConfig::alg1(3)).expect("executes");
+            out.tree.z_profile()
+        })
+    });
+}
+
+criterion_group!(benches, figure2);
+criterion_main!(benches);

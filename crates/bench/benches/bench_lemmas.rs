@@ -1,0 +1,34 @@
+//! Bench target for the **lemma experiments** (L2/L3/L5/L7): prints the
+//! measured Pruning-Lemma ratios once and times the per-call statistics
+//! extraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sleepy_bench::bench_graph;
+use sleepy_graph::GraphFamily;
+use sleepy_harness::lemmas::{run_lemmas, LemmasConfig};
+use sleepy_mis::{execute_sleeping_mis, MisConfig};
+
+fn lemmas(c: &mut Criterion) {
+    let cfg = LemmasConfig {
+        families: vec![GraphFamily::GnpAvgDeg(8.0)],
+        n: 1 << 12,
+        trials: 5,
+        min_call_size: 32,
+        base_seed: 3,
+    };
+    let report = run_lemmas(&cfg).expect("lemmas run");
+    println!("\nLemma 2 / Lemma 3 ratios (bounds 0.5 / 0.25):");
+    for ((fam, l2), (_, l3)) in report.lemma2.iter().zip(&report.lemma3) {
+        println!("  {fam}: |L|/|U| = {:.4}, |R|/|U| = {:.4}", l2.mean, l3.mean);
+    }
+    let g = bench_graph(1 << 12, 5);
+    c.bench_function("lemmas/recursion_ratios_4096", |b| {
+        b.iter(|| {
+            let out = execute_sleeping_mis(&g, MisConfig::alg1(5)).expect("executes");
+            out.tree.recursion_ratios()
+        })
+    });
+}
+
+criterion_group!(benches, lemmas);
+criterion_main!(benches);

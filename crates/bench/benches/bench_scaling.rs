@@ -1,0 +1,44 @@
+//! Bench target for the **theorem scaling** experiments (TH1/TH2): times
+//! both algorithms across a size sweep and prints the four complexity
+//! measures at each size — the series behind Theorems 1 and 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sleepy_bench::bench_graph;
+use sleepy_mis::{execute_sleeping_mis, MisConfig};
+
+fn scaling(c: &mut Criterion) {
+    println!("\nTheorem scaling series (executor):");
+    println!(
+        "{:>8} {:<18} {:>10} {:>12} {:>14}",
+        "n", "algorithm", "avg awake", "worst awake", "worst round"
+    );
+    for e in [10u32, 12, 14, 16] {
+        let n = 1usize << e;
+        let g = bench_graph(n, 23);
+        for (label, cfg) in
+            [("SleepingMIS", MisConfig::alg1(7)), ("Fast-SleepingMIS", MisConfig::alg2(7))]
+        {
+            let s = execute_sleeping_mis(&g, cfg).expect("executes").summary();
+            println!(
+                "{:>8} {:<18} {:>10.2} {:>12} {:>14}",
+                n, label, s.node_avg_awake, s.worst_awake, s.worst_round
+            );
+        }
+    }
+    let mut group = c.benchmark_group("scaling");
+    for e in [10u32, 12, 14] {
+        let n = 1usize << e;
+        let g = bench_graph(n, 23);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("alg1_executor", n), &g, |b, g| {
+            b.iter(|| execute_sleeping_mis(g, MisConfig::alg1(7)).expect("executes"))
+        });
+        group.bench_with_input(BenchmarkId::new("alg2_executor", n), &g, |b, g| {
+            b.iter(|| execute_sleeping_mis(g, MisConfig::alg2(7)).expect("executes"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scaling);
+criterion_main!(benches);

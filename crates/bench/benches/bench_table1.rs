@@ -1,0 +1,44 @@
+//! Bench target for **Table 1**: times one full measurement cell per
+//! algorithm (the building block of the `table1` experiment) and prints
+//! the measured complexity row for each, so running this bench regenerates
+//! Table 1's content at the benchmarked size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sleepy_bench::bench_graph;
+use sleepy_harness::{measure_once, AlgoKind, Execution, ALL_ALGOS};
+
+fn table1_cells(c: &mut Criterion) {
+    let n = 1024;
+    let g = bench_graph(n, 41);
+    // Print the Table 1 row once per algorithm (the paper-shaped output).
+    println!("\nTable 1 rows at n = {n} (seed 7):");
+    println!(
+        "{:<18} {:>10} {:>12} {:>12} {:>12}",
+        "algorithm", "avg awake", "worst awake", "worst round", "avg round"
+    );
+    for algo in ALL_ALGOS {
+        let r = measure_once(&g, algo, 7, Execution::Auto).expect("measurement");
+        println!(
+            "{:<18} {:>10.2} {:>12} {:>12} {:>12.1}",
+            r.algo,
+            r.summary.node_avg_awake,
+            r.summary.worst_awake,
+            r.summary.worst_round,
+            r.summary.node_avg_round
+        );
+    }
+    let mut group = c.benchmark_group("table1");
+    for algo in [AlgoKind::SleepingMis, AlgoKind::FastSleepingMis] {
+        group.bench_with_input(
+            BenchmarkId::new("cell", algo.to_string()),
+            &algo,
+            |b, &algo| {
+                b.iter(|| measure_once(&g, algo, 7, Execution::Auto).expect("measurement"))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1_cells);
+criterion_main!(benches);

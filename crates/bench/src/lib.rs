@@ -1,0 +1,16 @@
+//! Shared fixtures for the criterion benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sleepy_graph::{Graph, GraphFamily};
+
+/// A deterministic sparse G(n, p) benchmark instance (average degree 8).
+pub fn bench_graph(n: usize, seed: u64) -> Graph {
+    GraphFamily::GnpAvgDeg(8.0).generate(n, seed).expect("benchmark workload generates")
+}
+
+/// A deterministic geometric (sensor-network) benchmark instance.
+pub fn bench_geometric(n: usize, seed: u64) -> Graph {
+    GraphFamily::GeometricAvgDeg(8.0).generate(n, seed).expect("benchmark workload generates")
+}

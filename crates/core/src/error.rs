@@ -1,0 +1,73 @@
+//! Error types for the SleepingMIS algorithms.
+
+use sleepy_net::EngineError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from configuring or running the SleepingMIS algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MisError {
+    /// The padded schedule T(k) = 2^k·(T(0)+3) − 3 does not fit in a `u64`
+    /// round counter for the requested recursion depth.
+    ScheduleOverflow {
+        /// The offending level.
+        k: u32,
+    },
+    /// The recursion depth exceeds the 128 random bits available per node.
+    DepthTooLarge {
+        /// The requested depth.
+        depth: u32,
+    },
+    /// A configuration parameter was invalid.
+    InvalidConfig {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// The underlying simulation engine failed.
+    Engine(EngineError),
+}
+
+impl fmt::Display for MisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MisError::ScheduleOverflow { k } => {
+                write!(f, "schedule duration T({k}) overflows the u64 round counter")
+            }
+            MisError::DepthTooLarge { depth } => {
+                write!(f, "recursion depth {depth} exceeds the 128 available random bits")
+            }
+            MisError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            MisError::Engine(e) => write!(f, "engine failure: {e}"),
+        }
+    }
+}
+
+impl Error for MisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MisError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for MisError {
+    fn from(e: EngineError) -> Self {
+        MisError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = MisError::ScheduleOverflow { k: 90 };
+        assert!(e.to_string().contains("T(90)"));
+        assert!(e.source().is_none());
+        let e: MisError = EngineError::Deadlock { round: 1, unfinished: 2 }.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,653 @@
+//! Combinatorial executor: simulates SleepingMIS / Fast-SleepingMIS
+//! set-wise over the recursion tree, without message passing.
+//!
+//! Given the same `(graph, config)` as the protocol, the executor produces
+//! **bit-identical results** to the engine: the same MIS, per-node awake
+//! rounds, decide/finish rounds, message counts, and active-round totals
+//! (cross-validated by integration tests). It runs in expected
+//! O((n + m)·avg-participations) time — effectively linear — which makes
+//! the large-n scaling experiments (up to millions of nodes) feasible, and
+//! it records the [`RecursionTree`] used by the lemma and figure
+//! experiments.
+
+use crate::error::MisError;
+use crate::params::{MisConfig, SendPolicy, Variant};
+use crate::protocol::{MisStatus, PreparedMis};
+use crate::rank::{derive_all, greedy_key, NodeRandomness};
+use crate::tree::{CallRecord, RecursionTree};
+use sleepy_graph::{Graph, NodeId};
+use sleepy_net::{ComplexitySummary, Round};
+
+/// Results of a combinatorial execution.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// MIS membership per node.
+    pub in_mis: Vec<bool>,
+    /// Awake rounds per node (the paper's a_v).
+    pub awake_rounds: Vec<u64>,
+    /// Termination round per node.
+    pub finish_rounds: Vec<Round>,
+    /// Round at which each node's status was decided.
+    pub decide_rounds: Vec<Round>,
+    /// Messages sent per node.
+    pub messages_sent: Vec<u64>,
+    /// Algorithm 2 base-case budget timeouts per node.
+    pub base_timeout: Vec<bool>,
+    /// Worst-case round complexity (max finish + 1).
+    pub total_rounds: Round,
+    /// Rounds in which at least one node was awake.
+    pub active_rounds: u64,
+    /// The recursion tree (non-empty calls only).
+    pub tree: RecursionTree,
+}
+
+impl ExecOutcome {
+    /// The paper's complexity measures (communication counts cover sends
+    /// only; receive/drop counters are engine-level concepts).
+    pub fn summary(&self) -> ComplexitySummary {
+        let n = self.in_mis.len();
+        let total_awake: u64 = self.awake_rounds.iter().sum();
+        let total_finish: u64 = self.finish_rounds.iter().map(|r| r + 1).sum();
+        ComplexitySummary {
+            n,
+            node_avg_awake: if n == 0 { 0.0 } else { total_awake as f64 / n as f64 },
+            worst_awake: self.awake_rounds.iter().copied().max().unwrap_or(0),
+            worst_round: self.total_rounds,
+            node_avg_round: if n == 0 { 0.0 } else { total_finish as f64 / n as f64 },
+            active_rounds: self.active_rounds,
+            total_messages: self.messages_sent.iter().sum(),
+            dropped_messages: 0,
+            total_bits: 0,
+        }
+    }
+
+    /// The MIS as a list of node ids.
+    pub fn mis_nodes(&self) -> Vec<NodeId> {
+        self.in_mis
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &b)| b.then_some(v as NodeId))
+            .collect()
+    }
+}
+
+struct Exec<'g> {
+    g: &'g Graph,
+    prepared: PreparedMis,
+    coins: Vec<NodeRandomness>,
+    status: Vec<MisStatus>,
+    awake: Vec<u64>,
+    last_act: Vec<Round>,
+    decide: Vec<Round>,
+    msgs: Vec<u64>,
+    timeout: Vec<bool>,
+    /// Membership stamps: `member[v] == stamp` iff v is in the current
+    /// call's node set.
+    member: Vec<u32>,
+    stamp: u32,
+    active_rounds: u64,
+    calls: Vec<CallRecord>,
+}
+
+/// Runs the combinatorial executor.
+///
+/// # Errors
+///
+/// The same configuration errors as the protocol
+/// ([`MisError::DepthTooLarge`], [`MisError::ScheduleOverflow`],
+/// [`MisError::InvalidConfig`]).
+///
+/// # Example
+///
+/// ```
+/// use sleepy_graph::generators;
+/// use sleepy_mis::{execute_sleeping_mis, MisConfig};
+///
+/// let g = generators::gnp(500, 0.02, 3).unwrap();
+/// let out = execute_sleeping_mis(&g, MisConfig::alg1(7))?;
+/// let s = out.summary();
+/// assert!(s.node_avg_awake < 12.0); // O(1) on average
+/// # Ok::<(), sleepy_mis::MisError>(())
+/// ```
+pub fn execute_sleeping_mis(graph: &Graph, config: MisConfig) -> Result<ExecOutcome, MisError> {
+    let n = graph.n();
+    let prepared = PreparedMis::new(n, config)?;
+    let depth = prepared.depth;
+    let mut exec = Exec {
+        g: graph,
+        coins: derive_all(config.seed, n),
+        status: vec![MisStatus::Unknown; n],
+        awake: vec![0; n],
+        last_act: vec![0; n],
+        decide: vec![0; n],
+        msgs: vec![0; n],
+        timeout: vec![false; n],
+        member: vec![0; n],
+        stamp: 0,
+        active_rounds: 0,
+        calls: Vec::new(),
+        prepared,
+    };
+
+    let all: Vec<NodeId> = (0..n as NodeId).collect();
+    if n > 0 {
+        if depth == 0 {
+            match config.variant {
+                Variant::SleepingMis => {
+                    // Root base case: everyone joins at round 0 after a
+                    // single handshake round with the engine.
+                    for &v in &all {
+                        exec.status[v as usize] = MisStatus::In;
+                        exec.awake[v as usize] = 1;
+                    }
+                    exec.active_rounds = 1;
+                    exec.calls.push(CallRecord {
+                        k: 0,
+                        depth: 0,
+                        path: 0,
+                        start: 0,
+                        end: 0,
+                        participants: n,
+                        isolated: 0,
+                        left_participants: 0,
+                        eliminated: 0,
+                        second_iso_joins: 0,
+                        right_participants: 0,
+                        is_base: true,
+                        base_timeouts: 0,
+                        parent: None,
+                    });
+                }
+                Variant::FastSleepingMis => exec.greedy_base(&all, 0, 0, 0, None),
+            }
+        } else {
+            exec.run_call(&all, depth, 0, 0, 0, None)?;
+        }
+    }
+
+    let in_mis: Vec<bool> = exec.status.iter().map(|&s| s == MisStatus::In).collect();
+    debug_assert!(
+        n == 0 || exec.status.iter().all(|&s| s != MisStatus::Unknown),
+        "all nodes must be decided"
+    );
+    let total_rounds =
+        if n == 0 { 0 } else { exec.last_act.iter().copied().max().unwrap_or(0) + 1 };
+    Ok(ExecOutcome {
+        in_mis,
+        awake_rounds: exec.awake,
+        finish_rounds: exec.last_act,
+        decide_rounds: exec.decide,
+        messages_sent: exec.msgs,
+        base_timeout: exec.timeout,
+        total_rounds,
+        active_rounds: exec.active_rounds,
+        tree: RecursionTree { depth, calls: exec.calls },
+    })
+}
+
+impl<'g> Exec<'g> {
+    fn stamp_members(&mut self, u: &[NodeId]) -> u32 {
+        self.stamp += 1;
+        for &v in u {
+            self.member[v as usize] = self.stamp;
+        }
+        self.stamp
+    }
+
+    fn is_member(&self, v: NodeId, stamp: u32) -> bool {
+        self.member[v as usize] == stamp
+    }
+
+    /// A call of `SleepingMISRecursive(k)` for k ≥ 1 by node set `u`.
+    fn run_call(
+        &mut self,
+        u: &[NodeId],
+        k: u32,
+        start: Round,
+        depth: u32,
+        path: u64,
+        parent: Option<usize>,
+    ) -> Result<(), MisError> {
+        if u.is_empty() {
+            return Ok(());
+        }
+        debug_assert!(k >= 1);
+        let ph = self.prepared.schedule.phases(k, start)?;
+        let record_idx = self.calls.len();
+        self.calls.push(CallRecord {
+            k,
+            depth,
+            path,
+            start,
+            end: ph.end,
+            participants: u.len(),
+            isolated: 0,
+            left_participants: 0,
+            eliminated: 0,
+            second_iso_joins: 0,
+            right_participants: 0,
+            is_base: false,
+            base_timeouts: 0,
+            parent,
+        });
+        // Three non-recursive rounds per participant: first-iso, sync,
+        // second-iso. The first-iso `Hello` always broadcasts on every
+        // port; the sync/second-iso `Status` messages go to every port
+        // under `SendPolicy::Broadcast` and only to subgraph neighbors
+        // under `SendPolicy::SubgraphOnly`.
+        self.active_rounds += 3;
+        let subgraph_only = self.prepared.config.send_policy == SendPolicy::SubgraphOnly;
+        for &v in u {
+            self.awake[v as usize] += 3;
+        }
+
+        // --- First isolated-node detection ---
+        let stamp = self.stamp_members(u);
+        let mut isolated = 0usize;
+        let mut left: Vec<NodeId> = Vec::new();
+        for &v in u {
+            let u_degree =
+                self.g.neighbors(v).iter().filter(|&&w| self.is_member(w, stamp)).count();
+            self.msgs[v as usize] += self.g.degree(v) as u64
+                + 2 * if subgraph_only { u_degree as u64 } else { self.g.degree(v) as u64 };
+            if u_degree == 0 {
+                self.status[v as usize] = MisStatus::In;
+                self.decide[v as usize] = ph.first_iso;
+                isolated += 1;
+            } else if self.coins[v as usize].x(k) {
+                left.push(v);
+            }
+        }
+        self.calls[record_idx].isolated = isolated;
+        self.calls[record_idx].left_participants = left.len();
+
+        // --- Left recursion ---
+        self.enter_child(&left, k - 1, ph.left_start, depth, path, true, record_idx)?;
+
+        // --- Synchronization / elimination ---
+        let stamp = self.stamp_members(u);
+        let mut eliminated = 0usize;
+        for &v in u {
+            if self.status[v as usize] != MisStatus::Unknown {
+                continue;
+            }
+            let dominated = self.g.neighbors(v).iter().any(|&w| {
+                self.is_member(w, stamp) && self.status[w as usize] == MisStatus::In
+            });
+            if dominated {
+                self.status[v as usize] = MisStatus::Out;
+                self.decide[v as usize] = ph.sync;
+                eliminated += 1;
+            }
+        }
+        self.calls[record_idx].eliminated = eliminated;
+
+        // --- Second isolated-node detection ---
+        let mut joins2 = 0usize;
+        let mut right: Vec<NodeId> = Vec::new();
+        for &v in u {
+            if self.status[v as usize] == MisStatus::Unknown {
+                let all_out = self.g.neighbors(v).iter().all(|&w| {
+                    !self.is_member(w, stamp) || self.status[w as usize] == MisStatus::Out
+                });
+                if all_out {
+                    self.status[v as usize] = MisStatus::In;
+                    self.decide[v as usize] = ph.second_iso;
+                    joins2 += 1;
+                } else {
+                    right.push(v);
+                }
+            }
+        }
+        // Every participant acts at the second-iso round; later activity in
+        // the right subtree (or at ancestors) overwrites this.
+        for &v in u {
+            self.last_act[v as usize] = ph.second_iso;
+        }
+        self.calls[record_idx].second_iso_joins = joins2;
+        self.calls[record_idx].right_participants = right.len();
+
+        // --- Right recursion ---
+        self.enter_child(&right, k - 1, ph.right_start, depth, path, false, record_idx)?;
+        Ok(())
+    }
+
+    /// Dispatches a child call: recursion for k ≥ 1, the variant-specific
+    /// base case for k = 0.
+    fn enter_child(
+        &mut self,
+        u: &[NodeId],
+        k: u32,
+        start: Round,
+        parent_depth: u32,
+        parent_path: u64,
+        is_left: bool,
+        parent_idx: usize,
+    ) -> Result<(), MisError> {
+        if u.is_empty() {
+            return Ok(());
+        }
+        let depth = parent_depth + 1;
+        let path = if is_left { parent_path } else { parent_path | (1 << parent_depth) };
+        if k == 0 {
+            match self.prepared.config.variant {
+                Variant::SleepingMis => {
+                    // Zero-duration base case: all participants join; the
+                    // decision happens inline during the parent's
+                    // first-iso (left child) or second-iso (right child)
+                    // round, i.e. at round start − 1.
+                    for &v in u {
+                        debug_assert_eq!(self.status[v as usize], MisStatus::Unknown);
+                        self.status[v as usize] = MisStatus::In;
+                        self.decide[v as usize] = start - 1;
+                        self.last_act[v as usize] = start - 1;
+                    }
+                    self.calls.push(CallRecord {
+                        k: 0,
+                        depth,
+                        path,
+                        start,
+                        end: start.saturating_sub(1),
+                        participants: u.len(),
+                        isolated: 0,
+                        left_participants: 0,
+                        eliminated: 0,
+                        second_iso_joins: 0,
+                        right_participants: 0,
+                        is_base: true,
+                        base_timeouts: 0,
+                        parent: Some(parent_idx),
+                    });
+                }
+                Variant::FastSleepingMis => {
+                    self.greedy_base(u, start, depth, path, Some(parent_idx));
+                }
+            }
+            Ok(())
+        } else {
+            self.run_call(u, k, start, depth, path, Some(parent_idx))
+        }
+    }
+
+    /// Algorithm 2's base case: the parallel randomized greedy MIS inside
+    /// the fixed window starting at `start`.
+    fn greedy_base(
+        &mut self,
+        u: &[NodeId],
+        start: Round,
+        depth: u32,
+        path: u64,
+        parent: Option<usize>,
+    ) {
+        debug_assert!(!u.is_empty());
+        let stamp = self.stamp_members(u);
+        let max_iter = self.prepared.max_iterations;
+        let subgraph_only = self.prepared.config.send_policy == SendPolicy::SubgraphOnly;
+        // Rank-exchange broadcast (always on every port: neighborhood
+        // discovery).
+        for &v in u {
+            self.msgs[v as usize] += self.g.degree(v) as u64;
+        }
+        let mut undecided: Vec<NodeId> = u.to_vec();
+        let mut window_last_act: Round = start; // init round is always active
+        let mut timeouts = 0usize;
+        for j in 0..max_iter as u64 {
+            if undecided.is_empty() {
+                break;
+            }
+            let join_round = start + 1 + 2 * j;
+            let removal_round = start + 2 + 2 * j;
+            // Mark the current undecided set (subset of the base stamp).
+            let live_stamp = self.stamp_members(&undecided);
+            let mut joins: Vec<NodeId> = Vec::new();
+            for &v in &undecided {
+                let key = greedy_key(self.coins[v as usize].greedy_rank, v);
+                let wins = self.g.neighbors(v).iter().all(|&w| {
+                    !self.is_member(w, live_stamp)
+                        || key > greedy_key(self.coins[w as usize].greedy_rank, w)
+                });
+                if wins {
+                    joins.push(v);
+                }
+            }
+            debug_assert!(!joins.is_empty(), "some undecided node is always a local max");
+            // Under SubgraphOnly a joiner addresses its alive ports, which
+            // at the join round are exactly its undecided base neighbors
+            // (including co-joiners). Count before re-stamping the joins.
+            for &v in &joins {
+                let fanout = if subgraph_only {
+                    self.g
+                        .neighbors(v)
+                        .iter()
+                        .filter(|&&w| self.is_member(w, live_stamp) && w != v)
+                        .count() as u64
+                } else {
+                    self.g.degree(v) as u64
+                };
+                self.status[v as usize] = MisStatus::In;
+                self.decide[v as usize] = join_round;
+                self.last_act[v as usize] = join_round;
+                self.awake[v as usize] += 2 * j + 2;
+                self.msgs[v as usize] += fanout; // GreedyJoin
+                window_last_act = window_last_act.max(join_round);
+            }
+            let join_stamp = self.stamp_members(&joins);
+            let mut still: Vec<NodeId> = Vec::new();
+            for &v in &undecided {
+                if self.status[v as usize] != MisStatus::Unknown {
+                    continue; // joined this iteration
+                }
+                let dominated = self
+                    .g
+                    .neighbors(v)
+                    .iter()
+                    .any(|&w| self.is_member(w, join_stamp));
+                if dominated {
+                    // Under SubgraphOnly an eliminated node addresses its
+                    // alive ports at the removal round: undecided base
+                    // neighbors that did not just join (joiners were
+                    // pruned at the join round). Nodes co-eliminated this
+                    // iteration are still alive and still marked with
+                    // `live_stamp`.
+                    let fanout = if subgraph_only {
+                        self.g
+                            .neighbors(v)
+                            .iter()
+                            .filter(|&&w| self.is_member(w, live_stamp))
+                            .count() as u64
+                    } else {
+                        self.g.degree(v) as u64
+                    };
+                    self.status[v as usize] = MisStatus::Out;
+                    self.decide[v as usize] = join_round;
+                    self.last_act[v as usize] = removal_round;
+                    self.awake[v as usize] += 2 * j + 3;
+                    self.msgs[v as usize] += fanout; // GreedyRemoved
+                    window_last_act = window_last_act.max(removal_round);
+                } else {
+                    still.push(v);
+                }
+            }
+            undecided = still;
+        }
+        // Budget exhausted: Monte-Carlo timeout.
+        if !undecided.is_empty() {
+            let final_round = start + 2 * max_iter as u64;
+            for &v in &undecided {
+                self.status[v as usize] = MisStatus::Out;
+                self.timeout[v as usize] = true;
+                self.decide[v as usize] = final_round;
+                self.last_act[v as usize] = final_round;
+                self.awake[v as usize] += 1 + 2 * max_iter as u64;
+                timeouts += 1;
+            }
+            window_last_act = window_last_act.max(final_round);
+        }
+        self.active_rounds += window_last_act - start + 1;
+        let _ = stamp;
+        self.calls.push(CallRecord {
+            k: 0,
+            depth,
+            path,
+            start,
+            end: start + 2 * max_iter as u64, // fixed window end
+            participants: u.len(),
+            isolated: 0,
+            left_participants: 0,
+            eliminated: 0,
+            second_iso_joins: 0,
+            right_participants: 0,
+            is_base: true,
+            base_timeouts: timeouts,
+            parent,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sleepy_graph::generators;
+
+    fn is_valid_mis(g: &Graph, in_mis: &[bool]) -> bool {
+        for (a, b) in g.edges() {
+            if in_mis[a as usize] && in_mis[b as usize] {
+                return false;
+            }
+        }
+        g.node_ids().all(|v| {
+            in_mis[v as usize] || g.neighbors(v).iter().any(|&u| in_mis[u as usize])
+        })
+    }
+
+    #[test]
+    fn valid_mis_across_families_and_variants() {
+        let graphs = [
+            generators::cycle(30).unwrap(),
+            generators::clique(12).unwrap(),
+            generators::star(20).unwrap(),
+            generators::gnp(120, 0.05, 4).unwrap(),
+            generators::random_tree(80, 1).unwrap(),
+            generators::grid2d(8, 9).unwrap(),
+        ];
+        for (i, g) in graphs.iter().enumerate() {
+            for seed in 0..4 {
+                for cfg in [MisConfig::alg1(seed), MisConfig::alg2(seed)] {
+                    let out = execute_sleeping_mis(g, cfg).unwrap();
+                    assert!(is_valid_mis(g, &out.in_mis), "graph {i} seed {seed} {cfg:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let out = execute_sleeping_mis(&generators::empty(0).unwrap(), MisConfig::alg1(0))
+            .unwrap();
+        assert_eq!(out.total_rounds, 0);
+        let out = execute_sleeping_mis(&generators::empty(1).unwrap(), MisConfig::alg1(0))
+            .unwrap();
+        assert_eq!(out.in_mis, vec![true]);
+        assert_eq!(out.awake_rounds, vec![1]);
+        let out = execute_sleeping_mis(&generators::empty(1).unwrap(), MisConfig::alg2(0))
+            .unwrap();
+        assert_eq!(out.awake_rounds, vec![2]);
+    }
+
+    #[test]
+    fn node_avg_awake_is_small_at_scale_alg1() {
+        let g = generators::gnp(5000, 8.0 / 5000.0, 5).unwrap();
+        let out = execute_sleeping_mis(&g, MisConfig::alg1(5)).unwrap();
+        let s = out.summary();
+        assert!(is_valid_mis(&g, &out.in_mis));
+        // Expected node-averaged awake complexity is <= 3*4 = 12 rounds
+        // (Lemma 8's geometric series); allow generous slack.
+        assert!(s.node_avg_awake < 14.0, "avg awake = {}", s.node_avg_awake);
+        // Worst-case awake <= 3*(K+1).
+        let k = crate::params::depth_alg1(5000) as u64;
+        assert!(s.worst_awake <= 3 * (k + 1));
+    }
+
+    #[test]
+    fn z_profile_decays_geometrically() {
+        let g = generators::gnp(4000, 6.0 / 4000.0, 9).unwrap();
+        let out = execute_sleeping_mis(&g, MisConfig::alg1(9)).unwrap();
+        let z = out.tree.z_profile();
+        assert_eq!(z[0], 4000);
+        // By depth 8 the expected occupancy is (3/4)^8 ~ 10%; allow 3x.
+        assert!(
+            (z[8] as f64) < 0.3 * 4000.0,
+            "Z at depth 8 = {} did not decay",
+            z[8]
+        );
+    }
+
+    #[test]
+    fn pruning_ratios_bounded_in_aggregate() {
+        let g = generators::gnp(2000, 10.0 / 2000.0, 13).unwrap();
+        let out = execute_sleeping_mis(&g, MisConfig::alg1(13)).unwrap();
+        let ratios = out.tree.recursion_ratios();
+        // Weighted means over big calls only (small calls are noisy).
+        let big: Vec<_> = out
+            .tree
+            .calls
+            .iter()
+            .filter(|c| !c.is_base && c.participants >= 100)
+            .collect();
+        assert!(!big.is_empty());
+        let l: f64 = big.iter().map(|c| c.left_participants as f64).sum::<f64>()
+            / big.iter().map(|c| c.participants as f64).sum::<f64>();
+        let r: f64 = big.iter().map(|c| c.right_participants as f64).sum::<f64>()
+            / big.iter().map(|c| c.participants as f64).sum::<f64>();
+        assert!(l < 0.58, "aggregate |L|/|U| = {l}");
+        assert!(r < 0.30, "aggregate |R|/|U| = {r}");
+        let _ = ratios;
+    }
+
+    #[test]
+    fn alg2_base_load_near_n_over_log_n() {
+        let n = 1 << 14;
+        let g = generators::gnp(n, 8.0 / n as f64, 3).unwrap();
+        let out = execute_sleeping_mis(&g, MisConfig::alg2(3)).unwrap();
+        let (_, base_total) = out.tree.base_case_load();
+        // Lemma 12: expected base-case population is n / log2 n. Allow 4x.
+        let expected = n as f64 / (n as f64).log2();
+        assert!(
+            (base_total as f64) < 4.0 * expected,
+            "base load {base_total} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = generators::gnp(300, 0.03, 2).unwrap();
+        let a = execute_sleeping_mis(&g, MisConfig::alg1(8)).unwrap();
+        let b = execute_sleeping_mis(&g, MisConfig::alg1(8)).unwrap();
+        assert_eq!(a.in_mis, b.in_mis);
+        assert_eq!(a.awake_rounds, b.awake_rounds);
+        assert_eq!(a.finish_rounds, b.finish_rounds);
+    }
+
+    #[test]
+    fn total_rounds_bounded_by_schedule() {
+        let n = 256;
+        let g = generators::gnp(n, 0.05, 6).unwrap();
+        let prepared = PreparedMis::new(n, MisConfig::alg1(6)).unwrap();
+        let out = execute_sleeping_mis(&g, MisConfig::alg1(6)).unwrap();
+        assert!(out.total_rounds <= prepared.durations[prepared.depth as usize]);
+    }
+
+    #[test]
+    fn alg2_total_rounds_polylog() {
+        let n = 1 << 12;
+        let g = generators::gnp(n, 6.0 / n as f64, 4).unwrap();
+        let out = execute_sleeping_mis(&g, MisConfig::alg2(4)).unwrap();
+        let prepared = PreparedMis::new(n, MisConfig::alg2(4)).unwrap();
+        // Fits in the padded schedule, which is O(log^{l+1} n).
+        assert!(out.total_rounds <= prepared.durations[prepared.depth as usize]);
+        // And the padded schedule is drastically below Algorithm 1's.
+        let alg1 = PreparedMis::new(n, MisConfig::alg1(4)).unwrap();
+        let t1 = alg1.durations[alg1.depth as usize];
+        assert!(prepared.durations[prepared.depth as usize] * 1000 < t1);
+    }
+}

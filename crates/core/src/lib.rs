@@ -1,0 +1,84 @@
+//! # sleepy-mis
+//!
+//! Reproduction of the core contribution of *"Sleeping is Efficient: MIS in
+//! O(1)-rounds Node-averaged Awake Complexity"* (Chatterjee, Gmyr,
+//! Pandurangan, PODC 2020): the **SleepingMIS** (Algorithm 1) and
+//! **Fast-SleepingMIS** (Algorithm 2) distributed MIS algorithms for the
+//! sleeping model.
+//!
+//! ## What the algorithms do
+//!
+//! Every node flips one fair coin per recursion level. A call of
+//! `SleepingMISRecursive(k)` on a node set U:
+//!
+//! 1. detects nodes isolated in G\[U\] (they join the MIS),
+//! 2. recurses on A = {v : X_k(v) = 1} while the rest of U *sleeps* through
+//!    the entire left window,
+//! 3. wakes everyone for a synchronization round where MIS members
+//!    eliminate their neighbors, and a second isolated-node detection where
+//!    nodes whose surviving neighborhood is empty join,
+//! 4. recurses on the still-undecided set R while everyone else sleeps.
+//!
+//! The Pruning Lemma (Lemma 3) shows E\[|R|\] ≤ |U|/4, so a constant
+//! fraction of every call's participants terminates after only three awake
+//! rounds at that level — giving **O(1) expected node-averaged awake
+//! complexity** and O(log n) worst-case awake complexity. Algorithm 1 pays
+//! a padded Θ(n³)-round schedule for this; Algorithm 2 truncates the
+//! recursion at depth ℓ·log₂log₂ n (ℓ = 1/log₂(4/3)) and finishes the base
+//! cases with the parallel randomized greedy MIS inside a fixed c·log n
+//! window, reducing worst-case round complexity to O(log^3.41 n).
+//!
+//! ## Two interchangeable executions
+//!
+//! * [`run_sleeping_mis`] — the real message-passing protocol on the
+//!   sleeping-model engine ([`sleepy_net`]), with exact awake/sleep
+//!   accounting and CONGEST-sized messages.
+//! * [`execute_sleeping_mis`] — a combinatorial executor that computes the
+//!   identical execution set-wise (same MIS, same per-node awake/finish
+//!   rounds, same message counts) in near-linear time, for large-scale
+//!   experiments, and records the [`RecursionTree`].
+//!
+//! The integration tests of this repository require the two to agree
+//! exactly, which is the strongest internal correctness check we have —
+//! alongside Corollary 1 (the computed MIS equals the lexicographically
+//! first MIS of the random rank order).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sleepy_graph::generators;
+//! use sleepy_mis::{execute_sleeping_mis, MisConfig};
+//!
+//! let g = generators::gnp(1000, 0.01, 42).unwrap();
+//! let out = execute_sleeping_mis(&g, MisConfig::alg1(42))?;
+//! let summary = out.summary();
+//! println!("node-averaged awake complexity: {:.2}", summary.node_avg_awake);
+//! println!("worst-case awake complexity:    {}", summary.worst_awake);
+//! println!("worst-case round complexity:    {}", summary.worst_round);
+//! # Ok::<(), sleepy_mis::MisError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod executor;
+mod params;
+mod protocol;
+mod rank;
+mod schedule;
+mod tree;
+
+pub use error::MisError;
+pub use executor::{execute_sleeping_mis, ExecOutcome};
+pub use params::{
+    depth_alg1, depth_alg2, greedy_budget_rounds, greedy_iterations, MisConfig, SendPolicy,
+    Variant, ELL,
+};
+pub use protocol::{
+    run_sleeping_mis, MisMsg, MisRunResult, MisStatus, NodeOutput, PreparedMis,
+    SleepingMisProtocol,
+};
+pub use rank::{derive_all, greedy_key, splitmix64, NodeRandomness};
+pub use schedule::{CallPhases, Convention, Schedule};
+pub use tree::{schedule_tree, CallRecord, RecursionTree, ScheduleTreeNode};

@@ -1,0 +1,236 @@
+//! Algorithm parameters: recursion depths, greedy base-case budget, and the
+//! top-level configuration type.
+
+use crate::error::MisError;
+use serde::{Deserialize, Serialize};
+
+/// ℓ = 1/log₂(4/3) ≈ 2.4094 (Equation 2 of the paper). Algorithm 2
+/// truncates the recursion at depth ℓ·log₂log₂ n, so that the expected
+/// number of nodes reaching the base cases is (3/4)^{ℓ·log₂log₂ n}·n
+/// = n/log₂ n, and its worst-case round complexity is
+/// O(log^{ℓ+1} n) = O(log^3.41 n).
+pub const ELL: f64 = 2.409_420_839_653_209;
+
+/// Which of the paper's two algorithms to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Variant {
+    /// Algorithm 1 (`SleepingMIS`): recursion depth ⌈3·log₂ n⌉, trivial
+    /// base case, worst-case round complexity O(n³).
+    SleepingMis,
+    /// Algorithm 2 (`Fast-SleepingMIS`): recursion depth ⌈ℓ·log₂log₂ n⌉,
+    /// randomized-greedy base case run for a fixed c·log₂ n-round window,
+    /// worst-case round complexity O(log^3.41 n).
+    FastSleepingMis,
+}
+
+/// Where status/announcement messages are addressed (a message-volume
+/// design choice the paper leaves implicit).
+///
+/// The pseudocode says "send value of v.inMIS to **every neighbor**"
+/// (lines 22/26) — a broadcast on all ports, where messages to ports
+/// outside the current subgraph land on sleeping nodes and are dropped.
+/// Since a node learns its subgraph neighborhood at the first
+/// isolated-node detection, it can equivalently address only those ports.
+/// Both policies produce the *identical* execution (same MIS, same awake
+/// rounds, same round counts); only message counts differ. Neighborhood-
+/// discovery rounds (first-iso `Hello`, greedy rank exchange) always
+/// broadcast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SendPolicy {
+    /// Faithful to the pseudocode: broadcast on every port.
+    Broadcast,
+    /// Optimized: address only current-subgraph (or still-alive) ports.
+    SubgraphOnly,
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Variant::SleepingMis => f.write_str("SleepingMIS"),
+            Variant::FastSleepingMis => f.write_str("Fast-SleepingMIS"),
+        }
+    }
+}
+
+/// ⌈3·log₂ n⌉ — Algorithm 1's recursion depth K (0 for n ≤ 1).
+pub fn depth_alg1(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        (3.0 * (n as f64).log2()).ceil() as u32
+    }
+}
+
+/// ⌈ℓ·log₂log₂ n⌉ — Algorithm 2's recursion depth (0 when log₂log₂ n ≤ 0,
+/// i.e. n ≤ 2).
+pub fn depth_alg2(n: usize) -> u32 {
+    if n <= 2 {
+        return 0;
+    }
+    let loglog = (n as f64).log2().log2();
+    if loglog <= 0.0 {
+        0
+    } else {
+        (ELL * loglog).ceil() as u32
+    }
+}
+
+/// Maximum number of greedy iterations in an Algorithm 2 base case:
+/// ⌈c·log₂ n⌉ (at least 1). Each iteration is two rounds (join
+/// announcements, then removal announcements), preceded by one
+/// rank-exchange round, so the base-case window is
+/// [`greedy_budget_rounds`] = 1 + 2·iterations — the paper's "run the
+/// greedy algorithm for exactly c·log n rounds".
+pub fn greedy_iterations(n: usize, c: f64) -> u32 {
+    let log = (n.max(2) as f64).log2();
+    ((c * log).ceil() as u32).max(1)
+}
+
+/// The fixed duration of an Algorithm 2 base-case window in rounds.
+pub fn greedy_budget_rounds(n: usize, c: f64) -> u64 {
+    1 + 2 * greedy_iterations(n, c) as u64
+}
+
+/// Configuration for a SleepingMIS run.
+///
+/// # Example
+///
+/// ```
+/// use sleepy_mis::{MisConfig, Variant};
+/// let cfg = MisConfig::alg2(42);
+/// assert_eq!(cfg.variant, Variant::FastSleepingMis);
+/// assert_eq!(cfg.depth_for(1 << 16), 10); // ⌈2.409·log2 log2 2^16⌉ = ⌈9.64⌉
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MisConfig {
+    /// Which algorithm to run.
+    pub variant: Variant,
+    /// Master random seed; all per-node coins derive from it.
+    pub seed: u64,
+    /// Recursion depth override (for experiments); `None` uses the paper's
+    /// depth for the variant.
+    pub depth_override: Option<u32>,
+    /// The constant c in Algorithm 2's c·log n base-case budget. The paper
+    /// requires a "large (but fixed) constant" so the greedy finishes whp;
+    /// Fischer–Noever's bound makes c = 4 comfortable in practice.
+    pub greedy_c: f64,
+    /// Message addressing policy (default: the pseudocode's broadcast).
+    pub send_policy: SendPolicy,
+}
+
+impl MisConfig {
+    /// Algorithm 1 with the given seed.
+    pub fn alg1(seed: u64) -> Self {
+        MisConfig {
+            variant: Variant::SleepingMis,
+            seed,
+            depth_override: None,
+            greedy_c: 4.0,
+            send_policy: SendPolicy::Broadcast,
+        }
+    }
+
+    /// Algorithm 2 with the given seed.
+    pub fn alg2(seed: u64) -> Self {
+        MisConfig {
+            variant: Variant::FastSleepingMis,
+            seed,
+            depth_override: None,
+            greedy_c: 4.0,
+            send_policy: SendPolicy::Broadcast,
+        }
+    }
+
+    /// The recursion depth used for an n-node network.
+    pub fn depth_for(&self, n: usize) -> u32 {
+        self.depth_override.unwrap_or(match self.variant {
+            Variant::SleepingMis => depth_alg1(n),
+            Variant::FastSleepingMis => depth_alg2(n),
+        })
+    }
+
+    /// Validates the configuration for an n-node network.
+    ///
+    /// # Errors
+    ///
+    /// * [`MisError::DepthTooLarge`] if the depth exceeds the 128 random
+    ///   bits per node.
+    /// * [`MisError::InvalidConfig`] if `greedy_c` is not positive/finite.
+    pub fn validate(&self, n: usize) -> Result<(), MisError> {
+        let depth = self.depth_for(n);
+        if depth > 128 {
+            return Err(MisError::DepthTooLarge { depth });
+        }
+        if !self.greedy_c.is_finite() || self.greedy_c <= 0.0 {
+            return Err(MisError::InvalidConfig {
+                reason: format!("greedy_c = {} must be positive and finite", self.greedy_c),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_alg1_values() {
+        assert_eq!(depth_alg1(0), 0);
+        assert_eq!(depth_alg1(1), 0);
+        assert_eq!(depth_alg1(2), 3);
+        assert_eq!(depth_alg1(8), 9);
+        assert_eq!(depth_alg1(1000), 30); // 3*log2(1000)=29.9
+        assert_eq!(depth_alg1(1024), 30);
+    }
+
+    #[test]
+    fn depth_alg2_values() {
+        assert_eq!(depth_alg2(1), 0);
+        assert_eq!(depth_alg2(2), 0);
+        // n = 2^16: log2 log2 = 4, ELL*4 = 9.638 -> 10
+        assert_eq!(depth_alg2(1 << 16), 10);
+        // n = 16: log2 log2 = 2 -> ceil(4.82) = 5
+        assert_eq!(depth_alg2(16), 5);
+        // Monotone over a sweep.
+        let mut last = 0;
+        for e in 2..24 {
+            let d = depth_alg2(1usize << e);
+            assert!(d >= last);
+            last = d;
+        }
+    }
+
+    #[test]
+    fn alg2_depth_far_below_alg1() {
+        for e in [8, 12, 16, 20] {
+            let n = 1usize << e;
+            assert!(depth_alg2(n) < depth_alg1(n) / 2);
+        }
+    }
+
+    #[test]
+    fn greedy_budget() {
+        assert_eq!(greedy_iterations(1024, 4.0), 40);
+        assert_eq!(greedy_budget_rounds(1024, 4.0), 81);
+        assert_eq!(greedy_iterations(1, 4.0), 4); // clamped to n=2
+        assert!(greedy_iterations(2, 0.001) >= 1);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(MisConfig::alg1(0).validate(1 << 20).is_ok());
+        let mut cfg = MisConfig::alg1(0);
+        cfg.depth_override = Some(200);
+        assert!(matches!(cfg.validate(10), Err(MisError::DepthTooLarge { depth: 200 })));
+        let mut cfg = MisConfig::alg2(0);
+        cfg.greedy_c = -1.0;
+        assert!(matches!(cfg.validate(10), Err(MisError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Variant::SleepingMis.to_string(), "SleepingMIS");
+        assert_eq!(Variant::FastSleepingMis.to_string(), "Fast-SleepingMIS");
+    }
+}

@@ -1,0 +1,183 @@
+//! Random bits and ranks (Definition 1 of the paper).
+//!
+//! Each node v draws, before the algorithm starts, random bits
+//! X_K, …, X_1 (each 1 with probability 1/2). The *k-rank* of v is the
+//! sequence r_k(v) = (X_k, X_{k−1}, …, X_1, −1), compared lexicographically.
+//! We pack the bits into a `u128` with bit i−1 holding X_i, so that the
+//! lexicographic comparison of two k-ranks is exactly the integer comparison
+//! of the low k bits — X_k is the most significant of the masked bits.
+//!
+//! Algorithm 2 additionally draws a 64-bit rank per node for the randomized
+//! greedy base case, tie-broken by node id.
+//!
+//! Both the message-passing protocol and the combinatorial executor derive
+//! their randomness through [`NodeRandomness::derive`], guaranteeing they
+//! see identical coins for the same `(master_seed, node)`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sleepy_graph::NodeId;
+
+/// All random draws of one node, derived deterministically from the master
+/// seed and the node id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeRandomness {
+    /// Packed recursion bits: bit i−1 is X_i (1-based i, up to 128 levels).
+    pub xbits: u128,
+    /// The base-case rank for Algorithm 2's randomized greedy (tie-broken
+    /// by node id; see [`greedy_key`]).
+    pub greedy_rank: u64,
+}
+
+impl NodeRandomness {
+    /// Derives the node's coins. Distinct nodes get independent streams via
+    /// a SplitMix64 mix of the master seed and node id.
+    pub fn derive(master_seed: u64, node: NodeId) -> Self {
+        let mixed = splitmix64(master_seed ^ splitmix64(0x9E37_79B9_7F4A_7C15 ^ node as u64));
+        let mut rng = SmallRng::seed_from_u64(mixed);
+        let lo = rng.gen::<u64>() as u128;
+        let hi = rng.gen::<u64>() as u128;
+        let xbits = (hi << 64) | lo;
+        let greedy_rank = rng.gen::<u64>();
+        NodeRandomness { xbits, greedy_rank }
+    }
+
+    /// The bit X_i (1-based level index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is 0 or greater than 128.
+    pub fn x(&self, i: u32) -> bool {
+        assert!((1..=128).contains(&i), "X_i index {i} out of range 1..=128");
+        (self.xbits >> (i - 1)) & 1 == 1
+    }
+
+    /// The k-rank as an integer: the low k bits of `xbits`, whose numeric
+    /// order equals the lexicographic order of (X_k, …, X_1).
+    ///
+    /// `rank(0)` is 0 for every node — the sentinel −1 tail of Definition 1
+    /// makes all 0-ranks equal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > 128`.
+    pub fn rank(&self, k: u32) -> u128 {
+        assert!(k <= 128, "rank level {k} out of range");
+        if k == 0 {
+            0
+        } else if k == 128 {
+            self.xbits
+        } else {
+            self.xbits & ((1u128 << k) - 1)
+        }
+    }
+}
+
+/// The comparison key used by Algorithm 2's randomized greedy base case:
+/// the random 64-bit rank, tie-broken by node id so keys are totally
+/// ordered and distinct.
+pub fn greedy_key(rank: u64, id: NodeId) -> (u64, NodeId) {
+    (rank, id)
+}
+
+/// SplitMix64 — a statistically strong 64-bit mixer used to derive per-node
+/// seeds from the master seed.
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the coins of every node in an n-node network.
+pub fn derive_all(master_seed: u64, n: usize) -> Vec<NodeRandomness> {
+    (0..n as NodeId).map(|v| NodeRandomness::derive(master_seed, v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_node_and_seed() {
+        let a = NodeRandomness::derive(7, 3);
+        let b = NodeRandomness::derive(7, 3);
+        assert_eq!(a, b);
+        assert_ne!(NodeRandomness::derive(7, 4).xbits, a.xbits);
+        assert_ne!(NodeRandomness::derive(8, 3).xbits, a.xbits);
+    }
+
+    #[test]
+    fn x_bits_match_packing() {
+        let r = NodeRandomness { xbits: 0b1011, greedy_rank: 0 };
+        assert!(r.x(1));
+        assert!(r.x(2));
+        assert!(!r.x(3));
+        assert!(r.x(4));
+        assert!(!r.x(5));
+    }
+
+    #[test]
+    fn rank_is_masked_low_bits() {
+        let r = NodeRandomness { xbits: 0b1011, greedy_rank: 0 };
+        assert_eq!(r.rank(0), 0);
+        assert_eq!(r.rank(1), 0b1);
+        assert_eq!(r.rank(2), 0b11);
+        assert_eq!(r.rank(3), 0b011);
+        assert_eq!(r.rank(4), 0b1011);
+        assert_eq!(r.rank(128), 0b1011);
+    }
+
+    #[test]
+    fn rank_order_is_lexicographic() {
+        // v: (X_2, X_1) = (1, 0); w: (X_2, X_1) = (0, 1).
+        // Lexicographically r_2(v) > r_2(w).
+        let v = NodeRandomness { xbits: 0b10, greedy_rank: 0 };
+        let w = NodeRandomness { xbits: 0b01, greedy_rank: 0 };
+        assert!(v.rank(2) > w.rank(2));
+        // At level 1 only X_1 counts: r_1(v) < r_1(w).
+        assert!(v.rank(1) < w.rank(1));
+    }
+
+    #[test]
+    fn equal_prefix_ties_at_lower_levels() {
+        // Same X_1..X_3, different X_4.
+        let v = NodeRandomness { xbits: 0b1111, greedy_rank: 0 };
+        let w = NodeRandomness { xbits: 0b0111, greedy_rank: 0 };
+        assert_eq!(v.rank(3), w.rank(3));
+        assert!(v.rank(4) > w.rank(4));
+    }
+
+    #[test]
+    fn greedy_key_total_order() {
+        assert!(greedy_key(5, 1) > greedy_key(5, 0));
+        assert!(greedy_key(6, 0) > greedy_key(5, 99));
+    }
+
+    #[test]
+    fn x_bits_are_roughly_unbiased() {
+        let n = 2000;
+        let ones: u32 = (0..n).map(|v| NodeRandomness::derive(1, v).x(1) as u32).sum();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.05, "X_1 bias: {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn x_zero_panics() {
+        NodeRandomness { xbits: 0, greedy_rank: 0 }.x(0);
+    }
+
+    #[test]
+    fn splitmix_changes_input() {
+        assert_ne!(splitmix64(0), 0);
+        assert_ne!(splitmix64(1), splitmix64(2));
+    }
+
+    #[test]
+    fn derive_all_indexes_by_node() {
+        let all = derive_all(3, 5);
+        assert_eq!(all.len(), 5);
+        assert_eq!(all[2], NodeRandomness::derive(3, 2));
+    }
+}

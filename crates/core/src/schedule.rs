@@ -1,0 +1,281 @@
+//! The deterministic round schedule of the recursion.
+//!
+//! A call of `SleepingMISRecursive(k)` always occupies a *fixed-length*
+//! window of T(k) rounds — sleeping nodes are padded to the worst case so
+//! that all participants stay synchronized (paper §3, "One important
+//! technical issue is synchronization"). The recurrence is
+//!
+//! > T(k) = 2·T(k−1) + 3,   closed form T(k) = 2^k·(T(0) + 3) − 3.
+//!
+//! * Algorithm 1: T(0) = 0, giving the paper's T(k) = 3·(2^k − 1)
+//!   (Lemma 10).
+//! * Algorithm 2: T(0) = the greedy base-case budget (1 + 2·⌈c·log₂ n⌉).
+//!
+//! ## Phase layout conventions
+//!
+//! The pseudocode (Algorithm 1, and Lemma 10) orders the three
+//! non-recursive rounds as
+//!
+//! ```text
+//! [first-iso] [left window] [sync] [second-iso] [right window]
+//! ```
+//!
+//! The paper's **Figure 1**, however, is labeled according to the layout
+//!
+//! ```text
+//! [first-iso] [left window] [sync] [right window] [second-iso]
+//! ```
+//!
+//! with T(0) = 1 (leaves take one round) — this is the unique convention
+//! reproducing the figure's exact (first-reached, finish) labels such as
+//! (1,29), (2,14), (3,7), (4,4). The engine always uses
+//! [`Convention::Pseudocode`]; [`Convention::Figure1`] exists so the figure
+//! can be regenerated label-for-label (see the `figure1` experiment).
+
+use crate::error::MisError;
+use serde::{Deserialize, Serialize};
+use sleepy_net::Round;
+
+/// Phase-ordering convention (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Convention {
+    /// The normative layout of the paper's pseudocode:
+    /// second-isolated-detection precedes the right recursion.
+    Pseudocode,
+    /// The layout matching Figure 1's labels: the right recursion precedes
+    /// the second isolated detection.
+    Figure1,
+}
+
+/// Round positions of one call's non-recursive phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallPhases {
+    /// First isolated-node detection (= the call's start round).
+    pub first_iso: Round,
+    /// First round of the left recursion window.
+    pub left_start: Round,
+    /// Synchronization / elimination round.
+    pub sync: Round,
+    /// Second isolated-node detection round.
+    pub second_iso: Round,
+    /// First round of the right recursion window.
+    pub right_start: Round,
+    /// Last round of the call window (start + T(k) − 1).
+    pub end: Round,
+}
+
+/// The padded schedule for a fixed base duration T(0) and convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    t0: u64,
+    convention: Convention,
+}
+
+impl Schedule {
+    /// Schedule with base-case duration `t0` under `convention`.
+    pub fn new(t0: u64, convention: Convention) -> Self {
+        Schedule { t0, convention }
+    }
+
+    /// Algorithm 1's schedule: T(0) = 0, pseudocode layout
+    /// (T(k) = 3·(2^k − 1), Lemma 10).
+    pub fn alg1() -> Self {
+        Schedule::new(0, Convention::Pseudocode)
+    }
+
+    /// Algorithm 2's schedule: T(0) = `base_budget` (the fixed greedy
+    /// window), pseudocode layout.
+    pub fn alg2(base_budget: u64) -> Self {
+        Schedule::new(base_budget, Convention::Pseudocode)
+    }
+
+    /// The schedule whose timings reproduce the labels of the paper's
+    /// Figure 1 (T(0) = 1, right recursion before second-iso).
+    pub fn figure1() -> Self {
+        Schedule::new(1, Convention::Figure1)
+    }
+
+    /// Base-case duration T(0).
+    pub fn t0(&self) -> u64 {
+        self.t0
+    }
+
+    /// The phase-ordering convention.
+    pub fn convention(&self) -> Convention {
+        self.convention
+    }
+
+    /// T(k) = 2^k·(T(0) + 3) − 3: the exact duration in rounds of a call at
+    /// level k.
+    ///
+    /// # Errors
+    ///
+    /// [`MisError::ScheduleOverflow`] if the duration exceeds `u64`.
+    pub fn duration(&self, k: u32) -> Result<u64, MisError> {
+        if k >= 64 {
+            return Err(MisError::ScheduleOverflow { k });
+        }
+        self.t0
+            .checked_add(3)
+            .and_then(|base| base.checked_mul(1u64 << k))
+            .and_then(|x| x.checked_sub(3))
+            .ok_or(MisError::ScheduleOverflow { k })
+    }
+
+    /// Durations T(0), …, T(depth), precomputed.
+    ///
+    /// # Errors
+    ///
+    /// [`MisError::ScheduleOverflow`] if T(depth) exceeds `u64`.
+    pub fn durations(&self, depth: u32) -> Result<Vec<u64>, MisError> {
+        (0..=depth).map(|k| self.duration(k)).collect()
+    }
+
+    /// Phase rounds of a level-k call starting at round `start`.
+    ///
+    /// # Errors
+    ///
+    /// [`MisError::ScheduleOverflow`] on round-counter overflow, or
+    /// [`MisError::InvalidConfig`] for k = 0 (base cases have no phases).
+    pub fn phases(&self, k: u32, start: Round) -> Result<CallPhases, MisError> {
+        if k == 0 {
+            return Err(MisError::InvalidConfig {
+                reason: "base-case calls (k = 0) have no recursion phases".to_string(),
+            });
+        }
+        let t_child = self.duration(k - 1)?;
+        let t_self = self.duration(k)?;
+        let end = start
+            .checked_add(t_self - 1)
+            .ok_or(MisError::ScheduleOverflow { k })?;
+        let first_iso = start;
+        let left_start = start + 1;
+        let sync = start + 1 + t_child;
+        match self.convention {
+            Convention::Pseudocode => Ok(CallPhases {
+                first_iso,
+                left_start,
+                sync,
+                second_iso: sync + 1,
+                right_start: sync + 2,
+                end,
+            }),
+            Convention::Figure1 => Ok(CallPhases {
+                first_iso,
+                left_start,
+                sync,
+                right_start: sync + 1,
+                second_iso: sync + 1 + t_child,
+                end,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alg1_duration_matches_lemma_10() {
+        let s = Schedule::alg1();
+        for k in 0..30 {
+            assert_eq!(s.duration(k).unwrap(), 3 * ((1u64 << k) - 1), "k={k}");
+        }
+    }
+
+    #[test]
+    fn recurrence_holds() {
+        for s in [Schedule::alg1(), Schedule::figure1(), Schedule::alg2(81)] {
+            for k in 1..40 {
+                let t = s.duration(k).unwrap();
+                let t1 = s.duration(k - 1).unwrap();
+                assert_eq!(t, 2 * t1 + 3, "T({k}) != 2T({}) + 3", k - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let s = Schedule::alg1();
+        assert!(s.duration(62).is_ok());
+        assert!(matches!(s.duration(63), Err(MisError::ScheduleOverflow { k: 63 })));
+        assert!(matches!(s.duration(200), Err(MisError::ScheduleOverflow { .. })));
+        let s = Schedule::alg2(u64::MAX - 2);
+        assert!(s.duration(1).is_err());
+    }
+
+    #[test]
+    fn pseudocode_phase_layout() {
+        let s = Schedule::alg1();
+        // k = 2, start = 10: T(1) = 3, T(2) = 9.
+        let p = s.phases(2, 10).unwrap();
+        assert_eq!(p.first_iso, 10);
+        assert_eq!(p.left_start, 11);
+        assert_eq!(p.sync, 14);
+        assert_eq!(p.second_iso, 15);
+        assert_eq!(p.right_start, 16);
+        assert_eq!(p.end, 18);
+        // Right window [16, 18] has length T(1) = 3.
+        assert_eq!(p.end - p.right_start + 1, 3);
+    }
+
+    #[test]
+    fn k1_phases_are_consecutive_for_alg1() {
+        let s = Schedule::alg1();
+        let p = s.phases(1, 5).unwrap();
+        // T(0) = 0: first-iso, sync, second-iso on consecutive rounds, and
+        // the (empty) windows collapse.
+        assert_eq!((p.first_iso, p.sync, p.second_iso, p.end), (5, 6, 7, 7));
+    }
+
+    #[test]
+    fn figure1_reproduces_paper_labels() {
+        // The paper's Figure 1: a 4-level tree (K = 3) starting at time 1.
+        // Tree vertices are labeled (first-reached, finish). Verify all 15.
+        let s = Schedule::figure1();
+        fn label(s: &Schedule, k: u32, start: Round) -> (Round, Round) {
+            (start, start + s.duration(k).unwrap() - 1)
+        }
+        // Root at time 1.
+        assert_eq!(label(&s, 3, 1), (1, 29));
+        let root = s.phases(3, 1).unwrap();
+        assert_eq!(label(&s, 2, root.left_start), (2, 14));
+        assert_eq!(label(&s, 2, root.right_start), (16, 28));
+        let l = s.phases(2, root.left_start).unwrap();
+        let r = s.phases(2, root.right_start).unwrap();
+        assert_eq!(label(&s, 1, l.left_start), (3, 7));
+        assert_eq!(label(&s, 1, l.right_start), (9, 13));
+        assert_eq!(label(&s, 1, r.left_start), (17, 21));
+        assert_eq!(label(&s, 1, r.right_start), (23, 27));
+        let ll = s.phases(1, l.left_start).unwrap();
+        let lr = s.phases(1, l.right_start).unwrap();
+        let rl = s.phases(1, r.left_start).unwrap();
+        let rr = s.phases(1, r.right_start).unwrap();
+        assert_eq!(label(&s, 0, ll.left_start), (4, 4));
+        assert_eq!(label(&s, 0, ll.right_start), (6, 6));
+        assert_eq!(label(&s, 0, lr.left_start), (10, 10));
+        assert_eq!(label(&s, 0, lr.right_start), (12, 12));
+        assert_eq!(label(&s, 0, rl.left_start), (18, 18));
+        assert_eq!(label(&s, 0, rl.right_start), (20, 20));
+        assert_eq!(label(&s, 0, rr.left_start), (24, 24));
+        assert_eq!(label(&s, 0, rr.right_start), (26, 26));
+    }
+
+    #[test]
+    fn alg2_base_budget_windows() {
+        let s = Schedule::alg2(81);
+        assert_eq!(s.duration(0).unwrap(), 81);
+        let p = s.phases(1, 0).unwrap();
+        assert_eq!(p.left_start, 1);
+        assert_eq!(p.sync, 82);
+        assert_eq!(p.second_iso, 83);
+        assert_eq!(p.right_start, 84);
+        assert_eq!(p.end, 164);
+    }
+
+    #[test]
+    fn base_case_has_no_phases() {
+        assert!(Schedule::alg1().phases(0, 0).is_err());
+    }
+}

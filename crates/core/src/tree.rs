@@ -1,0 +1,305 @@
+//! Recursion-tree data: per-call statistics from the executor (used by the
+//! lemma experiments and Figure 2) and pure-schedule trees (used to
+//! regenerate Figure 1's timing labels).
+
+use crate::error::MisError;
+use crate::schedule::Schedule;
+use serde::{Deserialize, Serialize};
+use sleepy_net::Round;
+use std::fmt::Write as _;
+
+/// Statistics of one (non-empty) call of `SleepingMISRecursive` recorded by
+/// the [executor](crate::execute_sleeping_mis).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CallRecord {
+    /// The call's level parameter k (counts down to 0 at the base).
+    pub k: u32,
+    /// Depth below the root (root = 0, so `depth = K − k`).
+    pub depth: u32,
+    /// Left/right path from the root: bit i (from the most significant of
+    /// the `depth` used bits) is 1 if the i-th descent was a right
+    /// recursion.
+    pub path: u64,
+    /// First round of the call window.
+    pub start: Round,
+    /// Last round of the call window (`start − 1` for Algorithm 1's
+    /// zero-duration base cases).
+    pub end: Round,
+    /// |U|: number of participating nodes.
+    pub participants: usize,
+    /// Nodes isolated in G[U] (joined at first isolated-node detection).
+    pub isolated: usize,
+    /// |L|: participants of the left recursive call.
+    pub left_participants: usize,
+    /// Nodes eliminated at the synchronization step.
+    pub eliminated: usize,
+    /// Nodes that joined at the second isolated-node detection.
+    pub second_iso_joins: usize,
+    /// |R|: participants of the right recursive call.
+    pub right_participants: usize,
+    /// Whether this is a base-case call (k = 0).
+    pub is_base: bool,
+    /// Algorithm 2 base cases: participants that hit the round budget.
+    pub base_timeouts: usize,
+    /// Index of the parent call in [`RecursionTree::calls`].
+    pub parent: Option<usize>,
+}
+
+/// The tree of non-empty calls from one executor run (preorder).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecursionTree {
+    /// The recursion depth K of the run.
+    pub depth: u32,
+    /// Non-empty calls in depth-first (execution) order.
+    pub calls: Vec<CallRecord>,
+}
+
+impl RecursionTree {
+    /// Z-profile (Lemma 7): total participants per tree depth
+    /// 0..=K. `z[i]` is the paper's Z_{K−i}; Lemma 7 bounds
+    /// E[z[i]] ≤ (3/4)^i·n.
+    pub fn z_profile(&self) -> Vec<u64> {
+        let mut z = vec![0u64; self.depth as usize + 1];
+        for c in &self.calls {
+            z[c.depth as usize] += c.participants as u64;
+        }
+        z
+    }
+
+    /// Per-call (|L|/|U|, |R|/|U|) ratios for non-base calls — the
+    /// empirical counterpart of Lemma 2 (≤ 1/2 in expectation) and the
+    /// Pruning Lemma 3 (≤ 1/4 in expectation).
+    pub fn recursion_ratios(&self) -> Vec<(f64, f64)> {
+        self.calls
+            .iter()
+            .filter(|c| !c.is_base && c.participants > 0)
+            .map(|c| {
+                let u = c.participants as f64;
+                (c.left_participants as f64 / u, c.right_participants as f64 / u)
+            })
+            .collect()
+    }
+
+    /// Number of base-case calls and their total participants.
+    pub fn base_case_load(&self) -> (usize, u64) {
+        let mut count = 0;
+        let mut total = 0u64;
+        for c in &self.calls {
+            if c.is_base && c.participants > 0 {
+                count += 1;
+                total += c.participants as u64;
+            }
+        }
+        (count, total)
+    }
+
+    /// Renders the tree as indented ASCII, one call per line, up to
+    /// `max_depth` (inclusive).
+    pub fn render_ascii(&self, max_depth: u32) -> String {
+        let mut out = String::new();
+        for c in &self.calls {
+            if c.depth > max_depth {
+                continue;
+            }
+            let indent = "  ".repeat(c.depth as usize);
+            let side = if c.depth == 0 {
+                "root"
+            } else if (c.path >> 0) & 1 == 0 {
+                // path LSB is the most recent descent
+                "L"
+            } else {
+                "R"
+            };
+            writeln!(
+                out,
+                "{indent}{side} k={} |U|={} rounds [{}, {}] iso={} L={} elim={} join2={} R={}",
+                c.k,
+                c.participants,
+                c.start,
+                c.end,
+                c.isolated,
+                c.left_participants,
+                c.eliminated,
+                c.second_iso_joins,
+                c.right_participants,
+            )
+            .expect("writing to String cannot fail");
+        }
+        out
+    }
+}
+
+/// A vertex of the *full* schedule tree (independent of execution): the
+/// call at this tree position, its level, and its first-reached/finish
+/// rounds — the two numbers labeling each vertex of the paper's Figure 1.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleTreeNode {
+    /// Level parameter k.
+    pub k: u32,
+    /// Depth below the root.
+    pub depth: u32,
+    /// Path from the root as a string of `L`/`R` (empty for the root).
+    pub path: String,
+    /// The round the call starts ("the time when the vertex is reached for
+    /// the first time", Figure 1).
+    pub first_reached: Round,
+    /// The round the call finishes ("the time when computation finishes at
+    /// that vertex"). Equal to `first_reached` for zero-duration leaves.
+    pub finish: Round,
+}
+
+/// Builds the full binary schedule tree of the given depth in preorder,
+/// with the root starting at round `origin`.
+///
+/// With `Schedule::figure1()` and `origin = 1`, `depth = 3`, this
+/// reproduces the labels of the paper's Figure 1 exactly.
+///
+/// # Errors
+///
+/// [`MisError::ScheduleOverflow`] if T(depth) exceeds `u64`.
+pub fn schedule_tree(
+    depth: u32,
+    schedule: &Schedule,
+    origin: Round,
+) -> Result<Vec<ScheduleTreeNode>, MisError> {
+    let mut nodes = Vec::with_capacity((1usize << (depth + 1)) - 1);
+    build(depth, schedule, origin, 0, String::new(), &mut nodes)?;
+    Ok(nodes)
+}
+
+fn build(
+    k: u32,
+    schedule: &Schedule,
+    start: Round,
+    depth: u32,
+    path: String,
+    out: &mut Vec<ScheduleTreeNode>,
+) -> Result<(), MisError> {
+    let dur = schedule.duration(k)?;
+    let finish = if dur == 0 { start } else { start + dur - 1 };
+    out.push(ScheduleTreeNode { k, depth, path: path.clone(), first_reached: start, finish });
+    if k > 0 {
+        let ph = schedule.phases(k, start)?;
+        build(k - 1, schedule, ph.left_start, depth + 1, format!("{path}L"), out)?;
+        build(k - 1, schedule, ph.right_start, depth + 1, format!("{path}R"), out)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_labels_exact() {
+        let nodes = schedule_tree(3, &Schedule::figure1(), 1).unwrap();
+        assert_eq!(nodes.len(), 15);
+        let expected: &[(&str, u64, u64)] = &[
+            ("", 1, 29),
+            ("L", 2, 14),
+            ("LL", 3, 7),
+            ("LLL", 4, 4),
+            ("LLR", 6, 6),
+            ("LR", 9, 13),
+            ("LRL", 10, 10),
+            ("LRR", 12, 12),
+            ("R", 16, 28),
+            ("RL", 17, 21),
+            ("RLL", 18, 18),
+            ("RLR", 20, 20),
+            ("RR", 23, 27),
+            ("RRL", 24, 24),
+            ("RRR", 26, 26),
+        ];
+        for (path, first, finish) in expected {
+            let node = nodes
+                .iter()
+                .find(|n| n.path == *path)
+                .unwrap_or_else(|| panic!("missing node {path}"));
+            assert_eq!(
+                (node.first_reached, node.finish),
+                (*first, *finish),
+                "path {path}"
+            );
+        }
+    }
+
+    #[test]
+    fn pseudocode_tree_windows_nest() {
+        let s = Schedule::alg1();
+        let nodes = schedule_tree(4, &s, 0).unwrap();
+        // Non-degenerate children windows lie strictly inside the parent
+        // window. (With T(0) = 0, k = 0 leaves are zero-duration virtual
+        // calls whose nominal start can sit just past the parent's end.)
+        for n in &nodes {
+            for c in nodes.iter().filter(|c| {
+                c.path.len() == n.path.len() + 1 && c.path.starts_with(&n.path) && c.k > 0
+            }) {
+                assert!(c.first_reached > n.first_reached, "{} in {}", c.path, n.path);
+                assert!(c.finish <= n.finish, "{} in {}", c.path, n.path);
+            }
+        }
+        // Sibling windows are disjoint and ordered left before right.
+        for n in nodes.iter().filter(|n| n.k >= 2) {
+            let l = nodes.iter().find(|c| c.path == format!("{}L", n.path)).unwrap();
+            let r = nodes.iter().find(|c| c.path == format!("{}R", n.path)).unwrap();
+            assert!(l.finish < r.first_reached, "{} vs {}", l.path, r.path);
+        }
+    }
+
+    #[test]
+    fn z_profile_sums_participants() {
+        let tree = RecursionTree {
+            depth: 2,
+            calls: vec![
+                CallRecord {
+                    k: 2,
+                    depth: 0,
+                    path: 0,
+                    start: 0,
+                    end: 8,
+                    participants: 10,
+                    isolated: 1,
+                    left_participants: 5,
+                    eliminated: 2,
+                    second_iso_joins: 1,
+                    right_participants: 1,
+                    is_base: false,
+                    base_timeouts: 0,
+                    parent: None,
+                },
+                CallRecord {
+                    k: 1,
+                    depth: 1,
+                    path: 0,
+                    start: 1,
+                    end: 3,
+                    participants: 5,
+                    isolated: 0,
+                    left_participants: 3,
+                    eliminated: 1,
+                    second_iso_joins: 0,
+                    right_participants: 1,
+                    is_base: false,
+                    base_timeouts: 0,
+                    parent: Some(0),
+                },
+            ],
+        };
+        assert_eq!(tree.z_profile(), vec![10, 5, 0]);
+        let ratios = tree.recursion_ratios();
+        assert_eq!(ratios.len(), 2);
+        assert!((ratios[0].0 - 0.5).abs() < 1e-12);
+        assert!((ratios[0].1 - 0.1).abs() < 1e-12);
+        assert!(!tree.render_ascii(2).is_empty());
+        assert_eq!(tree.base_case_load(), (0, 0));
+    }
+
+    #[test]
+    fn schedule_tree_size() {
+        for d in 0..6 {
+            let nodes = schedule_tree(d, &Schedule::alg1(), 0).unwrap();
+            assert_eq!(nodes.len(), (1 << (d + 1)) - 1);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of the core algorithm machinery: schedules,
+//! rank structure, and executor invariants.
+
+use proptest::prelude::*;
+use sleepy_graph::{Graph, NodeId};
+use sleepy_mis::{
+    depth_alg1, depth_alg2, derive_all, execute_sleeping_mis, greedy_budget_rounds,
+    schedule_tree, Convention, MisConfig, Schedule,
+};
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (1..max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as NodeId, 0..n as NodeId), 0..3 * n).prop_map(
+            move |pairs| {
+                let edges: Vec<(NodeId, NodeId)> =
+                    pairs.into_iter().filter(|(u, v)| u != v).collect();
+                Graph::from_edges(n, edges).expect("valid edges")
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn schedule_windows_partition(k in 1u32..20, t0 in 0u64..200, start in 0u64..1_000_000) {
+        let s = Schedule::new(t0, Convention::Pseudocode);
+        let ph = s.phases(k, start).unwrap();
+        let t_child = s.duration(k - 1).unwrap();
+        // The call decomposes exactly into: first-iso, left window, sync,
+        // second-iso, right window.
+        prop_assert_eq!(ph.left_start, ph.first_iso + 1);
+        prop_assert_eq!(ph.sync, ph.left_start + t_child);
+        prop_assert_eq!(ph.second_iso, ph.sync + 1);
+        prop_assert_eq!(ph.right_start, ph.second_iso + 1);
+        prop_assert_eq!(ph.end + 1, ph.right_start + t_child);
+        prop_assert_eq!(ph.end - ph.first_iso + 1, s.duration(k).unwrap());
+    }
+
+    #[test]
+    fn schedule_tree_nodes_count_and_depths(depth in 0u32..10) {
+        let nodes = schedule_tree(depth, &Schedule::alg1(), 0).unwrap();
+        prop_assert_eq!(nodes.len(), (1usize << (depth + 1)) - 1);
+        for node in &nodes {
+            prop_assert_eq!(node.depth + node.k, depth);
+            prop_assert_eq!(node.path.len(), node.depth as usize);
+        }
+    }
+
+    #[test]
+    fn depths_are_monotone_and_ordered(n in 3usize..1_000_000) {
+        prop_assert!(depth_alg2(n) <= depth_alg1(n));
+        prop_assert!(depth_alg1(n) <= depth_alg1(n + 1));
+        prop_assert!(depth_alg2(n) <= depth_alg2(n + 1));
+    }
+
+    #[test]
+    fn coins_are_stable_across_batch_and_single(seed in any::<u64>(), n in 1usize..64) {
+        let all = derive_all(seed, n);
+        for (v, coins) in all.iter().enumerate() {
+            prop_assert_eq!(
+                *coins,
+                sleepy_mis::NodeRandomness::derive(seed, v as NodeId)
+            );
+        }
+    }
+
+    #[test]
+    fn executor_decide_before_finish(g in arb_graph(60), seed in 0u64..100) {
+        for cfg in [MisConfig::alg1(seed), MisConfig::alg2(seed)] {
+            let out = execute_sleeping_mis(&g, cfg).unwrap();
+            for v in 0..g.n() {
+                prop_assert!(out.decide_rounds[v] <= out.finish_rounds[v], "node {v}");
+                prop_assert!(out.awake_rounds[v] >= 1, "node {v} never awake");
+                prop_assert!(out.finish_rounds[v] < out.total_rounds);
+            }
+            // Tree accounting: root level holds everyone; per-level
+            // participants never exceed n.
+            let z = out.tree.z_profile();
+            prop_assert_eq!(z[0], g.n() as u64);
+            prop_assert!(z.iter().all(|&x| x <= g.n() as u64));
+        }
+    }
+
+    #[test]
+    fn alg2_worst_awake_within_budget(g in arb_graph(80), seed in 0u64..100) {
+        let n = g.n();
+        let out = execute_sleeping_mis(&g, MisConfig::alg2(seed)).unwrap();
+        let k2 = depth_alg2(n) as u64;
+        let budget = greedy_budget_rounds(n, 4.0);
+        for (v, &a) in out.awake_rounds.iter().enumerate() {
+            prop_assert!(
+                a <= 3 * (k2 + 1) + budget,
+                "node {v}: awake {a} > 3(K2+1) + budget {budget}"
+            );
+        }
+    }
+
+    #[test]
+    fn executor_mis_members_dominate(g in arb_graph(60), seed in 0u64..100) {
+        // Domination holds even on Monte-Carlo tie failures (ties can only
+        // violate independence, never leave a node undominated).
+        let out = execute_sleeping_mis(&g, MisConfig::alg1(seed)).unwrap();
+        for v in 0..g.n() as NodeId {
+            let dominated = out.in_mis[v as usize]
+                || g.neighbors(v).iter().any(|&u| out.in_mis[u as usize]);
+            prop_assert!(dominated, "node {v} undominated");
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Incremental construction of [`Graph`]s.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, NodeId};
+
+/// Incremental builder for [`Graph`].
+///
+/// Use this when edges are produced one at a time and a single
+/// [`Graph::from_edges`] call would be awkward. Edges may be added in any
+/// order and duplicates are tolerated (collapsed at [`build`](Self::build)).
+///
+/// # Example
+///
+/// ```
+/// use sleepy_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.edge(0, 1).edge(1, 2);
+/// let g = b.build()?;
+/// assert_eq!(g.m(), 2);
+/// # Ok::<(), sleepy_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for an `n`-node graph with no edges yet.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Creates a builder with capacity for `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder { n, edges: Vec::with_capacity(m) }
+    }
+
+    /// Adds the undirected edge `{u, v}`. Validation is deferred to
+    /// [`build`](Self::build).
+    pub fn edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Adds every edge from the iterator.
+    pub fn edges<I: IntoIterator<Item = (NodeId, NodeId)>>(&mut self, it: I) -> &mut Self {
+        self.edges.extend(it);
+        self
+    }
+
+    /// Number of edge insertions so far (before deduplication).
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes the graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same errors as [`Graph::from_edges`]: out-of-range
+    /// endpoints, self loops, or an oversized node count.
+    pub fn build(&self) -> Result<Graph, GraphError> {
+        Graph::from_edges(self.n, self.edges.iter().copied())
+    }
+}
+
+impl Extend<(NodeId, NodeId)> for GraphBuilder {
+    fn extend<T: IntoIterator<Item = (NodeId, NodeId)>>(&mut self, iter: T) {
+        self.edges.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_matches_from_edges() {
+        let mut b = GraphBuilder::new(4);
+        b.edge(0, 1).edge(2, 3).edge(1, 2);
+        let g = b.build().unwrap();
+        let h = Graph::from_edges(4, [(0, 1), (2, 3), (1, 2)]).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn builder_reports_errors_at_build() {
+        let mut b = GraphBuilder::new(2);
+        b.edge(0, 0);
+        assert!(matches!(b.build().unwrap_err(), GraphError::SelfLoop { node: 0 }));
+    }
+
+    #[test]
+    fn extend_and_pending() {
+        let mut b = GraphBuilder::with_capacity(3, 2);
+        b.extend([(0, 1), (1, 2)]);
+        assert_eq!(b.pending_edges(), 2);
+        assert_eq!(b.build().unwrap().m(), 2);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let b = GraphBuilder::default();
+        let g = b.build().unwrap();
+        assert_eq!(g.n(), 0);
+    }
+}

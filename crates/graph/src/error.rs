@@ -1,0 +1,102 @@
+//! Error types for graph construction and generation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or generating a [`Graph`](crate::Graph).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint was `>= n`.
+    NodeOutOfRange {
+        /// The offending endpoint.
+        node: u64,
+        /// The number of nodes in the graph under construction.
+        n: usize,
+    },
+    /// An edge connected a node to itself; simple graphs only.
+    SelfLoop {
+        /// The node with the self loop.
+        node: u32,
+    },
+    /// The requested node count exceeds the `u32` index space.
+    TooManyNodes {
+        /// The requested node count.
+        n: usize,
+    },
+    /// A generator received parameters it cannot satisfy
+    /// (e.g. a d-regular graph with `n * d` odd, or `d >= n`).
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A randomized generator exhausted its retry budget without producing
+    /// a valid graph (e.g. the configuration model for random regular
+    /// graphs kept producing self loops or parallel edges).
+    GenerationFailed {
+        /// Which generator failed.
+        generator: &'static str,
+        /// Number of attempts made.
+        attempts: usize,
+    },
+    /// Text input could not be parsed as an edge list.
+    Parse {
+        /// 1-based line number of the malformed input.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "edge endpoint {node} out of range for {n} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self loop at node {node}"),
+            GraphError::TooManyNodes { n } => {
+                write!(f, "requested {n} nodes, exceeding the u32 index space")
+            }
+            GraphError::InvalidParameter { reason } => {
+                write!(f, "invalid generator parameter: {reason}")
+            }
+            GraphError::GenerationFailed { generator, attempts } => {
+                write!(f, "generator `{generator}` failed after {attempts} attempts")
+            }
+            GraphError::Parse { line, reason } => {
+                write!(f, "edge list parse error on line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errs = [
+            GraphError::NodeOutOfRange { node: 9, n: 3 },
+            GraphError::SelfLoop { node: 1 },
+            GraphError::TooManyNodes { n: usize::MAX },
+            GraphError::InvalidParameter { reason: "d >= n".into() },
+            GraphError::GenerationFailed { generator: "random_regular", attempts: 100 },
+            GraphError::Parse { line: 2, reason: "missing endpoint".into() },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with("generator"));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,116 @@
+//! Barabási–Albert preferential attachment (power-law degree) graphs.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples a Barabási–Albert preferential-attachment graph: starting from a
+/// clique on `m + 1` nodes, each subsequent node attaches to `m` distinct
+/// existing nodes chosen with probability proportional to their degree.
+///
+/// The resulting degree distribution follows a power law with exponent ≈ 3;
+/// such graphs have hubs of degree Θ(√n), exercising the high-Δ regime where
+/// the worst-case lower bounds discussed in the paper bite.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `m == 0` while `n > 1`.
+///
+/// # Example
+///
+/// ```
+/// use sleepy_graph::generators::barabasi_albert;
+/// let g = barabasi_albert(100, 2, 5)?;
+/// assert_eq!(g.n(), 100);
+/// # Ok::<(), sleepy_graph::GraphError>(())
+/// ```
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Result<Graph, GraphError> {
+    if n <= 1 {
+        return Graph::from_edges(n, []);
+    }
+    if m == 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: "Barabási–Albert attachment count m must be >= 1".to_string(),
+        });
+    }
+    let m = m.min(n - 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // `targets` holds every edge endpoint once per incidence, so sampling a
+    // uniform element of `targets` is degree-proportional sampling.
+    let mut targets: Vec<NodeId> = Vec::with_capacity(2 * n * m);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(n * m);
+    let seed_nodes = m + 1;
+    for u in 0..seed_nodes.min(n) as NodeId {
+        for v in (u + 1)..seed_nodes.min(n) as NodeId {
+            edges.push((u, v));
+            targets.push(u);
+            targets.push(v);
+        }
+    }
+    for v in seed_nodes..n {
+        let v = v as NodeId;
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(m);
+        // Rejection-sample m distinct degree-proportional targets.
+        while chosen.len() < m {
+            let t = targets[rng.gen_range(0..targets.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            edges.push((t, v));
+            targets.push(t);
+            targets.push(v);
+        }
+    }
+    Graph::from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn node_and_edge_counts() {
+        let (n, m) = (200, 3);
+        let g = barabasi_albert(n, m, 9).unwrap();
+        assert_eq!(g.n(), n);
+        // clique on m+1 nodes + m edges per remaining node
+        assert_eq!(g.m(), m * (m + 1) / 2 + (n - m - 1) * m);
+    }
+
+    #[test]
+    fn connected_and_min_degree_m() {
+        let g = barabasi_albert(150, 2, 4).unwrap();
+        assert!(ops::is_connected(&g));
+        assert!(g.node_ids().all(|v| g.degree(v) >= 2));
+    }
+
+    #[test]
+    fn hubs_emerge() {
+        let g = barabasi_albert(600, 2, 11).unwrap();
+        // Power-law graphs have max degree far above the mean (4).
+        assert!(g.max_degree() > 20, "max degree {} suspiciously small", g.max_degree());
+    }
+
+    #[test]
+    fn rejects_m_zero() {
+        assert!(barabasi_albert(10, 0, 0).is_err());
+    }
+
+    #[test]
+    fn degenerate() {
+        assert_eq!(barabasi_albert(0, 2, 0).unwrap().n(), 0);
+        assert_eq!(barabasi_albert(1, 2, 0).unwrap().m(), 0);
+        // n=3, m=2 -> m clamped to 2, seed clique of 3 = triangle
+        let g = barabasi_albert(3, 2, 0).unwrap();
+        assert_eq!(g.m(), 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(barabasi_albert(80, 2, 3).unwrap(), barabasi_albert(80, 2, 3).unwrap());
+    }
+}

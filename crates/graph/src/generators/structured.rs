@@ -1,0 +1,179 @@
+//! Deterministic structured topologies: paths, cycles, stars, cliques,
+//! bipartite graphs, grids, and hypercubes.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, NodeId};
+
+/// The edgeless graph on `n` nodes (every node isolated).
+pub fn empty(n: usize) -> Result<Graph, GraphError> {
+    Graph::from_edges(n, [])
+}
+
+/// The path P_n: `0 — 1 — … — n−1`.
+pub fn path(n: usize) -> Result<Graph, GraphError> {
+    Graph::from_edges(n, (1..n as NodeId).map(|v| (v - 1, v)))
+}
+
+/// The cycle C_n (for `n < 3` this degenerates to a path).
+pub fn cycle(n: usize) -> Result<Graph, GraphError> {
+    if n < 3 {
+        return path(n);
+    }
+    let mut edges: Vec<(NodeId, NodeId)> = (1..n as NodeId).map(|v| (v - 1, v)).collect();
+    edges.push((0, n as NodeId - 1));
+    Graph::from_edges(n, edges)
+}
+
+/// The star K_{1,n−1}: node 0 is the hub.
+pub fn star(n: usize) -> Result<Graph, GraphError> {
+    Graph::from_edges(n, (1..n as NodeId).map(|v| (0, v)))
+}
+
+/// The complete graph K_n.
+pub fn clique(n: usize) -> Result<Graph, GraphError> {
+    let mut edges = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, edges)
+}
+
+/// The complete bipartite graph K_{a,b}; the first `a` nodes form one side.
+pub fn complete_bipartite(a: usize, b: usize) -> Result<Graph, GraphError> {
+    let n = a + b;
+    let mut edges = Vec::with_capacity(a * b);
+    for u in 0..a as NodeId {
+        for v in a as NodeId..n as NodeId {
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, edges)
+}
+
+/// A `rows × cols` 2D grid; node `(r, c)` has index `r * cols + c`.
+pub fn grid2d(rows: usize, cols: usize) -> Result<Graph, GraphError> {
+    let n = rows * cols;
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    let mut edges = Vec::with_capacity(2 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((id(r, c), id(r + 1, c)));
+            }
+        }
+    }
+    Graph::from_edges(n, edges)
+}
+
+/// The `dim`-dimensional hypercube Q_dim on 2^dim nodes; nodes are adjacent
+/// iff their indices differ in exactly one bit.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `dim > 31` (index overflow).
+pub fn hypercube(dim: usize) -> Result<Graph, GraphError> {
+    if dim > 31 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("hypercube dimension {dim} exceeds 31"),
+        });
+    }
+    let n = 1usize << dim;
+    let mut edges = Vec::with_capacity(n * dim / 2);
+    for u in 0..n {
+        for bit in 0..dim {
+            let v = u ^ (1 << bit);
+            if u < v {
+                edges.push((u as NodeId, v as NodeId));
+            }
+        }
+    }
+    Graph::from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5).unwrap();
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert!(ops::is_connected(&g));
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6).unwrap();
+        assert_eq!(g.m(), 6);
+        for v in g.node_ids() {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(g.has_edge(0, 5));
+        // Degenerate cases fall back to paths.
+        assert_eq!(cycle(2).unwrap().m(), 1);
+        assert_eq!(cycle(1).unwrap().m(), 0);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(7).unwrap();
+        assert_eq!(g.degree(0), 6);
+        for v in 1..7 {
+            assert_eq!(g.degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn clique_shape() {
+        let g = clique(6).unwrap();
+        assert_eq!(g.m(), 15);
+        assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    fn bipartite_shape() {
+        let g = complete_bipartite(3, 4).unwrap();
+        assert_eq!(g.n(), 7);
+        assert_eq!(g.m(), 12);
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid2d(3, 4).unwrap();
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 * 3 + 2 * 4); // horizontal + vertical
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(5), 4); // interior (1,1)
+        assert!(ops::is_connected(&g));
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let g = hypercube(4).unwrap();
+        assert_eq!(g.n(), 16);
+        assert_eq!(g.m(), 32);
+        for v in g.node_ids() {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert!(hypercube(40).is_err());
+        assert_eq!(hypercube(0).unwrap().n(), 1);
+    }
+
+    #[test]
+    fn zero_sized() {
+        assert_eq!(path(0).unwrap().n(), 0);
+        assert_eq!(star(0).unwrap().n(), 0);
+        assert_eq!(clique(0).unwrap().n(), 0);
+        assert_eq!(grid2d(0, 5).unwrap().n(), 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Tree generators.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples a uniformly random recursive tree: node `v` (for `v ≥ 1`)
+/// attaches to a uniformly random node in `0..v`.
+///
+/// Recursive trees have expected depth O(log n) and a heavy-ish degree
+/// skew at early nodes, making them a good low-arboricity workload
+/// (arboricity 1) for the node-averaged complexity experiments.
+///
+/// # Example
+///
+/// ```
+/// use sleepy_graph::generators::random_tree;
+/// let g = random_tree(10, 3)?;
+/// assert_eq!(g.m(), 9);
+/// # Ok::<(), sleepy_graph::GraphError>(())
+/// ```
+pub fn random_tree(n: usize, seed: u64) -> Result<Graph, GraphError> {
+    if n <= 1 {
+        return Graph::from_edges(n, []);
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let edges = (1..n as NodeId).map(|v| {
+        let parent = rng.gen_range(0..v);
+        (parent, v)
+    });
+    // Collect eagerly: `from_edges` takes the iterator, but we need the
+    // RNG borrow to end before the call in some compilers' view; also this
+    // keeps error paths simple.
+    let edges: Vec<_> = edges.collect();
+    Graph::from_edges(n, edges)
+}
+
+/// The complete binary tree on `n` nodes in heap layout: node `v ≥ 1`
+/// attaches to `(v − 1) / 2`.
+pub fn balanced_binary_tree(n: usize) -> Result<Graph, GraphError> {
+    Graph::from_edges(n, (1..n as NodeId).map(|v| ((v - 1) / 2, v)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn tree_has_n_minus_1_edges_and_is_connected() {
+        for n in [1, 2, 3, 10, 100] {
+            let g = random_tree(n, 42).unwrap();
+            assert_eq!(g.m(), n.saturating_sub(1));
+            assert!(ops::is_connected(&g), "n={n}");
+        }
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = balanced_binary_tree(7).unwrap();
+        assert_eq!(g.m(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 3);
+        assert_eq!(g.degree(6), 1);
+        assert!(ops::is_connected(&g));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(random_tree(50, 1).unwrap(), random_tree(50, 1).unwrap());
+        assert_ne!(random_tree(50, 1).unwrap(), random_tree(50, 2).unwrap());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(random_tree(0, 0).unwrap().n(), 0);
+        assert_eq!(random_tree(1, 0).unwrap().m(), 0);
+        assert_eq!(balanced_binary_tree(1).unwrap().m(), 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Plain-text edge-list serialization.
+//!
+//! The format is line-oriented:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! n <node-count>
+//! <u> <v>
+//! <u> <v>
+//! ```
+//!
+//! The `n` header is required so isolated trailing nodes survive a
+//! round trip.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, NodeId};
+use std::fmt::Write as _;
+
+/// Serializes a graph to the edge-list format.
+///
+/// # Example
+///
+/// ```
+/// use sleepy_graph::{io, Graph};
+/// let g = Graph::from_edges(3, [(0, 1)]).unwrap();
+/// let text = io::to_edge_list(&g);
+/// let h = io::parse_edge_list(&text)?;
+/// assert_eq!(g, h);
+/// # Ok::<(), sleepy_graph::GraphError>(())
+/// ```
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut out = String::with_capacity(16 + 12 * g.m());
+    writeln!(out, "n {}", g.n()).expect("writing to String cannot fail");
+    for (u, v) in g.edges() {
+        writeln!(out, "{u} {v}").expect("writing to String cannot fail");
+    }
+    out
+}
+
+/// Parses the edge-list format produced by [`to_edge_list`].
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] for malformed lines, a missing/duplicate
+/// `n` header, or non-numeric fields; and propagates [`Graph::from_edges`]
+/// errors for out-of-range endpoints or self loops.
+pub fn parse_edge_list(text: &str) -> Result<Graph, GraphError> {
+    let mut n: Option<usize> = None;
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let first = fields.next().expect("non-empty trimmed line has a field");
+        if first == "n" {
+            if n.is_some() {
+                return Err(GraphError::Parse {
+                    line: line_no,
+                    reason: "duplicate `n` header".to_string(),
+                });
+            }
+            let value = fields.next().ok_or_else(|| GraphError::Parse {
+                line: line_no,
+                reason: "`n` header missing its value".to_string(),
+            })?;
+            n = Some(value.parse().map_err(|_| GraphError::Parse {
+                line: line_no,
+                reason: format!("invalid node count `{value}`"),
+            })?);
+            continue;
+        }
+        let u: NodeId = first.parse().map_err(|_| GraphError::Parse {
+            line: line_no,
+            reason: format!("invalid endpoint `{first}`"),
+        })?;
+        let second = fields.next().ok_or_else(|| GraphError::Parse {
+            line: line_no,
+            reason: "edge line missing second endpoint".to_string(),
+        })?;
+        let v: NodeId = second.parse().map_err(|_| GraphError::Parse {
+            line: line_no,
+            reason: format!("invalid endpoint `{second}`"),
+        })?;
+        if fields.next().is_some() {
+            return Err(GraphError::Parse {
+                line: line_no,
+                reason: "trailing fields after edge endpoints".to_string(),
+            });
+        }
+        edges.push((u, v));
+    }
+    let n = n.ok_or(GraphError::Parse { line: 0, reason: "missing `n` header".to_string() })?;
+    Graph::from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn round_trip_preserves_graph() {
+        let g = generators::gnp(40, 0.15, 8).unwrap();
+        let h = parse_edge_list(&to_edge_list(&g)).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn round_trip_preserves_isolated_nodes() {
+        let g = Graph::from_edges(5, [(0, 1)]).unwrap();
+        let h = parse_edge_list(&to_edge_list(&g)).unwrap();
+        assert_eq!(h.n(), 5);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let g = parse_edge_list("# hello\n\nn 3\n0 1\n# done\n").unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert!(matches!(parse_edge_list("0 1\n"), Err(GraphError::Parse { .. })));
+    }
+
+    #[test]
+    fn duplicate_header_rejected() {
+        assert!(parse_edge_list("n 3\nn 4\n").is_err());
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(parse_edge_list("n 3\n0\n").is_err());
+        assert!(parse_edge_list("n 3\n0 x\n").is_err());
+        assert!(parse_edge_list("n 3\n0 1 2\n").is_err());
+        assert!(parse_edge_list("n x\n").is_err());
+    }
+
+    #[test]
+    fn semantic_errors_propagate() {
+        assert!(matches!(parse_edge_list("n 3\n1 1\n"), Err(GraphError::SelfLoop { .. })));
+        assert!(matches!(
+            parse_edge_list("n 3\n0 9\n"),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+    }
+}

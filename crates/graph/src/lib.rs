@@ -1,0 +1,49 @@
+//! # sleepy-graph
+//!
+//! Port-numbered undirected graph substrate for sleeping-model CONGEST
+//! simulations, together with deterministic, seedable workload generators.
+//!
+//! This crate is the workload layer of the reproduction of *"Sleeping is
+//! Efficient: MIS in O(1)-rounds Node-averaged Awake Complexity"*
+//! (Chatterjee, Gmyr, Pandurangan, PODC 2020). Everything a distributed
+//! algorithm sees about the network — node count, per-node port lists, the
+//! port-to-neighbor mapping — is provided by [`Graph`].
+//!
+//! ## Design
+//!
+//! * Nodes are dense indices `0..n` of type [`NodeId`] (`u32`).
+//! * The graph is stored in compressed sparse row (CSR) form with neighbor
+//!   lists sorted ascending; *port p of node v* is defined as the p-th entry
+//!   of v's sorted neighbor list, matching the CONGEST convention that each
+//!   incident edge is attached to a distinct local port.
+//! * All generators take an explicit seed and are deterministic across runs
+//!   and platforms for a fixed seed.
+//!
+//! ## Example
+//!
+//! ```
+//! use sleepy_graph::{Graph, generators};
+//!
+//! let g = generators::cycle(5).unwrap();
+//! assert_eq!(g.n(), 5);
+//! assert_eq!(g.m(), 5);
+//! assert_eq!(g.degree(0), 2);
+//! assert_eq!(g.neighbors(0), &[1, 4]);
+//! // Port 1 of node 0 leads to node 4:
+//! assert_eq!(g.endpoint(0, 1), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod error;
+mod graph;
+pub mod generators;
+pub mod io;
+pub mod ops;
+
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use generators::GraphFamily;
+pub use graph::{DegreeStats, Graph, NodeId, Port};

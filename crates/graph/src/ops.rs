@@ -1,0 +1,206 @@
+//! Graph algorithms used by the experiment harness and verifiers:
+//! traversal, connectivity, and degeneracy/arboricity bounds.
+
+use crate::graph::{Graph, NodeId};
+
+/// BFS distances from `source`; unreachable nodes get `usize::MAX`.
+///
+/// # Panics
+///
+/// Panics if `source >= n`.
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<usize> {
+    assert!((source as usize) < g.n(), "source out of range");
+    let mut dist = vec![usize::MAX; g.n()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == usize::MAX {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Connected-component labels (0-based, in order of first discovery) and the
+/// number of components.
+pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
+    let mut label = vec![usize::MAX; g.n()];
+    let mut count = 0usize;
+    let mut stack = Vec::new();
+    for s in 0..g.n() as NodeId {
+        if label[s as usize] != usize::MAX {
+            continue;
+        }
+        label[s as usize] = count;
+        stack.push(s);
+        while let Some(u) = stack.pop() {
+            for &v in g.neighbors(u) {
+                if label[v as usize] == usize::MAX {
+                    label[v as usize] = count;
+                    stack.push(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    (label, count)
+}
+
+/// Whether the graph is connected (the empty graph counts as connected).
+pub fn is_connected(g: &Graph) -> bool {
+    if g.n() == 0 {
+        return true;
+    }
+    connected_components(g).1 == 1
+}
+
+/// The degeneracy of the graph and a degeneracy ordering (each node has at
+/// most `degeneracy` neighbors later in the ordering).
+///
+/// Degeneracy `d` sandwiches the arboricity `a` of Barenboim–Tzur's
+/// node-averaged bound: `a ≤ d ≤ 2a − 1`. Computed with the standard
+/// bucket-queue peeling in O(n + m).
+pub fn degeneracy(g: &Graph) -> (usize, Vec<NodeId>) {
+    let n = g.n();
+    if n == 0 {
+        return (0, Vec::new());
+    }
+    let mut deg: Vec<usize> = (0..n as NodeId).map(|v| g.degree(v)).collect();
+    let max_deg = deg.iter().copied().max().unwrap_or(0);
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); max_deg + 1];
+    for v in 0..n as NodeId {
+        buckets[deg[v as usize]].push(v);
+    }
+    let mut removed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut degeneracy = 0usize;
+    let mut cursor = 0usize;
+    for _ in 0..n {
+        // Find the smallest non-empty bucket at or above `cursor` going down
+        // to zero first (degrees only decrease, but the minimum can drop).
+        cursor = cursor.min(max_deg);
+        loop {
+            while cursor <= max_deg && buckets[cursor].is_empty() {
+                cursor += 1;
+            }
+            // A removal may have pushed nodes into lower buckets; rescan.
+            let min_nonempty =
+                (0..=cursor.min(max_deg)).find(|&b| !buckets[b].is_empty()).unwrap_or(cursor);
+            if min_nonempty < cursor {
+                cursor = min_nonempty;
+            }
+            break;
+        }
+        let v = loop {
+            match buckets[cursor].pop() {
+                Some(v) if !removed[v as usize] && deg[v as usize] == cursor => break v,
+                Some(_) => continue, // stale entry
+                None => {
+                    cursor = (0..=max_deg).find(|&b| !buckets[b].is_empty()).expect(
+                        "bucket queue exhausted before all nodes were peeled",
+                    );
+                }
+            }
+        };
+        removed[v as usize] = true;
+        degeneracy = degeneracy.max(cursor);
+        order.push(v);
+        for &u in g.neighbors(v) {
+            if !removed[u as usize] {
+                deg[u as usize] -= 1;
+                buckets[deg[u as usize]].push(u);
+            }
+        }
+    }
+    (degeneracy, order)
+}
+
+/// Lower and upper bounds on the arboricity derived from the degeneracy `d`:
+/// `ceil((d + 1) / 2) ≤ a ≤ d` (and `a ≥ 1` whenever the graph has an edge).
+pub fn arboricity_bounds(g: &Graph) -> (usize, usize) {
+    let (d, _) = degeneracy(g);
+    if g.m() == 0 {
+        return (0, 0);
+    }
+    (((d + 1) / 2).max(1), d.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_on_path() {
+        let g = generators::path(5).unwrap();
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = Graph::from_edges(4, [(0, 1)]).unwrap();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], usize::MAX);
+    }
+
+    #[test]
+    fn components_counts() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[5], labels[0]);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(is_connected(&generators::cycle(8).unwrap()));
+        assert!(!is_connected(&generators::empty(3).unwrap()));
+        assert!(is_connected(&generators::empty(0).unwrap()));
+        assert!(is_connected(&generators::empty(1).unwrap()));
+    }
+
+    #[test]
+    fn degeneracy_of_standard_graphs() {
+        assert_eq!(degeneracy(&generators::clique(6).unwrap()).0, 5);
+        assert_eq!(degeneracy(&generators::cycle(10).unwrap()).0, 2);
+        assert_eq!(degeneracy(&generators::path(10).unwrap()).0, 1);
+        assert_eq!(degeneracy(&generators::star(10).unwrap()).0, 1);
+        assert_eq!(degeneracy(&generators::empty(5).unwrap()).0, 0);
+        assert_eq!(degeneracy(&generators::grid2d(5, 5).unwrap()).0, 2);
+    }
+
+    #[test]
+    fn degeneracy_ordering_property() {
+        let g = generators::gnp(80, 0.1, 3).unwrap();
+        let (d, order) = degeneracy(&g);
+        assert_eq!(order.len(), g.n());
+        let mut pos = vec![0usize; g.n()];
+        for (i, &v) in order.iter().enumerate() {
+            pos[v as usize] = i;
+        }
+        for &v in &order {
+            let later =
+                g.neighbors(v).iter().filter(|&&u| pos[u as usize] > pos[v as usize]).count();
+            assert!(later <= d, "node {v} has {later} later neighbors > degeneracy {d}");
+        }
+    }
+
+    #[test]
+    fn arboricity_bounds_sane() {
+        let (lo, hi) = arboricity_bounds(&generators::clique(8).unwrap());
+        assert!(lo <= 4 && hi >= 4, "K8 arboricity is 4, got [{lo}, {hi}]");
+        assert_eq!(arboricity_bounds(&generators::empty(5).unwrap()), (0, 0));
+        let (lo, hi) = arboricity_bounds(&generators::random_tree(50, 1).unwrap());
+        assert_eq!((lo, hi), (1, 1));
+    }
+}

@@ -1,0 +1,30 @@
+//! Ablation sweeps of the paper's fixed design knobs (experiment AB):
+//! Algorithm 2's greedy budget constant c and the recursion truncation
+//! depth.
+
+use sleepy_harness::ablation::{run_ablation, AblationConfig};
+use sleepy_harness::output::{default_results_dir, quick_flag, save_report};
+
+fn main() {
+    let mut config = AblationConfig::default();
+    if quick_flag() {
+        config.n = 512;
+        config.trials = 4;
+        config.greedy_cs = vec![0.25, 1.0, 4.0];
+    }
+    match run_ablation(&config) {
+        Ok(report) => {
+            let text = report.render();
+            println!("{text}");
+            let json = serde_json::to_value(&report).expect("serializable report");
+            match save_report(&default_results_dir(), "ablation", &text, &json) {
+                Ok(path) => println!("(written to {})", path.display()),
+                Err(e) => eprintln!("warning: could not save report: {e}"),
+            }
+        }
+        Err(e) => {
+            eprintln!("ablation failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Runs every experiment of the reproduction in sequence (T1, F1, F2,
+//! L2/L3/L5/L7, TH1/TH2, C1/WHP, EN, AB, CO, RB), writing all reports
+//! into `results/`. Pass `--quick` for a fast smoke run of the full
+//! pipeline.
+
+use sleepy_harness::output::{default_results_dir, quick_flag, save_report};
+use sleepy_harness::{
+    ablation, coloring, corollary1, energy, figure1, figure2, lemmas, robustness, table1,
+    theorems,
+};
+
+fn main() {
+    let quick = quick_flag();
+    let dir = default_results_dir();
+    let mut failures = 0usize;
+
+    macro_rules! experiment {
+        ($name:literal, $run:expr) => {
+            println!("\n################ {} ################", $name);
+            match $run {
+                Ok((text, json)) => {
+                    println!("{text}");
+                    if let Err(e) = save_report(&dir, $name, &text, &json) {
+                        eprintln!("warning: could not save {}: {e}", $name);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{} FAILED: {e}", $name);
+                    failures += 1;
+                }
+            }
+        };
+    }
+
+    experiment!("table1", {
+        let mut cfg = table1::Table1Config::default();
+        if quick {
+            cfg.sizes = vec![128, 256, 512];
+            cfg.trials = 3;
+        }
+        table1::run_table1(&cfg).map(|r| {
+            (r.render(), serde_json::to_value(&r).expect("serializable"))
+        })
+    });
+    experiment!("figure1", {
+        figure1::run_figure1()
+            .map(|r| (r.render(), serde_json::to_value(&r).expect("serializable")))
+    });
+    experiment!("figure2", {
+        let mut cfg = figure2::Figure2Config::default();
+        if quick {
+            cfg.n = 1 << 11;
+            cfg.trials = 3;
+        }
+        figure2::run_figure2(&cfg)
+            .map(|r| (r.render(), serde_json::to_value(&r).expect("serializable")))
+    });
+    experiment!("lemmas", {
+        let mut cfg = lemmas::LemmasConfig::default();
+        if quick {
+            cfg.n = 1 << 10;
+            cfg.trials = 4;
+        }
+        lemmas::run_lemmas(&cfg)
+            .map(|r| (r.render(), serde_json::to_value(&r).expect("serializable")))
+    });
+    experiment!("theorems", {
+        let mut cfg = theorems::TheoremsConfig::default();
+        if quick {
+            cfg.size_exponents = (7..=12).collect();
+            cfg.trials = 3;
+        }
+        theorems::run_theorems(&cfg)
+            .map(|r| (r.render(), serde_json::to_value(&r).expect("serializable")))
+    });
+    experiment!("corollary1", {
+        let mut cfg = corollary1::Corollary1Config::default();
+        if quick {
+            cfg.n = 512;
+            cfg.trials = 10;
+        }
+        corollary1::run_corollary1(&cfg)
+            .map(|r| (r.render(), serde_json::to_value(&r).expect("serializable")))
+    });
+    experiment!("energy", {
+        let mut cfg = energy::EnergyConfig::default();
+        if quick {
+            cfg.sizes = vec![128, 256];
+            cfg.trials = 2;
+        }
+        energy::run_energy(&cfg)
+            .map(|r| (r.render(), serde_json::to_value(&r).expect("serializable")))
+    });
+    experiment!("ablation", {
+        let mut cfg = ablation::AblationConfig::default();
+        if quick {
+            cfg.n = 512;
+            cfg.trials = 4;
+            cfg.greedy_cs = vec![0.25, 1.0, 4.0];
+        }
+        ablation::run_ablation(&cfg)
+            .map(|r| (r.render(), serde_json::to_value(&r).expect("serializable")))
+    });
+    experiment!("coloring", {
+        let mut cfg = coloring::ColoringConfig::default();
+        if quick {
+            cfg.sizes = vec![128, 512];
+            cfg.trials = 3;
+        }
+        coloring::run_coloring(&cfg)
+            .map(|r| (r.render(), serde_json::to_value(&r).expect("serializable")))
+    });
+    experiment!("robustness", {
+        let mut cfg = robustness::RobustnessConfig::default();
+        if quick {
+            cfg.n = 96;
+            cfg.trials = 4;
+            cfg.loss_probabilities = vec![0.0, 0.01, 0.05];
+        }
+        robustness::run_robustness(&cfg)
+            .map(|r| (r.render(), serde_json::to_value(&r).expect("serializable")))
+    });
+
+    println!("\n################ summary ################");
+    if failures == 0 {
+        println!("all experiments completed; reports in {}", dir.display());
+    } else {
+        eprintln!("{failures} experiment(s) failed");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,28 @@
+//! The §1.5 contrast experiment (CO): (Δ+1)-coloring is O(1) node-averaged
+//! in the traditional model; MIS is not known to be.
+
+use sleepy_harness::coloring::{run_coloring, ColoringConfig};
+use sleepy_harness::output::{default_results_dir, quick_flag, save_report};
+
+fn main() {
+    let mut config = ColoringConfig::default();
+    if quick_flag() {
+        config.sizes = vec![128, 512];
+        config.trials = 3;
+    }
+    match run_coloring(&config) {
+        Ok(report) => {
+            let text = report.render();
+            println!("{text}");
+            let json = serde_json::to_value(&report).expect("serializable report");
+            match save_report(&default_results_dir(), "coloring", &text, &json) {
+                Ok(path) => println!("(written to {})", path.display()),
+                Err(e) => eprintln!("warning: could not save report: {e}"),
+            }
+        }
+        Err(e) => {
+            eprintln!("coloring failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Verifies Corollary 1 (lexicographically-first MIS equivalence) and the
+//! Lemma 1 whp-correctness rate (experiments C1/WHP).
+
+use sleepy_harness::corollary1::{run_corollary1, Corollary1Config};
+use sleepy_harness::output::{default_results_dir, quick_flag, save_report};
+
+fn main() {
+    let mut config = Corollary1Config::default();
+    if quick_flag() {
+        config.n = 512;
+        config.trials = 10;
+    }
+    match run_corollary1(&config) {
+        Ok(report) => {
+            let text = report.render();
+            println!("{text}");
+            let json = serde_json::to_value(&report).expect("serializable report");
+            match save_report(&default_results_dir(), "corollary1", &text, &json) {
+                Ok(path) => println!("(written to {})", path.display()),
+                Err(e) => eprintln!("warning: could not save report: {e}"),
+            }
+            let counterexamples: usize = report
+                .alg1_equivalence
+                .iter()
+                .chain(&report.alg2_equivalence)
+                .map(|s| s.different)
+                .sum();
+            if counterexamples > 0 {
+                eprintln!("COUNTEREXAMPLE to Corollary 1 found — see report");
+                std::process::exit(2);
+            }
+        }
+        Err(e) => {
+            eprintln!("corollary1 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

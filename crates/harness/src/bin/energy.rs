@@ -1,0 +1,28 @@
+//! Measures the sensor-network energy savings motivating the sleeping
+//! model (experiment EN).
+
+use sleepy_harness::energy::{run_energy, EnergyConfig};
+use sleepy_harness::output::{default_results_dir, quick_flag, save_report};
+
+fn main() {
+    let mut config = EnergyConfig::default();
+    if quick_flag() {
+        config.sizes = vec![128, 256];
+        config.trials = 2;
+    }
+    match run_energy(&config) {
+        Ok(report) => {
+            let text = report.render();
+            println!("{text}");
+            let json = serde_json::to_value(&report).expect("serializable report");
+            match save_report(&default_results_dir(), "energy", &text, &json) {
+                Ok(path) => println!("(written to {})", path.display()),
+                Err(e) => eprintln!("warning: could not save report: {e}"),
+            }
+        }
+        Err(e) => {
+            eprintln!("energy failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

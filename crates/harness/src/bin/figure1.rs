@@ -1,0 +1,26 @@
+//! Regenerates the paper's Figure 1 (experiment F1): the recursion-tree
+//! timing labels, exactly as printed in the paper.
+
+use sleepy_harness::figure1::run_figure1;
+use sleepy_harness::output::{default_results_dir, save_report};
+
+fn main() {
+    match run_figure1() {
+        Ok(report) => {
+            let text = report.render();
+            println!("{text}");
+            let json = serde_json::to_value(&report).expect("serializable report");
+            match save_report(&default_results_dir(), "figure1", &text, &json) {
+                Ok(path) => println!("(written to {})", path.display()),
+                Err(e) => eprintln!("warning: could not save report: {e}"),
+            }
+            if !report.labels_match_paper {
+                std::process::exit(2);
+            }
+        }
+        Err(e) => {
+            eprintln!("figure1 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Regenerates the paper's Figure 2 (experiment F2): the truncated
+//! recursion tree of Algorithm 2 vs Algorithm 1's full tree, with measured
+//! level occupancies against Lemma 7's (3/4)^i·n envelope.
+
+use sleepy_harness::figure2::{run_figure2, Figure2Config};
+use sleepy_harness::output::{default_results_dir, quick_flag, save_report};
+
+fn main() {
+    let mut config = Figure2Config::default();
+    if quick_flag() {
+        config.n = 1 << 11;
+        config.trials = 3;
+    }
+    match run_figure2(&config) {
+        Ok(report) => {
+            let text = report.render();
+            println!("{text}");
+            let json = serde_json::to_value(&report).expect("serializable report");
+            match save_report(&default_results_dir(), "figure2", &text, &json) {
+                Ok(path) => println!("(written to {})", path.display()),
+                Err(e) => eprintln!("warning: could not save report: {e}"),
+            }
+        }
+        Err(e) => {
+            eprintln!("figure2 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

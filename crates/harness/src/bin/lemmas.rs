@@ -1,0 +1,28 @@
+//! Empirically validates Lemmas 2, 3 (Pruning), 5 and 7 (experiments
+//! L2/L3/L5/L7).
+
+use sleepy_harness::lemmas::{run_lemmas, LemmasConfig};
+use sleepy_harness::output::{default_results_dir, quick_flag, save_report};
+
+fn main() {
+    let mut config = LemmasConfig::default();
+    if quick_flag() {
+        config.n = 1 << 10;
+        config.trials = 4;
+    }
+    match run_lemmas(&config) {
+        Ok(report) => {
+            let text = report.render();
+            println!("{text}");
+            let json = serde_json::to_value(&report).expect("serializable report");
+            match save_report(&default_results_dir(), "lemmas", &text, &json) {
+                Ok(path) => println!("(written to {})", path.display()),
+                Err(e) => eprintln!("warning: could not save report: {e}"),
+            }
+        }
+        Err(e) => {
+            eprintln!("lemmas failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

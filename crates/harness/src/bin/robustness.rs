@@ -1,0 +1,30 @@
+//! Robustness under injected message loss (experiment RB, beyond the
+//! paper): how output quality degrades when the reliable-links assumption
+//! is relaxed.
+
+use sleepy_harness::output::{default_results_dir, quick_flag, save_report};
+use sleepy_harness::robustness::{run_robustness, RobustnessConfig};
+
+fn main() {
+    let mut config = RobustnessConfig::default();
+    if quick_flag() {
+        config.n = 96;
+        config.trials = 4;
+        config.loss_probabilities = vec![0.0, 0.01, 0.05];
+    }
+    match run_robustness(&config) {
+        Ok(report) => {
+            let text = report.render();
+            println!("{text}");
+            let json = serde_json::to_value(&report).expect("serializable report");
+            match save_report(&default_results_dir(), "robustness", &text, &json) {
+                Ok(path) => println!("(written to {})", path.display()),
+                Err(e) => eprintln!("warning: could not save report: {e}"),
+            }
+        }
+        Err(e) => {
+            eprintln!("robustness failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

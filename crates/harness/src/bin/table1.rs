@@ -1,0 +1,28 @@
+//! Regenerates the paper's Table 1 (experiment T1). `--quick` shrinks the
+//! sweep for smoke runs.
+
+use sleepy_harness::output::{default_results_dir, quick_flag, save_report};
+use sleepy_harness::table1::{run_table1, Table1Config};
+
+fn main() {
+    let mut config = Table1Config::default();
+    if quick_flag() {
+        config.sizes = vec![128, 256, 512];
+        config.trials = 3;
+    }
+    match run_table1(&config) {
+        Ok(report) => {
+            let text = report.render();
+            println!("{text}");
+            let json = serde_json::to_value(&report).expect("serializable report");
+            match save_report(&default_results_dir(), "table1", &text, &json) {
+                Ok(path) => println!("(written to {})", path.display()),
+                Err(e) => eprintln!("warning: could not save report: {e}"),
+            }
+        }
+        Err(e) => {
+            eprintln!("table1 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Measures the scaling claims of Theorems 1 and 2 (experiments TH1/TH2).
+
+use sleepy_harness::output::{default_results_dir, quick_flag, save_report};
+use sleepy_harness::theorems::{run_theorems, TheoremsConfig};
+
+fn main() {
+    let mut config = TheoremsConfig::default();
+    if quick_flag() {
+        config.size_exponents = (7..=12).collect();
+        config.trials = 3;
+    }
+    match run_theorems(&config) {
+        Ok(report) => {
+            let text = report.render();
+            println!("{text}");
+            let json = serde_json::to_value(&report).expect("serializable report");
+            match save_report(&default_results_dir(), "theorems", &text, &json) {
+                Ok(path) => println!("(written to {})", path.display()),
+                Err(e) => eprintln!("warning: could not save report: {e}"),
+            }
+        }
+        Err(e) => {
+            eprintln!("theorems failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

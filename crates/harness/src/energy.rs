@@ -1,0 +1,316 @@
+//! **Experiment EN — the energy motivation of §1.1.**
+//!
+//! The paper motivates the sleeping model by the energy profile of ad-hoc
+//! wireless and sensor networks: idle listening costs almost as much as
+//! transmitting, while *"in sleeping mode, we assume that there is no
+//! energy spent"*. This experiment runs the sleeping algorithms and the
+//! always-awake baselines on random geometric graphs (the standard
+//! sensor-network topology) through the *message-passing engine* (so
+//! transmit/receive counts are real) and reports per-node energy under
+//! three sleep-cost models.
+//!
+//! Two honesty notes, both recorded in EXPERIMENTS.md:
+//!
+//! 1. **Termination convention matters.** Our baselines implement the
+//!    favorable Barenboim–Tzur convention (a node announces its output and
+//!    terminates), which already saves most idle energy on sparse random
+//!    graphs. The paper's Table 1 instead treats prior algorithms in the
+//!    *traditional model* where every node stays awake until the global
+//!    end — we report both variants (`<algo>` and `<algo>+awake-to-end`).
+//! 2. **A nonzero sleep cost interacts with schedule length.** Algorithm
+//!    1's Θ(n³) wall-clock schedule multiplies any per-round sleep cost by
+//!    an enormous lifetime, eroding its advantage; Algorithm 2's polylog
+//!    schedule keeps the advantage under realistic sleep costs — the
+//!    energy case for Theorem 2, not just a latency nicety.
+
+use crate::error::HarnessError;
+use crate::measure::parallel_try_map;
+use crate::workloads::Workload;
+use serde::{Deserialize, Serialize};
+use sleepy_baselines::{run_baseline, BaselineKind};
+use sleepy_graph::GraphFamily;
+use sleepy_mis::{run_sleeping_mis, MisConfig};
+use sleepy_net::{EnergyModel, EngineConfig, RunMetrics};
+use sleepy_stats::{Summary, TextTable};
+
+/// Configuration of the energy experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnergyConfig {
+    /// Node counts to test (sensor-network sizes).
+    pub sizes: Vec<usize>,
+    /// Average degree of the geometric graphs.
+    pub avg_degree: f64,
+    /// Trials per size.
+    pub trials: usize,
+    /// Base seed.
+    pub base_seed: u64,
+}
+
+impl Default for EnergyConfig {
+    fn default() -> Self {
+        EnergyConfig {
+            sizes: vec![256, 512, 1024, 2048],
+            avg_degree: 8.0,
+            trials: 5,
+            base_seed: 0xE9,
+        }
+    }
+}
+
+/// The three cost models of the experiment.
+///
+/// The paper's measure (§1.2) is *awake time*: since idle ≈ receive ≈
+/// transmit power, a round costs the same whether the radio transmits or
+/// just listens, and sleeping is free. The second model adds per-message
+/// surcharges (sensitive to Algorithm 1's broadcast-heavy sync rounds);
+/// the third also charges 2% of idle per sleeping round (the conservative
+/// end of the measurements the paper cites).
+fn models() -> [(&'static str, EnergyModel); 3] {
+    let paper = EnergyModel {
+        idle_per_round: 1.0,
+        sleep_per_round: 0.0,
+        tx_per_message: 0.0,
+        rx_per_message: 0.0,
+    };
+    [
+        ("awake-rounds (paper)", paper),
+        ("+tx/rx surcharge", EnergyModel {
+            tx_per_message: 0.4,
+            rx_per_message: 0.2,
+            ..paper
+        }),
+        ("+sleep=0.02", EnergyModel {
+            tx_per_message: 0.4,
+            rx_per_message: 0.2,
+            sleep_per_round: 0.02,
+            ..paper
+        }),
+    ]
+}
+
+/// Energy readings of one algorithm variant at one size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnergyCell {
+    /// Algorithm label (`+awake-to-end` marks the traditional-model
+    /// variant where nodes stay awake until the last node finishes).
+    pub algo: String,
+    /// Node count.
+    pub n: usize,
+    /// Mean per-node energy under each model, in [`models`] order.
+    pub mean_energy: Vec<Summary>,
+    /// Mean worst single-node energy under the paper model (the
+    /// battery-lifetime bottleneck).
+    pub max_energy_paper: Summary,
+}
+
+/// Results of experiment EN.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// The configuration used.
+    pub config: EnergyConfig,
+    /// One cell per (algorithm variant, size).
+    pub cells: Vec<EnergyCell>,
+}
+
+/// Sleeping-model algorithms plus baselines measured in the experiment.
+const ENERGY_ALGOS: [&str; 4] = ["SleepingMIS", "Fast-SleepingMIS", "Luby-B", "Greedy-CRT"];
+
+fn run_metrics_for(
+    algo: &str,
+    g: &sleepy_graph::Graph,
+    seed: u64,
+) -> Result<RunMetrics, HarnessError> {
+    let ec = EngineConfig::default();
+    Ok(match algo {
+        "SleepingMIS" => run_sleeping_mis(g, MisConfig::alg1(seed), &ec)?.metrics,
+        "Fast-SleepingMIS" => run_sleeping_mis(g, MisConfig::alg2(seed), &ec)?.metrics,
+        "Luby-B" => run_baseline(g, BaselineKind::LubyB, seed, &ec)?.metrics,
+        "Greedy-CRT" => run_baseline(g, BaselineKind::GreedyCrt, seed, &ec)?.metrics,
+        other => unreachable!("unknown energy algo {other}"),
+    })
+}
+
+/// Converts metrics into the traditional always-awake accounting: every
+/// node is charged awake (idle) cost for the entire run.
+fn awake_to_end(metrics: &RunMetrics) -> RunMetrics {
+    let mut m = metrics.clone();
+    for nm in &mut m.per_node {
+        nm.awake_rounds = m.total_rounds;
+        nm.finish_round = Some(m.total_rounds.saturating_sub(1));
+    }
+    m
+}
+
+/// Runs experiment EN.
+///
+/// # Errors
+///
+/// Propagates workload and execution failures.
+pub fn run_energy(config: &EnergyConfig) -> Result<EnergyReport, HarnessError> {
+    let mut cells = Vec::new();
+    for &n in &config.sizes {
+        let workload = Workload::new(GraphFamily::GeometricAvgDeg(config.avg_degree), n);
+        for algo in ENERGY_ALGOS {
+            let seeds: Vec<u64> =
+                (0..config.trials as u64).map(|t| config.base_seed + 131 * t).collect();
+            type Row = (Vec<f64>, f64, Option<Vec<f64>>);
+            let per_trial = parallel_try_map(&seeds, |&seed| -> Result<Row, HarnessError> {
+                let g = workload.instance(seed)?;
+                let metrics = run_metrics_for(algo, &g, seed)?;
+                let means: Vec<f64> =
+                    models().iter().map(|(_, m)| m.report(&metrics).mean).collect();
+                let max_paper = models()[0].1.report(&metrics).max;
+                // Baselines get a second, traditional-model reading.
+                let strict = if algo.starts_with("Luby") || algo.starts_with("Greedy") {
+                    let sm = awake_to_end(&metrics);
+                    Some(models().iter().map(|(_, m)| m.report(&sm).mean).collect())
+                } else {
+                    None
+                };
+                Ok((means, max_paper, strict))
+            })?;
+            let collect_model = |pick: &dyn Fn(&Row) -> Option<Vec<f64>>| -> Option<Vec<Summary>> {
+                let rows: Vec<Vec<f64>> =
+                    per_trial.iter().filter_map(|t| pick(t)).collect();
+                if rows.is_empty() {
+                    return None;
+                }
+                Some(
+                    (0..models().len())
+                        .map(|i| Summary::of(&rows.iter().map(|r| r[i]).collect::<Vec<_>>()))
+                        .collect(),
+                )
+            };
+            cells.push(EnergyCell {
+                algo: algo.to_string(),
+                n,
+                mean_energy: collect_model(&|t: &Row| Some(t.0.clone()))
+                    .expect("at least one trial"),
+                max_energy_paper: Summary::of(
+                    &per_trial.iter().map(|t| t.1).collect::<Vec<_>>(),
+                ),
+            });
+            if let Some(strict) = collect_model(&|t: &Row| t.2.clone()) {
+                cells.push(EnergyCell {
+                    algo: format!("{algo}+awake-to-end"),
+                    n,
+                    mean_energy: strict,
+                    max_energy_paper: Summary::of(&[]),
+                });
+            }
+        }
+    }
+    Ok(EnergyReport { config: config.clone(), cells })
+}
+
+impl EnergyReport {
+    /// Mean per-node energy of `algo` at size `n` under model index
+    /// `model`.
+    pub fn mean_energy(&self, algo: &str, n: usize, model: usize) -> Option<f64> {
+        self.cells
+            .iter()
+            .find(|c| c.algo == algo && c.n == n)
+            .map(|c| c.mean_energy[model].mean)
+    }
+
+    /// Renders the energy comparison.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "== Experiment EN — sensor-network energy (geometric graphs, avg degree {}) ==\n\n",
+            self.config.avg_degree
+        ));
+        let names: Vec<&str> = models().iter().map(|(name, _)| *name).collect();
+        let mut t = TextTable::new(vec![
+            "algorithm",
+            "n",
+            names[0],
+            names[1],
+            names[2],
+            "max node (paper)",
+        ]);
+        for c in &self.cells {
+            t.row(vec![
+                c.algo.clone(),
+                c.n.to_string(),
+                format!("{:.2}", c.mean_energy[0].mean),
+                format!("{:.2}", c.mean_energy[1].mean),
+                format!("{:.2}", c.mean_energy[2].mean),
+                if c.max_energy_paper.count == 0 {
+                    String::new()
+                } else {
+                    format!("{:.1}", c.max_energy_paper.mean)
+                },
+            ]);
+        }
+        out.push_str(&t.render());
+        if let Some(&n) = self.config.sizes.iter().max() {
+            if let (Some(s1), Some(s2), Some(luby)) = (
+                self.mean_energy("SleepingMIS", n, 0),
+                self.mean_energy("Fast-SleepingMIS", n, 0),
+                self.mean_energy("Luby-B+awake-to-end", n, 0),
+            ) {
+                out.push_str(&format!(
+                    "\nPaper model (awake rounds), vs traditional always-awake Luby-B at \
+                     n = {n}: SleepingMIS at {:.2}x, Fast-SleepingMIS at {:.2}x of its \
+                     energy. The sleeping profiles are flat in n (O(1) guarantee); the \
+                     always-awake cost grows with the O(log n) completion time, so the \
+                     ratio improves with n.\n",
+                    s1 / luby,
+                    s2 / luby
+                ));
+            }
+            if let (Some(s1), Some(s2), Some(luby)) = (
+                self.mean_energy("SleepingMIS", n, 2),
+                self.mean_energy("Fast-SleepingMIS", n, 2),
+                self.mean_energy("Luby-B+awake-to-end", n, 2),
+            ) {
+                out.push_str(&format!(
+                    "With a 2% sleep cost the Θ(n³) schedule costs SleepingMIS {:.1}x \
+                     always-awake Luby-B, while Fast-SleepingMIS stays at {:.2}x — the \
+                     energy case for Theorem 2's polylog schedule.\n",
+                    s1 / luby,
+                    s2 / luby
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_experiment_small() {
+        let cfg = EnergyConfig {
+            sizes: vec![128, 256],
+            avg_degree: 6.0,
+            trials: 2,
+            base_seed: 9,
+        };
+        let r = run_energy(&cfg).unwrap();
+        // 4 algorithms + 2 traditional variants, per size.
+        assert_eq!(r.cells.len(), 2 * 6);
+        // The sleeping algorithms' awake-round energy is flat in n (the
+        // O(1) node-averaged awake guarantee), while always-awake cost
+        // tracks the growing completion time.
+        for algo in ["SleepingMIS", "Fast-SleepingMIS"] {
+            let small = r.mean_energy(algo, 128, 0).unwrap();
+            let large = r.mean_energy(algo, 256, 0).unwrap();
+            assert!(large < 2.0 * small, "{algo} awake energy not flat: {small} -> {large}");
+        }
+        // Under the conservative model, Algorithm 1's cubic schedule makes
+        // it lose badly — the documented phenomenon motivating Theorem 2 —
+        // while Algorithm 2's polylog schedule stays in contention.
+        let a1 = r.mean_energy("SleepingMIS", 256, 2).unwrap();
+        let a2 = r.mean_energy("Fast-SleepingMIS", 256, 2).unwrap();
+        let luby = r.mean_energy("Luby-B+awake-to-end", 256, 2).unwrap();
+        assert!(a1 > 10.0 * luby, "expected the n^3 schedule to dominate: {a1} vs {luby}");
+        assert!(a2 < a1 / 10.0, "alg2 should be far cheaper than alg1: {a2} vs {a1}");
+        let text = r.render();
+        assert!(text.contains("always-awake"));
+        assert!(text.contains("polylog schedule"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Harness error type.
+
+use sleepy_graph::GraphError;
+use sleepy_mis::MisError;
+use sleepy_net::EngineError;
+use std::error::Error;
+use std::fmt;
+
+/// Any failure inside an experiment: workload generation, algorithm
+/// configuration, or engine execution.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum HarnessError {
+    /// Workload generation failed.
+    Graph(GraphError),
+    /// SleepingMIS configuration or execution failed.
+    Mis(MisError),
+    /// Engine failure from a baseline run.
+    Engine(EngineError),
+    /// Writing a report to disk failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::Graph(e) => write!(f, "workload generation failed: {e}"),
+            HarnessError::Mis(e) => write!(f, "sleeping MIS failed: {e}"),
+            HarnessError::Engine(e) => write!(f, "engine failed: {e}"),
+            HarnessError::Io(e) => write!(f, "report output failed: {e}"),
+        }
+    }
+}
+
+impl Error for HarnessError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HarnessError::Graph(e) => Some(e),
+            HarnessError::Mis(e) => Some(e),
+            HarnessError::Engine(e) => Some(e),
+            HarnessError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<GraphError> for HarnessError {
+    fn from(e: GraphError) -> Self {
+        HarnessError::Graph(e)
+    }
+}
+
+impl From<MisError> for HarnessError {
+    fn from(e: MisError) -> Self {
+        HarnessError::Mis(e)
+    }
+}
+
+impl From<EngineError> for HarnessError {
+    fn from(e: EngineError) -> Self {
+        HarnessError::Engine(e)
+    }
+}
+
+impl From<std::io::Error> for HarnessError {
+    fn from(e: std::io::Error) -> Self {
+        HarnessError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: HarnessError = GraphError::SelfLoop { node: 1 }.into();
+        assert!(e.to_string().contains("workload"));
+        assert!(e.source().is_some());
+        let e: HarnessError = MisError::DepthTooLarge { depth: 200 }.into();
+        assert!(e.to_string().contains("MIS"));
+        let e: HarnessError =
+            EngineError::Deadlock { round: 0, unfinished: 1 }.into();
+        assert!(e.to_string().contains("engine"));
+    }
+}

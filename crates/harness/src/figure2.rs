@@ -1,0 +1,198 @@
+//! **Experiment F2 — Figure 2 of the paper.**
+//!
+//! Figure 2 contrasts the recursion trees of the two algorithms: Algorithm
+//! 1 recurses to depth K = c·log n (base case = single nodes whp), while
+//! Algorithm 2 truncates at depth ℓ·log log n and solves each base case
+//! with the randomized greedy algorithm. The figure's quantitative content
+//! is:
+//!
+//! * the tree depths (c·log n vs ℓ·log log n),
+//! * the number of leaves (2^depth; for Algorithm 2, (log n)^ℓ),
+//! * the expected number of nodes surviving to depth i, (3/4)^i·n
+//!   (Lemma 7), and in particular n/log n at Algorithm 2's base level
+//!   (Lemma 12's key step).
+//!
+//! This experiment measures all of these on real executions and compares
+//! them to the predictions.
+
+use crate::error::HarnessError;
+use crate::workloads::Workload;
+use serde::{Deserialize, Serialize};
+use sleepy_graph::GraphFamily;
+use sleepy_mis::{depth_alg1, depth_alg2, execute_sleeping_mis, MisConfig};
+use sleepy_stats::TextTable;
+
+/// Configuration of experiment F2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure2Config {
+    /// Graph family.
+    pub family: GraphFamily,
+    /// Node count for the depth-profile run.
+    pub n: usize,
+    /// Trials to average level occupancies over.
+    pub trials: usize,
+    /// Base seed.
+    pub base_seed: u64,
+}
+
+impl Default for Figure2Config {
+    fn default() -> Self {
+        Figure2Config {
+            family: GraphFamily::GnpAvgDeg(8.0),
+            n: 1 << 14,
+            trials: 5,
+            base_seed: 0xF2,
+        }
+    }
+}
+
+/// Per-depth occupancy of the recursion tree, measured vs predicted.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LevelOccupancy {
+    /// Depth below the root.
+    pub depth: u32,
+    /// Mean measured participants at this depth (Z_{K−depth}).
+    pub measured: f64,
+    /// Lemma 7's envelope (3/4)^depth·n.
+    pub predicted_bound: f64,
+}
+
+/// Results of experiment F2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure2Report {
+    /// The configuration used.
+    pub config: Figure2Config,
+    /// Algorithm 1 recursion depth K = ⌈3·log₂ n⌉.
+    pub alg1_depth: u32,
+    /// Algorithm 2 recursion depth ⌈ℓ·log₂log₂ n⌉.
+    pub alg2_depth: u32,
+    /// Measured vs predicted occupancy per depth, Algorithm 1.
+    pub alg1_levels: Vec<LevelOccupancy>,
+    /// Measured vs predicted occupancy per depth, Algorithm 2.
+    pub alg2_levels: Vec<LevelOccupancy>,
+    /// Mean number of non-empty Algorithm 2 base-case instances.
+    pub alg2_base_instances: f64,
+    /// Mean total participants across Algorithm 2 base cases.
+    pub alg2_base_population: f64,
+    /// Lemma 12's predicted base population n/log₂ n.
+    pub alg2_base_population_predicted: f64,
+}
+
+/// Runs experiment F2.
+///
+/// # Errors
+///
+/// Propagates workload and execution failures.
+pub fn run_figure2(config: &Figure2Config) -> Result<Figure2Report, HarnessError> {
+    let workload = Workload::new(config.family, config.n);
+    let alg1_depth = depth_alg1(config.n);
+    let alg2_depth = depth_alg2(config.n);
+    let mut alg1_z = vec![0.0f64; alg1_depth as usize + 1];
+    let mut alg2_z = vec![0.0f64; alg2_depth as usize + 1];
+    let mut base_instances = 0.0;
+    let mut base_population = 0.0;
+    for t in 0..config.trials as u64 {
+        let seed = config.base_seed.wrapping_add(t * 0x9E37);
+        let g = workload.instance(seed)?;
+        let out1 = execute_sleeping_mis(&g, MisConfig::alg1(seed))?;
+        for (d, z) in out1.tree.z_profile().iter().enumerate() {
+            alg1_z[d] += *z as f64;
+        }
+        let out2 = execute_sleeping_mis(&g, MisConfig::alg2(seed))?;
+        for (d, z) in out2.tree.z_profile().iter().enumerate() {
+            alg2_z[d] += *z as f64;
+        }
+        let (instances, pop) = out2.tree.base_case_load();
+        base_instances += instances as f64;
+        base_population += pop as f64;
+    }
+    let trials = config.trials as f64;
+    let to_levels = |zs: &[f64]| -> Vec<LevelOccupancy> {
+        zs.iter()
+            .enumerate()
+            .map(|(d, z)| LevelOccupancy {
+                depth: d as u32,
+                measured: z / trials,
+                predicted_bound: 0.75f64.powi(d as i32) * config.n as f64,
+            })
+            .collect()
+    };
+    Ok(Figure2Report {
+        config: config.clone(),
+        alg1_depth,
+        alg2_depth,
+        alg1_levels: to_levels(&alg1_z),
+        alg2_levels: to_levels(&alg2_z),
+        alg2_base_instances: base_instances / trials,
+        alg2_base_population: base_population / trials,
+        alg2_base_population_predicted: config.n as f64 / (config.n as f64).log2(),
+    })
+}
+
+impl Figure2Report {
+    /// Renders the depth comparison and occupancy profiles.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let n = self.config.n;
+        out.push_str(&format!(
+            "== Experiment F2 (Figure 2): recursion trees at n = {n} ==\n\n"
+        ));
+        out.push_str(&format!(
+            "Algorithm 1 depth K = ceil(3 log2 n)       = {} (2^K leaves = 2^{})\n",
+            self.alg1_depth, self.alg1_depth
+        ));
+        out.push_str(&format!(
+            "Algorithm 2 depth   = ceil(l log2 log2 n)  = {} ((log n)^l ~ {:.0} leaves)\n\n",
+            self.alg2_depth,
+            (n as f64).log2().powf(sleepy_mis::ELL)
+        ));
+        let table = |levels: &[LevelOccupancy], title: &str| -> String {
+            let mut t =
+                TextTable::new(vec!["depth", "measured E[Z]", "(3/4)^i * n bound", "within"]);
+            for l in levels {
+                t.row(vec![
+                    l.depth.to_string(),
+                    format!("{:.1}", l.measured),
+                    format!("{:.1}", l.predicted_bound),
+                    if l.measured <= l.predicted_bound { "yes".into() } else { "NO".into() },
+                ]);
+            }
+            format!("{title}\n{}\n", t.render())
+        };
+        out.push_str(&table(&self.alg1_levels, "-- Algorithm 1 level occupancy (Lemma 7) --"));
+        out.push_str(&table(&self.alg2_levels, "-- Algorithm 2 level occupancy --"));
+        out.push_str(&format!(
+            "Algorithm 2 base cases: {:.1} instances, {:.1} total participants \
+             (Lemma 12 predicts ~ n/log2 n = {:.1})\n",
+            self.alg2_base_instances, self.alg2_base_population,
+            self.alg2_base_population_predicted
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_runs_small() {
+        let cfg = Figure2Config {
+            family: GraphFamily::GnpAvgDeg(6.0),
+            n: 1 << 10,
+            trials: 3,
+            base_seed: 1,
+        };
+        let r = run_figure2(&cfg).unwrap();
+        assert_eq!(r.alg1_depth, 30);
+        assert_eq!(r.alg2_depth, depth_alg2(1 << 10));
+        // Root level holds everyone.
+        assert!((r.alg1_levels[0].measured - 1024.0).abs() < 1e-9);
+        assert!((r.alg2_levels[0].measured - 1024.0).abs() < 1e-9);
+        // Occupancy decays.
+        assert!(r.alg1_levels[8].measured < 0.5 * 1024.0);
+        assert!(r.alg2_base_population > 0.0);
+        let text = r.render();
+        assert!(text.contains("Lemma 7"));
+    }
+}

@@ -1,0 +1,224 @@
+//! **Experiments L2 / L3 / L5 / L7 — the paper's quantitative lemmas.**
+//!
+//! * **Lemma 2**: in every call on node set U, the left recursion has
+//!   E\[|L|\] ≤ |U|/2 participants.
+//! * **Lemma 3 (Pruning Lemma)**: the right recursion has E\[|R|\] ≤ |U|/4 —
+//!   the paper's key technical lemma, proved by deferred decisions.
+//! * **Lemma 5**: the probability that two nodes in a common call share a
+//!   (k−1)-rank is at most 2n⁻³ per pair (full K-bit rank collisions are
+//!   what make the algorithm Monte Carlo).
+//! * **Lemma 7**: E\[Z_{K−i}\] ≤ (3/4)^i·n nodes participate at depth i.
+//!
+//! The harness measures all four on real executions across the standard
+//! workload suite.
+
+use crate::error::HarnessError;
+use crate::measure::parallel_try_map;
+use crate::workloads::Workload;
+use serde::{Deserialize, Serialize};
+use sleepy_graph::GraphFamily;
+use sleepy_mis::{depth_alg1, derive_all, execute_sleeping_mis, MisConfig};
+use sleepy_stats::{Summary, TextTable};
+
+/// Configuration for the lemma experiments.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LemmasConfig {
+    /// Families to test.
+    pub families: Vec<GraphFamily>,
+    /// Node count per instance.
+    pub n: usize,
+    /// Trials per family.
+    pub trials: usize,
+    /// Only calls with at least this many participants enter the
+    /// per-call ratio statistics (tiny calls are pure noise).
+    pub min_call_size: usize,
+    /// Base seed.
+    pub base_seed: u64,
+}
+
+impl Default for LemmasConfig {
+    fn default() -> Self {
+        LemmasConfig {
+            families: vec![
+                GraphFamily::GnpAvgDeg(8.0),
+                GraphFamily::RandomRegular(4),
+                GraphFamily::GeometricAvgDeg(8.0),
+                GraphFamily::BarabasiAlbert(3),
+            ],
+            n: 1 << 13,
+            trials: 10,
+            min_call_size: 32,
+            base_seed: 0x1E_337,
+        }
+    }
+}
+
+/// Results of the lemma experiments.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LemmasReport {
+    /// The configuration used.
+    pub config: LemmasConfig,
+    /// Per-family left-recursion ratio statistics (Lemma 2; bound 0.5).
+    pub lemma2: Vec<(String, Summary)>,
+    /// Per-family right-recursion ratio statistics (Lemma 3; bound 0.25).
+    pub lemma3: Vec<(String, Summary)>,
+    /// Observed full-rank collision rate over trials vs the union bound
+    /// n²/2 · 2^{−K} ≤ 1/(2n) (Lemma 5's collision event).
+    pub lemma5_collision_rate: f64,
+    /// Lemma 5 union bound for this n.
+    pub lemma5_bound: f64,
+    /// Depth, mean measured Z, and (3/4)^i·n bound, averaged over all
+    /// families (Lemma 7).
+    pub lemma7: Vec<(u32, f64, f64)>,
+}
+
+/// Runs the lemma experiments.
+///
+/// # Errors
+///
+/// Propagates workload and execution failures.
+pub fn run_lemmas(config: &LemmasConfig) -> Result<LemmasReport, HarnessError> {
+    let mut lemma2 = Vec::new();
+    let mut lemma3 = Vec::new();
+    let depth = depth_alg1(config.n);
+    let mut z_acc = vec![0.0f64; depth as usize + 1];
+    let mut z_runs = 0usize;
+    for family in &config.families {
+        let workload = Workload::new(*family, config.n);
+        let seeds: Vec<u64> =
+            (0..config.trials as u64).map(|t| config.base_seed + t * 7919).collect();
+        let outcomes = parallel_try_map(&seeds, |&seed| -> Result<_, HarnessError> {
+            let g = workload.instance(seed)?;
+            Ok(execute_sleeping_mis(&g, MisConfig::alg1(seed))?)
+        })?;
+        let mut left_ratios = Vec::new();
+        let mut right_ratios = Vec::new();
+        for out in &outcomes {
+            for c in out.tree.calls.iter().filter(|c| {
+                !c.is_base && c.participants >= config.min_call_size
+            }) {
+                left_ratios.push(c.left_participants as f64 / c.participants as f64);
+                right_ratios.push(c.right_participants as f64 / c.participants as f64);
+            }
+            for (d, z) in out.tree.z_profile().iter().enumerate() {
+                z_acc[d] += *z as f64;
+            }
+            z_runs += 1;
+        }
+        lemma2.push((family.label(), Summary::of(&left_ratios)));
+        lemma3.push((family.label(), Summary::of(&right_ratios)));
+    }
+    // Lemma 5: full-rank collision rate across independent coin draws.
+    let collision_trials = (config.trials * config.families.len()).max(100);
+    let k = depth_alg1(config.n);
+    let mut collisions = 0usize;
+    for t in 0..collision_trials as u64 {
+        let coins = derive_all(config.base_seed ^ (t.wrapping_mul(0xABCD_1234)), config.n);
+        let mut ranks: Vec<u128> = coins.iter().map(|c| c.rank(k)).collect();
+        ranks.sort_unstable();
+        if ranks.windows(2).any(|w| w[0] == w[1]) {
+            collisions += 1;
+        }
+    }
+    let lemma7 = z_acc
+        .iter()
+        .enumerate()
+        .map(|(d, z)| {
+            (
+                d as u32,
+                z / z_runs.max(1) as f64,
+                0.75f64.powi(d as i32) * config.n as f64,
+            )
+        })
+        .collect();
+    Ok(LemmasReport {
+        config: config.clone(),
+        lemma2,
+        lemma3,
+        lemma5_collision_rate: collisions as f64 / collision_trials as f64,
+        lemma5_bound: (config.n as f64) * (config.n as f64) / 2.0
+            * 0.5f64.powi(k as i32),
+        lemma7,
+    })
+}
+
+impl LemmasReport {
+    /// Renders all four lemma validations.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "== Experiments L2/L3/L5/L7 — lemma validation (n = {}, {} trials/family) ==\n\n",
+            self.config.n, self.config.trials
+        ));
+        let ratio_table = |rows: &[(String, Summary)], bound: f64, title: &str| -> String {
+            let mut t = TextTable::new(vec!["family", "mean ratio", "max", "bound", "holds"]);
+            for (fam, s) in rows {
+                t.row(vec![
+                    fam.clone(),
+                    format!("{:.4}", s.mean),
+                    format!("{:.4}", s.max),
+                    format!("{bound}"),
+                    if s.mean <= bound { "yes".into() } else { "NO".into() },
+                ]);
+            }
+            format!("{title}\n{}\n", t.render())
+        };
+        out.push_str(&ratio_table(
+            &self.lemma2,
+            0.5,
+            "-- Lemma 2: E[|L|]/|U| <= 1/2 (calls with |U| >= min size) --",
+        ));
+        out.push_str(&ratio_table(
+            &self.lemma3,
+            0.25,
+            "-- Lemma 3 (Pruning Lemma): E[|R|]/|U| <= 1/4 --",
+        ));
+        out.push_str(&format!(
+            "-- Lemma 5: full-rank collision rate {:.4} vs union bound {:.4} --\n\n",
+            self.lemma5_collision_rate, self.lemma5_bound
+        ));
+        let mut t = TextTable::new(vec!["depth i", "mean Z_{K-i}", "(3/4)^i * n", "within"]);
+        for &(d, z, bound) in self.lemma7.iter().take(16) {
+            t.row(vec![
+                d.to_string(),
+                format!("{z:.1}"),
+                format!("{bound:.1}"),
+                if z <= bound * 1.05 { "yes".into() } else { "NO".into() },
+            ]);
+        }
+        out.push_str("-- Lemma 7: E[Z_{K-i}] <= (3/4)^i * n (first 16 depths) --\n");
+        out.push_str(&t.render());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> LemmasConfig {
+        LemmasConfig {
+            families: vec![GraphFamily::GnpAvgDeg(6.0), GraphFamily::Tree],
+            n: 1 << 10,
+            trials: 4,
+            min_call_size: 24,
+            base_seed: 3,
+        }
+    }
+
+    #[test]
+    fn lemma_bounds_hold_empirically() {
+        let r = run_lemmas(&small()).unwrap();
+        for (fam, s) in &r.lemma2 {
+            assert!(s.mean <= 0.52, "Lemma 2 violated on {fam}: {}", s.mean);
+        }
+        for (fam, s) in &r.lemma3 {
+            assert!(s.mean <= 0.26, "Lemma 3 violated on {fam}: {}", s.mean);
+        }
+        // Lemma 7 at the root is exactly n.
+        assert!((r.lemma7[0].1 - 1024.0).abs() < 1e-9);
+        // Collision rate within a couple of times the bound.
+        assert!(r.lemma5_collision_rate <= (r.lemma5_bound * 3.0).max(0.05));
+        assert!(r.render().contains("Pruning"));
+    }
+}

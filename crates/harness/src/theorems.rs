@@ -1,0 +1,208 @@
+//! **Experiments TH1 / TH2 — Theorems 1 and 2 scaling.**
+//!
+//! Theorem 1 (Algorithm 1): O(1) expected node-averaged awake complexity,
+//! O(log n) worst-case awake complexity, O(n³) worst-case (and
+//! node-averaged) round complexity.
+//!
+//! Theorem 2 (Algorithm 2): O(1) node-averaged awake, O(log n) worst-case
+//! awake, O(log^{ℓ+1} n) = O(log^3.41 n) worst-case (and node-averaged)
+//! round complexity.
+//!
+//! The experiment sweeps n over powers of two on the combinatorial
+//! executor (bit-identical to the protocol) and fits growth shapes:
+//! the awake average should be flat, the awake worst case should scale
+//! like log n, Algorithm 1's rounds like n³ and Algorithm 2's rounds like
+//! a power of log n with exponent near ℓ + 1 ≈ 3.41.
+
+use crate::error::HarnessError;
+use crate::measure::{measure_trials, AggregateMeasurement, AlgoKind, Execution};
+use crate::workloads::Workload;
+use serde::{Deserialize, Serialize};
+use sleepy_graph::GraphFamily;
+use sleepy_mis::{depth_alg1, depth_alg2, greedy_iterations, Schedule, ELL};
+use sleepy_stats::{fit_log_power, fit_power, TextTable};
+
+/// Configuration of the theorem-scaling experiments.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TheoremsConfig {
+    /// Graph family.
+    pub family: GraphFamily,
+    /// Exponents of the n = 2^e sweep.
+    pub size_exponents: Vec<u32>,
+    /// Trials per size.
+    pub trials: usize,
+    /// Base seed.
+    pub base_seed: u64,
+}
+
+impl Default for TheoremsConfig {
+    fn default() -> Self {
+        TheoremsConfig {
+            family: GraphFamily::GnpAvgDeg(8.0),
+            size_exponents: (7..=16).collect(),
+            trials: 5,
+            base_seed: 0x7E0,
+        }
+    }
+}
+
+/// One algorithm's measured sweep plus fitted shapes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TheoremScaling {
+    /// Algorithm label.
+    pub algo: String,
+    /// Aggregates per size.
+    pub sweep: Vec<AggregateMeasurement>,
+    /// Fitted n-exponent of node-averaged awake complexity (claim: ≈ 0).
+    pub avg_awake_n_exponent: f64,
+    /// Fitted (log n)-exponent of worst-case awake complexity (claim: ≈ 1).
+    pub worst_awake_log_exponent: f64,
+    /// Fitted n-exponent of worst-case round complexity
+    /// (claim: ≈ 3 for Algorithm 1).
+    pub worst_round_n_exponent: f64,
+    /// Fitted (log n)-exponent of worst-case round complexity
+    /// (claim: ≈ ℓ+1 ≈ 3.41 for Algorithm 2).
+    pub worst_round_log_exponent: f64,
+    /// The padded schedule bound T(K) per size (the theory curve).
+    pub padded_schedule: Vec<u64>,
+}
+
+/// Results of experiments TH1 and TH2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TheoremsReport {
+    /// The configuration used.
+    pub config: TheoremsConfig,
+    /// Algorithm 1 scaling (Theorem 1).
+    pub alg1: TheoremScaling,
+    /// Algorithm 2 scaling (Theorem 2).
+    pub alg2: TheoremScaling,
+}
+
+fn scale_one(
+    config: &TheoremsConfig,
+    algo: AlgoKind,
+) -> Result<TheoremScaling, HarnessError> {
+    let mut sweep = Vec::new();
+    let mut padded = Vec::new();
+    for &e in &config.size_exponents {
+        let n = 1usize << e;
+        let workload = Workload::new(config.family, n);
+        sweep.push(measure_trials(&workload, algo, config.trials, config.base_seed, Execution::Auto)?);
+        let t_k = match algo {
+            AlgoKind::SleepingMis => {
+                Schedule::alg1().duration(depth_alg1(n)).unwrap_or(u64::MAX)
+            }
+            AlgoKind::FastSleepingMis => {
+                let budget = 1 + 2 * greedy_iterations(n, 4.0) as u64;
+                Schedule::alg2(budget).duration(depth_alg2(n)).unwrap_or(u64::MAX)
+            }
+            AlgoKind::Baseline(_) => 0,
+        };
+        padded.push(t_k);
+    }
+    let ns: Vec<f64> = sweep.iter().map(|s| s.n as f64).collect();
+    let avg_awake: Vec<f64> = sweep.iter().map(|s| s.node_avg_awake.mean).collect();
+    let worst_awake: Vec<f64> = sweep.iter().map(|s| s.worst_awake.mean).collect();
+    let worst_round: Vec<f64> = sweep.iter().map(|s| s.worst_round.mean).collect();
+    Ok(TheoremScaling {
+        algo: algo.to_string(),
+        avg_awake_n_exponent: fit_power(&ns, &avg_awake).exponent,
+        worst_awake_log_exponent: fit_log_power(&ns, &worst_awake).exponent,
+        worst_round_n_exponent: fit_power(&ns, &worst_round).exponent,
+        worst_round_log_exponent: fit_log_power(&ns, &worst_round).exponent,
+        padded_schedule: padded,
+        sweep,
+    })
+}
+
+/// Runs experiments TH1 and TH2.
+///
+/// # Errors
+///
+/// Propagates workload and execution failures.
+pub fn run_theorems(config: &TheoremsConfig) -> Result<TheoremsReport, HarnessError> {
+    Ok(TheoremsReport {
+        config: config.clone(),
+        alg1: scale_one(config, AlgoKind::SleepingMis)?,
+        alg2: scale_one(config, AlgoKind::FastSleepingMis)?,
+    })
+}
+
+impl TheoremsReport {
+    /// Renders the sweep and the fitted shapes against the claims.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "== Experiments TH1/TH2 — theorem scaling on {} ({} trials/size) ==\n\n",
+            self.config.family, self.config.trials
+        ));
+        for scaling in [&self.alg1, &self.alg2] {
+            out.push_str(&format!("-- {} --\n", scaling.algo));
+            let mut t = TextTable::new(vec![
+                "n",
+                "avg awake",
+                "worst awake",
+                "worst round",
+                "avg round",
+                "padded T(K)",
+            ]);
+            for (agg, padded) in scaling.sweep.iter().zip(&scaling.padded_schedule) {
+                t.row(vec![
+                    agg.n.to_string(),
+                    format!("{:.2}", agg.node_avg_awake.mean),
+                    format!("{:.1}", agg.worst_awake.mean),
+                    format!("{:.0}", agg.worst_round.mean),
+                    format!("{:.0}", agg.node_avg_round.mean),
+                    padded.to_string(),
+                ]);
+            }
+            out.push_str(&t.render());
+            out.push_str(&format!(
+                "fits: avg-awake n-exp {:.3} (claim ~0) | worst-awake log-exp {:.2} (claim ~1) \
+                 | worst-round n-exp {:.2} | worst-round log-exp {:.2}\n",
+                scaling.avg_awake_n_exponent,
+                scaling.worst_awake_log_exponent,
+                scaling.worst_round_n_exponent,
+                scaling.worst_round_log_exponent,
+            ));
+            if scaling.algo == "SleepingMIS" {
+                out.push_str("claims: worst-round n-exp ~3 (Theorem 1's O(n^3))\n\n");
+            } else {
+                out.push_str(&format!(
+                    "claims: worst-round log-exp ~ l+1 = {:.2} (Theorem 2's O(log^3.41 n))\n\n",
+                    ELL + 1.0
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem_scaling_small_sweep() {
+        let cfg = TheoremsConfig {
+            family: GraphFamily::GnpAvgDeg(6.0),
+            size_exponents: (7..=11).collect(),
+            trials: 3,
+            base_seed: 5,
+        };
+        let r = run_theorems(&cfg).unwrap();
+        // O(1) average awake: tiny n-exponent.
+        assert!(r.alg1.avg_awake_n_exponent.abs() < 0.2, "{}", r.alg1.avg_awake_n_exponent);
+        assert!(r.alg2.avg_awake_n_exponent.abs() < 0.2, "{}", r.alg2.avg_awake_n_exponent);
+        // Algorithm 1 rounds grow polynomially, algorithm 2 stays polylog:
+        // by n = 2^11 the gap must be enormous.
+        let a1 = r.alg1.sweep.last().unwrap().worst_round.mean;
+        let a2 = r.alg2.sweep.last().unwrap().worst_round.mean;
+        assert!(a1 > 50.0 * a2, "alg1 {a1} vs alg2 {a2}");
+        // Measured rounds never exceed the padded schedule.
+        for (agg, padded) in r.alg1.sweep.iter().zip(&r.alg1.padded_schedule) {
+            assert!(agg.worst_round.max <= *padded as f64);
+        }
+        assert!(r.render().contains("TH1"));
+    }
+}

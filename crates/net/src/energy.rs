@@ -1,0 +1,166 @@
+//! Energy accounting for sleeping-model runs.
+//!
+//! The paper's motivation (§1.1) is that a node's energy draw while *idle*
+//! (listening) is close to its transmit/receive draw, while *sleeping* is
+//! orders of magnitude cheaper — so minimizing awake rounds minimizes
+//! energy. This module turns [`RunMetrics`] into energy figures under a
+//! configurable per-state cost model.
+
+use crate::metrics::{NodeMetrics, RunMetrics};
+use serde::{Deserialize, Serialize};
+
+/// Per-state energy costs.
+///
+/// Units are arbitrary "energy per round" (for state costs) and "energy per
+/// message" (for tx/rx increments on top of the round cost). The defaults
+/// follow the ratios reported by the measurement studies the paper cites
+/// (Feeney–Nilsson INFOCOM'01 and successors): idle ≈ receive ≈ transmit,
+/// and sleep smaller by roughly two orders of magnitude.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Cost per awake round (idle/listening baseline).
+    pub idle_per_round: f64,
+    /// Cost per sleeping round.
+    pub sleep_per_round: f64,
+    /// Additional cost per message transmitted.
+    pub tx_per_message: f64,
+    /// Additional cost per message received.
+    pub rx_per_message: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            idle_per_round: 1.0,
+            sleep_per_round: 0.02,
+            tx_per_message: 0.4,
+            rx_per_message: 0.2,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// An idealized model where only awake rounds cost energy — the paper's
+    /// abstract measure (energy ∝ awake time).
+    pub fn awake_rounds_only() -> Self {
+        EnergyModel {
+            idle_per_round: 1.0,
+            sleep_per_round: 0.0,
+            tx_per_message: 0.0,
+            rx_per_message: 0.0,
+        }
+    }
+
+    /// Energy consumed by one node over a run that lasted `total_rounds`
+    /// wall-clock rounds. Rounds after the node's termination cost nothing
+    /// (a terminated node has switched off).
+    pub fn node_energy(&self, m: &NodeMetrics, total_rounds: u64) -> f64 {
+        let lifetime = m.finish_round.map(|r| r + 1).unwrap_or(total_rounds);
+        let asleep = lifetime.saturating_sub(m.awake_rounds);
+        self.idle_per_round * m.awake_rounds as f64
+            + self.sleep_per_round * asleep as f64
+            + self.tx_per_message * m.messages_sent as f64
+            + self.rx_per_message * m.messages_received as f64
+    }
+
+    /// Aggregates per-node energy over a full run.
+    pub fn report(&self, metrics: &RunMetrics) -> EnergyReport {
+        let per_node: Vec<f64> =
+            metrics.per_node.iter().map(|m| self.node_energy(m, metrics.total_rounds)).collect();
+        let total: f64 = per_node.iter().sum();
+        let max = per_node.iter().copied().fold(0.0f64, f64::max);
+        let n = per_node.len();
+        EnergyReport {
+            total,
+            mean: if n == 0 { 0.0 } else { total / n as f64 },
+            max,
+            per_node,
+        }
+    }
+}
+
+/// Energy totals for a run, from [`EnergyModel::report`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Sum of per-node energy.
+    pub total: f64,
+    /// Mean per-node energy (total / n).
+    pub mean: f64,
+    /// Maximum per-node energy.
+    pub max: f64,
+    /// Energy per node, indexed by node id.
+    pub per_node: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::NodeMetrics;
+
+    fn metrics_one(awake: u64, finish: Option<u64>, sent: u64, recv: u64) -> NodeMetrics {
+        NodeMetrics {
+            awake_rounds: awake,
+            finish_round: finish,
+            decide_round: finish,
+            messages_sent: sent,
+            messages_received: recv,
+            messages_dropped: 0,
+            messages_lost: 0,
+            bits_sent: 0,
+        }
+    }
+
+    #[test]
+    fn node_energy_components() {
+        let em = EnergyModel {
+            idle_per_round: 1.0,
+            sleep_per_round: 0.1,
+            tx_per_message: 2.0,
+            rx_per_message: 3.0,
+        };
+        // Awake 4 of 10 lifetime rounds, 2 sends, 1 receive:
+        let m = metrics_one(4, Some(9), 2, 1);
+        let e = em.node_energy(&m, 100);
+        assert!((e - (4.0 + 0.6 + 4.0 + 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unfinished_node_charged_full_run() {
+        let em = EnergyModel::default();
+        let m = metrics_one(1, None, 0, 0);
+        let e = em.node_energy(&m, 50);
+        let expected = 1.0 + 0.02 * 49.0;
+        assert!((e - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn awake_only_model_counts_awake_rounds() {
+        let em = EnergyModel::awake_rounds_only();
+        let m = metrics_one(7, Some(99), 10, 10);
+        assert!((em.node_energy(&m, 100) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let em = EnergyModel::awake_rounds_only();
+        let rm = RunMetrics {
+            per_node: vec![
+                metrics_one(2, Some(9), 0, 0),
+                metrics_one(6, Some(9), 0, 0),
+            ],
+            total_rounds: 10,
+            active_rounds: 10,
+        };
+        let rep = em.report(&rm);
+        assert!((rep.total - 8.0).abs() < 1e-12);
+        assert!((rep.mean - 4.0).abs() < 1e-12);
+        assert!((rep.max - 6.0).abs() < 1e-12);
+        assert_eq!(rep.per_node.len(), 2);
+    }
+
+    #[test]
+    fn default_ratios_are_sleep_dominated() {
+        let em = EnergyModel::default();
+        assert!(em.sleep_per_round < em.idle_per_round / 10.0);
+    }
+}

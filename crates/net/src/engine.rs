@@ -1,0 +1,716 @@
+//! The event-driven sleeping-model round engine.
+
+use crate::error::EngineError;
+use crate::message::{Incoming, MessageSize, Outbox};
+use crate::metrics::{NodeMetrics, RunMetrics};
+use crate::protocol::{Action, NodeCtx, Protocol};
+use crate::trace::{Trace, TraceEvent};
+use crate::Round;
+use sleepy_graph::{Graph, NodeId};
+use rand::SeedableRng as _;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Engine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Abort with [`EngineError::MaxRoundsExceeded`] if the round counter
+    /// passes this value. The default is effectively unlimited; set a cap in
+    /// tests and failure-injection experiments.
+    pub max_rounds: Round,
+    /// Record wake/sleep/terminate events into a [`Trace`].
+    pub trace: bool,
+    /// Additionally record one event per routed message (voluminous).
+    pub trace_messages: bool,
+    /// If `Some(budget)`, abort with
+    /// [`EngineError::MessageTooLarge`] when a message exceeds `budget`
+    /// bits — an executable check of the CONGEST(log n) restriction; see
+    /// [`congest_bits_budget`](crate::congest_bits_budget).
+    pub congest_bits: Option<usize>,
+    /// Failure injection: each message is independently lost in transit
+    /// with this probability (on top of the model's dropping at sleeping
+    /// receivers). 0.0 = the paper's reliable model. Losses are
+    /// deterministic given [`EngineConfig::loss_seed`] and are counted in
+    /// [`NodeMetrics::messages_lost`].
+    pub loss_probability: f64,
+    /// Seed for the loss process.
+    pub loss_seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_rounds: Round::MAX / 4,
+            trace: false,
+            trace_messages: false,
+            congest_bits: None,
+            loss_probability: 0.0,
+            loss_seed: 0,
+        }
+    }
+}
+
+/// The result of a completed run: per-node outputs, metrics, and the
+/// optional trace.
+#[derive(Debug, Clone)]
+pub struct RunOutcome<O> {
+    /// Final outputs, indexed by node id (`Some` for every node, since the
+    /// run only completes when all nodes have terminated).
+    pub outputs: Vec<Option<O>>,
+    /// Collected metrics.
+    pub metrics: RunMetrics,
+    /// The trace, if [`EngineConfig::trace`] was set.
+    pub trace: Option<Trace>,
+}
+
+/// Node lifecycle inside the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Awake,
+    Asleep,
+    Done,
+}
+
+/// Runs `protocol` instances (one per node, built by `factory`) on `graph`
+/// until every node terminates.
+///
+/// All nodes start awake at round 0. Node iteration within a round is in
+/// ascending id order, and all randomness must live inside the protocol
+/// values, so runs are fully deterministic.
+///
+/// # Errors
+///
+/// See [`EngineError`]; apart from the configurable round cap, every error
+/// indicates a protocol bug (invalid port, sleeping into the past,
+/// terminating without output, oversized message, or a deadlock where all
+/// unfinished nodes sleep forever).
+///
+/// # Example
+///
+/// See the [crate-level documentation](crate) for a complete protocol.
+pub fn run_protocol<P, F>(
+    graph: &Graph,
+    config: &EngineConfig,
+    mut factory: F,
+) -> Result<RunOutcome<P::Output>, EngineError>
+where
+    P: Protocol,
+    F: FnMut(NodeId, &NodeCtx) -> P,
+{
+    let n = graph.n();
+    let mut nodes: Vec<P> = Vec::with_capacity(n);
+    for id in 0..n as NodeId {
+        let ctx = NodeCtx { id, n, degree: graph.degree(id), round: 0 };
+        nodes.push(factory(id, &ctx));
+    }
+    let mut loss_rng = if config.loss_probability > 0.0 {
+        Some(rand::rngs::SmallRng::seed_from_u64(config.loss_seed))
+    } else {
+        None
+    };
+
+    let mut status = vec![Status::Awake; n];
+    let mut metrics: Vec<NodeMetrics> = vec![NodeMetrics::default(); n];
+    let mut trace = if config.trace { Some(Trace::default()) } else { None };
+
+    // Nodes awake in the round currently being processed, ascending ids.
+    let mut active: Vec<NodeId> = (0..n as NodeId).collect();
+    // Nodes that chose `Continue` and carry over to the next round.
+    let mut carry: Vec<NodeId> = Vec::with_capacity(n);
+    // Sleep queue: (wake_round, node id).
+    let mut wake_heap: BinaryHeap<Reverse<(Round, NodeId)>> = BinaryHeap::new();
+
+    // Reusable message plumbing.
+    let mut outbox: Outbox<P::Msg> = Outbox::new();
+    let mut inboxes: Vec<Vec<Incoming<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
+    let mut touched_inboxes: Vec<NodeId> = Vec::new();
+
+    let mut remaining = n;
+    let mut round: Round = 0;
+    let mut active_rounds: u64 = 0;
+    let mut max_finish: Round = 0;
+
+    while remaining > 0 {
+        // Choose the next round with any awake node.
+        if active.is_empty() {
+            match wake_heap.peek() {
+                Some(&Reverse((r, _))) => round = r,
+                None => return Err(EngineError::Deadlock { round, unfinished: remaining }),
+            }
+        }
+        if round > config.max_rounds {
+            return Err(EngineError::MaxRoundsExceeded {
+                max_rounds: config.max_rounds,
+                unfinished: remaining,
+            });
+        }
+        // Wake scheduled sleepers. They pop in ascending id order for equal
+        // rounds; merge them with the carried-over awake nodes.
+        let mut woken: Vec<NodeId> = Vec::new();
+        while let Some(&Reverse((r, v))) = wake_heap.peek() {
+            debug_assert!(r >= round, "missed a wake-up");
+            if r != round {
+                break;
+            }
+            wake_heap.pop();
+            status[v as usize] = Status::Awake;
+            if let Some(t) = trace.as_mut() {
+                t.events.push(TraceEvent::Wake { round, node: v });
+            }
+            woken.push(v);
+        }
+        if !woken.is_empty() {
+            active = merge_sorted(&active, &woken);
+        }
+        debug_assert!(active.windows(2).all(|w| w[0] < w[1]));
+        active_rounds += 1;
+
+        // --- Send phase ---
+        for &v in &active {
+            let ctx = NodeCtx { id: v, n, degree: graph.degree(v), round };
+            outbox.reset(ctx.degree);
+            nodes[v as usize].send(&ctx, &mut outbox);
+            for (port, msg) in outbox.items().drain(..) {
+                if port >= ctx.degree {
+                    return Err(EngineError::InvalidPort { node: v, port, degree: ctx.degree });
+                }
+                let bits = msg.bits();
+                if let Some(budget) = config.congest_bits {
+                    if bits > budget {
+                        return Err(EngineError::MessageTooLarge { node: v, bits, budget });
+                    }
+                }
+                let vm = &mut metrics[v as usize];
+                vm.messages_sent += 1;
+                vm.bits_sent += bits as u64;
+                let dst = graph.endpoint(v, port);
+                if let Some(rng) = loss_rng.as_mut() {
+                    use rand::Rng as _;
+                    if rng.gen_bool(config.loss_probability) {
+                        metrics[dst as usize].messages_lost += 1;
+                        continue;
+                    }
+                }
+                let delivered = status[dst as usize] == Status::Awake;
+                if config.trace_messages {
+                    if let Some(t) = trace.as_mut() {
+                        t.events.push(TraceEvent::Message {
+                            round,
+                            from: v,
+                            to: dst,
+                            dropped: !delivered,
+                        });
+                    }
+                }
+                if delivered {
+                    let back_port = graph
+                        .port_to(dst, v)
+                        .expect("endpoint/port_to must be mutually consistent");
+                    if inboxes[dst as usize].is_empty() {
+                        touched_inboxes.push(dst);
+                    }
+                    inboxes[dst as usize].push(Incoming { port: back_port, msg });
+                    metrics[dst as usize].messages_received += 1;
+                } else {
+                    metrics[dst as usize].messages_dropped += 1;
+                }
+            }
+        }
+
+        // --- Receive phase ---
+        carry.clear();
+        for &v in &active {
+            let ctx = NodeCtx { id: v, n, degree: graph.degree(v), round };
+            let action = nodes[v as usize].receive(&ctx, &inboxes[v as usize]);
+            let vm = &mut metrics[v as usize];
+            vm.awake_rounds += 1;
+            if vm.decide_round.is_none() && nodes[v as usize].output().is_some() {
+                vm.decide_round = Some(round);
+            }
+            match action {
+                Action::Continue => carry.push(v),
+                Action::SleepUntil(wake_at) => {
+                    if wake_at <= round {
+                        return Err(EngineError::SleepIntoPast { node: v, round, wake_at });
+                    }
+                    status[v as usize] = Status::Asleep;
+                    wake_heap.push(Reverse((wake_at, v)));
+                    if let Some(t) = trace.as_mut() {
+                        t.events.push(TraceEvent::Sleep { round, node: v, until: wake_at });
+                    }
+                }
+                Action::Terminate => {
+                    if nodes[v as usize].output().is_none() {
+                        return Err(EngineError::TerminatedWithoutOutput { node: v, round });
+                    }
+                    status[v as usize] = Status::Done;
+                    vm.finish_round = Some(round);
+                    max_finish = max_finish.max(round);
+                    remaining -= 1;
+                    if let Some(t) = trace.as_mut() {
+                        t.events.push(TraceEvent::Terminate { round, node: v });
+                    }
+                }
+            }
+        }
+        for &v in touched_inboxes.drain(..).as_ref() {
+            inboxes[v as usize].clear();
+        }
+        std::mem::swap(&mut active, &mut carry);
+        round += 1;
+    }
+
+    let outputs: Vec<Option<P::Output>> = nodes.iter().map(|p| p.output()).collect();
+    debug_assert!(outputs.iter().all(Option::is_some));
+    let total_rounds = if n == 0 { 0 } else { max_finish + 1 };
+    Ok(RunOutcome {
+        outputs,
+        metrics: RunMetrics { per_node: metrics, total_rounds, active_rounds },
+        trace,
+    })
+}
+
+/// Merges two ascending id lists into one (both deduplicated by
+/// construction: a node cannot be both carried over and woken).
+fn merge_sorted(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] < b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sleepy_graph::generators;
+    use sleepy_graph::Port;
+
+    /// Terminates immediately with its own id.
+    struct Immediate(NodeId);
+    impl Protocol for Immediate {
+        type Msg = ();
+        type Output = NodeId;
+        fn send(&mut self, _: &NodeCtx, _: &mut Outbox<()>) {}
+        fn receive(&mut self, _: &NodeCtx, _: &[Incoming<()>]) -> Action {
+            Action::Terminate
+        }
+        fn output(&self) -> Option<NodeId> {
+            Some(self.0)
+        }
+    }
+
+    #[test]
+    fn immediate_termination() {
+        let g = generators::cycle(4).unwrap();
+        let run = run_protocol(&g, &EngineConfig::default(), |id, _| Immediate(id)).unwrap();
+        assert_eq!(run.metrics.total_rounds, 1);
+        assert_eq!(run.metrics.active_rounds, 1);
+        for (id, out) in run.outputs.iter().enumerate() {
+            assert_eq!(*out, Some(id as NodeId));
+        }
+        for m in &run.metrics.per_node {
+            assert_eq!(m.awake_rounds, 1);
+            assert_eq!(m.finish_round, Some(0));
+        }
+    }
+
+    /// Sleeps for a long interval then terminates; checks idle-round
+    /// skipping.
+    struct LongSleeper {
+        done_after_wake: bool,
+    }
+    impl Protocol for LongSleeper {
+        type Msg = ();
+        type Output = ();
+        fn send(&mut self, _: &NodeCtx, _: &mut Outbox<()>) {}
+        fn receive(&mut self, ctx: &NodeCtx, _: &[Incoming<()>]) -> Action {
+            if ctx.round == 0 {
+                Action::SleepUntil(1_000_000)
+            } else {
+                self.done_after_wake = true;
+                Action::Terminate
+            }
+        }
+        fn output(&self) -> Option<()> {
+            self.done_after_wake.then_some(())
+        }
+    }
+
+    #[test]
+    fn engine_skips_idle_rounds() {
+        let g = generators::empty(3).unwrap();
+        let run =
+            run_protocol(&g, &EngineConfig::default(), |_, _| LongSleeper { done_after_wake: false })
+                .unwrap();
+        assert_eq!(run.metrics.total_rounds, 1_000_001);
+        // Only two rounds were processed: round 0 and round 1_000_000.
+        assert_eq!(run.metrics.active_rounds, 2);
+        for m in &run.metrics.per_node {
+            assert_eq!(m.awake_rounds, 2);
+        }
+    }
+
+    /// Node 0 stays awake and broadcasts every round; node 1 sleeps rounds
+    /// 1..=3; messages to it must be dropped while asleep and delivered
+    /// while awake.
+    struct DropProbe {
+        id: NodeId,
+        heard: u64,
+    }
+    impl Protocol for DropProbe {
+        type Msg = u64;
+        type Output = u64;
+        fn send(&mut self, ctx: &NodeCtx, out: &mut Outbox<u64>) {
+            if self.id == 0 {
+                out.broadcast(ctx.round);
+            }
+        }
+        fn receive(&mut self, ctx: &NodeCtx, inbox: &[Incoming<u64>]) -> Action {
+            self.heard += inbox.len() as u64;
+            match (self.id, ctx.round) {
+                (1, 0) => Action::SleepUntil(4),
+                (1, 4) => Action::Terminate,
+                (0, r) if r >= 5 => Action::Terminate,
+                _ => Action::Continue,
+            }
+        }
+        fn output(&self) -> Option<u64> {
+            Some(self.heard)
+        }
+    }
+
+    #[test]
+    fn messages_to_sleeping_nodes_drop() {
+        let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+        let run =
+            run_protocol(&g, &EngineConfig::default(), |id, _| DropProbe { id, heard: 0 })
+                .unwrap();
+        // Node 1 hears round 0 and round 4 broadcasts only.
+        assert_eq!(run.outputs[1], Some(2));
+        // Dropped while asleep (rounds 1,2,3) and after termination (round 5).
+        assert_eq!(run.metrics.per_node[1].messages_dropped, 4);
+        assert_eq!(run.metrics.per_node[1].messages_received, 2);
+        assert_eq!(run.metrics.per_node[0].messages_sent, 6); // rounds 0..=5
+    }
+
+    struct BadPort;
+    impl Protocol for BadPort {
+        type Msg = ();
+        type Output = ();
+        fn send(&mut self, _: &NodeCtx, out: &mut Outbox<()>) {
+            out.send(99, ());
+        }
+        fn receive(&mut self, _: &NodeCtx, _: &[Incoming<()>]) -> Action {
+            Action::Continue
+        }
+        fn output(&self) -> Option<()> {
+            None
+        }
+    }
+
+    #[test]
+    fn invalid_port_is_an_error() {
+        let g = generators::path(2).unwrap();
+        let err = run_protocol(&g, &EngineConfig::default(), |_, _| BadPort).unwrap_err();
+        assert!(matches!(err, EngineError::InvalidPort { port: 99, .. }));
+    }
+
+    struct SleepsIntoPast;
+    impl Protocol for SleepsIntoPast {
+        type Msg = ();
+        type Output = ();
+        fn send(&mut self, _: &NodeCtx, _: &mut Outbox<()>) {}
+        fn receive(&mut self, ctx: &NodeCtx, _: &[Incoming<()>]) -> Action {
+            if ctx.round < 3 {
+                Action::Continue
+            } else {
+                Action::SleepUntil(3)
+            }
+        }
+        fn output(&self) -> Option<()> {
+            None
+        }
+    }
+
+    #[test]
+    fn sleep_into_past_is_an_error() {
+        let g = generators::empty(1).unwrap();
+        let err = run_protocol(&g, &EngineConfig::default(), |_, _| SleepsIntoPast).unwrap_err();
+        assert!(matches!(err, EngineError::SleepIntoPast { round: 3, wake_at: 3, .. }));
+    }
+
+    struct NeverEnds;
+    impl Protocol for NeverEnds {
+        type Msg = ();
+        type Output = ();
+        fn send(&mut self, _: &NodeCtx, _: &mut Outbox<()>) {}
+        fn receive(&mut self, _: &NodeCtx, _: &[Incoming<()>]) -> Action {
+            Action::Continue
+        }
+        fn output(&self) -> Option<()> {
+            None
+        }
+    }
+
+    #[test]
+    fn round_cap_enforced() {
+        let g = generators::empty(2).unwrap();
+        let cfg = EngineConfig { max_rounds: 10, ..EngineConfig::default() };
+        let err = run_protocol(&g, &cfg, |_, _| NeverEnds).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::MaxRoundsExceeded { max_rounds: 10, unfinished: 2 }
+        ));
+    }
+
+    struct TerminatesSilently;
+    impl Protocol for TerminatesSilently {
+        type Msg = ();
+        type Output = ();
+        fn send(&mut self, _: &NodeCtx, _: &mut Outbox<()>) {}
+        fn receive(&mut self, _: &NodeCtx, _: &[Incoming<()>]) -> Action {
+            Action::Terminate
+        }
+        fn output(&self) -> Option<()> {
+            None
+        }
+    }
+
+    #[test]
+    fn terminate_without_output_is_an_error() {
+        let g = generators::empty(1).unwrap();
+        let err = run_protocol(&g, &EngineConfig::default(), |_, _| TerminatesSilently)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::TerminatedWithoutOutput { node: 0, round: 0 }));
+    }
+
+    struct BigTalker;
+    impl Protocol for BigTalker {
+        type Msg = u128;
+        type Output = ();
+        fn send(&mut self, _: &NodeCtx, out: &mut Outbox<u128>) {
+            out.broadcast(1);
+        }
+        fn receive(&mut self, _: &NodeCtx, _: &[Incoming<u128>]) -> Action {
+            Action::Terminate
+        }
+        fn output(&self) -> Option<()> {
+            Some(())
+        }
+    }
+
+    #[test]
+    fn congest_budget_enforced() {
+        let g = generators::path(2).unwrap();
+        let cfg = EngineConfig { congest_bits: Some(64), ..EngineConfig::default() };
+        let err = run_protocol(&g, &cfg, |_, _| BigTalker).unwrap_err();
+        assert!(matches!(err, EngineError::MessageTooLarge { bits: 128, budget: 64, .. }));
+        // With a roomier budget it passes.
+        let cfg = EngineConfig { congest_bits: Some(128), ..EngineConfig::default() };
+        assert!(run_protocol(&g, &cfg, |_, _| BigTalker).is_ok());
+    }
+
+    /// Two nodes ping-pong: odd node sleeps odd rounds, even node sleeps
+    /// even rounds; they never exchange a message because the sender is
+    /// awake exactly when the receiver sleeps.
+    struct Alternator {
+        id: NodeId,
+        heard: u64,
+    }
+    impl Protocol for Alternator {
+        type Msg = u8;
+        type Output = u64;
+        fn send(&mut self, _: &NodeCtx, out: &mut Outbox<u8>) {
+            out.broadcast(1);
+        }
+        fn receive(&mut self, ctx: &NodeCtx, inbox: &[Incoming<u8>]) -> Action {
+            self.heard += inbox.len() as u64;
+            if ctx.round >= 6 {
+                return Action::Terminate;
+            }
+            Action::SleepUntil(ctx.round + 2)
+        }
+        fn output(&self) -> Option<u64> {
+            Some(self.heard)
+        }
+    }
+
+    #[test]
+    fn disjoint_wake_schedules_never_communicate() {
+        let g = generators::path(2).unwrap();
+        let run = run_protocol(&g, &EngineConfig::default(), |id, _| {
+            // Node 1 starts by sleeping odd rounds: shift its phase by
+            // sleeping at round 0 to round 1.
+            Alternator { id, heard: 0 }
+        })
+        .unwrap();
+        // Same phase -> they actually always hear each other; sanity check
+        // the complementary case by phase-shifting node 1.
+        assert!(run.outputs[0].unwrap() > 0);
+
+        struct Shifted(Alternator);
+        impl Protocol for Shifted {
+            type Msg = u8;
+            type Output = u64;
+            fn send(&mut self, ctx: &NodeCtx, out: &mut Outbox<u8>) {
+                if self.0.id == 0 || ctx.round > 0 {
+                    self.0.send(ctx, out);
+                }
+            }
+            fn receive(&mut self, ctx: &NodeCtx, inbox: &[Incoming<u8>]) -> Action {
+                if self.0.id == 1 && ctx.round == 0 {
+                    return Action::SleepUntil(1);
+                }
+                self.0.receive(ctx, inbox)
+            }
+            fn output(&self) -> Option<u64> {
+                if self.0.id == 1 {
+                    Some(self.0.heard)
+                } else {
+                    self.0.output()
+                }
+            }
+        }
+        let run = run_protocol(&g, &EngineConfig::default(), |id, _| {
+            Shifted(Alternator { id, heard: 0 })
+        })
+        .unwrap();
+        // Node 0 awake rounds: 0,2,4,6...; node 1: 1,3,5,... -> no message
+        // is ever delivered to node 1 or node 0 after the shift.
+        assert_eq!(run.outputs[1], Some(0));
+    }
+
+    #[test]
+    fn trace_records_lifecycle() {
+        let g = generators::empty(1).unwrap();
+        let cfg = EngineConfig { trace: true, ..EngineConfig::default() };
+        let run = run_protocol(&g, &cfg, |_, _| LongSleeper { done_after_wake: false }).unwrap();
+        let t = run.trace.unwrap();
+        assert!(t
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Sleep { node: 0, until: 1_000_000, .. })));
+        assert!(t.events.iter().any(|e| matches!(e, TraceEvent::Wake { node: 0, round: 1_000_000 })));
+        assert!(t
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Terminate { node: 0, round: 1_000_000 })));
+    }
+
+    #[test]
+    fn message_loss_injection() {
+        // Node 0 broadcasts every round for 200 rounds on a star; with 30%
+        // loss the leaves hear roughly 70% of the traffic.
+        struct Chatter {
+            id: NodeId,
+            heard: u64,
+        }
+        impl Protocol for Chatter {
+            type Msg = u8;
+            type Output = u64;
+            fn send(&mut self, _: &NodeCtx, out: &mut Outbox<u8>) {
+                if self.id == 0 {
+                    out.broadcast(1);
+                }
+            }
+            fn receive(&mut self, ctx: &NodeCtx, inbox: &[Incoming<u8>]) -> Action {
+                self.heard += inbox.len() as u64;
+                if ctx.round >= 199 {
+                    Action::Terminate
+                } else {
+                    Action::Continue
+                }
+            }
+            fn output(&self) -> Option<u64> {
+                Some(self.heard)
+            }
+        }
+        let g = generators::star(11).unwrap();
+        let cfg = EngineConfig {
+            loss_probability: 0.3,
+            loss_seed: 42,
+            ..EngineConfig::default()
+        };
+        let run = run_protocol(&g, &cfg, |id, _| Chatter { id, heard: 0 }).unwrap();
+        let heard: u64 = run.outputs.iter().skip(1).map(|o| o.unwrap()).sum();
+        let lost: u64 = run.metrics.per_node.iter().map(|m| m.messages_lost).sum();
+        let sent = run.metrics.per_node[0].messages_sent;
+        assert_eq!(sent, 2000);
+        assert_eq!(heard + lost, sent, "every message is delivered or lost");
+        let rate = lost as f64 / sent as f64;
+        assert!((rate - 0.3).abs() < 0.05, "loss rate {rate} far from 0.3");
+        // Deterministic per loss seed.
+        let run2 = run_protocol(&g, &cfg, |id, _| Chatter { id, heard: 0 }).unwrap();
+        assert_eq!(run.outputs, run2.outputs);
+        // Zero probability means no loss machinery at all.
+        let cfg0 = EngineConfig::default();
+        let run0 = run_protocol(&g, &cfg0, |id, _| Chatter { id, heard: 0 }).unwrap();
+        assert_eq!(run0.metrics.per_node.iter().map(|m| m.messages_lost).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn empty_graph_runs() {
+        let g = generators::empty(0).unwrap();
+        let run = run_protocol(&g, &EngineConfig::default(), |id, _| Immediate(id)).unwrap();
+        assert_eq!(run.metrics.total_rounds, 0);
+        assert!(run.outputs.is_empty());
+    }
+
+    #[test]
+    fn merge_sorted_works() {
+        assert_eq!(merge_sorted(&[1, 4, 6], &[2, 3, 7]), vec![1, 2, 3, 4, 6, 7]);
+        assert_eq!(merge_sorted(&[], &[2]), vec![2]);
+        assert_eq!(merge_sorted(&[5], &[]), vec![5]);
+    }
+
+    use sleepy_graph::Graph;
+
+    /// A protocol where node 0 relays through ports to verify port-to-id
+    /// mapping: it sends its round number only on port 0.
+    struct PortSender {
+        id: NodeId,
+        seen_from_port: Option<Port>,
+    }
+    impl Protocol for PortSender {
+        type Msg = u8;
+        type Output = u8;
+        fn send(&mut self, _: &NodeCtx, out: &mut Outbox<u8>) {
+            if self.id == 1 && out.degree() > 0 {
+                out.send(0, 42);
+            }
+        }
+        fn receive(&mut self, _: &NodeCtx, inbox: &[Incoming<u8>]) -> Action {
+            if let Some(first) = inbox.first() {
+                self.seen_from_port = Some(first.port);
+            }
+            Action::Terminate
+        }
+        fn output(&self) -> Option<u8> {
+            Some(self.seen_from_port.map(|p| p as u8).unwrap_or(255))
+        }
+    }
+
+    #[test]
+    fn incoming_port_is_receiver_local() {
+        // Triangle 0-1-2: node 1's port 0 leads to node 0. Node 0's port to
+        // node 1 is 0 (neighbors of 0 are [1, 2]).
+        let g = Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)]).unwrap();
+        let run = run_protocol(&g, &EngineConfig::default(), |id, _| PortSender {
+            id,
+            seen_from_port: None,
+        })
+        .unwrap();
+        assert_eq!(run.outputs[0], Some(0));
+        assert_eq!(run.outputs[2], Some(255)); // nothing received
+    }
+}

@@ -1,0 +1,124 @@
+//! Engine error types.
+
+use crate::Round;
+use sleepy_graph::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the simulation engine.
+///
+/// Apart from [`EngineError::MaxRoundsExceeded`], every variant indicates a
+/// protocol bug (e.g. sleeping into the past) rather than an environmental
+/// condition; they are surfaced as errors instead of panics so harnesses can
+/// report which configuration failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// The round counter passed the configured safety cap.
+    MaxRoundsExceeded {
+        /// The configured cap.
+        max_rounds: Round,
+        /// Nodes that had not terminated when the cap was hit.
+        unfinished: usize,
+    },
+    /// Every non-terminated node is asleep with no scheduled wake-up.
+    Deadlock {
+        /// Round at which the deadlock was detected.
+        round: Round,
+        /// Number of non-terminated nodes.
+        unfinished: usize,
+    },
+    /// A protocol sent on a port `>= degree`.
+    InvalidPort {
+        /// The sending node.
+        node: NodeId,
+        /// The invalid port.
+        port: usize,
+        /// The node's degree.
+        degree: usize,
+    },
+    /// A protocol asked to sleep until a round that is not in the future.
+    SleepIntoPast {
+        /// The offending node.
+        node: NodeId,
+        /// The current round.
+        round: Round,
+        /// The requested wake round.
+        wake_at: Round,
+    },
+    /// A protocol terminated without producing an output.
+    TerminatedWithoutOutput {
+        /// The offending node.
+        node: NodeId,
+        /// The round of the offending `Terminate`.
+        round: Round,
+    },
+    /// A message exceeded the configured CONGEST bit budget.
+    MessageTooLarge {
+        /// The sending node.
+        node: NodeId,
+        /// Size of the message in bits.
+        bits: usize,
+        /// The configured per-message budget.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::MaxRoundsExceeded { max_rounds, unfinished } => write!(
+                f,
+                "round cap {max_rounds} exceeded with {unfinished} unfinished nodes"
+            ),
+            EngineError::Deadlock { round, unfinished } => write!(
+                f,
+                "deadlock at round {round}: {unfinished} nodes asleep forever"
+            ),
+            EngineError::InvalidPort { node, port, degree } => write!(
+                f,
+                "node {node} sent on port {port} but has degree {degree}"
+            ),
+            EngineError::SleepIntoPast { node, round, wake_at } => write!(
+                f,
+                "node {node} at round {round} asked to wake at non-future round {wake_at}"
+            ),
+            EngineError::TerminatedWithoutOutput { node, round } => write!(
+                f,
+                "node {node} terminated at round {round} without an output"
+            ),
+            EngineError::MessageTooLarge { node, bits, budget } => write!(
+                f,
+                "node {node} sent a {bits}-bit message exceeding the {budget}-bit CONGEST budget"
+            ),
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            EngineError::MaxRoundsExceeded { max_rounds: 5, unfinished: 2 },
+            EngineError::Deadlock { round: 3, unfinished: 1 },
+            EngineError::InvalidPort { node: 0, port: 9, degree: 2 },
+            EngineError::SleepIntoPast { node: 1, round: 4, wake_at: 4 },
+            EngineError::TerminatedWithoutOutput { node: 2, round: 0 },
+            EngineError::MessageTooLarge { node: 3, bits: 4096, budget: 64 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<EngineError>();
+    }
+}

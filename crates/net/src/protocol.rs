@@ -1,0 +1,83 @@
+//! The per-node protocol interface.
+
+use crate::message::{Incoming, MessageSize, Outbox};
+use crate::Round;
+use sleepy_graph::NodeId;
+
+/// What a node does at the end of an awake round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Stay awake; participate in the next round.
+    Continue,
+    /// Go to sleep and wake at the given **absolute** round (exclusive of
+    /// the current one — it must be strictly in the future). While asleep
+    /// the node neither sends nor receives; messages addressed to it are
+    /// dropped, exactly as in the paper's sleeping model.
+    SleepUntil(Round),
+    /// Finish the algorithm locally. [`Protocol::output`] must return
+    /// `Some` at this point.
+    Terminate,
+}
+
+/// Read-only per-round context handed to the protocol callbacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeCtx {
+    /// This node's id (ids are `0..n`, known to the node as in the model).
+    pub id: NodeId,
+    /// Number of nodes in the network (known to all nodes, as the paper
+    /// assumes).
+    pub n: usize,
+    /// This node's degree in the communication graph.
+    pub degree: usize,
+    /// The current round (nodes know the global round whenever awake).
+    pub round: Round,
+}
+
+/// A synchronous sleeping-model protocol, instantiated once per node.
+///
+/// Each round a node is awake, the engine calls [`send`](Protocol::send)
+/// (emit messages for this round) and then [`receive`](Protocol::receive)
+/// (process the messages that arrived this round and choose an [`Action`]).
+/// Both callbacks see the same `ctx.round`.
+///
+/// Nodes all start awake at round 0. Randomness should be owned by the
+/// protocol value (seeded at construction) so runs are reproducible.
+pub trait Protocol {
+    /// Message type exchanged on edges.
+    type Msg: Clone + MessageSize;
+    /// The node's final output (e.g. `bool` for MIS membership).
+    type Output: Clone + std::fmt::Debug;
+
+    /// Send phase: queue this round's outgoing messages into `out`.
+    fn send(&mut self, ctx: &NodeCtx, out: &mut Outbox<Self::Msg>);
+
+    /// Receive phase: process this round's inbox and decide what to do next.
+    ///
+    /// The inbox contains only messages sent *this round* by awake
+    /// neighbors; there is no cross-round buffering (synchronous model).
+    fn receive(&mut self, ctx: &NodeCtx, inbox: &[Incoming<Self::Msg>]) -> Action;
+
+    /// The node's output, once determined. The engine records the first
+    /// round at which this becomes `Some` as the node's *decide round*;
+    /// it must be `Some` when the node terminates.
+    fn output(&self) -> Option<Self::Output>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_equality() {
+        assert_eq!(Action::Continue, Action::Continue);
+        assert_ne!(Action::Continue, Action::SleepUntil(3));
+        assert_ne!(Action::SleepUntil(3), Action::SleepUntil(4));
+    }
+
+    #[test]
+    fn ctx_is_copy() {
+        let ctx = NodeCtx { id: 1, n: 10, degree: 3, round: 7 };
+        let ctx2 = ctx;
+        assert_eq!(ctx, ctx2);
+    }
+}

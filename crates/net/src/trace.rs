@@ -1,0 +1,104 @@
+//! Optional execution traces for debugging and recursion-tree extraction.
+
+use crate::Round;
+use serde::{Deserialize, Serialize};
+use sleepy_graph::NodeId;
+
+/// One engine event. Message-level events are only recorded when
+/// [`EngineConfig::trace_messages`](crate::EngineConfig::trace_messages)
+/// is set, since they dominate trace volume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum TraceEvent {
+    /// A node returned to the awake state at this round.
+    Wake {
+        /// Round of the event.
+        round: Round,
+        /// The node.
+        node: NodeId,
+    },
+    /// A node went to sleep at the end of this round, to wake at `until`.
+    Sleep {
+        /// Round of the event.
+        round: Round,
+        /// The node.
+        node: NodeId,
+        /// Absolute wake round.
+        until: Round,
+    },
+    /// A node terminated at this round.
+    Terminate {
+        /// Round of the event.
+        round: Round,
+        /// The node.
+        node: NodeId,
+    },
+    /// A message was routed (only with message tracing enabled).
+    Message {
+        /// Round of the event.
+        round: Round,
+        /// Sender.
+        from: NodeId,
+        /// Addressee.
+        to: NodeId,
+        /// Whether the addressee was asleep and the message dropped.
+        dropped: bool,
+    },
+}
+
+impl TraceEvent {
+    /// The round the event occurred in.
+    pub fn round(&self) -> Round {
+        match *self {
+            TraceEvent::Wake { round, .. }
+            | TraceEvent::Sleep { round, .. }
+            | TraceEvent::Terminate { round, .. }
+            | TraceEvent::Message { round, .. } => round,
+        }
+    }
+}
+
+/// An ordered log of [`TraceEvent`]s from one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Events in chronological order (ties in engine processing order).
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Events concerning a particular node.
+    pub fn for_node(&self, node: NodeId) -> impl Iterator<Item = &TraceEvent> + '_ {
+        self.events.iter().filter(move |e| match **e {
+            TraceEvent::Wake { node: n, .. }
+            | TraceEvent::Sleep { node: n, .. }
+            | TraceEvent::Terminate { node: n, .. } => n == node,
+            TraceEvent::Message { from, to, .. } => from == node || to == node,
+        })
+    }
+
+    /// Events in a particular round.
+    pub fn in_round(&self, round: Round) -> impl Iterator<Item = &TraceEvent> + '_ {
+        self.events.iter().filter(move |e| e.round() == round)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filters() {
+        let t = Trace {
+            events: vec![
+                TraceEvent::Wake { round: 0, node: 1 },
+                TraceEvent::Sleep { round: 0, node: 2, until: 5 },
+                TraceEvent::Message { round: 1, from: 1, to: 2, dropped: true },
+                TraceEvent::Terminate { round: 2, node: 1 },
+            ],
+        };
+        assert_eq!(t.for_node(1).count(), 3);
+        assert_eq!(t.for_node(2).count(), 2);
+        assert_eq!(t.in_round(0).count(), 2);
+        assert_eq!(t.events[2].round(), 1);
+    }
+}

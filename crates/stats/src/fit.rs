@@ -1,0 +1,179 @@
+//! Least-squares growth-shape fits.
+//!
+//! To decide whether a measured quantity f(n) behaves like a constant,
+//! like log n, like (log n)^b, or like n^b, we fit straight lines in
+//! transformed coordinates:
+//!
+//! * [`fit_power`]: log f = b·log n + log a  ⇒  f ≈ a·n^b
+//!   (b ≈ 0 means "constant in n"),
+//! * [`fit_log_power`]: log f = b·log(log n) + log a  ⇒  f ≈ a·(log₂ n)^b
+//!   (b ≈ 1 means "logarithmic"; Algorithm 2's worst-case round complexity
+//!   should fit with b ≈ ℓ + 1 ≈ 3.41).
+
+use serde::{Deserialize, Serialize};
+
+/// An ordinary least-squares line fit y = slope·x + intercept.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination R² ∈ \[0, 1\] (1 if the fit is exact;
+    /// also 1 for a perfectly flat response).
+    pub r_squared: f64,
+}
+
+/// Ordinary least-squares regression of y on x.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are given or all x are identical.
+pub fn linear_regression(xs: &[f64], ys: &[f64]) -> LinearFit {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    assert!(xs.len() >= 2, "need at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let syy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    assert!(sxx > 0.0, "all x values identical");
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    LinearFit { slope, intercept, r_squared }
+}
+
+/// A fitted growth model f(n) ≈ amplitude · base(n)^exponent.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GrowthFit {
+    /// The fitted exponent b.
+    pub exponent: f64,
+    /// The fitted amplitude a.
+    pub amplitude: f64,
+    /// R² of the underlying line fit in transformed coordinates.
+    pub r_squared: f64,
+}
+
+/// Fits f(n) ≈ a·n^b by regressing log f on log n.
+///
+/// Exponent b ≈ 0 with a flat response indicates O(1) behavior; b ≈ 1
+/// linear; b ≈ 3 cubic (Algorithm 1's worst-case round complexity).
+/// Non-positive observations are clamped to a tiny positive value.
+///
+/// # Panics
+///
+/// Panics on fewer than two points or identical n values.
+///
+/// # Example
+///
+/// ```
+/// use sleepy_stats::fit_power;
+/// let ns = [64.0, 256.0, 1024.0, 4096.0];
+/// let f: Vec<f64> = ns.iter().map(|n| 5.0 * n * n).collect();
+/// let fit = fit_power(&ns, &f);
+/// assert!((fit.exponent - 2.0).abs() < 1e-9);
+/// assert!((fit.amplitude - 5.0).abs() < 1e-6);
+/// ```
+pub fn fit_power(ns: &[f64], fs: &[f64]) -> GrowthFit {
+    let xs: Vec<f64> = ns.iter().map(|n| n.ln()).collect();
+    let ys: Vec<f64> = fs.iter().map(|f| f.max(1e-12).ln()).collect();
+    let line = linear_regression(&xs, &ys);
+    GrowthFit {
+        exponent: line.slope,
+        amplitude: line.intercept.exp(),
+        r_squared: line.r_squared,
+    }
+}
+
+/// Fits f(n) ≈ a·(log₂ n)^b by regressing log f on log log₂ n.
+///
+/// b ≈ 1 indicates Θ(log n); Algorithm 2's worst-case round complexity
+/// should fit with b close to ℓ + 1 ≈ 3.41.
+///
+/// # Panics
+///
+/// Panics on fewer than two points, identical n values, or n ≤ 2 entries
+/// (log log undefined).
+pub fn fit_log_power(ns: &[f64], fs: &[f64]) -> GrowthFit {
+    let xs: Vec<f64> = ns
+        .iter()
+        .map(|n| {
+            assert!(*n > 2.0, "fit_log_power requires n > 2");
+            n.log2().ln()
+        })
+        .collect();
+    let ys: Vec<f64> = fs.iter().map(|f| f.max(1e-12).ln()).collect();
+    let line = linear_regression(&xs, &ys);
+    GrowthFit {
+        exponent: line.slope,
+        amplitude: line.intercept.exp(),
+        r_squared: line.r_squared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line() {
+        let fit = linear_regression(&[1.0, 2.0, 3.0], &[3.0, 5.0, 7.0]);
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_r2_below_one() {
+        let fit = linear_regression(&[1.0, 2.0, 3.0, 4.0], &[1.0, 2.5, 2.6, 4.2]);
+        assert!(fit.r_squared < 1.0);
+        assert!(fit.r_squared > 0.8);
+    }
+
+    #[test]
+    fn flat_response_is_exponent_zero() {
+        let ns = [100.0, 1000.0, 10000.0];
+        let fit = fit_power(&ns, &[7.0, 7.0, 7.0]);
+        assert!(fit.exponent.abs() < 1e-12);
+        assert!((fit.amplitude - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cubic_growth_detected() {
+        let ns: Vec<f64> = [64.0, 128.0, 256.0, 512.0].to_vec();
+        let fs: Vec<f64> = ns.iter().map(|n| 3.0 * n.powi(3)).collect();
+        let fit = fit_power(&ns, &fs);
+        assert!((fit.exponent - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_power_fit_recovers_exponent() {
+        let ns: Vec<f64> = (6..=20).map(|e| (1u64 << e) as f64).collect();
+        let fs: Vec<f64> = ns.iter().map(|n| 2.0 * n.log2().powf(3.41)).collect();
+        let fit = fit_log_power(&ns, &fs);
+        assert!((fit.exponent - 3.41).abs() < 1e-9, "exponent {}", fit.exponent);
+        assert!((fit.amplitude - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pure_log_has_log_exponent_one() {
+        let ns: Vec<f64> = (4..=16).map(|e| (1u64 << e) as f64).collect();
+        let fs: Vec<f64> = ns.iter().map(|n| 4.0 * n.log2()).collect();
+        let fit = fit_log_power(&ns, &fs);
+        assert!((fit.exponent - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn one_point_panics() {
+        linear_regression(&[1.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical")]
+    fn degenerate_x_panics() {
+        linear_regression(&[2.0, 2.0], &[1.0, 3.0]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Sample summaries.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample of f64 observations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean (0 for an empty sample).
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 if count < 2).
+    pub std_dev: f64,
+    /// Minimum (0 for an empty sample).
+    pub min: f64,
+    /// Maximum (0 for an empty sample).
+    pub max: f64,
+    /// Median (0 for an empty sample).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes the summary of `data`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sleepy_stats::Summary;
+    /// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+    /// assert_eq!(s.mean, 2.5);
+    /// assert_eq!(s.median, 2.5);
+    /// assert_eq!(s.min, 1.0);
+    /// ```
+    pub fn of(data: &[f64]) -> Self {
+        let count = data.len();
+        if count == 0 {
+            return Summary { count: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0, median: 0.0 };
+        }
+        let mean = data.iter().sum::<f64>() / count as f64;
+        let var = if count < 2 {
+            0.0
+        } else {
+            data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (count - 1) as f64
+        };
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in summaries"));
+        let median = if count % 2 == 1 {
+            sorted[count / 2]
+        } else {
+            (sorted[count / 2 - 1] + sorted[count / 2]) / 2.0
+        };
+        Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            median,
+        }
+    }
+
+    /// Half-width of the ~95% confidence interval of the mean
+    /// (normal approximation: 1.96·σ/√n; 0 if count < 2).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            1.96 * self.std_dev / (self.count as f64).sqrt()
+        }
+    }
+
+    /// The p-th percentile (nearest-rank on the sorted data), p ∈ \[0, 100\].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or p is out of range.
+    pub fn percentile_of(data: &[f64], p: f64) -> f64 {
+        assert!(!data.is_empty(), "percentile of an empty sample");
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of [0, 100]");
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in summaries"));
+        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+        sorted[rank]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_summary() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.138089935).abs() < 1e-6);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.median - 4.5).abs() < 1e-12);
+        assert!(s.ci95_half_width() > 0.0);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        let s = Summary::of(&[42.0]);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 42.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let data: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        assert_eq!(Summary::percentile_of(&data, 0.0), 1.0);
+        assert_eq!(Summary::percentile_of(&data, 100.0), 100.0);
+        assert_eq!(Summary::percentile_of(&data, 50.0), 51.0); // nearest rank
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        Summary::percentile_of(&[], 50.0);
+    }
+}

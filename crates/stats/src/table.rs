@@ -1,0 +1,144 @@
+//! Plain-text and markdown table rendering for experiment reports.
+
+/// An incrementally built text table with aligned columns.
+///
+/// # Example
+///
+/// ```
+/// use sleepy_stats::TextTable;
+/// let mut t = TextTable::new(vec!["algo", "n", "avg awake"]);
+/// t.row(vec!["SleepingMIS".into(), "1024".into(), "3.96".into()]);
+/// t.row(vec!["Luby-B".into(), "1024".into(), "14.2".into()]);
+/// let text = t.render();
+/// assert!(text.contains("SleepingMIS"));
+/// let md = t.render_markdown();
+/// assert!(md.starts_with("| algo |"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row. Short rows are padded with empty cells; long rows
+    /// are truncated to the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        let mut cells = cells;
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.chars().count());
+            }
+        }
+        w
+    }
+
+    /// Renders with space-aligned columns and a separator under the header.
+    pub fn render(&self) -> String {
+        let w = self.widths();
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], w: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = w[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &w));
+        out.push('\n');
+        out.push_str(&w.iter().map(|n| "-".repeat(*n)).collect::<Vec<_>>().join("  "));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &w));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavored markdown table.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("| ");
+        out.push_str(&self.headers.join(" | "));
+        out.push_str(" |\n|");
+        for _ in &self.headers {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str("| ");
+            out.push_str(&row.join(" | "));
+            out.push_str(" |\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment() {
+        let mut t = TextTable::new(vec!["a", "long-header"]);
+        t.row(vec!["xxxxx".into(), "1".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Column 2 starts at the same offset in header and row.
+        let header_off = lines[0].find("long-header").unwrap();
+        let row_off = lines[2].find('1').unwrap();
+        assert_eq!(header_off, row_off);
+    }
+
+    #[test]
+    fn padding_and_truncation() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["1".into()]);
+        t.row(vec!["1".into(), "2".into(), "3".into()]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let md = t.render_markdown();
+        assert!(md.contains("| 1 |  |"));
+        assert!(!md.contains('3'));
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let mut t = TextTable::new(vec!["x"]);
+        t.row(vec!["y".into()]);
+        assert_eq!(t.render_markdown(), "| x |\n|---|\n| y |\n");
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = TextTable::new(vec!["only"]);
+        assert!(t.is_empty());
+        assert_eq!(t.render().lines().count(), 2);
+    }
+}

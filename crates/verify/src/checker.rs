@@ -1,0 +1,167 @@
+//! MIS validity checking with structured violation reports.
+
+use serde::{Deserialize, Serialize};
+use sleepy_graph::{Graph, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// Why a candidate set fails to be a maximal independent set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum MisViolation {
+    /// Two adjacent nodes are both in the set.
+    NotIndependent {
+        /// One endpoint in the set.
+        u: NodeId,
+        /// The adjacent other endpoint in the set.
+        v: NodeId,
+    },
+    /// A node is outside the set and has no neighbor in the set.
+    NotMaximal {
+        /// The undominated node.
+        node: NodeId,
+    },
+    /// The membership vector's length does not match the graph.
+    WrongLength {
+        /// Provided vector length.
+        got: usize,
+        /// Number of nodes in the graph.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for MisViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MisViolation::NotIndependent { u, v } => {
+                write!(f, "nodes {u} and {v} are adjacent and both in the set")
+            }
+            MisViolation::NotMaximal { node } => {
+                write!(f, "node {node} is outside the set and undominated")
+            }
+            MisViolation::WrongLength { got, expected } => {
+                write!(f, "membership vector has length {got}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl Error for MisViolation {}
+
+/// Whether `in_set` (of the right length) is an independent set of `g`.
+pub fn is_independent(g: &Graph, in_set: &[bool]) -> bool {
+    in_set.len() == g.n()
+        && g.edges().all(|(u, v)| !(in_set[u as usize] && in_set[v as usize]))
+}
+
+/// Whether `in_set` is a *maximal* independent set of `g`.
+pub fn is_maximal_independent(g: &Graph, in_set: &[bool]) -> bool {
+    verify_mis(g, in_set).is_ok()
+}
+
+/// Full MIS verification: length, independence, then maximality. Returns
+/// the first violation found (deterministically: smallest edge, then
+/// smallest node).
+///
+/// # Errors
+///
+/// The discovered [`MisViolation`], if any.
+///
+/// # Example
+///
+/// ```
+/// use sleepy_graph::generators;
+/// use sleepy_verify::{verify_mis, MisViolation};
+///
+/// let g = generators::path(3).unwrap();
+/// assert!(verify_mis(&g, &[true, false, true]).is_ok());
+/// assert_eq!(
+///     verify_mis(&g, &[true, true, false]),
+///     Err(MisViolation::NotIndependent { u: 0, v: 1 })
+/// );
+/// assert_eq!(
+///     verify_mis(&g, &[true, false, false]),
+///     Err(MisViolation::NotMaximal { node: 2 })
+/// );
+/// ```
+pub fn verify_mis(g: &Graph, in_set: &[bool]) -> Result<(), MisViolation> {
+    if in_set.len() != g.n() {
+        return Err(MisViolation::WrongLength { got: in_set.len(), expected: g.n() });
+    }
+    for (u, v) in g.edges() {
+        if in_set[u as usize] && in_set[v as usize] {
+            return Err(MisViolation::NotIndependent { u, v });
+        }
+    }
+    for v in g.node_ids() {
+        if !in_set[v as usize] && !g.neighbors(v).iter().any(|&u| in_set[u as usize]) {
+            return Err(MisViolation::NotMaximal { node: v });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sleepy_graph::generators;
+
+    #[test]
+    fn accepts_valid_mis() {
+        let g = generators::cycle(6).unwrap();
+        assert!(verify_mis(&g, &[true, false, true, false, true, false]).is_ok());
+        // Size-2 MIS of C6 is also valid (maximal but not maximum).
+        assert!(verify_mis(&g, &[true, false, false, true, false, false]).is_ok());
+    }
+
+    #[test]
+    fn detects_dependence() {
+        let g = generators::path(4).unwrap();
+        assert_eq!(
+            verify_mis(&g, &[true, true, false, true]),
+            Err(MisViolation::NotIndependent { u: 0, v: 1 })
+        );
+        assert!(!is_independent(&g, &[true, true, false, true]));
+    }
+
+    #[test]
+    fn detects_non_maximality() {
+        let g = generators::star(5).unwrap();
+        // Empty set: hub undominated.
+        assert_eq!(
+            verify_mis(&g, &[false; 5]),
+            Err(MisViolation::NotMaximal { node: 0 })
+        );
+        assert!(is_independent(&g, &[false; 5]));
+        assert!(!is_maximal_independent(&g, &[false; 5]));
+    }
+
+    #[test]
+    fn detects_wrong_length() {
+        let g = generators::path(3).unwrap();
+        assert_eq!(
+            verify_mis(&g, &[true]),
+            Err(MisViolation::WrongLength { got: 1, expected: 3 })
+        );
+    }
+
+    #[test]
+    fn empty_graph_conventions() {
+        let g = generators::empty(0).unwrap();
+        assert!(verify_mis(&g, &[]).is_ok());
+        let g = generators::empty(3).unwrap();
+        // Isolated nodes must all be in.
+        assert!(verify_mis(&g, &[true, true, true]).is_ok());
+        assert_eq!(
+            verify_mis(&g, &[true, false, true]),
+            Err(MisViolation::NotMaximal { node: 1 })
+        );
+    }
+
+    #[test]
+    fn violation_display() {
+        assert!(!MisViolation::NotIndependent { u: 0, v: 1 }.to_string().is_empty());
+        assert!(!MisViolation::NotMaximal { node: 2 }.to_string().is_empty());
+        assert!(!MisViolation::WrongLength { got: 1, expected: 2 }.to_string().is_empty());
+    }
+}

@@ -1,0 +1,145 @@
+//! Proper-coloring verification (for the (Δ+1)-coloring extension).
+
+use serde::{Deserialize, Serialize};
+use sleepy_graph::{Graph, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// Why a coloring fails to be a proper (Δ+1)-coloring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ColoringViolation {
+    /// Two adjacent nodes share a color.
+    MonochromaticEdge {
+        /// One endpoint.
+        u: NodeId,
+        /// The other endpoint.
+        v: NodeId,
+        /// The shared color.
+        color: u32,
+    },
+    /// A node's color exceeds its degree (outside its deg+1 palette, and
+    /// hence potentially outside Δ+1).
+    ColorOutOfPalette {
+        /// The offending node.
+        node: NodeId,
+        /// Its color.
+        color: u32,
+        /// Its degree (palette is {0..=degree}).
+        degree: usize,
+    },
+    /// The color vector's length does not match the graph.
+    WrongLength {
+        /// Provided vector length.
+        got: usize,
+        /// Number of nodes.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for ColoringViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColoringViolation::MonochromaticEdge { u, v, color } => {
+                write!(f, "adjacent nodes {u} and {v} both have color {color}")
+            }
+            ColoringViolation::ColorOutOfPalette { node, color, degree } => {
+                write!(f, "node {node} has color {color} outside its palette 0..={degree}")
+            }
+            ColoringViolation::WrongLength { got, expected } => {
+                write!(f, "color vector has length {got}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl Error for ColoringViolation {}
+
+/// Verifies a proper coloring where each node's color lies in its own
+/// {0..=deg(v)} palette (which implies at most Δ+1 colors overall).
+///
+/// # Errors
+///
+/// The first violation found.
+///
+/// # Example
+///
+/// ```
+/// use sleepy_graph::generators;
+/// use sleepy_verify::verify_coloring;
+///
+/// let g = generators::path(3).unwrap();
+/// assert!(verify_coloring(&g, &[0, 1, 0]).is_ok());
+/// assert!(verify_coloring(&g, &[0, 0, 1]).is_err());
+/// ```
+pub fn verify_coloring(g: &Graph, colors: &[u32]) -> Result<(), ColoringViolation> {
+    if colors.len() != g.n() {
+        return Err(ColoringViolation::WrongLength { got: colors.len(), expected: g.n() });
+    }
+    for v in g.node_ids() {
+        if colors[v as usize] > g.degree(v) as u32 {
+            return Err(ColoringViolation::ColorOutOfPalette {
+                node: v,
+                color: colors[v as usize],
+                degree: g.degree(v),
+            });
+        }
+    }
+    for (u, v) in g.edges() {
+        if colors[u as usize] == colors[v as usize] {
+            return Err(ColoringViolation::MonochromaticEdge {
+                u,
+                v,
+                color: colors[u as usize],
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sleepy_graph::generators;
+
+    #[test]
+    fn accepts_proper_coloring() {
+        let g = generators::cycle(6).unwrap();
+        assert!(verify_coloring(&g, &[0, 1, 0, 1, 0, 1]).is_ok());
+    }
+
+    #[test]
+    fn rejects_monochromatic_edge() {
+        let g = generators::path(2).unwrap();
+        assert_eq!(
+            verify_coloring(&g, &[1, 1]),
+            Err(ColoringViolation::MonochromaticEdge { u: 0, v: 1, color: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_palette() {
+        let g = generators::path(3).unwrap();
+        // Endpoint of a path has degree 1: palette {0, 1}.
+        assert_eq!(
+            verify_coloring(&g, &[2, 1, 0]),
+            Err(ColoringViolation::ColorOutOfPalette { node: 0, color: 2, degree: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_length() {
+        let g = generators::path(3).unwrap();
+        assert!(matches!(
+            verify_coloring(&g, &[0]),
+            Err(ColoringViolation::WrongLength { got: 1, expected: 3 })
+        ));
+    }
+
+    #[test]
+    fn displays() {
+        assert!(!ColoringViolation::MonochromaticEdge { u: 0, v: 1, color: 2 }
+            .to_string()
+            .is_empty());
+    }
+}

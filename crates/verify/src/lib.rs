@@ -1,0 +1,23 @@
+//! # sleepy-verify
+//!
+//! Verification of MIS outputs and the lexicographically-first MIS
+//! references used to validate Corollary 1 of the paper ("Algorithm
+//! SleepingMISRecursive(k) and the parallel/distributed randomized greedy
+//! MIS algorithm produce the same MIS").
+//!
+//! * [`verify_mis`] checks independence and maximality (= domination),
+//!   returning a structured [`MisViolation`] naming the offending nodes.
+//! * [`lexicographically_first_mis`] computes the MIS the sequential greedy
+//!   finds when processing nodes in a given priority order — the unique MIS
+//!   the sleeping algorithms must reproduce given the same coins.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checker;
+mod coloring;
+mod reference;
+
+pub use checker::{is_independent, is_maximal_independent, verify_mis, MisViolation};
+pub use coloring::{verify_coloring, ColoringViolation};
+pub use reference::{greedy_by_order, lexicographically_first_mis};

@@ -1,0 +1,118 @@
+//! Sequential greedy (lexicographically-first) MIS references.
+//!
+//! The paper's Corollary 1: `SleepingMISRecursive` computes exactly the MIS
+//! the sequential greedy algorithm produces when processing nodes in
+//! decreasing rank order (ranks as in Definition 1). These functions
+//! compute that reference for arbitrary priority keys.
+
+use sleepy_graph::{Graph, NodeId};
+
+/// Sequential greedy MIS over an explicit processing order: scan `order`
+/// front to back, adding a node iff none of its neighbors was added
+/// before — the *lexicographically-first MIS* of that order.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of `0..n`.
+pub fn greedy_by_order(g: &Graph, order: &[NodeId]) -> Vec<bool> {
+    assert_eq!(order.len(), g.n(), "order must cover every node exactly once");
+    let mut seen = vec![false; g.n()];
+    for &v in order {
+        assert!(!seen[v as usize], "node {v} appears twice in the order");
+        seen[v as usize] = true;
+    }
+    let mut in_mis = vec![false; g.n()];
+    let mut decided = vec![false; g.n()];
+    for &v in order {
+        if decided[v as usize] {
+            continue;
+        }
+        in_mis[v as usize] = true;
+        decided[v as usize] = true;
+        for &u in g.neighbors(v) {
+            decided[u as usize] = true;
+        }
+    }
+    in_mis
+}
+
+/// The lexicographically-first MIS under per-node priority keys, processing
+/// nodes in **decreasing** key order. Ties are *not* broken: the key type's
+/// `Ord` must already be total and injective enough for the caller's
+/// purpose (the Corollary 1 experiments pass `(rank, id)` pairs or detect
+/// tied ranks up front).
+///
+/// # Example
+///
+/// ```
+/// use sleepy_graph::generators;
+/// use sleepy_verify::lexicographically_first_mis;
+///
+/// let g = generators::path(3).unwrap();
+/// // The middle node has the highest key, so it is processed first and
+/// // joins; both endpoints are its neighbors and end up dominated.
+/// let mis = lexicographically_first_mis(&g, &[1u64, 9, 2]);
+/// assert_eq!(mis, vec![false, true, false]);
+/// ```
+pub fn lexicographically_first_mis<K: Ord>(g: &Graph, keys: &[K]) -> Vec<bool> {
+    assert_eq!(keys.len(), g.n(), "one key per node required");
+    let mut order: Vec<NodeId> = (0..g.n() as NodeId).collect();
+    order.sort_by(|&a, &b| keys[b as usize].cmp(&keys[a as usize]));
+    greedy_by_order(g, &order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::verify_mis;
+    use sleepy_graph::generators;
+
+    #[test]
+    fn greedy_by_order_path() {
+        let g = generators::path(4).unwrap();
+        assert_eq!(greedy_by_order(&g, &[0, 1, 2, 3]), vec![true, false, true, false]);
+        assert_eq!(greedy_by_order(&g, &[1, 0, 2, 3]), vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn output_is_always_a_valid_mis() {
+        let g = generators::gnp(80, 0.08, 5).unwrap();
+        for seed in 0..5u64 {
+            // Pseudo-random keys from a simple LCG.
+            let keys: Vec<u64> = (0..g.n() as u64)
+                .map(|v| (seed + 1).wrapping_mul(6364136223846793005).wrapping_add(v * 999331))
+                .map(|x| x ^ (x >> 17))
+                .collect();
+            let mis = lexicographically_first_mis(&g, &keys);
+            verify_mis(&g, &mis).unwrap();
+        }
+    }
+
+    #[test]
+    fn decreasing_order_means_highest_key_always_in() {
+        let g = generators::clique(6).unwrap();
+        let keys = [3u64, 9, 1, 4, 2, 0];
+        let mis = lexicographically_first_mis(&g, &keys);
+        assert_eq!(mis, vec![false, true, false, false, false, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn duplicate_order_panics() {
+        let g = generators::path(3).unwrap();
+        greedy_by_order(&g, &[0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one key per node")]
+    fn short_keys_panic() {
+        let g = generators::path(3).unwrap();
+        lexicographically_first_mis(&g, &[1u64]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = generators::empty(0).unwrap();
+        assert!(greedy_by_order(&g, &[]).is_empty());
+    }
+}

@@ -1,0 +1,48 @@
+//! Head-to-head comparison of all six implemented MIS algorithms on the
+//! same instance — the measured version of the paper's Table 1.
+//!
+//! Run with: `cargo run --release --example algorithm_shootout`
+
+use sleepy::graph::GraphFamily;
+use sleepy::harness::{measure_once, Execution, ALL_ALGOS};
+
+fn main() {
+    for family in [
+        GraphFamily::GnpAvgDeg(8.0),
+        GraphFamily::GeometricAvgDeg(8.0),
+        GraphFamily::BarabasiAlbert(3),
+    ] {
+        let n = 2048;
+        let g = family.generate(n, 1234).expect("graph generates");
+        println!(
+            "\n=== {} (n = {}, m = {}, max degree = {}) ===",
+            family,
+            g.n(),
+            g.m(),
+            g.max_degree()
+        );
+        println!(
+            "{:<18} {:>9} {:>11} {:>12} {:>12} {:>11} {:>7}",
+            "algorithm", "MIS size", "avg awake", "worst awake", "worst round", "avg round", "valid"
+        );
+        for algo in ALL_ALGOS {
+            let r = measure_once(&g, algo, 5, Execution::Auto).expect("measurement");
+            println!(
+                "{:<18} {:>9} {:>11.2} {:>12} {:>12} {:>11.1} {:>7}",
+                r.algo,
+                r.mis_size,
+                r.summary.node_avg_awake,
+                r.summary.worst_awake,
+                r.summary.worst_round,
+                r.summary.node_avg_round,
+                if r.valid { "yes" } else { "NO" }
+            );
+        }
+    }
+    println!(
+        "\nReading guide: the sleeping algorithms trade wall-clock rounds (their padded \
+         schedules)\nfor awake rounds — the awake averages stay constant as n grows, which \
+         is Theorem 1/2's claim.\nBaselines are awake for every round they live, so their \
+         awake numbers equal their round numbers."
+    );
+}

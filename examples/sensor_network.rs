@@ -1,0 +1,86 @@
+//! Sensor-network scenario: the paper's motivating application (§1.1).
+//!
+//! A fleet of battery-powered sensors scattered over a field must elect a
+//! backbone (an MIS = a maximal set of non-interfering cluster heads).
+//! Energy is the scarce resource: idle listening costs nearly as much as
+//! transmitting, while deep sleep is almost free. This example builds a
+//! random geometric graph (the standard sensor topology), runs the
+//! sleeping algorithms and an always-awake baseline, and compares energy.
+//!
+//! Run with: `cargo run --release --example sensor_network`
+
+use sleepy::baselines::{run_baseline, BaselineKind};
+use sleepy::graph::generators;
+use sleepy::mis::{run_sleeping_mis, MisConfig};
+use sleepy::net::{EnergyModel, EngineConfig};
+use sleepy::verify::verify_mis;
+
+fn main() {
+    // 1,500 sensors on the unit square, radio radius tuned for ~8 radio
+    // neighbors each.
+    let n = 1_500;
+    let radius = generators::radius_for_avg_degree(n, 8.0);
+    let g = generators::random_geometric(n, radius, 7).expect("field deploys");
+    println!(
+        "sensor field: {} nodes, radio radius {:.4}, {} links, max degree {}",
+        g.n(),
+        radius,
+        g.m(),
+        g.max_degree()
+    );
+
+    let ec = EngineConfig::default();
+    // The paper's energy measure: every awake round costs 1 unit,
+    // sleeping is free (idle ~ rx ~ tx on real radios).
+    let energy = EnergyModel::awake_rounds_only();
+
+    println!(
+        "\n{:<22} {:>9} {:>12} {:>12} {:>14} {:>12}",
+        "algorithm", "MIS size", "mean energy", "max energy", "awake (mean)", "rounds"
+    );
+    // Fast-SleepingMIS is the practical choice: O(1) awake average AND a
+    // polylog wall-clock schedule.
+    for (label, which) in [("Fast-SleepingMIS", 2), ("SleepingMIS", 1)] {
+        let cfg = if which == 1 { MisConfig::alg1(99) } else { MisConfig::alg2(99) };
+        let run = run_sleeping_mis(&g, cfg, &ec).expect("backbone elected");
+        verify_mis(&g, &run.in_mis).expect("valid backbone");
+        let rep = energy.report(&run.metrics);
+        let s = run.metrics.summary();
+        println!(
+            "{:<22} {:>9} {:>12.2} {:>12.1} {:>14.2} {:>12}",
+            label,
+            run.in_mis.iter().filter(|&&b| b).count(),
+            rep.mean,
+            rep.max,
+            s.node_avg_awake,
+            s.worst_round
+        );
+    }
+    // Baseline: Luby-B. In the traditional model every sensor's radio is
+    // powered for the whole execution.
+    let run = run_baseline(&g, BaselineKind::LubyB, 99, &ec).expect("baseline runs");
+    verify_mis(&g, &run.in_mis).expect("valid backbone");
+    let total_rounds = run.metrics.total_rounds;
+    let mut strict = run.metrics.clone();
+    for nm in &mut strict.per_node {
+        nm.awake_rounds = total_rounds;
+    }
+    let rep = energy.report(&strict);
+    let s = strict.summary();
+    println!(
+        "{:<22} {:>9} {:>12.2} {:>12.1} {:>14.2} {:>12}",
+        "Luby-B (always awake)",
+        run.in_mis.iter().filter(|&&b| b).count(),
+        rep.mean,
+        rep.max,
+        s.node_avg_awake,
+        total_rounds
+    );
+
+    println!(
+        "\nEvery sensor sleeps through all but a handful of rounds under the sleeping \
+         algorithms;\nthe backbone election costs each battery a constant number of \
+         radio-on rounds, independent\nof the fleet size — that is the paper's O(1) \
+         node-averaged awake complexity at work."
+    );
+}

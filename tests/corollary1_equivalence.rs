@@ -1,0 +1,73 @@
+//! Corollary 1 end-to-end: the sleeping algorithms compute exactly the
+//! lexicographically-first MIS of their rank orders — cross-validated
+//! against the independent sequential-greedy implementation in
+//! `sleepy-verify`, and against the distributed Greedy-CRT baseline.
+
+use sleepy::baselines::{run_baseline, BaselineKind, GreedyCrt};
+use sleepy::graph::{generators, GraphFamily};
+use sleepy::mis::{depth_alg1, depth_alg2, derive_all, execute_sleeping_mis, MisConfig};
+use sleepy::net::EngineConfig;
+use sleepy::verify::lexicographically_first_mis;
+
+#[test]
+fn alg1_equals_sequential_greedy_on_rank_order() {
+    for family in [
+        GraphFamily::GnpAvgDeg(8.0),
+        GraphFamily::RandomRegular(4),
+        GraphFamily::BarabasiAlbert(2),
+        GraphFamily::Cycle,
+    ] {
+        for seed in 0..6u64 {
+            let g = family.generate(200, seed * 17 + 1).unwrap();
+            let n = g.n();
+            let k = depth_alg1(n);
+            let coins = derive_all(seed, n);
+            let keys: Vec<u128> = (0..n).map(|v| coins[v].rank(k)).collect();
+            let mut sorted = keys.clone();
+            sorted.sort_unstable();
+            if sorted.windows(2).any(|w| w[0] == w[1]) {
+                continue; // Monte-Carlo tie: Corollary 1's precondition fails
+            }
+            let out = execute_sleeping_mis(&g, MisConfig::alg1(seed)).unwrap();
+            let reference = lexicographically_first_mis(&g, &keys);
+            assert_eq!(out.in_mis, reference, "{family} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn alg2_equals_sequential_greedy_on_composite_order() {
+    for family in [GraphFamily::GnpAvgDeg(8.0), GraphFamily::GeometricAvgDeg(6.0)] {
+        for seed in 0..6u64 {
+            let g = family.generate(300, seed * 13 + 5).unwrap();
+            let n = g.n();
+            let out = execute_sleeping_mis(&g, MisConfig::alg2(seed)).unwrap();
+            if out.base_timeout.iter().any(|&t| t) {
+                continue; // budget exhaustion voids the equivalence
+            }
+            let k = depth_alg2(n);
+            let coins = derive_all(seed, n);
+            let keys: Vec<(u128, u64, u32)> = (0..n as u32)
+                .map(|v| (coins[v as usize].rank(k), coins[v as usize].greedy_rank, v))
+                .collect();
+            let reference = lexicographically_first_mis(&g, &keys);
+            assert_eq!(out.in_mis, reference, "{family} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn greedy_crt_baseline_is_lexicographically_first() {
+    // The distributed greedy baseline must equal the sequential greedy on
+    // its own rank order (Fischer–Noever's lexicographically-first
+    // property) — an independent implementation pair.
+    for seed in 0..8u64 {
+        let g = generators::gnp(150, 0.05, seed + 40).unwrap();
+        let run = run_baseline(&g, BaselineKind::GreedyCrt, seed, &EngineConfig::default())
+            .unwrap();
+        let keys: Vec<(u64, u32)> =
+            (0..g.n() as u32).map(|v| (GreedyCrt::rank_of(v, seed), v)).collect();
+        let reference = lexicographically_first_mis(&g, &keys);
+        assert_eq!(run.in_mis, reference, "seed {seed}");
+    }
+}

@@ -1,0 +1,168 @@
+//! The repository's strongest internal correctness check: the
+//! message-passing protocol on the sleeping-model engine and the
+//! combinatorial executor must agree *exactly* — same MIS, same per-node
+//! awake rounds, decide rounds, finish rounds, message counts, and the
+//! same total/active round counts.
+
+use sleepy_graph::{generators, Graph, GraphFamily};
+use sleepy_mis::{execute_sleeping_mis, run_sleeping_mis, MisConfig};
+use sleepy_net::EngineConfig;
+
+fn assert_exact_agreement(g: &Graph, cfg: MisConfig, label: &str) {
+    let engine = run_sleeping_mis(g, cfg, &EngineConfig::default())
+        .unwrap_or_else(|e| panic!("{label}: engine failed: {e}"));
+    let exec = execute_sleeping_mis(g, cfg)
+        .unwrap_or_else(|e| panic!("{label}: executor failed: {e}"));
+    assert_eq!(engine.in_mis, exec.in_mis, "{label}: MIS mismatch");
+    for v in 0..g.n() {
+        let em = &engine.metrics.per_node[v];
+        assert_eq!(
+            em.awake_rounds, exec.awake_rounds[v],
+            "{label}: awake mismatch at node {v}"
+        );
+        assert_eq!(
+            em.finish_round,
+            Some(exec.finish_rounds[v]),
+            "{label}: finish mismatch at node {v}"
+        );
+        assert_eq!(
+            em.decide_round,
+            Some(exec.decide_rounds[v]),
+            "{label}: decide mismatch at node {v}"
+        );
+        assert_eq!(
+            em.messages_sent, exec.messages_sent[v],
+            "{label}: messages mismatch at node {v}"
+        );
+    }
+    assert_eq!(engine.metrics.total_rounds, exec.total_rounds, "{label}: total rounds");
+    assert_eq!(engine.metrics.active_rounds, exec.active_rounds, "{label}: active rounds");
+    let timeouts: Vec<u32> = exec
+        .base_timeout
+        .iter()
+        .enumerate()
+        .filter_map(|(v, &t)| t.then_some(v as u32))
+        .collect();
+    assert_eq!(engine.base_timeouts, timeouts, "{label}: timeout sets differ");
+}
+
+#[test]
+fn agreement_on_structured_graphs() {
+    let graphs: Vec<(&str, Graph)> = vec![
+        ("empty8", generators::empty(8).unwrap()),
+        ("single", generators::empty(1).unwrap()),
+        ("path2", generators::path(2).unwrap()),
+        ("path9", generators::path(9).unwrap()),
+        ("cycle12", generators::cycle(12).unwrap()),
+        ("star10", generators::star(10).unwrap()),
+        ("clique7", generators::clique(7).unwrap()),
+        ("grid4x5", generators::grid2d(4, 5).unwrap()),
+        ("bipartite", generators::complete_bipartite(4, 5).unwrap()),
+    ];
+    for (name, g) in &graphs {
+        for seed in 0..3 {
+            assert_exact_agreement(g, MisConfig::alg1(seed), &format!("alg1/{name}/{seed}"));
+            assert_exact_agreement(g, MisConfig::alg2(seed), &format!("alg2/{name}/{seed}"));
+        }
+    }
+}
+
+#[test]
+fn agreement_on_random_graphs() {
+    for (i, fam) in [
+        GraphFamily::GnpAvgDeg(4.0),
+        GraphFamily::GnpAvgDeg(12.0),
+        GraphFamily::RandomRegular(3),
+        GraphFamily::BarabasiAlbert(2),
+        GraphFamily::Tree,
+        GraphFamily::GeometricAvgDeg(6.0),
+    ]
+    .iter()
+    .enumerate()
+    {
+        for n in [17, 64, 130] {
+            let g = fam.generate(n, 1000 + i as u64).unwrap();
+            for seed in [1, 99] {
+                assert_exact_agreement(
+                    &g,
+                    MisConfig::alg1(seed),
+                    &format!("alg1/{fam}/n{n}/{seed}"),
+                );
+                assert_exact_agreement(
+                    &g,
+                    MisConfig::alg2(seed),
+                    &format!("alg2/{fam}/n{n}/{seed}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn agreement_under_depth_overrides() {
+    let g = generators::gnp(40, 0.12, 7).unwrap();
+    for depth in [0, 1, 2, 5, 9] {
+        let mut a1 = MisConfig::alg1(5);
+        a1.depth_override = Some(depth);
+        assert_exact_agreement(&g, a1, &format!("alg1/depth{depth}"));
+        let mut a2 = MisConfig::alg2(5);
+        a2.depth_override = Some(depth);
+        assert_exact_agreement(&g, a2, &format!("alg2/depth{depth}"));
+    }
+}
+
+#[test]
+fn agreement_under_subgraph_only_send_policy() {
+    use sleepy_mis::SendPolicy;
+    for (i, fam) in [
+        GraphFamily::GnpAvgDeg(6.0),
+        GraphFamily::GeometricAvgDeg(6.0),
+        GraphFamily::Clique,
+        GraphFamily::Star,
+    ]
+    .iter()
+    .enumerate()
+    {
+        let g = fam.generate(60, 777 + i as u64).unwrap();
+        for seed in 0..3u64 {
+            for mut cfg in [MisConfig::alg1(seed), MisConfig::alg2(seed)] {
+                cfg.send_policy = SendPolicy::SubgraphOnly;
+                assert_exact_agreement(&g, cfg, &format!("subgraph/{fam}/{seed}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn subgraph_only_changes_messages_but_nothing_else() {
+    use sleepy_mis::SendPolicy;
+    let g = GraphFamily::GnpAvgDeg(8.0).generate(200, 4242).unwrap();
+    for base in [MisConfig::alg1(9), MisConfig::alg2(9)] {
+        let mut opt = base;
+        opt.send_policy = SendPolicy::SubgraphOnly;
+        let a = execute_sleeping_mis(&g, base).unwrap();
+        let b = execute_sleeping_mis(&g, opt).unwrap();
+        assert_eq!(a.in_mis, b.in_mis, "{:?}: MIS must not depend on send policy", base.variant);
+        assert_eq!(a.awake_rounds, b.awake_rounds, "{:?}: awake rounds differ", base.variant);
+        assert_eq!(a.finish_rounds, b.finish_rounds, "{:?}: finish rounds differ", base.variant);
+        let ma: u64 = a.messages_sent.iter().sum();
+        let mb: u64 = b.messages_sent.iter().sum();
+        assert!(mb < ma, "{:?}: SubgraphOnly should save messages ({mb} !< {ma})", base.variant);
+    }
+}
+
+#[test]
+fn agreement_with_tiny_greedy_budget() {
+    // Force base-case timeouts and verify both implementations agree on
+    // the failure handling too.
+    let g = generators::path(50).unwrap();
+    for seed in 0..5 {
+        let mut cfg = MisConfig::alg2(seed);
+        cfg.greedy_c = 0.01;
+        cfg.depth_override = Some(0);
+        assert_exact_agreement(&g, cfg, &format!("timeout/{seed}"));
+        let mut cfg = MisConfig::alg2(seed);
+        cfg.greedy_c = 0.05;
+        assert_exact_agreement(&g, cfg, &format!("timeout-deep/{seed}"));
+    }
+}

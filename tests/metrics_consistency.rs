@@ -1,0 +1,120 @@
+//! Metric invariants that must hold for every run of every algorithm:
+//! awake rounds bounded by lifetime, decide before finish, schedule bounds
+//! respected, and energy accounting consistent with the metrics.
+
+use sleepy::baselines::{run_baseline, ALL_BASELINES};
+use sleepy::graph::generators;
+use sleepy::mis::{
+    depth_alg1, depth_alg2, execute_sleeping_mis, greedy_budget_rounds, run_sleeping_mis,
+    MisConfig, Schedule,
+};
+use sleepy::net::{EnergyModel, EngineConfig, RunMetrics};
+
+fn check_invariants(m: &RunMetrics, label: &str) {
+    for (v, nm) in m.per_node.iter().enumerate() {
+        let finish = nm.finish_round.unwrap_or_else(|| panic!("{label}: node {v} unfinished"));
+        assert!(
+            nm.awake_rounds <= finish + 1,
+            "{label}: node {v} awake {} > lifetime {}",
+            nm.awake_rounds,
+            finish + 1
+        );
+        assert!(nm.awake_rounds >= 1, "{label}: node {v} never awake");
+        let decide = nm.decide_round.unwrap_or_else(|| panic!("{label}: node {v} undecided"));
+        assert!(decide <= finish, "{label}: node {v} decided after finishing");
+        assert!(finish < m.total_rounds, "{label}: node {v} finish out of range");
+    }
+    assert!(m.active_rounds <= m.total_rounds, "{label}: active > total");
+    assert_eq!(
+        m.total_rounds,
+        m.per_node.iter().map(|nm| nm.finish_round.unwrap() + 1).max().unwrap_or(0),
+        "{label}: total_rounds is not the last finish"
+    );
+}
+
+#[test]
+fn sleeping_algorithm_invariants() {
+    let g = generators::gnp(120, 0.06, 3).unwrap();
+    for cfg in [MisConfig::alg1(5), MisConfig::alg2(5)] {
+        let run = run_sleeping_mis(&g, cfg, &EngineConfig::default()).unwrap();
+        check_invariants(&run.metrics, &format!("{:?}", cfg.variant));
+    }
+}
+
+#[test]
+fn baseline_invariants_and_always_awake() {
+    let g = generators::gnp(100, 0.08, 4).unwrap();
+    for kind in ALL_BASELINES {
+        let run = run_baseline(&g, kind, 2, &EngineConfig::default()).unwrap();
+        check_invariants(&run.metrics, &kind.to_string());
+        // Baselines never sleep: awake == lifetime for every node. (Drops
+        // can still occur — broadcasts to already-terminated neighbors.)
+        for nm in &run.metrics.per_node {
+            assert_eq!(nm.awake_rounds, nm.finish_round.unwrap() + 1, "{kind}");
+        }
+    }
+}
+
+#[test]
+fn schedule_bounds_respected() {
+    for n in [64usize, 256, 1024] {
+        let g = generators::gnp_avg_degree(n, 8.0, n as u64).unwrap();
+        let out1 = execute_sleeping_mis(&g, MisConfig::alg1(7)).unwrap();
+        let k1 = depth_alg1(n);
+        let t1 = Schedule::alg1().duration(k1).unwrap();
+        assert!(out1.total_rounds <= t1, "alg1 n={n}: {} > T(K)={t1}", out1.total_rounds);
+        let max_awake = out1.awake_rounds.iter().max().unwrap();
+        assert!(
+            *max_awake <= 3 * (k1 as u64 + 1),
+            "alg1 n={n}: worst awake {max_awake} > 3(K+1)"
+        );
+
+        let out2 = execute_sleeping_mis(&g, MisConfig::alg2(7)).unwrap();
+        let k2 = depth_alg2(n);
+        let budget = greedy_budget_rounds(n, 4.0);
+        let t2 = Schedule::alg2(budget).duration(k2).unwrap();
+        assert!(out2.total_rounds <= t2, "alg2 n={n}: {} > T(K2)={t2}", out2.total_rounds);
+        let max_awake2 = out2.awake_rounds.iter().max().unwrap();
+        assert!(
+            *max_awake2 <= 3 * (k2 as u64 + 1) + budget,
+            "alg2 n={n}: worst awake {max_awake2} > 3(K2+1)+budget"
+        );
+    }
+}
+
+#[test]
+fn energy_accounting_consistent() {
+    let g = generators::random_geometric(150, 0.12, 6).unwrap();
+    let run = run_sleeping_mis(&g, MisConfig::alg2(9), &EngineConfig::default()).unwrap();
+    let m = &run.metrics;
+    // Awake-only energy equals total awake rounds.
+    let awake_only = EnergyModel::awake_rounds_only().report(m);
+    let total_awake: u64 = m.per_node.iter().map(|nm| nm.awake_rounds).sum();
+    assert!((awake_only.total - total_awake as f64).abs() < 1e-6);
+    // A model with zero costs yields zero energy.
+    let zero = EnergyModel {
+        idle_per_round: 0.0,
+        sleep_per_round: 0.0,
+        tx_per_message: 0.0,
+        rx_per_message: 0.0,
+    };
+    assert_eq!(zero.report(m).total, 0.0);
+    // Monotonicity: adding sleep cost can only increase energy.
+    let with_sleep = EnergyModel { sleep_per_round: 0.5, ..EnergyModel::awake_rounds_only() };
+    assert!(with_sleep.report(m).total >= awake_only.total);
+}
+
+#[test]
+fn summary_consistency() {
+    let g = generators::gnp(80, 0.1, 8).unwrap();
+    let run = run_sleeping_mis(&g, MisConfig::alg1(4), &EngineConfig::default()).unwrap();
+    let s = run.metrics.summary();
+    assert_eq!(s.n, 80);
+    assert!(s.node_avg_awake <= s.worst_awake as f64);
+    assert!(s.node_avg_round <= s.worst_round as f64);
+    assert!(s.worst_awake as f64 <= s.worst_round as f64 + 1.0);
+    let total_sent: u64 = run.metrics.per_node.iter().map(|m| m.messages_sent).sum();
+    let total_recv: u64 = run.metrics.per_node.iter().map(|m| m.messages_received).sum();
+    let total_drop: u64 = run.metrics.per_node.iter().map(|m| m.messages_dropped).sum();
+    assert_eq!(total_sent, total_recv + total_drop, "messages must be delivered or dropped");
+}

@@ -1,0 +1,86 @@
+//! Cross-algorithm MIS validity: every implemented algorithm must produce
+//! a maximal independent set on every workload family (modulo Algorithm
+//! 1's documented Monte-Carlo rank-tie failures, which we detect exactly).
+
+use sleepy::graph::GraphFamily;
+use sleepy::harness::{measure_once, AlgoKind, Execution, ALL_ALGOS};
+use sleepy::mis::{depth_alg1, derive_all};
+
+fn families() -> Vec<GraphFamily> {
+    vec![
+        GraphFamily::GnpAvgDeg(6.0),
+        GraphFamily::GnpLogDensity(1.5),
+        GraphFamily::RandomRegular(4),
+        GraphFamily::GeometricAvgDeg(6.0),
+        GraphFamily::BarabasiAlbert(2),
+        GraphFamily::Tree,
+        GraphFamily::Cycle,
+        GraphFamily::Path,
+        GraphFamily::Star,
+        GraphFamily::Grid2d,
+        GraphFamily::Empty,
+    ]
+}
+
+/// Whether this seed/instance has two nodes with identical K-bit ranks
+/// (Algorithm 1's Monte-Carlo failure event).
+fn has_rank_tie(n: usize, seed: u64) -> bool {
+    let k = depth_alg1(n);
+    let mut ranks: Vec<u128> = derive_all(seed, n).iter().map(|c| c.rank(k)).collect();
+    ranks.sort_unstable();
+    ranks.windows(2).any(|w| w[0] == w[1])
+}
+
+#[test]
+fn every_algorithm_on_every_family() {
+    for family in families() {
+        for n in [31, 128] {
+            let g = family.generate(n, 99).unwrap();
+            for algo in ALL_ALGOS {
+                for seed in 0..3u64 {
+                    let r = measure_once(&g, algo, seed, Execution::Auto).unwrap();
+                    if !r.valid {
+                        // Only Algorithm 1 may fail, and only on a tie.
+                        assert_eq!(algo, AlgoKind::SleepingMis, "{algo} invalid on {family}");
+                        assert!(
+                            has_rank_tie(g.n(), seed),
+                            "{algo} invalid on {family} n={n} seed={seed} without a rank tie"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn mis_size_is_plausible() {
+    // On a cycle, any MIS has between n/3 and n/2 nodes; on a clique
+    // exactly 1; on an empty graph exactly n.
+    let cycle = GraphFamily::Cycle.generate(99, 1).unwrap();
+    let clique = GraphFamily::Clique.generate(40, 1).unwrap();
+    let empty = GraphFamily::Empty.generate(25, 1).unwrap();
+    for algo in ALL_ALGOS {
+        let r = measure_once(&cycle, algo, 5, Execution::Auto).unwrap();
+        assert!((33..=49).contains(&r.mis_size), "{algo} on C99: {}", r.mis_size);
+        let r = measure_once(&clique, algo, 5, Execution::Auto).unwrap();
+        assert_eq!(r.mis_size, 1, "{algo} on K40");
+        let r = measure_once(&empty, algo, 5, Execution::Auto).unwrap();
+        assert_eq!(r.mis_size, 25, "{algo} on empty");
+    }
+}
+
+#[test]
+fn failure_rate_stays_monte_carlo_small() {
+    // Over many seeds at n = 128, Algorithm 1's failure probability is at
+    // most ~ n^2/2 * 2^-K = 1/(2n); with 200 seeds we expect ~1 failure.
+    let g = GraphFamily::GnpAvgDeg(6.0).generate(128, 123).unwrap();
+    let mut failures = 0;
+    for seed in 0..200u64 {
+        let r = measure_once(&g, AlgoKind::SleepingMis, seed, Execution::Auto).unwrap();
+        if !r.valid {
+            failures += 1;
+        }
+    }
+    assert!(failures <= 5, "implausibly many Monte-Carlo failures: {failures}/200");
+}

@@ -1,0 +1,145 @@
+//! Property-based tests over random graphs and seeds (proptest).
+
+use proptest::prelude::*;
+use sleepy::graph::{Graph, GraphFamily, NodeId};
+use sleepy::mis::{
+    depth_alg1, derive_all, execute_sleeping_mis, run_sleeping_mis, MisConfig, NodeRandomness,
+    Schedule,
+};
+use sleepy::net::EngineConfig;
+use sleepy::verify::{is_independent, verify_mis};
+
+/// Strategy: an arbitrary simple graph as (n, edge set).
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n as NodeId, 0..n as NodeId), 0..max_edges.min(4 * n))
+            .prop_map(move |pairs| {
+                let edges: Vec<(NodeId, NodeId)> =
+                    pairs.into_iter().filter(|(u, v)| u != v).collect();
+                Graph::from_edges(n, edges).expect("filtered edges are valid")
+            })
+    })
+}
+
+fn has_rank_tie(n: usize, seed: u64) -> bool {
+    let k = depth_alg1(n);
+    let mut ranks: Vec<u128> = derive_all(seed, n).iter().map(|c| c.rank(k)).collect();
+    ranks.sort_unstable();
+    ranks.windows(2).any(|w| w[0] == w[1])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn alg1_output_is_mis_on_arbitrary_graphs(g in arb_graph(60), seed in 0u64..1000) {
+        let out = execute_sleeping_mis(&g, MisConfig::alg1(seed)).unwrap();
+        if has_rank_tie(g.n(), seed) {
+            // Even with ties, independence violations can only involve
+            // tied pairs; domination still holds (every node is decided).
+            prop_assert!(out.in_mis.iter().any(|&b| b) || g.n() == 0);
+        } else {
+            prop_assert!(verify_mis(&g, &out.in_mis).is_ok());
+        }
+    }
+
+    #[test]
+    fn alg2_output_is_mis_on_arbitrary_graphs(g in arb_graph(60), seed in 0u64..1000) {
+        let out = execute_sleeping_mis(&g, MisConfig::alg2(seed)).unwrap();
+        if out.base_timeout.iter().all(|&t| !t) {
+            prop_assert!(verify_mis(&g, &out.in_mis).is_ok());
+        } else {
+            prop_assert!(is_independent(&g, &out.in_mis));
+        }
+    }
+
+    #[test]
+    fn engine_matches_executor_on_arbitrary_graphs(g in arb_graph(40), seed in 0u64..100) {
+        for cfg in [MisConfig::alg1(seed), MisConfig::alg2(seed)] {
+            let engine = run_sleeping_mis(&g, cfg, &EngineConfig::default()).unwrap();
+            let exec = execute_sleeping_mis(&g, cfg).unwrap();
+            prop_assert_eq!(&engine.in_mis, &exec.in_mis);
+            for v in 0..g.n() {
+                prop_assert_eq!(
+                    engine.metrics.per_node[v].awake_rounds,
+                    exec.awake_rounds[v]
+                );
+                prop_assert_eq!(
+                    engine.metrics.per_node[v].finish_round,
+                    Some(exec.finish_rounds[v])
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rank_comparison_is_lexicographic(xa in any::<u128>(), xb in any::<u128>(), k in 1u32..=128) {
+        let a = NodeRandomness { xbits: xa, greedy_rank: 0 };
+        let b = NodeRandomness { xbits: xb, greedy_rank: 0 };
+        // Integer order of rank(k) equals lexicographic order of
+        // (X_k, ..., X_1): verify against an explicit bit-by-bit compare.
+        let lex = {
+            let mut ord = std::cmp::Ordering::Equal;
+            for i in (1..=k).rev() {
+                ord = a.x(i).cmp(&b.x(i));
+                if ord != std::cmp::Ordering::Equal {
+                    break;
+                }
+            }
+            ord
+        };
+        prop_assert_eq!(a.rank(k).cmp(&b.rank(k)), lex);
+    }
+
+    #[test]
+    fn schedule_recurrence_and_monotonicity(t0 in 0u64..10_000, k in 1u32..40) {
+        let s = Schedule::alg2(t0);
+        let t = s.duration(k).unwrap();
+        let t1 = s.duration(k - 1).unwrap();
+        prop_assert_eq!(t, 2 * t1 + 3);
+        prop_assert!(t > t1);
+    }
+
+    #[test]
+    fn generator_families_produce_simple_graphs(
+        fam_idx in 0usize..6,
+        n in 2usize..120,
+        seed in 0u64..50,
+    ) {
+        let fams = [
+            GraphFamily::GnpAvgDeg(5.0),
+            GraphFamily::RandomRegular(3),
+            GraphFamily::GeometricAvgDeg(5.0),
+            GraphFamily::BarabasiAlbert(2),
+            GraphFamily::Tree,
+            GraphFamily::Grid2d,
+        ];
+        let g = fams[fam_idx].generate(n, seed).unwrap();
+        // Simple graph invariants: sorted unique neighbor lists without
+        // self loops, symmetric adjacency.
+        for v in g.node_ids() {
+            let nbrs = g.neighbors(v);
+            prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "unsorted/duplicate");
+            prop_assert!(!nbrs.contains(&v), "self loop");
+            for &u in nbrs {
+                prop_assert!(g.neighbors(u).contains(&v), "asymmetric edge");
+            }
+        }
+        prop_assert_eq!(
+            g.node_ids().map(|v| g.degree(v)).sum::<usize>(),
+            2 * g.m()
+        );
+    }
+
+    #[test]
+    fn awake_complexity_bounds_always_hold(g in arb_graph(80), seed in 0u64..200) {
+        let out = execute_sleeping_mis(&g, MisConfig::alg1(seed)).unwrap();
+        let k = depth_alg1(g.n()) as u64;
+        for (v, &a) in out.awake_rounds.iter().enumerate() {
+            prop_assert!(a <= 3 * (k + 1), "node {v}: awake {a} > 3(K+1)");
+        }
+        let t_k = Schedule::alg1().duration(k as u32).unwrap();
+        prop_assert!(out.total_rounds <= t_k);
+    }
+}
