@@ -72,9 +72,8 @@ impl LubyColoring {
     }
 
     fn pick_color(&mut self) -> u32 {
-        let available: Vec<u32> = (0..self.taken.len() as u32)
-            .filter(|&c| !self.taken[c as usize])
-            .collect();
+        let available: Vec<u32> =
+            (0..self.taken.len() as u32).filter(|&c| !self.taken[c as usize]).collect();
         debug_assert!(!available.is_empty(), "palette cannot empty: deg+1 colors, <=deg taken");
         available[self.rng.gen_range(0..available.len())]
     }
@@ -90,7 +89,7 @@ impl Protocol for LubyColoring {
             self.taken = vec![false; ctx.degree + 1];
             self.initialized = true;
         }
-        if ctx.round % 2 == 0 {
+        if ctx.round.is_multiple_of(2) {
             if self.color.is_none() {
                 self.proposal = self.pick_color();
                 out.broadcast(ColoringMsg::Propose { color: self.proposal });
@@ -102,12 +101,11 @@ impl Protocol for LubyColoring {
     }
 
     fn receive(&mut self, ctx: &NodeCtx, inbox: &[Incoming<ColoringMsg>]) -> Action {
-        if ctx.round % 2 == 0 {
+        if ctx.round.is_multiple_of(2) {
             // Propose round: detect conflicts with undecided neighbors.
             if self.color.is_none() {
-                self.conflicted = inbox
-                    .iter()
-                    .any(|m| m.msg == ColoringMsg::Propose { color: self.proposal });
+                self.conflicted =
+                    inbox.iter().any(|m| m.msg == ColoringMsg::Propose { color: self.proposal });
                 if !self.conflicted {
                     self.color = Some(self.proposal);
                 }
@@ -144,10 +142,8 @@ mod tests {
     use sleepy_net::{run_protocol, EngineConfig};
 
     fn run_coloring(g: &Graph, seed: u64) -> (Vec<u32>, sleepy_net::RunMetrics) {
-        let run = run_protocol(g, &EngineConfig::default(), |id, _| {
-            LubyColoring::new(id, seed)
-        })
-        .expect("coloring runs");
+        let run = run_protocol(g, &EngineConfig::default(), |id, _| LubyColoring::new(id, seed))
+            .expect("coloring runs");
         let colors = run.outputs.into_iter().map(|c| c.expect("all colored")).collect();
         (colors, run.metrics)
     }

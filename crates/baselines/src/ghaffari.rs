@@ -108,9 +108,7 @@ impl Protocol for Ghaffari {
                 self.pressure = inbox
                     .iter()
                     .filter_map(|m| match m.msg {
-                        GhaffariMsg::Desire { exponent } => {
-                            Some(0.5f64.powi(exponent as i32))
-                        }
+                        GhaffariMsg::Desire { exponent } => Some(0.5f64.powi(exponent as i32)),
                         _ => None,
                     })
                     .sum();
@@ -170,9 +168,8 @@ mod tests {
         .enumerate()
         {
             for seed in 0..4 {
-                let run =
-                    run_baseline(g, BaselineKind::Ghaffari, seed, &EngineConfig::default())
-                        .unwrap();
+                let run = run_baseline(g, BaselineKind::Ghaffari, seed, &EngineConfig::default())
+                    .unwrap();
                 assert_valid_mis(g, &run.in_mis, &format!("ghaffari g{i} s{seed}"));
             }
         }

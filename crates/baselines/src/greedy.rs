@@ -83,7 +83,7 @@ impl Protocol for GreedyCrt {
     fn send(&mut self, ctx: &NodeCtx, out: &mut Outbox<GreedyMsg>) {
         if ctx.round == 0 {
             out.broadcast(GreedyMsg::Rank { rank: self.rank, id: ctx.id });
-        } else if (ctx.round - 1) % 2 == 0 {
+        } else if (ctx.round - 1).is_multiple_of(2) {
             // Join round.
             if self.in_mis.is_none() && self.wins(ctx.id) {
                 self.in_mis = Some(true);
@@ -109,16 +109,13 @@ impl Protocol for GreedyCrt {
                 .collect();
             return Action::Continue;
         }
-        if (ctx.round - 1) % 2 == 0 {
+        if (ctx.round - 1).is_multiple_of(2) {
             // Join round.
             if self.announced_join {
                 return Action::Terminate;
             }
-            let joined: Vec<Port> = inbox
-                .iter()
-                .filter(|m| m.msg == GreedyMsg::Join)
-                .map(|m| m.port)
-                .collect();
+            let joined: Vec<Port> =
+                inbox.iter().filter(|m| m.msg == GreedyMsg::Join).map(|m| m.port).collect();
             if !joined.is_empty() {
                 self.alive.retain(|&(p, _, _)| !joined.contains(&p));
                 debug_assert!(self.in_mis.is_none());
@@ -128,11 +125,8 @@ impl Protocol for GreedyCrt {
             Action::Continue
         } else {
             // Removal round.
-            let removed: Vec<Port> = inbox
-                .iter()
-                .filter(|m| m.msg == GreedyMsg::Removed)
-                .map(|m| m.port)
-                .collect();
+            let removed: Vec<Port> =
+                inbox.iter().filter(|m| m.msg == GreedyMsg::Removed).map(|m| m.port).collect();
             self.alive.retain(|&(p, _, _)| !removed.contains(&p));
             if self.eliminated_now {
                 return Action::Terminate;
@@ -166,9 +160,8 @@ mod tests {
         .enumerate()
         {
             for seed in 0..4 {
-                let run =
-                    run_baseline(g, BaselineKind::GreedyCrt, seed, &EngineConfig::default())
-                        .unwrap();
+                let run = run_baseline(g, BaselineKind::GreedyCrt, seed, &EngineConfig::default())
+                    .unwrap();
                 crate::runner::tests::assert_valid_mis(g, &run.in_mis, &format!("g{i} s{seed}"));
             }
         }
@@ -177,8 +170,7 @@ mod tests {
     #[test]
     fn isolated_node_joins_fast() {
         let g = generators::empty(3).unwrap();
-        let run =
-            run_baseline(&g, BaselineKind::GreedyCrt, 0, &EngineConfig::default()).unwrap();
+        let run = run_baseline(&g, BaselineKind::GreedyCrt, 0, &EngineConfig::default()).unwrap();
         assert!(run.in_mis.iter().all(|&b| b));
         assert_eq!(run.metrics.total_rounds, 2); // rank round + join round
     }
@@ -187,8 +179,7 @@ mod tests {
     fn rounds_logarithmic_in_practice() {
         let n = 2000;
         let g = generators::gnp(n, 8.0 / n as f64, 5).unwrap();
-        let run =
-            run_baseline(&g, BaselineKind::GreedyCrt, 5, &EngineConfig::default()).unwrap();
+        let run = run_baseline(&g, BaselineKind::GreedyCrt, 5, &EngineConfig::default()).unwrap();
         // Fischer–Noever: O(log n) phases whp; generous cap of 8·log2(n)
         // rounds total.
         let cap = (8.0 * (n as f64).log2()) as u64;

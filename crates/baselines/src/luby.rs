@@ -71,10 +71,7 @@ impl Protocol for LubyB {
                 out.broadcast(LubyBMsg::Propose { priority: self.priority, id: ctx.id });
             }
             1 => {
-                let wins = self
-                    .heard
-                    .iter()
-                    .all(|&(p, i)| (self.priority, ctx.id) < (p, i));
+                let wins = self.heard.iter().all(|&(p, i)| (self.priority, ctx.id) < (p, i));
                 if self.in_mis.is_none() && wins {
                     self.in_mis = Some(true);
                     self.announced_join = true;
@@ -209,11 +206,7 @@ impl Protocol for LubyA {
             0 => out.broadcast(LubyAMsg::Degree { degree: self.degree() }),
             1 => {
                 let d = self.degree();
-                self.marked = if d == 0 {
-                    true
-                } else {
-                    self.rng.gen_range(0..2 * d as u64) == 0
-                };
+                self.marked = if d == 0 { true } else { self.rng.gen_range(0..2 * d as u64) == 0 };
                 if self.marked {
                     out.broadcast(LubyAMsg::Mark { degree: d, id: ctx.id });
                 }
@@ -253,11 +246,8 @@ impl Protocol for LubyA {
                 if self.announced_join {
                     return Action::Terminate;
                 }
-                let joined: Vec<Port> = inbox
-                    .iter()
-                    .filter(|m| m.msg == LubyAMsg::Join)
-                    .map(|m| m.port)
-                    .collect();
+                let joined: Vec<Port> =
+                    inbox.iter().filter(|m| m.msg == LubyAMsg::Join).map(|m| m.port).collect();
                 if !joined.is_empty() {
                     self.alive.retain(|p| !joined.contains(p));
                     debug_assert!(self.in_mis.is_none());
@@ -267,11 +257,8 @@ impl Protocol for LubyA {
                 Action::Continue
             }
             _ => {
-                let removed: Vec<Port> = inbox
-                    .iter()
-                    .filter(|m| m.msg == LubyAMsg::Removed)
-                    .map(|m| m.port)
-                    .collect();
+                let removed: Vec<Port> =
+                    inbox.iter().filter(|m| m.msg == LubyAMsg::Removed).map(|m| m.port).collect();
                 self.alive.retain(|p| !removed.contains(p));
                 if self.eliminated_now {
                     return Action::Terminate;

@@ -74,37 +74,30 @@ pub fn run_baseline(
     engine_config: &EngineConfig,
 ) -> Result<BaselineRun, EngineError> {
     match kind {
-        BaselineKind::LubyA => collect(run_protocol(graph, engine_config, |id, _| {
-            LubyA::new(id, seed)
-        })?),
-        BaselineKind::LubyB => collect(run_protocol(graph, engine_config, |id, _| {
-            LubyB::new(id, seed)
-        })?),
-        BaselineKind::GreedyCrt => collect(run_protocol(graph, engine_config, |id, _| {
-            GreedyCrt::new(id, seed)
-        })?),
-        BaselineKind::Ghaffari => collect(run_protocol(graph, engine_config, |id, _| {
-            Ghaffari::new(id, seed)
-        })?),
+        BaselineKind::LubyA => {
+            collect(run_protocol(graph, engine_config, |id, _| LubyA::new(id, seed))?)
+        }
+        BaselineKind::LubyB => {
+            collect(run_protocol(graph, engine_config, |id, _| LubyB::new(id, seed))?)
+        }
+        BaselineKind::GreedyCrt => {
+            collect(run_protocol(graph, engine_config, |id, _| GreedyCrt::new(id, seed))?)
+        }
+        BaselineKind::Ghaffari => {
+            collect(run_protocol(graph, engine_config, |id, _| Ghaffari::new(id, seed))?)
+        }
     }
 }
 
 fn collect(outcome: sleepy_net::RunOutcome<bool>) -> Result<BaselineRun, EngineError> {
-    let in_mis = outcome
-        .outputs
-        .into_iter()
-        .map(|o| o.expect("completed run has all outputs"))
-        .collect();
+    let in_mis =
+        outcome.outputs.into_iter().map(|o| o.expect("completed run has all outputs")).collect();
     Ok(BaselineRun { in_mis, metrics: outcome.metrics })
 }
 
 /// All baseline kinds, for sweeps.
-pub const ALL_BASELINES: [BaselineKind; 4] = [
-    BaselineKind::LubyA,
-    BaselineKind::LubyB,
-    BaselineKind::GreedyCrt,
-    BaselineKind::Ghaffari,
-];
+pub const ALL_BASELINES: [BaselineKind; 4] =
+    [BaselineKind::LubyA, BaselineKind::LubyB, BaselineKind::GreedyCrt, BaselineKind::Ghaffari];
 
 #[cfg(test)]
 pub(crate) mod tests {

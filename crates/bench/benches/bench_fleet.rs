@@ -1,0 +1,54 @@
+//! Fleet throughput: thread-scaling of a standard sweep, plus the
+//! aggregate-determinism guard. Run `cargo bench --bench bench_fleet`
+//! (or `examples/fleet_speedup.rs` for the full acceptance sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sleepy_fleet::{run_plan, AlgoKind, Execution, FleetConfig, TrialPlan};
+use sleepy_graph::GraphFamily;
+
+fn sweep_plan(trials: usize) -> TrialPlan {
+    TrialPlan::sweep(
+        &[GraphFamily::GnpAvgDeg(8.0), GraphFamily::GeometricAvgDeg(8.0), GraphFamily::Tree],
+        &[512],
+        &[AlgoKind::SleepingMis, AlgoKind::FastSleepingMis],
+        trials,
+        0xBE7C,
+        Execution::Auto,
+    )
+}
+
+fn fleet_thread_scaling(c: &mut Criterion) {
+    let plan = sweep_plan(8);
+    let mut group = c.benchmark_group("fleet");
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("sweep_48_trials", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| run_plan(&plan, &FleetConfig::with_threads(threads)).expect("fleet runs"))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn fleet_shard_size(c: &mut Criterion) {
+    let plan = sweep_plan(8);
+    let mut group = c.benchmark_group("fleet-shard");
+    for shard_size in [1usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("shard_size", shard_size),
+            &shard_size,
+            |b, &shard_size| {
+                b.iter(|| {
+                    let cfg = FleetConfig { shard_size, ..FleetConfig::default() };
+                    run_plan(&plan, &cfg).expect("fleet runs")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fleet_thread_scaling, fleet_shard_size);
+criterion_main!(benches);

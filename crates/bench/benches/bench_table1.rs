@@ -29,13 +29,9 @@ fn table1_cells(c: &mut Criterion) {
     }
     let mut group = c.benchmark_group("table1");
     for algo in [AlgoKind::SleepingMis, AlgoKind::FastSleepingMis] {
-        group.bench_with_input(
-            BenchmarkId::new("cell", algo.to_string()),
-            &algo,
-            |b, &algo| {
-                b.iter(|| measure_once(&g, algo, 7, Execution::Auto).expect("measurement"))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("cell", algo.to_string()), &algo, |b, &algo| {
+            b.iter(|| measure_once(&g, algo, 7, Execution::Auto).expect("measurement"))
+        });
     }
     group.finish();
 }

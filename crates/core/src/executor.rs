@@ -63,11 +63,7 @@ impl ExecOutcome {
 
     /// The MIS as a list of node ids.
     pub fn mis_nodes(&self) -> Vec<NodeId> {
-        self.in_mis
-            .iter()
-            .enumerate()
-            .filter_map(|(v, &b)| b.then_some(v as NodeId))
-            .collect()
+        self.in_mis.iter().enumerate().filter_map(|(v, &b)| b.then_some(v as NodeId)).collect()
     }
 }
 
@@ -271,9 +267,11 @@ impl<'g> Exec<'g> {
             if self.status[v as usize] != MisStatus::Unknown {
                 continue;
             }
-            let dominated = self.g.neighbors(v).iter().any(|&w| {
-                self.is_member(w, stamp) && self.status[w as usize] == MisStatus::In
-            });
+            let dominated = self
+                .g
+                .neighbors(v)
+                .iter()
+                .any(|&w| self.is_member(w, stamp) && self.status[w as usize] == MisStatus::In);
             if dominated {
                 self.status[v as usize] = MisStatus::Out;
                 self.decide[v as usize] = ph.sync;
@@ -314,6 +312,7 @@ impl<'g> Exec<'g> {
 
     /// Dispatches a child call: recursion for k ≥ 1, the variant-specific
     /// base case for k = 0.
+    #[allow(clippy::too_many_arguments)]
     fn enter_child(
         &mut self,
         u: &[NodeId],
@@ -437,11 +436,7 @@ impl<'g> Exec<'g> {
                 if self.status[v as usize] != MisStatus::Unknown {
                     continue; // joined this iteration
                 }
-                let dominated = self
-                    .g
-                    .neighbors(v)
-                    .iter()
-                    .any(|&w| self.is_member(w, join_stamp));
+                let dominated = self.g.neighbors(v).iter().any(|&w| self.is_member(w, join_stamp));
                 if dominated {
                     // Under SubgraphOnly an eliminated node addresses its
                     // alive ports at the removal round: undecided base
@@ -515,9 +510,8 @@ mod tests {
                 return false;
             }
         }
-        g.node_ids().all(|v| {
-            in_mis[v as usize] || g.neighbors(v).iter().any(|&u| in_mis[u as usize])
-        })
+        g.node_ids()
+            .all(|v| in_mis[v as usize] || g.neighbors(v).iter().any(|&u| in_mis[u as usize]))
     }
 
     #[test]
@@ -542,15 +536,12 @@ mod tests {
 
     #[test]
     fn empty_and_single() {
-        let out = execute_sleeping_mis(&generators::empty(0).unwrap(), MisConfig::alg1(0))
-            .unwrap();
+        let out = execute_sleeping_mis(&generators::empty(0).unwrap(), MisConfig::alg1(0)).unwrap();
         assert_eq!(out.total_rounds, 0);
-        let out = execute_sleeping_mis(&generators::empty(1).unwrap(), MisConfig::alg1(0))
-            .unwrap();
+        let out = execute_sleeping_mis(&generators::empty(1).unwrap(), MisConfig::alg1(0)).unwrap();
         assert_eq!(out.in_mis, vec![true]);
         assert_eq!(out.awake_rounds, vec![1]);
-        let out = execute_sleeping_mis(&generators::empty(1).unwrap(), MisConfig::alg2(0))
-            .unwrap();
+        let out = execute_sleeping_mis(&generators::empty(1).unwrap(), MisConfig::alg2(0)).unwrap();
         assert_eq!(out.awake_rounds, vec![2]);
     }
 
@@ -575,11 +566,7 @@ mod tests {
         let z = out.tree.z_profile();
         assert_eq!(z[0], 4000);
         // By depth 8 the expected occupancy is (3/4)^8 ~ 10%; allow 3x.
-        assert!(
-            (z[8] as f64) < 0.3 * 4000.0,
-            "Z at depth 8 = {} did not decay",
-            z[8]
-        );
+        assert!((z[8] as f64) < 0.3 * 4000.0, "Z at depth 8 = {} did not decay", z[8]);
     }
 
     #[test]
@@ -588,12 +575,8 @@ mod tests {
         let out = execute_sleeping_mis(&g, MisConfig::alg1(13)).unwrap();
         let ratios = out.tree.recursion_ratios();
         // Weighted means over big calls only (small calls are noisy).
-        let big: Vec<_> = out
-            .tree
-            .calls
-            .iter()
-            .filter(|c| !c.is_base && c.participants >= 100)
-            .collect();
+        let big: Vec<_> =
+            out.tree.calls.iter().filter(|c| !c.is_base && c.participants >= 100).collect();
         assert!(!big.is_empty());
         let l: f64 = big.iter().map(|c| c.left_participants as f64).sum::<f64>()
             / big.iter().map(|c| c.participants as f64).sum::<f64>();

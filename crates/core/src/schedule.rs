@@ -145,9 +145,7 @@ impl Schedule {
         }
         let t_child = self.duration(k - 1)?;
         let t_self = self.duration(k)?;
-        let end = start
-            .checked_add(t_self - 1)
-            .ok_or(MisError::ScheduleOverflow { k })?;
+        let end = start.checked_add(t_self - 1).ok_or(MisError::ScheduleOverflow { k })?;
         let first_iso = start;
         let left_start = start + 1;
         let sync = start + 1 + t_child;

@@ -104,7 +104,7 @@ impl RecursionTree {
             let indent = "  ".repeat(c.depth as usize);
             let side = if c.depth == 0 {
                 "root"
-            } else if (c.path >> 0) & 1 == 0 {
+            } else if c.path & 1 == 0 {
                 // path LSB is the most recent descent
                 "L"
             } else {
@@ -216,11 +216,7 @@ mod tests {
                 .iter()
                 .find(|n| n.path == *path)
                 .unwrap_or_else(|| panic!("missing node {path}"));
-            assert_eq!(
-                (node.first_reached, node.finish),
-                (*first, *finish),
-                "path {path}"
-            );
+            assert_eq!((node.first_reached, node.finish), (*first, *finish), "path {path}");
         }
     }
 

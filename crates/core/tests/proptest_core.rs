@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 use sleepy_graph::{Graph, NodeId};
 use sleepy_mis::{
-    depth_alg1, depth_alg2, derive_all, execute_sleeping_mis, greedy_budget_rounds,
-    schedule_tree, Convention, MisConfig, Schedule,
+    depth_alg1, depth_alg2, derive_all, execute_sleeping_mis, greedy_budget_rounds, schedule_tree,
+    Convention, MisConfig, Schedule,
 };
 
 fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {

@@ -1,0 +1,291 @@
+//! The `fleet` CLI: run a declarative sweep of sleeping-model trials in
+//! parallel with deterministic output.
+//!
+//! ```text
+//! fleet --families gnp8,geo8,tree --sizes 256,512 --algos all \
+//!       --trials 30 --threads 8 --out results/fleet
+//! ```
+
+use sleepy_baselines::BaselineKind;
+use sleepy_fleet::sink::{write_aggregate_csv, write_aggregate_json, JsonlSink};
+use sleepy_fleet::{
+    run_plan_with_sinks, standard_families, AlgoKind, Execution, FleetConfig, TrialPlan, ALL_ALGOS,
+    SLEEPING_ALGOS,
+};
+use sleepy_graph::GraphFamily;
+use sleepy_stats::TextTable;
+use std::io::BufWriter;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "fleet — parallel batch execution of sleeping-model experiments
+
+USAGE:
+    fleet [OPTIONS]
+
+OPTIONS:
+    --families LIST   comma-separated graph families (default: the standard
+                      six-family suite). Names: gnp<d> (G(n,p), avg degree d),
+                      gnplog<c>, regular<d>, geo<d>, ba<m>, tree, cycle, path,
+                      star, clique, grid2d, hypercube
+    --sizes LIST      comma-separated node counts (default: 256,512)
+    --algos LIST      all | sleeping | comma-separated names among
+                      alg1,alg2,luby-a,luby-b,greedy,ghaffari (default: all)
+    --trials N        trials per (family, size, algorithm) job (default: 25)
+    --seed S          base seed (default: 0x51EE9)
+    --threads N       worker threads, 0 = all cores (default: 0)
+    --shard-size N    trials per work-stealing shard (default: 16)
+    --engine          force the message-passing engine for all algorithms
+    --out DIR         write trials.jsonl, aggregates.json, aggregates.csv
+    --no-progress     suppress the stderr progress line
+    --dry-run         print the job list and exit
+    --help            this text
+
+Output is byte-identical for a fixed plan regardless of --threads and
+--shard-size.";
+
+fn parse_family(name: &str) -> Result<GraphFamily, String> {
+    let tail = |prefix: &str| name[prefix.len()..].to_string();
+    let num = |s: &str, what: &str| {
+        s.parse::<f64>().map_err(|_| format!("bad {what} in family `{name}`"))
+    };
+    let int = |s: &str, what: &str| {
+        s.parse::<usize>().map_err(|_| format!("bad {what} in family `{name}`"))
+    };
+    match name {
+        "tree" => Ok(GraphFamily::Tree),
+        "cycle" => Ok(GraphFamily::Cycle),
+        "path" => Ok(GraphFamily::Path),
+        "star" => Ok(GraphFamily::Star),
+        "clique" => Ok(GraphFamily::Clique),
+        "grid2d" => Ok(GraphFamily::Grid2d),
+        "hypercube" => Ok(GraphFamily::Hypercube),
+        _ if name.starts_with("gnplog") => {
+            Ok(GraphFamily::GnpLogDensity(num(&tail("gnplog"), "density")?))
+        }
+        _ if name.starts_with("gnp") => Ok(GraphFamily::GnpAvgDeg(num(&tail("gnp"), "degree")?)),
+        _ if name.starts_with("regular") => {
+            Ok(GraphFamily::RandomRegular(int(&tail("regular"), "degree")?))
+        }
+        _ if name.starts_with("geo") => {
+            Ok(GraphFamily::GeometricAvgDeg(num(&tail("geo"), "degree")?))
+        }
+        _ if name.starts_with("ba") => Ok(GraphFamily::BarabasiAlbert(int(&tail("ba"), "edges")?)),
+        _ => Err(format!("unknown graph family `{name}` (try --help)")),
+    }
+}
+
+fn parse_algos(spec: &str) -> Result<Vec<AlgoKind>, String> {
+    match spec {
+        "all" => Ok(ALL_ALGOS.to_vec()),
+        "sleeping" => Ok(SLEEPING_ALGOS.to_vec()),
+        _ => spec
+            .split(',')
+            .map(|name| match name {
+                "alg1" | "sleeping-mis" => Ok(AlgoKind::SleepingMis),
+                "alg2" | "fast-sleeping-mis" => Ok(AlgoKind::FastSleepingMis),
+                "luby-a" => Ok(AlgoKind::Baseline(BaselineKind::LubyA)),
+                "luby-b" => Ok(AlgoKind::Baseline(BaselineKind::LubyB)),
+                "greedy" => Ok(AlgoKind::Baseline(BaselineKind::GreedyCrt)),
+                "ghaffari" => Ok(AlgoKind::Baseline(BaselineKind::Ghaffari)),
+                other => Err(format!("unknown algorithm `{other}` (try --help)")),
+            })
+            .collect(),
+    }
+}
+
+struct Args {
+    families: Vec<GraphFamily>,
+    sizes: Vec<usize>,
+    algos: Vec<AlgoKind>,
+    trials: usize,
+    seed: u64,
+    threads: usize,
+    shard_size: usize,
+    execution: Execution,
+    out: Option<PathBuf>,
+    progress: bool,
+    dry_run: bool,
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        families: standard_families(),
+        sizes: vec![256, 512],
+        algos: ALL_ALGOS.to_vec(),
+        trials: 25,
+        seed: 0x51EE9,
+        threads: 0,
+        shard_size: 16,
+        execution: Execution::Auto,
+        out: None,
+        progress: true,
+        dry_run: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("missing value for {flag}"));
+        match flag.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            "--families" => {
+                args.families =
+                    value("--families")?.split(',').map(parse_family).collect::<Result<_, _>>()?;
+            }
+            "--sizes" => {
+                args.sizes = value("--sizes")?
+                    .split(',')
+                    .map(|s| s.parse::<usize>().map_err(|_| format!("bad size `{s}`")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--algos" => args.algos = parse_algos(&value("--algos")?)?,
+            "--trials" => {
+                args.trials =
+                    value("--trials")?.parse().map_err(|_| "bad --trials value".to_string())?;
+            }
+            "--seed" => {
+                let v = value("--seed")?;
+                args.seed = parse_u64_maybe_hex(&v).ok_or(format!("bad --seed `{v}`"))?;
+            }
+            "--threads" => {
+                args.threads =
+                    value("--threads")?.parse().map_err(|_| "bad --threads value".to_string())?;
+            }
+            "--shard-size" => {
+                args.shard_size = value("--shard-size")?
+                    .parse()
+                    .map_err(|_| "bad --shard-size value".to_string())?;
+            }
+            "--engine" => args.execution = Execution::ForceEngine,
+            "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--no-progress" => args.progress = false,
+            "--dry-run" => args.dry_run = true,
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(Some(args))
+}
+
+fn parse_u64_maybe_hex(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(args)) => args,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("fleet: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let plan = TrialPlan::sweep(
+        &args.families,
+        &args.sizes,
+        &args.algos,
+        args.trials,
+        args.seed,
+        args.execution,
+    );
+    eprintln!(
+        "fleet: {} jobs ({} families x {} sizes x {} algorithms), {} trials total",
+        plan.jobs.len(),
+        args.families.len(),
+        args.sizes.len(),
+        args.algos.len(),
+        plan.total_trials(),
+    );
+    if args.dry_run {
+        for (i, job) in plan.jobs.iter().enumerate() {
+            println!("job {i:4}  {}  x{}", job.label(), job.trials);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let config = FleetConfig {
+        threads: args.threads,
+        shard_size: args.shard_size,
+        max_in_flight: 0,
+        progress: args.progress,
+    };
+
+    let mut jsonl = None;
+    if let Some(dir) = &args.out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("fleet: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        match std::fs::File::create(dir.join("trials.jsonl")) {
+            Ok(f) => jsonl = Some(JsonlSink::new(BufWriter::new(f))),
+            Err(e) => {
+                eprintln!("fleet: cannot create trials.jsonl: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let mut sinks: Vec<&mut dyn sleepy_fleet::sink::TrialSink> = Vec::new();
+    if let Some(s) = jsonl.as_mut() {
+        sinks.push(s);
+    }
+
+    let out = match run_plan_with_sinks(&plan, &config, &mut sinks) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("fleet: run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = out.report(&plan);
+
+    // Console summary.
+    let mut table = TextTable::new(vec![
+        "job",
+        "trials",
+        "avg awake (mean/p99)",
+        "worst awake p99",
+        "worst round p99",
+        "valid",
+    ]);
+    for j in &report.jobs {
+        table.row(vec![
+            j.label.clone(),
+            j.trials.to_string(),
+            format!("{:.2} / {:.2}", j.node_avg_awake.mean, j.node_avg_awake.p99),
+            format!("{:.0}", j.worst_awake.p99),
+            format!("{:.0}", j.worst_round.p99),
+            format!("{:.0}%", 100.0 * j.valid_fraction),
+        ]);
+    }
+    println!("{}", table.render());
+    eprintln!(
+        "fleet: {} trials in {:.2?} ({} threads)",
+        out.total_trials,
+        out.elapsed,
+        sleepy_fleet::pool::resolve_threads(args.threads),
+    );
+
+    if let Some(dir) = &args.out {
+        let write_all = || -> std::io::Result<()> {
+            write_aggregate_json(
+                BufWriter::new(std::fs::File::create(dir.join("aggregates.json"))?),
+                &report,
+            )?;
+            write_aggregate_csv(
+                BufWriter::new(std::fs::File::create(dir.join("aggregates.csv"))?),
+                &report,
+            )?;
+            Ok(())
+        };
+        if let Err(e) = write_all() {
+            eprintln!("fleet: writing aggregates failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("fleet: wrote {}/trials.jsonl, aggregates.json, aggregates.csv", dir.display());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,72 @@
+//! Fleet error type.
+
+use sleepy_graph::GraphError;
+use sleepy_mis::MisError;
+use sleepy_net::EngineError;
+use std::error::Error;
+use std::fmt;
+
+/// Any failure inside a fleet run: workload generation, algorithm
+/// configuration/execution, or sink I/O.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FleetError {
+    /// Workload generation failed.
+    Graph(GraphError),
+    /// SleepingMIS configuration or execution failed.
+    Mis(MisError),
+    /// Engine failure from a baseline run.
+    Engine(EngineError),
+    /// A result sink failed to write.
+    Io(std::io::Error),
+    /// An invalid plan or configuration.
+    Config(String),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Graph(e) => write!(f, "workload generation failed: {e}"),
+            FleetError::Mis(e) => write!(f, "sleeping MIS failed: {e}"),
+            FleetError::Engine(e) => write!(f, "engine failed: {e}"),
+            FleetError::Io(e) => write!(f, "result sink failed: {e}"),
+            FleetError::Config(msg) => write!(f, "invalid fleet configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for FleetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FleetError::Graph(e) => Some(e),
+            FleetError::Mis(e) => Some(e),
+            FleetError::Engine(e) => Some(e),
+            FleetError::Io(e) => Some(e),
+            FleetError::Config(_) => None,
+        }
+    }
+}
+
+impl From<GraphError> for FleetError {
+    fn from(e: GraphError) -> Self {
+        FleetError::Graph(e)
+    }
+}
+
+impl From<MisError> for FleetError {
+    fn from(e: MisError) -> Self {
+        FleetError::Mis(e)
+    }
+}
+
+impl From<EngineError> for FleetError {
+    fn from(e: EngineError) -> Self {
+        FleetError::Engine(e)
+    }
+}
+
+impl From<std::io::Error> for FleetError {
+    fn from(e: std::io::Error) -> Self {
+        FleetError::Io(e)
+    }
+}

@@ -1,0 +1,51 @@
+//! # sleepy-fleet
+//!
+//! The parallel batch-execution runtime for large-scale sleeping-model
+//! experiments. Validating the paper's headline claim — O(1) *expected*
+//! node-averaged awake complexity — is a statement about distributions,
+//! so it takes thousands of trials across many graph families and sizes.
+//! This crate turns that into a declarative, deterministic, parallel
+//! pipeline:
+//!
+//! * [`JobSpec`] / [`TrialPlan`] — a declarative description of a batch:
+//!   algorithm × workload × trial count. Per-trial seeds come from a
+//!   SplitMix64 [`SeedStream`], so trial `t` of job `j` sees the same
+//!   randomness regardless of how trials are scheduled onto threads.
+//! * [`run_plan`] — a work-stealing thread-pool executor. Trials are
+//!   grouped into fixed shards claimed dynamically by workers; a bounded
+//!   in-flight budget keeps memory flat while an in-order collector
+//!   merges shard aggregates in shard-index order, making every output
+//!   **byte-identical across thread counts**.
+//! * [`JobAggregate`] — mergeable streaming aggregates
+//!   (count/mean/M2/min/max plus exact p50/p99) per metric, built on
+//!   [`sleepy_stats::StreamingMoments`].
+//! * [`sink`] — result sinks: a JSONL per-trial log and aggregate
+//!   JSON/CSV writers, all emitting in deterministic trial order.
+//! * a `fleet` CLI binary with progress reporting (see `--help`).
+//!
+//! The experiment harness (`sleepy-harness`) expresses all its trial
+//! loops as plans submitted here; [`deterministic_map`] is the shared
+//! low-level primitive for experiments whose trial bodies don't fit the
+//! declarative form.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agg;
+mod error;
+mod measure;
+pub mod pool;
+pub mod run;
+pub mod seed;
+pub mod sink;
+mod spec;
+mod workload;
+
+pub use agg::{JobAggregate, MetricAggregate, MetricStats};
+pub use error::FleetError;
+pub use measure::{measure_once, AlgoKind, ComplexityReport, Execution, ALL_ALGOS, SLEEPING_ALGOS};
+pub use pool::deterministic_map;
+pub use run::{run_plan, run_plan_with_sinks, FleetConfig, FleetOutput, FleetReport};
+pub use seed::{splitmix64, SeedStream};
+pub use spec::{JobSpec, TrialPlan};
+pub use workload::{standard_families, Workload};

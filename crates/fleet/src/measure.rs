@@ -1,0 +1,150 @@
+//! Unified measurement of any MIS algorithm on any workload (the trial
+//! body every fleet job runs).
+
+use crate::error::FleetError;
+use serde::{Deserialize, Serialize};
+use sleepy_baselines::{run_baseline, BaselineKind};
+use sleepy_graph::Graph;
+use sleepy_mis::{execute_sleeping_mis, run_sleeping_mis, MisConfig};
+use sleepy_net::{ComplexitySummary, EngineConfig};
+use sleepy_verify::verify_mis;
+
+/// Every algorithm the fleet can measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AlgoKind {
+    /// Algorithm 1 (SleepingMIS).
+    SleepingMis,
+    /// Algorithm 2 (Fast-SleepingMIS).
+    FastSleepingMis,
+    /// A traditional-model baseline.
+    Baseline(BaselineKind),
+}
+
+impl std::fmt::Display for AlgoKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlgoKind::SleepingMis => f.write_str("SleepingMIS"),
+            AlgoKind::FastSleepingMis => f.write_str("Fast-SleepingMIS"),
+            AlgoKind::Baseline(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// The paper's two algorithms.
+pub const SLEEPING_ALGOS: [AlgoKind; 2] = [AlgoKind::SleepingMis, AlgoKind::FastSleepingMis];
+
+/// All algorithms: the paper's two plus all four baselines.
+pub const ALL_ALGOS: [AlgoKind; 6] = [
+    AlgoKind::SleepingMis,
+    AlgoKind::FastSleepingMis,
+    AlgoKind::Baseline(BaselineKind::LubyA),
+    AlgoKind::Baseline(BaselineKind::LubyB),
+    AlgoKind::Baseline(BaselineKind::GreedyCrt),
+    AlgoKind::Baseline(BaselineKind::Ghaffari),
+];
+
+/// How to execute a sleeping-model algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Execution {
+    /// Sleeping algorithms run on the fast combinatorial executor
+    /// (bit-identical to the engine); baselines run on the engine.
+    Auto,
+    /// Everything runs on the message-passing engine (slower; used for
+    /// cross-validation and when message/energy accounting is needed).
+    ForceEngine,
+}
+
+/// One run's complexity measurements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComplexityReport {
+    /// Algorithm label.
+    pub algo: String,
+    /// Node count of the instance.
+    pub n: usize,
+    /// The four paper measures plus communication totals.
+    pub summary: ComplexitySummary,
+    /// Size of the computed MIS.
+    pub mis_size: usize,
+    /// Whether the output verified as a maximal independent set.
+    pub valid: bool,
+    /// Algorithm 2 base-case timeouts in this run.
+    pub base_timeouts: usize,
+}
+
+/// Runs `algo` once on `graph` with the given seed.
+///
+/// # Errors
+///
+/// Propagates configuration, generation and engine errors.
+pub fn measure_once(
+    graph: &Graph,
+    algo: AlgoKind,
+    seed: u64,
+    execution: Execution,
+) -> Result<ComplexityReport, FleetError> {
+    let (in_mis, summary, base_timeouts) = match (algo, execution) {
+        (AlgoKind::SleepingMis, Execution::Auto) => {
+            let out = execute_sleeping_mis(graph, MisConfig::alg1(seed))?;
+            let timeouts = out.base_timeout.iter().filter(|&&t| t).count();
+            (out.in_mis.clone(), out.summary(), timeouts)
+        }
+        (AlgoKind::FastSleepingMis, Execution::Auto) => {
+            let out = execute_sleeping_mis(graph, MisConfig::alg2(seed))?;
+            let timeouts = out.base_timeout.iter().filter(|&&t| t).count();
+            (out.in_mis.clone(), out.summary(), timeouts)
+        }
+        (AlgoKind::SleepingMis, Execution::ForceEngine) => {
+            let run = run_sleeping_mis(graph, MisConfig::alg1(seed), &EngineConfig::default())?;
+            let t = run.base_timeouts.len();
+            (run.in_mis, run.metrics.summary(), t)
+        }
+        (AlgoKind::FastSleepingMis, Execution::ForceEngine) => {
+            let run = run_sleeping_mis(graph, MisConfig::alg2(seed), &EngineConfig::default())?;
+            let t = run.base_timeouts.len();
+            (run.in_mis, run.metrics.summary(), t)
+        }
+        (AlgoKind::Baseline(kind), _) => {
+            let run = run_baseline(graph, kind, seed, &EngineConfig::default())?;
+            (run.in_mis, run.metrics.summary(), 0)
+        }
+    };
+    let valid = verify_mis(graph, &in_mis).is_ok();
+    Ok(ComplexityReport {
+        algo: algo.to_string(),
+        n: graph.n(),
+        summary,
+        mis_size: in_mis.iter().filter(|&&b| b).count(),
+        valid,
+        base_timeouts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use sleepy_graph::GraphFamily;
+
+    #[test]
+    fn measure_once_all_algorithms() {
+        let g = Workload::new(GraphFamily::GnpAvgDeg(6.0), 80).instance(1).unwrap();
+        for algo in ALL_ALGOS {
+            let r = measure_once(&g, algo, 7, Execution::Auto).unwrap();
+            assert!(r.valid, "{algo} invalid");
+            assert!(r.mis_size > 0);
+            assert!(r.summary.node_avg_awake > 0.0);
+        }
+    }
+
+    #[test]
+    fn engine_and_auto_agree_for_sleeping_algos() {
+        let g = Workload::new(GraphFamily::GnpAvgDeg(5.0), 60).instance(2).unwrap();
+        for algo in SLEEPING_ALGOS {
+            let a = measure_once(&g, algo, 3, Execution::Auto).unwrap();
+            let b = measure_once(&g, algo, 3, Execution::ForceEngine).unwrap();
+            assert_eq!(a.mis_size, b.mis_size, "{algo}");
+            assert_eq!(a.summary.worst_round, b.summary.worst_round, "{algo}");
+            assert!((a.summary.node_avg_awake - b.summary.node_avg_awake).abs() < 1e-9);
+        }
+    }
+}

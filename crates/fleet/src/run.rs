@@ -1,0 +1,326 @@
+//! The fleet runner: executes a [`TrialPlan`] on the worker pool.
+
+use crate::agg::{JobAggregate, MetricStats};
+use crate::error::FleetError;
+use crate::measure::{measure_once, ComplexityReport};
+use crate::pool::{resolve_threads, run_shards_ordered};
+use crate::seed::SeedStream;
+use crate::sink::{TrialRecord, TrialSink};
+use crate::spec::TrialPlan;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Runner configuration. Everything here affects only *how fast* a plan
+/// runs, never *what* it computes: outputs are byte-identical across
+/// all settings.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Worker threads (0 = all available cores).
+    pub threads: usize,
+    /// Trials per shard (the unit of work stealing). Smaller shards
+    /// balance load better; larger shards amortize scheduling. Shard
+    /// boundaries are derived from the plan alone, so this does not
+    /// affect output either.
+    pub shard_size: usize,
+    /// Maximum shards buffered ahead of the in-order collector
+    /// (0 = 2 × threads). Bounds memory on runs whose trial logs are
+    /// large.
+    pub max_in_flight: usize,
+    /// Print live progress to stderr.
+    pub progress: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig { threads: 0, shard_size: 16, max_in_flight: 0, progress: false }
+    }
+}
+
+impl FleetConfig {
+    /// A config pinned to a thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        FleetConfig { threads, ..FleetConfig::default() }
+    }
+}
+
+/// The in-memory result of a fleet run.
+#[derive(Debug)]
+pub struct FleetOutput {
+    /// One aggregate per plan job, in plan order.
+    pub aggregates: Vec<JobAggregate>,
+    /// Total trials executed.
+    pub total_trials: u64,
+    /// Wall-clock duration of the run (not part of serialized reports —
+    /// those must be byte-identical across thread counts).
+    pub elapsed: Duration,
+}
+
+/// One job's serializable aggregate report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobReport {
+    /// `<algo> @ <family>/n=<n>`.
+    pub label: String,
+    /// Algorithm label.
+    pub algo: String,
+    /// Workload label.
+    pub workload: String,
+    /// Node count.
+    pub n: usize,
+    /// Trials aggregated.
+    pub trials: u64,
+    /// Fraction of trials whose output verified as an MIS.
+    pub valid_fraction: f64,
+    /// Total Algorithm 2 base-case timeouts.
+    pub base_timeouts: u64,
+    /// Node-averaged awake complexity.
+    pub node_avg_awake: MetricStats,
+    /// Worst-case awake complexity.
+    pub worst_awake: MetricStats,
+    /// Worst-case round complexity.
+    pub worst_round: MetricStats,
+    /// Node-averaged round complexity.
+    pub node_avg_round: MetricStats,
+    /// Total messages.
+    pub messages: MetricStats,
+    /// MIS size.
+    pub mis_size: MetricStats,
+}
+
+/// The serializable aggregate report of a whole run. Contains no
+/// timing or machine information: two runs of the same plan serialize
+/// to identical bytes regardless of thread count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// The plan's base seed.
+    pub base_seed: u64,
+    /// Total trials executed.
+    pub total_trials: u64,
+    /// Per-job aggregates, in plan order.
+    pub jobs: Vec<JobReport>,
+}
+
+impl FleetOutput {
+    /// Builds the serializable report for this output.
+    pub fn report(&self, plan: &TrialPlan) -> FleetReport {
+        let jobs = plan
+            .jobs
+            .iter()
+            .zip(&self.aggregates)
+            .map(|(job, agg)| JobReport {
+                label: job.label(),
+                algo: job.algo.to_string(),
+                workload: job.workload.label(),
+                n: job.workload.n,
+                trials: agg.trials,
+                valid_fraction: agg.valid_fraction(),
+                base_timeouts: agg.base_timeouts,
+                node_avg_awake: agg.node_avg_awake.stats(),
+                worst_awake: agg.worst_awake.stats(),
+                worst_round: agg.worst_round.stats(),
+                node_avg_round: agg.node_avg_round.stats(),
+                messages: agg.messages.stats(),
+                mis_size: agg.mis_size.stats(),
+            })
+            .collect();
+        FleetReport { base_seed: plan.base_seed, total_trials: self.total_trials, jobs }
+    }
+}
+
+/// A shard's worth of finished trials.
+struct ShardOutput {
+    /// `(job index, trial index, seed, report)` in global trial order.
+    trials: Vec<(usize, usize, u64, ComplexityReport)>,
+}
+
+/// Runs a plan with no per-trial sinks.
+///
+/// # Errors
+///
+/// The error of the smallest-index failing trial.
+pub fn run_plan(plan: &TrialPlan, config: &FleetConfig) -> Result<FleetOutput, FleetError> {
+    run_plan_with_sinks(plan, config, &mut [])
+}
+
+/// Runs a plan, feeding every finished trial to the sinks in global
+/// trial order (deterministic regardless of scheduling).
+///
+/// # Errors
+///
+/// The error of the smallest-index failing trial, or the first sink
+/// error.
+pub fn run_plan_with_sinks(
+    plan: &TrialPlan,
+    config: &FleetConfig,
+    sinks: &mut [&mut dyn TrialSink],
+) -> Result<FleetOutput, FleetError> {
+    if config.shard_size == 0 {
+        return Err(FleetError::Config("shard_size must be positive".into()));
+    }
+    let start = Instant::now();
+    let seeds = SeedStream::new(plan.base_seed);
+    // Global trial order: plan jobs concatenated. Prefix sums map a
+    // global index back to (job, trial).
+    let mut job_starts = Vec::with_capacity(plan.jobs.len());
+    let mut total = 0usize;
+    for job in &plan.jobs {
+        job_starts.push(total);
+        total += job.trials;
+    }
+    let locate = |global: usize| -> (usize, usize) {
+        let job = match job_starts.binary_search(&global) {
+            Ok(j) => {
+                // Several zero-trial jobs can share a start; take the
+                // last one, whose range actually contains `global`.
+                let mut j = j;
+                while j + 1 < job_starts.len() && job_starts[j + 1] == global {
+                    j += 1;
+                }
+                j
+            }
+            Err(j) => j - 1,
+        };
+        (job, global - job_starts[job])
+    };
+    let shard_size = config.shard_size;
+    let shard_count = total.div_ceil(shard_size);
+    let threads = resolve_threads(config.threads);
+    let max_in_flight = if config.max_in_flight == 0 { 2 * threads } else { config.max_in_flight };
+
+    let mut aggregates: Vec<JobAggregate> = plan.jobs.iter().map(|_| JobAggregate::new()).collect();
+    let mut done: u64 = 0;
+    let mut last_percent: u64 = u64::MAX;
+
+    run_shards_ordered(
+        shard_count,
+        config.threads,
+        max_in_flight,
+        |shard| -> Result<ShardOutput, FleetError> {
+            let lo = shard * shard_size;
+            let hi = (lo + shard_size).min(total);
+            let mut trials = Vec::with_capacity(hi - lo);
+            for global in lo..hi {
+                let (job_idx, trial_idx) = locate(global);
+                let job = &plan.jobs[job_idx];
+                let seed = seeds.trial_seed(job_idx as u64, trial_idx as u64);
+                let graph = job.workload.instance(seed)?;
+                let report = measure_once(&graph, job.algo, seed, job.execution)?;
+                trials.push((job_idx, trial_idx, seed, report));
+            }
+            Ok(ShardOutput { trials })
+        },
+        |_, shard_out| {
+            for (job_idx, trial_idx, seed, report) in &shard_out.trials {
+                aggregates[*job_idx].push(report);
+                for sink in sinks.iter_mut() {
+                    sink.record(&TrialRecord {
+                        job_index: *job_idx,
+                        job: &plan.jobs[*job_idx],
+                        trial: *trial_idx,
+                        seed: *seed,
+                        report,
+                    })?;
+                }
+                done += 1;
+            }
+            if config.progress && total > 0 {
+                let percent = done * 100 / total as u64;
+                if percent != last_percent {
+                    last_percent = percent;
+                    eprint!("\rfleet: {done}/{total} trials ({percent}%)");
+                    if done == total as u64 {
+                        eprintln!();
+                    }
+                }
+            }
+            Ok(())
+        },
+    )?;
+
+    for sink in sinks.iter_mut() {
+        sink.finish()?;
+    }
+    Ok(FleetOutput { aggregates, total_trials: done, elapsed: start.elapsed() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::{AlgoKind, Execution};
+    use crate::spec::JobSpec;
+    use crate::workload::Workload;
+    use sleepy_graph::GraphFamily;
+
+    fn tiny_plan() -> TrialPlan {
+        TrialPlan::sweep(
+            &[GraphFamily::Cycle, GraphFamily::GnpAvgDeg(4.0)],
+            &[48],
+            &[AlgoKind::SleepingMis],
+            6,
+            0xF1EE7,
+            Execution::Auto,
+        )
+    }
+
+    #[test]
+    fn run_produces_aggregates_per_job() {
+        let plan = tiny_plan();
+        let out = run_plan(&plan, &FleetConfig::default()).unwrap();
+        assert_eq!(out.aggregates.len(), 2);
+        assert_eq!(out.total_trials, 12);
+        for agg in &out.aggregates {
+            assert_eq!(agg.trials, 6);
+            assert_eq!(agg.valid_fraction(), 1.0);
+            assert!(agg.node_avg_awake.moments.mean > 0.0);
+        }
+        let report = out.report(&plan);
+        assert_eq!(report.jobs.len(), 2);
+        assert!(report.jobs[0].label.contains("SleepingMIS"));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_report_bytes() {
+        let plan = tiny_plan();
+        let reports: Vec<String> = [1usize, 2, 8]
+            .iter()
+            .map(|&threads| {
+                let cfg = FleetConfig { threads, shard_size: 2, ..FleetConfig::default() };
+                let out = run_plan(&plan, &cfg).unwrap();
+                serde_json::to_string_pretty(&out.report(&plan)).unwrap()
+            })
+            .collect();
+        assert_eq!(reports[0], reports[1]);
+        assert_eq!(reports[1], reports[2]);
+    }
+
+    #[test]
+    fn shard_size_does_not_change_report_bytes() {
+        let plan = tiny_plan();
+        let render = |shard_size: usize| {
+            let cfg = FleetConfig { threads: 3, shard_size, ..FleetConfig::default() };
+            let out = run_plan(&plan, &cfg).unwrap();
+            serde_json::to_string_pretty(&out.report(&plan)).unwrap()
+        };
+        assert_eq!(render(1), render(7));
+        assert_eq!(render(7), render(100));
+    }
+
+    #[test]
+    fn zero_trial_jobs_are_skipped_cleanly() {
+        let mut plan = TrialPlan::new(5);
+        plan.push(JobSpec::new(Workload::new(GraphFamily::Cycle, 16), AlgoKind::SleepingMis, 0));
+        plan.push(JobSpec::new(Workload::new(GraphFamily::Cycle, 16), AlgoKind::SleepingMis, 3));
+        plan.push(JobSpec::new(Workload::new(GraphFamily::Path, 16), AlgoKind::SleepingMis, 0));
+        let out = run_plan(&plan, &FleetConfig::default()).unwrap();
+        assert_eq!(out.total_trials, 3);
+        assert_eq!(out.aggregates[0].trials, 0);
+        assert_eq!(out.aggregates[1].trials, 3);
+        assert_eq!(out.aggregates[2].trials, 0);
+    }
+
+    #[test]
+    fn invalid_shard_size_is_a_config_error() {
+        let plan = tiny_plan();
+        let cfg = FleetConfig { shard_size: 0, ..FleetConfig::default() };
+        assert!(matches!(run_plan(&plan, &cfg), Err(FleetError::Config(_))));
+    }
+}

@@ -1,0 +1,125 @@
+//! Declarative batch descriptions: what to run, not how.
+
+use crate::measure::{AlgoKind, Execution};
+use crate::workload::Workload;
+use serde::{Deserialize, Serialize};
+use sleepy_graph::GraphFamily;
+
+/// One batch of identical trials: an algorithm on a workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// The workload every trial generates an instance of.
+    pub workload: Workload,
+    /// The algorithm to measure.
+    pub algo: AlgoKind,
+    /// Number of trials.
+    pub trials: usize,
+    /// Execution mode.
+    pub execution: Execution,
+}
+
+impl JobSpec {
+    /// A job with the default (Auto) execution mode.
+    pub fn new(workload: Workload, algo: AlgoKind, trials: usize) -> Self {
+        JobSpec { workload, algo, trials, execution: Execution::Auto }
+    }
+
+    /// Stable label for reports: `<algo> @ <family>/n=<n>`.
+    pub fn label(&self) -> String {
+        format!("{} @ {}", self.algo, self.workload.label())
+    }
+}
+
+/// An ordered collection of jobs sharing one base seed.
+///
+/// Trial `t` of job `j` always receives seed
+/// [`SeedStream::trial_seed(j, t)`](crate::SeedStream::trial_seed) —
+/// reordering jobs changes seeds, but scheduling never does.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrialPlan {
+    /// The jobs, in submission order.
+    pub jobs: Vec<JobSpec>,
+    /// The base seed all trial seeds derive from.
+    pub base_seed: u64,
+}
+
+impl TrialPlan {
+    /// An empty plan.
+    pub fn new(base_seed: u64) -> Self {
+        TrialPlan { jobs: Vec::new(), base_seed }
+    }
+
+    /// Appends a job, returning `self` for chaining.
+    #[must_use]
+    pub fn with_job(mut self, job: JobSpec) -> Self {
+        self.jobs.push(job);
+        self
+    }
+
+    /// Appends a job in place.
+    pub fn push(&mut self, job: JobSpec) {
+        self.jobs.push(job);
+    }
+
+    /// The full cross product `families × sizes × algos`, each cell with
+    /// `trials` trials — the shape of every sweep experiment.
+    pub fn sweep(
+        families: &[GraphFamily],
+        sizes: &[usize],
+        algos: &[AlgoKind],
+        trials: usize,
+        base_seed: u64,
+        execution: Execution,
+    ) -> Self {
+        let mut plan = TrialPlan::new(base_seed);
+        for &family in families {
+            for &n in sizes {
+                for &algo in algos {
+                    plan.push(JobSpec {
+                        workload: Workload::new(family, n),
+                        algo,
+                        trials,
+                        execution,
+                    });
+                }
+            }
+        }
+        plan
+    }
+
+    /// Total trials across all jobs.
+    pub fn total_trials(&self) -> u64 {
+        self.jobs.iter().map(|j| j.trials as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_full_cross_product() {
+        let plan = TrialPlan::sweep(
+            &[GraphFamily::Cycle, GraphFamily::Tree],
+            &[32, 64, 128],
+            &crate::SLEEPING_ALGOS,
+            5,
+            1,
+            Execution::Auto,
+        );
+        assert_eq!(plan.jobs.len(), 2 * 3 * 2);
+        assert_eq!(plan.total_trials(), 60);
+        assert!(plan.jobs[0].label().contains("SleepingMIS"));
+    }
+
+    #[test]
+    fn builder_chains() {
+        let plan = TrialPlan::new(9).with_job(JobSpec::new(
+            Workload::new(GraphFamily::Cycle, 16),
+            AlgoKind::SleepingMis,
+            2,
+        ));
+        assert_eq!(plan.base_seed, 9);
+        assert_eq!(plan.total_trials(), 2);
+    }
+}

@@ -13,13 +13,11 @@ mod regular;
 mod structured;
 mod trees;
 
-pub use geometric::{random_geometric, radius_for_avg_degree};
+pub use geometric::{radius_for_avg_degree, random_geometric};
 pub use gnp::{gnp, gnp_avg_degree};
 pub use powerlaw::barabasi_albert;
 pub use regular::random_regular;
-pub use structured::{
-    clique, complete_bipartite, cycle, empty, grid2d, hypercube, path, star,
-};
+pub use structured::{clique, complete_bipartite, cycle, empty, grid2d, hypercube, path, star};
 pub use trees::{balanced_binary_tree, random_tree};
 
 use crate::error::GraphError;

@@ -79,8 +79,8 @@ impl Graph {
         let mut offsets = Vec::with_capacity(n + 1);
         let mut acc = 0usize;
         offsets.push(0);
-        for v in 0..n {
-            acc += deg[v];
+        for &d in deg.iter().take(n) {
+            acc += d;
             offsets.push(acc);
         }
         let mut adj = vec![0 as NodeId; acc];
@@ -163,7 +163,7 @@ impl Graph {
 
     /// Iterator over all node ids `0..n`.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.n as NodeId).into_iter()
+        0..self.n as NodeId
     }
 
     /// Iterator over all undirected edges as `(u, v)` with `u < v`,
@@ -279,10 +279,7 @@ mod tests {
 
     #[test]
     fn rejects_self_loop() {
-        assert_eq!(
-            Graph::from_edges(3, [(1, 1)]).unwrap_err(),
-            GraphError::SelfLoop { node: 1 }
-        );
+        assert_eq!(Graph::from_edges(3, [(1, 1)]).unwrap_err(), GraphError::SelfLoop { node: 1 });
     }
 
     #[test]

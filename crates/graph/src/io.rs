@@ -143,9 +143,6 @@ mod tests {
     #[test]
     fn semantic_errors_propagate() {
         assert!(matches!(parse_edge_list("n 3\n1 1\n"), Err(GraphError::SelfLoop { .. })));
-        assert!(matches!(
-            parse_edge_list("n 3\n0 9\n"),
-            Err(GraphError::NodeOutOfRange { .. })
-        ));
+        assert!(matches!(parse_edge_list("n 3\n0 9\n"), Err(GraphError::NodeOutOfRange { .. })));
     }
 }

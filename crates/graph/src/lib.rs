@@ -38,8 +38,8 @@
 
 mod builder;
 mod error;
-mod graph;
 pub mod generators;
+mod graph;
 pub mod io;
 pub mod ops;
 

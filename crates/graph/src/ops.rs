@@ -84,26 +84,21 @@ pub fn degeneracy(g: &Graph) -> (usize, Vec<NodeId>) {
         // Find the smallest non-empty bucket at or above `cursor` going down
         // to zero first (degrees only decrease, but the minimum can drop).
         cursor = cursor.min(max_deg);
-        loop {
-            while cursor <= max_deg && buckets[cursor].is_empty() {
-                cursor += 1;
-            }
-            // A removal may have pushed nodes into lower buckets; rescan.
-            let min_nonempty =
-                (0..=cursor.min(max_deg)).find(|&b| !buckets[b].is_empty()).unwrap_or(cursor);
-            if min_nonempty < cursor {
-                cursor = min_nonempty;
-            }
-            break;
+        while cursor <= max_deg && buckets[cursor].is_empty() {
+            cursor += 1;
+        }
+        // A removal may have pushed nodes into lower buckets; rescan.
+        if let Some(min_nonempty) = (0..cursor.min(max_deg)).find(|&b| !buckets[b].is_empty()) {
+            cursor = min_nonempty;
         }
         let v = loop {
             match buckets[cursor].pop() {
                 Some(v) if !removed[v as usize] && deg[v as usize] == cursor => break v,
                 Some(_) => continue, // stale entry
                 None => {
-                    cursor = (0..=max_deg).find(|&b| !buckets[b].is_empty()).expect(
-                        "bucket queue exhausted before all nodes were peeled",
-                    );
+                    cursor = (0..=max_deg)
+                        .find(|&b| !buckets[b].is_empty())
+                        .expect("bucket queue exhausted before all nodes were peeled");
                 }
             }
         };
@@ -127,7 +122,7 @@ pub fn arboricity_bounds(g: &Graph) -> (usize, usize) {
     if g.m() == 0 {
         return (0, 0);
     }
-    (((d + 1) / 2).max(1), d.max(1))
+    (d.div_ceil(2).max(1), d.max(1))
 }
 
 #[cfg(test)]

@@ -6,9 +6,12 @@ use sleepy_graph::{generators, io, ops, Graph, NodeId};
 fn arb_edge_list(max_n: usize) -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
     (1..max_n).prop_flat_map(|n| {
         let edges = proptest::collection::vec((0..n as NodeId, 0..n as NodeId), 0..3 * n);
-        (Just(n), edges.prop_map(move |pairs| {
-            pairs.into_iter().filter(|(u, v)| u != v).collect::<Vec<_>>()
-        }))
+        (
+            Just(n),
+            edges.prop_map(move |pairs| {
+                pairs.into_iter().filter(|(u, v)| u != v).collect::<Vec<_>>()
+            }),
+        )
     })
 }
 

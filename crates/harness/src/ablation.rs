@@ -15,9 +15,9 @@
 //!    argument.
 
 use crate::error::HarnessError;
-use crate::measure::parallel_try_map;
 use crate::workloads::Workload;
 use serde::{Deserialize, Serialize};
+use sleepy_fleet::deterministic_map;
 use sleepy_graph::GraphFamily;
 use sleepy_mis::{depth_alg1, depth_alg2, execute_sleeping_mis, MisConfig, SendPolicy, Variant};
 use sleepy_stats::TextTable;
@@ -113,13 +113,13 @@ pub struct AblationReport {
 /// Propagates workload and execution failures.
 pub fn run_ablation(config: &AblationConfig) -> Result<AblationReport, HarnessError> {
     let workload = Workload::new(config.family, config.n);
-    let seeds: Vec<u64> =
-        (0..config.trials as u64).map(|t| config.base_seed + 977 * t).collect();
+    let seeds: Vec<u64> = (0..config.trials as u64).map(|t| config.base_seed + 977 * t).collect();
 
     // --- Greedy constant sweep ---
     let mut greedy_c = Vec::new();
     for &c in &config.greedy_cs {
-        let rows = parallel_try_map(&seeds, |&seed| -> Result<_, HarnessError> {
+        let rows = deterministic_map(seeds.len(), 0, |i| -> Result<_, HarnessError> {
+            let seed = seeds[i];
             let g = workload.instance(seed)?;
             let mut cfg = MisConfig::alg2(seed);
             cfg.greedy_c = c;
@@ -130,13 +130,10 @@ pub fn run_ablation(config: &AblationConfig) -> Result<AblationReport, HarnessEr
         })?;
         greedy_c.push(GreedyCRow {
             c,
-            trial_timeout_rate: rows.iter().filter(|r| r.0 > 0).count() as f64
-                / rows.len() as f64,
-            mean_timeout_nodes: rows.iter().map(|r| r.0 as f64).sum::<f64>()
-                / rows.len() as f64,
+            trial_timeout_rate: rows.iter().filter(|r| r.0 > 0).count() as f64 / rows.len() as f64,
+            mean_timeout_nodes: rows.iter().map(|r| r.0 as f64).sum::<f64>() / rows.len() as f64,
             valid_fraction: rows.iter().filter(|r| r.1).count() as f64 / rows.len() as f64,
-            mean_worst_round: rows.iter().map(|r| r.2 as f64).sum::<f64>()
-                / rows.len() as f64,
+            mean_worst_round: rows.iter().map(|r| r.2 as f64).sum::<f64>() / rows.len() as f64,
         });
     }
 
@@ -152,7 +149,8 @@ pub fn run_ablation(config: &AblationConfig) -> Result<AblationReport, HarnessEr
     depths.push(d1);
     let mut depth_rows = Vec::new();
     for &depth in &depths {
-        let rows = parallel_try_map(&seeds, |&seed| -> Result<_, HarnessError> {
+        let rows = deterministic_map(seeds.len(), 0, |i| -> Result<_, HarnessError> {
+            let seed = seeds[i];
             let g = workload.instance(seed)?;
             let mut cfg = MisConfig::alg2(seed);
             cfg.depth_override = Some(depth);
@@ -161,9 +159,9 @@ pub fn run_ablation(config: &AblationConfig) -> Result<AblationReport, HarnessEr
             let (_, base_pop) = out.tree.base_case_load();
             Ok((s.node_avg_awake, s.worst_awake as f64, s.worst_round as f64, base_pop as f64))
         })?;
-        let mean = |f: &dyn Fn(&(f64, f64, f64, f64)) -> f64| {
-            rows.iter().map(|r| f(r)).sum::<f64>() / rows.len() as f64
-        };
+        type DepthObs = (f64, f64, f64, f64);
+        let mean =
+            |f: &dyn Fn(&DepthObs) -> f64| rows.iter().map(f).sum::<f64>() / rows.len() as f64;
         depth_rows.push(DepthRow {
             depth,
             mean_avg_awake: mean(&|r| r.0),
@@ -175,18 +173,17 @@ pub fn run_ablation(config: &AblationConfig) -> Result<AblationReport, HarnessEr
     // --- Send-policy sweep ---
     let mut send_policy = Vec::new();
     for variant in [Variant::SleepingMis, Variant::FastSleepingMis] {
-        let totals = parallel_try_map(&seeds, |&seed| -> Result<_, HarnessError> {
+        let totals = deterministic_map(seeds.len(), 0, |i| -> Result<_, HarnessError> {
+            let seed = seeds[i];
             let g = workload.instance(seed)?;
             let mut cfg = if variant == Variant::SleepingMis {
                 MisConfig::alg1(seed)
             } else {
                 MisConfig::alg2(seed)
             };
-            let broadcast: u64 =
-                execute_sleeping_mis(&g, cfg)?.messages_sent.iter().sum();
+            let broadcast: u64 = execute_sleeping_mis(&g, cfg)?.messages_sent.iter().sum();
             cfg.send_policy = SendPolicy::SubgraphOnly;
-            let subgraph: u64 =
-                execute_sleeping_mis(&g, cfg)?.messages_sent.iter().sum();
+            let subgraph: u64 = execute_sleeping_mis(&g, cfg)?.messages_sent.iter().sum();
             Ok((broadcast as f64, subgraph as f64))
         })?;
         send_policy.push(SendPolicyRow {
@@ -250,7 +247,8 @@ impl AblationReport {
              trades base-case load against the exponentially growing padded schedule.\n",
         );
         out.push('\n');
-        let mut t = TextTable::new(vec!["algorithm", "broadcast msgs", "subgraph-only msgs", "saving"]);
+        let mut t =
+            TextTable::new(vec!["algorithm", "broadcast msgs", "subgraph-only msgs", "saving"]);
         for r in &self.send_policy {
             t.row(vec![
                 r.algo.clone(),

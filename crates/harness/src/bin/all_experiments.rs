@@ -5,8 +5,7 @@
 
 use sleepy_harness::output::{default_results_dir, quick_flag, save_report};
 use sleepy_harness::{
-    ablation, coloring, corollary1, energy, figure1, figure2, lemmas, robustness, table1,
-    theorems,
+    ablation, coloring, corollary1, energy, figure1, figure2, lemmas, robustness, table1, theorems,
 };
 
 fn main() {
@@ -38,9 +37,8 @@ fn main() {
             cfg.sizes = vec![128, 256, 512];
             cfg.trials = 3;
         }
-        table1::run_table1(&cfg).map(|r| {
-            (r.render(), serde_json::to_value(&r).expect("serializable"))
-        })
+        table1::run_table1(&cfg)
+            .map(|r| (r.render(), serde_json::to_value(&r).expect("serializable")))
     });
     experiment!("figure1", {
         figure1::run_figure1()

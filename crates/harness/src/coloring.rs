@@ -14,10 +14,10 @@
 //! concrete.
 
 use crate::error::HarnessError;
-use crate::measure::parallel_try_map;
 use crate::workloads::Workload;
 use serde::{Deserialize, Serialize};
 use sleepy_baselines::{run_baseline, BaselineKind, LubyColoring};
+use sleepy_fleet::deterministic_map;
 use sleepy_graph::GraphFamily;
 use sleepy_mis::{execute_sleeping_mis, MisConfig};
 use sleepy_net::{run_protocol, EngineConfig};
@@ -86,13 +86,12 @@ pub fn run_coloring(config: &ColoringConfig) -> Result<ColoringReport, HarnessEr
         let workload = Workload::new(config.family, n);
         let seeds: Vec<u64> =
             (0..config.trials as u64).map(|t| config.base_seed + 17 * t).collect();
-        let trials = parallel_try_map(&seeds, |&seed| -> Result<_, HarnessError> {
+        let trials = deterministic_map(seeds.len(), 0, |i| -> Result<_, HarnessError> {
+            let seed = seeds[i];
             let g = workload.instance(seed)?;
-            let run = run_protocol(&g, &EngineConfig::default(), |id, _| {
-                LubyColoring::new(id, seed)
-            })?;
-            let colors: Vec<u32> =
-                run.outputs.iter().map(|c| c.expect("all colored")).collect();
+            let run =
+                run_protocol(&g, &EngineConfig::default(), |id, _| LubyColoring::new(id, seed))?;
+            let colors: Vec<u32> = run.outputs.iter().map(|c| c.expect("all colored")).collect();
             let valid = verify_coloring(&g, &colors).is_ok();
             let coloring_avg = run.metrics.summary().node_avg_round;
             let mis1 = execute_sleeping_mis(&g, MisConfig::alg1(seed))?;
@@ -104,8 +103,9 @@ pub fn run_coloring(config: &ColoringConfig) -> Result<ColoringReport, HarnessEr
                 luby.metrics.summary().node_avg_round,
             ))
         })?;
-        let mean = |f: &dyn Fn(&(f64, bool, f64, f64)) -> f64| {
-            trials.iter().map(|t| f(t)).sum::<f64>() / trials.len() as f64
+        type ColoringObs = (f64, bool, f64, f64);
+        let mean = |f: &dyn Fn(&ColoringObs) -> f64| {
+            trials.iter().map(f).sum::<f64>() / trials.len() as f64
         };
         rows.push(ColoringRow {
             n,

@@ -13,13 +13,11 @@
 //!   output verifies as an MIS, against the n^{-1}-ish tie bound.
 
 use crate::error::HarnessError;
-use crate::measure::parallel_try_map;
 use crate::workloads::Workload;
 use serde::{Deserialize, Serialize};
+use sleepy_fleet::deterministic_map;
 use sleepy_graph::GraphFamily;
-use sleepy_mis::{
-    depth_alg1, depth_alg2, derive_all, execute_sleeping_mis, MisConfig,
-};
+use sleepy_mis::{depth_alg1, depth_alg2, derive_all, execute_sleeping_mis, MisConfig};
 use sleepy_stats::TextTable;
 use sleepy_verify::{lexicographically_first_mis, verify_mis};
 
@@ -100,9 +98,9 @@ fn check_family(
     config: &Corollary1Config,
     alg2: bool,
 ) -> Result<EquivalenceStats, HarnessError> {
-    let seeds: Vec<u64> =
-        (0..config.trials as u64).map(|t| config.base_seed + 31 * t).collect();
-    let outcomes = parallel_try_map(&seeds, |&seed| -> Result<TrialOutcome, HarnessError> {
+    let seeds: Vec<u64> = (0..config.trials as u64).map(|t| config.base_seed + 31 * t).collect();
+    let outcomes = deterministic_map(seeds.len(), 0, |i| -> Result<TrialOutcome, HarnessError> {
+        let seed = seeds[i];
         let g = workload.instance(seed)?;
         let n = g.n();
         let coins = derive_all(seed, n);
@@ -141,10 +139,7 @@ fn check_family(
         equal: outcomes.iter().filter(|&&o| o == TrialOutcome::Equal).count(),
         different: outcomes.iter().filter(|&&o| o == TrialOutcome::Different).count(),
         skipped_ties: outcomes.iter().filter(|&&o| o == TrialOutcome::SkippedTie).count(),
-        skipped_timeouts: outcomes
-            .iter()
-            .filter(|&&o| o == TrialOutcome::SkippedTimeout)
-            .count(),
+        skipped_timeouts: outcomes.iter().filter(|&&o| o == TrialOutcome::SkippedTimeout).count(),
     })
 }
 
@@ -166,14 +161,16 @@ pub fn run_corollary1(config: &Corollary1Config) -> Result<Corollary1Report, Har
         // Validity (Lemma 1) over the same trials.
         let seeds: Vec<u64> =
             (0..config.trials as u64).map(|t| config.base_seed + 31 * t).collect();
-        let validity = parallel_try_map(&seeds, |&seed| -> Result<(bool, bool), HarnessError> {
-            let g = workload.instance(seed)?;
-            let v1 = verify_mis(&g, &execute_sleeping_mis(&g, MisConfig::alg1(seed))?.in_mis)
-                .is_ok();
-            let v2 = verify_mis(&g, &execute_sleeping_mis(&g, MisConfig::alg2(seed))?.in_mis)
-                .is_ok();
-            Ok((v1, v2))
-        })?;
+        let validity =
+            deterministic_map(seeds.len(), 0, |i| -> Result<(bool, bool), HarnessError> {
+                let seed = seeds[i];
+                let g = workload.instance(seed)?;
+                let v1 = verify_mis(&g, &execute_sleeping_mis(&g, MisConfig::alg1(seed))?.in_mis)
+                    .is_ok();
+                let v2 = verify_mis(&g, &execute_sleeping_mis(&g, MisConfig::alg2(seed))?.in_mis)
+                    .is_ok();
+                Ok((v1, v2))
+            })?;
         valid1 += validity.iter().filter(|(a, _)| *a).count();
         valid2 += validity.iter().filter(|(_, b)| *b).count();
         runs += validity.len();

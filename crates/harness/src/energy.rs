@@ -24,10 +24,10 @@
 //!    energy case for Theorem 2, not just a latency nicety.
 
 use crate::error::HarnessError;
-use crate::measure::parallel_try_map;
 use crate::workloads::Workload;
 use serde::{Deserialize, Serialize};
 use sleepy_baselines::{run_baseline, BaselineKind};
+use sleepy_fleet::deterministic_map;
 use sleepy_graph::GraphFamily;
 use sleepy_mis::{run_sleeping_mis, MisConfig};
 use sleepy_net::{EnergyModel, EngineConfig, RunMetrics};
@@ -74,17 +74,16 @@ fn models() -> [(&'static str, EnergyModel); 3] {
     };
     [
         ("awake-rounds (paper)", paper),
-        ("+tx/rx surcharge", EnergyModel {
-            tx_per_message: 0.4,
-            rx_per_message: 0.2,
-            ..paper
-        }),
-        ("+sleep=0.02", EnergyModel {
-            tx_per_message: 0.4,
-            rx_per_message: 0.2,
-            sleep_per_round: 0.02,
-            ..paper
-        }),
+        ("+tx/rx surcharge", EnergyModel { tx_per_message: 0.4, rx_per_message: 0.2, ..paper }),
+        (
+            "+sleep=0.02",
+            EnergyModel {
+                tx_per_message: 0.4,
+                rx_per_message: 0.2,
+                sleep_per_round: 0.02,
+                ..paper
+            },
+        ),
     ]
 }
 
@@ -154,7 +153,8 @@ pub fn run_energy(config: &EnergyConfig) -> Result<EnergyReport, HarnessError> {
             let seeds: Vec<u64> =
                 (0..config.trials as u64).map(|t| config.base_seed + 131 * t).collect();
             type Row = (Vec<f64>, f64, Option<Vec<f64>>);
-            let per_trial = parallel_try_map(&seeds, |&seed| -> Result<Row, HarnessError> {
+            let per_trial = deterministic_map(seeds.len(), 0, |i| -> Result<Row, HarnessError> {
+                let seed = seeds[i];
                 let g = workload.instance(seed)?;
                 let metrics = run_metrics_for(algo, &g, seed)?;
                 let means: Vec<f64> =
@@ -170,8 +170,7 @@ pub fn run_energy(config: &EnergyConfig) -> Result<EnergyReport, HarnessError> {
                 Ok((means, max_paper, strict))
             })?;
             let collect_model = |pick: &dyn Fn(&Row) -> Option<Vec<f64>>| -> Option<Vec<Summary>> {
-                let rows: Vec<Vec<f64>> =
-                    per_trial.iter().filter_map(|t| pick(t)).collect();
+                let rows: Vec<Vec<f64>> = per_trial.iter().filter_map(pick).collect();
                 if rows.is_empty() {
                     return None;
                 }
@@ -186,9 +185,7 @@ pub fn run_energy(config: &EnergyConfig) -> Result<EnergyReport, HarnessError> {
                 n,
                 mean_energy: collect_model(&|t: &Row| Some(t.0.clone()))
                     .expect("at least one trial"),
-                max_energy_paper: Summary::of(
-                    &per_trial.iter().map(|t| t.1).collect::<Vec<_>>(),
-                ),
+                max_energy_paper: Summary::of(&per_trial.iter().map(|t| t.1).collect::<Vec<_>>()),
             });
             if let Some(strict) = collect_model(&|t: &Row| t.2.clone()) {
                 cells.push(EnergyCell {
@@ -207,10 +204,7 @@ impl EnergyReport {
     /// Mean per-node energy of `algo` at size `n` under model index
     /// `model`.
     pub fn mean_energy(&self, algo: &str, n: usize, model: usize) -> Option<f64> {
-        self.cells
-            .iter()
-            .find(|c| c.algo == algo && c.n == n)
-            .map(|c| c.mean_energy[model].mean)
+        self.cells.iter().find(|c| c.algo == algo && c.n == n).map(|c| c.mean_energy[model].mean)
     }
 
     /// Renders the energy comparison.
@@ -284,12 +278,7 @@ mod tests {
 
     #[test]
     fn energy_experiment_small() {
-        let cfg = EnergyConfig {
-            sizes: vec![128, 256],
-            avg_degree: 6.0,
-            trials: 2,
-            base_seed: 9,
-        };
+        let cfg = EnergyConfig { sizes: vec![128, 256], avg_degree: 6.0, trials: 2, base_seed: 9 };
         let r = run_energy(&cfg).unwrap();
         // 4 algorithms + 2 traditional variants, per size.
         assert_eq!(r.cells.len(), 2 * 6);

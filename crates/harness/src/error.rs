@@ -67,6 +67,21 @@ impl From<std::io::Error> for HarnessError {
     }
 }
 
+impl From<sleepy_fleet::FleetError> for HarnessError {
+    fn from(e: sleepy_fleet::FleetError) -> Self {
+        use sleepy_fleet::FleetError;
+        match e {
+            FleetError::Graph(e) => HarnessError::Graph(e),
+            FleetError::Mis(e) => HarnessError::Mis(e),
+            FleetError::Engine(e) => HarnessError::Engine(e),
+            FleetError::Io(e) => HarnessError::Io(e),
+            // FleetError is #[non_exhaustive]; map anything else (e.g.
+            // configuration errors) through Io.
+            other => HarnessError::Io(std::io::Error::other(other.to_string())),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,8 +93,7 @@ mod tests {
         assert!(e.source().is_some());
         let e: HarnessError = MisError::DepthTooLarge { depth: 200 }.into();
         assert!(e.to_string().contains("MIS"));
-        let e: HarnessError =
-            EngineError::Deadlock { round: 0, unfinished: 1 }.into();
+        let e: HarnessError = EngineError::Deadlock { round: 0, unfinished: 1 }.into();
         assert!(e.to_string().contains("engine"));
     }
 }

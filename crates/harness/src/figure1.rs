@@ -68,9 +68,7 @@ pub fn run_figure1() -> Result<Figure1Report, HarnessError> {
     let figure = schedule_tree(3, &Schedule::figure1(), 1)?;
     let pseudo = schedule_tree(3, &Schedule::alg1(), 0)?;
     let labels_match_paper = PAPER_FIGURE1_LABELS.iter().all(|&(path, first, finish)| {
-        figure
-            .iter()
-            .any(|n| n.path == path && n.first_reached == first && n.finish == finish)
+        figure.iter().any(|n| n.path == path && n.first_reached == first && n.finish == finish)
     });
     // A real populated tree: a small G(n, p) instance under Algorithm 1
     // with the recursion truncated to 3 levels for legibility.

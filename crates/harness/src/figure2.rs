@@ -18,6 +18,7 @@
 use crate::error::HarnessError;
 use crate::workloads::Workload;
 use serde::{Deserialize, Serialize};
+use sleepy_fleet::deterministic_map;
 use sleepy_graph::GraphFamily;
 use sleepy_mis::{depth_alg1, depth_alg2, execute_sleeping_mis, MisConfig};
 use sleepy_stats::TextTable;
@@ -87,24 +88,32 @@ pub fn run_figure2(config: &Figure2Config) -> Result<Figure2Report, HarnessError
     let workload = Workload::new(config.family, config.n);
     let alg1_depth = depth_alg1(config.n);
     let alg2_depth = depth_alg2(config.n);
+    // Trials execute in parallel on the fleet pool; the per-trial
+    // profiles come back in trial order and are reduced sequentially, so
+    // the report is deterministic regardless of thread count.
+    type TrialProfile = (Vec<u64>, Vec<u64>, u64, u64);
+    let per_trial =
+        deterministic_map(config.trials, 0, |t| -> Result<TrialProfile, HarnessError> {
+            let seed = config.base_seed.wrapping_add(t as u64 * 0x9E37);
+            let g = workload.instance(seed)?;
+            let out1 = execute_sleeping_mis(&g, MisConfig::alg1(seed))?;
+            let out2 = execute_sleeping_mis(&g, MisConfig::alg2(seed))?;
+            let (instances, pop) = out2.tree.base_case_load();
+            Ok((out1.tree.z_profile(), out2.tree.z_profile(), instances as u64, pop))
+        })?;
     let mut alg1_z = vec![0.0f64; alg1_depth as usize + 1];
     let mut alg2_z = vec![0.0f64; alg2_depth as usize + 1];
     let mut base_instances = 0.0;
     let mut base_population = 0.0;
-    for t in 0..config.trials as u64 {
-        let seed = config.base_seed.wrapping_add(t * 0x9E37);
-        let g = workload.instance(seed)?;
-        let out1 = execute_sleeping_mis(&g, MisConfig::alg1(seed))?;
-        for (d, z) in out1.tree.z_profile().iter().enumerate() {
+    for (z1, z2, instances, pop) in &per_trial {
+        for (d, z) in z1.iter().enumerate() {
             alg1_z[d] += *z as f64;
         }
-        let out2 = execute_sleeping_mis(&g, MisConfig::alg2(seed))?;
-        for (d, z) in out2.tree.z_profile().iter().enumerate() {
+        for (d, z) in z2.iter().enumerate() {
             alg2_z[d] += *z as f64;
         }
-        let (instances, pop) = out2.tree.base_case_load();
-        base_instances += instances as f64;
-        base_population += pop as f64;
+        base_instances += *instances as f64;
+        base_population += *pop as f64;
     }
     let trials = config.trials as f64;
     let to_levels = |zs: &[f64]| -> Vec<LevelOccupancy> {
@@ -134,9 +143,7 @@ impl Figure2Report {
     pub fn render(&self) -> String {
         let mut out = String::new();
         let n = self.config.n;
-        out.push_str(&format!(
-            "== Experiment F2 (Figure 2): recursion trees at n = {n} ==\n\n"
-        ));
+        out.push_str(&format!("== Experiment F2 (Figure 2): recursion trees at n = {n} ==\n\n"));
         out.push_str(&format!(
             "Algorithm 1 depth K = ceil(3 log2 n)       = {} (2^K leaves = 2^{})\n",
             self.alg1_depth, self.alg1_depth
@@ -164,7 +171,8 @@ impl Figure2Report {
         out.push_str(&format!(
             "Algorithm 2 base cases: {:.1} instances, {:.1} total participants \
              (Lemma 12 predicts ~ n/log2 n = {:.1})\n",
-            self.alg2_base_instances, self.alg2_base_population,
+            self.alg2_base_instances,
+            self.alg2_base_population,
             self.alg2_base_population_predicted
         ));
         out

@@ -13,9 +13,9 @@
 //! workload suite.
 
 use crate::error::HarnessError;
-use crate::measure::parallel_try_map;
 use crate::workloads::Workload;
 use serde::{Deserialize, Serialize};
+use sleepy_fleet::deterministic_map;
 use sleepy_graph::GraphFamily;
 use sleepy_mis::{depth_alg1, derive_all, execute_sleeping_mis, MisConfig};
 use sleepy_stats::{Summary, TextTable};
@@ -87,16 +87,20 @@ pub fn run_lemmas(config: &LemmasConfig) -> Result<LemmasReport, HarnessError> {
         let workload = Workload::new(*family, config.n);
         let seeds: Vec<u64> =
             (0..config.trials as u64).map(|t| config.base_seed + t * 7919).collect();
-        let outcomes = parallel_try_map(&seeds, |&seed| -> Result<_, HarnessError> {
+        let outcomes = deterministic_map(seeds.len(), 0, |i| -> Result<_, HarnessError> {
+            let seed = seeds[i];
             let g = workload.instance(seed)?;
             Ok(execute_sleeping_mis(&g, MisConfig::alg1(seed))?)
         })?;
         let mut left_ratios = Vec::new();
         let mut right_ratios = Vec::new();
         for out in &outcomes {
-            for c in out.tree.calls.iter().filter(|c| {
-                !c.is_base && c.participants >= config.min_call_size
-            }) {
+            for c in out
+                .tree
+                .calls
+                .iter()
+                .filter(|c| !c.is_base && c.participants >= config.min_call_size)
+            {
                 left_ratios.push(c.left_participants as f64 / c.participants as f64);
                 right_ratios.push(c.right_participants as f64 / c.participants as f64);
             }
@@ -124,11 +128,7 @@ pub fn run_lemmas(config: &LemmasConfig) -> Result<LemmasReport, HarnessError> {
         .iter()
         .enumerate()
         .map(|(d, z)| {
-            (
-                d as u32,
-                z / z_runs.max(1) as f64,
-                0.75f64.powi(d as i32) * config.n as f64,
-            )
+            (d as u32, z / z_runs.max(1) as f64, 0.75f64.powi(d as i32) * config.n as f64)
         })
         .collect();
     Ok(LemmasReport {
@@ -136,8 +136,7 @@ pub fn run_lemmas(config: &LemmasConfig) -> Result<LemmasReport, HarnessError> {
         lemma2,
         lemma3,
         lemma5_collision_rate: collisions as f64 / collision_trials as f64,
-        lemma5_bound: (config.n as f64) * (config.n as f64) / 2.0
-            * 0.5f64.powi(k as i32),
+        lemma5_bound: (config.n as f64) * (config.n as f64) / 2.0 * 0.5f64.powi(k as i32),
         lemma7,
     })
 }

@@ -1,124 +1,18 @@
 //! Unified measurement of any MIS algorithm on any workload.
+//!
+//! The measurement primitives live in [`sleepy_fleet`] (which owns the
+//! worker pool, seed streams, and aggregation); this module re-exports
+//! them and keeps the harness's classic [`AggregateMeasurement`] /
+//! [`measure_trials`] API as a thin adapter over a one-job fleet plan.
 
 use crate::error::HarnessError;
-use crate::workloads::Workload;
 use serde::{Deserialize, Serialize};
-use sleepy_baselines::{run_baseline, BaselineKind};
-use sleepy_graph::Graph;
-use sleepy_mis::{execute_sleeping_mis, run_sleeping_mis, MisConfig};
-use sleepy_net::{ComplexitySummary, EngineConfig};
+use sleepy_fleet::{run_plan, FleetConfig, JobAggregate, JobSpec, TrialPlan, Workload};
 use sleepy_stats::Summary;
-use sleepy_verify::verify_mis;
 
-/// Every algorithm the harness can measure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum AlgoKind {
-    /// Algorithm 1 (SleepingMIS).
-    SleepingMis,
-    /// Algorithm 2 (Fast-SleepingMIS).
-    FastSleepingMis,
-    /// A traditional-model baseline.
-    Baseline(BaselineKind),
-}
-
-impl std::fmt::Display for AlgoKind {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            AlgoKind::SleepingMis => f.write_str("SleepingMIS"),
-            AlgoKind::FastSleepingMis => f.write_str("Fast-SleepingMIS"),
-            AlgoKind::Baseline(b) => write!(f, "{b}"),
-        }
-    }
-}
-
-/// The paper's two algorithms.
-pub const SLEEPING_ALGOS: [AlgoKind; 2] = [AlgoKind::SleepingMis, AlgoKind::FastSleepingMis];
-
-/// All algorithms: the paper's two plus all four baselines.
-pub const ALL_ALGOS: [AlgoKind; 6] = [
-    AlgoKind::SleepingMis,
-    AlgoKind::FastSleepingMis,
-    AlgoKind::Baseline(BaselineKind::LubyA),
-    AlgoKind::Baseline(BaselineKind::LubyB),
-    AlgoKind::Baseline(BaselineKind::GreedyCrt),
-    AlgoKind::Baseline(BaselineKind::Ghaffari),
-];
-
-/// How to execute a sleeping-model algorithm.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Execution {
-    /// Sleeping algorithms run on the fast combinatorial executor
-    /// (bit-identical to the engine); baselines run on the engine.
-    Auto,
-    /// Everything runs on the message-passing engine (slower; used for
-    /// cross-validation and when message/energy accounting is needed).
-    ForceEngine,
-}
-
-/// One run's complexity measurements.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct ComplexityReport {
-    /// Algorithm label.
-    pub algo: String,
-    /// Node count of the instance.
-    pub n: usize,
-    /// The four paper measures plus communication totals.
-    pub summary: ComplexitySummary,
-    /// Size of the computed MIS.
-    pub mis_size: usize,
-    /// Whether the output verified as a maximal independent set.
-    pub valid: bool,
-    /// Algorithm 2 base-case timeouts in this run.
-    pub base_timeouts: usize,
-}
-
-/// Runs `algo` once on `graph` with the given seed.
-///
-/// # Errors
-///
-/// Propagates configuration, generation and engine errors.
-pub fn measure_once(
-    graph: &Graph,
-    algo: AlgoKind,
-    seed: u64,
-    execution: Execution,
-) -> Result<ComplexityReport, HarnessError> {
-    let (in_mis, summary, base_timeouts) = match (algo, execution) {
-        (AlgoKind::SleepingMis, Execution::Auto) => {
-            let out = execute_sleeping_mis(graph, MisConfig::alg1(seed))?;
-            let timeouts = out.base_timeout.iter().filter(|&&t| t).count();
-            (out.in_mis.clone(), out.summary(), timeouts)
-        }
-        (AlgoKind::FastSleepingMis, Execution::Auto) => {
-            let out = execute_sleeping_mis(graph, MisConfig::alg2(seed))?;
-            let timeouts = out.base_timeout.iter().filter(|&&t| t).count();
-            (out.in_mis.clone(), out.summary(), timeouts)
-        }
-        (AlgoKind::SleepingMis, Execution::ForceEngine) => {
-            let run = run_sleeping_mis(graph, MisConfig::alg1(seed), &EngineConfig::default())?;
-            let t = run.base_timeouts.len();
-            (run.in_mis, run.metrics.summary(), t)
-        }
-        (AlgoKind::FastSleepingMis, Execution::ForceEngine) => {
-            let run = run_sleeping_mis(graph, MisConfig::alg2(seed), &EngineConfig::default())?;
-            let t = run.base_timeouts.len();
-            (run.in_mis, run.metrics.summary(), t)
-        }
-        (AlgoKind::Baseline(kind), _) => {
-            let run = run_baseline(graph, kind, seed, &EngineConfig::default())?;
-            (run.in_mis, run.metrics.summary(), 0)
-        }
-    };
-    let valid = verify_mis(graph, &in_mis).is_ok();
-    Ok(ComplexityReport {
-        algo: algo.to_string(),
-        n: graph.n(),
-        summary,
-        mis_size: in_mis.iter().filter(|&&b| b).count(),
-        valid,
-        base_timeouts,
-    })
-}
+pub use sleepy_fleet::{
+    measure_once, AlgoKind, ComplexityReport, Execution, ALL_ALGOS, SLEEPING_ALGOS,
+};
 
 /// Aggregated measurements over several trials of one (workload,
 /// algorithm) pair.
@@ -148,12 +42,33 @@ pub struct AggregateMeasurement {
     pub base_timeouts: usize,
 }
 
+/// Converts a fleet job aggregate into the harness's classic shape.
+pub(crate) fn aggregate_measurement(
+    workload: &Workload,
+    algo: AlgoKind,
+    agg: &JobAggregate,
+) -> AggregateMeasurement {
+    AggregateMeasurement {
+        algo: algo.to_string(),
+        workload: workload.label(),
+        n: workload.n,
+        trials: agg.trials as usize,
+        node_avg_awake: agg.node_avg_awake.to_summary(),
+        worst_awake: agg.worst_awake.to_summary(),
+        worst_round: agg.worst_round.to_summary(),
+        node_avg_round: agg.node_avg_round.to_summary(),
+        messages: agg.messages.to_summary(),
+        valid_fraction: agg.valid_fraction(),
+        base_timeouts: agg.base_timeouts as usize,
+    }
+}
+
 /// Runs `trials` seeded trials of `algo` on fresh instances of `workload`
-/// and aggregates. Trials run on `std::thread` workers.
+/// and aggregates — a one-job fleet plan on the shared worker pool.
 ///
 /// # Errors
 ///
-/// The first trial error encountered, if any.
+/// The error of the smallest-index failing trial, if any.
 pub fn measure_trials(
     workload: &Workload,
     algo: AlgoKind,
@@ -161,74 +76,14 @@ pub fn measure_trials(
     base_seed: u64,
     execution: Execution,
 ) -> Result<AggregateMeasurement, HarnessError> {
-    let reports = parallel_try_map(
-        &(0..trials as u64).collect::<Vec<_>>(),
-        |&t| -> Result<ComplexityReport, HarnessError> {
-            let seed = base_seed.wrapping_add(t.wrapping_mul(0x5DEE_CE66));
-            let g = workload.instance(seed)?;
-            measure_once(&g, algo, seed, execution)
-        },
-    )?;
-    Ok(aggregate(workload, algo, &reports))
-}
-
-fn aggregate(
-    workload: &Workload,
-    algo: AlgoKind,
-    reports: &[ComplexityReport],
-) -> AggregateMeasurement {
-    let pull = |f: &dyn Fn(&ComplexityReport) -> f64| -> Summary {
-        Summary::of(&reports.iter().map(f).collect::<Vec<_>>())
-    };
-    AggregateMeasurement {
-        algo: algo.to_string(),
-        workload: workload.label(),
-        n: workload.n,
-        trials: reports.len(),
-        node_avg_awake: pull(&|r| r.summary.node_avg_awake),
-        worst_awake: pull(&|r| r.summary.worst_awake as f64),
-        worst_round: pull(&|r| r.summary.worst_round as f64),
-        node_avg_round: pull(&|r| r.summary.node_avg_round),
-        messages: pull(&|r| r.summary.total_messages as f64),
-        valid_fraction: reports.iter().filter(|r| r.valid).count() as f64
-            / reports.len().max(1) as f64,
-        base_timeouts: reports.iter().map(|r| r.base_timeouts).sum(),
-    }
-}
-
-/// Applies `f` to every item on a small thread pool, preserving order and
-/// propagating the first error.
-pub(crate) fn parallel_try_map<T, U, E, F>(items: &[T], f: F) -> Result<Vec<U>, E>
-where
-    T: Sync,
-    U: Send,
-    E: Send,
-    F: Fn(&T) -> Result<U, E> + Sync,
-{
-    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
-    let workers = workers.min(items.len()).max(1);
-    if workers <= 1 || items.len() <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let results: Vec<std::sync::Mutex<Option<Result<U, E>>>> =
-        items.iter().map(|_| std::sync::Mutex::new(None)).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                *results[i].lock().expect("result slot poisoned") = Some(r);
-            });
-        }
+    let plan = TrialPlan::new(base_seed).with_job(JobSpec {
+        workload: *workload,
+        algo,
+        trials,
+        execution,
     });
-    results
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("result slot poisoned").expect("slot filled"))
-        .collect()
+    let out = run_plan(&plan, &FleetConfig::default())?;
+    Ok(aggregate_measurement(workload, algo, &out.aggregates[0]))
 }
 
 #[cfg(test)]
@@ -237,37 +92,14 @@ mod tests {
     use sleepy_graph::GraphFamily;
 
     #[test]
-    fn measure_once_all_algorithms() {
-        let g = Workload::new(GraphFamily::GnpAvgDeg(6.0), 80).instance(1).unwrap();
-        for algo in ALL_ALGOS {
-            let r = measure_once(&g, algo, 7, Execution::Auto).unwrap();
-            assert!(r.valid, "{algo} invalid");
-            assert!(r.mis_size > 0);
-            assert!(r.summary.node_avg_awake > 0.0);
-        }
-    }
-
-    #[test]
-    fn engine_and_auto_agree_for_sleeping_algos() {
-        let g = Workload::new(GraphFamily::GnpAvgDeg(5.0), 60).instance(2).unwrap();
-        for algo in SLEEPING_ALGOS {
-            let a = measure_once(&g, algo, 3, Execution::Auto).unwrap();
-            let b = measure_once(&g, algo, 3, Execution::ForceEngine).unwrap();
-            assert_eq!(a.mis_size, b.mis_size, "{algo}");
-            assert_eq!(a.summary.worst_round, b.summary.worst_round, "{algo}");
-            assert!((a.summary.node_avg_awake - b.summary.node_avg_awake).abs() < 1e-9);
-        }
-    }
-
-    #[test]
     fn trials_aggregate() {
         let w = Workload::new(GraphFamily::Cycle, 50);
-        let agg =
-            measure_trials(&w, AlgoKind::SleepingMis, 6, 11, Execution::Auto).unwrap();
+        let agg = measure_trials(&w, AlgoKind::SleepingMis, 6, 11, Execution::Auto).unwrap();
         assert_eq!(agg.trials, 6);
         assert_eq!(agg.valid_fraction, 1.0);
         assert!(agg.node_avg_awake.mean > 0.0);
         assert!(agg.worst_awake.max >= agg.worst_awake.min);
+        assert_eq!(agg.node_avg_awake.count, 6);
     }
 
     #[test]
@@ -277,15 +109,5 @@ mod tests {
         let b = measure_trials(&w, AlgoKind::FastSleepingMis, 4, 9, Execution::Auto).unwrap();
         assert_eq!(a.node_avg_awake, b.node_avg_awake);
         assert_eq!(a.worst_round, b.worst_round);
-    }
-
-    #[test]
-    fn parallel_map_orders_and_errors() {
-        let items: Vec<u32> = (0..50).collect();
-        let ok: Result<Vec<u32>, ()> = parallel_try_map(&items, |&x| Ok(x * 2));
-        assert_eq!(ok.unwrap(), items.iter().map(|x| x * 2).collect::<Vec<_>>());
-        let err: Result<Vec<u32>, u32> =
-            parallel_try_map(&items, |&x| if x == 30 { Err(x) } else { Ok(x) });
-        assert!(err.is_err());
     }
 }

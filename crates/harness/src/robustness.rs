@@ -20,10 +20,10 @@
 //! to rank the algorithms.
 
 use crate::error::HarnessError;
-use crate::measure::parallel_try_map;
 use crate::workloads::Workload;
 use serde::{Deserialize, Serialize};
 use sleepy_baselines::{run_baseline, BaselineKind};
+use sleepy_fleet::deterministic_map;
 use sleepy_graph::GraphFamily;
 use sleepy_mis::{run_sleeping_mis, MisConfig};
 use sleepy_net::EngineConfig;
@@ -85,15 +85,10 @@ pub struct RobustnessReport {
 
 /// Counts both kinds of violations exhaustively (not just the first).
 fn count_violations(g: &sleepy_graph::Graph, in_mis: &[bool]) -> (usize, usize) {
-    let indep = g
-        .edges()
-        .filter(|&(u, v)| in_mis[u as usize] && in_mis[v as usize])
-        .count();
+    let indep = g.edges().filter(|&(u, v)| in_mis[u as usize] && in_mis[v as usize]).count();
     let maximal = g
         .node_ids()
-        .filter(|&v| {
-            !in_mis[v as usize] && !g.neighbors(v).iter().any(|&u| in_mis[u as usize])
-        })
+        .filter(|&v| !in_mis[v as usize] && !g.neighbors(v).iter().any(|&u| in_mis[u as usize]))
         .count();
     (indep, maximal)
 }
@@ -113,7 +108,8 @@ pub fn run_robustness(config: &RobustnessConfig) -> Result<RobustnessReport, Har
         for algo in ROBUSTNESS_ALGOS {
             let seeds: Vec<u64> =
                 (0..config.trials as u64).map(|t| config.base_seed + 577 * t).collect();
-            let trials = parallel_try_map(&seeds, |&seed| -> Result<_, HarnessError> {
+            let trials = deterministic_map(seeds.len(), 0, |i| -> Result<_, HarnessError> {
+                let seed = seeds[i];
                 let g = workload.instance(seed)?;
                 // The sleeping algorithms always finish within their padded
                 // schedule, loss or not; only the baselines can stall under
@@ -130,18 +126,18 @@ pub fn run_robustness(config: &RobustnessConfig) -> Result<RobustnessReport, Har
                     ..EngineConfig::default()
                 };
                 let in_mis = match algo {
-                    "SleepingMIS" => run_sleeping_mis(&g, MisConfig::alg1(seed), &ec)
-                        .map(|r| r.in_mis),
-                    "Fast-SleepingMIS" => run_sleeping_mis(&g, MisConfig::alg2(seed), &ec)
-                        .map(|r| r.in_mis),
-                    "Luby-B" => {
-                        run_baseline(&g, BaselineKind::LubyB, seed, &ec).map(|r| r.in_mis)
-                            .map_err(sleepy_mis::MisError::Engine)
+                    "SleepingMIS" => {
+                        run_sleeping_mis(&g, MisConfig::alg1(seed), &ec).map(|r| r.in_mis)
                     }
-                    _ => {
-                        run_baseline(&g, BaselineKind::GreedyCrt, seed, &ec).map(|r| r.in_mis)
-                            .map_err(sleepy_mis::MisError::Engine)
+                    "Fast-SleepingMIS" => {
+                        run_sleeping_mis(&g, MisConfig::alg2(seed), &ec).map(|r| r.in_mis)
                     }
+                    "Luby-B" => run_baseline(&g, BaselineKind::LubyB, seed, &ec)
+                        .map(|r| r.in_mis)
+                        .map_err(sleepy_mis::MisError::Engine),
+                    _ => run_baseline(&g, BaselineKind::GreedyCrt, seed, &ec)
+                        .map(|r| r.in_mis)
+                        .map_err(sleepy_mis::MisError::Engine),
                 };
                 Ok(match in_mis {
                     Ok(in_mis) => {

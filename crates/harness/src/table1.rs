@@ -17,9 +17,9 @@
 //! entries of the paper become "equals the round complexity" here.
 
 use crate::error::HarnessError;
-use crate::measure::{measure_trials, AggregateMeasurement, Execution, ALL_ALGOS};
-use crate::workloads::Workload;
+use crate::measure::{aggregate_measurement, AggregateMeasurement, Execution, ALL_ALGOS};
 use serde::{Deserialize, Serialize};
+use sleepy_fleet::{run_plan, FleetConfig, TrialPlan};
 use sleepy_graph::GraphFamily;
 use sleepy_stats::{fit_power, TextTable};
 
@@ -84,19 +84,23 @@ pub struct ShapeFit {
 ///
 /// Propagates workload and execution failures.
 pub fn run_table1(config: &Table1Config) -> Result<Table1Report, HarnessError> {
-    let mut cells = Vec::new();
-    for &n in &config.sizes {
-        let workload = Workload::new(config.family, n);
-        for algo in ALL_ALGOS {
-            cells.push(measure_trials(
-                &workload,
-                algo,
-                config.trials,
-                config.base_seed,
-                Execution::Auto,
-            )?);
-        }
-    }
+    // One declarative plan for the whole sweep: every (size, algorithm)
+    // cell is a fleet job, executed together on the worker pool.
+    let plan = TrialPlan::sweep(
+        &[config.family],
+        &config.sizes,
+        &ALL_ALGOS,
+        config.trials,
+        config.base_seed,
+        Execution::Auto,
+    );
+    let out = run_plan(&plan, &FleetConfig::default())?;
+    let cells: Vec<AggregateMeasurement> = plan
+        .jobs
+        .iter()
+        .zip(&out.aggregates)
+        .map(|(job, agg)| aggregate_measurement(&job.workload, job.algo, agg))
+        .collect();
     let mut shape_fits = Vec::new();
     for algo in ALL_ALGOS {
         let mine: Vec<&AggregateMeasurement> =
@@ -125,8 +129,7 @@ impl Table1Report {
         let mut out = String::new();
         out.push_str(&format!(
             "== Experiment T1 (Table 1) — family {}, {} trials per cell ==\n\n",
-            self.config.family,
-            self.config.trials
+            self.config.family, self.config.trials
         ));
         let mut sweep = TextTable::new(vec![
             "algorithm",
@@ -149,7 +152,9 @@ impl Table1Report {
             ]);
         }
         out.push_str(&sweep.render());
-        out.push_str("\n-- Table 1 shape summary (fitted n-exponents; paper's claims in brackets) --\n");
+        out.push_str(
+            "\n-- Table 1 shape summary (fitted n-exponents; paper's claims in brackets) --\n",
+        );
         let mut shape = TextTable::new(vec![
             "measure",
             "Luby/CRT/Ghaffari (paper: n/a | O(log n))",
@@ -157,16 +162,13 @@ impl Table1Report {
             "Fast-SleepingMIS (paper: O(1)|O(log n)|O(log^3.41 n)|O(log^3.41 n))",
         ]);
         let baseline_mean = |f: &dyn Fn(&ShapeFit) -> f64| -> f64 {
-            let b: Vec<f64> = self
-                .shape_fits
-                .iter()
-                .filter(|s| !s.algo.contains("Sleeping"))
-                .map(|s| f(s))
-                .collect();
+            let b: Vec<f64> =
+                self.shape_fits.iter().filter(|s| !s.algo.contains("Sleeping")).map(f).collect();
             b.iter().sum::<f64>() / b.len().max(1) as f64
         };
         let find = |name: &str| self.shape_fits.iter().find(|s| s.algo == name);
-        let rows: [(&str, Box<dyn Fn(&ShapeFit) -> f64>); 4] = [
+        type ShapeCol = Box<dyn Fn(&ShapeFit) -> f64>;
+        let rows: [(&str, ShapeCol); 4] = [
             ("node-avg awake  n-exp", Box::new(|s: &ShapeFit| s.node_avg_awake_exp)),
             ("worst awake     n-exp", Box::new(|s: &ShapeFit| s.worst_awake_exp)),
             ("worst round     n-exp", Box::new(|s: &ShapeFit| s.worst_round_exp)),

@@ -78,20 +78,21 @@ pub struct TheoremsReport {
     pub alg2: TheoremScaling,
 }
 
-fn scale_one(
-    config: &TheoremsConfig,
-    algo: AlgoKind,
-) -> Result<TheoremScaling, HarnessError> {
+fn scale_one(config: &TheoremsConfig, algo: AlgoKind) -> Result<TheoremScaling, HarnessError> {
     let mut sweep = Vec::new();
     let mut padded = Vec::new();
     for &e in &config.size_exponents {
         let n = 1usize << e;
         let workload = Workload::new(config.family, n);
-        sweep.push(measure_trials(&workload, algo, config.trials, config.base_seed, Execution::Auto)?);
+        sweep.push(measure_trials(
+            &workload,
+            algo,
+            config.trials,
+            config.base_seed,
+            Execution::Auto,
+        )?);
         let t_k = match algo {
-            AlgoKind::SleepingMis => {
-                Schedule::alg1().duration(depth_alg1(n)).unwrap_or(u64::MAX)
-            }
+            AlgoKind::SleepingMis => Schedule::alg1().duration(depth_alg1(n)).unwrap_or(u64::MAX),
             AlgoKind::FastSleepingMis => {
                 let budget = 1 + 2 * greedy_iterations(n, 4.0) as u64;
                 Schedule::alg2(budget).duration(depth_alg2(n)).unwrap_or(u64::MAX)

@@ -1,66 +1,7 @@
 //! Standard workload suite used across experiments.
+//!
+//! The types moved to [`sleepy_fleet`] so the batch runtime can consume
+//! them without depending on the harness; this module re-exports them
+//! for the experiments and downstream users.
 
-use serde::{Deserialize, Serialize};
-use sleepy_graph::{Graph, GraphError, GraphFamily};
-
-/// A named workload: a graph family at a given size.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct Workload {
-    /// The graph family.
-    pub family: GraphFamily,
-    /// Target node count.
-    pub n: usize,
-}
-
-impl Workload {
-    /// Creates a workload description.
-    pub fn new(family: GraphFamily, n: usize) -> Self {
-        Workload { family, n }
-    }
-
-    /// Generates the trial instance for a seed (the graph seed is derived
-    /// from the trial seed so graph and algorithm coins are independent).
-    pub fn instance(&self, trial_seed: u64) -> Result<Graph, GraphError> {
-        self.family.generate(self.n, trial_seed.wrapping_mul(0x9E37_79B9).wrapping_add(1))
-    }
-
-    /// Stable label for reports.
-    pub fn label(&self) -> String {
-        format!("{}/n={}", self.family.label(), self.n)
-    }
-}
-
-/// The default family mix used by the experiments: sparse G(n,p), a
-/// connected-regime G(n,p), random regular, random geometric (the paper's
-/// sensor-network motivation), power-law, and trees.
-pub fn standard_families() -> Vec<GraphFamily> {
-    vec![
-        GraphFamily::GnpAvgDeg(8.0),
-        GraphFamily::GnpLogDensity(1.5),
-        GraphFamily::RandomRegular(4),
-        GraphFamily::GeometricAvgDeg(8.0),
-        GraphFamily::BarabasiAlbert(3),
-        GraphFamily::Tree,
-    ]
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn workload_generation_deterministic() {
-        let w = Workload::new(GraphFamily::GnpAvgDeg(4.0), 64);
-        assert_eq!(w.instance(3).unwrap(), w.instance(3).unwrap());
-        assert_ne!(w.instance(3).unwrap(), w.instance(4).unwrap());
-        assert!(w.label().contains("n=64"));
-    }
-
-    #[test]
-    fn standard_suite_generates() {
-        for fam in standard_families() {
-            let g = Workload::new(fam, 100).instance(1).unwrap();
-            assert!(g.n() >= 90, "{fam}");
-        }
-    }
-}
+pub use sleepy_fleet::{standard_families, Workload};

@@ -70,12 +70,7 @@ impl EnergyModel {
         let total: f64 = per_node.iter().sum();
         let max = per_node.iter().copied().fold(0.0f64, f64::max);
         let n = per_node.len();
-        EnergyReport {
-            total,
-            mean: if n == 0 { 0.0 } else { total / n as f64 },
-            max,
-            per_node,
-        }
+        EnergyReport { total, mean: if n == 0 { 0.0 } else { total / n as f64 }, max, per_node }
     }
 }
 
@@ -144,10 +139,7 @@ mod tests {
     fn report_aggregates() {
         let em = EnergyModel::awake_rounds_only();
         let rm = RunMetrics {
-            per_node: vec![
-                metrics_one(2, Some(9), 0, 0),
-                metrics_one(6, Some(9), 0, 0),
-            ],
+            per_node: vec![metrics_one(2, Some(9), 0, 0), metrics_one(6, Some(9), 0, 0)],
             total_rounds: 10,
             active_rounds: 10,
         };

@@ -6,8 +6,8 @@ use crate::metrics::{NodeMetrics, RunMetrics};
 use crate::protocol::{Action, NodeCtx, Protocol};
 use crate::trace::{Trace, TraceEvent};
 use crate::Round;
-use sleepy_graph::{Graph, NodeId};
 use rand::SeedableRng as _;
+use sleepy_graph::{Graph, NodeId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -349,9 +349,10 @@ mod tests {
     #[test]
     fn engine_skips_idle_rounds() {
         let g = generators::empty(3).unwrap();
-        let run =
-            run_protocol(&g, &EngineConfig::default(), |_, _| LongSleeper { done_after_wake: false })
-                .unwrap();
+        let run = run_protocol(&g, &EngineConfig::default(), |_, _| LongSleeper {
+            done_after_wake: false,
+        })
+        .unwrap();
         assert_eq!(run.metrics.total_rounds, 1_000_001);
         // Only two rounds were processed: round 0 and round 1_000_000.
         assert_eq!(run.metrics.active_rounds, 2);
@@ -393,8 +394,7 @@ mod tests {
     fn messages_to_sleeping_nodes_drop() {
         let g = Graph::from_edges(2, [(0, 1)]).unwrap();
         let run =
-            run_protocol(&g, &EngineConfig::default(), |id, _| DropProbe { id, heard: 0 })
-                .unwrap();
+            run_protocol(&g, &EngineConfig::default(), |id, _| DropProbe { id, heard: 0 }).unwrap();
         // Node 1 hears round 0 and round 4 broadcasts only.
         assert_eq!(run.outputs[1], Some(2));
         // Dropped while asleep (rounds 1,2,3) and after termination (round 5).
@@ -467,10 +467,7 @@ mod tests {
         let g = generators::empty(2).unwrap();
         let cfg = EngineConfig { max_rounds: 10, ..EngineConfig::default() };
         let err = run_protocol(&g, &cfg, |_, _| NeverEnds).unwrap_err();
-        assert!(matches!(
-            err,
-            EngineError::MaxRoundsExceeded { max_rounds: 10, unfinished: 2 }
-        ));
+        assert!(matches!(err, EngineError::MaxRoundsExceeded { max_rounds: 10, unfinished: 2 }));
     }
 
     struct TerminatesSilently;
@@ -489,8 +486,8 @@ mod tests {
     #[test]
     fn terminate_without_output_is_an_error() {
         let g = generators::empty(1).unwrap();
-        let err = run_protocol(&g, &EngineConfig::default(), |_, _| TerminatesSilently)
-            .unwrap_err();
+        let err =
+            run_protocol(&g, &EngineConfig::default(), |_, _| TerminatesSilently).unwrap_err();
         assert!(matches!(err, EngineError::TerminatedWithoutOutput { node: 0, round: 0 }));
     }
 
@@ -600,7 +597,10 @@ mod tests {
             .events
             .iter()
             .any(|e| matches!(e, TraceEvent::Sleep { node: 0, until: 1_000_000, .. })));
-        assert!(t.events.iter().any(|e| matches!(e, TraceEvent::Wake { node: 0, round: 1_000_000 })));
+        assert!(t
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Wake { node: 0, round: 1_000_000 })));
         assert!(t
             .events
             .iter()
@@ -636,11 +636,7 @@ mod tests {
             }
         }
         let g = generators::star(11).unwrap();
-        let cfg = EngineConfig {
-            loss_probability: 0.3,
-            loss_seed: 42,
-            ..EngineConfig::default()
-        };
+        let cfg = EngineConfig { loss_probability: 0.3, loss_seed: 42, ..EngineConfig::default() };
         let run = run_protocol(&g, &cfg, |id, _| Chatter { id, heard: 0 }).unwrap();
         let heard: u64 = run.outputs.iter().skip(1).map(|o| o.unwrap()).sum();
         let lost: u64 = run.metrics.per_node.iter().map(|m| m.messages_lost).sum();

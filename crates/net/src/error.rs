@@ -67,26 +67,22 @@ pub enum EngineError {
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EngineError::MaxRoundsExceeded { max_rounds, unfinished } => write!(
-                f,
-                "round cap {max_rounds} exceeded with {unfinished} unfinished nodes"
-            ),
-            EngineError::Deadlock { round, unfinished } => write!(
-                f,
-                "deadlock at round {round}: {unfinished} nodes asleep forever"
-            ),
-            EngineError::InvalidPort { node, port, degree } => write!(
-                f,
-                "node {node} sent on port {port} but has degree {degree}"
-            ),
+            EngineError::MaxRoundsExceeded { max_rounds, unfinished } => {
+                write!(f, "round cap {max_rounds} exceeded with {unfinished} unfinished nodes")
+            }
+            EngineError::Deadlock { round, unfinished } => {
+                write!(f, "deadlock at round {round}: {unfinished} nodes asleep forever")
+            }
+            EngineError::InvalidPort { node, port, degree } => {
+                write!(f, "node {node} sent on port {port} but has degree {degree}")
+            }
             EngineError::SleepIntoPast { node, round, wake_at } => write!(
                 f,
                 "node {node} at round {round} asked to wake at non-future round {wake_at}"
             ),
-            EngineError::TerminatedWithoutOutput { node, round } => write!(
-                f,
-                "node {node} terminated at round {round} without an output"
-            ),
+            EngineError::TerminatedWithoutOutput { node, round } => {
+                write!(f, "node {node} terminated at round {round} without an output")
+            }
             EngineError::MessageTooLarge { node, bits, budget } => write!(
                 f,
                 "node {node} sent a {bits}-bit message exceeding the {budget}-bit CONGEST budget"

@@ -80,11 +80,7 @@ pub fn fit_power(ns: &[f64], fs: &[f64]) -> GrowthFit {
     let xs: Vec<f64> = ns.iter().map(|n| n.ln()).collect();
     let ys: Vec<f64> = fs.iter().map(|f| f.max(1e-12).ln()).collect();
     let line = linear_regression(&xs, &ys);
-    GrowthFit {
-        exponent: line.slope,
-        amplitude: line.intercept.exp(),
-        r_squared: line.r_squared,
-    }
+    GrowthFit { exponent: line.slope, amplitude: line.intercept.exp(), r_squared: line.r_squared }
 }
 
 /// Fits f(n) ≈ a·(log₂ n)^b by regressing log f on log log₂ n.
@@ -106,11 +102,7 @@ pub fn fit_log_power(ns: &[f64], fs: &[f64]) -> GrowthFit {
         .collect();
     let ys: Vec<f64> = fs.iter().map(|f| f.max(1e-12).ln()).collect();
     let line = linear_regression(&xs, &ys);
-    GrowthFit {
-        exponent: line.slope,
-        amplitude: line.intercept.exp(),
-        r_squared: line.r_squared,
-    }
+    GrowthFit { exponent: line.slope, amplitude: line.intercept.exp(), r_squared: line.r_squared }
 }
 
 #[cfg(test)]

@@ -14,9 +14,11 @@
 #![warn(missing_docs)]
 
 mod fit;
+mod streaming;
 mod summary;
 mod table;
 
 pub use fit::{fit_log_power, fit_power, linear_regression, GrowthFit, LinearFit};
+pub use streaming::StreamingMoments;
 pub use summary::Summary;
 pub use table::TextTable;

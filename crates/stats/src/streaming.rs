@@ -1,0 +1,212 @@
+//! Mergeable streaming moment accumulators for sharded trial execution.
+//!
+//! The fleet runtime aggregates metrics across thousands of trials that
+//! finish on different worker threads in scheduling-dependent order. To
+//! keep aggregate output *byte-identical* regardless of thread count, a
+//! shard accumulates its trials in trial order into a
+//! [`StreamingMoments`], and shards are merged in shard-index order —
+//! the merge is mathematically associative (Chan et al. pairwise
+//! update), and fixing the merge order also pins down the floating-point
+//! rounding, so the combined result does not depend on which worker ran
+//! which shard.
+
+use crate::Summary;
+use serde::{Deserialize, Serialize};
+
+/// Streaming count/mean/M2/min/max in O(1) memory, combinable with other
+/// accumulators.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamingMoments {
+    /// Number of observations.
+    pub count: u64,
+    /// Running mean (0 when empty).
+    pub mean: f64,
+    /// Sum of squared deviations from the mean (Welford's M2).
+    pub m2: f64,
+    /// Minimum (+inf when empty).
+    pub min: f64,
+    /// Maximum (-inf when empty).
+    pub max: f64,
+}
+
+impl Default for StreamingMoments {
+    fn default() -> Self {
+        StreamingMoments {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl StreamingMoments {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates one observation (Welford's online update).
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Combines two accumulators (Chan et al. parallel update). The
+    /// result summarizes the concatenation of both sample streams.
+    pub fn merge(&mut self, other: &StreamingMoments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * (n2 / total);
+        self.m2 += other.m2 + delta * delta * (n1 * n2 / total);
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Sample standard deviation (n−1 denominator; 0 if count < 2).
+    pub fn std_dev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count - 1) as f64).max(0.0).sqrt()
+        }
+    }
+
+    /// Minimum, with empty accumulators reading 0 (matching
+    /// [`Summary::of`] on an empty sample).
+    pub fn min_or_zero(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum, with empty accumulators reading 0.
+    pub fn max_or_zero(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Converts into a [`Summary`], supplying the median from retained
+    /// samples (the accumulator itself cannot produce quantiles).
+    pub fn to_summary(&self, median: f64) -> Summary {
+        Summary {
+            count: self.count as usize,
+            mean: if self.count == 0 { 0.0 } else { self.mean },
+            std_dev: self.std_dev(),
+            min: self.min_or_zero(),
+            max: self.max_or_zero(),
+            median,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn matches_batch_summary() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut acc = StreamingMoments::new();
+        for &x in &data {
+            acc.push(x);
+        }
+        let s = Summary::of(&data);
+        assert_eq!(acc.count as usize, s.count);
+        assert_close(acc.mean, s.mean);
+        assert_close(acc.std_dev(), s.std_dev);
+        assert_close(acc.min_or_zero(), s.min);
+        assert_close(acc.max_or_zero(), s.max);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| ((i * 37) % 11) as f64 / 3.0).collect();
+        let mut whole = StreamingMoments::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        for split in [1, 13, 50, 99] {
+            let (a, b) = data.split_at(split);
+            let mut left = StreamingMoments::new();
+            a.iter().for_each(|&x| left.push(x));
+            let mut right = StreamingMoments::new();
+            b.iter().for_each(|&x| right.push(x));
+            left.merge(&right);
+            assert_eq!(left.count, whole.count);
+            assert_close(left.mean, whole.mean);
+            assert_close(left.std_dev(), whole.std_dev());
+            assert_close(left.min, whole.min);
+            assert_close(left.max, whole.max);
+        }
+    }
+
+    #[test]
+    fn merge_order_is_bit_stable_for_fixed_order() {
+        // Merging the same shards in the same order twice gives identical
+        // bits — the property the fleet's canonical shard-order reduction
+        // relies on.
+        let shards: Vec<StreamingMoments> = (0..8)
+            .map(|s| {
+                let mut acc = StreamingMoments::new();
+                for i in 0..10 {
+                    acc.push(((s * 31 + i * 7) % 13) as f64 / 7.0);
+                }
+                acc
+            })
+            .collect();
+        let reduce = || {
+            let mut total = StreamingMoments::new();
+            for s in &shards {
+                total.merge(s);
+            }
+            total
+        };
+        let a = reduce();
+        let b = reduce();
+        assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+        assert_eq!(a.m2.to_bits(), b.m2.to_bits());
+    }
+
+    #[test]
+    fn empty_and_identity_merges() {
+        let mut a = StreamingMoments::new();
+        let empty = StreamingMoments::new();
+        a.merge(&empty);
+        assert_eq!(a.count, 0);
+        assert_eq!(a.min_or_zero(), 0.0);
+        assert_eq!(a.max_or_zero(), 0.0);
+        a.push(3.0);
+        a.merge(&empty);
+        assert_eq!(a.count, 1);
+        assert_close(a.mean, 3.0);
+        let mut b = StreamingMoments::new();
+        b.merge(&a);
+        assert_close(b.mean, 3.0);
+        assert_eq!(b.to_summary(3.0).median, 3.0);
+    }
+}

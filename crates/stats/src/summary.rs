@@ -49,14 +49,7 @@ impl Summary {
         } else {
             (sorted[count / 2 - 1] + sorted[count / 2]) / 2.0
         };
-        Summary {
-            count,
-            mean,
-            std_dev: var.sqrt(),
-            min: sorted[0],
-            max: sorted[count - 1],
-            median,
-        }
+        Summary { count, mean, std_dev: var.sqrt(), min: sorted[0], max: sorted[count - 1], median }
     }
 
     /// Half-width of the ~95% confidence interval of the mean

@@ -50,8 +50,7 @@ impl Error for MisViolation {}
 
 /// Whether `in_set` (of the right length) is an independent set of `g`.
 pub fn is_independent(g: &Graph, in_set: &[bool]) -> bool {
-    in_set.len() == g.n()
-        && g.edges().all(|(u, v)| !(in_set[u as usize] && in_set[v as usize]))
+    in_set.len() == g.n() && g.edges().all(|(u, v)| !(in_set[u as usize] && in_set[v as usize]))
 }
 
 /// Whether `in_set` is a *maximal* independent set of `g`.
@@ -128,10 +127,7 @@ mod tests {
     fn detects_non_maximality() {
         let g = generators::star(5).unwrap();
         // Empty set: hub undominated.
-        assert_eq!(
-            verify_mis(&g, &[false; 5]),
-            Err(MisViolation::NotMaximal { node: 0 })
-        );
+        assert_eq!(verify_mis(&g, &[false; 5]), Err(MisViolation::NotMaximal { node: 0 }));
         assert!(is_independent(&g, &[false; 5]));
         assert!(!is_maximal_independent(&g, &[false; 5]));
     }
@@ -139,10 +135,7 @@ mod tests {
     #[test]
     fn detects_wrong_length() {
         let g = generators::path(3).unwrap();
-        assert_eq!(
-            verify_mis(&g, &[true]),
-            Err(MisViolation::WrongLength { got: 1, expected: 3 })
-        );
+        assert_eq!(verify_mis(&g, &[true]), Err(MisViolation::WrongLength { got: 1, expected: 3 }));
     }
 
     #[test]
@@ -152,10 +145,7 @@ mod tests {
         let g = generators::empty(3).unwrap();
         // Isolated nodes must all be in.
         assert!(verify_mis(&g, &[true, true, true]).is_ok());
-        assert_eq!(
-            verify_mis(&g, &[true, false, true]),
-            Err(MisViolation::NotMaximal { node: 1 })
-        );
+        assert_eq!(verify_mis(&g, &[true, false, true]), Err(MisViolation::NotMaximal { node: 1 }));
     }
 
     #[test]

@@ -87,11 +87,7 @@ pub fn verify_coloring(g: &Graph, colors: &[u32]) -> Result<(), ColoringViolatio
     }
     for (u, v) in g.edges() {
         if colors[u as usize] == colors[v as usize] {
-            return Err(ColoringViolation::MonochromaticEdge {
-                u,
-                v,
-                color: colors[u as usize],
-            });
+            return Err(ColoringViolation::MonochromaticEdge { u, v, color: colors[u as usize] });
         }
     }
     Ok(())

@@ -23,7 +23,13 @@ fn main() {
         );
         println!(
             "{:<18} {:>9} {:>11} {:>12} {:>12} {:>11} {:>7}",
-            "algorithm", "MIS size", "avg awake", "worst awake", "worst round", "avg round", "valid"
+            "algorithm",
+            "MIS size",
+            "avg awake",
+            "worst awake",
+            "worst round",
+            "avg round",
+            "valid"
         );
         for algo in ALL_ALGOS {
             let r = measure_once(&g, algo, 5, Execution::Auto).expect("measurement");

@@ -10,9 +10,7 @@
 //! Run with: `cargo run --release --example custom_protocol`
 
 use sleepy::graph::generators;
-use sleepy::net::{
-    run_protocol, Action, EngineConfig, Incoming, NodeCtx, Outbox, Protocol,
-};
+use sleepy::net::{run_protocol, Action, EngineConfig, Incoming, NodeCtx, Outbox, Protocol};
 
 const PERIOD: u64 = 100;
 const REPORTS: u64 = 5;
@@ -30,7 +28,7 @@ impl Protocol for DutyCycled {
 
     fn send(&mut self, ctx: &NodeCtx, out: &mut Outbox<u64>) {
         // Sensors transmit exactly at their wake rounds.
-        if !self.is_sink && ctx.round % PERIOD == 0 {
+        if !self.is_sink && ctx.round.is_multiple_of(PERIOD) {
             out.broadcast(ctx.round); // the "reading"
         }
     }
@@ -73,7 +71,11 @@ fn main() {
 
     let s = run.metrics.summary();
     println!("duty-cycled aggregation on a star of {sensors} sensors:");
-    println!("  sink heard {} readings (expected {})", run.outputs[0].unwrap(), sensors as u64 * REPORTS);
+    println!(
+        "  sink heard {} readings (expected {})",
+        run.outputs[0].unwrap(),
+        sensors as u64 * REPORTS
+    );
     println!("  wall-clock rounds       : {}", s.worst_round);
     println!("  engine-processed rounds : {} (the engine skips the sleep gaps)", s.active_rounds);
     println!("  mean awake rounds/node  : {:.1} of {} total", s.node_avg_awake, s.worst_round);

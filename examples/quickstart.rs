@@ -19,7 +19,10 @@ fn main() {
     let s = out.summary();
     println!("\nSleepingMIS (Algorithm 1):");
     println!("  MIS size                        : {}", out.mis_nodes().len());
-    println!("  node-averaged awake complexity  : {:.2} rounds  <- the O(1) headline", s.node_avg_awake);
+    println!(
+        "  node-averaged awake complexity  : {:.2} rounds  <- the O(1) headline",
+        s.node_avg_awake
+    );
     println!("  worst-case awake complexity     : {} rounds (O(log n))", s.worst_awake);
     println!("  worst-case round complexity     : {} rounds (O(n^3) schedule)", s.worst_round);
 

@@ -22,9 +22,15 @@
 //!   Ghaffari'16, on the same engine for comparable metrics.
 //! * [`verify`] — MIS checkers and lexicographically-first MIS references
 //!   (Corollary 1).
-//! * [`stats`] — summaries, growth-shape fits, table rendering.
+//! * [`stats`] — summaries, mergeable streaming aggregates, growth-shape
+//!   fits, table rendering.
+//! * [`fleet`] — the parallel batch-execution runtime: declarative
+//!   `JobSpec`/`TrialPlan` sweeps, SplitMix64 seed streams, a
+//!   work-stealing worker pool with deterministic (thread-count
+//!   invariant) output, JSONL/CSV/JSON result sinks, and the `fleet`
+//!   CLI.
 //! * [`harness`] — the experiments regenerating every table and figure of
-//!   the paper.
+//!   the paper, running their trial loops on the fleet.
 //!
 //! ## Quickstart
 //!
@@ -49,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub use sleepy_baselines as baselines;
+pub use sleepy_fleet as fleet;
 pub use sleepy_graph as graph;
 pub use sleepy_harness as harness;
 pub use sleepy_mis as mis;

@@ -63,8 +63,8 @@ fn greedy_crt_baseline_is_lexicographically_first() {
     // property) — an independent implementation pair.
     for seed in 0..8u64 {
         let g = generators::gnp(150, 0.05, seed + 40).unwrap();
-        let run = run_baseline(&g, BaselineKind::GreedyCrt, seed, &EngineConfig::default())
-            .unwrap();
+        let run =
+            run_baseline(&g, BaselineKind::GreedyCrt, seed, &EngineConfig::default()).unwrap();
         let keys: Vec<(u64, u32)> =
             (0..g.n() as u32).map(|v| (GreedyCrt::rank_of(v, seed), v)).collect();
         let reference = lexicographically_first_mis(&g, &keys);

@@ -11,15 +11,12 @@ use sleepy_net::EngineConfig;
 fn assert_exact_agreement(g: &Graph, cfg: MisConfig, label: &str) {
     let engine = run_sleeping_mis(g, cfg, &EngineConfig::default())
         .unwrap_or_else(|e| panic!("{label}: engine failed: {e}"));
-    let exec = execute_sleeping_mis(g, cfg)
-        .unwrap_or_else(|e| panic!("{label}: executor failed: {e}"));
+    let exec =
+        execute_sleeping_mis(g, cfg).unwrap_or_else(|e| panic!("{label}: executor failed: {e}"));
     assert_eq!(engine.in_mis, exec.in_mis, "{label}: MIS mismatch");
     for v in 0..g.n() {
         let em = &engine.metrics.per_node[v];
-        assert_eq!(
-            em.awake_rounds, exec.awake_rounds[v],
-            "{label}: awake mismatch at node {v}"
-        );
+        assert_eq!(em.awake_rounds, exec.awake_rounds[v], "{label}: awake mismatch at node {v}");
         assert_eq!(
             em.finish_round,
             Some(exec.finish_rounds[v]),
@@ -37,12 +34,8 @@ fn assert_exact_agreement(g: &Graph, cfg: MisConfig, label: &str) {
     }
     assert_eq!(engine.metrics.total_rounds, exec.total_rounds, "{label}: total rounds");
     assert_eq!(engine.metrics.active_rounds, exec.active_rounds, "{label}: active rounds");
-    let timeouts: Vec<u32> = exec
-        .base_timeout
-        .iter()
-        .enumerate()
-        .filter_map(|(v, &t)| t.then_some(v as u32))
-        .collect();
+    let timeouts: Vec<u32> =
+        exec.base_timeout.iter().enumerate().filter_map(|(v, &t)| t.then_some(v as u32)).collect();
     assert_eq!(engine.base_timeouts, timeouts, "{label}: timeout sets differ");
 }
 

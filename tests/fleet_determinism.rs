@@ -1,0 +1,123 @@
+//! Fleet determinism: a plan's outputs are byte-identical regardless of
+//! thread count and shard size, and the parallel aggregates agree with a
+//! hand-rolled serial loop over the same seeds.
+
+use sleepy::fleet::sink::{write_aggregate_csv, write_aggregate_json, JsonlSink};
+use sleepy::fleet::{
+    measure_once, run_plan, run_plan_with_sinks, AlgoKind, Execution, FleetConfig, SeedStream,
+    TrialPlan, Workload,
+};
+use sleepy::graph::GraphFamily;
+use sleepy::stats::Summary;
+
+fn sweep_plan() -> TrialPlan {
+    TrialPlan::sweep(
+        &[GraphFamily::GnpAvgDeg(6.0), GraphFamily::GeometricAvgDeg(6.0), GraphFamily::Tree],
+        &[64, 96],
+        &[AlgoKind::SleepingMis, AlgoKind::FastSleepingMis],
+        5,
+        0xD37E_2817,
+        Execution::Auto,
+    )
+}
+
+/// Runs the plan at a given thread count and renders every output
+/// artifact (JSONL trial log, aggregate JSON, aggregate CSV) to strings.
+fn run_at(threads: usize, shard_size: usize) -> (String, String, String) {
+    let plan = sweep_plan();
+    let cfg = FleetConfig { threads, shard_size, ..FleetConfig::default() };
+    let mut jsonl = JsonlSink::new(Vec::new());
+    let out = run_plan_with_sinks(&plan, &cfg, &mut [&mut jsonl]).expect("fleet runs");
+    let report = out.report(&plan);
+    let mut json = Vec::new();
+    write_aggregate_json(&mut json, &report).unwrap();
+    let mut csv = Vec::new();
+    write_aggregate_csv(&mut csv, &report).unwrap();
+    (
+        String::from_utf8(jsonl.into_inner()).unwrap(),
+        String::from_utf8(json).unwrap(),
+        String::from_utf8(csv).unwrap(),
+    )
+}
+
+#[test]
+fn outputs_byte_identical_across_threads_1_2_8() {
+    let (jsonl1, json1, csv1) = run_at(1, 4);
+    for threads in [2, 8] {
+        let (jsonl, json, csv) = run_at(threads, 4);
+        assert_eq!(jsonl1, jsonl, "JSONL differs at {threads} threads");
+        assert_eq!(json1, json, "aggregate JSON differs at {threads} threads");
+        assert_eq!(csv1, csv, "aggregate CSV differs at {threads} threads");
+    }
+    // Sanity: the log actually contains every trial.
+    assert_eq!(jsonl1.lines().count(), sweep_plan().total_trials() as usize);
+}
+
+#[test]
+fn outputs_byte_identical_across_shard_sizes() {
+    let (jsonl_a, json_a, csv_a) = run_at(4, 1);
+    let (jsonl_b, json_b, csv_b) = run_at(4, 64);
+    assert_eq!(jsonl_a, jsonl_b);
+    assert_eq!(json_a, json_b);
+    assert_eq!(csv_a, csv_b);
+}
+
+#[test]
+fn parallel_aggregates_match_serial_measure_path() {
+    // A single-job plan, executed by the fleet at 8 threads...
+    let workload = Workload::new(GraphFamily::GnpAvgDeg(6.0), 96);
+    let trials = 12usize;
+    let base_seed = 0xACC0_5EED;
+    let plan = TrialPlan::new(base_seed).with_job(sleepy::fleet::JobSpec::new(
+        workload,
+        AlgoKind::SleepingMis,
+        trials,
+    ));
+    let cfg = FleetConfig { threads: 8, shard_size: 2, ..FleetConfig::default() };
+    let out = run_plan(&plan, &cfg).expect("fleet runs");
+    let agg = &out.aggregates[0];
+
+    // ...must agree with a serial loop over the very same seed stream.
+    let seeds = SeedStream::new(base_seed);
+    let mut avg_awake = Vec::new();
+    let mut worst_round = Vec::new();
+    let mut valid = 0u64;
+    for t in 0..trials as u64 {
+        let seed = seeds.trial_seed(0, t);
+        let g = workload.instance(seed).expect("generates");
+        let r = measure_once(&g, AlgoKind::SleepingMis, seed, Execution::Auto).expect("measures");
+        avg_awake.push(r.summary.node_avg_awake);
+        worst_round.push(r.summary.worst_round as f64);
+        valid += u64::from(r.valid);
+    }
+    let serial_awake = Summary::of(&avg_awake);
+    let serial_round = Summary::of(&worst_round);
+
+    assert_eq!(agg.trials, trials as u64);
+    assert_eq!(agg.valid_trials, valid);
+    let fleet_awake = agg.node_avg_awake.to_summary();
+    assert_eq!(fleet_awake.count, serial_awake.count);
+    assert_eq!(fleet_awake.min, serial_awake.min);
+    assert_eq!(fleet_awake.max, serial_awake.max);
+    assert_eq!(fleet_awake.median, serial_awake.median);
+    // Streaming (Welford/Chan) and batch means differ only in rounding.
+    assert!((fleet_awake.mean - serial_awake.mean).abs() < 1e-12);
+    assert!((fleet_awake.std_dev - serial_awake.std_dev).abs() < 1e-9);
+    let fleet_round = agg.worst_round.to_summary();
+    assert_eq!(fleet_round.min, serial_round.min);
+    assert_eq!(fleet_round.max, serial_round.max);
+    assert_eq!(fleet_round.median, serial_round.median);
+    assert!((fleet_round.mean - serial_round.mean).abs() < 1e-9);
+
+    // And the harness's measure_trials wrapper is the same code path.
+    let harness_agg = sleepy::harness::measure_trials(
+        &workload,
+        sleepy::harness::AlgoKind::SleepingMis,
+        trials,
+        base_seed,
+        sleepy::harness::Execution::Auto,
+    )
+    .expect("harness measures");
+    assert_eq!(harness_agg.node_avg_awake, fleet_awake);
+    assert_eq!(harness_agg.valid_fraction, valid as f64 / trials as f64);
+}

@@ -64,10 +64,7 @@ fn schedule_bounds_respected() {
         let t1 = Schedule::alg1().duration(k1).unwrap();
         assert!(out1.total_rounds <= t1, "alg1 n={n}: {} > T(K)={t1}", out1.total_rounds);
         let max_awake = out1.awake_rounds.iter().max().unwrap();
-        assert!(
-            *max_awake <= 3 * (k1 as u64 + 1),
-            "alg1 n={n}: worst awake {max_awake} > 3(K+1)"
-        );
+        assert!(*max_awake <= 3 * (k1 as u64 + 1), "alg1 n={n}: worst awake {max_awake} > 3(K+1)");
 
         let out2 = execute_sleeping_mis(&g, MisConfig::alg2(7)).unwrap();
         let k2 = depth_alg2(n);

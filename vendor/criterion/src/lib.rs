@@ -1,0 +1,227 @@
+//! Offline stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! Real wall-clock measurement with a fixed warmup/sample policy, none
+//! of criterion's statistics. `cargo bench` prints mean per-iteration
+//! times; under `cargo test` (which passes `--test` to bench binaries)
+//! each benchmark body runs exactly once as a smoke test.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    sample_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { test_mode: false, sample_budget: Duration::from_millis(400) }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration (`--test` → single-shot mode).
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().render(None), self.test_mode, self.sample_budget, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the per-iteration throughput denominator (display only).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Adjusts the per-benchmark sampling budget.
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.criterion.sample_budget = budget;
+        self
+    }
+
+    /// Accepted for API parity; this stand-in sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into().render(Some(&self.name));
+        run_one(&label, self.criterion.test_mode, self.criterion.sample_budget, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.into().render(Some(&self.name));
+        run_one(&label, self.criterion.test_mode, self.criterion.sample_budget, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(label: &str, test_mode: bool, budget: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { iters: 0, elapsed: Duration::ZERO, test_mode, budget };
+    f(&mut b);
+    if test_mode {
+        println!("{label}: ok (1 iteration)");
+    } else if b.iters > 0 {
+        let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+        println!("{label}: {} per iter ({} iters)", fmt_duration(per_iter), b.iters);
+    }
+}
+
+fn fmt_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    test_mode: bool,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times repeated executions of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.iters = 1;
+            return;
+        }
+        // Warmup round, then sample until the time budget is spent.
+        black_box(f());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Identifies a benchmark, optionally parameterized.
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A benchmark id with a function name and parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: Some(parameter.to_string()) }
+    }
+
+    /// A benchmark id with only a parameter (group supplies the name).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { function: String::new(), parameter: Some(parameter.to_string()) }
+    }
+
+    fn render(&self, group: Option<&str>) -> String {
+        let mut parts = Vec::new();
+        if let Some(g) = group {
+            parts.push(g.to_string());
+        }
+        if !self.function.is_empty() {
+            parts.push(self.function.clone());
+        }
+        if let Some(p) = &self.parameter {
+            parts.push(p.clone());
+        }
+        parts.join("/")
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { function: s.to_string(), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { function: s, parameter: None }
+    }
+}
+
+/// Throughput annotation (display only in this stand-in).
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,94 @@
+//! Offline stand-in for `serde_json` (see `vendor/README.md`).
+
+pub use serde::Value;
+
+mod parse;
+
+pub use parse::from_str;
+
+/// Error type for JSON operations.
+#[derive(Debug, Clone)]
+pub struct Error(pub(crate) String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching serde_json's.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Converts any serializable value into a [`Value`].
+///
+/// # Errors
+///
+/// Never fails in this stand-in (kept fallible for signature parity).
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Serializes to a compact JSON string.
+///
+/// # Errors
+///
+/// Never fails in this stand-in.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String> {
+    Ok(serde::value::to_compact_string(&value.to_value()))
+}
+
+/// Serializes to a pretty-printed (two-space indented) JSON string.
+///
+/// # Errors
+///
+/// Never fails in this stand-in.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String> {
+    Ok(serde::value::to_pretty_string(&value.to_value()))
+}
+
+/// Builds a [`Value`] from a JSON-ish literal.
+///
+/// Supports `null`, booleans, flat arrays/objects with expression
+/// values, and bare expressions — the subset this workspace uses
+/// (values that are themselves `json!` calls compose naturally).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$elem).expect("serializable") ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( ($key.to_string(), $crate::to_value(&$val).expect("serializable")) ),*
+        ])
+    };
+    ($other:expr) => { $crate::to_value(&$other).expect("serializable") };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty() {
+        let v = json!({"a": 1, "b": json!([1.5, true]), "s": "x\"y"});
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":[1.5,true],"s":"x\"y"}"#);
+        assert!(to_string_pretty(&v).unwrap().contains("\n  \"a\": 1,"));
+    }
+
+    #[test]
+    fn float_formatting_keeps_trailing_zero() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
+        assert_eq!(to_string(&7u64).unwrap(), "7");
+    }
+
+    #[test]
+    fn round_trip() {
+        let v = json!({"a": 1, "b": json!([json!(2), json!(3.5), json!("x")]), "c": json!(null)});
+        let s = to_string(&v).unwrap();
+        assert_eq!(from_str(&s).unwrap(), v);
+    }
+}
