@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-3c09fb6845d1afa9.d: crates/harness/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-3c09fb6845d1afa9: crates/harness/src/bin/ablation.rs
+
+crates/harness/src/bin/ablation.rs:

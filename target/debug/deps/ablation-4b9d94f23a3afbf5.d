@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-4b9d94f23a3afbf5.d: crates/harness/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/libablation-4b9d94f23a3afbf5.rmeta: crates/harness/src/bin/ablation.rs
+
+crates/harness/src/bin/ablation.rs:

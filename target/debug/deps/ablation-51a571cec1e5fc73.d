@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation-51a571cec1e5fc73.d: crates/harness/src/bin/ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation-51a571cec1e5fc73.rmeta: crates/harness/src/bin/ablation.rs Cargo.toml
+
+crates/harness/src/bin/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

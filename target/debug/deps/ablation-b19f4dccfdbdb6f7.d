@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-b19f4dccfdbdb6f7.d: crates/harness/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-b19f4dccfdbdb6f7: crates/harness/src/bin/ablation.rs
+
+crates/harness/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-db7c7c97ae8965dd.d: crates/harness/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/libablation-db7c7c97ae8965dd.rmeta: crates/harness/src/bin/ablation.rs
+
+crates/harness/src/bin/ablation.rs:

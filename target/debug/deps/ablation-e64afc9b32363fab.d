@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation-e64afc9b32363fab.d: crates/harness/src/bin/ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation-e64afc9b32363fab.rmeta: crates/harness/src/bin/ablation.rs Cargo.toml
+
+crates/harness/src/bin/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

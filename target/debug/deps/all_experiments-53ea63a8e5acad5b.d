@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/all_experiments-53ea63a8e5acad5b.d: crates/harness/src/bin/all_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/liball_experiments-53ea63a8e5acad5b.rmeta: crates/harness/src/bin/all_experiments.rs Cargo.toml
+
+crates/harness/src/bin/all_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-70b257a350e4fc10.d: crates/harness/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-70b257a350e4fc10: crates/harness/src/bin/all_experiments.rs
+
+crates/harness/src/bin/all_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-a3fb2e65029cb83a.d: crates/harness/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/liball_experiments-a3fb2e65029cb83a.rmeta: crates/harness/src/bin/all_experiments.rs
+
+crates/harness/src/bin/all_experiments.rs:

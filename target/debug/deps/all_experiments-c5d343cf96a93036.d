@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-c5d343cf96a93036.d: crates/harness/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-c5d343cf96a93036: crates/harness/src/bin/all_experiments.rs
+
+crates/harness/src/bin/all_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-da2f63f8f97750c2.d: crates/harness/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/liball_experiments-da2f63f8f97750c2.rmeta: crates/harness/src/bin/all_experiments.rs
+
+crates/harness/src/bin/all_experiments.rs:

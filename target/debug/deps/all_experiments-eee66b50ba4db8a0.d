@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/all_experiments-eee66b50ba4db8a0.d: crates/harness/src/bin/all_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/liball_experiments-eee66b50ba4db8a0.rmeta: crates/harness/src/bin/all_experiments.rs Cargo.toml
+
+crates/harness/src/bin/all_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_corollary1-86477aa1879e6cea.d: crates/bench/benches/bench_corollary1.rs
+
+/root/repo/target/debug/deps/libbench_corollary1-86477aa1879e6cea.rmeta: crates/bench/benches/bench_corollary1.rs
+
+crates/bench/benches/bench_corollary1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_corollary1-c93d0d85d0c272b2.d: crates/bench/benches/bench_corollary1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_corollary1-c93d0d85d0c272b2.rmeta: crates/bench/benches/bench_corollary1.rs Cargo.toml
+
+crates/bench/benches/bench_corollary1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_energy-2a271b2daa389265.d: crates/bench/benches/bench_energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_energy-2a271b2daa389265.rmeta: crates/bench/benches/bench_energy.rs Cargo.toml
+
+crates/bench/benches/bench_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_energy-421558f4ab9cc521.d: crates/bench/benches/bench_energy.rs
+
+/root/repo/target/debug/deps/libbench_energy-421558f4ab9cc521.rmeta: crates/bench/benches/bench_energy.rs
+
+crates/bench/benches/bench_energy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_engine-b1614bc094dc24da.d: crates/bench/benches/bench_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_engine-b1614bc094dc24da.rmeta: crates/bench/benches/bench_engine.rs Cargo.toml
+
+crates/bench/benches/bench_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_engine-cfe2717e7c88d39b.d: crates/bench/benches/bench_engine.rs
+
+/root/repo/target/debug/deps/libbench_engine-cfe2717e7c88d39b.rmeta: crates/bench/benches/bench_engine.rs
+
+crates/bench/benches/bench_engine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_figure1-a054acca3f3b5d43.d: crates/bench/benches/bench_figure1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_figure1-a054acca3f3b5d43.rmeta: crates/bench/benches/bench_figure1.rs Cargo.toml
+
+crates/bench/benches/bench_figure1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_figure1-d912bdef639d2edb.d: crates/bench/benches/bench_figure1.rs
+
+/root/repo/target/debug/deps/libbench_figure1-d912bdef639d2edb.rmeta: crates/bench/benches/bench_figure1.rs
+
+crates/bench/benches/bench_figure1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_figure2-56c5446fb1b67d63.d: crates/bench/benches/bench_figure2.rs
+
+/root/repo/target/debug/deps/libbench_figure2-56c5446fb1b67d63.rmeta: crates/bench/benches/bench_figure2.rs
+
+crates/bench/benches/bench_figure2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_fleet-21d53ec181ef92cf.d: crates/bench/benches/bench_fleet.rs
+
+/root/repo/target/debug/deps/libbench_fleet-21d53ec181ef92cf.rmeta: crates/bench/benches/bench_fleet.rs
+
+crates/bench/benches/bench_fleet.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_fleet-3f0c49892ddc0d63.d: crates/bench/benches/bench_fleet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_fleet-3f0c49892ddc0d63.rmeta: crates/bench/benches/bench_fleet.rs Cargo.toml
+
+crates/bench/benches/bench_fleet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

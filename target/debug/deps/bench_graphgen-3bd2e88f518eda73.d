@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_graphgen-3bd2e88f518eda73.d: crates/bench/benches/bench_graphgen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_graphgen-3bd2e88f518eda73.rmeta: crates/bench/benches/bench_graphgen.rs Cargo.toml
+
+crates/bench/benches/bench_graphgen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_graphgen-3f411db5c4c547db.d: crates/bench/benches/bench_graphgen.rs
+
+/root/repo/target/debug/deps/libbench_graphgen-3f411db5c4c547db.rmeta: crates/bench/benches/bench_graphgen.rs
+
+crates/bench/benches/bench_graphgen.rs:

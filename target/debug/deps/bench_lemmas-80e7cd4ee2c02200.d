@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_lemmas-80e7cd4ee2c02200.d: crates/bench/benches/bench_lemmas.rs
+
+/root/repo/target/debug/deps/libbench_lemmas-80e7cd4ee2c02200.rmeta: crates/bench/benches/bench_lemmas.rs
+
+crates/bench/benches/bench_lemmas.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_lemmas-87ec25d50b694dd1.d: crates/bench/benches/bench_lemmas.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_lemmas-87ec25d50b694dd1.rmeta: crates/bench/benches/bench_lemmas.rs Cargo.toml
+
+crates/bench/benches/bench_lemmas.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_scaling-429c26eb7b77dc71.d: crates/bench/benches/bench_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_scaling-429c26eb7b77dc71.rmeta: crates/bench/benches/bench_scaling.rs Cargo.toml
+
+crates/bench/benches/bench_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

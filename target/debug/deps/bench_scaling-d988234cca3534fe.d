@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_scaling-d988234cca3534fe.d: crates/bench/benches/bench_scaling.rs
+
+/root/repo/target/debug/deps/libbench_scaling-d988234cca3534fe.rmeta: crates/bench/benches/bench_scaling.rs
+
+crates/bench/benches/bench_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_table1-45b98be6403c13a3.d: crates/bench/benches/bench_table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_table1-45b98be6403c13a3.rmeta: crates/bench/benches/bench_table1.rs Cargo.toml
+
+crates/bench/benches/bench_table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

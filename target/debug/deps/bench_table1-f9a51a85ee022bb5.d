@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_table1-f9a51a85ee022bb5.d: crates/bench/benches/bench_table1.rs
+
+/root/repo/target/debug/deps/libbench_table1-f9a51a85ee022bb5.rmeta: crates/bench/benches/bench_table1.rs
+
+crates/bench/benches/bench_table1.rs:

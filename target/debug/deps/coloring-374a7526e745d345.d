@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coloring-374a7526e745d345.d: crates/harness/src/bin/coloring.rs
+
+/root/repo/target/debug/deps/coloring-374a7526e745d345: crates/harness/src/bin/coloring.rs
+
+crates/harness/src/bin/coloring.rs:

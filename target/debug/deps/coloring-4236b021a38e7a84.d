@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coloring-4236b021a38e7a84.d: crates/harness/src/bin/coloring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoloring-4236b021a38e7a84.rmeta: crates/harness/src/bin/coloring.rs Cargo.toml
+
+crates/harness/src/bin/coloring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coloring-4d0d51e39f7bbf46.d: crates/harness/src/bin/coloring.rs
+
+/root/repo/target/debug/deps/libcoloring-4d0d51e39f7bbf46.rmeta: crates/harness/src/bin/coloring.rs
+
+crates/harness/src/bin/coloring.rs:

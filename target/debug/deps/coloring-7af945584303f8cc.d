@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coloring-7af945584303f8cc.d: crates/harness/src/bin/coloring.rs
+
+/root/repo/target/debug/deps/coloring-7af945584303f8cc: crates/harness/src/bin/coloring.rs
+
+crates/harness/src/bin/coloring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coloring-854f6d6874e95ab7.d: crates/harness/src/bin/coloring.rs
+
+/root/repo/target/debug/deps/libcoloring-854f6d6874e95ab7.rmeta: crates/harness/src/bin/coloring.rs
+
+crates/harness/src/bin/coloring.rs:

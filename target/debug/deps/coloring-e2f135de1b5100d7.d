@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coloring-e2f135de1b5100d7.d: crates/harness/src/bin/coloring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoloring-e2f135de1b5100d7.rmeta: crates/harness/src/bin/coloring.rs Cargo.toml
+
+crates/harness/src/bin/coloring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corollary1-553e428642a18a7d.d: crates/harness/src/bin/corollary1.rs
+
+/root/repo/target/debug/deps/libcorollary1-553e428642a18a7d.rmeta: crates/harness/src/bin/corollary1.rs
+
+crates/harness/src/bin/corollary1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corollary1-71779f30745cb6e3.d: crates/harness/src/bin/corollary1.rs
+
+/root/repo/target/debug/deps/corollary1-71779f30745cb6e3: crates/harness/src/bin/corollary1.rs
+
+crates/harness/src/bin/corollary1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corollary1-73fc1ba73f3192b2.d: crates/harness/src/bin/corollary1.rs
+
+/root/repo/target/debug/deps/corollary1-73fc1ba73f3192b2: crates/harness/src/bin/corollary1.rs
+
+crates/harness/src/bin/corollary1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corollary1-9acf2bace6aaf578.d: crates/harness/src/bin/corollary1.rs
+
+/root/repo/target/debug/deps/libcorollary1-9acf2bace6aaf578.rmeta: crates/harness/src/bin/corollary1.rs
+
+crates/harness/src/bin/corollary1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/corollary1-adefb7060449a8b4.d: crates/harness/src/bin/corollary1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcorollary1-adefb7060449a8b4.rmeta: crates/harness/src/bin/corollary1.rs Cargo.toml
+
+crates/harness/src/bin/corollary1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

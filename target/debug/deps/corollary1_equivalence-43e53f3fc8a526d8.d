@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/corollary1_equivalence-43e53f3fc8a526d8.d: tests/corollary1_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcorollary1_equivalence-43e53f3fc8a526d8.rmeta: tests/corollary1_equivalence.rs Cargo.toml
+
+tests/corollary1_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corollary1_equivalence-5580974d9a64624c.d: tests/corollary1_equivalence.rs
+
+/root/repo/target/debug/deps/libcorollary1_equivalence-5580974d9a64624c.rmeta: tests/corollary1_equivalence.rs
+
+tests/corollary1_equivalence.rs:

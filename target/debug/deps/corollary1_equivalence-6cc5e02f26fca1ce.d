@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corollary1_equivalence-6cc5e02f26fca1ce.d: tests/corollary1_equivalence.rs
+
+/root/repo/target/debug/deps/corollary1_equivalence-6cc5e02f26fca1ce: tests/corollary1_equivalence.rs
+
+tests/corollary1_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-8cf0117caaa53a68.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-8cf0117caaa53a68.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-bda3aa1adff92758.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-bda3aa1adff92758.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/energy-10961d0409446972.d: crates/harness/src/bin/energy.rs
+
+/root/repo/target/debug/deps/energy-10961d0409446972: crates/harness/src/bin/energy.rs
+
+crates/harness/src/bin/energy.rs:

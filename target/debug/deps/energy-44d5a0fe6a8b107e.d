@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/energy-44d5a0fe6a8b107e.d: crates/harness/src/bin/energy.rs
+
+/root/repo/target/debug/deps/libenergy-44d5a0fe6a8b107e.rmeta: crates/harness/src/bin/energy.rs
+
+crates/harness/src/bin/energy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/energy-4beeaadb1454e6fe.d: crates/harness/src/bin/energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenergy-4beeaadb1454e6fe.rmeta: crates/harness/src/bin/energy.rs Cargo.toml
+
+crates/harness/src/bin/energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

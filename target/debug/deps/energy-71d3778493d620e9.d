@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/energy-71d3778493d620e9.d: crates/harness/src/bin/energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenergy-71d3778493d620e9.rmeta: crates/harness/src/bin/energy.rs Cargo.toml
+
+crates/harness/src/bin/energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

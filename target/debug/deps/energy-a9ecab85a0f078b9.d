@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/energy-a9ecab85a0f078b9.d: crates/harness/src/bin/energy.rs
+
+/root/repo/target/debug/deps/libenergy-a9ecab85a0f078b9.rmeta: crates/harness/src/bin/energy.rs
+
+crates/harness/src/bin/energy.rs:

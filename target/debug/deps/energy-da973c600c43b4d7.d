@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/energy-da973c600c43b4d7.d: crates/harness/src/bin/energy.rs
+
+/root/repo/target/debug/deps/energy-da973c600c43b4d7: crates/harness/src/bin/energy.rs
+
+crates/harness/src/bin/energy.rs:

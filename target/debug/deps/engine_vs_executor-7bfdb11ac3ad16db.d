@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_vs_executor-7bfdb11ac3ad16db.d: tests/engine_vs_executor.rs
+
+/root/repo/target/debug/deps/libengine_vs_executor-7bfdb11ac3ad16db.rmeta: tests/engine_vs_executor.rs
+
+tests/engine_vs_executor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_vs_executor-f2822f9da7d79143.d: tests/engine_vs_executor.rs
+
+/root/repo/target/debug/deps/engine_vs_executor-f2822f9da7d79143: tests/engine_vs_executor.rs
+
+tests/engine_vs_executor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1-202f04ddd07a3d6b.d: crates/harness/src/bin/figure1.rs
+
+/root/repo/target/debug/deps/libfigure1-202f04ddd07a3d6b.rmeta: crates/harness/src/bin/figure1.rs
+
+crates/harness/src/bin/figure1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1-35a1937afaa96644.d: crates/harness/src/bin/figure1.rs
+
+/root/repo/target/debug/deps/figure1-35a1937afaa96644: crates/harness/src/bin/figure1.rs
+
+crates/harness/src/bin/figure1.rs:

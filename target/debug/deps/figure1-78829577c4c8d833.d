@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1-78829577c4c8d833.d: crates/harness/src/bin/figure1.rs
+
+/root/repo/target/debug/deps/libfigure1-78829577c4c8d833.rmeta: crates/harness/src/bin/figure1.rs
+
+crates/harness/src/bin/figure1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1-8ef63b71b4ac04f4.d: crates/harness/src/bin/figure1.rs
+
+/root/repo/target/debug/deps/figure1-8ef63b71b4ac04f4: crates/harness/src/bin/figure1.rs
+
+crates/harness/src/bin/figure1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure1-ff4c24ceabae9a89.d: crates/harness/src/bin/figure1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure1-ff4c24ceabae9a89.rmeta: crates/harness/src/bin/figure1.rs Cargo.toml
+
+crates/harness/src/bin/figure1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

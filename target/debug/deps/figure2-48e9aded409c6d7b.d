@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure2-48e9aded409c6d7b.d: crates/harness/src/bin/figure2.rs
+
+/root/repo/target/debug/deps/libfigure2-48e9aded409c6d7b.rmeta: crates/harness/src/bin/figure2.rs
+
+crates/harness/src/bin/figure2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure2-5755e2a1375450ff.d: crates/harness/src/bin/figure2.rs
+
+/root/repo/target/debug/deps/libfigure2-5755e2a1375450ff.rmeta: crates/harness/src/bin/figure2.rs
+
+crates/harness/src/bin/figure2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure2-69ccf3cf4d72c2b3.d: crates/harness/src/bin/figure2.rs
+
+/root/repo/target/debug/deps/figure2-69ccf3cf4d72c2b3: crates/harness/src/bin/figure2.rs
+
+crates/harness/src/bin/figure2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure2-bf2e92b318d597fd.d: crates/harness/src/bin/figure2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure2-bf2e92b318d597fd.rmeta: crates/harness/src/bin/figure2.rs Cargo.toml
+
+crates/harness/src/bin/figure2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

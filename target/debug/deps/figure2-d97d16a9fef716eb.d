@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure2-d97d16a9fef716eb.d: crates/harness/src/bin/figure2.rs
+
+/root/repo/target/debug/deps/figure2-d97d16a9fef716eb: crates/harness/src/bin/figure2.rs
+
+crates/harness/src/bin/figure2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fleet-8867eec7fe6e351a.d: crates/fleet/src/bin/fleet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfleet-8867eec7fe6e351a.rmeta: crates/fleet/src/bin/fleet.rs Cargo.toml
+
+crates/fleet/src/bin/fleet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fleet-db87f9d4d74a63d7.d: crates/fleet/src/bin/fleet.rs
+
+/root/repo/target/debug/deps/fleet-db87f9d4d74a63d7: crates/fleet/src/bin/fleet.rs
+
+crates/fleet/src/bin/fleet.rs:

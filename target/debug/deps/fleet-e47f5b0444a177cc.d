@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fleet-e47f5b0444a177cc.d: crates/fleet/src/bin/fleet.rs
+
+/root/repo/target/debug/deps/libfleet-e47f5b0444a177cc.rmeta: crates/fleet/src/bin/fleet.rs
+
+crates/fleet/src/bin/fleet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fleet-e88e89b5913647ac.d: crates/fleet/src/bin/fleet.rs
+
+/root/repo/target/debug/deps/libfleet-e88e89b5913647ac.rmeta: crates/fleet/src/bin/fleet.rs
+
+crates/fleet/src/bin/fleet.rs:

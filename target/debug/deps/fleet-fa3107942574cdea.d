@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fleet-fa3107942574cdea.d: crates/fleet/src/bin/fleet.rs
+
+/root/repo/target/debug/deps/fleet-fa3107942574cdea: crates/fleet/src/bin/fleet.rs
+
+crates/fleet/src/bin/fleet.rs:

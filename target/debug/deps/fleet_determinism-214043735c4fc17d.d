@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fleet_determinism-214043735c4fc17d.d: tests/fleet_determinism.rs
+
+/root/repo/target/debug/deps/libfleet_determinism-214043735c4fc17d.rmeta: tests/fleet_determinism.rs
+
+tests/fleet_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fleet_determinism-6aa2b9514c0295c4.d: tests/fleet_determinism.rs
+
+/root/repo/target/debug/deps/fleet_determinism-6aa2b9514c0295c4: tests/fleet_determinism.rs
+
+tests/fleet_determinism.rs:

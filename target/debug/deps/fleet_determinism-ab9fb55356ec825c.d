@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fleet_determinism-ab9fb55356ec825c.d: tests/fleet_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfleet_determinism-ab9fb55356ec825c.rmeta: tests/fleet_determinism.rs Cargo.toml
+
+tests/fleet_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

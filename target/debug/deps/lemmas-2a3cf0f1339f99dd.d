@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lemmas-2a3cf0f1339f99dd.d: crates/harness/src/bin/lemmas.rs
+
+/root/repo/target/debug/deps/liblemmas-2a3cf0f1339f99dd.rmeta: crates/harness/src/bin/lemmas.rs
+
+crates/harness/src/bin/lemmas.rs:

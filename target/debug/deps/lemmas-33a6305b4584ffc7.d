@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lemmas-33a6305b4584ffc7.d: crates/harness/src/bin/lemmas.rs
+
+/root/repo/target/debug/deps/liblemmas-33a6305b4584ffc7.rmeta: crates/harness/src/bin/lemmas.rs
+
+crates/harness/src/bin/lemmas.rs:

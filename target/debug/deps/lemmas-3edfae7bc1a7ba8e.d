@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lemmas-3edfae7bc1a7ba8e.d: crates/harness/src/bin/lemmas.rs
+
+/root/repo/target/debug/deps/lemmas-3edfae7bc1a7ba8e: crates/harness/src/bin/lemmas.rs
+
+crates/harness/src/bin/lemmas.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lemmas-b1d8ca23285ce76c.d: crates/harness/src/bin/lemmas.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblemmas-b1d8ca23285ce76c.rmeta: crates/harness/src/bin/lemmas.rs Cargo.toml
+
+crates/harness/src/bin/lemmas.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lemmas-c4c8a7c4dd696b9d.d: crates/harness/src/bin/lemmas.rs
+
+/root/repo/target/debug/deps/lemmas-c4c8a7c4dd696b9d: crates/harness/src/bin/lemmas.rs
+
+crates/harness/src/bin/lemmas.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/metrics_consistency-65c2960fe8273ef2.d: tests/metrics_consistency.rs
+
+/root/repo/target/debug/deps/libmetrics_consistency-65c2960fe8273ef2.rmeta: tests/metrics_consistency.rs
+
+tests/metrics_consistency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/metrics_consistency-85781393a92b29c9.d: tests/metrics_consistency.rs
+
+/root/repo/target/debug/deps/metrics_consistency-85781393a92b29c9: tests/metrics_consistency.rs
+
+tests/metrics_consistency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/metrics_consistency-f97bed255160de25.d: tests/metrics_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmetrics_consistency-f97bed255160de25.rmeta: tests/metrics_consistency.rs Cargo.toml
+
+tests/metrics_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

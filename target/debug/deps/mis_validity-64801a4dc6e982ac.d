@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mis_validity-64801a4dc6e982ac.d: tests/mis_validity.rs
+
+/root/repo/target/debug/deps/mis_validity-64801a4dc6e982ac: tests/mis_validity.rs
+
+tests/mis_validity.rs:

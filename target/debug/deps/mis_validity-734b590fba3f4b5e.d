@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mis_validity-734b590fba3f4b5e.d: tests/mis_validity.rs
+
+/root/repo/target/debug/deps/libmis_validity-734b590fba3f4b5e.rmeta: tests/mis_validity.rs
+
+tests/mis_validity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mis_validity-fe749b83f6ada7e8.d: tests/mis_validity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmis_validity-fe749b83f6ada7e8.rmeta: tests/mis_validity.rs Cargo.toml
+
+tests/mis_validity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-60e0b52464d0b516.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-60e0b52464d0b516.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-60e0b52464d0b516.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

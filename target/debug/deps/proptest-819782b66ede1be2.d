@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-819782b66ede1be2.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-819782b66ede1be2.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-992a11c1e1f81122.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-992a11c1e1f81122.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

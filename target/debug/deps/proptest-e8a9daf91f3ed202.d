@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-e8a9daf91f3ed202.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-e8a9daf91f3ed202: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

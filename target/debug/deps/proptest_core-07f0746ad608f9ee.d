@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_core-07f0746ad608f9ee.d: crates/core/tests/proptest_core.rs
+
+/root/repo/target/debug/deps/libproptest_core-07f0746ad608f9ee.rmeta: crates/core/tests/proptest_core.rs
+
+crates/core/tests/proptest_core.rs:

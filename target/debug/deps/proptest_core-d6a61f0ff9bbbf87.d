@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_core-d6a61f0ff9bbbf87.d: crates/core/tests/proptest_core.rs
+
+/root/repo/target/debug/deps/proptest_core-d6a61f0ff9bbbf87: crates/core/tests/proptest_core.rs
+
+crates/core/tests/proptest_core.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_core-e1df42817f52543e.d: crates/core/tests/proptest_core.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_core-e1df42817f52543e.rmeta: crates/core/tests/proptest_core.rs Cargo.toml
+
+crates/core/tests/proptest_core.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_graph-a729fd9e128cb3f8.d: crates/graph/tests/proptest_graph.rs
+
+/root/repo/target/debug/deps/proptest_graph-a729fd9e128cb3f8: crates/graph/tests/proptest_graph.rs
+
+crates/graph/tests/proptest_graph.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_graph-f1facdfa00e7614f.d: crates/graph/tests/proptest_graph.rs
+
+/root/repo/target/debug/deps/libproptest_graph-f1facdfa00e7614f.rmeta: crates/graph/tests/proptest_graph.rs
+
+crates/graph/tests/proptest_graph.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_random-4084f8f3345a62be.d: tests/proptest_random.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_random-4084f8f3345a62be.rmeta: tests/proptest_random.rs Cargo.toml
+
+tests/proptest_random.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_random-41a47315f7c50c47.d: tests/proptest_random.rs
+
+/root/repo/target/debug/deps/libproptest_random-41a47315f7c50c47.rmeta: tests/proptest_random.rs
+
+tests/proptest_random.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_random-c5ca1d194751a6dc.d: tests/proptest_random.rs
+
+/root/repo/target/debug/deps/proptest_random-c5ca1d194751a6dc: tests/proptest_random.rs
+
+tests/proptest_random.rs:

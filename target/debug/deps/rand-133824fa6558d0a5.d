@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-133824fa6558d0a5.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-133824fa6558d0a5.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

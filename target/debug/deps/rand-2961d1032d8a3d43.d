@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-2961d1032d8a3d43.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-2961d1032d8a3d43.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

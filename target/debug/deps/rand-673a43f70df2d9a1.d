@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-673a43f70df2d9a1.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-673a43f70df2d9a1: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

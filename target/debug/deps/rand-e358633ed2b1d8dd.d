@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-e358633ed2b1d8dd.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-e358633ed2b1d8dd.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-e358633ed2b1d8dd.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

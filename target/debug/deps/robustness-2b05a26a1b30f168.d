@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-2b05a26a1b30f168.d: crates/harness/src/bin/robustness.rs
+
+/root/repo/target/debug/deps/librobustness-2b05a26a1b30f168.rmeta: crates/harness/src/bin/robustness.rs
+
+crates/harness/src/bin/robustness.rs:

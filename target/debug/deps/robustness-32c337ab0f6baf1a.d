@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-32c337ab0f6baf1a.d: crates/harness/src/bin/robustness.rs
+
+/root/repo/target/debug/deps/robustness-32c337ab0f6baf1a: crates/harness/src/bin/robustness.rs
+
+crates/harness/src/bin/robustness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness-3ab7b1d225ed1bcc.d: crates/harness/src/bin/robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness-3ab7b1d225ed1bcc.rmeta: crates/harness/src/bin/robustness.rs Cargo.toml
+
+crates/harness/src/bin/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

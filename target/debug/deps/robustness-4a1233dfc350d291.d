@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-4a1233dfc350d291.d: crates/harness/src/bin/robustness.rs
+
+/root/repo/target/debug/deps/robustness-4a1233dfc350d291: crates/harness/src/bin/robustness.rs
+
+crates/harness/src/bin/robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-6f6092853604931e.d: crates/harness/src/bin/robustness.rs
+
+/root/repo/target/debug/deps/librobustness-6f6092853604931e.rmeta: crates/harness/src/bin/robustness.rs
+
+crates/harness/src/bin/robustness.rs:

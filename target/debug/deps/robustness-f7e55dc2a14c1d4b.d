@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness-f7e55dc2a14c1d4b.d: crates/harness/src/bin/robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness-f7e55dc2a14c1d4b.rmeta: crates/harness/src/bin/robustness.rs Cargo.toml
+
+crates/harness/src/bin/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/serde-0204991f8e6d0d87.d: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+/root/repo/target/debug/deps/libserde-0204991f8e6d0d87.rmeta: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/value.rs:

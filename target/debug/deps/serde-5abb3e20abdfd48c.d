@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/serde-5abb3e20abdfd48c.d: vendor/serde/src/lib.rs vendor/serde/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-5abb3e20abdfd48c.rmeta: vendor/serde/src/lib.rs vendor/serde/src/value.rs Cargo.toml
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/serde-5f5f3a1cbd1d31e2.d: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+/root/repo/target/debug/deps/libserde-5f5f3a1cbd1d31e2.rlib: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+/root/repo/target/debug/deps/libserde-5f5f3a1cbd1d31e2.rmeta: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/value.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/serde-6d63600e027580b6.d: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+/root/repo/target/debug/deps/libserde-6d63600e027580b6.rlib: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+/root/repo/target/debug/deps/libserde-6d63600e027580b6.rmeta: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/value.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/serde-c4b1d3741431d6d7.d: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+/root/repo/target/debug/deps/serde-c4b1d3741431d6d7: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/value.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/serde-d29d52a39ddf57bd.d: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+/root/repo/target/debug/deps/libserde-d29d52a39ddf57bd.rmeta: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/value.rs:

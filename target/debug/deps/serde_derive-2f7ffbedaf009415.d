@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-2f7ffbedaf009415.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-2f7ffbedaf009415.rmeta: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

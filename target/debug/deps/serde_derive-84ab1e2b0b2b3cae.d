@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-84ab1e2b0b2b3cae.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-84ab1e2b0b2b3cae.rmeta: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/serde_json-03674997c620abc3.d: vendor/serde_json/src/lib.rs vendor/serde_json/src/parse.rs
+
+/root/repo/target/debug/deps/libserde_json-03674997c620abc3.rmeta: vendor/serde_json/src/lib.rs vendor/serde_json/src/parse.rs
+
+vendor/serde_json/src/lib.rs:
+vendor/serde_json/src/parse.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/serde_json-41e386894c3ca642.d: vendor/serde_json/src/lib.rs vendor/serde_json/src/parse.rs
+
+/root/repo/target/debug/deps/libserde_json-41e386894c3ca642.rlib: vendor/serde_json/src/lib.rs vendor/serde_json/src/parse.rs
+
+/root/repo/target/debug/deps/libserde_json-41e386894c3ca642.rmeta: vendor/serde_json/src/lib.rs vendor/serde_json/src/parse.rs
+
+vendor/serde_json/src/lib.rs:
+vendor/serde_json/src/parse.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/serde_json-499d0457ed5148d3.d: vendor/serde_json/src/lib.rs vendor/serde_json/src/parse.rs
+
+/root/repo/target/debug/deps/serde_json-499d0457ed5148d3: vendor/serde_json/src/lib.rs vendor/serde_json/src/parse.rs
+
+vendor/serde_json/src/lib.rs:
+vendor/serde_json/src/parse.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/serde_json-9468fd1e79782edb.d: vendor/serde_json/src/lib.rs vendor/serde_json/src/parse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_json-9468fd1e79782edb.rmeta: vendor/serde_json/src/lib.rs vendor/serde_json/src/parse.rs Cargo.toml
+
+vendor/serde_json/src/lib.rs:
+vendor/serde_json/src/parse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

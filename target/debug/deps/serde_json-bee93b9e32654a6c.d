@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/serde_json-bee93b9e32654a6c.d: vendor/serde_json/src/lib.rs vendor/serde_json/src/parse.rs
+
+/root/repo/target/debug/deps/libserde_json-bee93b9e32654a6c.rmeta: vendor/serde_json/src/lib.rs vendor/serde_json/src/parse.rs
+
+vendor/serde_json/src/lib.rs:
+vendor/serde_json/src/parse.rs:

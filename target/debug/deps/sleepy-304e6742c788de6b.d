@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sleepy-304e6742c788de6b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsleepy-304e6742c788de6b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sleepy-904844e645452f8a.d: src/lib.rs
+
+/root/repo/target/debug/deps/sleepy-904844e645452f8a: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sleepy-9fd9af77d8a874e7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsleepy-9fd9af77d8a874e7.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsleepy-9fd9af77d8a874e7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sleepy-a4c1313c114ac96c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsleepy-a4c1313c114ac96c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sleepy-ab3775c7ecb4a4d8.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsleepy-ab3775c7ecb4a4d8.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsleepy-ab3775c7ecb4a4d8.rmeta: src/lib.rs
+
+src/lib.rs:

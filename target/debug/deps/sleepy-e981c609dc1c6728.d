@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sleepy-e981c609dc1c6728.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsleepy-e981c609dc1c6728.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sleepy_baselines-51a14666e15ce8a8.d: crates/baselines/src/lib.rs crates/baselines/src/coloring.rs crates/baselines/src/ghaffari.rs crates/baselines/src/greedy.rs crates/baselines/src/luby.rs crates/baselines/src/runner.rs
+
+/root/repo/target/debug/deps/libsleepy_baselines-51a14666e15ce8a8.rlib: crates/baselines/src/lib.rs crates/baselines/src/coloring.rs crates/baselines/src/ghaffari.rs crates/baselines/src/greedy.rs crates/baselines/src/luby.rs crates/baselines/src/runner.rs
+
+/root/repo/target/debug/deps/libsleepy_baselines-51a14666e15ce8a8.rmeta: crates/baselines/src/lib.rs crates/baselines/src/coloring.rs crates/baselines/src/ghaffari.rs crates/baselines/src/greedy.rs crates/baselines/src/luby.rs crates/baselines/src/runner.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/coloring.rs:
+crates/baselines/src/ghaffari.rs:
+crates/baselines/src/greedy.rs:
+crates/baselines/src/luby.rs:
+crates/baselines/src/runner.rs:

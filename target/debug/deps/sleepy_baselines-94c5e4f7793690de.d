@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sleepy_baselines-94c5e4f7793690de.d: crates/baselines/src/lib.rs crates/baselines/src/coloring.rs crates/baselines/src/ghaffari.rs crates/baselines/src/greedy.rs crates/baselines/src/luby.rs crates/baselines/src/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsleepy_baselines-94c5e4f7793690de.rmeta: crates/baselines/src/lib.rs crates/baselines/src/coloring.rs crates/baselines/src/ghaffari.rs crates/baselines/src/greedy.rs crates/baselines/src/luby.rs crates/baselines/src/runner.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/coloring.rs:
+crates/baselines/src/ghaffari.rs:
+crates/baselines/src/greedy.rs:
+crates/baselines/src/luby.rs:
+crates/baselines/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sleepy_baselines-e7b27b4542f7b7bf.d: crates/baselines/src/lib.rs crates/baselines/src/coloring.rs crates/baselines/src/ghaffari.rs crates/baselines/src/greedy.rs crates/baselines/src/luby.rs crates/baselines/src/runner.rs
+
+/root/repo/target/debug/deps/libsleepy_baselines-e7b27b4542f7b7bf.rmeta: crates/baselines/src/lib.rs crates/baselines/src/coloring.rs crates/baselines/src/ghaffari.rs crates/baselines/src/greedy.rs crates/baselines/src/luby.rs crates/baselines/src/runner.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/coloring.rs:
+crates/baselines/src/ghaffari.rs:
+crates/baselines/src/greedy.rs:
+crates/baselines/src/luby.rs:
+crates/baselines/src/runner.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sleepy_bench-035c3012973b1262.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsleepy_bench-035c3012973b1262.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsleepy_bench-035c3012973b1262.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sleepy_bench-4897f50bc14833ed.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsleepy_bench-4897f50bc14833ed.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sleepy_bench-68b4552ed0ea263f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsleepy_bench-68b4552ed0ea263f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsleepy_bench-68b4552ed0ea263f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

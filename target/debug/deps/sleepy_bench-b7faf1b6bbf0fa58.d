@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sleepy_bench-b7faf1b6bbf0fa58.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/sleepy_bench-b7faf1b6bbf0fa58: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sleepy_bench-c563cbff74912514.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsleepy_bench-c563cbff74912514.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sleepy_bench-d9584e61256597c0.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsleepy_bench-d9584e61256597c0.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sleepy_fleet-2be5db0670615b92.d: crates/fleet/src/lib.rs crates/fleet/src/agg.rs crates/fleet/src/error.rs crates/fleet/src/measure.rs crates/fleet/src/pool.rs crates/fleet/src/run.rs crates/fleet/src/seed.rs crates/fleet/src/sink.rs crates/fleet/src/spec.rs crates/fleet/src/workload.rs
+
+/root/repo/target/debug/deps/libsleepy_fleet-2be5db0670615b92.rmeta: crates/fleet/src/lib.rs crates/fleet/src/agg.rs crates/fleet/src/error.rs crates/fleet/src/measure.rs crates/fleet/src/pool.rs crates/fleet/src/run.rs crates/fleet/src/seed.rs crates/fleet/src/sink.rs crates/fleet/src/spec.rs crates/fleet/src/workload.rs
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/agg.rs:
+crates/fleet/src/error.rs:
+crates/fleet/src/measure.rs:
+crates/fleet/src/pool.rs:
+crates/fleet/src/run.rs:
+crates/fleet/src/seed.rs:
+crates/fleet/src/sink.rs:
+crates/fleet/src/spec.rs:
+crates/fleet/src/workload.rs:

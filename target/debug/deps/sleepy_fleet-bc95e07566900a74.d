@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/sleepy_fleet-bc95e07566900a74.d: crates/fleet/src/lib.rs crates/fleet/src/agg.rs crates/fleet/src/error.rs crates/fleet/src/measure.rs crates/fleet/src/pool.rs crates/fleet/src/run.rs crates/fleet/src/seed.rs crates/fleet/src/sink.rs crates/fleet/src/spec.rs crates/fleet/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsleepy_fleet-bc95e07566900a74.rmeta: crates/fleet/src/lib.rs crates/fleet/src/agg.rs crates/fleet/src/error.rs crates/fleet/src/measure.rs crates/fleet/src/pool.rs crates/fleet/src/run.rs crates/fleet/src/seed.rs crates/fleet/src/sink.rs crates/fleet/src/spec.rs crates/fleet/src/workload.rs Cargo.toml
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/agg.rs:
+crates/fleet/src/error.rs:
+crates/fleet/src/measure.rs:
+crates/fleet/src/pool.rs:
+crates/fleet/src/run.rs:
+crates/fleet/src/seed.rs:
+crates/fleet/src/sink.rs:
+crates/fleet/src/spec.rs:
+crates/fleet/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/sleepy_harness-3f7f39cadd7a1eab.d: crates/harness/src/lib.rs crates/harness/src/ablation.rs crates/harness/src/coloring.rs crates/harness/src/corollary1.rs crates/harness/src/energy.rs crates/harness/src/error.rs crates/harness/src/figure1.rs crates/harness/src/figure2.rs crates/harness/src/lemmas.rs crates/harness/src/measure.rs crates/harness/src/output.rs crates/harness/src/robustness.rs crates/harness/src/table1.rs crates/harness/src/theorems.rs crates/harness/src/workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsleepy_harness-3f7f39cadd7a1eab.rmeta: crates/harness/src/lib.rs crates/harness/src/ablation.rs crates/harness/src/coloring.rs crates/harness/src/corollary1.rs crates/harness/src/energy.rs crates/harness/src/error.rs crates/harness/src/figure1.rs crates/harness/src/figure2.rs crates/harness/src/lemmas.rs crates/harness/src/measure.rs crates/harness/src/output.rs crates/harness/src/robustness.rs crates/harness/src/table1.rs crates/harness/src/theorems.rs crates/harness/src/workloads.rs Cargo.toml
+
+crates/harness/src/lib.rs:
+crates/harness/src/ablation.rs:
+crates/harness/src/coloring.rs:
+crates/harness/src/corollary1.rs:
+crates/harness/src/energy.rs:
+crates/harness/src/error.rs:
+crates/harness/src/figure1.rs:
+crates/harness/src/figure2.rs:
+crates/harness/src/lemmas.rs:
+crates/harness/src/measure.rs:
+crates/harness/src/output.rs:
+crates/harness/src/robustness.rs:
+crates/harness/src/table1.rs:
+crates/harness/src/theorems.rs:
+crates/harness/src/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/sleepy_harness-b395bd92c7a44eac.d: crates/harness/src/lib.rs crates/harness/src/ablation.rs crates/harness/src/coloring.rs crates/harness/src/corollary1.rs crates/harness/src/energy.rs crates/harness/src/error.rs crates/harness/src/figure1.rs crates/harness/src/figure2.rs crates/harness/src/lemmas.rs crates/harness/src/measure.rs crates/harness/src/output.rs crates/harness/src/robustness.rs crates/harness/src/table1.rs crates/harness/src/theorems.rs crates/harness/src/workloads.rs
+
+/root/repo/target/debug/deps/libsleepy_harness-b395bd92c7a44eac.rmeta: crates/harness/src/lib.rs crates/harness/src/ablation.rs crates/harness/src/coloring.rs crates/harness/src/corollary1.rs crates/harness/src/energy.rs crates/harness/src/error.rs crates/harness/src/figure1.rs crates/harness/src/figure2.rs crates/harness/src/lemmas.rs crates/harness/src/measure.rs crates/harness/src/output.rs crates/harness/src/robustness.rs crates/harness/src/table1.rs crates/harness/src/theorems.rs crates/harness/src/workloads.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/ablation.rs:
+crates/harness/src/coloring.rs:
+crates/harness/src/corollary1.rs:
+crates/harness/src/energy.rs:
+crates/harness/src/error.rs:
+crates/harness/src/figure1.rs:
+crates/harness/src/figure2.rs:
+crates/harness/src/lemmas.rs:
+crates/harness/src/measure.rs:
+crates/harness/src/output.rs:
+crates/harness/src/robustness.rs:
+crates/harness/src/table1.rs:
+crates/harness/src/theorems.rs:
+crates/harness/src/workloads.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sleepy_mis-4d7ebfbf419a1897.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/executor.rs crates/core/src/params.rs crates/core/src/protocol.rs crates/core/src/rank.rs crates/core/src/schedule.rs crates/core/src/tree.rs
+
+/root/repo/target/debug/deps/sleepy_mis-4d7ebfbf419a1897: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/executor.rs crates/core/src/params.rs crates/core/src/protocol.rs crates/core/src/rank.rs crates/core/src/schedule.rs crates/core/src/tree.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/executor.rs:
+crates/core/src/params.rs:
+crates/core/src/protocol.rs:
+crates/core/src/rank.rs:
+crates/core/src/schedule.rs:
+crates/core/src/tree.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sleepy_mis-af5293b3a04973ce.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/executor.rs crates/core/src/params.rs crates/core/src/protocol.rs crates/core/src/rank.rs crates/core/src/schedule.rs crates/core/src/tree.rs
+
+/root/repo/target/debug/deps/libsleepy_mis-af5293b3a04973ce.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/executor.rs crates/core/src/params.rs crates/core/src/protocol.rs crates/core/src/rank.rs crates/core/src/schedule.rs crates/core/src/tree.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/executor.rs:
+crates/core/src/params.rs:
+crates/core/src/protocol.rs:
+crates/core/src/rank.rs:
+crates/core/src/schedule.rs:
+crates/core/src/tree.rs:

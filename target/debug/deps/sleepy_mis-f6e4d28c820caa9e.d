@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/sleepy_mis-f6e4d28c820caa9e.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/executor.rs crates/core/src/params.rs crates/core/src/protocol.rs crates/core/src/rank.rs crates/core/src/schedule.rs crates/core/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsleepy_mis-f6e4d28c820caa9e.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/executor.rs crates/core/src/params.rs crates/core/src/protocol.rs crates/core/src/rank.rs crates/core/src/schedule.rs crates/core/src/tree.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/executor.rs:
+crates/core/src/params.rs:
+crates/core/src/protocol.rs:
+crates/core/src/rank.rs:
+crates/core/src/schedule.rs:
+crates/core/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

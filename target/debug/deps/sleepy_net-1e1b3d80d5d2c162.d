@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sleepy_net-1e1b3d80d5d2c162.d: crates/net/src/lib.rs crates/net/src/energy.rs crates/net/src/engine.rs crates/net/src/error.rs crates/net/src/message.rs crates/net/src/metrics.rs crates/net/src/protocol.rs crates/net/src/trace.rs
+
+/root/repo/target/debug/deps/libsleepy_net-1e1b3d80d5d2c162.rmeta: crates/net/src/lib.rs crates/net/src/energy.rs crates/net/src/engine.rs crates/net/src/error.rs crates/net/src/message.rs crates/net/src/metrics.rs crates/net/src/protocol.rs crates/net/src/trace.rs
+
+crates/net/src/lib.rs:
+crates/net/src/energy.rs:
+crates/net/src/engine.rs:
+crates/net/src/error.rs:
+crates/net/src/message.rs:
+crates/net/src/metrics.rs:
+crates/net/src/protocol.rs:
+crates/net/src/trace.rs:

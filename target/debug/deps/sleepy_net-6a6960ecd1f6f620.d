@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/sleepy_net-6a6960ecd1f6f620.d: crates/net/src/lib.rs crates/net/src/energy.rs crates/net/src/engine.rs crates/net/src/error.rs crates/net/src/message.rs crates/net/src/metrics.rs crates/net/src/protocol.rs crates/net/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsleepy_net-6a6960ecd1f6f620.rmeta: crates/net/src/lib.rs crates/net/src/energy.rs crates/net/src/engine.rs crates/net/src/error.rs crates/net/src/message.rs crates/net/src/metrics.rs crates/net/src/protocol.rs crates/net/src/trace.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/energy.rs:
+crates/net/src/engine.rs:
+crates/net/src/error.rs:
+crates/net/src/message.rs:
+crates/net/src/metrics.rs:
+crates/net/src/protocol.rs:
+crates/net/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

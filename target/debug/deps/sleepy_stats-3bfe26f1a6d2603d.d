@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sleepy_stats-3bfe26f1a6d2603d.d: crates/stats/src/lib.rs crates/stats/src/fit.rs crates/stats/src/streaming.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+/root/repo/target/debug/deps/libsleepy_stats-3bfe26f1a6d2603d.rlib: crates/stats/src/lib.rs crates/stats/src/fit.rs crates/stats/src/streaming.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+/root/repo/target/debug/deps/libsleepy_stats-3bfe26f1a6d2603d.rmeta: crates/stats/src/lib.rs crates/stats/src/fit.rs crates/stats/src/streaming.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/fit.rs:
+crates/stats/src/streaming.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/table.rs:

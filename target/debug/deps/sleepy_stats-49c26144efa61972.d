@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sleepy_stats-49c26144efa61972.d: crates/stats/src/lib.rs crates/stats/src/fit.rs crates/stats/src/streaming.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+/root/repo/target/debug/deps/libsleepy_stats-49c26144efa61972.rlib: crates/stats/src/lib.rs crates/stats/src/fit.rs crates/stats/src/streaming.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+/root/repo/target/debug/deps/libsleepy_stats-49c26144efa61972.rmeta: crates/stats/src/lib.rs crates/stats/src/fit.rs crates/stats/src/streaming.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/fit.rs:
+crates/stats/src/streaming.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/table.rs:

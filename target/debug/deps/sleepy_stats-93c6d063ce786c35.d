@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sleepy_stats-93c6d063ce786c35.d: crates/stats/src/lib.rs crates/stats/src/fit.rs crates/stats/src/streaming.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+/root/repo/target/debug/deps/sleepy_stats-93c6d063ce786c35: crates/stats/src/lib.rs crates/stats/src/fit.rs crates/stats/src/streaming.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/fit.rs:
+crates/stats/src/streaming.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/table.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sleepy_stats-9cc66000ce1ecba5.d: crates/stats/src/lib.rs crates/stats/src/fit.rs crates/stats/src/streaming.rs crates/stats/src/summary.rs crates/stats/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsleepy_stats-9cc66000ce1ecba5.rmeta: crates/stats/src/lib.rs crates/stats/src/fit.rs crates/stats/src/streaming.rs crates/stats/src/summary.rs crates/stats/src/table.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/fit.rs:
+crates/stats/src/streaming.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sleepy_verify-1953914971e9feb7.d: crates/verify/src/lib.rs crates/verify/src/checker.rs crates/verify/src/coloring.rs crates/verify/src/reference.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsleepy_verify-1953914971e9feb7.rmeta: crates/verify/src/lib.rs crates/verify/src/checker.rs crates/verify/src/coloring.rs crates/verify/src/reference.rs Cargo.toml
+
+crates/verify/src/lib.rs:
+crates/verify/src/checker.rs:
+crates/verify/src/coloring.rs:
+crates/verify/src/reference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sleepy_verify-384cc14f8b81edc2.d: crates/verify/src/lib.rs crates/verify/src/checker.rs crates/verify/src/coloring.rs crates/verify/src/reference.rs
+
+/root/repo/target/debug/deps/sleepy_verify-384cc14f8b81edc2: crates/verify/src/lib.rs crates/verify/src/checker.rs crates/verify/src/coloring.rs crates/verify/src/reference.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/checker.rs:
+crates/verify/src/coloring.rs:
+crates/verify/src/reference.rs:

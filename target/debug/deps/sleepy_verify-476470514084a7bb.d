@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sleepy_verify-476470514084a7bb.d: crates/verify/src/lib.rs crates/verify/src/checker.rs crates/verify/src/coloring.rs crates/verify/src/reference.rs
+
+/root/repo/target/debug/deps/libsleepy_verify-476470514084a7bb.rlib: crates/verify/src/lib.rs crates/verify/src/checker.rs crates/verify/src/coloring.rs crates/verify/src/reference.rs
+
+/root/repo/target/debug/deps/libsleepy_verify-476470514084a7bb.rmeta: crates/verify/src/lib.rs crates/verify/src/checker.rs crates/verify/src/coloring.rs crates/verify/src/reference.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/checker.rs:
+crates/verify/src/coloring.rs:
+crates/verify/src/reference.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sleepy_verify-67d1ad9f6f7a23f1.d: crates/verify/src/lib.rs crates/verify/src/checker.rs crates/verify/src/coloring.rs crates/verify/src/reference.rs
+
+/root/repo/target/debug/deps/libsleepy_verify-67d1ad9f6f7a23f1.rlib: crates/verify/src/lib.rs crates/verify/src/checker.rs crates/verify/src/coloring.rs crates/verify/src/reference.rs
+
+/root/repo/target/debug/deps/libsleepy_verify-67d1ad9f6f7a23f1.rmeta: crates/verify/src/lib.rs crates/verify/src/checker.rs crates/verify/src/coloring.rs crates/verify/src/reference.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/checker.rs:
+crates/verify/src/coloring.rs:
+crates/verify/src/reference.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sleepy_verify-8ae6ac24f2256fe8.d: crates/verify/src/lib.rs crates/verify/src/checker.rs crates/verify/src/coloring.rs crates/verify/src/reference.rs
+
+/root/repo/target/debug/deps/libsleepy_verify-8ae6ac24f2256fe8.rmeta: crates/verify/src/lib.rs crates/verify/src/checker.rs crates/verify/src/coloring.rs crates/verify/src/reference.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/checker.rs:
+crates/verify/src/coloring.rs:
+crates/verify/src/reference.rs:

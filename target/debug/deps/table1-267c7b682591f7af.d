@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-267c7b682591f7af.d: crates/harness/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-267c7b682591f7af.rmeta: crates/harness/src/bin/table1.rs
+
+crates/harness/src/bin/table1.rs:

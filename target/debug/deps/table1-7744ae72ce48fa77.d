@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-7744ae72ce48fa77.d: crates/harness/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-7744ae72ce48fa77: crates/harness/src/bin/table1.rs
+
+crates/harness/src/bin/table1.rs:

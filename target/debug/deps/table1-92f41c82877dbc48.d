@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-92f41c82877dbc48.d: crates/harness/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-92f41c82877dbc48.rmeta: crates/harness/src/bin/table1.rs
+
+crates/harness/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-9e82267ef8c4c78b.d: crates/harness/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-9e82267ef8c4c78b: crates/harness/src/bin/table1.rs
+
+crates/harness/src/bin/table1.rs:

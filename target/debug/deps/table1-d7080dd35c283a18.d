@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1-d7080dd35c283a18.d: crates/harness/src/bin/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1-d7080dd35c283a18.rmeta: crates/harness/src/bin/table1.rs Cargo.toml
+
+crates/harness/src/bin/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theorems-02451488f25e7eb8.d: crates/harness/src/bin/theorems.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheorems-02451488f25e7eb8.rmeta: crates/harness/src/bin/theorems.rs Cargo.toml
+
+crates/harness/src/bin/theorems.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

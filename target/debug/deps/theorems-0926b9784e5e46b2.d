@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorems-0926b9784e5e46b2.d: crates/harness/src/bin/theorems.rs
+
+/root/repo/target/debug/deps/theorems-0926b9784e5e46b2: crates/harness/src/bin/theorems.rs
+
+crates/harness/src/bin/theorems.rs:

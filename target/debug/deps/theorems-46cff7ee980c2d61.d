@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorems-46cff7ee980c2d61.d: crates/harness/src/bin/theorems.rs
+
+/root/repo/target/debug/deps/theorems-46cff7ee980c2d61: crates/harness/src/bin/theorems.rs
+
+crates/harness/src/bin/theorems.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorems-65b3fedddb0f8154.d: crates/harness/src/bin/theorems.rs
+
+/root/repo/target/debug/deps/libtheorems-65b3fedddb0f8154.rmeta: crates/harness/src/bin/theorems.rs
+
+crates/harness/src/bin/theorems.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theorems-9af50fafbffe4844.d: crates/harness/src/bin/theorems.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheorems-9af50fafbffe4844.rmeta: crates/harness/src/bin/theorems.rs Cargo.toml
+
+crates/harness/src/bin/theorems.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorems-e6159725581cdc9b.d: crates/harness/src/bin/theorems.rs
+
+/root/repo/target/debug/deps/libtheorems-e6159725581cdc9b.rmeta: crates/harness/src/bin/theorems.rs
+
+crates/harness/src/bin/theorems.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/algorithm_shootout-23c2186a5d51a986.d: examples/algorithm_shootout.rs
+
+/root/repo/target/debug/examples/libalgorithm_shootout-23c2186a5d51a986.rmeta: examples/algorithm_shootout.rs
+
+examples/algorithm_shootout.rs:

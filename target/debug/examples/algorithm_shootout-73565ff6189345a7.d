@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/algorithm_shootout-73565ff6189345a7.d: examples/algorithm_shootout.rs Cargo.toml
+
+/root/repo/target/debug/examples/libalgorithm_shootout-73565ff6189345a7.rmeta: examples/algorithm_shootout.rs Cargo.toml
+
+examples/algorithm_shootout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/algorithm_shootout-8fd53ab1075a0cb9.d: examples/algorithm_shootout.rs
+
+/root/repo/target/debug/examples/algorithm_shootout-8fd53ab1075a0cb9: examples/algorithm_shootout.rs
+
+examples/algorithm_shootout.rs:

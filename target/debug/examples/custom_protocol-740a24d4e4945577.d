@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_protocol-740a24d4e4945577.d: examples/custom_protocol.rs
+
+/root/repo/target/debug/examples/custom_protocol-740a24d4e4945577: examples/custom_protocol.rs
+
+examples/custom_protocol.rs:

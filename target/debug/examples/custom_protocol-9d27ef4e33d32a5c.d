@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_protocol-9d27ef4e33d32a5c.d: examples/custom_protocol.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_protocol-9d27ef4e33d32a5c.rmeta: examples/custom_protocol.rs Cargo.toml
+
+examples/custom_protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_protocol-f1a6cc769e140602.d: examples/custom_protocol.rs
+
+/root/repo/target/debug/examples/libcustom_protocol-f1a6cc769e140602.rmeta: examples/custom_protocol.rs
+
+examples/custom_protocol.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fleet_speedup-17209a7b5b747d2b.d: examples/fleet_speedup.rs
+
+/root/repo/target/debug/examples/fleet_speedup-17209a7b5b747d2b: examples/fleet_speedup.rs
+
+examples/fleet_speedup.rs:

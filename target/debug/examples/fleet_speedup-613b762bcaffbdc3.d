@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fleet_speedup-613b762bcaffbdc3.d: examples/fleet_speedup.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfleet_speedup-613b762bcaffbdc3.rmeta: examples/fleet_speedup.rs Cargo.toml
+
+examples/fleet_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fleet_speedup-f0fed56e314afb79.d: examples/fleet_speedup.rs
+
+/root/repo/target/debug/examples/libfleet_speedup-f0fed56e314afb79.rmeta: examples/fleet_speedup.rs
+
+examples/fleet_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7261f62a46d7b020.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-7261f62a46d7b020.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7f26439edea4810d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7f26439edea4810d: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/recursion_tree-24875cc9495c491d.d: examples/recursion_tree.rs
+
+/root/repo/target/debug/examples/recursion_tree-24875cc9495c491d: examples/recursion_tree.rs
+
+examples/recursion_tree.rs:

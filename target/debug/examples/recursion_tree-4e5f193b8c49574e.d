@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/recursion_tree-4e5f193b8c49574e.d: examples/recursion_tree.rs Cargo.toml
+
+/root/repo/target/debug/examples/librecursion_tree-4e5f193b8c49574e.rmeta: examples/recursion_tree.rs Cargo.toml
+
+examples/recursion_tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

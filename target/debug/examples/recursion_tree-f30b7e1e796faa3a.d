@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/recursion_tree-f30b7e1e796faa3a.d: examples/recursion_tree.rs
+
+/root/repo/target/debug/examples/librecursion_tree-f30b7e1e796faa3a.rmeta: examples/recursion_tree.rs
+
+examples/recursion_tree.rs:

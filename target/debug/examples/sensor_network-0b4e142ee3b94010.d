@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sensor_network-0b4e142ee3b94010.d: examples/sensor_network.rs
+
+/root/repo/target/debug/examples/libsensor_network-0b4e142ee3b94010.rmeta: examples/sensor_network.rs
+
+examples/sensor_network.rs:

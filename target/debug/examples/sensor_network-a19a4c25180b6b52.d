@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sensor_network-a19a4c25180b6b52.d: examples/sensor_network.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsensor_network-a19a4c25180b6b52.rmeta: examples/sensor_network.rs Cargo.toml
+
+examples/sensor_network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

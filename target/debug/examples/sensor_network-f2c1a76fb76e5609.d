@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sensor_network-f2c1a76fb76e5609.d: examples/sensor_network.rs
+
+/root/repo/target/debug/examples/sensor_network-f2c1a76fb76e5609: examples/sensor_network.rs
+
+examples/sensor_network.rs:

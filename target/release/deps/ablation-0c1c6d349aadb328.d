@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-0c1c6d349aadb328.d: crates/harness/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-0c1c6d349aadb328: crates/harness/src/bin/ablation.rs
+
+crates/harness/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-22a378b1340ddd00.d: crates/harness/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-22a378b1340ddd00: crates/harness/src/bin/ablation.rs
+
+crates/harness/src/bin/ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation-3911a274ca8c5f3c.d: crates/harness/src/bin/ablation.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation-3911a274ca8c5f3c.rmeta: crates/harness/src/bin/ablation.rs Cargo.toml
+
+crates/harness/src/bin/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation-95d7495055d4acef.d: crates/harness/src/bin/ablation.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation-95d7495055d4acef.rmeta: crates/harness/src/bin/ablation.rs Cargo.toml
+
+crates/harness/src/bin/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

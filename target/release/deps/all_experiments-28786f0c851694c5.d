@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_experiments-28786f0c851694c5.d: crates/harness/src/bin/all_experiments.rs
+
+/root/repo/target/release/deps/all_experiments-28786f0c851694c5: crates/harness/src/bin/all_experiments.rs
+
+crates/harness/src/bin/all_experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/all_experiments-44eab1d7b445645f.d: crates/harness/src/bin/all_experiments.rs Cargo.toml
+
+/root/repo/target/release/deps/liball_experiments-44eab1d7b445645f.rmeta: crates/harness/src/bin/all_experiments.rs Cargo.toml
+
+crates/harness/src/bin/all_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/all_experiments-7ac98ca7c93d59b3.d: crates/harness/src/bin/all_experiments.rs Cargo.toml
+
+/root/repo/target/release/deps/liball_experiments-7ac98ca7c93d59b3.rmeta: crates/harness/src/bin/all_experiments.rs Cargo.toml
+
+crates/harness/src/bin/all_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_experiments-a934fcaaa6a03c45.d: crates/harness/src/bin/all_experiments.rs
+
+/root/repo/target/release/deps/all_experiments-a934fcaaa6a03c45: crates/harness/src/bin/all_experiments.rs
+
+crates/harness/src/bin/all_experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench_corollary1-8af5a5e1459ea722.d: crates/bench/benches/bench_corollary1.rs Cargo.toml
+
+/root/repo/target/release/deps/libbench_corollary1-8af5a5e1459ea722.rmeta: crates/bench/benches/bench_corollary1.rs Cargo.toml
+
+crates/bench/benches/bench_corollary1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

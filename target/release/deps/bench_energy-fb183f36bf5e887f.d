@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench_energy-fb183f36bf5e887f.d: crates/bench/benches/bench_energy.rs Cargo.toml
+
+/root/repo/target/release/deps/libbench_energy-fb183f36bf5e887f.rmeta: crates/bench/benches/bench_energy.rs Cargo.toml
+
+crates/bench/benches/bench_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench_engine-14524482e99e2a4d.d: crates/bench/benches/bench_engine.rs Cargo.toml
+
+/root/repo/target/release/deps/libbench_engine-14524482e99e2a4d.rmeta: crates/bench/benches/bench_engine.rs Cargo.toml
+
+crates/bench/benches/bench_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

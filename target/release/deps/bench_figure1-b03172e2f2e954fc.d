@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench_figure1-b03172e2f2e954fc.d: crates/bench/benches/bench_figure1.rs Cargo.toml
+
+/root/repo/target/release/deps/libbench_figure1-b03172e2f2e954fc.rmeta: crates/bench/benches/bench_figure1.rs Cargo.toml
+
+crates/bench/benches/bench_figure1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench_figure2-f0dbb380efc72eb8.d: crates/bench/benches/bench_figure2.rs Cargo.toml
+
+/root/repo/target/release/deps/libbench_figure2-f0dbb380efc72eb8.rmeta: crates/bench/benches/bench_figure2.rs Cargo.toml
+
+crates/bench/benches/bench_figure2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

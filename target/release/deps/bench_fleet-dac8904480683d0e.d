@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench_fleet-dac8904480683d0e.d: crates/bench/benches/bench_fleet.rs Cargo.toml
+
+/root/repo/target/release/deps/libbench_fleet-dac8904480683d0e.rmeta: crates/bench/benches/bench_fleet.rs Cargo.toml
+
+crates/bench/benches/bench_fleet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

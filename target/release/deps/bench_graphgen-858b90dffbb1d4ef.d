@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench_graphgen-858b90dffbb1d4ef.d: crates/bench/benches/bench_graphgen.rs Cargo.toml
+
+/root/repo/target/release/deps/libbench_graphgen-858b90dffbb1d4ef.rmeta: crates/bench/benches/bench_graphgen.rs Cargo.toml
+
+crates/bench/benches/bench_graphgen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

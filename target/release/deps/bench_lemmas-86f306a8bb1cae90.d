@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench_lemmas-86f306a8bb1cae90.d: crates/bench/benches/bench_lemmas.rs Cargo.toml
+
+/root/repo/target/release/deps/libbench_lemmas-86f306a8bb1cae90.rmeta: crates/bench/benches/bench_lemmas.rs Cargo.toml
+
+crates/bench/benches/bench_lemmas.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench_scaling-e1a7a90d05cdc801.d: crates/bench/benches/bench_scaling.rs Cargo.toml
+
+/root/repo/target/release/deps/libbench_scaling-e1a7a90d05cdc801.rmeta: crates/bench/benches/bench_scaling.rs Cargo.toml
+
+crates/bench/benches/bench_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

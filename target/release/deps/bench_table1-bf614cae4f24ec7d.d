@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench_table1-bf614cae4f24ec7d.d: crates/bench/benches/bench_table1.rs Cargo.toml
+
+/root/repo/target/release/deps/libbench_table1-bf614cae4f24ec7d.rmeta: crates/bench/benches/bench_table1.rs Cargo.toml
+
+crates/bench/benches/bench_table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/coloring-605766236e2955a7.d: crates/harness/src/bin/coloring.rs
+
+/root/repo/target/release/deps/coloring-605766236e2955a7: crates/harness/src/bin/coloring.rs
+
+crates/harness/src/bin/coloring.rs:

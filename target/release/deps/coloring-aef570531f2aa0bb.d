@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/coloring-aef570531f2aa0bb.d: crates/harness/src/bin/coloring.rs Cargo.toml
+
+/root/repo/target/release/deps/libcoloring-aef570531f2aa0bb.rmeta: crates/harness/src/bin/coloring.rs Cargo.toml
+
+crates/harness/src/bin/coloring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

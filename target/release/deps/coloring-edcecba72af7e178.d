@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/coloring-edcecba72af7e178.d: crates/harness/src/bin/coloring.rs
+
+/root/repo/target/release/deps/coloring-edcecba72af7e178: crates/harness/src/bin/coloring.rs
+
+crates/harness/src/bin/coloring.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/coloring-f463a786df493b1e.d: crates/harness/src/bin/coloring.rs Cargo.toml
+
+/root/repo/target/release/deps/libcoloring-f463a786df493b1e.rmeta: crates/harness/src/bin/coloring.rs Cargo.toml
+
+crates/harness/src/bin/coloring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/corollary1-575e57fc6aed2b52.d: crates/harness/src/bin/corollary1.rs
+
+/root/repo/target/release/deps/corollary1-575e57fc6aed2b52: crates/harness/src/bin/corollary1.rs
+
+crates/harness/src/bin/corollary1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/corollary1-b2b9afbb7f2108f7.d: crates/harness/src/bin/corollary1.rs
+
+/root/repo/target/release/deps/corollary1-b2b9afbb7f2108f7: crates/harness/src/bin/corollary1.rs
+
+crates/harness/src/bin/corollary1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/corollary1-b7d390d0a4af72c8.d: crates/harness/src/bin/corollary1.rs Cargo.toml
+
+/root/repo/target/release/deps/libcorollary1-b7d390d0a4af72c8.rmeta: crates/harness/src/bin/corollary1.rs Cargo.toml
+
+crates/harness/src/bin/corollary1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/corollary1-e68c793655f1ca4d.d: crates/harness/src/bin/corollary1.rs Cargo.toml
+
+/root/repo/target/release/deps/libcorollary1-e68c793655f1ca4d.rmeta: crates/harness/src/bin/corollary1.rs Cargo.toml
+
+crates/harness/src/bin/corollary1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/corollary1_equivalence-4b8eca860f373eee.d: tests/corollary1_equivalence.rs
+
+/root/repo/target/release/deps/corollary1_equivalence-4b8eca860f373eee: tests/corollary1_equivalence.rs
+
+tests/corollary1_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/corollary1_equivalence-e6ac49f2e69ce374.d: tests/corollary1_equivalence.rs Cargo.toml
+
+/root/repo/target/release/deps/libcorollary1_equivalence-e6ac49f2e69ce374.rmeta: tests/corollary1_equivalence.rs Cargo.toml
+
+tests/corollary1_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

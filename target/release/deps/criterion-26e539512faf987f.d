@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/criterion-26e539512faf987f.d: vendor/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcriterion-26e539512faf987f.rmeta: vendor/criterion/src/lib.rs Cargo.toml
+
+vendor/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/criterion-d770e86f0f17c39f.d: vendor/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcriterion-d770e86f0f17c39f.rmeta: vendor/criterion/src/lib.rs Cargo.toml
+
+vendor/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/energy-55f4f9d98331fd34.d: crates/harness/src/bin/energy.rs Cargo.toml
+
+/root/repo/target/release/deps/libenergy-55f4f9d98331fd34.rmeta: crates/harness/src/bin/energy.rs Cargo.toml
+
+crates/harness/src/bin/energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/energy-562c47949d5591e6.d: crates/harness/src/bin/energy.rs
+
+/root/repo/target/release/deps/energy-562c47949d5591e6: crates/harness/src/bin/energy.rs
+
+crates/harness/src/bin/energy.rs:

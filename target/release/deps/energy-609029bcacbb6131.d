@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/energy-609029bcacbb6131.d: crates/harness/src/bin/energy.rs
+
+/root/repo/target/release/deps/energy-609029bcacbb6131: crates/harness/src/bin/energy.rs
+
+crates/harness/src/bin/energy.rs:

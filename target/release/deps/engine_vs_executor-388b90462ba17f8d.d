@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_vs_executor-388b90462ba17f8d.d: tests/engine_vs_executor.rs
+
+/root/repo/target/release/deps/engine_vs_executor-388b90462ba17f8d: tests/engine_vs_executor.rs
+
+tests/engine_vs_executor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/engine_vs_executor-ecffbfdcb87505c6.d: tests/engine_vs_executor.rs Cargo.toml
+
+/root/repo/target/release/deps/libengine_vs_executor-ecffbfdcb87505c6.rmeta: tests/engine_vs_executor.rs Cargo.toml
+
+tests/engine_vs_executor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

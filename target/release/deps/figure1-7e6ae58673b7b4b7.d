@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure1-7e6ae58673b7b4b7.d: crates/harness/src/bin/figure1.rs
+
+/root/repo/target/release/deps/figure1-7e6ae58673b7b4b7: crates/harness/src/bin/figure1.rs
+
+crates/harness/src/bin/figure1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/figure1-8ca2d1f6c785aa7d.d: crates/harness/src/bin/figure1.rs Cargo.toml
+
+/root/repo/target/release/deps/libfigure1-8ca2d1f6c785aa7d.rmeta: crates/harness/src/bin/figure1.rs Cargo.toml
+
+crates/harness/src/bin/figure1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

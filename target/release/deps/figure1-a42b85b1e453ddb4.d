@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/figure1-a42b85b1e453ddb4.d: crates/harness/src/bin/figure1.rs Cargo.toml
+
+/root/repo/target/release/deps/libfigure1-a42b85b1e453ddb4.rmeta: crates/harness/src/bin/figure1.rs Cargo.toml
+
+crates/harness/src/bin/figure1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

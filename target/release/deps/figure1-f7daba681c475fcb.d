@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure1-f7daba681c475fcb.d: crates/harness/src/bin/figure1.rs
+
+/root/repo/target/release/deps/figure1-f7daba681c475fcb: crates/harness/src/bin/figure1.rs
+
+crates/harness/src/bin/figure1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure2-3c3b6df993594b64.d: crates/harness/src/bin/figure2.rs
+
+/root/repo/target/release/deps/figure2-3c3b6df993594b64: crates/harness/src/bin/figure2.rs
+
+crates/harness/src/bin/figure2.rs:

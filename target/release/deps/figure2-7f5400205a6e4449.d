@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/figure2-7f5400205a6e4449.d: crates/harness/src/bin/figure2.rs Cargo.toml
+
+/root/repo/target/release/deps/libfigure2-7f5400205a6e4449.rmeta: crates/harness/src/bin/figure2.rs Cargo.toml
+
+crates/harness/src/bin/figure2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

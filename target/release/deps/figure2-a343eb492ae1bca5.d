@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/figure2-a343eb492ae1bca5.d: crates/harness/src/bin/figure2.rs Cargo.toml
+
+/root/repo/target/release/deps/libfigure2-a343eb492ae1bca5.rmeta: crates/harness/src/bin/figure2.rs Cargo.toml
+
+crates/harness/src/bin/figure2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

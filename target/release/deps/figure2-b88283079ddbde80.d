@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure2-b88283079ddbde80.d: crates/harness/src/bin/figure2.rs
+
+/root/repo/target/release/deps/figure2-b88283079ddbde80: crates/harness/src/bin/figure2.rs
+
+crates/harness/src/bin/figure2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fleet-36e94a9da4a21c7a.d: crates/fleet/src/bin/fleet.rs
+
+/root/repo/target/release/deps/fleet-36e94a9da4a21c7a: crates/fleet/src/bin/fleet.rs
+
+crates/fleet/src/bin/fleet.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fleet-ac56ab251c994379.d: crates/fleet/src/bin/fleet.rs Cargo.toml
+
+/root/repo/target/release/deps/libfleet-ac56ab251c994379.rmeta: crates/fleet/src/bin/fleet.rs Cargo.toml
+
+crates/fleet/src/bin/fleet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

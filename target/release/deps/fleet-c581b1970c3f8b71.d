@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fleet-c581b1970c3f8b71.d: crates/fleet/src/bin/fleet.rs Cargo.toml
+
+/root/repo/target/release/deps/libfleet-c581b1970c3f8b71.rmeta: crates/fleet/src/bin/fleet.rs Cargo.toml
+
+crates/fleet/src/bin/fleet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

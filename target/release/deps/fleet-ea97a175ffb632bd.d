@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fleet-ea97a175ffb632bd.d: crates/fleet/src/bin/fleet.rs
+
+/root/repo/target/release/deps/fleet-ea97a175ffb632bd: crates/fleet/src/bin/fleet.rs
+
+crates/fleet/src/bin/fleet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fleet_determinism-497176873e6998c1.d: tests/fleet_determinism.rs
+
+/root/repo/target/release/deps/fleet_determinism-497176873e6998c1: tests/fleet_determinism.rs
+
+tests/fleet_determinism.rs:

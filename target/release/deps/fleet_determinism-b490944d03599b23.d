@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fleet_determinism-b490944d03599b23.d: tests/fleet_determinism.rs Cargo.toml
+
+/root/repo/target/release/deps/libfleet_determinism-b490944d03599b23.rmeta: tests/fleet_determinism.rs Cargo.toml
+
+tests/fleet_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

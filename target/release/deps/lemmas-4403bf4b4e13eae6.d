@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lemmas-4403bf4b4e13eae6.d: crates/harness/src/bin/lemmas.rs Cargo.toml
+
+/root/repo/target/release/deps/liblemmas-4403bf4b4e13eae6.rmeta: crates/harness/src/bin/lemmas.rs Cargo.toml
+
+crates/harness/src/bin/lemmas.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lemmas-52753bc7e1ea47cd.d: crates/harness/src/bin/lemmas.rs
+
+/root/repo/target/release/deps/lemmas-52753bc7e1ea47cd: crates/harness/src/bin/lemmas.rs
+
+crates/harness/src/bin/lemmas.rs:

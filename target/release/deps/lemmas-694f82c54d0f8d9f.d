@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lemmas-694f82c54d0f8d9f.d: crates/harness/src/bin/lemmas.rs
+
+/root/repo/target/release/deps/lemmas-694f82c54d0f8d9f: crates/harness/src/bin/lemmas.rs
+
+crates/harness/src/bin/lemmas.rs:

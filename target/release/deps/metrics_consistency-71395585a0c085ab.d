@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/metrics_consistency-71395585a0c085ab.d: tests/metrics_consistency.rs Cargo.toml
+
+/root/repo/target/release/deps/libmetrics_consistency-71395585a0c085ab.rmeta: tests/metrics_consistency.rs Cargo.toml
+
+tests/metrics_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/metrics_consistency-aa9c6f8efa42b3f8.d: tests/metrics_consistency.rs
+
+/root/repo/target/release/deps/metrics_consistency-aa9c6f8efa42b3f8: tests/metrics_consistency.rs
+
+tests/metrics_consistency.rs:

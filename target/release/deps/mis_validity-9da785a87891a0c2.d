@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mis_validity-9da785a87891a0c2.d: tests/mis_validity.rs
+
+/root/repo/target/release/deps/mis_validity-9da785a87891a0c2: tests/mis_validity.rs
+
+tests/mis_validity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mis_validity-bcb9fc48b6d9f5e5.d: tests/mis_validity.rs Cargo.toml
+
+/root/repo/target/release/deps/libmis_validity-bcb9fc48b6d9f5e5.rmeta: tests/mis_validity.rs Cargo.toml
+
+tests/mis_validity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

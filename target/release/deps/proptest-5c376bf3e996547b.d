@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-5c376bf3e996547b.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-5c376bf3e996547b: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-9871d02dfc02f6c3.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-9871d02dfc02f6c3.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-9871d02dfc02f6c3.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

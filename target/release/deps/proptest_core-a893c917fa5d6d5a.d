@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest_core-a893c917fa5d6d5a.d: crates/core/tests/proptest_core.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest_core-a893c917fa5d6d5a.rmeta: crates/core/tests/proptest_core.rs Cargo.toml
+
+crates/core/tests/proptest_core.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_core-c82317e192af8b4d.d: crates/core/tests/proptest_core.rs
+
+/root/repo/target/release/deps/proptest_core-c82317e192af8b4d: crates/core/tests/proptest_core.rs
+
+crates/core/tests/proptest_core.rs:

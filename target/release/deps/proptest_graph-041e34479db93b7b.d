@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_graph-041e34479db93b7b.d: crates/graph/tests/proptest_graph.rs
+
+/root/repo/target/release/deps/proptest_graph-041e34479db93b7b: crates/graph/tests/proptest_graph.rs
+
+crates/graph/tests/proptest_graph.rs:

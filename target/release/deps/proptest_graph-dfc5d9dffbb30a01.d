@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest_graph-dfc5d9dffbb30a01.d: crates/graph/tests/proptest_graph.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest_graph-dfc5d9dffbb30a01.rmeta: crates/graph/tests/proptest_graph.rs Cargo.toml
+
+crates/graph/tests/proptest_graph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

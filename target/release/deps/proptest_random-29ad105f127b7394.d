@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_random-29ad105f127b7394.d: tests/proptest_random.rs
+
+/root/repo/target/release/deps/proptest_random-29ad105f127b7394: tests/proptest_random.rs
+
+tests/proptest_random.rs:

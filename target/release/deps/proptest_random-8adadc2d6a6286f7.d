@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest_random-8adadc2d6a6286f7.d: tests/proptest_random.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest_random-8adadc2d6a6286f7.rmeta: tests/proptest_random.rs Cargo.toml
+
+tests/proptest_random.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-5798b39c6c493ad4.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-5798b39c6c493ad4: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

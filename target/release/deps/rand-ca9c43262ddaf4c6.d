@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-ca9c43262ddaf4c6.d: vendor/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-ca9c43262ddaf4c6.rmeta: vendor/rand/src/lib.rs Cargo.toml
+
+vendor/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-d5432c64fc7e3771.d: vendor/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-d5432c64fc7e3771.rmeta: vendor/rand/src/lib.rs Cargo.toml
+
+vendor/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

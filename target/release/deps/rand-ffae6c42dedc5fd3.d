@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-ffae6c42dedc5fd3.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-ffae6c42dedc5fd3.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-ffae6c42dedc5fd3.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

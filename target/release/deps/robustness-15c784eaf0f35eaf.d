@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness-15c784eaf0f35eaf.d: crates/harness/src/bin/robustness.rs
+
+/root/repo/target/release/deps/robustness-15c784eaf0f35eaf: crates/harness/src/bin/robustness.rs
+
+crates/harness/src/bin/robustness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/robustness-5968af5678149fd4.d: crates/harness/src/bin/robustness.rs Cargo.toml
+
+/root/repo/target/release/deps/librobustness-5968af5678149fd4.rmeta: crates/harness/src/bin/robustness.rs Cargo.toml
+
+crates/harness/src/bin/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

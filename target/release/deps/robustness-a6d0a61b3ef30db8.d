@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness-a6d0a61b3ef30db8.d: crates/harness/src/bin/robustness.rs
+
+/root/repo/target/release/deps/robustness-a6d0a61b3ef30db8: crates/harness/src/bin/robustness.rs
+
+crates/harness/src/bin/robustness.rs:

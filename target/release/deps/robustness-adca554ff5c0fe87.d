@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/robustness-adca554ff5c0fe87.d: crates/harness/src/bin/robustness.rs Cargo.toml
+
+/root/repo/target/release/deps/librobustness-adca554ff5c0fe87.rmeta: crates/harness/src/bin/robustness.rs Cargo.toml
+
+crates/harness/src/bin/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/serde-a42c429f9b76e3fd.d: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+/root/repo/target/release/deps/libserde-a42c429f9b76e3fd.rlib: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+/root/repo/target/release/deps/libserde-a42c429f9b76e3fd.rmeta: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/value.rs:

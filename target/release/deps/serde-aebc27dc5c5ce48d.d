@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/serde-aebc27dc5c5ce48d.d: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+/root/repo/target/release/deps/serde-aebc27dc5c5ce48d: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/value.rs:

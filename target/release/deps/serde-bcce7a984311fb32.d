@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/serde-bcce7a984311fb32.d: vendor/serde/src/lib.rs vendor/serde/src/value.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde-bcce7a984311fb32.rmeta: vendor/serde/src/lib.rs vendor/serde/src/value.rs Cargo.toml
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

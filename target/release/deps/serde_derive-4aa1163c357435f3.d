@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-4aa1163c357435f3.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-4aa1163c357435f3.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-b49bbf16af1d56b7.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-b49bbf16af1d56b7.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

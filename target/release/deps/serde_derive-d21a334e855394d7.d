@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-d21a334e855394d7.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/serde_derive-d21a334e855394d7: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/serde_json-1eebb88e518adc53.d: vendor/serde_json/src/lib.rs vendor/serde_json/src/parse.rs
+
+/root/repo/target/release/deps/libserde_json-1eebb88e518adc53.rlib: vendor/serde_json/src/lib.rs vendor/serde_json/src/parse.rs
+
+/root/repo/target/release/deps/libserde_json-1eebb88e518adc53.rmeta: vendor/serde_json/src/lib.rs vendor/serde_json/src/parse.rs
+
+vendor/serde_json/src/lib.rs:
+vendor/serde_json/src/parse.rs:

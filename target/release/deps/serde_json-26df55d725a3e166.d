@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/serde_json-26df55d725a3e166.d: vendor/serde_json/src/lib.rs vendor/serde_json/src/parse.rs
+
+/root/repo/target/release/deps/serde_json-26df55d725a3e166: vendor/serde_json/src/lib.rs vendor/serde_json/src/parse.rs
+
+vendor/serde_json/src/lib.rs:
+vendor/serde_json/src/parse.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/serde_json-915c0854fec2d860.d: vendor/serde_json/src/lib.rs vendor/serde_json/src/parse.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde_json-915c0854fec2d860.rmeta: vendor/serde_json/src/lib.rs vendor/serde_json/src/parse.rs Cargo.toml
+
+vendor/serde_json/src/lib.rs:
+vendor/serde_json/src/parse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

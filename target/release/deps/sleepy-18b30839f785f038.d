@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sleepy-18b30839f785f038.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libsleepy-18b30839f785f038.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

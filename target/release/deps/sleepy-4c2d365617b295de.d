@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sleepy-4c2d365617b295de.d: src/lib.rs
+
+/root/repo/target/release/deps/sleepy-4c2d365617b295de: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sleepy-d5f9e1a3c459de42.d: src/lib.rs
+
+/root/repo/target/release/deps/libsleepy-d5f9e1a3c459de42.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsleepy-d5f9e1a3c459de42.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sleepy-d8bc4ceb02200b6f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libsleepy-d8bc4ceb02200b6f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sleepy_baselines-c8b1a449b5686cc5.d: crates/baselines/src/lib.rs crates/baselines/src/coloring.rs crates/baselines/src/ghaffari.rs crates/baselines/src/greedy.rs crates/baselines/src/luby.rs crates/baselines/src/runner.rs Cargo.toml
+
+/root/repo/target/release/deps/libsleepy_baselines-c8b1a449b5686cc5.rmeta: crates/baselines/src/lib.rs crates/baselines/src/coloring.rs crates/baselines/src/ghaffari.rs crates/baselines/src/greedy.rs crates/baselines/src/luby.rs crates/baselines/src/runner.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/coloring.rs:
+crates/baselines/src/ghaffari.rs:
+crates/baselines/src/greedy.rs:
+crates/baselines/src/luby.rs:
+crates/baselines/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

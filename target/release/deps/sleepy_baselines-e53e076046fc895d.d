@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sleepy_baselines-e53e076046fc895d.d: crates/baselines/src/lib.rs crates/baselines/src/coloring.rs crates/baselines/src/ghaffari.rs crates/baselines/src/greedy.rs crates/baselines/src/luby.rs crates/baselines/src/runner.rs Cargo.toml
+
+/root/repo/target/release/deps/libsleepy_baselines-e53e076046fc895d.rmeta: crates/baselines/src/lib.rs crates/baselines/src/coloring.rs crates/baselines/src/ghaffari.rs crates/baselines/src/greedy.rs crates/baselines/src/luby.rs crates/baselines/src/runner.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/coloring.rs:
+crates/baselines/src/ghaffari.rs:
+crates/baselines/src/greedy.rs:
+crates/baselines/src/luby.rs:
+crates/baselines/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sleepy_bench-08a4b3a62fd25551.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/sleepy_bench-08a4b3a62fd25551: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sleepy_bench-17971aa1df72e06d.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsleepy_bench-17971aa1df72e06d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsleepy_bench-17971aa1df72e06d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sleepy_bench-7b0d5658e6e12dc1.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libsleepy_bench-7b0d5658e6e12dc1.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

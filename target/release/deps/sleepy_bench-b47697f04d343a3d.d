@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sleepy_bench-b47697f04d343a3d.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libsleepy_bench-b47697f04d343a3d.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

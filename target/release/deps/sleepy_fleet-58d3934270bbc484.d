@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/sleepy_fleet-58d3934270bbc484.d: crates/fleet/src/lib.rs crates/fleet/src/agg.rs crates/fleet/src/error.rs crates/fleet/src/measure.rs crates/fleet/src/pool.rs crates/fleet/src/run.rs crates/fleet/src/seed.rs crates/fleet/src/sink.rs crates/fleet/src/spec.rs crates/fleet/src/workload.rs
+
+/root/repo/target/release/deps/libsleepy_fleet-58d3934270bbc484.rlib: crates/fleet/src/lib.rs crates/fleet/src/agg.rs crates/fleet/src/error.rs crates/fleet/src/measure.rs crates/fleet/src/pool.rs crates/fleet/src/run.rs crates/fleet/src/seed.rs crates/fleet/src/sink.rs crates/fleet/src/spec.rs crates/fleet/src/workload.rs
+
+/root/repo/target/release/deps/libsleepy_fleet-58d3934270bbc484.rmeta: crates/fleet/src/lib.rs crates/fleet/src/agg.rs crates/fleet/src/error.rs crates/fleet/src/measure.rs crates/fleet/src/pool.rs crates/fleet/src/run.rs crates/fleet/src/seed.rs crates/fleet/src/sink.rs crates/fleet/src/spec.rs crates/fleet/src/workload.rs
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/agg.rs:
+crates/fleet/src/error.rs:
+crates/fleet/src/measure.rs:
+crates/fleet/src/pool.rs:
+crates/fleet/src/run.rs:
+crates/fleet/src/seed.rs:
+crates/fleet/src/sink.rs:
+crates/fleet/src/spec.rs:
+crates/fleet/src/workload.rs:

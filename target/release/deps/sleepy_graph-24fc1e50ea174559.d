@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/sleepy_graph-24fc1e50ea174559.d: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/error.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/geometric.rs crates/graph/src/generators/gnp.rs crates/graph/src/generators/powerlaw.rs crates/graph/src/generators/regular.rs crates/graph/src/generators/structured.rs crates/graph/src/generators/trees.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/ops.rs
+
+/root/repo/target/release/deps/libsleepy_graph-24fc1e50ea174559.rlib: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/error.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/geometric.rs crates/graph/src/generators/gnp.rs crates/graph/src/generators/powerlaw.rs crates/graph/src/generators/regular.rs crates/graph/src/generators/structured.rs crates/graph/src/generators/trees.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/ops.rs
+
+/root/repo/target/release/deps/libsleepy_graph-24fc1e50ea174559.rmeta: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/error.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/geometric.rs crates/graph/src/generators/gnp.rs crates/graph/src/generators/powerlaw.rs crates/graph/src/generators/regular.rs crates/graph/src/generators/structured.rs crates/graph/src/generators/trees.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/ops.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/builder.rs:
+crates/graph/src/error.rs:
+crates/graph/src/generators/mod.rs:
+crates/graph/src/generators/geometric.rs:
+crates/graph/src/generators/gnp.rs:
+crates/graph/src/generators/powerlaw.rs:
+crates/graph/src/generators/regular.rs:
+crates/graph/src/generators/structured.rs:
+crates/graph/src/generators/trees.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/io.rs:
+crates/graph/src/ops.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/sleepy_graph-6405369791ae4fcd.d: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/error.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/geometric.rs crates/graph/src/generators/gnp.rs crates/graph/src/generators/powerlaw.rs crates/graph/src/generators/regular.rs crates/graph/src/generators/structured.rs crates/graph/src/generators/trees.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/ops.rs Cargo.toml
+
+/root/repo/target/release/deps/libsleepy_graph-6405369791ae4fcd.rmeta: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/error.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/geometric.rs crates/graph/src/generators/gnp.rs crates/graph/src/generators/powerlaw.rs crates/graph/src/generators/regular.rs crates/graph/src/generators/structured.rs crates/graph/src/generators/trees.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/ops.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/builder.rs:
+crates/graph/src/error.rs:
+crates/graph/src/generators/mod.rs:
+crates/graph/src/generators/geometric.rs:
+crates/graph/src/generators/gnp.rs:
+crates/graph/src/generators/powerlaw.rs:
+crates/graph/src/generators/regular.rs:
+crates/graph/src/generators/structured.rs:
+crates/graph/src/generators/trees.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/io.rs:
+crates/graph/src/ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

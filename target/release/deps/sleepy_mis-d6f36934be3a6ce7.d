@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sleepy_mis-d6f36934be3a6ce7.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/executor.rs crates/core/src/params.rs crates/core/src/protocol.rs crates/core/src/rank.rs crates/core/src/schedule.rs crates/core/src/tree.rs
+
+/root/repo/target/release/deps/sleepy_mis-d6f36934be3a6ce7: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/executor.rs crates/core/src/params.rs crates/core/src/protocol.rs crates/core/src/rank.rs crates/core/src/schedule.rs crates/core/src/tree.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/executor.rs:
+crates/core/src/params.rs:
+crates/core/src/protocol.rs:
+crates/core/src/rank.rs:
+crates/core/src/schedule.rs:
+crates/core/src/tree.rs:

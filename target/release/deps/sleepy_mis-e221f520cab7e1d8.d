@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sleepy_mis-e221f520cab7e1d8.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/executor.rs crates/core/src/params.rs crates/core/src/protocol.rs crates/core/src/rank.rs crates/core/src/schedule.rs crates/core/src/tree.rs
+
+/root/repo/target/release/deps/libsleepy_mis-e221f520cab7e1d8.rlib: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/executor.rs crates/core/src/params.rs crates/core/src/protocol.rs crates/core/src/rank.rs crates/core/src/schedule.rs crates/core/src/tree.rs
+
+/root/repo/target/release/deps/libsleepy_mis-e221f520cab7e1d8.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/executor.rs crates/core/src/params.rs crates/core/src/protocol.rs crates/core/src/rank.rs crates/core/src/schedule.rs crates/core/src/tree.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/executor.rs:
+crates/core/src/params.rs:
+crates/core/src/protocol.rs:
+crates/core/src/rank.rs:
+crates/core/src/schedule.rs:
+crates/core/src/tree.rs:

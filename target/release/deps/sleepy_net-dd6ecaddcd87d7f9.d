@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sleepy_net-dd6ecaddcd87d7f9.d: crates/net/src/lib.rs crates/net/src/energy.rs crates/net/src/engine.rs crates/net/src/error.rs crates/net/src/message.rs crates/net/src/metrics.rs crates/net/src/protocol.rs crates/net/src/trace.rs
+
+/root/repo/target/release/deps/sleepy_net-dd6ecaddcd87d7f9: crates/net/src/lib.rs crates/net/src/energy.rs crates/net/src/engine.rs crates/net/src/error.rs crates/net/src/message.rs crates/net/src/metrics.rs crates/net/src/protocol.rs crates/net/src/trace.rs
+
+crates/net/src/lib.rs:
+crates/net/src/energy.rs:
+crates/net/src/engine.rs:
+crates/net/src/error.rs:
+crates/net/src/message.rs:
+crates/net/src/metrics.rs:
+crates/net/src/protocol.rs:
+crates/net/src/trace.rs:

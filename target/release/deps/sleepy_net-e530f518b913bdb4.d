@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sleepy_net-e530f518b913bdb4.d: crates/net/src/lib.rs crates/net/src/energy.rs crates/net/src/engine.rs crates/net/src/error.rs crates/net/src/message.rs crates/net/src/metrics.rs crates/net/src/protocol.rs crates/net/src/trace.rs
+
+/root/repo/target/release/deps/libsleepy_net-e530f518b913bdb4.rlib: crates/net/src/lib.rs crates/net/src/energy.rs crates/net/src/engine.rs crates/net/src/error.rs crates/net/src/message.rs crates/net/src/metrics.rs crates/net/src/protocol.rs crates/net/src/trace.rs
+
+/root/repo/target/release/deps/libsleepy_net-e530f518b913bdb4.rmeta: crates/net/src/lib.rs crates/net/src/energy.rs crates/net/src/engine.rs crates/net/src/error.rs crates/net/src/message.rs crates/net/src/metrics.rs crates/net/src/protocol.rs crates/net/src/trace.rs
+
+crates/net/src/lib.rs:
+crates/net/src/energy.rs:
+crates/net/src/engine.rs:
+crates/net/src/error.rs:
+crates/net/src/message.rs:
+crates/net/src/metrics.rs:
+crates/net/src/protocol.rs:
+crates/net/src/trace.rs:

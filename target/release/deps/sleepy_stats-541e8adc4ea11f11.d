@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sleepy_stats-541e8adc4ea11f11.d: crates/stats/src/lib.rs crates/stats/src/fit.rs crates/stats/src/streaming.rs crates/stats/src/summary.rs crates/stats/src/table.rs Cargo.toml
+
+/root/repo/target/release/deps/libsleepy_stats-541e8adc4ea11f11.rmeta: crates/stats/src/lib.rs crates/stats/src/fit.rs crates/stats/src/streaming.rs crates/stats/src/summary.rs crates/stats/src/table.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/fit.rs:
+crates/stats/src/streaming.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/sleepy_verify-1625fa4d4bf303c6.d: crates/verify/src/lib.rs crates/verify/src/checker.rs crates/verify/src/coloring.rs crates/verify/src/reference.rs
+
+/root/repo/target/release/deps/sleepy_verify-1625fa4d4bf303c6: crates/verify/src/lib.rs crates/verify/src/checker.rs crates/verify/src/coloring.rs crates/verify/src/reference.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/checker.rs:
+crates/verify/src/coloring.rs:
+crates/verify/src/reference.rs:

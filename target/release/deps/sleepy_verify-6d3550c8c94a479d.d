@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sleepy_verify-6d3550c8c94a479d.d: crates/verify/src/lib.rs crates/verify/src/checker.rs crates/verify/src/coloring.rs crates/verify/src/reference.rs Cargo.toml
+
+/root/repo/target/release/deps/libsleepy_verify-6d3550c8c94a479d.rmeta: crates/verify/src/lib.rs crates/verify/src/checker.rs crates/verify/src/coloring.rs crates/verify/src/reference.rs Cargo.toml
+
+crates/verify/src/lib.rs:
+crates/verify/src/checker.rs:
+crates/verify/src/coloring.rs:
+crates/verify/src/reference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

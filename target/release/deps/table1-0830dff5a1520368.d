@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table1-0830dff5a1520368.d: crates/harness/src/bin/table1.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable1-0830dff5a1520368.rmeta: crates/harness/src/bin/table1.rs Cargo.toml
+
+crates/harness/src/bin/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-518a27648c8bc703.d: crates/harness/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-518a27648c8bc703: crates/harness/src/bin/table1.rs
+
+crates/harness/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-ce86641c20507a26.d: crates/harness/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-ce86641c20507a26: crates/harness/src/bin/table1.rs
+
+crates/harness/src/bin/table1.rs:

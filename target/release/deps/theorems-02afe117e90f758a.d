@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/theorems-02afe117e90f758a.d: crates/harness/src/bin/theorems.rs
+
+/root/repo/target/release/deps/theorems-02afe117e90f758a: crates/harness/src/bin/theorems.rs
+
+crates/harness/src/bin/theorems.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/theorems-3c1a0ed7bda67fc6.d: crates/harness/src/bin/theorems.rs Cargo.toml
+
+/root/repo/target/release/deps/libtheorems-3c1a0ed7bda67fc6.rmeta: crates/harness/src/bin/theorems.rs Cargo.toml
+
+crates/harness/src/bin/theorems.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/theorems-3c7842087a0840b9.d: crates/harness/src/bin/theorems.rs Cargo.toml
+
+/root/repo/target/release/deps/libtheorems-3c7842087a0840b9.rmeta: crates/harness/src/bin/theorems.rs Cargo.toml
+
+crates/harness/src/bin/theorems.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/theorems-fd6aeaffb8b80517.d: crates/harness/src/bin/theorems.rs
+
+/root/repo/target/release/deps/theorems-fd6aeaffb8b80517: crates/harness/src/bin/theorems.rs
+
+crates/harness/src/bin/theorems.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/algorithm_shootout-5b0e995e9c08fdd8.d: examples/algorithm_shootout.rs Cargo.toml
+
+/root/repo/target/release/examples/libalgorithm_shootout-5b0e995e9c08fdd8.rmeta: examples/algorithm_shootout.rs Cargo.toml
+
+examples/algorithm_shootout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/algorithm_shootout-c03d9dde68e25a97.d: examples/algorithm_shootout.rs
+
+/root/repo/target/release/examples/algorithm_shootout-c03d9dde68e25a97: examples/algorithm_shootout.rs
+
+examples/algorithm_shootout.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/custom_protocol-7891d7be7f990023.d: examples/custom_protocol.rs Cargo.toml
+
+/root/repo/target/release/examples/libcustom_protocol-7891d7be7f990023.rmeta: examples/custom_protocol.rs Cargo.toml
+
+examples/custom_protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

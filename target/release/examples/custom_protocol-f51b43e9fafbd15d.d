@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/custom_protocol-f51b43e9fafbd15d.d: examples/custom_protocol.rs
+
+/root/repo/target/release/examples/custom_protocol-f51b43e9fafbd15d: examples/custom_protocol.rs
+
+examples/custom_protocol.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fleet_speedup-1e3272756c9b5e5a.d: examples/fleet_speedup.rs
+
+/root/repo/target/release/examples/fleet_speedup-1e3272756c9b5e5a: examples/fleet_speedup.rs
+
+examples/fleet_speedup.rs:

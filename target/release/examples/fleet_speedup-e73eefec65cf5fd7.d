@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/fleet_speedup-e73eefec65cf5fd7.d: examples/fleet_speedup.rs Cargo.toml
+
+/root/repo/target/release/examples/libfleet_speedup-e73eefec65cf5fd7.rmeta: examples/fleet_speedup.rs Cargo.toml
+
+examples/fleet_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

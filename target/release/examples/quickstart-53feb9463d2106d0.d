@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-53feb9463d2106d0.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-53feb9463d2106d0.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

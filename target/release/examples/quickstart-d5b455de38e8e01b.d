@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-d5b455de38e8e01b.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-d5b455de38e8e01b: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/recursion_tree-0d0164a20f9167b8.d: examples/recursion_tree.rs Cargo.toml
+
+/root/repo/target/release/examples/librecursion_tree-0d0164a20f9167b8.rmeta: examples/recursion_tree.rs Cargo.toml
+
+examples/recursion_tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/recursion_tree-8a320a33ff08b98c.d: examples/recursion_tree.rs
+
+/root/repo/target/release/examples/recursion_tree-8a320a33ff08b98c: examples/recursion_tree.rs
+
+examples/recursion_tree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sensor_network-48b5401117f5515e.d: examples/sensor_network.rs
+
+/root/repo/target/release/examples/sensor_network-48b5401117f5515e: examples/sensor_network.rs
+
+examples/sensor_network.rs:

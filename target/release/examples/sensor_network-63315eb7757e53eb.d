@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/sensor_network-63315eb7757e53eb.d: examples/sensor_network.rs Cargo.toml
+
+/root/repo/target/release/examples/libsensor_network-63315eb7757e53eb.rmeta: examples/sensor_network.rs Cargo.toml
+
+examples/sensor_network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR
