@@ -20,9 +20,9 @@
 //! [`merge`]: JobAggregate::merge
 //! [`run_plan`]: crate::run_plan
 
-use crate::measure::ComplexityReport;
+use crate::measure::{ComplexityReport, DynamicReport};
 use serde::{Deserialize, Serialize};
-use sleepy_stats::{StreamingMoments, Summary};
+use sleepy_stats::{PhaseSeries, StreamingMoments, Summary};
 
 /// A single metric's mergeable aggregate.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -191,6 +191,71 @@ impl JobAggregate {
     }
 }
 
+/// The mergeable aggregate of one dynamic job's trials: one
+/// [`JobAggregate`] per phase, repair-specific per-phase metrics, and
+/// whole-trial totals.
+#[derive(Debug, Clone, Default)]
+pub struct DynamicJobAggregate {
+    /// Per-phase aggregates across trials, indexed by phase.
+    pub phases: Vec<JobAggregate>,
+    /// Repair scope (nodes re-run) per phase, as a [`PhaseSeries`].
+    pub repair_scope: PhaseSeries,
+    /// Carried-over MIS members per phase.
+    pub carried: PhaseSeries,
+    /// Whole-trial total of node-averaged awake complexity summed over
+    /// phases — the per-trial "awake cost of surviving the churn".
+    pub total_avg_awake: MetricAggregate,
+    /// Trials whose *every* phase verified as an MIS.
+    pub valid_trials: u64,
+    /// Trials aggregated.
+    pub trials: u64,
+}
+
+impl DynamicJobAggregate {
+    /// An empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates one dynamic trial's report.
+    pub fn push(&mut self, r: &DynamicReport) {
+        if self.phases.len() < r.phases.len() {
+            self.phases.resize_with(r.phases.len(), JobAggregate::new);
+        }
+        let mut total_awake = 0.0;
+        for p in &r.phases {
+            self.phases[p.phase].push(&p.report);
+            self.repair_scope.push(p.phase, p.repair_scope as f64);
+            self.carried.push(p.phase, p.carried as f64);
+            total_awake += p.report.summary.node_avg_awake;
+        }
+        self.total_avg_awake.push(total_awake);
+        self.valid_trials += u64::from(r.all_valid());
+        self.trials += 1;
+    }
+
+    /// Merges a later shard's aggregate (canonical order, as with
+    /// [`JobAggregate::merge`]).
+    pub fn merge(&mut self, other: &DynamicJobAggregate) {
+        if self.phases.len() < other.phases.len() {
+            self.phases.resize_with(other.phases.len(), JobAggregate::new);
+        }
+        for (mine, theirs) in self.phases.iter_mut().zip(&other.phases) {
+            mine.merge(theirs);
+        }
+        self.repair_scope.merge(&other.repair_scope);
+        self.carried.merge(&other.carried);
+        self.total_avg_awake.merge(&other.total_avg_awake);
+        self.valid_trials += other.valid_trials;
+        self.trials += other.trials;
+    }
+
+    /// Fraction of trials valid on every phase.
+    pub fn valid_fraction(&self) -> f64 {
+        self.valid_trials as f64 / (self.trials.max(1)) as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,6 +318,45 @@ mod tests {
         assert_eq!(s.min, batch.min);
         assert_eq!(s.max, batch.max);
         assert_eq!(s.median, batch.median);
+    }
+
+    #[test]
+    fn dynamic_aggregate_merge_matches_sequential_push() {
+        use crate::measure::{DynamicReport, PhaseReport};
+        let trial = |t: usize| DynamicReport {
+            phases: (0..3)
+                .map(|phase| PhaseReport {
+                    phase,
+                    report: report(1.0 + ((t + phase) % 5) as f64, !(t + phase).is_multiple_of(7)),
+                    m: 20 + phase,
+                    repair_scope: if phase == 0 { 10 } else { 2 + t % 3 },
+                    carried: if phase == 0 { 0 } else { 5 },
+                })
+                .collect(),
+        };
+        let reports: Vec<DynamicReport> = (0..30).map(trial).collect();
+        let mut whole = DynamicJobAggregate::new();
+        reports.iter().for_each(|r| whole.push(r));
+        let mut merged = DynamicJobAggregate::new();
+        for chunk in reports.chunks(7) {
+            let mut shard = DynamicJobAggregate::new();
+            chunk.iter().for_each(|r| shard.push(r));
+            merged.merge(&shard);
+        }
+        assert_eq!(merged.trials, whole.trials);
+        assert_eq!(merged.valid_trials, whole.valid_trials);
+        assert_eq!(merged.phases.len(), 3);
+        for (m, w) in merged.phases.iter().zip(&whole.phases) {
+            assert_eq!(m.trials, w.trials);
+            assert_eq!(m.node_avg_awake.stats().p50, w.node_avg_awake.stats().p50);
+        }
+        assert_eq!(merged.repair_scope.means(), whole.repair_scope.means());
+        assert_eq!(merged.carried.phase(1).unwrap().mean, 5.0);
+        assert!(
+            (merged.total_avg_awake.moments.mean - whole.total_avg_awake.moments.mean).abs()
+                < 1e-12
+        );
+        assert!(whole.valid_fraction() < 1.0);
     }
 
     #[test]

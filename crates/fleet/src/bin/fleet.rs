@@ -7,12 +7,15 @@
 //! ```
 
 use sleepy_baselines::BaselineKind;
-use sleepy_fleet::sink::{write_aggregate_csv, write_aggregate_json, JsonlSink};
-use sleepy_fleet::{
-    run_plan_with_sinks, standard_families, AlgoKind, Execution, FleetConfig, TrialPlan, ALL_ALGOS,
-    SLEEPING_ALGOS,
+use sleepy_fleet::sink::{
+    write_aggregate_csv, write_aggregate_json, write_dynamic_aggregate_json, JsonlSink,
+    PhaseJsonlSink,
 };
-use sleepy_graph::GraphFamily;
+use sleepy_fleet::{
+    run_dynamic_plan_with_sinks, run_plan_with_sinks, standard_families, AlgoKind, DynamicPlan,
+    Execution, FleetConfig, RepairStrategy, TrialPlan, ALL_ALGOS, SLEEPING_ALGOS,
+};
+use sleepy_graph::{ChurnSpec, GraphFamily};
 use sleepy_stats::TextTable;
 use std::io::BufWriter;
 use std::path::PathBuf;
@@ -37,9 +40,22 @@ OPTIONS:
     --shard-size N    trials per work-stealing shard (default: 16)
     --engine          force the message-passing engine for all algorithms
     --out DIR         write trials.jsonl, aggregates.json, aggregates.csv
+                      (dynamic runs: phases.jsonl, dynamic_aggregates.json)
     --no-progress     suppress the stderr progress line
     --dry-run         print the job list and exit
     --help            this text
+
+DYNAMIC (churn) WORKLOADS:
+    --dynamic         run a dynamic plan: each trial's graph mutates
+                      between phases and the MIS is recomputed or
+                      repaired per phase
+    --phases N        phases per trial, incl. the initial one (default 4)
+    --edge-churn F    fraction of edges deleted AND inserted per phase
+                      (default 0.05)
+    --node-churn F    fraction of nodes departing AND arriving per phase
+                      (default 0.02)
+    --arrival-degree D  attachment edges per arriving node (default 3)
+    --repair MODE     recompute | repair | both (default both)
 
 Output is byte-identical for a fixed plan regardless of --threads and
 --shard-size.";
@@ -106,6 +122,12 @@ struct Args {
     out: Option<PathBuf>,
     progress: bool,
     dry_run: bool,
+    dynamic: bool,
+    phases: usize,
+    edge_churn: f64,
+    node_churn: f64,
+    arrival_degree: usize,
+    strategies: Vec<RepairStrategy>,
 }
 
 fn parse_args() -> Result<Option<Args>, String> {
@@ -121,7 +143,14 @@ fn parse_args() -> Result<Option<Args>, String> {
         out: None,
         progress: true,
         dry_run: false,
+        dynamic: false,
+        phases: 4,
+        edge_churn: 0.05,
+        node_churn: 0.02,
+        arrival_degree: 3,
+        strategies: vec![RepairStrategy::Recompute, RepairStrategy::Repair],
     };
+    let mut churn_flags: Vec<&str> = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |flag: &str| it.next().ok_or_else(|| format!("missing value for {flag}"));
@@ -162,8 +191,50 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--out" => args.out = Some(PathBuf::from(value("--out")?)),
             "--no-progress" => args.progress = false,
             "--dry-run" => args.dry_run = true,
+            "--dynamic" => args.dynamic = true,
+            "--phases" => {
+                churn_flags.push("--phases");
+                args.phases =
+                    value("--phases")?.parse().map_err(|_| "bad --phases value".to_string())?;
+                if args.phases == 0 {
+                    return Err("--phases must be >= 1".to_string());
+                }
+            }
+            "--edge-churn" => {
+                churn_flags.push("--edge-churn");
+                args.edge_churn = value("--edge-churn")?
+                    .parse()
+                    .map_err(|_| "bad --edge-churn value".to_string())?;
+            }
+            "--node-churn" => {
+                churn_flags.push("--node-churn");
+                args.node_churn = value("--node-churn")?
+                    .parse()
+                    .map_err(|_| "bad --node-churn value".to_string())?;
+            }
+            "--arrival-degree" => {
+                churn_flags.push("--arrival-degree");
+                args.arrival_degree = value("--arrival-degree")?
+                    .parse()
+                    .map_err(|_| "bad --arrival-degree value".to_string())?;
+            }
+            "--repair" => {
+                churn_flags.push("--repair");
+                args.strategies = match value("--repair")?.as_str() {
+                    "recompute" => vec![RepairStrategy::Recompute],
+                    "repair" => vec![RepairStrategy::Repair],
+                    "both" => vec![RepairStrategy::Recompute, RepairStrategy::Repair],
+                    other => return Err(format!("unknown repair mode `{other}` (try --help)")),
+                };
+            }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
         }
+    }
+    if !args.dynamic && !churn_flags.is_empty() {
+        return Err(format!(
+            "{} only make sense with --dynamic (did you forget it?)",
+            churn_flags.join(", ")
+        ));
     }
     Ok(Some(args))
 }
@@ -185,6 +256,133 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.dynamic {
+        run_dynamic(&args)
+    } else {
+        run_static(&args)
+    }
+}
+
+fn run_dynamic(args: &Args) -> ExitCode {
+    let churn = ChurnSpec {
+        edge_delete_frac: args.edge_churn,
+        edge_insert_frac: args.edge_churn,
+        node_delete_frac: args.node_churn,
+        node_insert_frac: args.node_churn,
+        arrival_degree: args.arrival_degree,
+    };
+    let plan = DynamicPlan::sweep(
+        &args.families,
+        &args.sizes,
+        &args.algos,
+        &args.strategies,
+        args.phases,
+        churn,
+        args.trials,
+        args.seed,
+        args.execution,
+    );
+    eprintln!(
+        "fleet: dynamic plan, {} jobs ({} families x {} sizes x {} algorithms x {} strategies), \
+         {} phases per trial, {} trials total",
+        plan.jobs.len(),
+        args.families.len(),
+        args.sizes.len(),
+        args.algos.len(),
+        args.strategies.len(),
+        args.phases,
+        plan.total_trials(),
+    );
+    if args.dry_run {
+        for (i, job) in plan.jobs.iter().enumerate() {
+            println!("job {i:4}  {}  x{}", job.label(), job.trials);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let config = FleetConfig {
+        threads: args.threads,
+        shard_size: args.shard_size,
+        max_in_flight: 0,
+        progress: args.progress,
+    };
+
+    let mut jsonl = None;
+    if let Some(dir) = &args.out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("fleet: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        match std::fs::File::create(dir.join("phases.jsonl")) {
+            Ok(f) => jsonl = Some(PhaseJsonlSink::new(BufWriter::new(f))),
+            Err(e) => {
+                eprintln!("fleet: cannot create phases.jsonl: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let mut sinks: Vec<&mut dyn sleepy_fleet::sink::PhaseSink> = Vec::new();
+    if let Some(s) = jsonl.as_mut() {
+        sinks.push(s);
+    }
+
+    let out = match run_dynamic_plan_with_sinks(&plan, &config, &mut sinks) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("fleet: dynamic run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = out.report(&plan);
+
+    // Console summary: one row per (job, phase).
+    let mut table = TextTable::new(vec![
+        "job",
+        "phase",
+        "trials",
+        "avg awake (mean)",
+        "repair scope",
+        "carried",
+        "valid",
+    ]);
+    for j in &report.jobs {
+        for p in &j.phases {
+            table.row(vec![
+                if p.phase == 0 { j.label.clone() } else { String::new() },
+                p.phase.to_string(),
+                p.trials.to_string(),
+                format!("{:.3}", p.node_avg_awake.mean),
+                format!("{:.1}", p.repair_scope_mean),
+                format!("{:.1}", p.carried_mean),
+                format!("{:.0}%", 100.0 * p.valid_fraction),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    eprintln!(
+        "fleet: {} dynamic trials ({} phases each) in {:.2?} ({} threads)",
+        out.total_trials,
+        args.phases,
+        out.elapsed,
+        sleepy_fleet::pool::resolve_threads(args.threads),
+    );
+
+    if let Some(dir) = &args.out {
+        let write_all = || -> std::io::Result<()> {
+            write_dynamic_aggregate_json(
+                BufWriter::new(std::fs::File::create(dir.join("dynamic_aggregates.json"))?),
+                &report,
+            )
+        };
+        if let Err(e) = write_all() {
+            eprintln!("fleet: writing aggregates failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("fleet: wrote {}/phases.jsonl, dynamic_aggregates.json", dir.display());
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_static(args: &Args) -> ExitCode {
     let plan = TrialPlan::sweep(
         &args.families,
         &args.sizes,

@@ -21,6 +21,13 @@
 //!   [`sleepy_stats::StreamingMoments`].
 //! * [`sink`] — result sinks: a JSONL per-trial log and aggregate
 //!   JSON/CSV writers, all emitting in deterministic trial order.
+//! * [`DynamicWorkload`] / [`DynamicPlan`] / [`run_dynamic_plan`] — the
+//!   dynamic-workload subsystem: graphs that mutate between phases
+//!   (seeded node churn and edge flips via
+//!   [`sleepy_graph::churn_delta`]), with per-phase MIS recomputation or
+//!   restricted-neighborhood *repair* ([`RepairStrategy`]), per-phase
+//!   validity re-checking, and per-phase aggregation. A static
+//!   [`Workload`] is the degenerate 1-phase case.
 //! * a `fleet` CLI binary with progress reporting (see `--help`).
 //!
 //! The experiment harness (`sleepy-harness`) expresses all its trial
@@ -41,11 +48,18 @@ pub mod sink;
 mod spec;
 mod workload;
 
-pub use agg::{JobAggregate, MetricAggregate, MetricStats};
+pub use agg::{DynamicJobAggregate, JobAggregate, MetricAggregate, MetricStats};
 pub use error::FleetError;
-pub use measure::{measure_once, AlgoKind, ComplexityReport, Execution, ALL_ALGOS, SLEEPING_ALGOS};
+pub use measure::{
+    measure_dynamic, measure_once, AlgoKind, ComplexityReport, DynamicReport, Execution,
+    PhaseReport, RepairStrategy, ALL_ALGOS, SLEEPING_ALGOS,
+};
 pub use pool::deterministic_map;
-pub use run::{run_plan, run_plan_with_sinks, FleetConfig, FleetOutput, FleetReport};
+pub use run::{
+    run_dynamic_plan, run_dynamic_plan_with_sinks, run_plan, run_plan_with_sinks,
+    DynamicFleetOutput, DynamicFleetReport, DynamicJobReport, FleetConfig, FleetOutput,
+    FleetReport, PhaseJobReport,
+};
 pub use seed::{splitmix64, SeedStream};
-pub use spec::{JobSpec, TrialPlan};
-pub use workload::{standard_families, Workload};
+pub use spec::{DynamicJobSpec, DynamicPlan, JobSpec, TrialPlan};
+pub use workload::{standard_families, DynamicWorkload, Workload};

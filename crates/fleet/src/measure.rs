@@ -1,7 +1,11 @@
 //! Unified measurement of any MIS algorithm on any workload (the trial
-//! body every fleet job runs).
+//! body every fleet job runs), both static and dynamic: a dynamic trial
+//! runs one phase per churn batch, either recomputing the MIS from
+//! scratch or repairing it on the restricted damaged neighborhood.
 
 use crate::error::FleetError;
+use crate::seed;
+use crate::workload::DynamicWorkload;
 use serde::{Deserialize, Serialize};
 use sleepy_baselines::{run_baseline, BaselineKind};
 use sleepy_graph::Graph;
@@ -82,7 +86,29 @@ pub fn measure_once(
     seed: u64,
     execution: Execution,
 ) -> Result<ComplexityReport, FleetError> {
-    let (in_mis, summary, base_timeouts) = match (algo, execution) {
+    let (in_mis, summary, base_timeouts) = run_algo(graph, algo, seed, execution)?;
+    let valid = verify_mis(graph, &in_mis).is_ok();
+    Ok(ComplexityReport {
+        algo: algo.to_string(),
+        n: graph.n(),
+        summary,
+        mis_size: in_mis.iter().filter(|&&b| b).count(),
+        valid,
+        base_timeouts,
+    })
+}
+
+/// Executes `algo` on `graph`, returning the raw membership vector along
+/// with the complexity summary (the shared body of [`measure_once`] and
+/// the dynamic per-phase path, which must carry membership across
+/// phases).
+fn run_algo(
+    graph: &Graph,
+    algo: AlgoKind,
+    seed: u64,
+    execution: Execution,
+) -> Result<(Vec<bool>, ComplexitySummary, usize), FleetError> {
+    let out = match (algo, execution) {
         (AlgoKind::SleepingMis, Execution::Auto) => {
             let out = execute_sleeping_mis(graph, MisConfig::alg1(seed))?;
             let timeouts = out.base_timeout.iter().filter(|&&t| t).count();
@@ -108,15 +134,212 @@ pub fn measure_once(
             (run.in_mis, run.metrics.summary(), 0)
         }
     };
-    let valid = verify_mis(graph, &in_mis).is_ok();
-    Ok(ComplexityReport {
-        algo: algo.to_string(),
-        n: graph.n(),
-        summary,
-        mis_size: in_mis.iter().filter(|&&b| b).count(),
-        valid,
-        base_timeouts,
-    })
+    Ok(out)
+}
+
+/// How a dynamic trial reacts to each churn batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RepairStrategy {
+    /// Rerun the algorithm from scratch on the mutated graph.
+    Recompute,
+    /// Keep the surviving MIS, evict one endpoint of every newly
+    /// conflicting edge, and rerun the algorithm only on the induced
+    /// subgraph of *undecided* nodes (not in the set and not dominated
+    /// by it) — everyone else stays asleep through the whole phase.
+    Repair,
+}
+
+impl std::fmt::Display for RepairStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RepairStrategy::Recompute => f.write_str("recompute"),
+            RepairStrategy::Repair => f.write_str("repair"),
+        }
+    }
+}
+
+/// One phase's measurements in a dynamic trial.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseReport {
+    /// 0-based phase index (phase 0 is the initial full run).
+    pub phase: usize,
+    /// The phase's complexity measurements. For repair phases the
+    /// averages are taken over the *whole* phase graph: nodes outside
+    /// the repair scope sleep through the phase and contribute zero
+    /// awake rounds — the quantity of interest for churn workloads.
+    pub report: ComplexityReport,
+    /// Edge count of the phase graph.
+    pub m: usize,
+    /// Nodes the algorithm actually ran on this phase (the whole graph
+    /// for phase 0 and for [`RepairStrategy::Recompute`]).
+    pub repair_scope: usize,
+    /// MIS members carried over unchanged from the previous phase.
+    pub carried: usize,
+}
+
+/// The full result of one dynamic trial: one report per phase.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DynamicReport {
+    /// Per-phase reports, in phase order.
+    pub phases: Vec<PhaseReport>,
+}
+
+impl DynamicReport {
+    /// Whether every phase's output verified as an MIS of its graph.
+    pub fn all_valid(&self) -> bool {
+        self.phases.iter().all(|p| p.report.valid)
+    }
+}
+
+/// Runs one dynamic trial: generates the phase-0 instance, runs `algo`
+/// in full, then alternates seeded churn batches with per-phase
+/// recompute or repair, re-verifying validity on every mutated graph.
+///
+/// Phase randomness is domain-separated: graph generation, churn
+/// sampling, and per-phase coins come from independent SplitMix64
+/// streams rooted at `trial_seed`, so the whole trial is a pure function
+/// of `(workload, algo, trial_seed, execution, strategy)`.
+///
+/// # Errors
+///
+/// Propagates generation, churn-spec, and execution errors.
+pub fn measure_dynamic(
+    workload: &DynamicWorkload,
+    algo: AlgoKind,
+    trial_seed: u64,
+    execution: Execution,
+    strategy: RepairStrategy,
+) -> Result<DynamicReport, FleetError> {
+    let mut graph = workload.initial_instance(trial_seed)?;
+    let mut phases = Vec::with_capacity(workload.phases);
+    let (mut in_mis, summary, timeouts) =
+        run_algo(&graph, algo, seed::phase_seed(trial_seed, 0), execution)?;
+    phases.push(phase_report(0, &graph, algo, &in_mis, summary, timeouts, graph.n(), 0));
+
+    for phase in 1..workload.phases {
+        let outcome = workload.advance(&graph, trial_seed, phase)?;
+        let phase_seed = seed::phase_seed(trial_seed, phase as u64);
+        // Carry membership through the id mapping (departed members drop).
+        let mut carried_set = vec![false; outcome.graph.n()];
+        for (old, new) in outcome.old_to_new.iter().enumerate() {
+            if let Some(new) = new {
+                carried_set[*new as usize] = in_mis[old];
+            }
+        }
+        graph = outcome.graph;
+        let (set, summary, timeouts, scope, carried) = match strategy {
+            RepairStrategy::Recompute => {
+                let (set, summary, timeouts) = run_algo(&graph, algo, phase_seed, execution)?;
+                (set, summary, timeouts, graph.n(), 0)
+            }
+            RepairStrategy::Repair => {
+                repair_phase(&graph, carried_set, algo, phase_seed, execution)?
+            }
+        };
+        phases.push(phase_report(phase, &graph, algo, &set, summary, timeouts, scope, carried));
+        in_mis = set;
+    }
+    Ok(DynamicReport { phases })
+}
+
+/// The repair step of one phase: conflict eviction, then a restricted
+/// re-run on the undecided neighborhood only.
+fn repair_phase(
+    graph: &Graph,
+    mut set: Vec<bool>,
+    algo: AlgoKind,
+    phase_seed: u64,
+    execution: Execution,
+) -> Result<(Vec<bool>, ComplexitySummary, usize, usize, usize), FleetError> {
+    let n = graph.n();
+    // Inserted edges can join two carried members; evict the larger
+    // endpoint of each conflict (a single lexicographic pass leaves the
+    // set independent, since membership only ever shrinks here).
+    for (u, v) in graph.edges() {
+        if set[u as usize] && set[v as usize] {
+            set[v as usize] = false;
+        }
+    }
+    let carried = set.iter().filter(|&&b| b).count();
+    // Undecided: outside the carried set and not dominated by it —
+    // evictees, arrivals, and nodes whose only dominator departed.
+    let undecided: Vec<bool> = (0..n)
+        .map(|v| {
+            !set[v] && !graph.neighbors(v as sleepy_graph::NodeId).iter().any(|&w| set[w as usize])
+        })
+        .collect();
+    let (sub, orig) = graph.induced_subgraph(&undecided);
+    let scope = sub.n();
+    let (sub_summary, timeouts) = if scope == 0 {
+        (zero_summary(0), 0)
+    } else {
+        let (sub_mis, sub_summary, timeouts) = run_algo(&sub, algo, phase_seed, execution)?;
+        for (i, &o) in orig.iter().enumerate() {
+            if sub_mis[i] {
+                set[o as usize] = true;
+            }
+        }
+        (sub_summary, timeouts)
+    };
+    // Re-express the subgraph run over the whole phase graph: the n −
+    // scope untouched nodes slept through the phase, so sums are
+    // unchanged and averages re-divide by n.
+    let scale = |avg: f64| if n == 0 { 0.0 } else { avg * scope as f64 / n as f64 };
+    let summary = ComplexitySummary {
+        n,
+        node_avg_awake: scale(sub_summary.node_avg_awake),
+        worst_awake: sub_summary.worst_awake,
+        worst_round: sub_summary.worst_round,
+        node_avg_round: scale(sub_summary.node_avg_round),
+        active_rounds: sub_summary.active_rounds,
+        total_messages: sub_summary.total_messages,
+        dropped_messages: sub_summary.dropped_messages,
+        total_bits: sub_summary.total_bits,
+    };
+    Ok((set, summary, timeouts, scope, carried))
+}
+
+/// An all-zero summary for phases whose repair scope is empty.
+fn zero_summary(n: usize) -> ComplexitySummary {
+    ComplexitySummary {
+        n,
+        node_avg_awake: 0.0,
+        worst_awake: 0,
+        worst_round: 0,
+        node_avg_round: 0.0,
+        active_rounds: 0,
+        total_messages: 0,
+        dropped_messages: 0,
+        total_bits: 0,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn phase_report(
+    phase: usize,
+    graph: &Graph,
+    algo: AlgoKind,
+    set: &[bool],
+    summary: ComplexitySummary,
+    base_timeouts: usize,
+    repair_scope: usize,
+    carried: usize,
+) -> PhaseReport {
+    let valid = verify_mis(graph, set).is_ok();
+    PhaseReport {
+        phase,
+        report: ComplexityReport {
+            algo: algo.to_string(),
+            n: graph.n(),
+            summary,
+            mis_size: set.iter().filter(|&&b| b).count(),
+            valid,
+            base_timeouts,
+        },
+        m: graph.m(),
+        repair_scope,
+        carried,
+    }
 }
 
 #[cfg(test)]
@@ -133,6 +356,115 @@ mod tests {
             assert!(r.valid, "{algo} invalid");
             assert!(r.mis_size > 0);
             assert!(r.summary.node_avg_awake > 0.0);
+        }
+    }
+
+    #[test]
+    fn measure_once_on_degenerate_graphs() {
+        // The dynamic path can empty a graph or isolate every node;
+        // measurement must stay well-defined for every algorithm.
+        for family in [GraphFamily::Empty, GraphFamily::Grid2d, GraphFamily::Hypercube] {
+            for n in [0usize, 1, 2] {
+                let g = Workload::new(family, n).instance(1).unwrap();
+                for algo in ALL_ALGOS {
+                    let r = measure_once(&g, algo, 3, Execution::Auto)
+                        .unwrap_or_else(|e| panic!("{algo} on {family} n={n}: {e}"));
+                    assert!(r.valid, "{algo} on {family} n={n}");
+                    assert_eq!(r.n, g.n());
+                    if g.n() == 0 {
+                        assert_eq!(r.mis_size, 0);
+                        assert_eq!(r.summary.node_avg_awake, 0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_phases_all_valid_under_both_strategies() {
+        let w = DynamicWorkload::new(
+            Workload::new(GraphFamily::GnpAvgDeg(6.0), 120),
+            4,
+            sleepy_graph::ChurnSpec {
+                edge_delete_frac: 0.1,
+                edge_insert_frac: 0.1,
+                node_delete_frac: 0.05,
+                node_insert_frac: 0.05,
+                arrival_degree: 3,
+            },
+        );
+        for strategy in [RepairStrategy::Recompute, RepairStrategy::Repair] {
+            let r =
+                measure_dynamic(&w, AlgoKind::SleepingMis, 9, Execution::Auto, strategy).unwrap();
+            assert_eq!(r.phases.len(), 4);
+            assert!(r.all_valid(), "{strategy}");
+            for p in &r.phases {
+                assert_eq!(p.report.algo, "SleepingMIS");
+                assert!(p.report.mis_size > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn repair_scope_is_restricted_and_cheaper() {
+        let w = DynamicWorkload::new(
+            Workload::new(GraphFamily::GnpAvgDeg(6.0), 400),
+            5,
+            sleepy_graph::ChurnSpec::edges(0.02),
+        );
+        let repair =
+            measure_dynamic(&w, AlgoKind::SleepingMis, 4, Execution::Auto, RepairStrategy::Repair)
+                .unwrap();
+        assert!(repair.all_valid());
+        // Phase 0 runs everywhere; later phases must touch far fewer nodes.
+        assert_eq!(repair.phases[0].repair_scope, 400);
+        for p in &repair.phases[1..] {
+            assert!(p.repair_scope < 150, "phase {} scope {}", p.phase, p.repair_scope);
+            assert!(p.carried > 0);
+            assert!(
+                p.report.summary.node_avg_awake <= repair.phases[0].report.summary.node_avg_awake,
+                "repair phase should cost no more per node than the full run"
+            );
+        }
+    }
+
+    #[test]
+    fn single_phase_dynamic_matches_static_measurement() {
+        let base = Workload::new(GraphFamily::GeometricAvgDeg(6.0), 90);
+        let w = DynamicWorkload::from_static(base);
+        let seed = 0xA11CE;
+        let dynamic = measure_dynamic(
+            &w,
+            AlgoKind::FastSleepingMis,
+            seed,
+            Execution::Auto,
+            RepairStrategy::Repair,
+        )
+        .unwrap();
+        let g = base.instance(seed).unwrap();
+        let stat = measure_once(&g, AlgoKind::FastSleepingMis, seed, Execution::Auto).unwrap();
+        let p0 = &dynamic.phases[0].report;
+        assert_eq!(p0.mis_size, stat.mis_size);
+        assert_eq!(p0.summary.worst_round, stat.summary.worst_round);
+        assert_eq!(p0.summary.node_avg_awake, stat.summary.node_avg_awake);
+    }
+
+    #[test]
+    fn churn_that_empties_the_graph_is_handled() {
+        // 100% node departure, no arrivals: phase 1 onward is the empty
+        // graph; both strategies must report valid zero-cost phases.
+        let w = DynamicWorkload::new(
+            Workload::new(GraphFamily::Cycle, 24),
+            3,
+            sleepy_graph::ChurnSpec { node_delete_frac: 1.0, ..sleepy_graph::ChurnSpec::none() },
+        );
+        for strategy in [RepairStrategy::Recompute, RepairStrategy::Repair] {
+            let r =
+                measure_dynamic(&w, AlgoKind::SleepingMis, 1, Execution::Auto, strategy).unwrap();
+            assert!(r.all_valid(), "{strategy}");
+            assert_eq!(r.phases[1].report.n, 0);
+            assert_eq!(r.phases[1].report.mis_size, 0);
+            assert_eq!(r.phases[2].report.summary.node_avg_awake, 0.0);
         }
     }
 

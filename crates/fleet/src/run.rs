@@ -1,12 +1,13 @@
-//! The fleet runner: executes a [`TrialPlan`] on the worker pool.
+//! The fleet runner: executes a [`TrialPlan`] or [`DynamicPlan`] on the
+//! worker pool.
 
-use crate::agg::{JobAggregate, MetricStats};
+use crate::agg::{DynamicJobAggregate, JobAggregate, MetricStats};
 use crate::error::FleetError;
-use crate::measure::{measure_once, ComplexityReport};
+use crate::measure::{measure_dynamic, measure_once, ComplexityReport, DynamicReport};
 use crate::pool::{resolve_threads, run_shards_ordered};
 use crate::seed::SeedStream;
-use crate::sink::{TrialRecord, TrialSink};
-use crate::spec::TrialPlan;
+use crate::sink::{PhaseRecord, PhaseSink, TrialRecord, TrialSink};
+use crate::spec::{DynamicPlan, TrialPlan};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
@@ -126,10 +127,93 @@ impl FleetOutput {
     }
 }
 
-/// A shard's worth of finished trials.
-struct ShardOutput {
-    /// `(job index, trial index, seed, report)` in global trial order.
-    trials: Vec<(usize, usize, u64, ComplexityReport)>,
+/// Shared execution scaffolding of the static and dynamic runners:
+/// global trial ordering over a plan's concatenated jobs (prefix sums
+/// map a global index back to `(job, trial)`), per-trial seeds from the
+/// plan's [`SeedStream`], work-stealing shard execution, in-order
+/// collection, and a percent-throttled stderr progress line.
+///
+/// `trial_counts[j]` is job `j`'s trial count. `run_trial(job, trial,
+/// seed)` executes on worker threads; `collect(job, trial, seed,
+/// result)` runs on the calling thread in global trial order. Returns
+/// the number of trials executed.
+fn run_trials_sharded<R: Send>(
+    trial_counts: &[usize],
+    base_seed: u64,
+    config: &FleetConfig,
+    progress_noun: &str,
+    run_trial: impl Fn(usize, usize, u64) -> Result<R, FleetError> + Sync,
+    mut collect: impl FnMut(usize, usize, u64, &R) -> Result<(), FleetError>,
+) -> Result<u64, FleetError> {
+    if config.shard_size == 0 {
+        return Err(FleetError::Config("shard_size must be positive".into()));
+    }
+    struct Shard<R> {
+        trials: Vec<(usize, usize, u64, R)>,
+    }
+    let seeds = SeedStream::new(base_seed);
+    let mut job_starts = Vec::with_capacity(trial_counts.len());
+    let mut total = 0usize;
+    for &count in trial_counts {
+        job_starts.push(total);
+        total += count;
+    }
+    let locate = |global: usize| -> (usize, usize) {
+        let job = match job_starts.binary_search(&global) {
+            Ok(j) => {
+                // Several zero-trial jobs can share a start; take the
+                // last one, whose range actually contains `global`.
+                let mut j = j;
+                while j + 1 < job_starts.len() && job_starts[j + 1] == global {
+                    j += 1;
+                }
+                j
+            }
+            Err(j) => j - 1,
+        };
+        (job, global - job_starts[job])
+    };
+    let shard_size = config.shard_size;
+    let shard_count = total.div_ceil(shard_size);
+    let threads = resolve_threads(config.threads);
+    let max_in_flight = if config.max_in_flight == 0 { 2 * threads } else { config.max_in_flight };
+    let mut done: u64 = 0;
+    let mut last_percent: u64 = u64::MAX;
+
+    run_shards_ordered(
+        shard_count,
+        config.threads,
+        max_in_flight,
+        |shard| -> Result<Shard<R>, FleetError> {
+            let lo = shard * shard_size;
+            let hi = (lo + shard_size).min(total);
+            let mut trials = Vec::with_capacity(hi - lo);
+            for global in lo..hi {
+                let (job_idx, trial_idx) = locate(global);
+                let seed = seeds.trial_seed(job_idx as u64, trial_idx as u64);
+                trials.push((job_idx, trial_idx, seed, run_trial(job_idx, trial_idx, seed)?));
+            }
+            Ok(Shard { trials })
+        },
+        |_, shard_out| {
+            for (job_idx, trial_idx, seed, result) in &shard_out.trials {
+                collect(*job_idx, *trial_idx, *seed, result)?;
+                done += 1;
+            }
+            if config.progress && total > 0 {
+                let percent = done * 100 / total as u64;
+                if percent != last_percent {
+                    last_percent = percent;
+                    eprint!("\rfleet: {done}/{total} {progress_noun} ({percent}%)");
+                    if done == total as u64 {
+                        eprintln!();
+                    }
+                }
+            }
+            Ok(())
+        },
+    )?;
+    Ok(done)
 }
 
 /// Runs a plan with no per-trial sinks.
@@ -153,84 +237,29 @@ pub fn run_plan_with_sinks(
     config: &FleetConfig,
     sinks: &mut [&mut dyn TrialSink],
 ) -> Result<FleetOutput, FleetError> {
-    if config.shard_size == 0 {
-        return Err(FleetError::Config("shard_size must be positive".into()));
-    }
     let start = Instant::now();
-    let seeds = SeedStream::new(plan.base_seed);
-    // Global trial order: plan jobs concatenated. Prefix sums map a
-    // global index back to (job, trial).
-    let mut job_starts = Vec::with_capacity(plan.jobs.len());
-    let mut total = 0usize;
-    for job in &plan.jobs {
-        job_starts.push(total);
-        total += job.trials;
-    }
-    let locate = |global: usize| -> (usize, usize) {
-        let job = match job_starts.binary_search(&global) {
-            Ok(j) => {
-                // Several zero-trial jobs can share a start; take the
-                // last one, whose range actually contains `global`.
-                let mut j = j;
-                while j + 1 < job_starts.len() && job_starts[j + 1] == global {
-                    j += 1;
-                }
-                j
-            }
-            Err(j) => j - 1,
-        };
-        (job, global - job_starts[job])
-    };
-    let shard_size = config.shard_size;
-    let shard_count = total.div_ceil(shard_size);
-    let threads = resolve_threads(config.threads);
-    let max_in_flight = if config.max_in_flight == 0 { 2 * threads } else { config.max_in_flight };
-
+    let counts: Vec<usize> = plan.jobs.iter().map(|j| j.trials).collect();
     let mut aggregates: Vec<JobAggregate> = plan.jobs.iter().map(|_| JobAggregate::new()).collect();
-    let mut done: u64 = 0;
-    let mut last_percent: u64 = u64::MAX;
-
-    run_shards_ordered(
-        shard_count,
-        config.threads,
-        max_in_flight,
-        |shard| -> Result<ShardOutput, FleetError> {
-            let lo = shard * shard_size;
-            let hi = (lo + shard_size).min(total);
-            let mut trials = Vec::with_capacity(hi - lo);
-            for global in lo..hi {
-                let (job_idx, trial_idx) = locate(global);
-                let job = &plan.jobs[job_idx];
-                let seed = seeds.trial_seed(job_idx as u64, trial_idx as u64);
-                let graph = job.workload.instance(seed)?;
-                let report = measure_once(&graph, job.algo, seed, job.execution)?;
-                trials.push((job_idx, trial_idx, seed, report));
-            }
-            Ok(ShardOutput { trials })
+    let done = run_trials_sharded(
+        &counts,
+        plan.base_seed,
+        config,
+        "trials",
+        |job_idx, _trial_idx, seed| {
+            let job = &plan.jobs[job_idx];
+            let graph = job.workload.instance(seed)?;
+            measure_once(&graph, job.algo, seed, job.execution)
         },
-        |_, shard_out| {
-            for (job_idx, trial_idx, seed, report) in &shard_out.trials {
-                aggregates[*job_idx].push(report);
-                for sink in sinks.iter_mut() {
-                    sink.record(&TrialRecord {
-                        job_index: *job_idx,
-                        job: &plan.jobs[*job_idx],
-                        trial: *trial_idx,
-                        seed: *seed,
-                        report,
-                    })?;
-                }
-                done += 1;
-            }
-            if config.progress && total > 0 {
-                let percent = done * 100 / total as u64;
-                if percent != last_percent {
-                    last_percent = percent;
-                    eprint!("\rfleet: {done}/{total} trials ({percent}%)");
-                    if done == total as u64 {
-                        eprintln!();
-                    }
-                }
+        |job_idx, trial_idx, seed, report: &ComplexityReport| {
+            aggregates[job_idx].push(report);
+            for sink in sinks.iter_mut() {
+                sink.record(&TrialRecord {
+                    job_index: job_idx,
+                    job: &plan.jobs[job_idx],
+                    trial: trial_idx,
+                    seed,
+                    report,
+                })?;
             }
             Ok(())
         },
@@ -240,6 +269,169 @@ pub fn run_plan_with_sinks(
         sink.finish()?;
     }
     Ok(FleetOutput { aggregates, total_trials: done, elapsed: start.elapsed() })
+}
+
+/// The in-memory result of a dynamic fleet run.
+#[derive(Debug)]
+pub struct DynamicFleetOutput {
+    /// One aggregate per plan job, in plan order.
+    pub aggregates: Vec<DynamicJobAggregate>,
+    /// Total trials executed.
+    pub total_trials: u64,
+    /// Wall-clock duration of the run (not serialized).
+    pub elapsed: Duration,
+}
+
+/// One phase's aggregate inside a [`DynamicJobReport`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseJobReport {
+    /// Phase index.
+    pub phase: usize,
+    /// Trials that reached this phase.
+    pub trials: u64,
+    /// Fraction of those whose phase output verified as an MIS.
+    pub valid_fraction: f64,
+    /// Node-averaged awake complexity over the whole phase graph.
+    pub node_avg_awake: MetricStats,
+    /// Worst-case round complexity of the phase run.
+    pub worst_round: MetricStats,
+    /// Mean nodes the algorithm re-ran on (the repair scope).
+    pub repair_scope_mean: f64,
+    /// Mean MIS members carried over unchanged.
+    pub carried_mean: f64,
+}
+
+/// One dynamic job's serializable aggregate report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DynamicJobReport {
+    /// `<algo>/<strategy> @ <workload>`.
+    pub label: String,
+    /// Algorithm label.
+    pub algo: String,
+    /// Repair strategy label.
+    pub strategy: String,
+    /// Workload label.
+    pub workload: String,
+    /// Trials aggregated.
+    pub trials: u64,
+    /// Fraction of trials valid on *every* phase.
+    pub valid_fraction: f64,
+    /// Whole-trial node-averaged awake cost summed over phases.
+    pub total_avg_awake: MetricStats,
+    /// Per-phase aggregates.
+    pub phases: Vec<PhaseJobReport>,
+}
+
+/// The serializable aggregate report of a dynamic run; like
+/// [`FleetReport`], free of timing and machine information.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DynamicFleetReport {
+    /// The plan's base seed.
+    pub base_seed: u64,
+    /// Total trials executed.
+    pub total_trials: u64,
+    /// Per-job aggregates, in plan order.
+    pub jobs: Vec<DynamicJobReport>,
+}
+
+impl DynamicFleetOutput {
+    /// Builds the serializable report for this output.
+    pub fn report(&self, plan: &DynamicPlan) -> DynamicFleetReport {
+        let jobs = plan
+            .jobs
+            .iter()
+            .zip(&self.aggregates)
+            .map(|(job, agg)| {
+                let scope_means = agg.repair_scope.means();
+                let carried_means = agg.carried.means();
+                DynamicJobReport {
+                    label: job.label(),
+                    algo: job.algo.to_string(),
+                    strategy: job.strategy.to_string(),
+                    workload: job.workload.label(),
+                    trials: agg.trials,
+                    valid_fraction: agg.valid_fraction(),
+                    total_avg_awake: agg.total_avg_awake.stats(),
+                    phases: agg
+                        .phases
+                        .iter()
+                        .enumerate()
+                        .map(|(phase, p)| PhaseJobReport {
+                            phase,
+                            trials: p.trials,
+                            valid_fraction: p.valid_fraction(),
+                            node_avg_awake: p.node_avg_awake.stats(),
+                            worst_round: p.worst_round.stats(),
+                            repair_scope_mean: scope_means.get(phase).copied().unwrap_or(0.0),
+                            carried_mean: carried_means.get(phase).copied().unwrap_or(0.0),
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        DynamicFleetReport { base_seed: plan.base_seed, total_trials: self.total_trials, jobs }
+    }
+}
+
+/// Runs a dynamic plan with no per-phase sinks.
+///
+/// # Errors
+///
+/// The error of the smallest-index failing trial.
+pub fn run_dynamic_plan(
+    plan: &DynamicPlan,
+    config: &FleetConfig,
+) -> Result<DynamicFleetOutput, FleetError> {
+    run_dynamic_plan_with_sinks(plan, config, &mut [])
+}
+
+/// Runs a dynamic plan, feeding every finished phase to the sinks in
+/// global `(trial, phase)` order — deterministic regardless of
+/// scheduling, exactly like the static runner.
+///
+/// # Errors
+///
+/// The error of the smallest-index failing trial, or the first sink
+/// error.
+pub fn run_dynamic_plan_with_sinks(
+    plan: &DynamicPlan,
+    config: &FleetConfig,
+    sinks: &mut [&mut dyn PhaseSink],
+) -> Result<DynamicFleetOutput, FleetError> {
+    let start = Instant::now();
+    let counts: Vec<usize> = plan.jobs.iter().map(|j| j.trials).collect();
+    let mut aggregates: Vec<DynamicJobAggregate> =
+        plan.jobs.iter().map(|_| DynamicJobAggregate::new()).collect();
+    let done = run_trials_sharded(
+        &counts,
+        plan.base_seed,
+        config,
+        "dynamic trials",
+        |job_idx, _trial_idx, seed| {
+            let job = &plan.jobs[job_idx];
+            measure_dynamic(&job.workload, job.algo, seed, job.execution, job.strategy)
+        },
+        |job_idx, trial_idx, seed, report: &DynamicReport| {
+            aggregates[job_idx].push(report);
+            for phase in &report.phases {
+                for sink in sinks.iter_mut() {
+                    sink.record(&PhaseRecord {
+                        job_index: job_idx,
+                        job: &plan.jobs[job_idx],
+                        trial: trial_idx,
+                        seed,
+                        report: phase,
+                    })?;
+                }
+            }
+            Ok(())
+        },
+    )?;
+
+    for sink in sinks.iter_mut() {
+        sink.finish()?;
+    }
+    Ok(DynamicFleetOutput { aggregates, total_trials: done, elapsed: start.elapsed() })
 }
 
 #[cfg(test)]
@@ -322,5 +514,68 @@ mod tests {
         let plan = tiny_plan();
         let cfg = FleetConfig { shard_size: 0, ..FleetConfig::default() };
         assert!(matches!(run_plan(&plan, &cfg), Err(FleetError::Config(_))));
+        let dplan = tiny_dynamic_plan();
+        assert!(matches!(run_dynamic_plan(&dplan, &cfg), Err(FleetError::Config(_))));
+    }
+
+    fn tiny_dynamic_plan() -> DynamicPlan {
+        use crate::measure::RepairStrategy;
+        DynamicPlan::sweep(
+            &[GraphFamily::GnpAvgDeg(5.0), GraphFamily::Tree],
+            &[64],
+            &[AlgoKind::SleepingMis],
+            &[RepairStrategy::Recompute, RepairStrategy::Repair],
+            3,
+            sleepy_graph::ChurnSpec {
+                edge_delete_frac: 0.08,
+                edge_insert_frac: 0.08,
+                node_delete_frac: 0.04,
+                node_insert_frac: 0.04,
+                arrival_degree: 2,
+            },
+            4,
+            0xD1CE,
+            Execution::Auto,
+        )
+    }
+
+    #[test]
+    fn dynamic_run_aggregates_per_phase_and_validates() {
+        let plan = tiny_dynamic_plan();
+        let out = run_dynamic_plan(&plan, &FleetConfig::default()).unwrap();
+        assert_eq!(out.aggregates.len(), 4);
+        assert_eq!(out.total_trials, 16);
+        for agg in &out.aggregates {
+            assert_eq!(agg.trials, 4);
+            assert_eq!(agg.valid_fraction(), 1.0, "every phase of every trial must verify");
+            assert_eq!(agg.phases.len(), 3);
+            for p in &agg.phases {
+                assert_eq!(p.trials, 4);
+                assert_eq!(p.valid_fraction(), 1.0);
+            }
+        }
+        let report = out.report(&plan);
+        assert_eq!(report.jobs.len(), 4);
+        assert_eq!(report.jobs[0].phases.len(), 3);
+        // Phase 0 always runs on the full graph.
+        assert_eq!(report.jobs[0].phases[0].repair_scope_mean, 64.0);
+        // Repair jobs restrict their scope after phase 0.
+        let repair_job = report.jobs.iter().find(|j| j.strategy == "repair").unwrap();
+        assert!(repair_job.phases[1].repair_scope_mean < 64.0);
+        assert!(repair_job.phases[1].carried_mean > 0.0);
+    }
+
+    #[test]
+    fn dynamic_report_bytes_thread_invariant() {
+        let plan = tiny_dynamic_plan();
+        let render = |threads: usize, shard_size: usize| {
+            let cfg = FleetConfig { threads, shard_size, ..FleetConfig::default() };
+            let out = run_dynamic_plan(&plan, &cfg).unwrap();
+            serde_json::to_string_pretty(&out.report(&plan)).unwrap()
+        };
+        let base = render(1, 2);
+        assert_eq!(base, render(2, 2));
+        assert_eq!(base, render(4, 1));
+        assert_eq!(base, render(3, 64));
     }
 }

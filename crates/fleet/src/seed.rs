@@ -13,10 +13,13 @@
 // and the algorithms' coin derivation on one mixing function forever.
 pub use sleepy_mis::splitmix64;
 
-/// Domain-separation constants so the graph generator and the
-/// algorithm's coins never share a seed even for adjacent inputs.
+/// Domain-separation constants so the graph generator, the algorithm's
+/// coins, the per-phase churn sampler, and the per-phase re-run coins
+/// never share a seed even for adjacent inputs.
 const DOMAIN_TRIAL: u64 = 0x51EE_9F1E_E700_0001;
 const DOMAIN_GRAPH: u64 = 0x51EE_9F1E_E700_0002;
+const DOMAIN_CHURN: u64 = 0x51EE_9F1E_E700_0003;
+const DOMAIN_PHASE: u64 = 0x51EE_9F1E_E700_0004;
 
 /// A deterministic stream of trial seeds rooted at a base seed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +57,26 @@ impl SeedStream {
 /// are independent).
 pub fn graph_seed(trial_seed: u64) -> u64 {
     splitmix64(trial_seed ^ DOMAIN_GRAPH)
+}
+
+/// Derives the churn-sampling seed of phase `phase` (≥ 1) of a dynamic
+/// trial. Separate from both the graph and the coin domains, so the
+/// mutation sequence is reproducible and independent of everything
+/// else the trial does.
+pub fn churn_seed(trial_seed: u64, phase: u64) -> u64 {
+    splitmix64(splitmix64(trial_seed ^ DOMAIN_CHURN).wrapping_add(phase))
+}
+
+/// Derives the algorithm-coin seed of phase `phase` of a dynamic trial.
+/// Phase 0 returns the trial seed itself, so a 1-phase dynamic run is
+/// measurement-identical to its static [`Workload`](crate::Workload)
+/// counterpart.
+pub fn phase_seed(trial_seed: u64, phase: u64) -> u64 {
+    if phase == 0 {
+        trial_seed
+    } else {
+        splitmix64(splitmix64(trial_seed ^ DOMAIN_PHASE).wrapping_add(phase))
+    }
 }
 
 #[cfg(test)]
@@ -99,6 +122,24 @@ mod tests {
         for t in 0..100 {
             let seed = s.seed(t);
             assert_ne!(seed, graph_seed(seed));
+        }
+    }
+
+    #[test]
+    fn churn_and_phase_domains_are_separated() {
+        let trial = SeedStream::new(7).seed(3);
+        // Phase 0 coins are the trial seed (static equivalence) ...
+        assert_eq!(phase_seed(trial, 0), trial);
+        // ... later phases are fresh and distinct from every other domain.
+        for p in 1..50u64 {
+            let c = churn_seed(trial, p);
+            let a = phase_seed(trial, p);
+            assert_ne!(c, a);
+            assert_ne!(c, trial);
+            assert_ne!(a, trial);
+            assert_ne!(c, graph_seed(trial));
+            assert_ne!(churn_seed(trial, p), churn_seed(trial, p + 1));
+            assert_ne!(phase_seed(trial, p), phase_seed(trial, p + 1));
         }
     }
 }

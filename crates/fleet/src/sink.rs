@@ -1,11 +1,12 @@
 //! Result sinks: per-trial JSONL logs and aggregate JSON/CSV writers.
 //!
-//! The runner feeds sinks in global trial order, so every sink's output
-//! is byte-identical across thread counts.
+//! The runner feeds sinks in global trial order (and, within a dynamic
+//! trial, phase order), so every sink's output is byte-identical across
+//! thread counts.
 
-use crate::measure::ComplexityReport;
-use crate::run::FleetReport;
-use crate::spec::JobSpec;
+use crate::measure::{ComplexityReport, PhaseReport};
+use crate::run::{DynamicFleetReport, FleetReport};
+use crate::spec::{DynamicJobSpec, JobSpec};
 use std::io::{self, Write};
 
 /// Context for one finished trial, as handed to sinks.
@@ -87,6 +88,91 @@ impl<W: Write> TrialSink for JsonlSink<W> {
     }
 }
 
+/// Context for one finished phase of a dynamic trial, as handed to
+/// phase sinks.
+pub struct PhaseRecord<'a> {
+    /// Index of the job in the dynamic plan.
+    pub job_index: usize,
+    /// The dynamic job spec.
+    pub job: &'a DynamicJobSpec,
+    /// Trial index within the job.
+    pub trial: usize,
+    /// The trial's seed.
+    pub seed: u64,
+    /// The phase's measurements.
+    pub report: &'a PhaseReport,
+}
+
+/// Receives finished phases of dynamic trials in deterministic global
+/// order (trials in plan order, phases in phase order within a trial).
+pub trait PhaseSink {
+    /// Records one phase.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures abort the run.
+    fn record(&mut self, phase: &PhaseRecord<'_>) -> io::Result<()>;
+
+    /// Flushes buffered output at the end of the run.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures abort the run.
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Writes one compact JSON object per phase (JSON Lines).
+pub struct PhaseJsonlSink<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> PhaseJsonlSink<W> {
+    /// Wraps a writer (callers typically pass a `BufWriter`).
+    pub fn new(writer: W) -> Self {
+        PhaseJsonlSink { writer }
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> PhaseSink for PhaseJsonlSink<W> {
+    fn record(&mut self, t: &PhaseRecord<'_>) -> io::Result<()> {
+        let r = &t.report.report;
+        let s = &r.summary;
+        let line = serde_json::json!({
+            "job": t.job_index,
+            "trial": t.trial,
+            "seed": t.seed,
+            "phase": t.report.phase,
+            "algo": r.algo,
+            "strategy": t.job.strategy.to_string(),
+            "workload": t.job.workload.label(),
+            "n": r.n,
+            "m": t.report.m,
+            "repair_scope": t.report.repair_scope,
+            "carried": t.report.carried,
+            "node_avg_awake": s.node_avg_awake,
+            "worst_awake": s.worst_awake,
+            "worst_round": s.worst_round,
+            "node_avg_round": s.node_avg_round,
+            "messages": s.total_messages,
+            "mis_size": r.mis_size,
+            "valid": r.valid,
+            "base_timeouts": r.base_timeouts
+        });
+        writeln!(self.writer, "{line}")
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
 /// Counts trials (cheap sink for tests and progress cross-checks).
 #[derive(Debug, Default)]
 pub struct CountingSink {
@@ -111,6 +197,20 @@ pub fn write_aggregate_json<W: Write>(mut w: W, report: &FleetReport) -> io::Res
     writeln!(w, "{text}")?;
     // Callers pass owned BufWriters; flushing here keeps deferred write
     // errors from being swallowed by Drop.
+    w.flush()
+}
+
+/// Serializes a dynamic run's aggregate report as pretty JSON.
+///
+/// # Errors
+///
+/// Propagates writer failures.
+pub fn write_dynamic_aggregate_json<W: Write>(
+    mut w: W,
+    report: &DynamicFleetReport,
+) -> io::Result<()> {
+    let text = serde_json::to_string_pretty(report).expect("report serializes");
+    writeln!(w, "{text}")?;
     w.flush()
 }
 
@@ -195,6 +295,41 @@ mod tests {
         assert_eq!(a.lines().count(), 8);
         assert!(a.lines().next().unwrap().contains("\"job\":0,\"trial\":0"));
         assert!(a.lines().last().unwrap().contains("\"job\":1,\"trial\":3"));
+    }
+
+    #[test]
+    fn phase_jsonl_is_ordered_valid_and_thread_invariant() {
+        use crate::measure::RepairStrategy;
+        use crate::run::run_dynamic_plan_with_sinks;
+        use crate::spec::DynamicPlan;
+        use crate::workload::{DynamicWorkload, Workload};
+        let plan = DynamicPlan::sweep(
+            &[GraphFamily::Cycle],
+            &[48],
+            &[AlgoKind::SleepingMis],
+            &[RepairStrategy::Repair],
+            3,
+            sleepy_graph::ChurnSpec::edges(0.1),
+            2,
+            99,
+            Execution::Auto,
+        );
+        let render = |threads: usize| {
+            let mut sink = PhaseJsonlSink::new(Vec::new());
+            let cfg = FleetConfig { threads, shard_size: 1, ..FleetConfig::default() };
+            run_dynamic_plan_with_sinks(&plan, &cfg, &mut [&mut sink]).unwrap();
+            String::from_utf8(sink.into_inner()).unwrap()
+        };
+        let a = render(1);
+        assert_eq!(a, render(4));
+        // 1 job x 2 trials x 3 phases.
+        assert_eq!(a.lines().count(), 6);
+        assert!(a.lines().next().unwrap().contains("\"phase\":0"));
+        assert!(a.lines().all(|l| l.contains("\"valid\":true")));
+        assert!(a.contains("\"strategy\":\"repair\""));
+        // The degenerate static case also flows through the sink.
+        let w = DynamicWorkload::from_static(Workload::new(GraphFamily::Cycle, 16));
+        assert_eq!(w.phases, 1);
     }
 
     #[test]

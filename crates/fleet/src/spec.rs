@@ -1,9 +1,9 @@
 //! Declarative batch descriptions: what to run, not how.
 
-use crate::measure::{AlgoKind, Execution};
-use crate::workload::Workload;
+use crate::measure::{AlgoKind, Execution, RepairStrategy};
+use crate::workload::{DynamicWorkload, Workload};
 use serde::{Deserialize, Serialize};
-use sleepy_graph::GraphFamily;
+use sleepy_graph::{ChurnSpec, GraphFamily};
 
 /// One batch of identical trials: an algorithm on a workload.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -27,6 +27,25 @@ impl JobSpec {
     /// Stable label for reports: `<algo> @ <family>/n=<n>`.
     pub fn label(&self) -> String {
         format!("{} @ {}", self.algo, self.workload.label())
+    }
+
+    /// Stable content key over `(algo, workload, execution, base_seed)`.
+    ///
+    /// `Workload` carries f64 family parameters and therefore blocks
+    /// `Eq`/`Hash` on `JobSpec`; this key is the hashable identity used
+    /// to dedup jobs ([`TrialPlan::dedup_jobs`]) and as the job half of
+    /// a result-cache key. Trial count is deliberately excluded: a
+    /// job's trials are a prefix of a longer job's.
+    ///
+    /// Note that a trial's *seed* additionally depends on the job's
+    /// position in its plan ([`SeedStream::trial_seed`] mixes the job
+    /// index), so a cache must address trial results by `(job key,
+    /// trial seed)` — the seed is recorded in every JSONL line — never
+    /// by `(job key, trial index)`.
+    ///
+    /// [`SeedStream::trial_seed`]: crate::SeedStream::trial_seed
+    pub fn key(&self, base_seed: u64) -> String {
+        format!("{}@{}#x{:?}#s{base_seed:016x}", self.algo, self.workload.key(), self.execution)
     }
 }
 
@@ -91,6 +110,166 @@ impl TrialPlan {
     pub fn total_trials(&self) -> u64 {
         self.jobs.iter().map(|j| j.trials as u64).sum()
     }
+
+    /// Removes duplicate jobs (same content key, see [`JobSpec::key`]),
+    /// keeping the first occurrence of each and, among duplicates, the
+    /// largest trial count. Job order is otherwise preserved — but note
+    /// that jobs *after* a removed duplicate shift position and
+    /// therefore receive different trial seeds, exactly as any other
+    /// reordering would (see
+    /// [`SeedStream::trial_seed`](crate::SeedStream::trial_seed)).
+    pub fn dedup_jobs(&mut self) {
+        let base_seed = self.base_seed;
+        dedup_keyed(&mut self.jobs, |j| j.key(base_seed), |j| &mut j.trials);
+    }
+}
+
+/// Shared dedup body of [`TrialPlan::dedup_jobs`] and
+/// [`DynamicPlan::dedup_jobs`]: keep the first job per key, give it the
+/// maximum trial count among its duplicates.
+fn dedup_keyed<J>(
+    jobs: &mut Vec<J>,
+    key_of: impl Fn(&J) -> String,
+    trials_of: impl Fn(&mut J) -> &mut usize,
+) {
+    use std::collections::hash_map::Entry;
+    let mut seen: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    let mut kept: Vec<J> = Vec::with_capacity(jobs.len());
+    for mut job in jobs.drain(..) {
+        match seen.entry(key_of(&job)) {
+            Entry::Occupied(e) => {
+                let trials = *trials_of(&mut job);
+                let kept_trials = trials_of(&mut kept[*e.get()]);
+                *kept_trials = (*kept_trials).max(trials);
+            }
+            Entry::Vacant(e) => {
+                e.insert(kept.len());
+                kept.push(job);
+            }
+        }
+    }
+    *jobs = kept;
+}
+
+/// One batch of identical *dynamic* trials: an algorithm and repair
+/// strategy on a churning workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DynamicJobSpec {
+    /// The dynamic workload every trial runs through its phases.
+    pub workload: DynamicWorkload,
+    /// The algorithm to measure.
+    pub algo: AlgoKind,
+    /// How each churn batch is absorbed.
+    pub strategy: RepairStrategy,
+    /// Number of trials.
+    pub trials: usize,
+    /// Execution mode.
+    pub execution: Execution,
+}
+
+impl DynamicJobSpec {
+    /// A dynamic job with the default (Auto) execution mode.
+    pub fn new(
+        workload: DynamicWorkload,
+        algo: AlgoKind,
+        strategy: RepairStrategy,
+        trials: usize,
+    ) -> Self {
+        DynamicJobSpec { workload, algo, strategy, trials, execution: Execution::Auto }
+    }
+
+    /// Stable label: `<algo>/<strategy> @ <workload>`.
+    pub fn label(&self) -> String {
+        format!("{}/{} @ {}", self.algo, self.strategy, self.workload.label())
+    }
+
+    /// Stable content key (see [`JobSpec::key`]).
+    pub fn key(&self, base_seed: u64) -> String {
+        format!(
+            "{}/{}@{}#x{:?}#s{base_seed:016x}",
+            self.algo,
+            self.strategy,
+            self.workload.key(),
+            self.execution
+        )
+    }
+}
+
+/// An ordered collection of dynamic jobs sharing one base seed, with
+/// the same seed discipline as [`TrialPlan`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DynamicPlan {
+    /// The jobs, in submission order.
+    pub jobs: Vec<DynamicJobSpec>,
+    /// The base seed all trial seeds derive from.
+    pub base_seed: u64,
+}
+
+impl DynamicPlan {
+    /// An empty plan.
+    pub fn new(base_seed: u64) -> Self {
+        DynamicPlan { jobs: Vec::new(), base_seed }
+    }
+
+    /// Appends a job, returning `self` for chaining.
+    #[must_use]
+    pub fn with_job(mut self, job: DynamicJobSpec) -> Self {
+        self.jobs.push(job);
+        self
+    }
+
+    /// Appends a job in place.
+    pub fn push(&mut self, job: DynamicJobSpec) {
+        self.jobs.push(job);
+    }
+
+    /// The full cross product `families × sizes × algos × strategies`
+    /// under one churn schedule — the shape of every churn sweep.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sweep(
+        families: &[GraphFamily],
+        sizes: &[usize],
+        algos: &[AlgoKind],
+        strategies: &[RepairStrategy],
+        phases: usize,
+        churn: ChurnSpec,
+        trials: usize,
+        base_seed: u64,
+        execution: Execution,
+    ) -> Self {
+        let mut plan = DynamicPlan::new(base_seed);
+        for &family in families {
+            for &n in sizes {
+                for &algo in algos {
+                    for &strategy in strategies {
+                        plan.push(DynamicJobSpec {
+                            workload: DynamicWorkload::new(Workload::new(family, n), phases, churn),
+                            algo,
+                            strategy,
+                            trials,
+                            execution,
+                        });
+                    }
+                }
+            }
+        }
+        plan
+    }
+
+    /// Total trials across all jobs.
+    pub fn total_trials(&self) -> u64 {
+        self.jobs.iter().map(|j| j.trials as u64).sum()
+    }
+
+    /// Removes duplicate jobs by content key, as
+    /// [`TrialPlan::dedup_jobs`] — e.g. a sweep over both strategies
+    /// with `phases == 1` makes recompute and repair identical runs,
+    /// but their keys still differ, so only *exact* duplicates (same
+    /// algo, workload, strategy, execution) collapse.
+    pub fn dedup_jobs(&mut self) {
+        let base_seed = self.base_seed;
+        dedup_keyed(&mut self.jobs, |j| j.key(base_seed), |j| &mut j.trials);
+    }
 }
 
 #[cfg(test)]
@@ -110,6 +289,53 @@ mod tests {
         assert_eq!(plan.jobs.len(), 2 * 3 * 2);
         assert_eq!(plan.total_trials(), 60);
         assert!(plan.jobs[0].label().contains("SleepingMIS"));
+    }
+
+    #[test]
+    fn job_keys_dedup_plans() {
+        let w = Workload::new(GraphFamily::GnpAvgDeg(8.0), 128);
+        let mut plan = TrialPlan::new(3)
+            .with_job(JobSpec::new(w, AlgoKind::SleepingMis, 5))
+            .with_job(JobSpec::new(w, AlgoKind::FastSleepingMis, 5))
+            .with_job(JobSpec::new(w, AlgoKind::SleepingMis, 9));
+        plan.dedup_jobs();
+        assert_eq!(plan.jobs.len(), 2);
+        // The duplicate kept its first position and the larger trial count.
+        assert_eq!(plan.jobs[0].algo, AlgoKind::SleepingMis);
+        assert_eq!(plan.jobs[0].trials, 9);
+        // Keys discriminate the base seed (a different seed is a
+        // different cache entry) but not the trial count.
+        let job = JobSpec::new(w, AlgoKind::SleepingMis, 5);
+        assert_ne!(job.key(3), job.key(4));
+        assert_eq!(job.key(3), JobSpec::new(w, AlgoKind::SleepingMis, 50).key(3));
+    }
+
+    #[test]
+    fn dynamic_sweep_and_dedup() {
+        let churn = ChurnSpec::edges(0.1);
+        let mut plan = DynamicPlan::sweep(
+            &[GraphFamily::Cycle, GraphFamily::Tree],
+            &[64],
+            &[AlgoKind::SleepingMis],
+            &[RepairStrategy::Recompute, RepairStrategy::Repair],
+            3,
+            churn,
+            4,
+            7,
+            Execution::Auto,
+        );
+        assert_eq!(plan.jobs.len(), 4);
+        assert_eq!(plan.total_trials(), 16);
+        assert!(plan.jobs[0].label().contains("recompute"));
+        assert!(plan.jobs[1].label().contains("repair"));
+        // Strategies differ, so nothing collapses...
+        plan.dedup_jobs();
+        assert_eq!(plan.jobs.len(), 4);
+        // ...but a literal duplicate does.
+        let dup = plan.jobs[0].clone();
+        plan.push(dup);
+        plan.dedup_jobs();
+        assert_eq!(plan.jobs.len(), 4);
     }
 
     #[test]

@@ -1,8 +1,9 @@
-//! Standard workload suite used across experiments and fleet plans.
+//! Standard workload suite used across experiments and fleet plans,
+//! plus the dynamic (churn) workload variant.
 
 use crate::seed;
 use serde::{Deserialize, Serialize};
-use sleepy_graph::{Graph, GraphError, GraphFamily};
+use sleepy_graph::{churn_delta, ChurnSpec, DeltaOutcome, Graph, GraphError, GraphFamily};
 
 /// A named workload: a graph family at a given size.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -36,6 +37,106 @@ impl Workload {
     /// Stable label for reports.
     pub fn label(&self) -> String {
         format!("{}/n={}", self.family.label(), self.n)
+    }
+
+    /// Stable content key for deduplication and result caching.
+    ///
+    /// `Workload` carries f64 family parameters, so it cannot derive
+    /// `Eq`/`Hash`; this key is the hashable stand-in. Two workloads
+    /// with the same key generate identical instances for every seed
+    /// (family parameters are rendered exactly via [`f64` bits]).
+    ///
+    /// [`f64` bits]: f64::to_bits
+    pub fn key(&self) -> String {
+        // The label formats f64 params via Display, which can collide
+        // (e.g. after arithmetic producing 8.000000000000001 rendering
+        // context-dependently); encode the raw bits alongside it.
+        let param_bits = match self.family {
+            GraphFamily::GnpAvgDeg(d) => d.to_bits(),
+            GraphFamily::GnpLogDensity(c) => c.to_bits(),
+            GraphFamily::GeometricAvgDeg(d) => d.to_bits(),
+            GraphFamily::RandomRegular(d) => d as u64,
+            GraphFamily::BarabasiAlbert(m) => m as u64,
+            _ => 0,
+        };
+        format!("{}:{param_bits:016x}/n={}", self.family.label(), self.n)
+    }
+}
+
+/// A workload whose instance mutates between phases: the base graph is
+/// generated as in the static case, then each subsequent phase applies
+/// one seeded churn batch ([`churn_delta`]). A `phases == 1` dynamic
+/// workload is exactly its static [`Workload`] — same graph, same
+/// measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DynamicWorkload {
+    /// The phase-0 workload.
+    pub base: Workload,
+    /// Total number of phases (≥ 1); phase 0 is the freshly generated
+    /// instance, each later phase applies one churn batch.
+    pub phases: usize,
+    /// Per-phase churn intensities.
+    pub churn: ChurnSpec,
+}
+
+impl DynamicWorkload {
+    /// Creates a dynamic workload description.
+    pub fn new(base: Workload, phases: usize, churn: ChurnSpec) -> Self {
+        DynamicWorkload { base, phases: phases.max(1), churn }
+    }
+
+    /// The static degenerate case: one phase, no churn.
+    pub fn from_static(base: Workload) -> Self {
+        DynamicWorkload { base, phases: 1, churn: ChurnSpec::none() }
+    }
+
+    /// The phase-0 instance (identical to the static workload's).
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator failures.
+    pub fn initial_instance(&self, trial_seed: u64) -> Result<Graph, GraphError> {
+        self.base.instance(trial_seed)
+    }
+
+    /// The churn batch applied entering `phase` (≥ 1), sampled from the
+    /// domain-separated seed stream so every mutation sequence is a pure
+    /// function of `(workload, trial_seed)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates churn-spec validation failures.
+    pub fn advance(
+        &self,
+        graph: &Graph,
+        trial_seed: u64,
+        phase: usize,
+    ) -> Result<DeltaOutcome, GraphError> {
+        let delta = churn_delta(graph, &self.churn, seed::churn_seed(trial_seed, phase as u64))?;
+        delta.apply(graph)
+    }
+
+    /// Stable label for reports, e.g. `gnp-avg8/n=256~4ph[e-0.05+0.05/...]`.
+    pub fn label(&self) -> String {
+        if self.phases == 1 {
+            self.base.label()
+        } else {
+            format!("{}~{}ph[{}]", self.base.label(), self.phases, self.churn.label())
+        }
+    }
+
+    /// Stable content key (see [`Workload::key`]).
+    pub fn key(&self) -> String {
+        format!(
+            "{}~{}ph[{:016x}:{:016x}:{:016x}:{:016x}:{}]",
+            self.base.key(),
+            self.phases,
+            self.churn.edge_delete_frac.to_bits(),
+            self.churn.edge_insert_frac.to_bits(),
+            self.churn.node_delete_frac.to_bits(),
+            self.churn.node_insert_frac.to_bits(),
+            self.churn.arrival_degree,
+        )
     }
 }
 
@@ -81,5 +182,45 @@ mod tests {
             let g = Workload::new(fam, 100).instance(1).unwrap();
             assert!(g.n() >= 90, "{fam}");
         }
+    }
+
+    #[test]
+    fn content_keys_are_stable_and_discriminating() {
+        let a = Workload::new(GraphFamily::GnpAvgDeg(8.0), 256);
+        assert_eq!(a.key(), a.key());
+        assert_ne!(a.key(), Workload::new(GraphFamily::GnpAvgDeg(8.5), 256).key());
+        assert_ne!(a.key(), Workload::new(GraphFamily::GnpAvgDeg(8.0), 255).key());
+        assert_ne!(a.key(), Workload::new(GraphFamily::GeometricAvgDeg(8.0), 256).key());
+        // Keys discriminate f64 params that Display might conflate.
+        let near = 8.0 + f64::EPSILON * 8.0;
+        assert_ne!(a.key(), Workload::new(GraphFamily::GnpAvgDeg(near), 256).key());
+    }
+
+    #[test]
+    fn dynamic_workload_degenerates_to_static() {
+        let w = Workload::new(GraphFamily::GnpAvgDeg(4.0), 64);
+        let d = DynamicWorkload::from_static(w);
+        assert_eq!(d.phases, 1);
+        assert_eq!(d.label(), w.label());
+        assert_eq!(d.initial_instance(5).unwrap(), w.instance(5).unwrap());
+        // phases.max(1) guards degenerate construction.
+        assert_eq!(DynamicWorkload::new(w, 0, ChurnSpec::none()).phases, 1);
+    }
+
+    #[test]
+    fn dynamic_advance_is_deterministic_and_labelled() {
+        let d = DynamicWorkload::new(
+            Workload::new(GraphFamily::GnpAvgDeg(6.0), 80),
+            3,
+            ChurnSpec::edges(0.1),
+        );
+        let g = d.initial_instance(2).unwrap();
+        let a = d.advance(&g, 2, 1).unwrap();
+        let b = d.advance(&g, 2, 1).unwrap();
+        assert_eq!(a, b);
+        let c = d.advance(&g, 2, 2).unwrap();
+        assert_ne!(a.graph, c.graph, "distinct phases get distinct churn");
+        assert!(d.label().contains("~3ph["));
+        assert_ne!(d.key(), DynamicWorkload::new(d.base, 4, d.churn).key());
     }
 }

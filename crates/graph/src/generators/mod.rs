@@ -107,12 +107,18 @@ impl GraphFamily {
             GraphFamily::Star => star(n),
             GraphFamily::Clique => clique(n),
             GraphFamily::Grid2d => {
+                if n == 0 {
+                    return empty(0);
+                }
                 let rows = ((n as f64).sqrt().floor() as usize).max(1);
                 let cols = (n / rows).max(1);
                 grid2d(rows, cols)
             }
             GraphFamily::Hypercube => {
-                let dim = if n <= 1 { 0 } else { n.ilog2() as usize };
+                if n == 0 {
+                    return empty(0);
+                }
+                let dim = if n == 1 { 0 } else { n.ilog2() as usize };
                 hypercube(dim)
             }
             GraphFamily::Empty => empty(n),
@@ -191,24 +197,41 @@ mod tests {
         }
     }
 
+    /// Every family the dynamic/churn path can hand a tiny or emptied
+    /// instance to. Regression: Grid2d and Hypercube used to return a
+    /// 1-node graph for n = 0.
+    const ALL_FAMILIES: [GraphFamily; 13] = [
+        GraphFamily::GnpAvgDeg(4.0),
+        GraphFamily::GnpLogDensity(1.5),
+        GraphFamily::RandomRegular(3),
+        GraphFamily::GeometricAvgDeg(5.0),
+        GraphFamily::BarabasiAlbert(2),
+        GraphFamily::Tree,
+        GraphFamily::Cycle,
+        GraphFamily::Path,
+        GraphFamily::Star,
+        GraphFamily::Clique,
+        GraphFamily::Grid2d,
+        GraphFamily::Hypercube,
+        GraphFamily::Empty,
+    ];
+
     #[test]
     fn small_n_does_not_error() {
-        for fam in [
-            GraphFamily::GnpAvgDeg(4.0),
-            GraphFamily::RandomRegular(3),
-            GraphFamily::BarabasiAlbert(2),
-            GraphFamily::Tree,
-            GraphFamily::Cycle,
-            GraphFamily::Path,
-            GraphFamily::Star,
-            GraphFamily::Clique,
-            GraphFamily::Grid2d,
-            GraphFamily::Empty,
-        ] {
+        for fam in ALL_FAMILIES {
             for n in 0..6 {
                 let g = fam.generate(n, 1).unwrap_or_else(|e| panic!("{fam} n={n}: {e}"));
-                assert!(g.n() <= n.max(1));
+                assert!(g.n() <= n, "{fam} n={n} produced {} nodes", g.n());
             }
+        }
+    }
+
+    #[test]
+    fn n_zero_yields_the_empty_graph_everywhere() {
+        for fam in ALL_FAMILIES {
+            let g = fam.generate(0, 1).unwrap_or_else(|e| panic!("{fam}: {e}"));
+            assert_eq!(g.n(), 0, "{fam} must produce the 0-node graph for n = 0");
+            assert_eq!(g.m(), 0);
         }
     }
 }

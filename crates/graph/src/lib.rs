@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+pub mod dynamic;
 mod error;
 pub mod generators;
 mod graph;
@@ -44,6 +45,7 @@ pub mod io;
 pub mod ops;
 
 pub use builder::GraphBuilder;
+pub use dynamic::{churn_delta, ChurnSpec, DeltaOutcome, GraphDelta};
 pub use error::GraphError;
 pub use generators::GraphFamily;
 pub use graph::{DegreeStats, Graph, NodeId, Port};

@@ -1,11 +1,12 @@
 //! Runs every experiment of the reproduction in sequence (T1, F1, F2,
-//! L2/L3/L5/L7, TH1/TH2, C1/WHP, EN, AB, CO, RB), writing all reports
-//! into `results/`. Pass `--quick` for a fast smoke run of the full
-//! pipeline.
+//! L2/L3/L5/L7, TH1/TH2, C1/WHP, EN, AB, CO, RB, CH), writing all
+//! reports into `results/`. Pass `--quick` for a fast smoke run of the
+//! full pipeline.
 
 use sleepy_harness::output::{default_results_dir, quick_flag, save_report};
 use sleepy_harness::{
-    ablation, coloring, corollary1, energy, figure1, figure2, lemmas, robustness, table1, theorems,
+    ablation, churn, coloring, corollary1, energy, figure1, figure2, lemmas, robustness, table1,
+    theorems,
 };
 
 fn main() {
@@ -116,6 +117,16 @@ fn main() {
             cfg.loss_probabilities = vec![0.0, 0.01, 0.05];
         }
         robustness::run_robustness(&cfg)
+            .map(|r| (r.render(), serde_json::to_value(&r).expect("serializable")))
+    });
+    experiment!("churn", {
+        let mut cfg = churn::ChurnConfig::default();
+        if quick {
+            cfg.n = 256;
+            cfg.phases = 4;
+            cfg.trials = 3;
+        }
+        churn::run_churn(&cfg)
             .map(|r| (r.render(), serde_json::to_value(&r).expect("serializable")))
     });
 

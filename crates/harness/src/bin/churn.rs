@@ -1,0 +1,29 @@
+//! Measures MIS repair vs recomputation under seeded graph churn
+//! (experiment CH).
+
+use sleepy_harness::churn::{run_churn, ChurnConfig};
+use sleepy_harness::output::{default_results_dir, quick_flag, save_report};
+
+fn main() {
+    let mut config = ChurnConfig::default();
+    if quick_flag() {
+        config.n = 256;
+        config.phases = 4;
+        config.trials = 3;
+    }
+    match run_churn(&config) {
+        Ok(report) => {
+            let text = report.render();
+            println!("{text}");
+            let json = serde_json::to_value(&report).expect("serializable report");
+            match save_report(&default_results_dir(), "churn", &text, &json) {
+                Ok(path) => println!("(written to {})", path.display()),
+                Err(e) => eprintln!("warning: could not save report: {e}"),
+            }
+        }
+        Err(e) => {
+            eprintln!("churn failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! **Experiment CH — MIS repair under churn (beyond the paper).**
+//!
+//! The paper proves its O(1) node-averaged awake bound on static graphs,
+//! but the sleeping model's natural habitat is networks that change —
+//! the follow-up literature (Ghaffari–Portmann 2023; the dynamic
+//! sleeping-model line of arXiv 2112.05344) studies exactly this. This
+//! experiment opens that axis empirically: each trial's graph suffers a
+//! seeded churn batch (edge flips, node departures/arrivals) between
+//! phases, and the MIS is either **recomputed** from scratch or
+//! **repaired** on the restricted neighborhood the churn actually
+//! damaged (everyone else sleeps through the phase).
+//!
+//! The quantity of interest is node-averaged awake complexity *per churn
+//! event*: recompute pays the full O(1)-per-node price every phase,
+//! while repair pays it only on the damaged scope — so its whole-graph
+//! average collapses toward zero as the churn fraction shrinks.
+
+use crate::error::HarnessError;
+use serde::{Deserialize, Serialize};
+use sleepy_fleet::{
+    run_dynamic_plan, DynamicFleetReport, DynamicPlan, Execution, FleetConfig, PhaseJobReport,
+    RepairStrategy, SLEEPING_ALGOS,
+};
+use sleepy_graph::{ChurnSpec, GraphFamily};
+use sleepy_stats::TextTable;
+
+/// Configuration of the churn experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Graph families to churn.
+    pub families: Vec<GraphFamily>,
+    /// Node count of the initial instances.
+    pub n: usize,
+    /// Phases per trial (phase 0 is the initial full run).
+    pub phases: usize,
+    /// Fraction of edges deleted and inserted per phase.
+    pub edge_churn: f64,
+    /// Fraction of nodes departing and arriving per phase.
+    pub node_churn: f64,
+    /// Attachment edges per arriving node.
+    pub arrival_degree: usize,
+    /// Trials per (family, algorithm, strategy) job.
+    pub trials: usize,
+    /// Base seed.
+    pub base_seed: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            families: sleepy_fleet::standard_families(),
+            n: 1024,
+            phases: 6,
+            edge_churn: 0.05,
+            node_churn: 0.02,
+            arrival_degree: 3,
+            trials: 10,
+            base_seed: 0xC1124,
+        }
+    }
+}
+
+/// Results of experiment CH.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChurnReport {
+    /// The configuration used.
+    pub config: ChurnConfig,
+    /// The underlying fleet report (per job, per phase).
+    pub fleet: DynamicFleetReport,
+}
+
+impl ChurnConfig {
+    fn churn_spec(&self) -> ChurnSpec {
+        ChurnSpec {
+            edge_delete_frac: self.edge_churn,
+            edge_insert_frac: self.edge_churn,
+            node_delete_frac: self.node_churn,
+            node_insert_frac: self.node_churn,
+            arrival_degree: self.arrival_degree,
+        }
+    }
+}
+
+/// Runs experiment CH on the fleet.
+///
+/// # Errors
+///
+/// Propagates workload and execution failures.
+pub fn run_churn(config: &ChurnConfig) -> Result<ChurnReport, HarnessError> {
+    let plan = DynamicPlan::sweep(
+        &config.families,
+        &[config.n],
+        &SLEEPING_ALGOS,
+        &[RepairStrategy::Recompute, RepairStrategy::Repair],
+        config.phases,
+        config.churn_spec(),
+        config.trials,
+        config.base_seed,
+        Execution::Auto,
+    );
+    let out = run_dynamic_plan(&plan, &FleetConfig::default())?;
+    Ok(ChurnReport { config: config.clone(), fleet: out.report(&plan) })
+}
+
+/// Mean of `metric` over the churn phases (1..) of a job.
+fn churn_phase_mean(phases: &[PhaseJobReport], metric: impl Fn(&PhaseJobReport) -> f64) -> f64 {
+    if phases.len() <= 1 {
+        return 0.0;
+    }
+    phases[1..].iter().map(metric).sum::<f64>() / (phases.len() - 1) as f64
+}
+
+impl ChurnReport {
+    /// Mean node-averaged awake complexity over the *churn* phases
+    /// (1..) of the given job — the per-churn-event cost.
+    fn churn_phase_awake(&self, job: usize) -> f64 {
+        churn_phase_mean(&self.fleet.jobs[job].phases, |p| p.node_avg_awake.mean)
+    }
+
+    /// `(recompute job, repair job)` index pairs that differ only in
+    /// strategy, in plan order.
+    fn strategy_pairs(&self) -> Vec<(usize, usize)> {
+        let mut pairs = Vec::new();
+        for (i, job) in self.fleet.jobs.iter().enumerate() {
+            if job.strategy != "recompute" {
+                continue;
+            }
+            if let Some(j) = self.fleet.jobs.iter().position(|o| {
+                o.strategy == "repair" && o.algo == job.algo && o.workload == job.workload
+            }) {
+                pairs.push((i, j));
+            }
+        }
+        pairs
+    }
+
+    /// Renders the comparison table plus the headline ratios.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "== Experiment CH — MIS repair under churn (n = {}, {} phases, \
+             edge churn {}, node churn {}) ==\n\n",
+            self.config.n, self.config.phases, self.config.edge_churn, self.config.node_churn
+        ));
+        let mut t = TextTable::new(vec![
+            "job",
+            "phase-0 awake",
+            "churn-phase awake",
+            "repair scope",
+            "carried",
+            "valid",
+        ]);
+        for (i, j) in self.fleet.jobs.iter().enumerate() {
+            // A zero-trial job has no phase aggregates; skip its row.
+            let Some(phase0) = j.phases.first() else { continue };
+            let scope = churn_phase_mean(&j.phases, |p| p.repair_scope_mean);
+            let carried = churn_phase_mean(&j.phases, |p| p.carried_mean);
+            t.row(vec![
+                j.label.clone(),
+                format!("{:.3}", phase0.node_avg_awake.mean),
+                format!("{:.4}", self.churn_phase_awake(i)),
+                format!("{scope:.1}"),
+                format!("{carried:.1}"),
+                format!("{:.0}%", 100.0 * j.valid_fraction),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+        for (rec, rep) in self.strategy_pairs() {
+            let full = self.churn_phase_awake(rec);
+            let restricted = self.churn_phase_awake(rep);
+            if restricted > 0.0 {
+                out.push_str(&format!(
+                    "{}: per churn event, repair averages {:.4} awake rounds/node vs {:.3} \
+                     for recompute — {:.0}x cheaper; mean scope {:.1} of {} nodes.\n",
+                    self.fleet.jobs[rep].label,
+                    restricted,
+                    full,
+                    full / restricted,
+                    churn_phase_mean(&self.fleet.jobs[rep].phases, |p| p.repair_scope_mean),
+                    self.config.n
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_experiment_small() {
+        let cfg = ChurnConfig {
+            families: vec![GraphFamily::GnpAvgDeg(6.0), GraphFamily::Tree],
+            n: 128,
+            phases: 3,
+            trials: 3,
+            ..ChurnConfig::default()
+        };
+        let r = run_churn(&cfg).unwrap();
+        // 2 families x 2 algos x 2 strategies.
+        assert_eq!(r.fleet.jobs.len(), 8);
+        for j in &r.fleet.jobs {
+            assert_eq!(j.valid_fraction, 1.0, "{}", j.label);
+            assert_eq!(j.phases.len(), 3);
+        }
+        // Repair must be far cheaper than recompute on churn phases.
+        for (rec, rep) in r.strategy_pairs() {
+            let full = r.churn_phase_awake(rec);
+            let restricted = r.churn_phase_awake(rep);
+            assert!(
+                restricted < full / 4.0,
+                "{}: repair {restricted} not cheaper than recompute {full}",
+                r.fleet.jobs[rep].label
+            );
+        }
+        let text = r.render();
+        assert!(text.contains("Experiment CH"));
+        assert!(text.contains("cheaper"));
+    }
+}

@@ -18,6 +18,7 @@
 //! | AB  | ablations of fixed design knobs (greedy c, truncation depth) | [`ablation`] |
 //! | CO  | §1.5 contrast: (Δ+1)-coloring is O(1) node-averaged in the traditional model | [`coloring`] |
 //! | RB  | robustness under injected message loss (beyond the paper) | [`robustness`] |
+//! | CH  | MIS repair vs recompute under graph churn (beyond the paper) | [`churn`] |
 //!
 //! All experiments are deterministic given their configured base seed.
 
@@ -25,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod churn;
 pub mod coloring;
 pub mod corollary1;
 pub mod energy;

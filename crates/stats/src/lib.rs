@@ -14,11 +14,13 @@
 #![warn(missing_docs)]
 
 mod fit;
+mod phases;
 mod streaming;
 mod summary;
 mod table;
 
 pub use fit::{fit_log_power, fit_power, linear_regression, GrowthFit, LinearFit};
+pub use phases::PhaseSeries;
 pub use streaming::StreamingMoments;
 pub use summary::Summary;
 pub use table::TextTable;

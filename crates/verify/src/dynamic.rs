@@ -1,0 +1,93 @@
+//! Per-phase validity checking for dynamic (churn) workloads.
+
+use crate::checker::{verify_mis, MisViolation};
+use sleepy_graph::Graph;
+use std::error::Error;
+use std::fmt;
+
+/// An MIS violation located in a specific phase of a dynamic run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseViolation {
+    /// 0-based phase index in which the violation occurred.
+    pub phase: usize,
+    /// The violation itself.
+    pub violation: MisViolation,
+}
+
+impl fmt::Display for PhaseViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "phase {}: {}", self.phase, self.violation)
+    }
+}
+
+impl Error for PhaseViolation {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.violation)
+    }
+}
+
+/// Verifies a whole dynamic run: each phase's candidate set must be a
+/// valid MIS of that phase's (mutated) graph. Returns the number of
+/// phases checked.
+///
+/// # Errors
+///
+/// The first failing phase's [`PhaseViolation`].
+///
+/// # Example
+///
+/// ```
+/// use sleepy_graph::generators;
+/// use sleepy_verify::verify_mis_phases;
+///
+/// let p3 = generators::path(3).unwrap();
+/// let p2 = generators::path(2).unwrap();
+/// let phases = [(&p3, vec![true, false, true]), (&p2, vec![false, true])];
+/// let checked = verify_mis_phases(phases.iter().map(|(g, s)| (*g, s.as_slice())))?;
+/// assert_eq!(checked, 2);
+/// # Ok::<(), sleepy_verify::PhaseViolation>(())
+/// ```
+pub fn verify_mis_phases<'a, I>(phases: I) -> Result<usize, PhaseViolation>
+where
+    I: IntoIterator<Item = (&'a Graph, &'a [bool])>,
+{
+    let mut checked = 0usize;
+    for (phase, (graph, in_set)) in phases.into_iter().enumerate() {
+        verify_mis(graph, in_set).map_err(|violation| PhaseViolation { phase, violation })?;
+        checked += 1;
+    }
+    Ok(checked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sleepy_graph::generators;
+
+    #[test]
+    fn all_phases_valid() {
+        let a = generators::cycle(6).unwrap();
+        let b = generators::empty(0).unwrap();
+        let sa = vec![true, false, true, false, true, false];
+        let sb: Vec<bool> = vec![];
+        let phases = [(&a, sa.as_slice()), (&b, sb.as_slice())];
+        assert_eq!(verify_mis_phases(phases).unwrap(), 2);
+    }
+
+    #[test]
+    fn violation_names_the_phase() {
+        let a = generators::path(3).unwrap();
+        let ok = vec![true, false, true];
+        let bad = vec![true, true, false];
+        let phases = [(&a, ok.as_slice()), (&a, bad.as_slice())];
+        let err = verify_mis_phases(phases).unwrap_err();
+        assert_eq!(err.phase, 1);
+        assert_eq!(err.violation, MisViolation::NotIndependent { u: 0, v: 1 });
+        assert!(err.to_string().contains("phase 1"));
+    }
+
+    #[test]
+    fn empty_sequence_checks_zero_phases() {
+        assert_eq!(verify_mis_phases(std::iter::empty()).unwrap(), 0);
+    }
+}

@@ -7,6 +7,9 @@
 //!
 //! * [`verify_mis`] checks independence and maximality (= domination),
 //!   returning a structured [`MisViolation`] naming the offending nodes.
+//! * [`verify_mis_phases`] extends the check to dynamic (churn)
+//!   workloads, validating every phase of a mutating graph and naming
+//!   the failing phase.
 //! * [`lexicographically_first_mis`] computes the MIS the sequential greedy
 //!   finds when processing nodes in a given priority order — the unique MIS
 //!   the sleeping algorithms must reproduce given the same coins.
@@ -16,8 +19,10 @@
 
 mod checker;
 mod coloring;
+mod dynamic;
 mod reference;
 
 pub use checker::{is_independent, is_maximal_independent, verify_mis, MisViolation};
 pub use coloring::{verify_coloring, ColoringViolation};
+pub use dynamic::{verify_mis_phases, PhaseViolation};
 pub use reference::{greedy_by_order, lexicographically_first_mis};

@@ -1,0 +1,69 @@
+//! Dynamic-plan determinism: a churn plan's per-phase JSONL log and
+//! aggregate report are byte-identical regardless of thread count and
+//! shard size, and the mutation schedule is a pure function of the seed
+//! stream.
+
+use sleepy::fleet::sink::{write_dynamic_aggregate_json, PhaseJsonlSink};
+use sleepy::fleet::{
+    run_dynamic_plan_with_sinks, AlgoKind, DynamicPlan, Execution, FleetConfig, RepairStrategy,
+};
+use sleepy::graph::{ChurnSpec, GraphFamily};
+
+fn churn_plan() -> DynamicPlan {
+    DynamicPlan::sweep(
+        &[GraphFamily::GnpAvgDeg(6.0), GraphFamily::Tree],
+        &[96],
+        &[AlgoKind::SleepingMis, AlgoKind::FastSleepingMis],
+        &[RepairStrategy::Recompute, RepairStrategy::Repair],
+        3,
+        ChurnSpec {
+            edge_delete_frac: 0.08,
+            edge_insert_frac: 0.08,
+            node_delete_frac: 0.04,
+            node_insert_frac: 0.04,
+            arrival_degree: 2,
+        },
+        4,
+        0xC4A9_2217,
+        Execution::Auto,
+    )
+}
+
+/// Runs the plan and renders the per-phase JSONL log plus the aggregate
+/// JSON to strings.
+fn run_at(threads: usize, shard_size: usize) -> (String, String) {
+    let plan = churn_plan();
+    let cfg = FleetConfig { threads, shard_size, ..FleetConfig::default() };
+    let mut jsonl = PhaseJsonlSink::new(Vec::new());
+    let out = run_dynamic_plan_with_sinks(&plan, &cfg, &mut [&mut jsonl]).expect("fleet runs");
+    let report = out.report(&plan);
+    let mut json = Vec::new();
+    write_dynamic_aggregate_json(&mut json, &report).unwrap();
+    (String::from_utf8(jsonl.into_inner()).unwrap(), String::from_utf8(json).unwrap())
+}
+
+#[test]
+fn dynamic_outputs_byte_identical_across_threads_1_2_4() {
+    let (jsonl1, json1) = run_at(1, 4);
+    for threads in [2, 4] {
+        let (jsonl, json) = run_at(threads, 4);
+        assert_eq!(jsonl1, jsonl, "phase JSONL differs at {threads} threads");
+        assert_eq!(json1, json, "dynamic aggregate JSON differs at {threads} threads");
+    }
+    // The log contains every (trial, phase) record, in order, all valid.
+    let plan = churn_plan();
+    let expected = plan.total_trials() as usize * 3;
+    assert_eq!(jsonl1.lines().count(), expected);
+    assert!(jsonl1.lines().all(|l| l.contains("\"valid\":true")));
+    assert!(jsonl1.lines().next().unwrap().contains("\"job\":0,\"trial\":0"));
+    assert!(jsonl1.lines().next().unwrap().contains("\"phase\":0"));
+    assert!(jsonl1.lines().last().unwrap().contains("\"phase\":2"));
+}
+
+#[test]
+fn dynamic_outputs_byte_identical_across_shard_sizes() {
+    let (jsonl_a, json_a) = run_at(3, 1);
+    let (jsonl_b, json_b) = run_at(3, 64);
+    assert_eq!(jsonl_a, jsonl_b);
+    assert_eq!(json_a, json_b);
+}
