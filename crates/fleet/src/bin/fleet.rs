@@ -7,24 +7,30 @@
 //! ```
 
 use sleepy_baselines::BaselineKind;
+use sleepy_fleet::procs::read_plan_file;
 use sleepy_fleet::sink::{
     write_aggregate_csv, write_aggregate_json, write_dynamic_aggregate_json, JsonlSink,
     PhaseJsonlSink,
 };
 use sleepy_fleet::{
-    run_dynamic_plan_with_sinks, run_plan_with_sinks, standard_families, AlgoKind, DynamicPlan,
-    Execution, FleetConfig, RepairStrategy, TrialPlan, ALL_ALGOS, SLEEPING_ALGOS,
+    plan_to_json, run_dynamic_plan_with_sinks, run_plan_cached, run_plan_shard, standard_families,
+    AlgoKind, CacheStats, DynamicPlan, Execution, FleetConfig, FleetReport, RepairStrategy,
+    TrialPlan, ALL_ALGOS, SLEEPING_ALGOS,
 };
 use sleepy_graph::{ChurnSpec, GraphFamily};
 use sleepy_stats::TextTable;
+use sleepy_store::Store;
 use std::io::BufWriter;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "fleet — parallel batch execution of sleeping-model experiments
 
 USAGE:
-    fleet [OPTIONS]
+    fleet [OPTIONS]                 run a sweep (optionally cached)
+    fleet worker [WORKER OPTIONS]   run one multi-process shard of a plan
+    fleet merge  [MERGE OPTIONS]    merge shard stores + recover aggregates
+    fleet gc     [GC OPTIONS]       expire and compact a result store
 
 OPTIONS:
     --families LIST   comma-separated graph families (default: the standard
@@ -40,10 +46,33 @@ OPTIONS:
     --shard-size N    trials per work-stealing shard (default: 16)
     --engine          force the message-passing engine for all algorithms
     --out DIR         write trials.jsonl, aggregates.json, aggregates.csv
-                      (dynamic runs: phases.jsonl, dynamic_aggregates.json)
+                      (dynamic runs: phases.jsonl, dynamic_aggregates.json;
+                      cached runs: also cache_stats.json)
+    --store DIR       persistent result cache: serve already-computed
+                      trials from DIR and record fresh ones into it
+    --no-cache        with --store: re-execute everything (still records)
+    --emit-plan FILE  write the exact plan as JSON (for `worker`/`merge`)
     --no-progress     suppress the stderr progress line
     --dry-run         print the job list and exit
     --help            this text
+
+WORKER OPTIONS (run by the multi-process coordinator, or by hand):
+    --plan FILE       plan.json written by --emit-plan (required)
+    --shard K/N       this worker's contiguous trial range (required)
+    --store DIR       this worker's result store (required)
+    --threads/--shard-size/--no-progress as above
+
+MERGE OPTIONS:
+    --plan FILE       the plan the shards ran (required)
+    --from DIRS       comma-separated shard store directories (required)
+    --store DIR       merged store to create/extend (required)
+    --out DIR         write aggregates.json/csv + cache_stats.json
+    --threads/--shard-size/--no-progress as above
+
+GC OPTIONS:
+    --store DIR       the store to compact (required)
+    --ttl-secs N      drop entries older than N seconds (default: keep
+                      everything, compact segments only)
 
 DYNAMIC (churn) WORKLOADS:
     --dynamic         run a dynamic plan: each trial's graph mutates
@@ -120,6 +149,9 @@ struct Args {
     shard_size: usize,
     execution: Execution,
     out: Option<PathBuf>,
+    store: Option<PathBuf>,
+    no_cache: bool,
+    emit_plan: Option<PathBuf>,
     progress: bool,
     dry_run: bool,
     dynamic: bool,
@@ -141,6 +173,9 @@ fn parse_args() -> Result<Option<Args>, String> {
         shard_size: 16,
         execution: Execution::Auto,
         out: None,
+        store: None,
+        no_cache: false,
+        emit_plan: None,
         progress: true,
         dry_run: false,
         dynamic: false,
@@ -189,6 +224,9 @@ fn parse_args() -> Result<Option<Args>, String> {
             }
             "--engine" => args.execution = Execution::ForceEngine,
             "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--store" => args.store = Some(PathBuf::from(value("--store")?)),
+            "--no-cache" => args.no_cache = true,
+            "--emit-plan" => args.emit_plan = Some(PathBuf::from(value("--emit-plan")?)),
             "--no-progress" => args.progress = false,
             "--dry-run" => args.dry_run = true,
             "--dynamic" => args.dynamic = true,
@@ -236,6 +274,12 @@ fn parse_args() -> Result<Option<Args>, String> {
             churn_flags.join(", ")
         ));
     }
+    if args.dynamic && (args.store.is_some() || args.no_cache) {
+        return Err("--store/--no-cache are not supported for --dynamic runs yet".to_string());
+    }
+    if args.no_cache && args.store.is_none() {
+        return Err("--no-cache only makes sense with --store".to_string());
+    }
     Ok(Some(args))
 }
 
@@ -248,6 +292,13 @@ fn parse_u64_maybe_hex(s: &str) -> Option<u64> {
 }
 
 fn main() -> ExitCode {
+    // Subcommands take over before flag parsing.
+    match std::env::args().nth(1).as_deref() {
+        Some("worker") => return run_worker(),
+        Some("merge") => return run_merge(),
+        Some("gc") => return run_gc(),
+        _ => {}
+    }
     let args = match parse_args() {
         Ok(Some(args)) => args,
         Ok(None) => return ExitCode::SUCCESS,
@@ -260,6 +311,222 @@ fn main() -> ExitCode {
         run_dynamic(&args)
     } else {
         run_static(&args)
+    }
+}
+
+/// Flags shared by the `worker` and `merge` subcommands.
+#[derive(Debug, Default)]
+struct SubArgs {
+    plan: Option<PathBuf>,
+    shard: Option<(usize, usize)>,
+    store: Option<PathBuf>,
+    from: Vec<PathBuf>,
+    out: Option<PathBuf>,
+    ttl_secs: Option<u64>,
+    threads: usize,
+    shard_size: usize,
+    progress: bool,
+}
+
+fn parse_sub_args(what: &str, allowed: &[&str]) -> Result<SubArgs, String> {
+    let mut args = SubArgs { shard_size: 16, progress: true, ..SubArgs::default() };
+    let mut it = std::env::args().skip(2);
+    while let Some(flag) = it.next() {
+        // Reject flags the subcommand would silently ignore (e.g.
+        // `fleet worker --out`: workers write no aggregates).
+        if !matches!(flag.as_str(), "--help" | "-h") && !allowed.contains(&flag.as_str()) {
+            return Err(format!("`{flag}` is not a `fleet {what}` flag (try --help)"));
+        }
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("missing value for {flag}"));
+        match flag.as_str() {
+            "--plan" => args.plan = Some(PathBuf::from(value("--plan")?)),
+            "--shard" => {
+                let v = value("--shard")?;
+                let parts: Vec<&str> = v.split('/').collect();
+                let parsed = if parts.len() == 2 {
+                    parts[0].parse::<usize>().ok().zip(parts[1].parse::<usize>().ok())
+                } else {
+                    None
+                };
+                args.shard =
+                    Some(parsed.ok_or_else(|| format!("bad --shard `{v}` (expected K/N)"))?);
+            }
+            "--store" => args.store = Some(PathBuf::from(value("--store")?)),
+            "--from" => {
+                args.from = value("--from")?.split(',').map(PathBuf::from).collect();
+            }
+            "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--ttl-secs" => {
+                args.ttl_secs =
+                    Some(value("--ttl-secs")?.parse().map_err(|_| "bad --ttl-secs value")?);
+            }
+            "--threads" => {
+                args.threads = value("--threads")?.parse().map_err(|_| "bad --threads value")?;
+            }
+            "--shard-size" => {
+                args.shard_size =
+                    value("--shard-size")?.parse().map_err(|_| "bad --shard-size value")?;
+            }
+            "--no-progress" => args.progress = false,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown `fleet {what}` flag `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn fail(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("fleet: {msg}");
+    ExitCode::FAILURE
+}
+
+/// `fleet worker`: execute one contiguous shard of a plan, recording
+/// every result into this worker's store. The store *is* the output;
+/// the coordinator (or `fleet merge`) recovers aggregates from it.
+fn run_worker() -> ExitCode {
+    let sub = match parse_sub_args(
+        "worker",
+        &["--plan", "--shard", "--store", "--threads", "--shard-size", "--no-progress"],
+    ) {
+        Ok(sub) => sub,
+        Err(msg) => return fail(msg),
+    };
+    let (Some(plan_path), Some((index, count)), Some(store_dir)) =
+        (&sub.plan, sub.shard, &sub.store)
+    else {
+        return fail("worker needs --plan, --shard and --store (try --help)");
+    };
+    let plan = match read_plan_file(plan_path) {
+        Ok(plan) => plan,
+        Err(e) => return fail(e),
+    };
+    let mut store = match Store::open(store_dir) {
+        Ok(store) => store,
+        Err(e) => return fail(e),
+    };
+    let config = FleetConfig {
+        threads: sub.threads,
+        shard_size: sub.shard_size,
+        max_in_flight: 0,
+        progress: sub.progress,
+    };
+    match run_plan_shard(&plan, &config, &mut [], Some(&mut store), index, count) {
+        Ok(out) => {
+            eprintln!(
+                "fleet worker {index}/{count}: {} trials ({} executed, {} cached, {} stored) \
+                 in {:.2?}",
+                out.total_trials, out.cache.executed, out.cache.hits, out.cache.stored, out.elapsed,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(format!("worker {index}/{count} failed: {e}")),
+    }
+}
+
+/// `fleet merge`: union shard stores into one store, then replay the
+/// plan warm against it — recovering aggregates byte-identical to a
+/// single-process run (missing trials simply execute during replay).
+fn run_merge() -> ExitCode {
+    let sub = match parse_sub_args(
+        "merge",
+        &["--plan", "--from", "--store", "--out", "--threads", "--shard-size", "--no-progress"],
+    ) {
+        Ok(sub) => sub,
+        Err(msg) => return fail(msg),
+    };
+    let (Some(plan_path), Some(store_dir)) = (&sub.plan, &sub.store) else {
+        return fail("merge needs --plan and --store (try --help)");
+    };
+    if sub.from.is_empty() {
+        return fail("merge needs --from DIR1,DIR2,... (try --help)");
+    }
+    let plan = match read_plan_file(plan_path) {
+        Ok(plan) => plan,
+        Err(e) => return fail(e),
+    };
+    let mut merged = match Store::open(store_dir) {
+        Ok(store) => store,
+        Err(e) => return fail(e),
+    };
+    for dir in &sub.from {
+        let shard = match Store::open(dir) {
+            Ok(store) => store,
+            Err(e) => return fail(e),
+        };
+        match merged.merge_from(&shard) {
+            Ok(added) => eprintln!(
+                "fleet merge: {} entries from {} ({} new)",
+                shard.len(),
+                dir.display(),
+                added
+            ),
+            Err(e) => return fail(e),
+        }
+    }
+    let config = FleetConfig {
+        threads: sub.threads,
+        shard_size: sub.shard_size,
+        max_in_flight: 0,
+        progress: sub.progress,
+    };
+    let out = match run_plan_cached(&plan, &config, &mut [], Some(&mut merged), true) {
+        Ok(out) => out,
+        Err(e) => return fail(format!("merge replay failed: {e}")),
+    };
+    let report = out.report(&plan);
+    print_static_table(&report);
+    eprintln!(
+        "fleet merge: {} trials ({} cached, {} re-executed) in {:.2?}",
+        out.total_trials, out.cache.hits, out.cache.executed, out.elapsed,
+    );
+    if let Some(dir) = &sub.out {
+        if let Err(e) = write_static_outputs(dir, &report, Some(out.cache)) {
+            return fail(format!("writing aggregates failed: {e}"));
+        }
+        eprintln!(
+            "fleet merge: wrote {}/aggregates.json, aggregates.csv, cache_stats.json",
+            dir.display()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// `fleet gc`: expire entries past their TTL and compact the store's
+/// segments into one.
+fn run_gc() -> ExitCode {
+    let sub = match parse_sub_args("gc", &["--store", "--ttl-secs"]) {
+        Ok(sub) => sub,
+        Err(msg) => return fail(msg),
+    };
+    let Some(store_dir) = &sub.store else {
+        return fail("gc needs --store (try --help)");
+    };
+    let mut store = match Store::open(store_dir) {
+        Ok(store) => store,
+        Err(e) => return fail(e),
+    };
+    let expire_before = match sub.ttl_secs {
+        Some(ttl) => {
+            let now = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0);
+            now.saturating_sub(ttl)
+        }
+        None => 0,
+    };
+    match store.gc(expire_before) {
+        Ok(gc) => {
+            eprintln!(
+                "fleet gc: kept {} entries, dropped {}, {} segments -> {}",
+                gc.kept, gc.dropped, gc.segments_before, gc.segments_after,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(e),
     }
 }
 
@@ -382,65 +649,7 @@ fn run_dynamic(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn run_static(args: &Args) -> ExitCode {
-    let plan = TrialPlan::sweep(
-        &args.families,
-        &args.sizes,
-        &args.algos,
-        args.trials,
-        args.seed,
-        args.execution,
-    );
-    eprintln!(
-        "fleet: {} jobs ({} families x {} sizes x {} algorithms), {} trials total",
-        plan.jobs.len(),
-        args.families.len(),
-        args.sizes.len(),
-        args.algos.len(),
-        plan.total_trials(),
-    );
-    if args.dry_run {
-        for (i, job) in plan.jobs.iter().enumerate() {
-            println!("job {i:4}  {}  x{}", job.label(), job.trials);
-        }
-        return ExitCode::SUCCESS;
-    }
-    let config = FleetConfig {
-        threads: args.threads,
-        shard_size: args.shard_size,
-        max_in_flight: 0,
-        progress: args.progress,
-    };
-
-    let mut jsonl = None;
-    if let Some(dir) = &args.out {
-        if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("fleet: cannot create {}: {e}", dir.display());
-            return ExitCode::FAILURE;
-        }
-        match std::fs::File::create(dir.join("trials.jsonl")) {
-            Ok(f) => jsonl = Some(JsonlSink::new(BufWriter::new(f))),
-            Err(e) => {
-                eprintln!("fleet: cannot create trials.jsonl: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-    let mut sinks: Vec<&mut dyn sleepy_fleet::sink::TrialSink> = Vec::new();
-    if let Some(s) = jsonl.as_mut() {
-        sinks.push(s);
-    }
-
-    let out = match run_plan_with_sinks(&plan, &config, &mut sinks) {
-        Ok(out) => out,
-        Err(e) => {
-            eprintln!("fleet: run failed: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let report = out.report(&plan);
-
-    // Console summary.
+fn print_static_table(report: &FleetReport) {
     let mut table = TextTable::new(vec![
         "job",
         "trials",
@@ -460,30 +669,139 @@ fn run_static(args: &Args) -> ExitCode {
         ]);
     }
     println!("{}", table.render());
+}
+
+/// Writes `aggregates.json` + `aggregates.csv` (and, for cached runs,
+/// `cache_stats.json`) into `dir`. Cache stats live in their own file
+/// on purpose: `aggregates.json` stays byte-identical between cold and
+/// warm runs of the same plan.
+fn write_static_outputs(
+    dir: &Path,
+    report: &FleetReport,
+    cache: Option<CacheStats>,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    write_aggregate_json(
+        BufWriter::new(std::fs::File::create(dir.join("aggregates.json"))?),
+        report,
+    )?;
+    write_aggregate_csv(
+        BufWriter::new(std::fs::File::create(dir.join("aggregates.csv"))?),
+        report,
+    )?;
+    if let Some(cache) = cache {
+        let text = serde_json::to_string_pretty(&cache.to_json()).expect("stats serialize");
+        std::fs::write(dir.join("cache_stats.json"), format!("{text}\n"))?;
+    }
+    Ok(())
+}
+
+fn run_static(args: &Args) -> ExitCode {
+    let plan = TrialPlan::sweep(
+        &args.families,
+        &args.sizes,
+        &args.algos,
+        args.trials,
+        args.seed,
+        args.execution,
+    );
+    eprintln!(
+        "fleet: {} jobs ({} families x {} sizes x {} algorithms), {} trials total",
+        plan.jobs.len(),
+        args.families.len(),
+        args.sizes.len(),
+        args.algos.len(),
+        plan.total_trials(),
+    );
+    if let Some(path) = &args.emit_plan {
+        if let Err(e) = std::fs::write(path, format!("{}\n", plan_to_json(&plan))) {
+            return fail(format!("cannot write {}: {e}", path.display()));
+        }
+        eprintln!("fleet: wrote plan to {}", path.display());
+    }
+    if args.dry_run {
+        for (i, job) in plan.jobs.iter().enumerate() {
+            println!("job {i:4}  {}  x{}", job.label(), job.trials);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let config = FleetConfig {
+        threads: args.threads,
+        shard_size: args.shard_size,
+        max_in_flight: 0,
+        progress: args.progress,
+    };
+
+    let mut store = match &args.store {
+        Some(dir) => match Store::open(dir) {
+            Ok(store) => {
+                let stats = store.stats();
+                eprintln!(
+                    "fleet: store {} open ({} entries, {} segments{})",
+                    dir.display(),
+                    stats.entries,
+                    stats.segments,
+                    if stats.quarantined > 0 {
+                        format!(", {} QUARANTINED", stats.quarantined)
+                    } else {
+                        String::new()
+                    },
+                );
+                Some(store)
+            }
+            Err(e) => return fail(e),
+        },
+        None => None,
+    };
+
+    let mut jsonl = None;
+    if let Some(dir) = &args.out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            return fail(format!("cannot create {}: {e}", dir.display()));
+        }
+        match std::fs::File::create(dir.join("trials.jsonl")) {
+            Ok(f) => jsonl = Some(JsonlSink::new(BufWriter::new(f))),
+            Err(e) => return fail(format!("cannot create trials.jsonl: {e}")),
+        }
+    }
+    let mut sinks: Vec<&mut dyn sleepy_fleet::sink::TrialSink> = Vec::new();
+    if let Some(s) = jsonl.as_mut() {
+        sinks.push(s);
+    }
+
+    let out = match run_plan_cached(&plan, &config, &mut sinks, store.as_mut(), !args.no_cache) {
+        Ok(out) => out,
+        Err(e) => return fail(format!("run failed: {e}")),
+    };
+    let report = out.report(&plan);
+
+    print_static_table(&report);
     eprintln!(
         "fleet: {} trials in {:.2?} ({} threads)",
         out.total_trials,
         out.elapsed,
         sleepy_fleet::pool::resolve_threads(args.threads),
     );
+    if store.is_some() {
+        eprintln!(
+            "fleet: cache {} hits / {} executed ({:.1}% hit rate), {} stored",
+            out.cache.hits,
+            out.cache.executed,
+            100.0 * out.cache.hit_rate(),
+            out.cache.stored,
+        );
+    }
 
     if let Some(dir) = &args.out {
-        let write_all = || -> std::io::Result<()> {
-            write_aggregate_json(
-                BufWriter::new(std::fs::File::create(dir.join("aggregates.json"))?),
-                &report,
-            )?;
-            write_aggregate_csv(
-                BufWriter::new(std::fs::File::create(dir.join("aggregates.csv"))?),
-                &report,
-            )?;
-            Ok(())
-        };
-        if let Err(e) = write_all() {
-            eprintln!("fleet: writing aggregates failed: {e}");
-            return ExitCode::FAILURE;
+        let cache = store.is_some().then_some(out.cache);
+        if let Err(e) = write_static_outputs(dir, &report, cache) {
+            return fail(format!("writing aggregates failed: {e}"));
         }
-        eprintln!("fleet: wrote {}/trials.jsonl, aggregates.json, aggregates.csv", dir.display());
+        eprintln!(
+            "fleet: wrote {}/trials.jsonl, aggregates.json, aggregates.csv{}",
+            dir.display(),
+            if cache.is_some() { ", cache_stats.json" } else { "" },
+        );
     }
     ExitCode::SUCCESS
 }

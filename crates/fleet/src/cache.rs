@@ -1,0 +1,151 @@
+//! Result-cache glue between the fleet runner and [`sleepy_store`]:
+//! trial keys, the trial-payload codec, and cache-hit accounting.
+//!
+//! A trial is addressed by `(job content key, trial seed)` — see
+//! [`JobSpec::key`] for why the *seed*, not the trial index, is the
+//! trial half of the address. The payload is the full
+//! [`ComplexityReport`], encoded field-by-field so the on-disk format
+//! is an explicit contract. Every numeric field round-trips exactly
+//! (floats are serialized in shortest-round-trip form), which is what
+//! makes a warm-cache rerun's aggregates byte-identical to the cold
+//! run's.
+
+use crate::measure::ComplexityReport;
+use crate::spec::JobSpec;
+use serde::{Serialize, Value};
+use sleepy_net::ComplexitySummary;
+
+/// Cache-hit accounting for one run. Serialized to
+/// `cache_stats.json` by the CLI — deliberately *not* part of
+/// [`FleetReport`](crate::FleetReport), whose bytes must not differ
+/// between a cold and a warm run of the same plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct CacheStats {
+    /// Trials served from the store without executing.
+    pub hits: u64,
+    /// Trials actually executed.
+    pub executed: u64,
+    /// Freshly executed results written back to the store.
+    pub stored: u64,
+}
+
+impl CacheStats {
+    /// Fraction of trials served from the cache (1.0 for an empty run).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.executed;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// The serializable JSON document (`hits`, `executed`, `stored`,
+    /// `hit_rate`).
+    pub fn to_json(&self) -> Value {
+        serde_json::json!({
+            "hits": self.hits,
+            "executed": self.executed,
+            "stored": self.stored,
+            "hit_rate": self.hit_rate()
+        })
+    }
+}
+
+/// The store key of one trial: the job's content key plus the trial
+/// seed in fixed-width hex.
+pub fn trial_key(job_key: &str, seed: u64) -> String {
+    format!("{job_key}/t{seed:016x}")
+}
+
+/// The store key of trial `seed` of `job` in a plan rooted at
+/// `base_seed` (convenience over [`trial_key`]).
+pub fn job_trial_key(job: &JobSpec, base_seed: u64, seed: u64) -> String {
+    trial_key(&job.key(base_seed), seed)
+}
+
+/// Encodes a trial report as the store payload.
+pub fn report_to_value(r: &ComplexityReport) -> Value {
+    serde_json::to_value(r).expect("report serializes")
+}
+
+/// Decodes a store payload back into a trial report. `None` means the
+/// payload does not have the expected shape (e.g. a store written by an
+/// incompatible version) — callers treat that as a cache miss.
+pub fn report_from_value(v: &Value) -> Option<ComplexityReport> {
+    let s = v.get("summary")?;
+    Some(ComplexityReport {
+        algo: v.get("algo")?.as_str()?.to_string(),
+        n: v.get("n")?.as_u64()? as usize,
+        summary: ComplexitySummary {
+            n: s.get("n")?.as_u64()? as usize,
+            node_avg_awake: s.get("node_avg_awake")?.as_f64()?,
+            worst_awake: s.get("worst_awake")?.as_u64()?,
+            worst_round: s.get("worst_round")?.as_u64()?,
+            node_avg_round: s.get("node_avg_round")?.as_f64()?,
+            active_rounds: s.get("active_rounds")?.as_u64()?,
+            total_messages: s.get("total_messages")?.as_u64()?,
+            dropped_messages: s.get("dropped_messages")?.as_u64()?,
+            total_bits: s.get("total_bits")?.as_u64()?,
+        },
+        mis_size: v.get("mis_size")?.as_u64()? as usize,
+        valid: match v.get("valid")? {
+            Value::Bool(b) => *b,
+            _ => return None,
+        },
+        base_timeouts: v.get("base_timeouts")?.as_u64()? as usize,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::{measure_once, AlgoKind, Execution};
+    use crate::workload::Workload;
+    use sleepy_graph::GraphFamily;
+
+    #[test]
+    fn report_round_trips_exactly() {
+        let g = Workload::new(GraphFamily::GnpAvgDeg(6.0), 64).instance(5).unwrap();
+        let r = measure_once(&g, AlgoKind::SleepingMis, 11, Execution::Auto).unwrap();
+        let v = report_to_value(&r);
+        // Through text, as the store does.
+        let text = serde_json::to_string(&v).unwrap();
+        let back = report_from_value(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back.algo, r.algo);
+        assert_eq!(back.n, r.n);
+        assert_eq!(back.mis_size, r.mis_size);
+        assert_eq!(back.valid, r.valid);
+        assert_eq!(back.base_timeouts, r.base_timeouts);
+        assert_eq!(back.summary.node_avg_awake.to_bits(), r.summary.node_avg_awake.to_bits());
+        assert_eq!(back.summary.node_avg_round.to_bits(), r.summary.node_avg_round.to_bits());
+        assert_eq!(back.summary.worst_awake, r.summary.worst_awake);
+        assert_eq!(back.summary.worst_round, r.summary.worst_round);
+        assert_eq!(back.summary.total_messages, r.summary.total_messages);
+        assert_eq!(back.summary.total_bits, r.summary.total_bits);
+    }
+
+    #[test]
+    fn malformed_payload_is_a_miss() {
+        assert!(report_from_value(&serde_json::json!({"algo": "x"})).is_none());
+        assert!(report_from_value(&serde_json::json!(null)).is_none());
+        assert!(report_from_value(&serde_json::json!(3u64)).is_none());
+    }
+
+    #[test]
+    fn trial_keys_discriminate() {
+        let job = JobSpec::new(Workload::new(GraphFamily::Cycle, 32), AlgoKind::SleepingMis, 4);
+        let k = job_trial_key(&job, 7, 0xAB);
+        assert!(k.ends_with("/t00000000000000ab"));
+        assert_ne!(k, job_trial_key(&job, 7, 0xAC));
+        assert_ne!(k, job_trial_key(&job, 8, 0xAB));
+    }
+
+    #[test]
+    fn hit_rate_edge_cases() {
+        assert_eq!(CacheStats::default().hit_rate(), 1.0);
+        let s = CacheStats { hits: 3, executed: 1, stored: 1 };
+        assert_eq!(s.hit_rate(), 0.75);
+        assert!(serde_json::to_string(&s.to_json()).unwrap().contains("\"hit_rate\":0.75"));
+    }
+}

@@ -19,6 +19,8 @@ pub enum FleetError {
     Engine(EngineError),
     /// A result sink failed to write.
     Io(std::io::Error),
+    /// The result store failed.
+    Store(sleepy_store::StoreError),
     /// An invalid plan or configuration.
     Config(String),
 }
@@ -30,6 +32,7 @@ impl fmt::Display for FleetError {
             FleetError::Mis(e) => write!(f, "sleeping MIS failed: {e}"),
             FleetError::Engine(e) => write!(f, "engine failed: {e}"),
             FleetError::Io(e) => write!(f, "result sink failed: {e}"),
+            FleetError::Store(e) => write!(f, "result store failed: {e}"),
             FleetError::Config(msg) => write!(f, "invalid fleet configuration: {msg}"),
         }
     }
@@ -42,6 +45,7 @@ impl Error for FleetError {
             FleetError::Mis(e) => Some(e),
             FleetError::Engine(e) => Some(e),
             FleetError::Io(e) => Some(e),
+            FleetError::Store(e) => Some(e),
             FleetError::Config(_) => None,
         }
     }
@@ -68,5 +72,11 @@ impl From<EngineError> for FleetError {
 impl From<std::io::Error> for FleetError {
     fn from(e: std::io::Error) -> Self {
         FleetError::Io(e)
+    }
+}
+
+impl From<sleepy_store::StoreError> for FleetError {
+    fn from(e: sleepy_store::StoreError) -> Self {
+        FleetError::Store(e)
     }
 }

@@ -28,7 +28,17 @@
 //!   restricted-neighborhood *repair* ([`RepairStrategy`]), per-phase
 //!   validity re-checking, and per-phase aggregation. A static
 //!   [`Workload`] is the degenerate 1-phase case.
-//! * a `fleet` CLI binary with progress reporting (see `--help`).
+//! * [`run_plan_cached`] / [`cache`] — the persistent result cache:
+//!   every trial is content-addressed by `(job key, trial seed)` in a
+//!   [`sleepy_store::Store`]; warm reruns serve hits instead of
+//!   executing and stay byte-identical to cold runs.
+//! * [`procs`] / [`run_plan_sharded_procs`] — multi-process sharding:
+//!   a plan splits into contiguous per-process trial ranges
+//!   ([`shard_bounds`]), worker processes fill per-shard stores, and
+//!   the coordinator merges the stores and replays the plan warm —
+//!   recovering aggregates byte-identical to a single-process run.
+//! * a `fleet` CLI binary with progress reporting and `worker` /
+//!   `merge` / `gc` subcommands (see `--help`).
 //!
 //! The experiment harness (`sleepy-harness`) expresses all its trial
 //! loops as plans submitted here; [`deterministic_map`] is the shared
@@ -39,9 +49,12 @@
 #![warn(missing_docs)]
 
 pub mod agg;
+pub mod cache;
 mod error;
 mod measure;
+pub mod planio;
 pub mod pool;
+pub mod procs;
 pub mod run;
 pub mod seed;
 pub mod sink;
@@ -49,16 +62,19 @@ mod spec;
 mod workload;
 
 pub use agg::{DynamicJobAggregate, JobAggregate, MetricAggregate, MetricStats};
+pub use cache::CacheStats;
 pub use error::FleetError;
 pub use measure::{
     measure_dynamic, measure_once, AlgoKind, ComplexityReport, DynamicReport, Execution,
     PhaseReport, RepairStrategy, ALL_ALGOS, SLEEPING_ALGOS,
 };
+pub use planio::{plan_from_json, plan_to_json};
 pub use pool::deterministic_map;
+pub use procs::{run_plan_sharded_procs, ProcsConfig};
 pub use run::{
-    run_dynamic_plan, run_dynamic_plan_with_sinks, run_plan, run_plan_with_sinks,
-    DynamicFleetOutput, DynamicFleetReport, DynamicJobReport, FleetConfig, FleetOutput,
-    FleetReport, PhaseJobReport,
+    run_dynamic_plan, run_dynamic_plan_with_sinks, run_plan, run_plan_cached, run_plan_shard,
+    run_plan_with_sinks, shard_bounds, DynamicFleetOutput, DynamicFleetReport, DynamicJobReport,
+    FleetConfig, FleetOutput, FleetReport, PhaseJobReport, STORE_FLUSH_BATCH,
 };
 pub use seed::{splitmix64, SeedStream};
 pub use spec::{DynamicJobSpec, DynamicPlan, JobSpec, TrialPlan};

@@ -1,0 +1,212 @@
+//! Multi-process sharding: split a [`TrialPlan`] into per-process
+//! shard ranges, run each range in a separate worker process of the
+//! `fleet` binary, and merge the results.
+//!
+//! The protocol is file-based and crash-tolerant:
+//!
+//! 1. The coordinator writes the exact plan to `<dir>/plan.json`
+//!    (job order matters — trial seeds depend on job position).
+//! 2. Each worker `k` runs `fleet worker --plan plan.json --shard k/N
+//!    --store <dir>/shard-k`: it executes only the global trials in
+//!    [`shard_bounds`]`(total, k, N)` and records every result in its
+//!    own store.
+//! 3. The coordinator merges the shard stores into `<dir>/merged` and
+//!    *replays the full plan warm* against the merged store.
+//!
+//! The replay is what makes the output **byte-identical** to a
+//! single-process run: cached reports round-trip exactly and are
+//! collected in the same global trial order, so there is no
+//! merge-order floating-point question at all. It also makes the
+//! scheme self-healing — if a worker died and left holes, the replay
+//! simply executes the missing trials itself.
+
+use crate::error::FleetError;
+use crate::planio::{plan_from_json, plan_to_json};
+use crate::run::{run_plan_cached, FleetConfig, FleetOutput};
+use crate::sink::TrialSink;
+use crate::spec::TrialPlan;
+use sleepy_store::Store;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+/// How [`run_plan_sharded_procs`] launches its workers.
+#[derive(Debug, Clone)]
+pub struct ProcsConfig {
+    /// Path of the `fleet` binary to spawn workers from.
+    pub fleet_bin: PathBuf,
+    /// Number of worker processes.
+    pub procs: usize,
+    /// Worker threads per process (0 = all cores).
+    pub threads_per_proc: usize,
+}
+
+impl ProcsConfig {
+    /// A config spawning `procs` workers from `fleet_bin`, one thread
+    /// each (the usual shape: processes are the parallelism axis).
+    pub fn new(fleet_bin: impl Into<PathBuf>, procs: usize) -> Self {
+        ProcsConfig { fleet_bin: fleet_bin.into(), procs, threads_per_proc: 1 }
+    }
+}
+
+/// The shard-store directory of worker `index` under `dir`.
+pub fn shard_store_dir(dir: &Path, index: usize) -> PathBuf {
+    dir.join(format!("shard-{index}"))
+}
+
+/// The merged-store directory under `dir`.
+pub fn merged_store_dir(dir: &Path) -> PathBuf {
+    dir.join("merged")
+}
+
+/// Writes the plan file workers read, returning its path.
+///
+/// # Errors
+///
+/// Filesystem failures.
+pub fn write_plan_file(dir: &Path, plan: &TrialPlan) -> Result<PathBuf, FleetError> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("plan.json");
+    std::fs::write(&path, format!("{}\n", plan_to_json(plan)))?;
+    Ok(path)
+}
+
+/// Reads a plan file written by [`write_plan_file`] (or `--emit-plan`).
+///
+/// # Errors
+///
+/// I/O failures or a malformed plan document.
+pub fn read_plan_file(path: &Path) -> Result<TrialPlan, FleetError> {
+    plan_from_json(&std::fs::read_to_string(path)?)
+}
+
+/// Runs `plan` across [`ProcsConfig::procs`] worker processes and
+/// merges their stores, returning output byte-identical to a
+/// single-process [`run_plan`](crate::run_plan) of the same plan.
+/// Sinks receive every trial in global order during the warm replay.
+/// On return, `<dir>/merged` holds the union store (reusable as a warm
+/// cache for later runs) and the [`FleetOutput::cache`] stats show how
+/// many trials the replay found already computed.
+///
+/// # Errors
+///
+/// Worker spawn/exit failures, store failures, or any replay error.
+pub fn run_plan_sharded_procs(
+    plan: &TrialPlan,
+    config: &FleetConfig,
+    procs_config: &ProcsConfig,
+    dir: &Path,
+    sinks: &mut [&mut dyn TrialSink],
+) -> Result<FleetOutput, FleetError> {
+    if procs_config.procs == 0 {
+        return Err(FleetError::Config("need at least one worker process".into()));
+    }
+    let plan_path = write_plan_file(dir, plan)?;
+
+    let mut children = Vec::with_capacity(procs_config.procs);
+    for k in 0..procs_config.procs {
+        let child = Command::new(&procs_config.fleet_bin)
+            .arg("worker")
+            .arg("--plan")
+            .arg(&plan_path)
+            .arg("--shard")
+            .arg(format!("{k}/{}", procs_config.procs))
+            .arg("--store")
+            .arg(shard_store_dir(dir, k))
+            .arg("--threads")
+            .arg(procs_config.threads_per_proc.to_string())
+            .arg("--no-progress")
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .spawn()
+            .map_err(|e| {
+                FleetError::Config(format!(
+                    "cannot spawn worker {k} from {}: {e}",
+                    procs_config.fleet_bin.display()
+                ))
+            })?;
+        children.push((k, child));
+    }
+    for (k, mut child) in children {
+        let status = child
+            .wait()
+            .map_err(|e| FleetError::Config(format!("waiting for worker {k} failed: {e}")))?;
+        if !status.success() {
+            return Err(FleetError::Config(format!("worker {k} exited with {status}")));
+        }
+    }
+
+    let mut merged = Store::open(merged_store_dir(dir))?;
+    for k in 0..procs_config.procs {
+        let shard = Store::open(shard_store_dir(dir, k))?;
+        merged.merge_from(&shard)?;
+    }
+    run_plan_cached(plan, config, sinks, Some(&mut merged), true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::{AlgoKind, Execution};
+    use crate::run::shard_bounds;
+    use sleepy_graph::GraphFamily;
+
+    #[test]
+    fn shard_bounds_partition_exactly() {
+        for total in [0usize, 1, 7, 100, 101] {
+            for count in [1usize, 2, 3, 8] {
+                let mut covered = 0;
+                for k in 0..count {
+                    let (lo, hi) = shard_bounds(total, k, count);
+                    assert_eq!(lo, covered, "shards must be contiguous");
+                    assert!(hi >= lo);
+                    covered = hi;
+                }
+                assert_eq!(covered, total, "shards must cover everything");
+                // Balanced to within one trial.
+                let sizes: Vec<usize> = (0..count)
+                    .map(|k| {
+                        let (lo, hi) = shard_bounds(total, k, count);
+                        hi - lo
+                    })
+                    .collect();
+                let min = sizes.iter().min().unwrap();
+                let max = sizes.iter().max().unwrap();
+                assert!(max - min <= 1, "{sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_file_round_trips() {
+        let plan = TrialPlan::sweep(
+            &[GraphFamily::GnpAvgDeg(6.0), GraphFamily::Tree],
+            &[48],
+            &[AlgoKind::SleepingMis],
+            3,
+            0xBEEF,
+            Execution::Auto,
+        );
+        let dir = std::env::temp_dir().join(format!("fleet-planio-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = write_plan_file(&dir, &plan).unwrap();
+        let back = read_plan_file(&path).unwrap();
+        assert_eq!(back.base_seed, plan.base_seed);
+        assert_eq!(back.jobs.len(), plan.jobs.len());
+        for (a, b) in plan.jobs.iter().zip(&back.jobs) {
+            assert_eq!(a.key(plan.base_seed), b.key(back.base_seed));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn zero_procs_is_a_config_error() {
+        let plan = TrialPlan::new(1);
+        let cfg = FleetConfig::default();
+        let procs = ProcsConfig { fleet_bin: "fleet".into(), procs: 0, threads_per_proc: 1 };
+        let dir = std::env::temp_dir().join("fleet-procs-zero");
+        assert!(matches!(
+            run_plan_sharded_procs(&plan, &cfg, &procs, &dir, &mut []),
+            Err(FleetError::Config(_))
+        ));
+    }
+}

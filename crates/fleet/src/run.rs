@@ -2,6 +2,7 @@
 //! worker pool.
 
 use crate::agg::{DynamicJobAggregate, JobAggregate, MetricStats};
+use crate::cache::{self, CacheStats};
 use crate::error::FleetError;
 use crate::measure::{measure_dynamic, measure_once, ComplexityReport, DynamicReport};
 use crate::pool::{resolve_threads, run_shards_ordered};
@@ -9,6 +10,7 @@ use crate::seed::SeedStream;
 use crate::sink::{PhaseRecord, PhaseSink, TrialRecord, TrialSink};
 use crate::spec::{DynamicPlan, TrialPlan};
 use serde::{Deserialize, Serialize};
+use sleepy_store::Store;
 use std::time::{Duration, Instant};
 
 /// Runner configuration. Everything here affects only *how fast* a plan
@@ -49,8 +51,10 @@ impl FleetConfig {
 pub struct FleetOutput {
     /// One aggregate per plan job, in plan order.
     pub aggregates: Vec<JobAggregate>,
-    /// Total trials executed.
+    /// Total trials collected (executed + served from the cache).
     pub total_trials: u64,
+    /// Cache-hit accounting (all-executed for uncached runs).
+    pub cache: CacheStats,
     /// Wall-clock duration of the run (not part of serialized reports —
     /// those must be byte-identical across thread counts).
     pub elapsed: Duration,
@@ -135,12 +139,15 @@ impl FleetOutput {
 ///
 /// `trial_counts[j]` is job `j`'s trial count. `run_trial(job, trial,
 /// seed)` executes on worker threads; `collect(job, trial, seed,
-/// result)` runs on the calling thread in global trial order. Returns
-/// the number of trials executed.
+/// result)` runs on the calling thread in global trial order. `range`
+/// restricts execution to a half-open interval of global trial indices
+/// (a multi-process shard); `None` runs everything. Returns the number
+/// of trials executed.
 fn run_trials_sharded<R: Send>(
     trial_counts: &[usize],
     base_seed: u64,
     config: &FleetConfig,
+    range: Option<(usize, usize)>,
     progress_noun: &str,
     run_trial: impl Fn(usize, usize, u64) -> Result<R, FleetError> + Sync,
     mut collect: impl FnMut(usize, usize, u64, &R) -> Result<(), FleetError>,
@@ -173,8 +180,20 @@ fn run_trials_sharded<R: Send>(
         };
         (job, global - job_starts[job])
     };
+    let (range_lo, range_hi) = match range {
+        Some((lo, hi)) => {
+            if lo > hi || hi > total {
+                return Err(FleetError::Config(format!(
+                    "trial range {lo}..{hi} out of bounds for {total} trials"
+                )));
+            }
+            (lo, hi)
+        }
+        None => (0, total),
+    };
+    let span = range_hi - range_lo;
     let shard_size = config.shard_size;
-    let shard_count = total.div_ceil(shard_size);
+    let shard_count = span.div_ceil(shard_size);
     let threads = resolve_threads(config.threads);
     let max_in_flight = if config.max_in_flight == 0 { 2 * threads } else { config.max_in_flight };
     let mut done: u64 = 0;
@@ -185,8 +204,8 @@ fn run_trials_sharded<R: Send>(
         config.threads,
         max_in_flight,
         |shard| -> Result<Shard<R>, FleetError> {
-            let lo = shard * shard_size;
-            let hi = (lo + shard_size).min(total);
+            let lo = range_lo + shard * shard_size;
+            let hi = (lo + shard_size).min(range_hi);
             let mut trials = Vec::with_capacity(hi - lo);
             for global in lo..hi {
                 let (job_idx, trial_idx) = locate(global);
@@ -200,12 +219,12 @@ fn run_trials_sharded<R: Send>(
                 collect(*job_idx, *trial_idx, *seed, result)?;
                 done += 1;
             }
-            if config.progress && total > 0 {
-                let percent = done * 100 / total as u64;
+            if config.progress && span > 0 {
+                let percent = done * 100 / span as u64;
                 if percent != last_percent {
                     last_percent = percent;
-                    eprint!("\rfleet: {done}/{total} {progress_noun} ({percent}%)");
-                    if done == total as u64 {
+                    eprint!("\rfleet: {done}/{span} {progress_noun} ({percent}%)");
+                    if done == span as u64 {
                         eprintln!();
                     }
                 }
@@ -214,6 +233,23 @@ fn run_trials_sharded<R: Send>(
         },
     )?;
     Ok(done)
+}
+
+/// The contiguous half-open range of global trial indices process
+/// `index` of `count` executes: ranges partition `0..total` and differ
+/// in size by at most one trial.
+///
+/// # Panics
+///
+/// `count` must be at least 1 and `index` less than `count` (the
+/// fallible entry points, [`run_plan_shard`] and
+/// [`run_plan_sharded_procs`], validate this and return a
+/// [`FleetError::Config`] instead).
+///
+/// [`run_plan_sharded_procs`]: crate::procs::run_plan_sharded_procs
+pub fn shard_bounds(total: usize, index: usize, count: usize) -> (usize, usize) {
+    assert!(count > 0 && index < count, "invalid shard {index}/{count}");
+    (index * total / count, (index + 1) * total / count)
 }
 
 /// Runs a plan with no per-trial sinks.
@@ -237,38 +273,181 @@ pub fn run_plan_with_sinks(
     config: &FleetConfig,
     sinks: &mut [&mut dyn TrialSink],
 ) -> Result<FleetOutput, FleetError> {
+    run_plan_cached(plan, config, sinks, None, true)
+}
+
+/// Runs a plan against an optional result store: trials whose key is
+/// already stored are served from it (when `read_cache` is true)
+/// instead of executing, and freshly executed results are appended
+/// back to the store in batches of [`STORE_FLUSH_BATCH`] (each batch
+/// one atomically-published segment), so an interrupted run loses at
+/// most one batch of computed work. Output is byte-identical to an
+/// uncached run of the same plan — cached reports round-trip exactly
+/// and are collected in the same global trial order.
+///
+/// Pass `read_cache = false` to force re-execution while still
+/// recording results (the CLI's `--no-cache`).
+///
+/// # Errors
+///
+/// The error of the smallest-index failing trial, the first sink
+/// error, or a store write failure.
+pub fn run_plan_cached(
+    plan: &TrialPlan,
+    config: &FleetConfig,
+    sinks: &mut [&mut dyn TrialSink],
+    store: Option<&mut Store>,
+    read_cache: bool,
+) -> Result<FleetOutput, FleetError> {
+    run_plan_inner(plan, config, sinks, store, read_cache, None)
+}
+
+/// Runs one multi-process shard of a plan: only global trials in
+/// [`shard_bounds`]`(total, index, count)` execute, with results
+/// recorded to (and read from) the shard's store. Aggregates and sink
+/// records cover only the shard's range — the coordinator merges shard
+/// stores and replays the full plan warm to recover the canonical
+/// aggregates (see [`run_plan_sharded_procs`]).
+///
+/// # Errors
+///
+/// As [`run_plan_cached`], plus a config error for an invalid shard.
+///
+/// [`run_plan_sharded_procs`]: crate::procs::run_plan_sharded_procs
+pub fn run_plan_shard(
+    plan: &TrialPlan,
+    config: &FleetConfig,
+    sinks: &mut [&mut dyn TrialSink],
+    store: Option<&mut Store>,
+    index: usize,
+    count: usize,
+) -> Result<FleetOutput, FleetError> {
+    if count == 0 || index >= count {
+        return Err(FleetError::Config(format!("invalid shard {index}/{count}")));
+    }
+    run_plan_inner(plan, config, sinks, store, true, Some((index, count)))
+}
+
+/// Job deduplication for a run: duplicate jobs (same content key)
+/// execute once — on their first occurrence, with that position's
+/// seeds — and every finished trial fans out to the aggregates and
+/// sinks of all group members that cover its index. Plans without
+/// duplicates are completely unaffected.
+struct DedupPlan {
+    /// `members[rep]` lists the group (rep first, plan order) for
+    /// representative jobs, and is empty for duplicate jobs.
+    members: Vec<Vec<usize>>,
+    /// Trials the representative executes: the group's maximum.
+    exec_counts: Vec<usize>,
+}
+
+impl DedupPlan {
+    fn of(plan: &TrialPlan, job_keys: &[String]) -> Self {
+        let n_jobs = plan.jobs.len();
+        let mut first: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); n_jobs];
+        for (j, key) in job_keys.iter().enumerate() {
+            let rep = *first.entry(key.as_str()).or_insert(j);
+            members[rep].push(j);
+        }
+        let exec_counts = (0..n_jobs)
+            .map(|j| members[j].iter().map(|&m| plan.jobs[m].trials).max().unwrap_or(0))
+            .collect();
+        DedupPlan { members, exec_counts }
+    }
+}
+
+/// Freshly executed results buffered before being flushed to the store
+/// as one atomically-published segment. Bounds how much computed work
+/// an interrupted cold run can lose.
+pub const STORE_FLUSH_BATCH: usize = 1024;
+
+fn run_plan_inner(
+    plan: &TrialPlan,
+    config: &FleetConfig,
+    sinks: &mut [&mut dyn TrialSink],
+    store: Option<&mut Store>,
+    read_cache: bool,
+    shard: Option<(usize, usize)>,
+) -> Result<FleetOutput, FleetError> {
     let start = Instant::now();
-    let counts: Vec<usize> = plan.jobs.iter().map(|j| j.trials).collect();
+    let job_keys: Vec<String> = plan.jobs.iter().map(|j| j.key(plan.base_seed)).collect();
+    let dedup = DedupPlan::of(plan, &job_keys);
+    let total_exec: usize = dedup.exec_counts.iter().sum();
+    let range = shard.map(|(index, count)| shard_bounds(total_exec, index, count));
+
     let mut aggregates: Vec<JobAggregate> = plan.jobs.iter().map(|_| JobAggregate::new()).collect();
+    let mut stats = CacheStats::default();
+    let mut pending: Vec<(String, serde::Value)> = Vec::new();
+    // Workers take shared read locks for lookups; the in-order
+    // collector takes the write lock to flush finished batches mid-run.
+    let store_cell: Option<std::sync::RwLock<&mut Store>> = store.map(std::sync::RwLock::new);
     let done = run_trials_sharded(
-        &counts,
+        &dedup.exec_counts,
         plan.base_seed,
         config,
+        range,
         "trials",
         |job_idx, _trial_idx, seed| {
             let job = &plan.jobs[job_idx];
+            if read_cache {
+                if let Some(cell) = &store_cell {
+                    let guard = cell.read().expect("store lock poisoned");
+                    if let Some(cached) = guard
+                        .get(&cache::trial_key(&job_keys[job_idx], seed))
+                        .and_then(cache::report_from_value)
+                    {
+                        return Ok((cached, true));
+                    }
+                }
+            }
             let graph = job.workload.instance(seed)?;
-            measure_once(&graph, job.algo, seed, job.execution)
+            Ok((measure_once(&graph, job.algo, seed, job.execution)?, false))
         },
-        |job_idx, trial_idx, seed, report: &ComplexityReport| {
-            aggregates[job_idx].push(report);
-            for sink in sinks.iter_mut() {
-                sink.record(&TrialRecord {
-                    job_index: job_idx,
-                    job: &plan.jobs[job_idx],
-                    trial: trial_idx,
-                    seed,
-                    report,
-                })?;
+        |job_idx, trial_idx, seed, (report, hit): &(ComplexityReport, bool)| {
+            if *hit {
+                stats.hits += 1;
+            } else {
+                stats.executed += 1;
+                if let Some(cell) = &store_cell {
+                    pending.push((
+                        cache::trial_key(&job_keys[job_idx], seed),
+                        cache::report_to_value(report),
+                    ));
+                    if pending.len() >= STORE_FLUSH_BATCH {
+                        let chunk = std::mem::take(&mut pending);
+                        let mut guard = cell.write().expect("store lock poisoned");
+                        stats.stored += guard.append(chunk)?;
+                    }
+                }
+            }
+            for &member in &dedup.members[job_idx] {
+                if trial_idx >= plan.jobs[member].trials {
+                    continue;
+                }
+                aggregates[member].push(report);
+                for sink in sinks.iter_mut() {
+                    sink.record(&TrialRecord {
+                        job_index: member,
+                        job: &plan.jobs[member],
+                        trial: trial_idx,
+                        seed,
+                        report,
+                    })?;
+                }
             }
             Ok(())
         },
     )?;
 
+    if let Some(cell) = store_cell {
+        let store = cell.into_inner().expect("store lock poisoned");
+        stats.stored += store.append(pending)?;
+    }
     for sink in sinks.iter_mut() {
         sink.finish()?;
     }
-    Ok(FleetOutput { aggregates, total_trials: done, elapsed: start.elapsed() })
+    Ok(FleetOutput { aggregates, total_trials: done, cache: stats, elapsed: start.elapsed() })
 }
 
 /// The in-memory result of a dynamic fleet run.
@@ -406,6 +585,7 @@ pub fn run_dynamic_plan_with_sinks(
         &counts,
         plan.base_seed,
         config,
+        None,
         "dynamic trials",
         |job_idx, _trial_idx, seed| {
             let job = &plan.jobs[job_idx];

@@ -1,0 +1,98 @@
+//! Multi-process sharding end-to-end: real worker processes of the
+//! `fleet` binary fill per-shard stores, the coordinator merges them
+//! and replays — and the result is byte-identical to a single-process
+//! run of the same plan.
+
+use sleepy_fleet::sink::JsonlSink;
+use sleepy_fleet::{
+    run_plan_sharded_procs, run_plan_with_sinks, AlgoKind, Execution, FleetConfig, ProcsConfig,
+    TrialPlan,
+};
+use sleepy_graph::GraphFamily;
+use sleepy_store::Store;
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "fleet-procs-test-{tag}-{}-{:?}",
+        std::process::id(),
+        std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().subsec_nanos()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn four_worker_processes_match_single_process_bytes() {
+    let plan = TrialPlan::sweep(
+        &[GraphFamily::GnpAvgDeg(6.0), GraphFamily::Tree],
+        &[64],
+        &[AlgoKind::SleepingMis, AlgoKind::FastSleepingMis],
+        5,
+        0x51EE9,
+        Execution::Auto,
+    );
+    let cfg = FleetConfig::with_threads(1);
+    let total = plan.total_trials();
+
+    let mut single_sink = JsonlSink::new(Vec::new());
+    let single = run_plan_with_sinks(&plan, &cfg, &mut [&mut single_sink]).unwrap();
+
+    let dir = tmp_dir("e2e");
+    let procs = ProcsConfig::new(env!("CARGO_BIN_EXE_fleet"), 4);
+    let mut sharded_sink = JsonlSink::new(Vec::new());
+    let sharded =
+        run_plan_sharded_procs(&plan, &cfg, &procs, &dir, &mut [&mut sharded_sink]).unwrap();
+
+    // The replay found every trial pre-computed by the workers...
+    assert_eq!(sharded.cache.hits, total, "workers must have covered the whole plan");
+    assert_eq!(sharded.cache.executed, 0);
+    // ...and reproduced the single-process output byte for byte.
+    let render =
+        |out: &sleepy_fleet::FleetOutput| serde_json::to_string_pretty(&out.report(&plan)).unwrap();
+    assert_eq!(render(&single), render(&sharded));
+    assert_eq!(
+        String::from_utf8(single_sink.into_inner()).unwrap(),
+        String::from_utf8(sharded_sink.into_inner()).unwrap()
+    );
+
+    // The merged store is left behind as a warm cache.
+    let merged = Store::open(dir.join("merged")).unwrap();
+    assert_eq!(merged.len() as u64, total);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn coordinator_heals_a_missing_shard() {
+    // Run only 2 of 3 shards by hand, then merge-and-replay: the
+    // replay executes the hole itself and output is still identical.
+    let plan = TrialPlan::sweep(
+        &[GraphFamily::Cycle],
+        &[48],
+        &[AlgoKind::SleepingMis],
+        6,
+        0xD00D,
+        Execution::Auto,
+    );
+    let cfg = FleetConfig::with_threads(1);
+    let single = run_plan_with_sinks(&plan, &cfg, &mut []).unwrap();
+
+    let dir = tmp_dir("heal");
+    for k in [0usize, 2] {
+        let mut store = Store::open(dir.join(format!("shard-{k}"))).unwrap();
+        sleepy_fleet::run_plan_shard(&plan, &cfg, &mut [], Some(&mut store), k, 3).unwrap();
+    }
+    let mut merged = Store::open(dir.join("merged")).unwrap();
+    for k in [0usize, 2] {
+        merged.merge_from(&Store::open(dir.join(format!("shard-{k}"))).unwrap()).unwrap();
+    }
+    let healed =
+        sleepy_fleet::run_plan_cached(&plan, &cfg, &mut [], Some(&mut merged), true).unwrap();
+    assert!(healed.cache.executed > 0, "the missing shard's trials must re-execute");
+    assert!(healed.cache.hits > 0, "the present shards' trials must be served");
+    assert_eq!(healed.cache.hits + healed.cache.executed, plan.total_trials());
+    let render =
+        |out: &sleepy_fleet::FleetOutput| serde_json::to_string_pretty(&out.report(&plan)).unwrap();
+    assert_eq!(render(&single), render(&healed));
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -15,12 +15,14 @@
 
 mod fit;
 mod phases;
+mod sketch;
 mod streaming;
 mod summary;
 mod table;
 
 pub use fit::{fit_log_power, fit_power, linear_regression, GrowthFit, LinearFit};
 pub use phases::PhaseSeries;
+pub use sketch::{QuantileSketch, DEFAULT_SKETCH_K};
 pub use streaming::StreamingMoments;
 pub use summary::Summary;
 pub use table::TextTable;

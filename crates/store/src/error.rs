@@ -1,0 +1,36 @@
+//! Store error type.
+
+use std::error::Error;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Any failure opening or writing a store. Corrupt *segments* are not
+/// errors — they are quarantined on open and reported via
+/// [`StoreStats`](crate::StoreStats) — but unusable directories and
+/// failed writes are.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// Filesystem operation failed, with the path it failed on.
+    Io(PathBuf, std::io::Error),
+    /// The store was asked to do something invalid.
+    Config(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(path, e) => write!(f, "store I/O failed on {}: {e}", path.display()),
+            StoreError::Config(msg) => write!(f, "invalid store operation: {msg}"),
+        }
+    }
+}
+
+impl Error for StoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StoreError::Io(_, e) => Some(e),
+            StoreError::Config(_) => None,
+        }
+    }
+}

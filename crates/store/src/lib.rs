@@ -1,0 +1,50 @@
+//! # sleepy-store
+//!
+//! A persistent, content-addressed result store — the "sleeping" idea
+//! applied to the runtime itself: work already done stays asleep. The
+//! fleet runtime keys every trial by a content key (algorithm ×
+//! workload × execution × seed); this crate persists the keyed results
+//! so re-running an overlapping plan only executes trials never seen
+//! before.
+//!
+//! ## Design
+//!
+//! * **Append-only JSONL segments.** Each write batch becomes one
+//!   immutable segment file (`seg-NNNNNNNN.jsonl`), one JSON object per
+//!   line carrying `key`, `stamp` (unix seconds, for TTL), `payload`
+//!   (an arbitrary JSON value), and `sum` (an FNV-1a-64 checksum of the
+//!   rest of the line). Segments are written to a temp file and
+//!   published with an atomic rename, so a crash can never leave a
+//!   half-written segment under its final name.
+//! * **Manifest.** `manifest.json` lists the live segments in order. It
+//!   is itself replaced atomically. The manifest is an accelerator, not
+//!   the source of truth: segments are self-validating, so a missing or
+//!   corrupt manifest is rebuilt from the segment files on disk, and a
+//!   segment published after a crash that lost the manifest update is
+//!   *adopted* on the next open.
+//! * **Corruption quarantine.** A segment with any unparsable or
+//!   checksum-mismatching line is renamed to `*.quarantined` on open
+//!   and none of its entries are used — corrupted data is never
+//!   silently served; the affected trials simply re-execute.
+//! * **First write wins.** Duplicate keys across segments resolve to
+//!   the earliest entry, so replays and merges are idempotent.
+//! * **TTL/GC compaction.** [`Store::gc`] drops entries stamped before
+//!   a cutoff and rewrites the survivors as a single compacted segment.
+//! * **Merge.** [`Store::merge_from`] unions another store into this
+//!   one — the coordinator step of multi-process sharding, where every
+//!   worker process fills its own store and the results are combined.
+//!
+//! The payload is an opaque [`serde::Value`]; this crate knows nothing
+//! about trials or MIS algorithms. `sleepy-fleet` layers the trial
+//! encoding and cache lookups on top.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod segment;
+mod store;
+
+pub use error::StoreError;
+pub use segment::{decode_line, encode_line, fnv1a64, Entry};
+pub use store::{GcStats, Store, StoreStats};

@@ -1,0 +1,133 @@
+//! Segment line format: one self-checking JSON object per entry.
+//!
+//! A line is `{"key":K,"stamp":S,"payload":P,"sum":H}` where `H` is the
+//! FNV-1a-64 checksum (16 lowercase hex digits) of the compact
+//! serialization of the same object *without* the `sum` field. The
+//! checksum makes every line independently verifiable, so truncation
+//! and bit-rot are detected on read rather than silently aggregated.
+
+use serde::Value;
+
+/// One stored entry: a content key, a TTL stamp, and an opaque payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// The content-address of the entry (e.g. a fleet trial key).
+    pub key: String,
+    /// Unix seconds at write time; drives TTL garbage collection.
+    pub stamp: u64,
+    /// The stored document.
+    pub payload: Value,
+}
+
+/// FNV-1a 64-bit hash — small, dependency-free, and plenty for
+/// detecting truncation and corruption (not an integrity MAC).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The compact serialization of an entry without its checksum — the
+/// exact byte string the checksum covers.
+fn body_json(entry: &Entry) -> String {
+    let body = Value::Object(vec![
+        ("key".to_string(), Value::String(entry.key.clone())),
+        ("stamp".to_string(), Value::UInt(entry.stamp)),
+        ("payload".to_string(), entry.payload.clone()),
+    ]);
+    serde_json::to_string(&body).expect("value serializes")
+}
+
+/// Encodes an entry as one JSONL line (no trailing newline).
+pub fn encode_line(entry: &Entry) -> String {
+    let body = body_json(entry);
+    let sum = fnv1a64(body.as_bytes());
+    let full = Value::Object(vec![
+        ("key".to_string(), Value::String(entry.key.clone())),
+        ("stamp".to_string(), Value::UInt(entry.stamp)),
+        ("payload".to_string(), entry.payload.clone()),
+        ("sum".to_string(), Value::String(format!("{sum:016x}"))),
+    ]);
+    serde_json::to_string(&full).expect("value serializes")
+}
+
+/// Decodes and verifies one segment line. `None` means the line is
+/// corrupt (unparsable, missing fields, or checksum mismatch) — the
+/// caller quarantines the whole segment.
+pub fn decode_line(line: &str) -> Option<Entry> {
+    let value = serde_json::from_str(line).ok()?;
+    let key = value.get("key")?.as_str()?.to_string();
+    let stamp = value.get("stamp")?.as_u64()?;
+    let payload = value.get("payload")?.clone();
+    let sum = u64::from_str_radix(value.get("sum")?.as_str()?, 16).ok()?;
+    let entry = Entry { key, stamp, payload };
+    // The payload re-serializes byte-identically to what was hashed at
+    // write time: parsing preserves number kinds (UInt/Int/Float) and
+    // object field order, and float formatting is shortest-round-trip.
+    if fnv1a64(body_json(&entry).as_bytes()) == sum {
+        Some(entry)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry() -> Entry {
+        Entry {
+            key: "SleepingMIS@gnp-avg8:4020000000000000/n=96#xAuto#s0000000000051ee9/t00ff".into(),
+            stamp: 1_753_833_600,
+            payload: serde_json::json!({
+                "node_avg_awake": 3.0517578125e-5,
+                "worst_round": 17u64,
+                "valid": true,
+                "nested": serde_json::json!([1u64, 2.5f64, "x"])
+            }),
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let e = entry();
+        let line = encode_line(&e);
+        assert!(!line.contains('\n'));
+        assert_eq!(decode_line(&line), Some(e));
+    }
+
+    #[test]
+    fn float_payloads_round_trip_bit_exactly() {
+        for bits in [0x3ff0_0000_0000_0001u64, 0x4008_0000_0000_0000, 0x3f50_624d_d2f1_a9fc] {
+            let x = f64::from_bits(bits);
+            let e = Entry { key: "k".into(), stamp: 0, payload: serde_json::json!(x) };
+            let back = decode_line(&encode_line(&e)).unwrap();
+            assert_eq!(back.payload.as_f64().unwrap().to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let line = encode_line(&entry());
+        // Flip a digit inside the payload.
+        let bad = line.replacen("17", "18", 1);
+        assert_ne!(bad, line);
+        assert_eq!(decode_line(&bad), None);
+        // Truncation.
+        assert_eq!(decode_line(&line[..line.len() - 10]), None);
+        // Garbage.
+        assert_eq!(decode_line("not json at all"), None);
+        assert_eq!(decode_line("{\"key\":\"k\"}"), None);
+    }
+
+    #[test]
+    fn checksum_is_stable() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        let e = entry();
+        assert_eq!(encode_line(&e), encode_line(&e));
+    }
+}

@@ -1,0 +1,74 @@
+//! Self-checking demo of the persistent result cache (`sleepy-store`):
+//! run the standard six-family sweep cold, rerun it warm, and assert
+//! that the warm pass executed **zero** trials (hit rate 1.0) while
+//! producing byte-identical aggregates.
+//!
+//! ```text
+//! cargo run --release --example cached_sweep
+//! ```
+
+use sleepy::fleet::{
+    run_plan_cached, standard_families, AlgoKind, Execution, FleetConfig, FleetOutput, TrialPlan,
+};
+use sleepy::store::Store;
+
+fn render(plan: &TrialPlan, out: &FleetOutput) -> String {
+    serde_json::to_string_pretty(&out.report(plan)).expect("report serializes")
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("sleepy-cached-sweep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The standard six-family suite — the shape of the paper sweeps.
+    let plan = TrialPlan::sweep(
+        &standard_families(),
+        &[128],
+        &[AlgoKind::SleepingMis, AlgoKind::FastSleepingMis],
+        10,
+        0x51EE9,
+        Execution::Auto,
+    );
+    let total = plan.total_trials();
+    let config = FleetConfig::default();
+    println!(
+        "cached sweep: {} jobs x {} families, {} trials total, store at {}",
+        plan.jobs.len(),
+        standard_families().len(),
+        total,
+        dir.display()
+    );
+
+    // Cold pass: everything executes, everything is recorded.
+    let mut store = Store::open(&dir).expect("store opens");
+    let cold = run_plan_cached(&plan, &config, &mut [], Some(&mut store), true).expect("cold run");
+    println!(
+        "cold: {} executed, {} hits, {} stored in {:.2?}",
+        cold.cache.executed, cold.cache.hits, cold.cache.stored, cold.elapsed
+    );
+    assert_eq!(cold.cache.executed, total);
+    assert_eq!(cold.cache.stored, total);
+    drop(store);
+
+    // Warm pass, from a freshly reopened store: zero executions.
+    let mut store = Store::open(&dir).expect("store reopens");
+    assert_eq!(store.len() as u64, total, "every trial persisted");
+    let warm = run_plan_cached(&plan, &config, &mut [], Some(&mut store), true).expect("warm run");
+    println!(
+        "warm: {} executed, {} hits (hit rate {:.2}) in {:.2?}",
+        warm.cache.executed,
+        warm.cache.hits,
+        warm.cache.hit_rate(),
+        warm.elapsed
+    );
+    assert_eq!(warm.cache.executed, 0, "warm rerun must execute zero trials");
+    assert_eq!(warm.cache.hit_rate(), 1.0);
+
+    // The whole point: served-from-disk results are indistinguishable.
+    assert_eq!(render(&plan, &cold), render(&plan, &warm), "aggregates must be byte-identical");
+    let speedup = cold.elapsed.as_secs_f64() / warm.elapsed.as_secs_f64().max(1e-9);
+    println!("aggregates byte-identical; warm pass ~{speedup:.0}x faster");
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+    println!("cached_sweep: OK");
+}

@@ -22,13 +22,16 @@
 //!   Ghaffari'16, on the same engine for comparable metrics.
 //! * [`verify`] — MIS checkers and lexicographically-first MIS references
 //!   (Corollary 1).
-//! * [`stats`] — summaries, mergeable streaming aggregates, growth-shape
-//!   fits, table rendering.
+//! * [`stats`] — summaries, mergeable streaming aggregates, quantile
+//!   sketches, growth-shape fits, table rendering.
+//! * [`store`] — the persistent content-addressed result store:
+//!   append-only self-checking JSONL segments, crash-safe manifests,
+//!   TTL/GC compaction, and multi-process merge.
 //! * [`fleet`] — the parallel batch-execution runtime: declarative
 //!   `JobSpec`/`TrialPlan` sweeps, SplitMix64 seed streams, a
 //!   work-stealing worker pool with deterministic (thread-count
-//!   invariant) output, JSONL/CSV/JSON result sinks, and the `fleet`
-//!   CLI.
+//!   invariant) output, JSONL/CSV/JSON result sinks, the persistent
+//!   result cache, multi-process sharding, and the `fleet` CLI.
 //! * [`harness`] — the experiments regenerating every table and figure of
 //!   the paper, running their trial loops on the fleet.
 //!
@@ -61,4 +64,5 @@ pub use sleepy_harness as harness;
 pub use sleepy_mis as mis;
 pub use sleepy_net as net;
 pub use sleepy_stats as stats;
+pub use sleepy_store as store;
 pub use sleepy_verify as verify;
