@@ -27,7 +27,7 @@ pub struct CallRecord {
     pub end: Round,
     /// |U|: number of participating nodes.
     pub participants: usize,
-    /// Nodes isolated in G[U] (joined at first isolated-node detection).
+    /// Nodes isolated in `G[U]` (joined at first isolated-node detection).
     pub isolated: usize,
     /// |L|: participants of the left recursive call.
     pub left_participants: usize,
@@ -57,7 +57,7 @@ pub struct RecursionTree {
 impl RecursionTree {
     /// Z-profile (Lemma 7): total participants per tree depth
     /// 0..=K. `z[i]` is the paper's Z_{K−i}; Lemma 7 bounds
-    /// E[z[i]] ≤ (3/4)^i·n.
+    /// `E[z[i]] ≤ (3/4)^i·n`.
     pub fn z_profile(&self) -> Vec<u64> {
         let mut z = vec![0u64; self.depth as usize + 1];
         for c in &self.calls {

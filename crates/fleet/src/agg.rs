@@ -22,7 +22,7 @@
 
 use crate::measure::{ComplexityReport, DynamicReport};
 use serde::{Deserialize, Serialize};
-use sleepy_stats::{PhaseSeries, QuantileSketch, StreamingMoments, Summary};
+use sleepy_stats::{PhaseSeries, QuantileSketch, StreamingMoments, Summary, UpdateSeries};
 
 /// A single metric's mergeable aggregate.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -219,6 +219,10 @@ pub struct DynamicJobAggregate {
     /// Whole-trial total of node-averaged awake complexity summed over
     /// phases — the per-trial "awake cost of surviving the churn".
     pub total_avg_awake: MetricAggregate,
+    /// Per-update cost accounting across every incremental update of
+    /// every trial (empty unless the job ran
+    /// [`RepairStrategy::Incremental`](crate::RepairStrategy::Incremental)).
+    pub updates: UpdateSeries,
     /// Trials whose *every* phase verified as an MIS.
     pub valid_trials: u64,
     /// Trials aggregated.
@@ -241,6 +245,9 @@ impl DynamicJobAggregate {
             self.phases[p.phase].push(&p.report);
             self.repair_scope.push(p.phase, p.repair_scope as f64);
             self.carried.push(p.phase, p.carried as f64);
+            for u in &p.updates {
+                self.updates.push(u.awake_sum, u.scope);
+            }
             total_awake += p.report.summary.node_avg_awake;
         }
         self.total_avg_awake.push(total_awake);
@@ -259,6 +266,7 @@ impl DynamicJobAggregate {
         }
         self.repair_scope.merge(&other.repair_scope);
         self.carried.merge(&other.carried);
+        self.updates.merge(&other.updates);
         self.total_avg_awake.merge(&other.total_avg_awake);
         self.valid_trials += other.valid_trials;
         self.trials += other.trials;
@@ -336,7 +344,7 @@ mod tests {
 
     #[test]
     fn dynamic_aggregate_merge_matches_sequential_push() {
-        use crate::measure::{DynamicReport, PhaseReport};
+        use crate::measure::{DynamicReport, PhaseReport, UpdateKind, UpdateRecord};
         let trial = |t: usize| DynamicReport {
             phases: (0..3)
                 .map(|phase| PhaseReport {
@@ -345,6 +353,15 @@ mod tests {
                     m: 20 + phase,
                     repair_scope: if phase == 0 { 10 } else { 2 + t % 3 },
                     carried: if phase == 0 { 0 } else { 5 },
+                    updates: if phase == 0 {
+                        Vec::new()
+                    } else {
+                        vec![UpdateRecord {
+                            kind: UpdateKind::EdgeInsert,
+                            scope: t % 3,
+                            awake_sum: (t % 3) as f64 * 1.5,
+                        }]
+                    },
                 })
                 .collect(),
         };
@@ -366,6 +383,10 @@ mod tests {
         }
         assert_eq!(merged.repair_scope.means(), whole.repair_scope.means());
         assert_eq!(merged.carried.phase(1).unwrap().mean, 5.0);
+        assert_eq!(merged.updates.count(), whole.updates.count());
+        assert_eq!(merged.updates.count(), 60, "one update per churn phase per trial");
+        assert_eq!(merged.updates.zero_scope, whole.updates.zero_scope);
+        assert!((merged.updates.amortized_awake() - whole.updates.amortized_awake()).abs() < 1e-12);
         assert!(
             (merged.total_avg_awake.moments.mean - whole.total_avg_awake.moments.mean).abs()
                 < 1e-12

@@ -13,11 +13,11 @@ use sleepy_fleet::sink::{
     PhaseJsonlSink,
 };
 use sleepy_fleet::{
-    plan_to_json, run_dynamic_plan_with_sinks, run_plan_cached, run_plan_shard, standard_families,
+    plan_to_json, run_dynamic_plan_cached, run_plan_cached, run_plan_shard, standard_families,
     AlgoKind, CacheStats, DynamicPlan, Execution, FleetConfig, FleetReport, RepairStrategy,
-    TrialPlan, ALL_ALGOS, SLEEPING_ALGOS,
+    TrialPlan, ALL_ALGOS, ALL_STRATEGIES, SLEEPING_ALGOS,
 };
-use sleepy_graph::{ChurnSpec, GraphFamily};
+use sleepy_graph::{ChurnModel, ChurnSpec, GraphFamily};
 use sleepy_stats::TextTable;
 use sleepy_store::Store;
 use std::io::BufWriter;
@@ -49,7 +49,9 @@ OPTIONS:
                       (dynamic runs: phases.jsonl, dynamic_aggregates.json;
                       cached runs: also cache_stats.json)
     --store DIR       persistent result cache: serve already-computed
-                      trials from DIR and record fresh ones into it
+                      trials from DIR and record fresh ones into it.
+                      Works for static AND --dynamic runs (records are
+                      namespaced, so one directory serves both)
     --no-cache        with --store: re-execute everything (still records)
     --emit-plan FILE  write the exact plan as JSON (for `worker`/`merge`)
     --no-progress     suppress the stderr progress line
@@ -84,7 +86,12 @@ DYNAMIC (churn) WORKLOADS:
     --node-churn F    fraction of nodes departing AND arriving per phase
                       (default 0.02)
     --arrival-degree D  attachment edges per arriving node (default 3)
-    --repair MODE     recompute | repair | both (default both)
+    --repair MODE     recompute | repair | incremental | both | all
+                      (default both = recompute+repair; incremental
+                      absorbs churn one update event at a time and
+                      reports amortized per-update awake cost)
+    --churn-model M   uniform | adversarial (default uniform); the
+                      adversary aims deletions at current MIS members
 
 Output is byte-identical for a fixed plan regardless of --threads and
 --shard-size.";
@@ -159,6 +166,7 @@ struct Args {
     edge_churn: f64,
     node_churn: f64,
     arrival_degree: usize,
+    churn_model: ChurnModel,
     strategies: Vec<RepairStrategy>,
 }
 
@@ -183,6 +191,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         edge_churn: 0.05,
         node_churn: 0.02,
         arrival_degree: 3,
+        churn_model: ChurnModel::Uniform,
         strategies: vec![RepairStrategy::Recompute, RepairStrategy::Repair],
     };
     let mut churn_flags: Vec<&str> = Vec::new();
@@ -261,8 +270,18 @@ fn parse_args() -> Result<Option<Args>, String> {
                 args.strategies = match value("--repair")?.as_str() {
                     "recompute" => vec![RepairStrategy::Recompute],
                     "repair" => vec![RepairStrategy::Repair],
+                    "incremental" => vec![RepairStrategy::Incremental],
                     "both" => vec![RepairStrategy::Recompute, RepairStrategy::Repair],
+                    "all" => ALL_STRATEGIES.to_vec(),
                     other => return Err(format!("unknown repair mode `{other}` (try --help)")),
+                };
+            }
+            "--churn-model" => {
+                churn_flags.push("--churn-model");
+                args.churn_model = match value("--churn-model")?.as_str() {
+                    "uniform" => ChurnModel::Uniform,
+                    "adversarial" => ChurnModel::Adversarial,
+                    other => return Err(format!("unknown churn model `{other}` (try --help)")),
                 };
             }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
@@ -273,9 +292,6 @@ fn parse_args() -> Result<Option<Args>, String> {
             "{} only make sense with --dynamic (did you forget it?)",
             churn_flags.join(", ")
         ));
-    }
-    if args.dynamic && (args.store.is_some() || args.no_cache) {
-        return Err("--store/--no-cache are not supported for --dynamic runs yet".to_string());
     }
     if args.no_cache && args.store.is_none() {
         return Err("--no-cache only makes sense with --store".to_string());
@@ -530,6 +546,25 @@ fn run_gc() -> ExitCode {
     }
 }
 
+/// Opens the `--store` directory (when given), logging its stats.
+fn open_store(dir: &Option<PathBuf>) -> Result<Option<Store>, sleepy_store::StoreError> {
+    let Some(dir) = dir else { return Ok(None) };
+    let store = Store::open(dir)?;
+    let stats = store.stats();
+    eprintln!(
+        "fleet: store {} open ({} entries, {} segments{})",
+        dir.display(),
+        stats.entries,
+        stats.segments,
+        if stats.quarantined > 0 {
+            format!(", {} QUARANTINED", stats.quarantined)
+        } else {
+            String::new()
+        },
+    );
+    Ok(Some(store))
+}
+
 fn run_dynamic(args: &Args) -> ExitCode {
     let churn = ChurnSpec {
         edge_delete_frac: args.edge_churn,
@@ -537,6 +572,7 @@ fn run_dynamic(args: &Args) -> ExitCode {
         node_delete_frac: args.node_churn,
         node_insert_frac: args.node_churn,
         arrival_degree: args.arrival_degree,
+        model: args.churn_model,
     };
     let plan = DynamicPlan::sweep(
         &args.families,
@@ -573,6 +609,10 @@ fn run_dynamic(args: &Args) -> ExitCode {
         progress: args.progress,
     };
 
+    let mut store = match open_store(&args.store) {
+        Ok(store) => store,
+        Err(e) => return fail(e),
+    };
     let mut jsonl = None;
     if let Some(dir) = &args.out {
         if let Err(e) = std::fs::create_dir_all(dir) {
@@ -592,13 +632,14 @@ fn run_dynamic(args: &Args) -> ExitCode {
         sinks.push(s);
     }
 
-    let out = match run_dynamic_plan_with_sinks(&plan, &config, &mut sinks) {
-        Ok(out) => out,
-        Err(e) => {
-            eprintln!("fleet: dynamic run failed: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let out =
+        match run_dynamic_plan_cached(&plan, &config, &mut sinks, store.as_mut(), !args.no_cache) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("fleet: dynamic run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
     let report = out.report(&plan);
 
     // Console summary: one row per (job, phase).
@@ -625,6 +666,20 @@ fn run_dynamic(args: &Args) -> ExitCode {
         }
     }
     println!("{}", table.render());
+    for j in &report.jobs {
+        if j.updates.count > 0 {
+            println!(
+                "{}: {} updates absorbed, amortized {:.4} awake rounds/update \
+                 (max {:.1}, mean scope {:.2}, {} free)",
+                j.label,
+                j.updates.count,
+                j.updates.awake_mean,
+                j.updates.awake_max,
+                j.updates.scope_mean,
+                j.updates.zero_scope,
+            );
+        }
+    }
     eprintln!(
         "fleet: {} dynamic trials ({} phases each) in {:.2?} ({} threads)",
         out.total_trials,
@@ -632,19 +687,38 @@ fn run_dynamic(args: &Args) -> ExitCode {
         out.elapsed,
         sleepy_fleet::pool::resolve_threads(args.threads),
     );
+    if store.is_some() {
+        eprintln!(
+            "fleet: cache {} hits / {} executed ({:.1}% hit rate), {} phase records stored",
+            out.cache.hits,
+            out.cache.executed,
+            100.0 * out.cache.hit_rate(),
+            out.cache.stored,
+        );
+    }
 
     if let Some(dir) = &args.out {
         let write_all = || -> std::io::Result<()> {
             write_dynamic_aggregate_json(
                 BufWriter::new(std::fs::File::create(dir.join("dynamic_aggregates.json"))?),
                 &report,
-            )
+            )?;
+            if store.is_some() {
+                let text =
+                    serde_json::to_string_pretty(&out.cache.to_json()).expect("stats serialize");
+                std::fs::write(dir.join("cache_stats.json"), format!("{text}\n"))?;
+            }
+            Ok(())
         };
         if let Err(e) = write_all() {
             eprintln!("fleet: writing aggregates failed: {e}");
             return ExitCode::FAILURE;
         }
-        eprintln!("fleet: wrote {}/phases.jsonl, dynamic_aggregates.json", dir.display());
+        eprintln!(
+            "fleet: wrote {}/phases.jsonl, dynamic_aggregates.json{}",
+            dir.display(),
+            if store.is_some() { ", cache_stats.json" } else { "" },
+        );
     }
     ExitCode::SUCCESS
 }
@@ -732,26 +806,9 @@ fn run_static(args: &Args) -> ExitCode {
         progress: args.progress,
     };
 
-    let mut store = match &args.store {
-        Some(dir) => match Store::open(dir) {
-            Ok(store) => {
-                let stats = store.stats();
-                eprintln!(
-                    "fleet: store {} open ({} entries, {} segments{})",
-                    dir.display(),
-                    stats.entries,
-                    stats.segments,
-                    if stats.quarantined > 0 {
-                        format!(", {} QUARANTINED", stats.quarantined)
-                    } else {
-                        String::new()
-                    },
-                );
-                Some(store)
-            }
-            Err(e) => return fail(e),
-        },
-        None => None,
+    let mut store = match open_store(&args.store) {
+        Ok(store) => store,
+        Err(e) => return fail(e),
     };
 
     let mut jsonl = None;

@@ -1,19 +1,29 @@
 //! Result-cache glue between the fleet runner and [`sleepy_store`]:
-//! trial keys, the trial-payload codec, and cache-hit accounting.
+//! trial keys, the trial- and phase-payload codecs, and cache-hit
+//! accounting.
 //!
-//! A trial is addressed by `(job content key, trial seed)` — see
+//! A static trial is addressed by `(job content key, trial seed)` — see
 //! [`JobSpec::key`] for why the *seed*, not the trial index, is the
-//! trial half of the address. The payload is the full
-//! [`ComplexityReport`], encoded field-by-field so the on-disk format
-//! is an explicit contract. Every numeric field round-trips exactly
-//! (floats are serialized in shortest-round-trip form), which is what
-//! makes a warm-cache rerun's aggregates byte-identical to the cold
-//! run's.
+//! trial half of the address. A dynamic trial stores one record **per
+//! phase**, addressed by `(dynamic job key, trial seed, phase index)`;
+//! a warm lookup only hits when *every* phase of the trial is present
+//! (phases can't resume mid-trial — membership state isn't stored).
+//!
+//! Static and dynamic records are **namespaced** (`s/` vs `d/` key
+//! prefixes) so both kinds can share one store directory — mixed
+//! stores GC, merge, and dedup without any possibility of a static
+//! trial key colliding with a dynamic phase key.
+//!
+//! Payloads are encoded field-by-field so the on-disk format is an
+//! explicit contract. Every numeric field round-trips exactly (floats
+//! are serialized in shortest-round-trip form), which is what makes a
+//! warm-cache rerun's aggregates byte-identical to the cold run's.
 
-use crate::measure::ComplexityReport;
+use crate::measure::{ComplexityReport, DynamicReport, PhaseReport, UpdateKind, UpdateRecord};
 use crate::spec::JobSpec;
 use serde::{Serialize, Value};
 use sleepy_net::ComplexitySummary;
+use sleepy_store::Store;
 
 /// Cache-hit accounting for one run. Serialized to
 /// `cache_stats.json` by the CLI — deliberately *not* part of
@@ -52,16 +62,31 @@ impl CacheStats {
     }
 }
 
-/// The store key of one trial: the job's content key plus the trial
-/// seed in fixed-width hex.
+/// Key-namespace prefix of static trial records in a store.
+pub const STATIC_NS: &str = "s/";
+
+/// Key-namespace prefix of dynamic per-phase records in a store.
+pub const DYNAMIC_NS: &str = "d/";
+
+/// The store key of one static trial: the `s/` namespace, the job's
+/// content key, and the trial seed in fixed-width hex.
 pub fn trial_key(job_key: &str, seed: u64) -> String {
-    format!("{job_key}/t{seed:016x}")
+    format!("{STATIC_NS}{job_key}/t{seed:016x}")
 }
 
 /// The store key of trial `seed` of `job` in a plan rooted at
 /// `base_seed` (convenience over [`trial_key`]).
 pub fn job_trial_key(job: &JobSpec, base_seed: u64, seed: u64) -> String {
     trial_key(&job.key(base_seed), seed)
+}
+
+/// The store key of one phase of a dynamic trial: the `d/` namespace,
+/// the dynamic job's content key ([`DynamicJobSpec::key`]), the trial
+/// seed, and the phase index.
+///
+/// [`DynamicJobSpec::key`]: crate::DynamicJobSpec::key
+pub fn dynamic_phase_key(job_key: &str, seed: u64, phase: usize) -> String {
+    format!("{DYNAMIC_NS}{job_key}/t{seed:016x}/p{phase}")
 }
 
 /// Encodes a trial report as the store payload.
@@ -95,6 +120,65 @@ pub fn report_from_value(v: &Value) -> Option<ComplexityReport> {
         },
         base_timeouts: v.get("base_timeouts")?.as_u64()? as usize,
     })
+}
+
+/// Encodes one phase of a dynamic trial as the store payload.
+pub fn phase_to_value(p: &PhaseReport) -> Value {
+    serde_json::to_value(p).expect("phase report serializes")
+}
+
+/// Decodes a store payload back into a phase report (`None` = cache
+/// miss, as [`report_from_value`]).
+pub fn phase_from_value(v: &Value) -> Option<PhaseReport> {
+    let updates_v = v.get("updates")?.as_array()?;
+    let mut updates = Vec::with_capacity(updates_v.len());
+    for u in updates_v {
+        updates.push(update_from_value(u)?);
+    }
+    Some(PhaseReport {
+        phase: v.get("phase")?.as_u64()? as usize,
+        report: report_from_value(v.get("report")?)?,
+        m: v.get("m")?.as_u64()? as usize,
+        repair_scope: v.get("repair_scope")?.as_u64()? as usize,
+        carried: v.get("carried")?.as_u64()? as usize,
+        updates,
+    })
+}
+
+fn update_from_value(v: &Value) -> Option<UpdateRecord> {
+    let kind = match v.get("kind")?.as_str()? {
+        "EdgeDelete" => UpdateKind::EdgeDelete,
+        "EdgeInsert" => UpdateKind::EdgeInsert,
+        "NodeDeparture" => UpdateKind::NodeDeparture,
+        "NodeArrival" => UpdateKind::NodeArrival,
+        _ => return None,
+    };
+    Some(UpdateRecord {
+        kind,
+        scope: v.get("scope")?.as_u64()? as usize,
+        awake_sum: v.get("awake_sum")?.as_f64()?,
+    })
+}
+
+/// Reassembles a whole dynamic trial from its per-phase store records.
+/// `None` unless **every** phase `0..phases` is present, decodes, and
+/// carries its own index — a partially stored trial is a miss (the
+/// runner re-executes it whole and re-stores all phases).
+pub fn dynamic_report_from_store(
+    store: &Store,
+    job_key: &str,
+    seed: u64,
+    phases: usize,
+) -> Option<DynamicReport> {
+    let mut out = Vec::with_capacity(phases);
+    for phase in 0..phases {
+        let p = phase_from_value(store.get(&dynamic_phase_key(job_key, seed, phase))?)?;
+        if p.phase != phase {
+            return None;
+        }
+        out.push(p);
+    }
+    Some(DynamicReport { phases: out })
 }
 
 #[cfg(test)]
@@ -136,9 +220,66 @@ mod tests {
     fn trial_keys_discriminate() {
         let job = JobSpec::new(Workload::new(GraphFamily::Cycle, 32), AlgoKind::SleepingMis, 4);
         let k = job_trial_key(&job, 7, 0xAB);
+        assert!(k.starts_with(STATIC_NS));
         assert!(k.ends_with("/t00000000000000ab"));
         assert_ne!(k, job_trial_key(&job, 7, 0xAC));
         assert_ne!(k, job_trial_key(&job, 8, 0xAB));
+    }
+
+    #[test]
+    fn static_and_dynamic_keys_are_namespaced_apart() {
+        // Regression for the shared-store collision audit: even a
+        // pathological job key that *textually embeds* a full static
+        // trial key cannot collide across namespaces, because the first
+        // path segment differs.
+        let static_key = trial_key("job", 1);
+        let dynamic_key = dynamic_phase_key("job", 1, 0);
+        assert!(static_key.starts_with(STATIC_NS));
+        assert!(dynamic_key.starts_with(DYNAMIC_NS));
+        assert_ne!(static_key, dynamic_key);
+        // Phases of one trial and trials of one job stay distinct.
+        assert_ne!(dynamic_phase_key("job", 1, 0), dynamic_phase_key("job", 1, 1));
+        assert_ne!(dynamic_phase_key("job", 1, 0), dynamic_phase_key("job", 2, 0));
+    }
+
+    #[test]
+    fn phase_report_round_trips_exactly() {
+        use crate::measure::{measure_dynamic, RepairStrategy};
+        use crate::workload::DynamicWorkload;
+        let w = DynamicWorkload::new(
+            Workload::new(GraphFamily::GnpAvgDeg(6.0), 80),
+            3,
+            sleepy_graph::ChurnSpec::edges(0.1),
+        );
+        let r = measure_dynamic(
+            &w,
+            AlgoKind::SleepingMis,
+            4,
+            Execution::Auto,
+            RepairStrategy::Incremental,
+        )
+        .unwrap();
+        for p in &r.phases {
+            // Through text, as the store does.
+            let text = serde_json::to_string(&phase_to_value(p)).unwrap();
+            let back = phase_from_value(&serde_json::from_str(&text).unwrap()).unwrap();
+            assert_eq!(back.phase, p.phase);
+            assert_eq!(back.m, p.m);
+            assert_eq!(back.repair_scope, p.repair_scope);
+            assert_eq!(back.carried, p.carried);
+            assert_eq!(back.updates.len(), p.updates.len());
+            for (a, b) in back.updates.iter().zip(&p.updates) {
+                assert_eq!(a.kind, b.kind);
+                assert_eq!(a.scope, b.scope);
+                assert_eq!(a.awake_sum.to_bits(), b.awake_sum.to_bits());
+            }
+            assert_eq!(
+                back.report.summary.node_avg_awake.to_bits(),
+                p.report.summary.node_avg_awake.to_bits()
+            );
+            assert_eq!(back.report.mis_size, p.report.mis_size);
+        }
+        assert!(phase_from_value(&serde_json::json!({"phase": 0})).is_none());
     }
 
     #[test]

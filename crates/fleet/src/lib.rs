@@ -24,14 +24,23 @@
 //! * [`DynamicWorkload`] / [`DynamicPlan`] / [`run_dynamic_plan`] — the
 //!   dynamic-workload subsystem: graphs that mutate between phases
 //!   (seeded node churn and edge flips via
-//!   [`sleepy_graph::churn_delta`]), with per-phase MIS recomputation or
-//!   restricted-neighborhood *repair* ([`RepairStrategy`]), per-phase
-//!   validity re-checking, and per-phase aggregation. A static
-//!   [`Workload`] is the degenerate 1-phase case.
-//! * [`run_plan_cached`] / [`cache`] — the persistent result cache:
-//!   every trial is content-addressed by `(job key, trial seed)` in a
-//!   [`sleepy_store::Store`]; warm reruns serve hits instead of
-//!   executing and stay byte-identical to cold runs.
+//!   [`sleepy_graph::churn_delta`], uniformly sampled or
+//!   adversarially aimed at the current MIS via
+//!   [`sleepy_graph::ChurnModel`]), with per-phase MIS recomputation,
+//!   restricted-neighborhood batched *repair*, or per-event
+//!   *incremental* repair ([`RepairStrategy`], [`IncrementalRepairer`])
+//!   that restores validity after every single update and records its
+//!   amortized per-update awake cost ([`UpdateRecord`],
+//!   [`sleepy_stats::UpdateSeries`]). Per-phase validity re-checking
+//!   and aggregation throughout; a static [`Workload`] is the
+//!   degenerate 1-phase case.
+//! * [`run_plan_cached`] / [`run_dynamic_plan_cached`] / [`cache`] —
+//!   the persistent result cache: every static trial is
+//!   content-addressed by `(job key, trial seed)` and every dynamic
+//!   trial by one record per `(job key, trial seed, phase)` in a
+//!   [`sleepy_store::Store`] (namespaced `s/` vs `d/`, so one store
+//!   serves both); warm reruns serve hits instead of executing and
+//!   stay byte-identical to cold runs.
 //! * [`procs`] / [`run_plan_sharded_procs`] — multi-process sharding:
 //!   a plan splits into contiguous per-process trial ranges
 //!   ([`shard_bounds`]), worker processes fill per-shard stores, and
@@ -44,6 +53,26 @@
 //! loops as plans submitted here; [`deterministic_map`] is the shared
 //! low-level primitive for experiments whose trial bodies don't fit the
 //! declarative form.
+//!
+//! ## Example
+//!
+//! ```
+//! use sleepy_fleet::{run_plan, AlgoKind, Execution, FleetConfig, TrialPlan};
+//! use sleepy_graph::GraphFamily;
+//!
+//! let plan = TrialPlan::sweep(
+//!     &[GraphFamily::Cycle],
+//!     &[32],
+//!     &[AlgoKind::SleepingMis],
+//!     3,          // trials per job
+//!     7,          // base seed
+//!     Execution::Auto,
+//! );
+//! let out = run_plan(&plan, &FleetConfig::with_threads(2))?;
+//! assert_eq!(out.total_trials, 3);
+//! assert_eq!(out.aggregates[0].valid_fraction(), 1.0);
+//! # Ok::<(), sleepy_fleet::FleetError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -66,15 +95,17 @@ pub use cache::CacheStats;
 pub use error::FleetError;
 pub use measure::{
     measure_dynamic, measure_once, AlgoKind, ComplexityReport, DynamicReport, Execution,
-    PhaseReport, RepairStrategy, ALL_ALGOS, SLEEPING_ALGOS,
+    IncrementalPhase, IncrementalRepairer, PhaseReport, RepairStrategy, UpdateKind, UpdateRecord,
+    ALL_ALGOS, ALL_STRATEGIES, SLEEPING_ALGOS,
 };
 pub use planio::{plan_from_json, plan_to_json};
 pub use pool::deterministic_map;
 pub use procs::{run_plan_sharded_procs, ProcsConfig};
 pub use run::{
-    run_dynamic_plan, run_dynamic_plan_with_sinks, run_plan, run_plan_cached, run_plan_shard,
-    run_plan_with_sinks, shard_bounds, DynamicFleetOutput, DynamicFleetReport, DynamicJobReport,
-    FleetConfig, FleetOutput, FleetReport, PhaseJobReport, STORE_FLUSH_BATCH,
+    run_dynamic_plan, run_dynamic_plan_cached, run_dynamic_plan_with_sinks, run_plan,
+    run_plan_cached, run_plan_shard, run_plan_with_sinks, shard_bounds, DynamicFleetOutput,
+    DynamicFleetReport, DynamicJobReport, FleetConfig, FleetOutput, FleetReport, PhaseJobReport,
+    UpdateStats, STORE_FLUSH_BATCH,
 };
 pub use seed::{splitmix64, SeedStream};
 pub use spec::{DynamicJobSpec, DynamicPlan, JobSpec, TrialPlan};

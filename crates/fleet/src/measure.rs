@@ -1,14 +1,17 @@
 //! Unified measurement of any MIS algorithm on any workload (the trial
 //! body every fleet job runs), both static and dynamic: a dynamic trial
 //! runs one phase per churn batch, either recomputing the MIS from
-//! scratch or repairing it on the restricted damaged neighborhood.
+//! scratch, repairing it on the restricted damaged neighborhood in one
+//! batched pass, or absorbing the batch *incrementally* — one update
+//! event at a time, with per-update awake-cost accounting
+//! ([`UpdateRecord`], [`IncrementalRepairer`]).
 
 use crate::error::FleetError;
 use crate::seed;
 use crate::workload::DynamicWorkload;
 use serde::{Deserialize, Serialize};
 use sleepy_baselines::{run_baseline, BaselineKind};
-use sleepy_graph::Graph;
+use sleepy_graph::{DeltaEvent, Graph, NodeId};
 use sleepy_mis::{execute_sleeping_mis, run_sleeping_mis, MisConfig};
 use sleepy_net::{ComplexitySummary, EngineConfig};
 use sleepy_verify::verify_mis;
@@ -147,6 +150,14 @@ pub enum RepairStrategy {
     /// subgraph of *undecided* nodes (not in the set and not dominated
     /// by it) — everyone else stays asleep through the whole phase.
     Repair,
+    /// Absorb the churn batch one update event at a time
+    /// ([`GraphDelta::events`](sleepy_graph::GraphDelta::events)): after
+    /// every single edge flip or node arrival/departure the MIS is made
+    /// valid again by evicting at most one conflicting member and
+    /// re-running only on the event's undecided frontier. Records one
+    /// [`UpdateRecord`] per event — the measurement granularity of
+    /// Ghaffari–Portmann-style amortized per-update awake bounds.
+    Incremental,
 }
 
 impl std::fmt::Display for RepairStrategy {
@@ -154,8 +165,66 @@ impl std::fmt::Display for RepairStrategy {
         match self {
             RepairStrategy::Recompute => f.write_str("recompute"),
             RepairStrategy::Repair => f.write_str("repair"),
+            RepairStrategy::Incremental => f.write_str("incremental"),
         }
     }
+}
+
+/// All repair strategies, in canonical sweep order.
+pub const ALL_STRATEGIES: [RepairStrategy; 3] =
+    [RepairStrategy::Recompute, RepairStrategy::Repair, RepairStrategy::Incremental];
+
+/// The kind of one absorbed update event (mirrors
+/// [`DeltaEvent`], without the ids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UpdateKind {
+    /// An edge was deleted.
+    EdgeDelete,
+    /// An edge was inserted.
+    EdgeInsert,
+    /// A node departed with its incident edges.
+    NodeDeparture,
+    /// An isolated node arrived.
+    NodeArrival,
+}
+
+impl UpdateKind {
+    /// The kind of a [`DeltaEvent`].
+    pub fn of(event: &DeltaEvent) -> Self {
+        match event {
+            DeltaEvent::RemoveEdge(..) => UpdateKind::EdgeDelete,
+            DeltaEvent::AddEdge(..) => UpdateKind::EdgeInsert,
+            DeltaEvent::RemoveNode(..) => UpdateKind::NodeDeparture,
+            DeltaEvent::AddNode => UpdateKind::NodeArrival,
+        }
+    }
+
+    /// Short stable label, identical to [`DeltaEvent::label`].
+    pub fn label(&self) -> &'static str {
+        match self {
+            UpdateKind::EdgeDelete => "edge-del",
+            UpdateKind::EdgeInsert => "edge-ins",
+            UpdateKind::NodeDeparture => "node-dep",
+            UpdateKind::NodeArrival => "node-arr",
+        }
+    }
+}
+
+impl std::fmt::Display for UpdateKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The cost of absorbing one update event in an incremental phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UpdateRecord {
+    /// What kind of mutation this update was.
+    pub kind: UpdateKind,
+    /// Nodes the algorithm re-ran on to absorb it (0 = free update).
+    pub scope: usize,
+    /// Total awake rounds spent absorbing it, summed over those nodes.
+    pub awake_sum: f64,
 }
 
 /// One phase's measurements in a dynamic trial.
@@ -171,10 +240,15 @@ pub struct PhaseReport {
     /// Edge count of the phase graph.
     pub m: usize,
     /// Nodes the algorithm actually ran on this phase (the whole graph
-    /// for phase 0 and for [`RepairStrategy::Recompute`]).
+    /// for phase 0 and for [`RepairStrategy::Recompute`]; for
+    /// [`RepairStrategy::Incremental`] the *sum* of per-update scopes).
     pub repair_scope: usize,
     /// MIS members carried over unchanged from the previous phase.
     pub carried: usize,
+    /// Per-update cost records, in absorption order — populated only by
+    /// [`RepairStrategy::Incremental`] (empty for phase 0 and for the
+    /// batched strategies).
+    pub updates: Vec<UpdateRecord>,
 }
 
 /// The full result of one dynamic trial: one report per phase.
@@ -203,6 +277,28 @@ impl DynamicReport {
 /// # Errors
 ///
 /// Propagates generation, churn-spec, and execution errors.
+///
+/// # Example
+///
+/// ```
+/// use sleepy_fleet::{
+///     measure_dynamic, AlgoKind, DynamicWorkload, Execution, RepairStrategy, Workload,
+/// };
+/// use sleepy_graph::{ChurnSpec, GraphFamily};
+///
+/// let w = DynamicWorkload::new(
+///     Workload::new(GraphFamily::Cycle, 32),
+///     3,                      // phases (phase 0 = initial full run)
+///     ChurnSpec::edges(0.2),  // 20% edge churn per phase
+/// );
+/// let r = measure_dynamic(&w, AlgoKind::SleepingMis, 1, Execution::Auto,
+///     RepairStrategy::Incremental)?;
+/// assert_eq!(r.phases.len(), 3);
+/// assert!(r.all_valid());
+/// // The incremental strategy recorded one cost entry per update event.
+/// assert!(!r.phases[1].updates.is_empty());
+/// # Ok::<(), sleepy_fleet::FleetError>(())
+/// ```
 pub fn measure_dynamic(
     workload: &DynamicWorkload,
     algo: AlgoKind,
@@ -214,32 +310,269 @@ pub fn measure_dynamic(
     let mut phases = Vec::with_capacity(workload.phases);
     let (mut in_mis, summary, timeouts) =
         run_algo(&graph, algo, seed::phase_seed(trial_seed, 0), execution)?;
-    phases.push(phase_report(0, &graph, algo, &in_mis, summary, timeouts, graph.n(), 0));
+    phases.push(phase_report(
+        0,
+        &graph,
+        algo,
+        &in_mis,
+        summary,
+        timeouts,
+        graph.n(),
+        0,
+        Vec::new(),
+    ));
 
     for phase in 1..workload.phases {
-        let outcome = workload.advance(&graph, trial_seed, phase)?;
+        // The churn batch is sampled against the *current* MIS so the
+        // adversarial model can aim; strategies then differ only in how
+        // they absorb it.
+        let delta = workload.churn_batch(&graph, trial_seed, phase, Some(&in_mis))?;
         let phase_seed = seed::phase_seed(trial_seed, phase as u64);
-        // Carry membership through the id mapping (departed members drop).
-        let mut carried_set = vec![false; outcome.graph.n()];
-        for (old, new) in outcome.old_to_new.iter().enumerate() {
-            if let Some(new) = new {
-                carried_set[*new as usize] = in_mis[old];
-            }
-        }
-        graph = outcome.graph;
-        let (set, summary, timeouts, scope, carried) = match strategy {
+        let (set, summary, timeouts, scope, carried, updates) = match strategy {
             RepairStrategy::Recompute => {
+                graph = delta.apply(&graph)?.graph;
                 let (set, summary, timeouts) = run_algo(&graph, algo, phase_seed, execution)?;
-                (set, summary, timeouts, graph.n(), 0)
+                (set, summary, timeouts, graph.n(), 0, Vec::new())
             }
             RepairStrategy::Repair => {
-                repair_phase(&graph, carried_set, algo, phase_seed, execution)?
+                let outcome = delta.apply(&graph)?;
+                // Carry membership through the id mapping (departed
+                // members drop).
+                let mut carried_set = vec![false; outcome.graph.n()];
+                for (old, new) in outcome.old_to_new.iter().enumerate() {
+                    if let Some(new) = new {
+                        carried_set[*new as usize] = in_mis[old];
+                    }
+                }
+                graph = outcome.graph;
+                let (set, summary, timeouts, scope, carried) =
+                    repair_phase(&graph, carried_set, algo, phase_seed, execution)?;
+                (set, summary, timeouts, scope, carried, Vec::new())
+            }
+            RepairStrategy::Incremental => {
+                let owned = std::mem::replace(&mut graph, empty_graph());
+                let mut repairer =
+                    IncrementalRepairer::new(owned, std::mem::take(&mut in_mis), algo, execution);
+                let mut updates = Vec::new();
+                for (k, event) in delta.events().into_iter().enumerate() {
+                    updates.push(repairer.absorb(event, seed::update_seed(phase_seed, k as u64))?);
+                }
+                let done = repairer.finish();
+                graph = done.graph;
+                (done.set, done.summary, done.base_timeouts, done.scope, done.carried, updates)
             }
         };
-        phases.push(phase_report(phase, &graph, algo, &set, summary, timeouts, scope, carried));
+        phases.push(phase_report(
+            phase, &graph, algo, &set, summary, timeouts, scope, carried, updates,
+        ));
         in_mis = set;
     }
     Ok(DynamicReport { phases })
+}
+
+/// The zero-node graph (placeholder while a phase owns the real one).
+fn empty_graph() -> Graph {
+    Graph::from_edges(0, std::iter::empty::<(NodeId, NodeId)>()).expect("empty graph is valid")
+}
+
+/// Everything one incremental phase produced, returned by
+/// [`IncrementalRepairer::finish`].
+#[derive(Debug)]
+pub struct IncrementalPhase {
+    /// The phase-end graph.
+    pub graph: Graph,
+    /// The phase-end MIS membership.
+    pub set: Vec<bool>,
+    /// The phase's complexity summary over the whole phase-end graph
+    /// (awake/round averages re-divide the per-update sums by `n`;
+    /// `worst_awake`/`worst_round` are per-update maxima).
+    pub summary: ComplexitySummary,
+    /// Algorithm 2 base-case timeouts across all updates.
+    pub base_timeouts: usize,
+    /// Sum of per-update repair scopes.
+    pub scope: usize,
+    /// Members that survived from phase start to phase end untouched.
+    pub carried: usize,
+}
+
+/// Absorbs [`DeltaEvent`]s one at a time, keeping the MIS valid after
+/// *every single update* — the incremental counterpart of the batched
+/// [`RepairStrategy::Repair`] pass.
+///
+/// Per event it: applies the mutation, carries membership through the
+/// id mapping, evicts (at most) one endpoint of a newly conflicting
+/// edge, recomputes decidedness only on the event's *frontier* — the
+/// nodes whose dominator could have changed — and re-runs the
+/// algorithm on the induced subgraph of undecided frontier nodes.
+/// Everyone else sleeps through the update, which is what makes the
+/// per-update awake cost ([`UpdateRecord`]) the Ghaffari–Portmann
+/// quantity rather than a whole-graph pass.
+#[derive(Debug)]
+pub struct IncrementalRepairer {
+    graph: Graph,
+    set: Vec<bool>,
+    carried: Vec<bool>,
+    algo: AlgoKind,
+    execution: Execution,
+    awake_sum: f64,
+    round_sum: f64,
+    worst_awake: u64,
+    worst_round: u64,
+    active_rounds: u64,
+    messages: u64,
+    dropped: u64,
+    bits: u64,
+    timeouts: usize,
+    scope_total: usize,
+}
+
+impl IncrementalRepairer {
+    /// Starts a phase from a graph and a valid MIS of it.
+    pub fn new(graph: Graph, in_mis: Vec<bool>, algo: AlgoKind, execution: Execution) -> Self {
+        let carried = in_mis.clone();
+        IncrementalRepairer {
+            graph,
+            set: in_mis,
+            carried,
+            algo,
+            execution,
+            awake_sum: 0.0,
+            round_sum: 0.0,
+            worst_awake: 0,
+            worst_round: 0,
+            active_rounds: 0,
+            messages: 0,
+            dropped: 0,
+            bits: 0,
+            timeouts: 0,
+            scope_total: 0,
+        }
+    }
+
+    /// The current graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The current membership — a valid MIS of [`graph`](Self::graph)
+    /// after every [`absorb`](Self::absorb).
+    pub fn in_mis(&self) -> &[bool] {
+        &self.set
+    }
+
+    /// Absorbs one update event, restoring MIS validity before
+    /// returning. `seed` drives the frontier re-run's coins (callers
+    /// use [`seed::update_seed`](crate::seed::update_seed)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates delta-application and execution errors.
+    pub fn absorb(&mut self, event: DeltaEvent, seed: u64) -> Result<UpdateRecord, FleetError> {
+        let kind = UpdateKind::of(&event);
+        // Nodes whose decidedness the event can change, in pre-event ids:
+        // the edge endpoints, or a departing node's neighborhood (they
+        // may lose their only dominator).
+        let candidates_old: Vec<NodeId> = match event {
+            DeltaEvent::RemoveEdge(u, v) | DeltaEvent::AddEdge(u, v) => vec![u, v],
+            DeltaEvent::RemoveNode(v) => self.graph.neighbors(v).to_vec(),
+            DeltaEvent::AddNode => Vec::new(),
+        };
+        let outcome = event.to_delta().apply(&self.graph)?;
+        let n = outcome.graph.n();
+        let mut set = vec![false; n];
+        let mut carried = vec![false; n];
+        for (old, new) in outcome.old_to_new.iter().enumerate() {
+            if let Some(new) = new {
+                set[*new as usize] = self.set[old];
+                carried[*new as usize] = self.carried[old];
+            }
+        }
+        let mut candidates: Vec<NodeId> =
+            candidates_old.iter().filter_map(|&v| outcome.old_to_new[v as usize]).collect();
+        self.graph = outcome.graph;
+        match event {
+            // The arrival is undecided by construction.
+            DeltaEvent::AddNode => candidates.push((n - 1) as NodeId),
+            // An inserted edge can join two members; evict the larger
+            // endpoint (the same lexicographic rule as the batched
+            // repair), whose neighbors may thereby lose their dominator.
+            DeltaEvent::AddEdge(u, v) if set[u as usize] && set[v as usize] => {
+                let evicted = u.max(v);
+                set[evicted as usize] = false;
+                carried[evicted as usize] = false;
+                candidates.extend_from_slice(self.graph.neighbors(evicted));
+            }
+            _ => {}
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        // Undecided frontier: candidates outside the set with no
+        // neighbor in it. (All other nodes were decided before the
+        // event and nothing about their neighborhood changed.)
+        let mut undecided = vec![false; n];
+        let mut any = false;
+        for &c in &candidates {
+            let decided =
+                set[c as usize] || self.graph.neighbors(c).iter().any(|&w| set[w as usize]);
+            if !decided {
+                undecided[c as usize] = true;
+                any = true;
+            }
+        }
+        self.set = set;
+        self.carried = carried;
+        if !any {
+            return Ok(UpdateRecord { kind, scope: 0, awake_sum: 0.0 });
+        }
+        let (sub, orig) = self.graph.induced_subgraph(&undecided);
+        let scope = sub.n();
+        let (sub_mis, summary, timeouts) = run_algo(&sub, self.algo, seed, self.execution)?;
+        for (i, &o) in orig.iter().enumerate() {
+            if sub_mis[i] {
+                self.set[o as usize] = true;
+            }
+        }
+        let awake_sum = summary.node_avg_awake * scope as f64;
+        self.awake_sum += awake_sum;
+        self.round_sum += summary.node_avg_round * scope as f64;
+        self.worst_awake = self.worst_awake.max(summary.worst_awake);
+        self.worst_round = self.worst_round.max(summary.worst_round);
+        self.active_rounds += summary.active_rounds;
+        self.messages += summary.total_messages;
+        self.dropped += summary.dropped_messages;
+        self.bits += summary.total_bits;
+        self.timeouts += timeouts;
+        self.scope_total += scope;
+        Ok(UpdateRecord { kind, scope, awake_sum })
+    }
+
+    /// Ends the phase, folding the per-update sums into one
+    /// whole-phase-graph summary (nodes that slept through every update
+    /// contribute zero awake rounds, so averages re-divide by `n`).
+    pub fn finish(self) -> IncrementalPhase {
+        let n = self.graph.n();
+        let scale = |sum: f64| if n == 0 { 0.0 } else { sum / n as f64 };
+        let summary = ComplexitySummary {
+            n,
+            node_avg_awake: scale(self.awake_sum),
+            worst_awake: self.worst_awake,
+            worst_round: self.worst_round,
+            node_avg_round: scale(self.round_sum),
+            active_rounds: self.active_rounds,
+            total_messages: self.messages,
+            dropped_messages: self.dropped,
+            total_bits: self.bits,
+        };
+        let carried = self.carried.iter().filter(|&&b| b).count();
+        IncrementalPhase {
+            graph: self.graph,
+            set: self.set,
+            summary,
+            base_timeouts: self.timeouts,
+            scope: self.scope_total,
+            carried,
+        }
+    }
 }
 
 /// The repair step of one phase: conflict eviction, then a restricted
@@ -324,6 +657,7 @@ fn phase_report(
     base_timeouts: usize,
     repair_scope: usize,
     carried: usize,
+    updates: Vec<UpdateRecord>,
 ) -> PhaseReport {
     let valid = verify_mis(graph, set).is_ok();
     PhaseReport {
@@ -339,6 +673,7 @@ fn phase_report(
         m: graph.m(),
         repair_scope,
         carried,
+        updates,
     }
 }
 
@@ -381,7 +716,7 @@ mod tests {
     }
 
     #[test]
-    fn dynamic_phases_all_valid_under_both_strategies() {
+    fn dynamic_phases_all_valid_under_every_strategy() {
         let w = DynamicWorkload::new(
             Workload::new(GraphFamily::GnpAvgDeg(6.0), 120),
             4,
@@ -391,9 +726,10 @@ mod tests {
                 node_delete_frac: 0.05,
                 node_insert_frac: 0.05,
                 arrival_degree: 3,
+                ..sleepy_graph::ChurnSpec::none()
             },
         );
-        for strategy in [RepairStrategy::Recompute, RepairStrategy::Repair] {
+        for strategy in ALL_STRATEGIES {
             let r =
                 measure_dynamic(&w, AlgoKind::SleepingMis, 9, Execution::Auto, strategy).unwrap();
             assert_eq!(r.phases.len(), 4);
@@ -401,8 +737,99 @@ mod tests {
             for p in &r.phases {
                 assert_eq!(p.report.algo, "SleepingMIS");
                 assert!(p.report.mis_size > 0);
+                if strategy == RepairStrategy::Incremental && p.phase > 0 {
+                    assert!(!p.updates.is_empty(), "churn phases absorb events");
+                    let scope_sum: usize = p.updates.iter().map(|u| u.scope).sum();
+                    assert_eq!(scope_sum, p.repair_scope);
+                    let awake_sum: f64 = p.updates.iter().map(|u| u.awake_sum).sum();
+                    assert!(
+                        (awake_sum - p.report.summary.node_avg_awake * p.report.n as f64).abs()
+                            < 1e-9
+                    );
+                } else {
+                    assert!(p.updates.is_empty());
+                }
             }
         }
+    }
+
+    #[test]
+    fn update_kind_labels_match_delta_event_labels() {
+        // The doc contract: UpdateKind::label is identical to the
+        // corresponding DeltaEvent::label. Pin it so the two string
+        // tables (fleet vs graph crate) cannot drift apart.
+        for event in [
+            DeltaEvent::RemoveEdge(0, 1),
+            DeltaEvent::AddEdge(0, 1),
+            DeltaEvent::RemoveNode(0),
+            DeltaEvent::AddNode,
+        ] {
+            assert_eq!(UpdateKind::of(&event).label(), event.label());
+            assert_eq!(UpdateKind::of(&event).to_string(), event.label());
+        }
+    }
+
+    #[test]
+    fn incremental_repairer_keeps_mis_valid_after_every_event() {
+        use sleepy_verify::verify_mis;
+        let w = Workload::new(GraphFamily::GnpAvgDeg(6.0), 150);
+        let g = w.instance(5).unwrap();
+        let (in_mis, _, _) =
+            super::run_algo(&g, AlgoKind::SleepingMis, 5, Execution::Auto).unwrap();
+        let spec = sleepy_graph::ChurnSpec {
+            edge_delete_frac: 0.15,
+            edge_insert_frac: 0.15,
+            node_delete_frac: 0.08,
+            node_insert_frac: 0.08,
+            arrival_degree: 2,
+            ..sleepy_graph::ChurnSpec::none()
+        };
+        let delta = sleepy_graph::churn_delta_with_mis(&g, &spec, 3, Some(&in_mis)).unwrap();
+        let mut rep = IncrementalRepairer::new(g, in_mis, AlgoKind::SleepingMis, Execution::Auto);
+        let mut absorbed = 0;
+        for (k, event) in delta.events().into_iter().enumerate() {
+            rep.absorb(event, seed::update_seed(77, k as u64)).unwrap();
+            assert!(verify_mis(rep.graph(), rep.in_mis()).is_ok(), "MIS invalid after event {k}");
+            absorbed += 1;
+        }
+        assert!(absorbed > 10, "the batch must decompose into many events");
+        let done = rep.finish();
+        assert!(verify_mis(&done.graph, &done.set).is_ok());
+        assert!(done.carried > 0);
+        assert!(done.scope < done.graph.n(), "incremental repair must not touch everyone");
+    }
+
+    #[test]
+    fn incremental_under_adversarial_churn_still_valid_and_costlier() {
+        let churn = sleepy_graph::ChurnSpec::edges(0.08);
+        let base = Workload::new(GraphFamily::GnpAvgDeg(6.0), 200);
+        let uniform = DynamicWorkload::new(base, 5, churn);
+        let adversarial = DynamicWorkload::new(base, 5, churn.adversarial());
+        let run = |w: &DynamicWorkload| {
+            measure_dynamic(
+                w,
+                AlgoKind::SleepingMis,
+                8,
+                Execution::Auto,
+                RepairStrategy::Incremental,
+            )
+            .unwrap()
+        };
+        let (u, a) = (run(&uniform), run(&adversarial));
+        assert!(u.all_valid() && a.all_valid());
+        // The adversary aims every deletion at the MIS, so more updates
+        // force a re-run (fewer zero-scope absorptions).
+        let busy = |r: &DynamicReport| {
+            r.phases[1..].iter().flat_map(|p| &p.updates).filter(|up| up.scope > 0).count() as f64
+                / r.phases[1..].iter().map(|p| p.updates.len()).sum::<usize>() as f64
+        };
+        assert!(
+            busy(&a) > busy(&u),
+            "adversarial churn should force more non-trivial repairs ({} vs {})",
+            busy(&a),
+            busy(&u)
+        );
+        assert_ne!(uniform.key(), adversarial.key(), "model must discriminate content keys");
     }
 
     #[test]
@@ -458,7 +885,7 @@ mod tests {
             3,
             sleepy_graph::ChurnSpec { node_delete_frac: 1.0, ..sleepy_graph::ChurnSpec::none() },
         );
-        for strategy in [RepairStrategy::Recompute, RepairStrategy::Repair] {
+        for strategy in ALL_STRATEGIES {
             let r =
                 measure_dynamic(&w, AlgoKind::SleepingMis, 1, Execution::Auto, strategy).unwrap();
             assert!(r.all_valid(), "{strategy}");

@@ -8,7 +8,7 @@
 //!    (job order matters — trial seeds depend on job position).
 //! 2. Each worker `k` runs `fleet worker --plan plan.json --shard k/N
 //!    --store <dir>/shard-k`: it executes only the global trials in
-//!    [`shard_bounds`]`(total, k, N)` and records every result in its
+//!    [`shard_bounds`](crate::shard_bounds)`(total, k, N)` and records every result in its
 //!    own store.
 //! 3. The coordinator merges the shard stores into `<dir>/merged` and
 //!    *replays the full plan warm* against the merged store.

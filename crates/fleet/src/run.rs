@@ -455,8 +455,12 @@ fn run_plan_inner(
 pub struct DynamicFleetOutput {
     /// One aggregate per plan job, in plan order.
     pub aggregates: Vec<DynamicJobAggregate>,
-    /// Total trials executed.
+    /// Total trials collected (executed + served from the cache).
     pub total_trials: u64,
+    /// Cache-hit accounting: `hits`/`executed` count whole *trials*
+    /// (a trial only hits when every one of its phases is stored),
+    /// `stored` counts per-phase records written back.
+    pub cache: CacheStats,
     /// Wall-clock duration of the run (not serialized).
     pub elapsed: Duration,
 }
@@ -480,6 +484,24 @@ pub struct PhaseJobReport {
     pub carried_mean: f64,
 }
 
+/// Per-update cost statistics inside a [`DynamicJobReport`] — the
+/// Ghaffari–Portmann-style amortized accounting. All zero for jobs
+/// that did not run
+/// [`RepairStrategy::Incremental`](crate::RepairStrategy::Incremental).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct UpdateStats {
+    /// Update events absorbed across all trials and phases.
+    pub count: u64,
+    /// Amortized awake rounds per update (mean of per-update sums).
+    pub awake_mean: f64,
+    /// The costliest single update's awake-round sum.
+    pub awake_max: f64,
+    /// Mean repair scope (nodes re-run) per update.
+    pub scope_mean: f64,
+    /// Updates absorbed without waking anyone.
+    pub zero_scope: u64,
+}
+
 /// One dynamic job's serializable aggregate report.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DynamicJobReport {
@@ -497,6 +519,8 @@ pub struct DynamicJobReport {
     pub valid_fraction: f64,
     /// Whole-trial node-averaged awake cost summed over phases.
     pub total_avg_awake: MetricStats,
+    /// Per-update awake-cost statistics (incremental strategy only).
+    pub updates: UpdateStats,
     /// Per-phase aggregates.
     pub phases: Vec<PhaseJobReport>,
 }
@@ -523,6 +547,7 @@ impl DynamicFleetOutput {
             .map(|(job, agg)| {
                 let scope_means = agg.repair_scope.means();
                 let carried_means = agg.carried.means();
+                let u = &agg.updates;
                 DynamicJobReport {
                     label: job.label(),
                     algo: job.algo.to_string(),
@@ -531,6 +556,13 @@ impl DynamicFleetOutput {
                     trials: agg.trials,
                     valid_fraction: agg.valid_fraction(),
                     total_avg_awake: agg.total_avg_awake.stats(),
+                    updates: UpdateStats {
+                        count: u.count(),
+                        awake_mean: u.amortized_awake(),
+                        awake_max: u.awake.max_or_zero(),
+                        scope_mean: if u.is_empty() { 0.0 } else { u.scope.mean },
+                        zero_scope: u.zero_scope,
+                    },
                     phases: agg
                         .phases
                         .iter()
@@ -577,10 +609,47 @@ pub fn run_dynamic_plan_with_sinks(
     config: &FleetConfig,
     sinks: &mut [&mut dyn PhaseSink],
 ) -> Result<DynamicFleetOutput, FleetError> {
+    run_dynamic_plan_cached(plan, config, sinks, None, true)
+}
+
+/// Runs a dynamic plan against an optional result store — the dynamic
+/// counterpart of [`run_plan_cached`]. Each finished trial is persisted
+/// as one record **per phase** (keyed by the dynamic job's content key,
+/// the trial seed, and the phase index, in the `d/` namespace — see
+/// [`cache::dynamic_phase_key`]); a trial is served warm only when
+/// *every* one of its phases is stored, since per-phase membership
+/// state is not persisted and a trial cannot resume mid-flight. A warm
+/// rerun therefore executes **zero** phases and reproduces
+/// `phases.jsonl` and the aggregate report byte-identically — cached
+/// phase reports round-trip exactly (shortest-round-trip floats, the
+/// same discipline as the static path) and are collected in the same
+/// global `(trial, phase)` order.
+///
+/// Static and dynamic records are namespaced apart, so one store
+/// directory can serve both kinds of plan at once.
+///
+/// # Errors
+///
+/// The error of the smallest-index failing trial, the first sink
+/// error, or a store write failure.
+pub fn run_dynamic_plan_cached(
+    plan: &DynamicPlan,
+    config: &FleetConfig,
+    sinks: &mut [&mut dyn PhaseSink],
+    store: Option<&mut Store>,
+    read_cache: bool,
+) -> Result<DynamicFleetOutput, FleetError> {
     let start = Instant::now();
+    let job_keys: Vec<String> = plan.jobs.iter().map(|j| j.key(plan.base_seed)).collect();
     let counts: Vec<usize> = plan.jobs.iter().map(|j| j.trials).collect();
     let mut aggregates: Vec<DynamicJobAggregate> =
         plan.jobs.iter().map(|_| DynamicJobAggregate::new()).collect();
+    let mut stats = CacheStats::default();
+    let mut pending: Vec<(String, serde::Value)> = Vec::new();
+    // Same locking discipline as the static runner: workers share read
+    // locks for lookups, the in-order collector flushes under the write
+    // lock.
+    let store_cell: Option<std::sync::RwLock<&mut Store>> = store.map(std::sync::RwLock::new);
     let done = run_trials_sharded(
         &counts,
         plan.base_seed,
@@ -589,9 +658,42 @@ pub fn run_dynamic_plan_with_sinks(
         "dynamic trials",
         |job_idx, _trial_idx, seed| {
             let job = &plan.jobs[job_idx];
-            measure_dynamic(&job.workload, job.algo, seed, job.execution, job.strategy)
+            if read_cache {
+                if let Some(cell) = &store_cell {
+                    let guard = cell.read().expect("store lock poisoned");
+                    if let Some(cached) = cache::dynamic_report_from_store(
+                        &guard,
+                        &job_keys[job_idx],
+                        seed,
+                        job.workload.phases,
+                    ) {
+                        return Ok((cached, true));
+                    }
+                }
+            }
+            let report =
+                measure_dynamic(&job.workload, job.algo, seed, job.execution, job.strategy)?;
+            Ok((report, false))
         },
-        |job_idx, trial_idx, seed, report: &DynamicReport| {
+        |job_idx, trial_idx, seed, (report, hit): &(DynamicReport, bool)| {
+            if *hit {
+                stats.hits += 1;
+            } else {
+                stats.executed += 1;
+                if let Some(cell) = &store_cell {
+                    for phase in &report.phases {
+                        pending.push((
+                            cache::dynamic_phase_key(&job_keys[job_idx], seed, phase.phase),
+                            cache::phase_to_value(phase),
+                        ));
+                    }
+                    if pending.len() >= STORE_FLUSH_BATCH {
+                        let chunk = std::mem::take(&mut pending);
+                        let mut guard = cell.write().expect("store lock poisoned");
+                        stats.stored += guard.append(chunk)?;
+                    }
+                }
+            }
             aggregates[job_idx].push(report);
             for phase in &report.phases {
                 for sink in sinks.iter_mut() {
@@ -608,10 +710,19 @@ pub fn run_dynamic_plan_with_sinks(
         },
     )?;
 
+    if let Some(cell) = store_cell {
+        let store = cell.into_inner().expect("store lock poisoned");
+        stats.stored += store.append(pending)?;
+    }
     for sink in sinks.iter_mut() {
         sink.finish()?;
     }
-    Ok(DynamicFleetOutput { aggregates, total_trials: done, elapsed: start.elapsed() })
+    Ok(DynamicFleetOutput {
+        aggregates,
+        total_trials: done,
+        cache: stats,
+        elapsed: start.elapsed(),
+    })
 }
 
 #[cfg(test)]
@@ -712,6 +823,7 @@ mod tests {
                 node_delete_frac: 0.04,
                 node_insert_frac: 0.04,
                 arrival_degree: 2,
+                ..sleepy_graph::ChurnSpec::none()
             },
             4,
             0xD1CE,

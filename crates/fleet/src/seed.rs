@@ -20,6 +20,7 @@ const DOMAIN_TRIAL: u64 = 0x51EE_9F1E_E700_0001;
 const DOMAIN_GRAPH: u64 = 0x51EE_9F1E_E700_0002;
 const DOMAIN_CHURN: u64 = 0x51EE_9F1E_E700_0003;
 const DOMAIN_PHASE: u64 = 0x51EE_9F1E_E700_0004;
+const DOMAIN_UPDATE: u64 = 0x51EE_9F1E_E700_0005;
 
 /// A deterministic stream of trial seeds rooted at a base seed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,9 +80,30 @@ pub fn phase_seed(trial_seed: u64, phase: u64) -> u64 {
     }
 }
 
+/// Derives the algorithm-coin seed of update event `update` inside a
+/// phase of an incremental dynamic trial. Domain-separated from the
+/// phase coins so a per-event repair sequence never reuses the seed a
+/// batched repair of the same phase would.
+pub fn update_seed(phase_seed: u64, update: u64) -> u64 {
+    splitmix64(splitmix64(phase_seed ^ DOMAIN_UPDATE).wrapping_add(update))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn update_domain_is_separated() {
+        let trial = SeedStream::new(3).seed(1);
+        let phase = phase_seed(trial, 2);
+        for k in 0..30u64 {
+            let u = update_seed(phase, k);
+            assert_ne!(u, phase);
+            assert_ne!(u, trial);
+            assert_ne!(u, update_seed(phase, k + 1));
+            assert_ne!(u, churn_seed(trial, 2));
+        }
+    }
 
     #[test]
     fn splitmix_is_bijective_on_samples() {

@@ -156,6 +156,7 @@ impl<W: Write> PhaseSink for PhaseJsonlSink<W> {
             "m": t.report.m,
             "repair_scope": t.report.repair_scope,
             "carried": t.report.carried,
+            "updates": t.report.updates.len(),
             "node_avg_awake": s.node_avg_awake,
             "worst_awake": s.worst_awake,
             "worst_round": s.worst_round,

@@ -3,7 +3,7 @@
 
 use crate::seed;
 use serde::{Deserialize, Serialize};
-use sleepy_graph::{churn_delta, ChurnSpec, DeltaOutcome, Graph, GraphError, GraphFamily};
+use sleepy_graph::{churn_delta_with_mis, ChurnSpec, DeltaOutcome, Graph, GraphError, GraphFamily};
 
 /// A named workload: a graph family at a given size.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -65,7 +65,7 @@ impl Workload {
 
 /// A workload whose instance mutates between phases: the base graph is
 /// generated as in the static case, then each subsequent phase applies
-/// one seeded churn batch ([`churn_delta`]). A `phases == 1` dynamic
+/// one seeded churn batch ([`churn_delta_with_mis`]). A `phases == 1` dynamic
 /// workload is exactly its static [`Workload`] — same graph, same
 /// measurement.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -99,9 +99,29 @@ impl DynamicWorkload {
         self.base.instance(trial_seed)
     }
 
-    /// The churn batch applied entering `phase` (≥ 1), sampled from the
-    /// domain-separated seed stream so every mutation sequence is a pure
-    /// function of `(workload, trial_seed)`.
+    /// The churn batch entering `phase` (≥ 1), sampled — but not yet
+    /// applied — from the domain-separated seed stream, so every
+    /// mutation sequence is a pure function of `(workload, trial_seed)`
+    /// plus, under the adversarial churn model, the MIS the adversary
+    /// is aiming at. Incremental repair decomposes this batch into
+    /// single events ([`GraphDelta::events`](sleepy_graph::GraphDelta::events)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates churn-spec validation failures.
+    pub fn churn_batch(
+        &self,
+        graph: &Graph,
+        trial_seed: u64,
+        phase: usize,
+        in_mis: Option<&[bool]>,
+    ) -> Result<sleepy_graph::GraphDelta, GraphError> {
+        churn_delta_with_mis(graph, &self.churn, seed::churn_seed(trial_seed, phase as u64), in_mis)
+    }
+
+    /// Samples and applies the churn batch entering `phase` (≥ 1). The
+    /// uniform-model equivalent of
+    /// [`advance_with_mis`](DynamicWorkload::advance_with_mis).
     ///
     /// # Errors
     ///
@@ -112,8 +132,24 @@ impl DynamicWorkload {
         trial_seed: u64,
         phase: usize,
     ) -> Result<DeltaOutcome, GraphError> {
-        let delta = churn_delta(graph, &self.churn, seed::churn_seed(trial_seed, phase as u64))?;
-        delta.apply(graph)
+        self.advance_with_mis(graph, trial_seed, phase, None)
+    }
+
+    /// [`advance`](DynamicWorkload::advance) with the current MIS
+    /// membership, which the adversarial churn model uses to pick its
+    /// deletion targets.
+    ///
+    /// # Errors
+    ///
+    /// Propagates churn-spec validation failures.
+    pub fn advance_with_mis(
+        &self,
+        graph: &Graph,
+        trial_seed: u64,
+        phase: usize,
+        in_mis: Option<&[bool]>,
+    ) -> Result<DeltaOutcome, GraphError> {
+        self.churn_batch(graph, trial_seed, phase, in_mis)?.apply(graph)
     }
 
     /// Stable label for reports, e.g. `gnp-avg8/n=256~4ph[e-0.05+0.05/...]`.
@@ -128,7 +164,7 @@ impl DynamicWorkload {
     /// Stable content key (see [`Workload::key`]).
     pub fn key(&self) -> String {
         format!(
-            "{}~{}ph[{:016x}:{:016x}:{:016x}:{:016x}:{}]",
+            "{}~{}ph[{:016x}:{:016x}:{:016x}:{:016x}:{}:{}]",
             self.base.key(),
             self.phases,
             self.churn.edge_delete_frac.to_bits(),
@@ -136,6 +172,7 @@ impl DynamicWorkload {
             self.churn.node_delete_frac.to_bits(),
             self.churn.node_insert_frac.to_bits(),
             self.churn.arrival_degree,
+            self.churn.model.label(),
         )
     }
 }

@@ -1,15 +1,23 @@
 //! Dynamic-graph support: deltas (edge insert/delete, node
-//! arrival/departure) and seeded churn generators.
+//! arrival/departure), single-event decomposition, and seeded churn
+//! generators.
 //!
 //! A [`GraphDelta`] is one batch of mutations applied between phases of a
 //! dynamic workload. Applying a delta produces a fresh [`Graph`] together
 //! with the old-id → new-id mapping ([`DeltaOutcome::old_to_new`]), which
 //! is what lets an MIS-repair algorithm carry per-node state (membership)
-//! across the mutation.
+//! across the mutation. [`GraphDelta::events`] decomposes a batch into
+//! single-event deltas ([`DeltaEvent`]) whose sequential application
+//! reproduces the batch exactly — the substrate for *incremental*
+//! (per-update) repair and Ghaffari–Portmann-style amortized
+//! per-update accounting.
 //!
 //! [`churn_delta`] samples a delta from a [`ChurnSpec`] with an explicit
 //! seed, so — like every generator in this crate — a whole churn
 //! *sequence* is reproducible from `(initial graph parameters, seeds)`.
+//! [`churn_delta_with_mis`] additionally takes the current MIS
+//! membership so the *adversarial* churn model ([`ChurnModel`]) can
+//! target its deletions at the nodes the solution actually depends on.
 
 use crate::error::GraphError;
 use crate::graph::{Graph, NodeId};
@@ -126,6 +134,126 @@ impl GraphDelta {
         }
         Ok(DeltaOutcome { graph: Graph::from_edges(new_n, edges)?, old_to_new })
     }
+
+    /// Decomposes the batch into single-event deltas whose *sequential*
+    /// application reproduces [`apply`](GraphDelta::apply) exactly:
+    /// same final graph, same composed id mapping.
+    ///
+    /// Event order mirrors the batch apply order — edge deletions, then
+    /// node departures in **descending id order** (a departure only
+    /// shifts ids above it, so every remaining departure id is still
+    /// valid verbatim), then arrivals, then edge insertions (which the
+    /// batch already expresses in the post-delta id space).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sleepy_graph::{generators, DeltaEvent, GraphDelta};
+    ///
+    /// let g = generators::path(4).unwrap(); // 0-1-2-3
+    /// let delta = GraphDelta {
+    ///     remove_nodes: vec![1],
+    ///     add_edges: vec![(0, 1)], // post-delta ids: 0-(2)
+    ///     ..GraphDelta::default()
+    /// };
+    /// let batch = delta.apply(&g).unwrap();
+    /// let mut stepped = g.clone();
+    /// for event in delta.events() {
+    ///     stepped = event.to_delta().apply(&stepped).unwrap().graph;
+    /// }
+    /// assert_eq!(stepped, batch.graph);
+    /// assert_eq!(delta.events().len(), 2);
+    /// assert_eq!(delta.events()[0], DeltaEvent::RemoveNode(1));
+    /// ```
+    pub fn events(&self) -> Vec<DeltaEvent> {
+        let mut events = Vec::with_capacity(
+            self.remove_edges.len()
+                + self.remove_nodes.len()
+                + self.add_nodes
+                + self.add_edges.len(),
+        );
+        events.extend(self.remove_edges.iter().map(|&(u, v)| DeltaEvent::RemoveEdge(u, v)));
+        let mut departures = self.remove_nodes.clone();
+        departures.sort_unstable_by(|a, b| b.cmp(a));
+        departures.dedup();
+        events.extend(departures.into_iter().map(DeltaEvent::RemoveNode));
+        events.extend(std::iter::repeat_n(DeltaEvent::AddNode, self.add_nodes));
+        events.extend(self.add_edges.iter().map(|&(u, v)| DeltaEvent::AddEdge(u, v)));
+        events
+    }
+}
+
+/// A single atomic graph mutation, produced by [`GraphDelta::events`].
+///
+/// Each event's node ids refer to the id space *current at the moment
+/// the event is applied* (earlier events in the same decomposition have
+/// already taken effect).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeltaEvent {
+    /// Delete one edge (either orientation; absent edges are a no-op).
+    RemoveEdge(NodeId, NodeId),
+    /// One node departs; ids above it shift down by one.
+    RemoveNode(NodeId),
+    /// One isolated node arrives with id `n` (the current node count).
+    AddNode,
+    /// Insert one edge.
+    AddEdge(NodeId, NodeId),
+}
+
+impl DeltaEvent {
+    /// The equivalent one-event [`GraphDelta`].
+    pub fn to_delta(self) -> GraphDelta {
+        match self {
+            DeltaEvent::RemoveEdge(u, v) => {
+                GraphDelta { remove_edges: vec![(u, v)], ..GraphDelta::default() }
+            }
+            DeltaEvent::RemoveNode(v) => {
+                GraphDelta { remove_nodes: vec![v], ..GraphDelta::default() }
+            }
+            DeltaEvent::AddNode => GraphDelta { add_nodes: 1, ..GraphDelta::default() },
+            DeltaEvent::AddEdge(u, v) => {
+                GraphDelta { add_edges: vec![(u, v)], ..GraphDelta::default() }
+            }
+        }
+    }
+
+    /// A short stable label (`edge-del`, `node-dep`, …) for logs and
+    /// per-update reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DeltaEvent::RemoveEdge(..) => "edge-del",
+            DeltaEvent::RemoveNode(..) => "node-dep",
+            DeltaEvent::AddNode => "node-arr",
+            DeltaEvent::AddEdge(..) => "edge-ins",
+        }
+    }
+}
+
+/// How churn *targets* are selected (intensities stay in [`ChurnSpec`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChurnModel {
+    /// Targets are drawn uniformly at random.
+    #[default]
+    Uniform,
+    /// Deletions preferentially hit the current MIS: departing nodes
+    /// are drawn from MIS members first, deleted edges from edges
+    /// incident to a member first (falling back to uniform once the
+    /// targeted pool is exhausted, so the configured intensities are
+    /// always met). This is the worst case for repair strategies —
+    /// every deletion lands where the solution actually depends on the
+    /// graph. Requires membership via [`churn_delta_with_mis`];
+    /// without it the model degrades to [`ChurnModel::Uniform`].
+    Adversarial,
+}
+
+impl ChurnModel {
+    /// Stable identifier used in labels and content keys.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ChurnModel::Uniform => "uni",
+            ChurnModel::Adversarial => "adv",
+        }
+    }
 }
 
 /// Per-phase churn intensities for [`churn_delta`].
@@ -147,6 +275,8 @@ pub struct ChurnSpec {
     /// Number of uniformly random attachment edges each arriving node
     /// brings (clamped to the available nodes).
     pub arrival_degree: usize,
+    /// How deletion targets are selected (uniform or adversarial).
+    pub model: ChurnModel,
 }
 
 impl ChurnSpec {
@@ -158,7 +288,15 @@ impl ChurnSpec {
             node_delete_frac: 0.0,
             node_insert_frac: 0.0,
             arrival_degree: 0,
+            model: ChurnModel::Uniform,
         }
+    }
+
+    /// This spec with the adversarial targeting model (builder-style).
+    #[must_use]
+    pub fn adversarial(mut self) -> Self {
+        self.model = ChurnModel::Adversarial;
+        self
     }
 
     /// Pure edge churn: delete and insert the given fraction of edges.
@@ -214,8 +352,12 @@ impl ChurnSpec {
         if self.is_none() {
             "static".to_string()
         } else {
+            let adv = match self.model {
+                ChurnModel::Uniform => "",
+                ChurnModel::Adversarial => "!adv",
+            };
             format!(
-                "e-{}+{}/v-{}+{}x{}",
+                "e-{}+{}/v-{}+{}x{}{adv}",
                 self.edge_delete_frac,
                 self.edge_insert_frac,
                 self.node_delete_frac,
@@ -239,35 +381,112 @@ impl ChurnSpec {
 /// # Errors
 ///
 /// [`GraphError::InvalidParameter`] for out-of-range churn fractions.
+///
+/// # Example
+///
+/// ```
+/// use sleepy_graph::{churn_delta, generators, ChurnSpec};
+///
+/// let g = generators::gnp(100, 0.05, 7).unwrap();
+/// let spec = ChurnSpec::edges(0.1); // delete AND insert 10% of edges
+/// let delta = churn_delta(&g, &spec, 3).unwrap();
+/// assert_eq!(delta.remove_edges.len(), g.m() / 10);
+/// // Deterministic in (g, spec, seed):
+/// assert_eq!(delta, churn_delta(&g, &spec, 3).unwrap());
+/// let mutated = delta.apply(&g).unwrap().graph;
+/// assert_eq!(mutated.n(), g.n());
+/// ```
 pub fn churn_delta(g: &Graph, spec: &ChurnSpec, seed: u64) -> Result<GraphDelta, GraphError> {
+    churn_delta_with_mis(g, spec, seed, None)
+}
+
+/// Partial Fisher–Yates: after the call, `items[..k]` is a uniform
+/// draw of `k` distinct items.
+fn partial_shuffle<T>(items: &mut [T], k: usize, rng: &mut SmallRng) {
+    let len = items.len();
+    for i in 0..k.min(len) {
+        let j = rng.gen_range(i..len);
+        items.swap(i, j);
+    }
+}
+
+/// Draws `k` distinct items, exhausting the (shuffled) `targeted` pool
+/// before falling back to the (shuffled) `rest` pool. A uniform draw
+/// passes an empty `targeted` pool, which degenerates to a plain
+/// partial Fisher–Yates over `rest`.
+fn draw_preferring<T: Copy>(
+    targeted: &mut [T],
+    rest: &mut [T],
+    k: usize,
+    rng: &mut SmallRng,
+) -> Vec<T> {
+    let from_targeted = k.min(targeted.len());
+    partial_shuffle(targeted, from_targeted, rng);
+    let from_rest = (k - from_targeted).min(rest.len());
+    partial_shuffle(rest, from_rest, rng);
+    let mut chosen = Vec::with_capacity(from_targeted + from_rest);
+    chosen.extend_from_slice(&targeted[..from_targeted]);
+    chosen.extend_from_slice(&rest[..from_rest]);
+    chosen
+}
+
+/// [`churn_delta`] with the current MIS membership, which the
+/// [`ChurnModel::Adversarial`] model needs to aim its deletions:
+/// departing nodes are drawn from current members first, deleted edges
+/// from member-incident edges first. With `in_mis == None` (or the
+/// uniform model) this is exactly [`churn_delta`]. Deterministic in
+/// `(g, spec, seed, in_mis)`.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] for out-of-range churn fractions or
+/// a membership slice whose length differs from `g.n()`.
+pub fn churn_delta_with_mis(
+    g: &Graph,
+    spec: &ChurnSpec,
+    seed: u64,
+    in_mis: Option<&[bool]>,
+) -> Result<GraphDelta, GraphError> {
     spec.validate()?;
     let n = g.n();
     let m = g.m();
-    let mut rng = SmallRng::seed_from_u64(seed);
-
-    // Departures: uniform distinct nodes via partial Fisher–Yates.
-    let departures = ((spec.node_delete_frac * n as f64).floor() as usize).min(n);
-    let mut ids: Vec<NodeId> = (0..n as NodeId).collect();
-    for i in 0..departures {
-        let j = rng.gen_range(i..n);
-        ids.swap(i, j);
+    if let Some(set) = in_mis {
+        if set.len() != n {
+            return Err(GraphError::InvalidParameter {
+                reason: format!("membership length {} != node count {n}", set.len()),
+            });
+        }
     }
-    let mut remove_nodes: Vec<NodeId> = ids[..departures].to_vec();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let adversarial = spec.model == ChurnModel::Adversarial && in_mis.is_some();
+    let member = |v: NodeId| in_mis.map(|s| s[v as usize]).unwrap_or(false);
+
+    // Departures: distinct nodes; the adversary drains MIS members first.
+    let departures = ((spec.node_delete_frac * n as f64).floor() as usize).min(n);
+    let (mut targeted_nodes, mut rest_nodes): (Vec<NodeId>, Vec<NodeId>) = if adversarial {
+        (0..n as NodeId).partition(|&v| member(v))
+    } else {
+        (Vec::new(), (0..n as NodeId).collect())
+    };
+    let mut remove_nodes =
+        draw_preferring(&mut targeted_nodes, &mut rest_nodes, departures, &mut rng);
     remove_nodes.sort_unstable();
     let mut departed = vec![false; n];
     for &v in &remove_nodes {
         departed[v as usize] = true;
     }
 
-    // Edge deletions: uniform distinct current edges (incident edges of
+    // Edge deletions: distinct current edges (incident edges of
     // departing nodes vanish anyway; sampling ignores that overlap).
+    // The adversary prefers edges a member is an endpoint of — exactly
+    // the edges whose loss can leave a neighbor undominated.
     let deletions = ((spec.edge_delete_frac * m as f64).floor() as usize).min(m);
-    let mut all_edges: Vec<(NodeId, NodeId)> = g.edges().collect();
-    for i in 0..deletions {
-        let j = rng.gen_range(i..m);
-        all_edges.swap(i, j);
-    }
-    let remove_edges: Vec<(NodeId, NodeId)> = all_edges[..deletions].to_vec();
+    let (mut targeted_edges, mut rest_edges): (Vec<_>, Vec<_>) = if adversarial {
+        g.edges().partition(|&(u, v)| member(u) || member(v))
+    } else {
+        (Vec::new(), g.edges().collect())
+    };
+    let remove_edges = draw_preferring(&mut targeted_edges, &mut rest_edges, deletions, &mut rng);
 
     // Post-delta id space: survivors (compacted) then arrivals.
     let survivors = n - departures;
@@ -452,6 +671,7 @@ mod tests {
             node_delete_frac: 0.05,
             node_insert_frac: 0.05,
             arrival_degree: 3,
+            ..ChurnSpec::none()
         };
         let a = churn_delta(&g, &spec, 7).unwrap();
         assert_eq!(a, churn_delta(&g, &spec, 7).unwrap());
@@ -495,6 +715,7 @@ mod tests {
             node_delete_frac: 0.5,
             node_insert_frac: 0.5,
             arrival_degree: 2,
+            ..ChurnSpec::none()
         };
         for n in 0..4 {
             let g = generators::empty(n).unwrap();
@@ -516,6 +737,115 @@ mod tests {
         assert!(churn_delta(&g, &bad, 0).is_err());
         let bad = ChurnSpec { node_insert_frac: -2.0, ..ChurnSpec::none() };
         assert!(churn_delta(&g, &bad, 0).is_err());
+    }
+
+    /// Applies `delta` one event at a time, composing the id mappings.
+    fn apply_stepped(g: &Graph, delta: &GraphDelta) -> (Graph, Vec<Option<NodeId>>) {
+        let mut graph = g.clone();
+        let mut mapping: Vec<Option<NodeId>> = (0..g.n() as NodeId).map(Some).collect();
+        for event in delta.events() {
+            let out = event.to_delta().apply(&graph).unwrap();
+            for slot in mapping.iter_mut() {
+                *slot = slot.and_then(|v| out.old_to_new[v as usize]);
+            }
+            graph = out.graph;
+        }
+        (graph, mapping)
+    }
+
+    #[test]
+    fn event_decomposition_reproduces_batch_apply() {
+        let g = generators::gnp(60, 0.08, 11).unwrap();
+        let spec = ChurnSpec {
+            edge_delete_frac: 0.2,
+            edge_insert_frac: 0.2,
+            node_delete_frac: 0.15,
+            node_insert_frac: 0.15,
+            arrival_degree: 2,
+            ..ChurnSpec::none()
+        };
+        for seed in 0..8 {
+            let delta = churn_delta(&g, &spec, seed).unwrap();
+            let batch = delta.apply(&g).unwrap();
+            let (stepped, mapping) = apply_stepped(&g, &delta);
+            assert_eq!(stepped, batch.graph, "seed {seed}");
+            assert_eq!(mapping, batch.old_to_new, "seed {seed}");
+            assert_eq!(
+                delta.events().len(),
+                delta.remove_edges.len()
+                    + delta.remove_nodes.len()
+                    + delta.add_nodes
+                    + delta.add_edges.len()
+            );
+        }
+    }
+
+    #[test]
+    fn event_labels_and_deltas() {
+        assert_eq!(DeltaEvent::RemoveEdge(0, 1).label(), "edge-del");
+        assert_eq!(DeltaEvent::RemoveNode(0).label(), "node-dep");
+        assert_eq!(DeltaEvent::AddNode.label(), "node-arr");
+        assert_eq!(DeltaEvent::AddEdge(0, 1).label(), "edge-ins");
+        assert_eq!(DeltaEvent::AddNode.to_delta().add_nodes, 1);
+        assert!(DeltaEvent::RemoveNode(3).to_delta().remove_nodes == vec![3]);
+    }
+
+    #[test]
+    fn adversarial_churn_targets_mis_members() {
+        let g = generators::gnp(100, 0.06, 3).unwrap();
+        // A deterministic greedy MIS to aim at.
+        let mut in_mis = vec![false; g.n()];
+        for v in 0..g.n() {
+            if !g.neighbors(v as NodeId).iter().any(|&w| in_mis[w as usize]) {
+                in_mis[v] = true;
+            }
+        }
+        let members = in_mis.iter().filter(|&&b| b).count();
+        let spec = ChurnSpec { node_delete_frac: 0.1, edge_delete_frac: 0.3, ..ChurnSpec::none() }
+            .adversarial();
+        let delta = churn_delta_with_mis(&g, &spec, 9, Some(&in_mis)).unwrap();
+        // 10% of 100 departures, all drawn from the member pool (which
+        // is larger than the draw on this instance).
+        assert_eq!(delta.remove_nodes.len(), 10);
+        assert!(members > 10, "test instance must have enough members");
+        assert!(delta.remove_nodes.iter().all(|&v| in_mis[v as usize]));
+        // Every deleted edge touches a member (member-incident edges
+        // outnumber the draw: every edge with a dominated endpoint is
+        // incident to some member's neighborhood — check the pool).
+        let targeted = g.edges().filter(|&(u, v)| in_mis[u as usize] || in_mis[v as usize]).count();
+        assert!(targeted >= delta.remove_edges.len());
+        assert!(delta.remove_edges.iter().all(|&(u, v)| in_mis[u as usize] || in_mis[v as usize]));
+        // Deterministic, and distinct from the uniform draw.
+        assert_eq!(delta, churn_delta_with_mis(&g, &spec, 9, Some(&in_mis)).unwrap());
+        let uniform =
+            churn_delta(&g, &ChurnSpec { model: ChurnModel::Uniform, ..spec }, 9).unwrap();
+        assert_ne!(delta, uniform);
+        // Without membership the adversarial model degrades to uniform.
+        assert_eq!(churn_delta(&g, &spec, 9).unwrap().remove_nodes.len(), 10);
+        assert!(spec.label().ends_with("!adv"));
+    }
+
+    #[test]
+    fn adversarial_draw_falls_back_once_members_exhausted() {
+        // Star: 1 member (the center) but 30% of 11 nodes = 3 departures.
+        let g = generators::star(11).unwrap();
+        let mut in_mis = vec![false; 11];
+        in_mis[0] = true;
+        let spec = ChurnSpec { node_delete_frac: 0.3, ..ChurnSpec::none() }.adversarial();
+        let delta = churn_delta_with_mis(&g, &spec, 2, Some(&in_mis)).unwrap();
+        assert_eq!(delta.remove_nodes.len(), 3, "intensity must still be met");
+        assert!(delta.remove_nodes.contains(&0), "the lone member goes first");
+    }
+
+    #[test]
+    fn mismatched_membership_is_rejected() {
+        let g = generators::path(5).unwrap();
+        let spec = ChurnSpec::edges(0.5).adversarial();
+        let short = vec![true; 3];
+        assert!(matches!(
+            churn_delta_with_mis(&g, &spec, 0, Some(&short)),
+            Err(GraphError::InvalidParameter { .. })
+        ));
     }
 
     #[test]

@@ -45,7 +45,9 @@ pub mod io;
 pub mod ops;
 
 pub use builder::GraphBuilder;
-pub use dynamic::{churn_delta, ChurnSpec, DeltaOutcome, GraphDelta};
+pub use dynamic::{
+    churn_delta, churn_delta_with_mis, ChurnModel, ChurnSpec, DeltaEvent, DeltaOutcome, GraphDelta,
+};
 pub use error::GraphError;
 pub use generators::GraphFamily;
 pub use graph::{DegreeStats, Graph, NodeId, Port};

@@ -19,9 +19,9 @@ use crate::error::HarnessError;
 use serde::{Deserialize, Serialize};
 use sleepy_fleet::{
     run_dynamic_plan, DynamicFleetReport, DynamicPlan, Execution, FleetConfig, PhaseJobReport,
-    RepairStrategy, SLEEPING_ALGOS,
+    ALL_STRATEGIES, SLEEPING_ALGOS,
 };
-use sleepy_graph::{ChurnSpec, GraphFamily};
+use sleepy_graph::{ChurnModel, ChurnSpec, GraphFamily};
 use sleepy_stats::TextTable;
 
 /// Configuration of the churn experiment.
@@ -43,6 +43,9 @@ pub struct ChurnConfig {
     pub trials: usize,
     /// Base seed.
     pub base_seed: u64,
+    /// How churn targets are drawn (uniform, or adversarially aimed at
+    /// current MIS members).
+    pub model: ChurnModel,
 }
 
 impl Default for ChurnConfig {
@@ -56,6 +59,7 @@ impl Default for ChurnConfig {
             arrival_degree: 3,
             trials: 10,
             base_seed: 0xC1124,
+            model: ChurnModel::Uniform,
         }
     }
 }
@@ -77,6 +81,7 @@ impl ChurnConfig {
             node_delete_frac: self.node_churn,
             node_insert_frac: self.node_churn,
             arrival_degree: self.arrival_degree,
+            model: self.model,
         }
     }
 }
@@ -91,7 +96,7 @@ pub fn run_churn(config: &ChurnConfig) -> Result<ChurnReport, HarnessError> {
         &config.families,
         &[config.n],
         &SLEEPING_ALGOS,
-        &[RepairStrategy::Recompute, RepairStrategy::Repair],
+        &ALL_STRATEGIES,
         config.phases,
         config.churn_spec(),
         config.trials,
@@ -166,6 +171,19 @@ impl ChurnReport {
         }
         out.push_str(&t.render());
         out.push('\n');
+        for j in &self.fleet.jobs {
+            if j.updates.count > 0 {
+                out.push_str(&format!(
+                    "{}: {} updates, amortized {:.4} awake rounds per update \
+                     (mean scope {:.2}, {} absorbed for free).\n",
+                    j.label,
+                    j.updates.count,
+                    j.updates.awake_mean,
+                    j.updates.scope_mean,
+                    j.updates.zero_scope
+                ));
+            }
+        }
         for (rec, rep) in self.strategy_pairs() {
             let full = self.churn_phase_awake(rec);
             let restricted = self.churn_phase_awake(rep);
@@ -200,11 +218,13 @@ mod tests {
             ..ChurnConfig::default()
         };
         let r = run_churn(&cfg).unwrap();
-        // 2 families x 2 algos x 2 strategies.
-        assert_eq!(r.fleet.jobs.len(), 8);
+        // 2 families x 2 algos x 3 strategies.
+        assert_eq!(r.fleet.jobs.len(), 12);
         for j in &r.fleet.jobs {
             assert_eq!(j.valid_fraction, 1.0, "{}", j.label);
             assert_eq!(j.phases.len(), 3);
+            // Only incremental jobs report per-update accounting.
+            assert_eq!(j.updates.count > 0, j.strategy == "incremental", "{}", j.label);
         }
         // Repair must be far cheaper than recompute on churn phases.
         for (rec, rep) in r.strategy_pairs() {

@@ -95,7 +95,7 @@ pub struct EnergyCell {
     pub algo: String,
     /// Node count.
     pub n: usize,
-    /// Mean per-node energy under each model, in [`models`] order.
+    /// Mean per-node energy under each model, in `models()` order.
     pub mean_energy: Vec<Summary>,
     /// Mean worst single-node energy under the paper model (the
     /// battery-lifetime bottleneck).

@@ -19,6 +19,7 @@ mod sketch;
 mod streaming;
 mod summary;
 mod table;
+mod updates;
 
 pub use fit::{fit_log_power, fit_power, linear_regression, GrowthFit, LinearFit};
 pub use phases::PhaseSeries;
@@ -26,3 +27,4 @@ pub use sketch::{QuantileSketch, DEFAULT_SKETCH_K};
 pub use streaming::StreamingMoments;
 pub use summary::Summary;
 pub use table::TextTable;
+pub use updates::UpdateSeries;

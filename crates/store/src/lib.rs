@@ -36,7 +36,30 @@
 //!
 //! The payload is an opaque [`serde::Value`]; this crate knows nothing
 //! about trials or MIS algorithms. `sleepy-fleet` layers the trial
-//! encoding and cache lookups on top.
+//! encoding and cache lookups on top (static records under `s/` keys,
+//! dynamic per-phase records under `d/` — see `docs/store_format.md`).
+//!
+//! ## Example
+//!
+//! ```
+//! use sleepy_store::Store;
+//!
+//! let dir = std::env::temp_dir().join(format!("sleepy-store-doc-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! let mut store = Store::open(&dir)?;
+//! store.append(vec![("job/t1".into(), serde_json::json!({"awake": 2.5}))])?;
+//! assert!(store.contains("job/t1"));
+//! drop(store);
+//!
+//! // Reopen from disk: entries persist; duplicate appends are no-ops
+//! // (first write wins).
+//! let mut store = Store::open(&dir)?;
+//! assert_eq!(store.append(vec![("job/t1".into(), serde_json::json!(null))])?, 0);
+//! let awake = store.get("job/t1").and_then(|v| v.get("awake")).and_then(|v| v.as_f64());
+//! assert_eq!(awake, Some(2.5));
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok::<(), sleepy_store::StoreError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,22 +1,25 @@
-//! Dynamic-workload demonstration: MIS repair under graph churn.
+//! Dynamic-workload demonstration: MIS repair under graph churn, now
+//! with per-update incremental repair, adversarial churn, and the
+//! persistent per-phase result cache.
 //!
 //! Runs a dynamic plan — graphs that suffer seeded edge flips and node
-//! churn between phases — over two graph families with both the
-//! recompute-from-scratch and the restricted-neighborhood repair
-//! strategies, asserts every phase of every trial verifies as an MIS,
-//! asserts the per-phase JSONL log is byte-identical across thread
-//! counts, and prints the per-churn-event awake-cost comparison.
+//! churn between phases — over recompute / batched-repair /
+//! incremental strategies under both churn models, asserts every phase
+//! of every trial verifies as an MIS, asserts the per-phase JSONL log
+//! is byte-identical across thread counts, demonstrates that a warm
+//! rerun against a result store executes **zero** trials while
+//! reproducing the log byte for byte, and prints the per-churn-event
+//! awake-cost comparison plus the amortized per-update accounting.
 //!
 //! ```text
 //! cargo run --release --example dynamic_churn
 //! ```
 
 use sleepy::fleet::sink::PhaseJsonlSink;
-use sleepy::fleet::{
-    run_dynamic_plan_with_sinks, AlgoKind, DynamicPlan, Execution, FleetConfig, RepairStrategy,
-};
+use sleepy::fleet::{run_dynamic_plan_cached, AlgoKind, DynamicPlan, FleetConfig, ALL_STRATEGIES};
 use sleepy::graph::{ChurnSpec, GraphFamily};
 use sleepy::stats::TextTable;
+use sleepy::store::Store;
 
 fn main() {
     let churn = ChurnSpec {
@@ -25,52 +28,85 @@ fn main() {
         node_delete_frac: 0.02,
         node_insert_frac: 0.02,
         arrival_degree: 3,
+        ..ChurnSpec::none()
     };
-    let plan = DynamicPlan::sweep(
-        &[GraphFamily::GnpAvgDeg(8.0), GraphFamily::GeometricAvgDeg(8.0)],
-        &[512],
-        &[AlgoKind::SleepingMis],
-        &[RepairStrategy::Recompute, RepairStrategy::Repair],
-        5,
-        churn,
-        10,
-        0xC4A21,
-        Execution::Auto,
-    );
+    let mut plan = DynamicPlan::new(0xC4A21);
+    // Uniform churn sweeps every strategy; adversarial churn stresses
+    // the incremental repairer where it hurts most.
+    for spec in [churn, churn.adversarial()] {
+        for strategy in ALL_STRATEGIES {
+            plan.push(sleepy::fleet::DynamicJobSpec::new(
+                sleepy::fleet::DynamicWorkload::new(
+                    sleepy::fleet::Workload::new(GraphFamily::GnpAvgDeg(8.0), 384),
+                    5,
+                    spec,
+                ),
+                AlgoKind::SleepingMis,
+                strategy,
+                8,
+            ));
+        }
+    }
     println!(
-        "dynamic churn sweep: {} jobs, {} phases per trial, {} trials total",
+        "dynamic churn sweep: {} jobs, 5 phases per trial, {} trials total",
         plan.jobs.len(),
-        5,
         plan.total_trials(),
     );
 
-    let mut reference: Option<(String, String)> = None;
-    let mut last_report = None;
+    // 1. Thread invariance of the uncached run.
+    let mut reference: Option<String> = None;
     for threads in [1usize, 2, 4] {
         let mut sink = PhaseJsonlSink::new(Vec::new());
         let cfg = FleetConfig { threads, shard_size: 2, ..FleetConfig::default() };
-        let out = run_dynamic_plan_with_sinks(&plan, &cfg, &mut [&mut sink]).expect("runs");
+        let out = run_dynamic_plan_cached(&plan, &cfg, &mut [&mut sink], None, true).expect("runs");
         assert_eq!(out.total_trials, plan.total_trials());
         let jsonl = String::from_utf8(sink.into_inner()).expect("utf8");
         assert!(
             jsonl.lines().all(|l| l.contains("\"valid\":true")),
             "some phase failed MIS validity at {threads} threads"
         );
-        let report = out.report(&plan);
-        let json = serde_json::to_string(&report).expect("serializes");
         match &reference {
-            None => reference = Some((jsonl, json)),
-            Some((ref_jsonl, ref_json)) => {
-                assert_eq!(ref_jsonl, &jsonl, "phase JSONL differs at {threads} threads");
-                assert_eq!(ref_json, &json, "aggregates differ at {threads} threads");
-            }
+            None => reference = Some(jsonl),
+            Some(r) => assert_eq!(r, &jsonl, "phase JSONL differs at {threads} threads"),
         }
-        last_report = Some(report);
     }
-    let report = last_report.expect("at least one run");
+    let reference = reference.expect("at least one run");
 
-    let mut table =
-        TextTable::new(vec!["job", "phase-0 awake", "churn-phase awake", "mean repair scope"]);
+    // 2. Cold run into a store, then a warm rerun: zero executions,
+    //    byte-identical log and aggregates.
+    let dir = std::env::temp_dir().join(format!("sleepy-dynamic-churn-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = FleetConfig::with_threads(2);
+    let mut store = Store::open(&dir).expect("store opens");
+    let cold_start = std::time::Instant::now();
+    let cold = run_dynamic_plan_cached(&plan, &cfg, &mut [], Some(&mut store), true).expect("cold");
+    let cold_elapsed = cold_start.elapsed();
+    assert_eq!(cold.cache.executed, plan.total_trials());
+    drop(store);
+
+    let mut store = Store::open(&dir).expect("store reopens");
+    let mut warm_sink = PhaseJsonlSink::new(Vec::new());
+    let warm_start = std::time::Instant::now();
+    let warm = run_dynamic_plan_cached(&plan, &cfg, &mut [&mut warm_sink], Some(&mut store), true)
+        .expect("warm");
+    let warm_elapsed = warm_start.elapsed();
+    assert_eq!(warm.cache.executed, 0, "warm rerun must execute nothing");
+    assert_eq!(warm.cache.hits, plan.total_trials());
+    let warm_jsonl = String::from_utf8(warm_sink.into_inner()).expect("utf8");
+    assert_eq!(reference, warm_jsonl, "warm rerun must reproduce the log byte-for-byte");
+    let report = warm.report(&plan);
+    let cold_json = serde_json::to_string(&cold.report(&plan)).expect("serializes");
+    assert_eq!(cold_json, serde_json::to_string(&report).expect("serializes"));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // 3. The comparison tables.
+    let mut table = TextTable::new(vec![
+        "job",
+        "phase-0 awake",
+        "churn-phase awake",
+        "mean repair scope",
+        "amortized/update",
+    ]);
     for j in &report.jobs {
         let churn_awake = j.phases[1..].iter().map(|p| p.node_avg_awake.mean).sum::<f64>()
             / (j.phases.len() - 1) as f64;
@@ -80,10 +116,22 @@ fn main() {
             j.label.clone(),
             format!("{:.3}", j.phases[0].node_avg_awake.mean),
             format!("{churn_awake:.4}"),
-            format!("{scope:.1} / 512"),
+            format!("{scope:.1} / 384"),
+            if j.updates.count > 0 {
+                format!("{:.3} awake over {} upd", j.updates.awake_mean, j.updates.count)
+            } else {
+                "-".to_string()
+            },
         ]);
     }
     println!("{}", table.render());
     println!("every phase of every trial verified as a valid MIS: YES");
-    println!("per-phase JSONL and aggregates byte-identical across 1/2/4 threads: YES");
+    println!("per-phase JSONL byte-identical across 1/2/4 threads: YES");
+    println!(
+        "warm cached rerun: 0 of {} trials executed, byte-identical outputs \
+         (cold {:.0?} -> warm {:.0?})",
+        plan.total_trials(),
+        cold_elapsed,
+        warm_elapsed,
+    );
 }

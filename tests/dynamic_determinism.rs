@@ -1,20 +1,21 @@
 //! Dynamic-plan determinism: a churn plan's per-phase JSONL log and
 //! aggregate report are byte-identical regardless of thread count and
-//! shard size, and the mutation schedule is a pure function of the seed
-//! stream.
+//! shard size — cold *and* warm through the per-phase result store —
+//! and the mutation schedule is a pure function of the seed stream.
 
 use sleepy::fleet::sink::{write_dynamic_aggregate_json, PhaseJsonlSink};
 use sleepy::fleet::{
-    run_dynamic_plan_with_sinks, AlgoKind, DynamicPlan, Execution, FleetConfig, RepairStrategy,
+    run_dynamic_plan_cached, AlgoKind, DynamicPlan, Execution, FleetConfig, ALL_STRATEGIES,
 };
-use sleepy::graph::{ChurnSpec, GraphFamily};
+use sleepy::graph::{ChurnModel, ChurnSpec, GraphFamily};
+use sleepy::store::Store;
 
 fn churn_plan() -> DynamicPlan {
     DynamicPlan::sweep(
         &[GraphFamily::GnpAvgDeg(6.0), GraphFamily::Tree],
         &[96],
         &[AlgoKind::SleepingMis, AlgoKind::FastSleepingMis],
-        &[RepairStrategy::Recompute, RepairStrategy::Repair],
+        &ALL_STRATEGIES,
         3,
         ChurnSpec {
             edge_delete_frac: 0.08,
@@ -22,6 +23,7 @@ fn churn_plan() -> DynamicPlan {
             node_delete_frac: 0.04,
             node_insert_frac: 0.04,
             arrival_degree: 2,
+            model: ChurnModel::Adversarial,
         },
         4,
         0xC4A9_2217,
@@ -29,17 +31,22 @@ fn churn_plan() -> DynamicPlan {
     )
 }
 
-/// Runs the plan and renders the per-phase JSONL log plus the aggregate
-/// JSON to strings.
-fn run_at(threads: usize, shard_size: usize) -> (String, String) {
+/// Runs the plan (optionally against a store) and renders the per-phase
+/// JSONL log plus the aggregate JSON to strings.
+fn run_cached_at(threads: usize, shard_size: usize, store: Option<&mut Store>) -> (String, String) {
     let plan = churn_plan();
     let cfg = FleetConfig { threads, shard_size, ..FleetConfig::default() };
     let mut jsonl = PhaseJsonlSink::new(Vec::new());
-    let out = run_dynamic_plan_with_sinks(&plan, &cfg, &mut [&mut jsonl]).expect("fleet runs");
+    let out =
+        run_dynamic_plan_cached(&plan, &cfg, &mut [&mut jsonl], store, true).expect("fleet runs");
     let report = out.report(&plan);
     let mut json = Vec::new();
     write_dynamic_aggregate_json(&mut json, &report).unwrap();
     (String::from_utf8(jsonl.into_inner()).unwrap(), String::from_utf8(json).unwrap())
+}
+
+fn run_at(threads: usize, shard_size: usize) -> (String, String) {
+    run_cached_at(threads, shard_size, None)
 }
 
 #[test]
@@ -66,4 +73,40 @@ fn dynamic_outputs_byte_identical_across_shard_sizes() {
     let (jsonl_b, json_b) = run_at(3, 64);
     assert_eq!(jsonl_a, jsonl_b);
     assert_eq!(json_a, json_b);
+}
+
+#[test]
+fn warm_dynamic_reruns_byte_identical_across_threads() {
+    let dir = std::env::temp_dir().join(format!(
+        "sleepy-dyn-warm-det-{}-{:?}",
+        std::process::id(),
+        std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().subsec_nanos()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Cold run fills the per-phase store...
+    let mut store = Store::open(&dir).unwrap();
+    let (cold_jsonl, cold_json) = run_cached_at(2, 4, Some(&mut store));
+    drop(store);
+    // ...then warm reruns at every thread count reproduce it exactly,
+    // executing nothing (checked via the plan's cache stats below).
+    for threads in [1usize, 2, 4] {
+        let mut store = Store::open(&dir).unwrap();
+        let (jsonl, json) = run_cached_at(threads, 4, Some(&mut store));
+        assert_eq!(cold_jsonl, jsonl, "warm phase JSONL differs at {threads} threads");
+        assert_eq!(cold_json, json, "warm aggregate JSON differs at {threads} threads");
+    }
+    // Explicit zero-execution check on one warm pass.
+    let plan = churn_plan();
+    let mut store = Store::open(&dir).unwrap();
+    let out = run_dynamic_plan_cached(
+        &plan,
+        &FleetConfig::with_threads(4),
+        &mut [],
+        Some(&mut store),
+        true,
+    )
+    .unwrap();
+    assert_eq!(out.cache.executed, 0, "warm rerun must execute zero trials");
+    assert_eq!(out.cache.hits, plan.total_trials());
+    std::fs::remove_dir_all(&dir).unwrap();
 }

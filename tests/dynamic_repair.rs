@@ -1,13 +1,15 @@
 //! Property tests of the dynamic subsystem: after every churn batch the
-//! repaired (or recomputed) set is a valid MIS of the mutated graph, and
-//! delta application preserves structural invariants.
+//! repaired (or recomputed) set is a valid MIS of the mutated graph,
+//! incremental repair restores validity after *every single event*,
+//! and delta application preserves structural invariants.
 
 use proptest::prelude::*;
 use sleepy::fleet::{
-    measure_dynamic, AlgoKind, DynamicWorkload, Execution, RepairStrategy, Workload,
+    measure_dynamic, seed, AlgoKind, DynamicWorkload, Execution, IncrementalRepairer,
+    RepairStrategy, Workload, ALL_STRATEGIES,
 };
-use sleepy::graph::{churn_delta, ChurnSpec, GraphFamily, NodeId};
-use sleepy::verify::verify_mis_phases;
+use sleepy::graph::{churn_delta, churn_delta_with_mis, ChurnSpec, GraphFamily, NodeId};
+use sleepy::verify::{verify_mis, verify_mis_phases};
 
 /// The families the churn path sweeps, picked by index.
 fn family(idx: usize) -> GraphFamily {
@@ -26,30 +28,36 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// The core repair property: every phase of a dynamic trial — under
-    /// arbitrary (bounded) churn intensities, both strategies, both
-    /// paper algorithms — yields a valid MIS of that phase's graph.
+    /// arbitrary (bounded) churn intensities, all three strategies,
+    /// both churn models, both paper algorithms — yields a valid MIS of
+    /// that phase's graph.
     #[test]
     fn repaired_set_is_valid_mis_after_every_delta_batch(
-        ((fam_idx, n, phases, seed), (edge_pm, node_pm, alg2, use_repair)) in (
+        ((fam_idx, n, phases, seed), (edge_pm, node_pm, alg2, strat_idx, adversarial)) in (
             (0usize..7, 8usize..160, 2usize..5, 0u64..1 << 40),
             (
                 0u64..300,   // edge churn in permille
                 0u64..200,   // node churn in permille
                 any::<bool>(),
+                0usize..3,
                 any::<bool>(),
             ),
         )
     ) {
-        let churn = ChurnSpec {
+        let mut churn = ChurnSpec {
             edge_delete_frac: edge_pm as f64 / 1000.0,
             edge_insert_frac: edge_pm as f64 / 1000.0,
             node_delete_frac: node_pm as f64 / 1000.0,
             node_insert_frac: node_pm as f64 / 1000.0,
             arrival_degree: 1 + (seed % 4) as usize,
+            ..ChurnSpec::none()
         };
+        if adversarial {
+            churn = churn.adversarial();
+        }
         let workload = DynamicWorkload::new(Workload::new(family(fam_idx), n), phases, churn);
         let algo = if alg2 { AlgoKind::FastSleepingMis } else { AlgoKind::SleepingMis };
-        let strategy = if use_repair { RepairStrategy::Repair } else { RepairStrategy::Recompute };
+        let strategy = ALL_STRATEGIES[strat_idx];
         let report = measure_dynamic(&workload, algo, seed, Execution::Auto, strategy)
             .expect("dynamic trial runs");
         prop_assert_eq!(report.phases.len(), phases);
@@ -60,11 +68,75 @@ proptest! {
                 p.phase, algo, strategy, family(fam_idx), n, seed
             );
             // The MIS never exceeds the phase graph, the repair scope is
-            // within bounds, and carried members stay in the final set
-            // (after eviction the repair path only ever adds members).
+            // within bounds (incremental scopes sum over events, so only
+            // the batched strategies are bounded by n), and carried
+            // members stay in the final set (after eviction the repair
+            // path only ever adds members).
             prop_assert!(p.report.mis_size <= p.report.n);
-            prop_assert!(p.repair_scope <= p.report.n);
+            if strategy != RepairStrategy::Incremental || p.phase == 0 {
+                // Phase 0 always runs the whole graph, for every strategy.
+                prop_assert!(p.repair_scope <= p.report.n);
+                prop_assert!(p.updates.is_empty());
+            } else {
+                prop_assert_eq!(
+                    p.updates.iter().map(|u| u.scope).sum::<usize>(),
+                    p.repair_scope
+                );
+            }
             prop_assert!(p.carried <= p.report.mis_size);
+        }
+    }
+
+    /// The incremental guarantee is stronger than per-phase validity:
+    /// the set is a valid MIS after **every single absorbed event**,
+    /// under both churn models.
+    #[test]
+    fn incremental_repair_valid_after_every_single_event(
+        ((fam_idx, n, trial_seed), (edge_pm, node_pm, alg2, adversarial)) in (
+            (0usize..7, 8usize..120, 0u64..1 << 40),
+            (0u64..300, 0u64..200, any::<bool>(), any::<bool>()),
+        )
+    ) {
+        let mut churn = ChurnSpec {
+            edge_delete_frac: edge_pm as f64 / 1000.0,
+            edge_insert_frac: edge_pm as f64 / 1000.0,
+            node_delete_frac: node_pm as f64 / 1000.0,
+            node_insert_frac: node_pm as f64 / 1000.0,
+            arrival_degree: 1 + (trial_seed % 4) as usize,
+            ..ChurnSpec::none()
+        };
+        if adversarial {
+            churn = churn.adversarial();
+        }
+        let algo = if alg2 { AlgoKind::FastSleepingMis } else { AlgoKind::SleepingMis };
+        let g = Workload::new(family(fam_idx), n).instance(trial_seed).expect("generates");
+        let phase0 = measure_dynamic(
+            &DynamicWorkload::new(Workload::new(family(fam_idx), n), 1, churn),
+            algo, trial_seed, Execution::Auto, RepairStrategy::Incremental,
+        ).expect("phase 0 runs");
+        prop_assert!(phase0.phases[0].report.valid);
+        // Rebuild the phase-0 set by hand so the repairer starts from a
+        // genuine MIS of the generated instance.
+        let mut in_mis = vec![false; g.n()];
+        for v in 0..g.n() {
+            if !g.neighbors(v as NodeId).iter().any(|&w| in_mis[w as usize]) {
+                in_mis[v] = true;
+            }
+        }
+        prop_assert!(verify_mis(&g, &in_mis).is_ok());
+        let delta = churn_delta_with_mis(&g, &churn, trial_seed ^ 0xE4E7, Some(&in_mis))
+            .expect("samples");
+        let mut rep = IncrementalRepairer::new(g, in_mis, algo, Execution::Auto);
+        for (k, event) in delta.events().into_iter().enumerate() {
+            let record = rep
+                .absorb(event, seed::update_seed(trial_seed, k as u64))
+                .expect("absorbs");
+            prop_assert!(
+                verify_mis(rep.graph(), rep.in_mis()).is_ok(),
+                "MIS invalid after event {} ({:?}) on {} (n={}, seed={})",
+                k, record.kind, family(fam_idx), n, trial_seed
+            );
+            prop_assert!(record.scope <= rep.graph().n());
         }
     }
 
@@ -84,6 +156,7 @@ proptest! {
             node_delete_frac: node_pm as f64 / 1000.0,
             node_insert_frac: node_pm as f64 / 1000.0,
             arrival_degree: 2,
+            ..ChurnSpec::none()
         };
         let delta = churn_delta(&g, &spec, seed ^ 0xD17A).expect("samples");
         let out = delta.apply(&g).expect("applies");
@@ -141,6 +214,7 @@ fn phase_verifier_agrees_with_reports() {
             node_delete_frac: 0.05,
             node_insert_frac: 0.05,
             arrival_degree: 2,
+            ..ChurnSpec::none()
         },
     );
     // Reconstruct the phase graphs exactly as measure_dynamic does and
