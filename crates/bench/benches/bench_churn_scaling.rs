@@ -1,0 +1,86 @@
+//! Churn-absorb scaling: incremental per-event repair throughput at
+//! n ∈ {1k, 10k, 100k} under uniform and adversarial churn, for the
+//! in-place DynGraph path and (at the sizes where it terminates in
+//! reasonable time) the rebuild-per-event baseline it replaced.
+//!
+//! Each iteration rebuilds the repairer from the pre-generated graph
+//! and absorbs the whole pre-sampled event batch, so the measured work
+//! is one O(n + m) phase-boundary setup plus the absorb loop — for the
+//! rebuild baseline the loop alone is O(events × (n + m)) and dwarfs
+//! the setup. `fleet bench-churn` measures the absorb loop in
+//! isolation and emits the machine-readable `BENCH_churn.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sleepy_bench::bench_graph;
+use sleepy_fleet::{seed, AlgoKind, Execution, IncrementalRepairer, RebuildRepairer};
+use sleepy_graph::{churn_delta_with_mis, ChurnModel, ChurnSpec, DeltaEvent, Graph, NodeId};
+use sleepy_verify::greedy_by_order;
+use std::time::Duration;
+
+const SEED: u64 = 0xC4A2;
+const TARGET_EVENTS: usize = 200;
+
+/// The deterministic ascending-id greedy MIS as the seed set.
+fn greedy_mis(g: &Graph) -> Vec<bool> {
+    let order: Vec<NodeId> = (0..g.n() as NodeId).collect();
+    greedy_by_order(g, &order)
+}
+
+/// A churn batch of roughly [`TARGET_EVENTS`] events for `g` — the
+/// same `ChurnSpec::targeting_events` workload `fleet bench-churn`
+/// measures, so the criterion curve and `BENCH_churn.json` describe
+/// the same batch shape.
+fn event_batch(g: &Graph, in_mis: &[bool], model: ChurnModel) -> Vec<DeltaEvent> {
+    let spec = ChurnSpec::targeting_events(g, TARGET_EVENTS, 3, model);
+    churn_delta_with_mis(g, &spec, SEED ^ 0x0C, Some(in_mis)).expect("churn samples").events()
+}
+
+fn absorb_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("churn_absorb");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [1_000usize, 10_000, 100_000] {
+        let graph = bench_graph(n, SEED);
+        let in_mis = greedy_mis(&graph);
+        for model in [ChurnModel::Uniform, ChurnModel::Adversarial] {
+            let events = event_batch(&graph, &in_mis, model);
+            group.bench_function(format!("inplace/{}/n={n}", model.label()), |b| {
+                b.iter(|| {
+                    let mut rep = IncrementalRepairer::new(
+                        graph.clone(),
+                        in_mis.clone(),
+                        AlgoKind::SleepingMis,
+                        Execution::Auto,
+                    );
+                    for (k, &event) in events.iter().enumerate() {
+                        rep.absorb(event, seed::update_seed(SEED, k as u64)).expect("absorbs");
+                    }
+                    assert_eq!(rep.rebuild_count(), 0, "absorption must never rebuild");
+                    rep.finish()
+                })
+            });
+            // The rebuild baseline at n=100k costs minutes per sample;
+            // the subcommand (`fleet bench-churn`) covers that point
+            // with single-pass timing.
+            if n <= 10_000 {
+                group.bench_function(format!("rebuild/{}/n={n}", model.label()), |b| {
+                    b.iter(|| {
+                        let mut rep = RebuildRepairer::new(
+                            graph.clone(),
+                            in_mis.clone(),
+                            AlgoKind::SleepingMis,
+                            Execution::Auto,
+                        );
+                        for (k, &event) in events.iter().enumerate() {
+                            rep.absorb(event, seed::update_seed(SEED, k as u64)).expect("absorbs");
+                        }
+                        rep.finish()
+                    })
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, absorb_scaling);
+criterion_main!(benches);

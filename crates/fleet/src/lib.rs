@@ -95,8 +95,8 @@ pub use cache::CacheStats;
 pub use error::FleetError;
 pub use measure::{
     measure_dynamic, measure_once, AlgoKind, ComplexityReport, DynamicReport, Execution,
-    IncrementalPhase, IncrementalRepairer, PhaseReport, RepairStrategy, UpdateKind, UpdateRecord,
-    ALL_ALGOS, ALL_STRATEGIES, SLEEPING_ALGOS,
+    IncrementalPhase, IncrementalRepairer, PhaseReport, RebuildRepairer, RepairStrategy,
+    UpdateKind, UpdateRecord, ALL_ALGOS, ALL_STRATEGIES, SLEEPING_ALGOS,
 };
 pub use planio::{plan_from_json, plan_to_json};
 pub use pool::deterministic_map;

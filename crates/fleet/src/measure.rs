@@ -11,7 +11,7 @@ use crate::seed;
 use crate::workload::DynamicWorkload;
 use serde::{Deserialize, Serialize};
 use sleepy_baselines::{run_baseline, BaselineKind};
-use sleepy_graph::{DeltaEvent, Graph, NodeId};
+use sleepy_graph::{DeltaEvent, DynGraph, Graph, GraphError, NodeId};
 use sleepy_mis::{execute_sleeping_mis, run_sleeping_mis, MisConfig};
 use sleepy_net::{ComplexitySummary, EngineConfig};
 use sleepy_verify::verify_mis;
@@ -329,25 +329,29 @@ pub fn measure_dynamic(
         let delta = workload.churn_batch(&graph, trial_seed, phase, Some(&in_mis))?;
         let phase_seed = seed::phase_seed(trial_seed, phase as u64);
         let (set, summary, timeouts, scope, carried, updates) = match strategy {
-            RepairStrategy::Recompute => {
-                graph = delta.apply(&graph)?.graph;
-                let (set, summary, timeouts) = run_algo(&graph, algo, phase_seed, execution)?;
-                (set, summary, timeouts, graph.n(), 0, Vec::new())
-            }
-            RepairStrategy::Repair => {
+            // The batched strategies share a single delta application —
+            // the outcome (graph + id mapping) is computed once and both
+            // arms reuse it.
+            RepairStrategy::Recompute | RepairStrategy::Repair => {
                 let outcome = delta.apply(&graph)?;
-                // Carry membership through the id mapping (departed
-                // members drop).
-                let mut carried_set = vec![false; outcome.graph.n()];
-                for (old, new) in outcome.old_to_new.iter().enumerate() {
-                    if let Some(new) = new {
-                        carried_set[*new as usize] = in_mis[old];
+                if strategy == RepairStrategy::Recompute {
+                    graph = outcome.graph;
+                    let (set, summary, timeouts) = run_algo(&graph, algo, phase_seed, execution)?;
+                    (set, summary, timeouts, graph.n(), 0, Vec::new())
+                } else {
+                    // Carry membership through the id mapping (departed
+                    // members drop).
+                    let mut carried_set = vec![false; outcome.graph.n()];
+                    for (old, new) in outcome.old_to_new.iter().enumerate() {
+                        if let Some(new) = new {
+                            carried_set[*new as usize] = in_mis[old];
+                        }
                     }
+                    graph = outcome.graph;
+                    let (set, summary, timeouts, scope, carried) =
+                        repair_phase(&graph, carried_set, algo, phase_seed, execution)?;
+                    (set, summary, timeouts, scope, carried, Vec::new())
                 }
-                graph = outcome.graph;
-                let (set, summary, timeouts, scope, carried) =
-                    repair_phase(&graph, carried_set, algo, phase_seed, execution)?;
-                (set, summary, timeouts, scope, carried, Vec::new())
             }
             RepairStrategy::Incremental => {
                 let owned = std::mem::replace(&mut graph, empty_graph());
@@ -395,25 +399,11 @@ pub struct IncrementalPhase {
     pub carried: usize,
 }
 
-/// Absorbs [`DeltaEvent`]s one at a time, keeping the MIS valid after
-/// *every single update* — the incremental counterpart of the batched
-/// [`RepairStrategy::Repair`] pass.
-///
-/// Per event it: applies the mutation, carries membership through the
-/// id mapping, evicts (at most) one endpoint of a newly conflicting
-/// edge, recomputes decidedness only on the event's *frontier* — the
-/// nodes whose dominator could have changed — and re-runs the
-/// algorithm on the induced subgraph of undecided frontier nodes.
-/// Everyone else sleeps through the update, which is what makes the
-/// per-update awake cost ([`UpdateRecord`]) the Ghaffari–Portmann
-/// quantity rather than a whole-graph pass.
-#[derive(Debug)]
-pub struct IncrementalRepairer {
-    graph: Graph,
-    set: Vec<bool>,
-    carried: Vec<bool>,
-    algo: AlgoKind,
-    execution: Execution,
+/// The per-update complexity sums an incremental phase accumulates
+/// (shared by [`IncrementalRepairer`] and [`RebuildRepairer`], whose
+/// records must stay bit-identical).
+#[derive(Debug, Default)]
+struct AbsorbTotals {
     awake_sum: f64,
     round_sum: f64,
     worst_awake: u64,
@@ -426,9 +416,93 @@ pub struct IncrementalRepairer {
     scope_total: usize,
 }
 
+impl AbsorbTotals {
+    /// Folds one frontier re-run's summary in, returning the update's
+    /// awake-round sum (the [`UpdateRecord::awake_sum`] value).
+    fn absorb(&mut self, summary: &ComplexitySummary, scope: usize, timeouts: usize) -> f64 {
+        let awake_sum = summary.node_avg_awake * scope as f64;
+        self.awake_sum += awake_sum;
+        self.round_sum += summary.node_avg_round * scope as f64;
+        self.worst_awake = self.worst_awake.max(summary.worst_awake);
+        self.worst_round = self.worst_round.max(summary.worst_round);
+        self.active_rounds += summary.active_rounds;
+        self.messages += summary.total_messages;
+        self.dropped += summary.dropped_messages;
+        self.bits += summary.total_bits;
+        self.timeouts += timeouts;
+        self.scope_total += scope;
+        awake_sum
+    }
+
+    /// The whole-phase summary over an `n`-node phase-end graph (nodes
+    /// that slept through every update contribute zero awake rounds, so
+    /// averages re-divide the per-update sums by `n`).
+    fn summary(&self, n: usize) -> ComplexitySummary {
+        let scale = |sum: f64| if n == 0 { 0.0 } else { sum / n as f64 };
+        ComplexitySummary {
+            n,
+            node_avg_awake: scale(self.awake_sum),
+            worst_awake: self.worst_awake,
+            worst_round: self.worst_round,
+            node_avg_round: scale(self.round_sum),
+            active_rounds: self.active_rounds,
+            total_messages: self.messages,
+            dropped_messages: self.dropped,
+            total_bits: self.bits,
+        }
+    }
+}
+
+/// Absorbs [`DeltaEvent`]s one at a time, keeping the MIS valid after
+/// *every single update* — the incremental counterpart of the batched
+/// [`RepairStrategy::Repair`] pass.
+///
+/// Per event it: applies the mutation **in place** on a [`DynGraph`]
+/// (O(degree · log n), no CSR rebuild), carries membership on stable
+/// slot handles (so nothing is remapped when ids compact), evicts (at
+/// most) one endpoint of a newly conflicting edge, recomputes
+/// decidedness only on the event's *frontier* — the nodes whose
+/// dominator could have changed — and re-runs the algorithm on the
+/// induced subgraph of undecided frontier nodes, assembled from reused
+/// scratch buffers. Everyone else sleeps through the update, which is
+/// what makes the per-update awake cost ([`UpdateRecord`]) the
+/// Ghaffari–Portmann quantity rather than a whole-graph pass.
+///
+/// The records and the phase-end graph are bit-identical to
+/// [`RebuildRepairer`]'s (the pre-refactor rebuild-per-event path,
+/// kept as the benchmark baseline and equivalence oracle); only the
+/// wall-clock differs. [`rebuild_count`](Self::rebuild_count) exposes
+/// how many CSR materializations happened — zero until
+/// [`finish`](Self::finish) snapshots the phase-end graph.
+#[derive(Debug)]
+pub struct IncrementalRepairer {
+    graph: DynGraph,
+    /// Membership by slot handle (stable across unrelated events).
+    set: Vec<bool>,
+    /// Phase-start members never evicted nor departed, by slot.
+    carried: Vec<bool>,
+    algo: AlgoKind,
+    execution: Execution,
+    totals: AbsorbTotals,
+    // Scratch reused across absorbs (the rebuild path allocated all of
+    // these afresh per event).
+    /// Slots whose decidedness this event may have changed.
+    candidates: Vec<NodeId>,
+    /// Undecided frontier as (compact id, slot), sorted by compact id.
+    frontier: Vec<(NodeId, NodeId)>,
+    /// Slot-indexed frontier-membership marks (cleared after each use).
+    in_frontier: Vec<bool>,
+    /// Slot-indexed local subgraph index (valid only under the marks).
+    local_of: Vec<NodeId>,
+    /// Edge list of the frontier-induced subgraph, local ids.
+    sub_edges: Vec<(NodeId, NodeId)>,
+}
+
 impl IncrementalRepairer {
     /// Starts a phase from a graph and a valid MIS of it.
     pub fn new(graph: Graph, in_mis: Vec<bool>, algo: AlgoKind, execution: Execution) -> Self {
+        let graph = graph.to_dyn();
+        let cap = graph.capacity();
         let carried = in_mis.clone();
         IncrementalRepairer {
             graph,
@@ -436,42 +510,264 @@ impl IncrementalRepairer {
             carried,
             algo,
             execution,
-            awake_sum: 0.0,
-            round_sum: 0.0,
-            worst_awake: 0,
-            worst_round: 0,
-            active_rounds: 0,
-            messages: 0,
-            dropped: 0,
-            bits: 0,
-            timeouts: 0,
-            scope_total: 0,
+            totals: AbsorbTotals::default(),
+            candidates: Vec::new(),
+            frontier: Vec::new(),
+            in_frontier: vec![false; cap],
+            local_of: vec![0; cap],
+            sub_edges: Vec::new(),
         }
     }
 
-    /// The current graph.
-    pub fn graph(&self) -> &Graph {
+    /// The current graph (slot-handle view; see [`DynGraph`]).
+    pub fn graph(&self) -> &DynGraph {
         &self.graph
     }
 
-    /// The current membership — a valid MIS of [`graph`](Self::graph)
-    /// after every [`absorb`](Self::absorb).
+    /// The current membership by **slot handle** — a valid MIS of
+    /// [`graph`](Self::graph) after every [`absorb`](Self::absorb).
+    /// For the compact-id view use [`current`](Self::current).
     pub fn in_mis(&self) -> &[bool] {
         &self.set
     }
 
+    /// CSR materializations so far — 0 during absorption; the
+    /// phase-end [`finish`](Self::finish) performs exactly one. The
+    /// smoke tests pin the incremental path to this invariant.
+    pub fn rebuild_count(&self) -> u64 {
+        self.graph.rebuild_count()
+    }
+
+    /// The CSR snapshot, the compact-space membership, and the carried
+    /// count — the one slot→compact projection [`current`](Self::current)
+    /// and [`finish`](Self::finish) share.
+    fn compact_view(&self) -> (Graph, Vec<bool>, usize) {
+        let (snapshot, compact) = self.graph.snapshot_with_ids();
+        let mut set = vec![false; snapshot.n()];
+        let mut carried = 0usize;
+        for (slot, &id) in compact.iter().enumerate() {
+            if id != NodeId::MAX {
+                set[id as usize] = self.set[slot];
+                carried += self.carried[slot] as usize;
+            }
+        }
+        (snapshot, set, carried)
+    }
+
+    /// The current graph and membership in compact-id space, for
+    /// verification and diagnostics. Materializes a CSR snapshot, so
+    /// this *does* count as a rebuild — don't call it per absorbed
+    /// event outside tests.
+    pub fn current(&self) -> (Graph, Vec<bool>) {
+        let (snapshot, set, _) = self.compact_view();
+        (snapshot, set)
+    }
+
+    /// Grows the slot-indexed state after an arrival extended the slot
+    /// space, and resets the new slot's membership.
+    fn init_slot(&mut self, slot: NodeId) {
+        let cap = self.graph.capacity();
+        if self.set.len() < cap {
+            self.set.resize(cap, false);
+            self.carried.resize(cap, false);
+            self.in_frontier.resize(cap, false);
+            self.local_of.resize(cap, 0);
+        }
+        self.set[slot as usize] = false;
+        self.carried[slot as usize] = false;
+    }
+
+    /// Range-validates a compact id exactly as the delta path would
+    /// (delegates to the one shared rule,
+    /// [`DynGraph::check_compact`]).
+    fn check_compact(&self, id: NodeId) -> Result<(), FleetError> {
+        Ok(self.graph.check_compact(id)?)
+    }
+
     /// Absorbs one update event, restoring MIS validity before
     /// returning. `seed` drives the frontier re-run's coins (callers
-    /// use [`seed::update_seed`](crate::seed::update_seed)).
+    /// use [`seed::update_seed`](crate::seed::update_seed)). The
+    /// event's node ids are compact ids (the [`DeltaEvent`] contract);
+    /// everything past the boundary runs on slot handles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates event-validation and execution errors.
+    pub fn absorb(&mut self, event: DeltaEvent, seed: u64) -> Result<UpdateRecord, FleetError> {
+        let kind = UpdateKind::of(&event);
+        self.candidates.clear();
+        // Apply the mutation in place and gather the candidate slots
+        // whose decidedness it can change: the edge endpoints, a
+        // departing node's neighborhood (they may lose their only
+        // dominator), an evicted member's neighborhood, the arrival.
+        match event {
+            DeltaEvent::RemoveEdge(u, v) => {
+                self.check_compact(u)?;
+                self.check_compact(v)?;
+                if u != v {
+                    let (a, b) = (self.graph.slot_at(u), self.graph.slot_at(v));
+                    self.graph.remove_edge(a, b);
+                    self.candidates.push(a);
+                    self.candidates.push(b);
+                }
+            }
+            DeltaEvent::RemoveNode(v) => {
+                self.check_compact(v)?;
+                let slot = self.graph.slot_at(v);
+                self.candidates.extend_from_slice(self.graph.neighbors(slot));
+                self.graph.remove_node(slot);
+                self.set[slot as usize] = false;
+                self.carried[slot as usize] = false;
+            }
+            DeltaEvent::AddNode => {
+                // The arrival is undecided by construction.
+                let slot = self.graph.add_node();
+                self.init_slot(slot);
+                self.candidates.push(slot);
+            }
+            DeltaEvent::AddEdge(u, v) => {
+                self.check_compact(u)?;
+                self.check_compact(v)?;
+                if u == v {
+                    return Err(GraphError::SelfLoop { node: u }.into());
+                }
+                let (a, b) = (self.graph.slot_at(u), self.graph.slot_at(v));
+                self.graph.add_edge(a, b);
+                self.candidates.push(a);
+                self.candidates.push(b);
+                // The insertion can join two members; evict the larger
+                // *compact* id (the same lexicographic rule as the
+                // batched repair), whose neighbors may thereby lose
+                // their dominator.
+                if self.set[a as usize] && self.set[b as usize] {
+                    let evicted = if u > v { a } else { b };
+                    self.set[evicted as usize] = false;
+                    self.carried[evicted as usize] = false;
+                    self.candidates.extend_from_slice(self.graph.neighbors(evicted));
+                }
+            }
+        }
+        // Undecided frontier: candidates outside the set with no
+        // neighbor in it. (All other nodes were decided before the
+        // event and nothing about their neighborhood changed.) Sorted
+        // by compact id so the induced subgraph is bit-identical to the
+        // one the rebuild path extracts.
+        self.candidates.sort_unstable();
+        self.candidates.dedup();
+        self.frontier.clear();
+        for i in 0..self.candidates.len() {
+            let c = self.candidates[i];
+            let decided = self.set[c as usize]
+                || self.graph.neighbors(c).iter().any(|&w| self.set[w as usize]);
+            if !decided {
+                self.frontier.push((self.graph.compact_id(c), c));
+            }
+        }
+        if self.frontier.is_empty() {
+            return Ok(UpdateRecord { kind, scope: 0, awake_sum: 0.0 });
+        }
+        self.frontier.sort_unstable();
+        let scope = self.frontier.len();
+        for (local, &(_, slot)) in self.frontier.iter().enumerate() {
+            self.in_frontier[slot as usize] = true;
+            self.local_of[slot as usize] = local as NodeId;
+        }
+        self.sub_edges.clear();
+        for &(_, slot) in &self.frontier {
+            let lu = self.local_of[slot as usize];
+            for &w in self.graph.neighbors(slot) {
+                if self.in_frontier[w as usize] {
+                    let lw = self.local_of[w as usize];
+                    if lu < lw {
+                        self.sub_edges.push((lu, lw));
+                    }
+                }
+            }
+        }
+        let sub = Graph::from_edges(scope, self.sub_edges.iter().copied())?;
+        for &(_, slot) in &self.frontier {
+            self.in_frontier[slot as usize] = false;
+        }
+        let (sub_mis, summary, timeouts) = run_algo(&sub, self.algo, seed, self.execution)?;
+        for (local, &(_, slot)) in self.frontier.iter().enumerate() {
+            if sub_mis[local] {
+                self.set[slot as usize] = true;
+            }
+        }
+        let awake_sum = self.totals.absorb(&summary, scope, timeouts);
+        Ok(UpdateRecord { kind, scope, awake_sum })
+    }
+
+    /// Ends the phase, snapshotting the phase-end graph into compact-id
+    /// CSR form (the phase's single rebuild) and folding the per-update
+    /// sums into one whole-phase-graph summary.
+    pub fn finish(self) -> IncrementalPhase {
+        let (graph, set, carried) = self.compact_view();
+        let n = graph.n();
+        IncrementalPhase {
+            graph,
+            set,
+            summary: self.totals.summary(n),
+            base_timeouts: self.totals.timeouts,
+            scope: self.totals.scope_total,
+            carried,
+        }
+    }
+}
+
+/// The pre-[`DynGraph`] incremental path: absorbs each event by
+/// rebuilding the CSR graph from a one-event [`GraphDelta`] — O(n + m)
+/// *per event*. Kept (not as a `RepairStrategy`) as the wall-clock
+/// baseline for `fleet bench-churn` / `bench_churn_scaling` and as the
+/// oracle the equivalence proptests compare [`IncrementalRepairer`]
+/// against: both must produce bit-identical [`UpdateRecord`]s, graphs
+/// and memberships for the same event sequence and seeds.
+///
+/// [`GraphDelta`]: sleepy_graph::GraphDelta
+#[derive(Debug)]
+pub struct RebuildRepairer {
+    graph: Graph,
+    set: Vec<bool>,
+    carried: Vec<bool>,
+    algo: AlgoKind,
+    execution: Execution,
+    totals: AbsorbTotals,
+}
+
+impl RebuildRepairer {
+    /// Starts a phase from a graph and a valid MIS of it.
+    pub fn new(graph: Graph, in_mis: Vec<bool>, algo: AlgoKind, execution: Execution) -> Self {
+        let carried = in_mis.clone();
+        RebuildRepairer {
+            graph,
+            set: in_mis,
+            carried,
+            algo,
+            execution,
+            totals: AbsorbTotals::default(),
+        }
+    }
+
+    /// The current graph (compact-id CSR — rebuilt by every absorb).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The current membership in compact-id space.
+    pub fn in_mis(&self) -> &[bool] {
+        &self.set
+    }
+
+    /// Absorbs one update event by full CSR rebuild — semantically
+    /// identical to [`IncrementalRepairer::absorb`], O(n + m) slower.
     ///
     /// # Errors
     ///
     /// Propagates delta-application and execution errors.
     pub fn absorb(&mut self, event: DeltaEvent, seed: u64) -> Result<UpdateRecord, FleetError> {
         let kind = UpdateKind::of(&event);
-        // Nodes whose decidedness the event can change, in pre-event ids:
-        // the edge endpoints, or a departing node's neighborhood (they
-        // may lose their only dominator).
+        // Candidate nodes in pre-event ids: the edge endpoints, or a
+        // departing node's neighborhood.
         let candidates_old: Vec<NodeId> = match event {
             DeltaEvent::RemoveEdge(u, v) | DeltaEvent::AddEdge(u, v) => vec![u, v],
             DeltaEvent::RemoveNode(v) => self.graph.neighbors(v).to_vec(),
@@ -491,11 +787,7 @@ impl IncrementalRepairer {
             candidates_old.iter().filter_map(|&v| outcome.old_to_new[v as usize]).collect();
         self.graph = outcome.graph;
         match event {
-            // The arrival is undecided by construction.
             DeltaEvent::AddNode => candidates.push((n - 1) as NodeId),
-            // An inserted edge can join two members; evict the larger
-            // endpoint (the same lexicographic rule as the batched
-            // repair), whose neighbors may thereby lose their dominator.
             DeltaEvent::AddEdge(u, v) if set[u as usize] && set[v as usize] => {
                 let evicted = u.max(v);
                 set[evicted as usize] = false;
@@ -506,9 +798,6 @@ impl IncrementalRepairer {
         }
         candidates.sort_unstable();
         candidates.dedup();
-        // Undecided frontier: candidates outside the set with no
-        // neighbor in it. (All other nodes were decided before the
-        // event and nothing about their neighborhood changed.)
         let mut undecided = vec![false; n];
         let mut any = false;
         for &c in &candidates {
@@ -532,44 +821,20 @@ impl IncrementalRepairer {
                 self.set[o as usize] = true;
             }
         }
-        let awake_sum = summary.node_avg_awake * scope as f64;
-        self.awake_sum += awake_sum;
-        self.round_sum += summary.node_avg_round * scope as f64;
-        self.worst_awake = self.worst_awake.max(summary.worst_awake);
-        self.worst_round = self.worst_round.max(summary.worst_round);
-        self.active_rounds += summary.active_rounds;
-        self.messages += summary.total_messages;
-        self.dropped += summary.dropped_messages;
-        self.bits += summary.total_bits;
-        self.timeouts += timeouts;
-        self.scope_total += scope;
+        let awake_sum = self.totals.absorb(&summary, scope, timeouts);
         Ok(UpdateRecord { kind, scope, awake_sum })
     }
 
-    /// Ends the phase, folding the per-update sums into one
-    /// whole-phase-graph summary (nodes that slept through every update
-    /// contribute zero awake rounds, so averages re-divide by `n`).
+    /// Ends the phase; same contract as [`IncrementalRepairer::finish`].
     pub fn finish(self) -> IncrementalPhase {
         let n = self.graph.n();
-        let scale = |sum: f64| if n == 0 { 0.0 } else { sum / n as f64 };
-        let summary = ComplexitySummary {
-            n,
-            node_avg_awake: scale(self.awake_sum),
-            worst_awake: self.worst_awake,
-            worst_round: self.worst_round,
-            node_avg_round: scale(self.round_sum),
-            active_rounds: self.active_rounds,
-            total_messages: self.messages,
-            dropped_messages: self.dropped,
-            total_bits: self.bits,
-        };
         let carried = self.carried.iter().filter(|&&b| b).count();
         IncrementalPhase {
+            summary: self.totals.summary(n),
+            base_timeouts: self.totals.timeouts,
+            scope: self.totals.scope_total,
             graph: self.graph,
             set: self.set,
-            summary,
-            base_timeouts: self.timeouts,
-            scope: self.scope_total,
             carried,
         }
     }
@@ -789,7 +1054,8 @@ mod tests {
         let mut absorbed = 0;
         for (k, event) in delta.events().into_iter().enumerate() {
             rep.absorb(event, seed::update_seed(77, k as u64)).unwrap();
-            assert!(verify_mis(rep.graph(), rep.in_mis()).is_ok(), "MIS invalid after event {k}");
+            let (g_now, set_now) = rep.current();
+            assert!(verify_mis(&g_now, &set_now).is_ok(), "MIS invalid after event {k}");
             absorbed += 1;
         }
         assert!(absorbed > 10, "the batch must decompose into many events");

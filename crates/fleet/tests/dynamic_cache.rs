@@ -194,6 +194,74 @@ fn static_and_dynamic_records_share_one_store_without_collision() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// FNV-1a-64 (the store's own checksum function) over a byte string.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Regression for the DynGraph refactor: a warm rerun of an
+/// *incremental*-strategy dynamic plan against a cold-populated store
+/// executes nothing and reproduces every byte — and the record bytes
+/// themselves are pinned by digest, so the in-place absorb path (or any
+/// future change to it) cannot silently alter what lands in the store.
+/// The digest was captured from the pre-refactor rebuild-per-event
+/// path; a mismatch means warm stores from older builds would re-run.
+#[test]
+fn warm_incremental_rerun_is_byte_identical_and_format_stable() {
+    use sleepy_fleet::RepairStrategy;
+    let plan = DynamicPlan::sweep(
+        &[GraphFamily::GnpAvgDeg(6.0)],
+        &[72],
+        &[AlgoKind::SleepingMis],
+        &[RepairStrategy::Incremental],
+        3,
+        ChurnSpec {
+            edge_delete_frac: 0.1,
+            edge_insert_frac: 0.1,
+            node_delete_frac: 0.05,
+            node_insert_frac: 0.05,
+            arrival_degree: 2,
+            model: ChurnModel::Adversarial,
+        },
+        3,
+        0x1BC4,
+        Execution::Auto,
+    );
+    let run = |store: Option<&mut Store>, threads: usize| {
+        let mut sink = PhaseJsonlSink::new(Vec::new());
+        let cfg = FleetConfig::with_threads(threads);
+        let out = run_dynamic_plan_cached(&plan, &cfg, &mut [&mut sink], store, true).unwrap();
+        let json = serde_json::to_string_pretty(&out.report(&plan)).unwrap();
+        (out, String::from_utf8(sink.into_inner()).unwrap(), json)
+    };
+
+    let dir = tmp_dir("warm-incremental");
+    let mut store = Store::open(&dir).unwrap();
+    let (cold, cold_jsonl, cold_json) = run(Some(&mut store), 2);
+    assert_eq!(cold.cache.executed, plan.total_trials());
+    drop(store);
+
+    let mut store = Store::open(&dir).unwrap();
+    let (warm, warm_jsonl, warm_json) = run(Some(&mut store), 4);
+    assert_eq!(warm.cache.executed, 0, "warm incremental rerun must execute nothing");
+    assert_eq!(warm.cache.hits, plan.total_trials());
+    assert_eq!(cold_jsonl, warm_jsonl);
+    assert_eq!(cold_json, warm_json);
+
+    assert_eq!(
+        fnv64(cold_jsonl.as_bytes()),
+        0x7471819f0f0c1696,
+        "incremental phases.jsonl bytes drifted — stores written by \
+         earlier builds would stop serving warm"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn no_cache_reexecutes_dynamic_but_still_records() {
     let dir = tmp_dir("nocache");

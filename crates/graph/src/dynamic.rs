@@ -10,7 +10,12 @@
 //! single-event deltas ([`DeltaEvent`]) whose sequential application
 //! reproduces the batch exactly — the substrate for *incremental*
 //! (per-update) repair and Ghaffari–Portmann-style amortized
-//! per-update accounting.
+//! per-update accounting. Hot event loops should apply events to a
+//! [`DynGraph`](crate::DynGraph) ([`apply_event`]) instead of paying
+//! this module's O(n + m) CSR rebuild per event; the two are
+//! equivalent by construction (and by proptest).
+//!
+//! [`apply_event`]: crate::DynGraph::apply_event
 //!
 //! [`churn_delta`] samples a delta from a [`ChurnSpec`] with an explicit
 //! seed, so — like every generator in this crate — a whole churn
@@ -187,7 +192,10 @@ impl GraphDelta {
 ///
 /// Each event's node ids refer to the id space *current at the moment
 /// the event is applied* (earlier events in the same decomposition have
-/// already taken effect).
+/// already taken effect). Apply with [`to_delta`](DeltaEvent::to_delta)
+/// and [`GraphDelta::apply`] (O(n + m), batch semantics) or in place
+/// with [`DynGraph::apply_event`](crate::DynGraph::apply_event), which
+/// costs O(degree · log n).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeltaEvent {
     /// Delete one edge (either orientation; absent edges are a no-op).
@@ -312,6 +320,40 @@ impl ChurnSpec {
             node_insert_frac: frac,
             arrival_degree,
             ..ChurnSpec::none()
+        }
+    }
+
+    /// A spec whose sampled batch on `g` decomposes into roughly
+    /// `events` update events, a quarter per kind (each arriving node's
+    /// attachment edges add up to `arrival_degree` more) — the shared
+    /// workload of the churn benchmarks (`fleet bench-churn`,
+    /// `bench_churn_scaling`), kept in one place so the two harnesses
+    /// cannot drift apart.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sleepy_graph::{churn_delta, generators, ChurnModel, ChurnSpec};
+    ///
+    /// let g = generators::gnp(500, 0.02, 1).unwrap();
+    /// let spec = ChurnSpec::targeting_events(&g, 100, 0, ChurnModel::Uniform);
+    /// let events = churn_delta(&g, &spec, 2).unwrap().events().len();
+    /// assert!((50..=150).contains(&events));
+    /// ```
+    pub fn targeting_events(
+        g: &Graph,
+        events: usize,
+        arrival_degree: usize,
+        model: ChurnModel,
+    ) -> Self {
+        let per_kind = (events as f64 / 4.0).max(1.0);
+        ChurnSpec {
+            edge_delete_frac: (per_kind / g.m().max(1) as f64).min(0.5),
+            edge_insert_frac: (per_kind / g.m().max(1) as f64).min(0.5),
+            node_delete_frac: (per_kind / g.n().max(1) as f64).min(0.3),
+            node_insert_frac: (per_kind / g.n().max(1) as f64).min(0.3),
+            arrival_degree,
+            model,
         }
     }
 

@@ -38,6 +38,7 @@
 
 mod builder;
 pub mod dynamic;
+pub mod dyngraph;
 mod error;
 pub mod generators;
 mod graph;
@@ -48,6 +49,7 @@ pub use builder::GraphBuilder;
 pub use dynamic::{
     churn_delta, churn_delta_with_mis, ChurnModel, ChurnSpec, DeltaEvent, DeltaOutcome, GraphDelta,
 };
+pub use dyngraph::DynGraph;
 pub use error::GraphError;
 pub use generators::GraphFamily;
 pub use graph::{DegreeStats, Graph, NodeId, Port};

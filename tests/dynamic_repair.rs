@@ -1,12 +1,13 @@
 //! Property tests of the dynamic subsystem: after every churn batch the
 //! repaired (or recomputed) set is a valid MIS of the mutated graph,
 //! incremental repair restores validity after *every single event*,
-//! and delta application preserves structural invariants.
+//! the in-place (DynGraph) and rebuild-per-event incremental paths are
+//! bit-identical, and delta application preserves structural invariants.
 
 use proptest::prelude::*;
 use sleepy::fleet::{
     measure_dynamic, seed, AlgoKind, DynamicWorkload, Execution, IncrementalRepairer,
-    RepairStrategy, Workload, ALL_STRATEGIES,
+    RebuildRepairer, RepairStrategy, Workload, ALL_STRATEGIES,
 };
 use sleepy::graph::{churn_delta, churn_delta_with_mis, ChurnSpec, GraphFamily, NodeId};
 use sleepy::verify::{verify_mis, verify_mis_phases};
@@ -131,12 +132,97 @@ proptest! {
             let record = rep
                 .absorb(event, seed::update_seed(trial_seed, k as u64))
                 .expect("absorbs");
+            let (g_now, set_now) = rep.current();
             prop_assert!(
-                verify_mis(rep.graph(), rep.in_mis()).is_ok(),
+                verify_mis(&g_now, &set_now).is_ok(),
                 "MIS invalid after event {} ({:?}) on {} (n={}, seed={})",
                 k, record.kind, family(fam_idx), n, trial_seed
             );
             prop_assert!(record.scope <= rep.graph().n());
+        }
+    }
+
+    /// The tentpole equivalence: absorbing an event sequence in place on
+    /// a `DynGraph` produces **bit-identical** per-event `UpdateRecord`s,
+    /// phase-end graph, membership and summary to the rebuild-per-event
+    /// oracle (`RebuildRepairer`, the pre-refactor path) — over mixed
+    /// sequences that include departures shrinking the id space — while
+    /// performing zero CSR rebuilds until `finish`.
+    #[test]
+    fn inplace_incremental_path_matches_rebuild_oracle(
+        ((fam_idx, n, trial_seed), (edge_pm, node_pm, alg2, adversarial)) in (
+            (0usize..7, 8usize..110, 0u64..1 << 40),
+            (0u64..300, 0u64..250, any::<bool>(), any::<bool>()),
+        )
+    ) {
+        let mut churn = ChurnSpec {
+            edge_delete_frac: edge_pm as f64 / 1000.0,
+            edge_insert_frac: edge_pm as f64 / 1000.0,
+            node_delete_frac: node_pm as f64 / 1000.0,
+            node_insert_frac: node_pm as f64 / 1000.0,
+            arrival_degree: 1 + (trial_seed % 4) as usize,
+            ..ChurnSpec::none()
+        };
+        if adversarial {
+            churn = churn.adversarial();
+        }
+        let algo = if alg2 { AlgoKind::FastSleepingMis } else { AlgoKind::SleepingMis };
+        let g = Workload::new(family(fam_idx), n).instance(trial_seed).expect("generates");
+        let order: Vec<NodeId> = (0..g.n() as NodeId).collect();
+        let in_mis = sleepy::verify::greedy_by_order(&g, &order);
+        let delta = churn_delta_with_mis(&g, &churn, trial_seed ^ 0x17A9, Some(&in_mis))
+            .expect("samples");
+        let mut fast = IncrementalRepairer::new(g.clone(), in_mis.clone(), algo, Execution::Auto);
+        let mut oracle = RebuildRepairer::new(g, in_mis, algo, Execution::Auto);
+        for (k, event) in delta.events().into_iter().enumerate() {
+            let s = seed::update_seed(trial_seed, k as u64);
+            let a = fast.absorb(event, s).expect("in-place absorbs");
+            let b = oracle.absorb(event, s).expect("oracle absorbs");
+            prop_assert_eq!(a, b, "record diverged at event {} ({:?})", k, event);
+        }
+        prop_assert_eq!(fast.rebuild_count(), 0, "absorption must never rebuild the CSR");
+        let a = fast.finish();
+        let b = oracle.finish();
+        prop_assert_eq!(&a.graph, &b.graph, "phase-end graphs diverged");
+        prop_assert_eq!(&a.set, &b.set, "phase-end memberships diverged");
+        prop_assert_eq!(a.summary, b.summary);
+        prop_assert_eq!(a.base_timeouts, b.base_timeouts);
+        prop_assert_eq!(a.scope, b.scope);
+        prop_assert_eq!(a.carried, b.carried);
+    }
+
+    /// Graph-level equivalence, independent of any algorithm: a churn
+    /// delta's event sequence applied in place on a `DynGraph` snapshots
+    /// to the same graph as the sequential CSR `to_delta().apply()`
+    /// chain — across several consecutive batches so departures keep
+    /// shifting the compact id space under later events.
+    #[test]
+    fn dyngraph_event_sequences_match_sequential_csr_applies(
+        ((fam_idx, n, seed), (edge_pm, node_pm, rounds)) in (
+            (0usize..7, 2usize..120, 0u64..1 << 40),
+            (0u64..350, 0u64..350, 1usize..4),
+        )
+    ) {
+        let spec = ChurnSpec {
+            edge_delete_frac: edge_pm as f64 / 1000.0,
+            edge_insert_frac: edge_pm as f64 / 1000.0,
+            node_delete_frac: node_pm as f64 / 1000.0,
+            node_insert_frac: node_pm as f64 / 1000.0,
+            arrival_degree: 2,
+            ..ChurnSpec::none()
+        };
+        let mut csr = family(fam_idx).generate(n, seed).expect("generates");
+        let mut dyn_g = csr.to_dyn();
+        for round in 0..rounds {
+            let delta = churn_delta(&csr, &spec, seed ^ (0xBEEF + round as u64))
+                .expect("samples");
+            for event in delta.events() {
+                csr = event.to_delta().apply(&csr).expect("CSR applies").graph;
+                dyn_g.apply_event(event).expect("DynGraph applies");
+                prop_assert_eq!(dyn_g.n(), csr.n());
+                prop_assert_eq!(dyn_g.m(), csr.m());
+            }
+            prop_assert_eq!(&dyn_g.snapshot(), &csr, "snapshot diverged in round {}", round);
         }
     }
 
