@@ -34,6 +34,8 @@ USAGE:
     fleet bench-churn [BENCH OPTIONS]
                                     measure incremental absorb throughput
                                     (in-place DynGraph vs CSR rebuild)
+    fleet trace-check FILE          validate a Chrome trace written by
+                                    --trace-out (format, ts order, B/E pairs)
 
 OPTIONS:
     --families LIST   comma-separated graph families (default: the standard
@@ -57,14 +59,24 @@ OPTIONS:
                       namespaced, so one directory serves both)
     --no-cache        with --store: re-execute everything (still records)
     --emit-plan FILE  write the exact plan as JSON (for `worker`/`merge`)
-    --no-progress     suppress the stderr progress line
+    --trace-out FILE  record every span and export a Chrome trace-event
+                      file (open it in Perfetto or chrome://tracing).
+                      Without it telemetry keeps aggregates only
+    --no-progress     suppress the stderr progress line and the
+                      end-of-run telemetry table
     --dry-run         print the job list and exit
     --help            this text
+
+Telemetry is side-channel only: trials.jsonl/phases.jsonl, aggregates,
+and store records are byte-identical with or without --trace-out. With
+--out, a run_metrics.json (counters, gauges, span aggregates) lands
+next to the aggregates.
 
 WORKER OPTIONS (run by the multi-process coordinator, or by hand):
     --plan FILE       plan.json written by --emit-plan (required)
     --shard K/N       this worker's contiguous trial range (required)
     --store DIR       this worker's result store (required)
+    --trace-out FILE  write this worker's Chrome trace
     --threads/--shard-size/--no-progress as above
 
 MERGE OPTIONS:
@@ -72,6 +84,10 @@ MERGE OPTIONS:
     --from DIRS       comma-separated shard store directories (required)
     --store DIR       merged store to create/extend (required)
     --out DIR         write aggregates.json/csv + cache_stats.json
+    --trace-out FILE  write the merge+replay Chrome trace
+    --trace-from LIST comma-separated worker trace files to merge onto
+                      the same timeline (needs --trace-out; workers keep
+                      their own pid/tid rows)
     --threads/--shard-size/--no-progress as above
 
 GC OPTIONS:
@@ -177,6 +193,7 @@ struct Args {
     store: Option<PathBuf>,
     no_cache: bool,
     emit_plan: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
     progress: bool,
     dry_run: bool,
     dynamic: bool,
@@ -202,6 +219,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         store: None,
         no_cache: false,
         emit_plan: None,
+        trace_out: None,
         progress: true,
         dry_run: false,
         dynamic: false,
@@ -254,6 +272,7 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--store" => args.store = Some(PathBuf::from(value("--store")?)),
             "--no-cache" => args.no_cache = true,
             "--emit-plan" => args.emit_plan = Some(PathBuf::from(value("--emit-plan")?)),
+            "--trace-out" => args.trace_out = Some(PathBuf::from(value("--trace-out")?)),
             "--no-progress" => args.progress = false,
             "--dry-run" => args.dry_run = true,
             "--dynamic" => args.dynamic = true,
@@ -332,6 +351,7 @@ fn main() -> ExitCode {
         Some("merge") => return run_merge(),
         Some("gc") => return run_gc(),
         Some("bench-churn") => return run_bench_churn(),
+        Some("trace-check") => return run_trace_check(),
         _ => {}
     }
     let args = match parse_args() {
@@ -342,11 +362,119 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    set_telemetry_mode(args.trace_out.is_some());
     if args.dynamic {
         run_dynamic(&args)
     } else {
         run_static(&args)
     }
+}
+
+/// Arms telemetry for a run: full event retention when a trace file was
+/// requested, bounded aggregates otherwise. (`gc` and `bench-churn`
+/// leave telemetry off — the bench keeps its timed loops span-free.)
+fn set_telemetry_mode(trace: bool) {
+    sleepy_telemetry::set_mode(if trace {
+        sleepy_telemetry::Mode::Trace
+    } else {
+        sleepy_telemetry::Mode::Metrics
+    });
+}
+
+/// One code path for the end-of-run stderr line (all subcommands) —
+/// replaces the per-path ad-hoc `Instant`/`eprintln!` stopwatches.
+fn print_run_line(
+    what: &str,
+    elapsed: std::time::Duration,
+    threads: usize,
+    cache: Option<&CacheStats>,
+) {
+    eprintln!("fleet: {what} in {elapsed:.2?} ({threads} threads)");
+    if let Some(c) = cache {
+        eprintln!(
+            "fleet: cache {} hits / {} executed ({:.1}% hit rate), {} stored \
+             [s/ {}h {}e, d/ {}h {}e]",
+            c.hits,
+            c.executed,
+            100.0 * c.hit_rate(),
+            c.stored,
+            c.static_ns.hits,
+            c.static_ns.executed,
+            c.dynamic_ns.hits,
+            c.dynamic_ns.executed,
+        );
+    }
+}
+
+/// Drains the telemetry registry and emits every requested view of it:
+/// the stderr summary table (unless `quiet`), `run_metrics.json` under
+/// `out_dir`, and a Chrome trace at `trace_out`.
+fn finish_telemetry(
+    out_dir: Option<&Path>,
+    trace_out: Option<&Path>,
+    process_name: &str,
+    quiet: bool,
+) -> Result<(), String> {
+    if !sleepy_telemetry::enabled() {
+        return Ok(());
+    }
+    let snap = sleepy_telemetry::snapshot_and_reset();
+    if !quiet {
+        let summary = snap.render_summary();
+        if !summary.is_empty() {
+            eprint!("{summary}");
+        }
+    }
+    if let Some(dir) = out_dir {
+        let text =
+            serde_json::to_string_pretty(&snap.run_metrics_value()).expect("metrics serialize");
+        let path = dir.join("run_metrics.json");
+        std::fs::write(&path, format!("{text}\n"))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!("fleet: wrote {}", path.display());
+    }
+    if let Some(path) = trace_out {
+        snap.write_chrome_trace(path, process_name)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!("fleet: wrote trace {}", path.display());
+    }
+    Ok(())
+}
+
+/// `fleet trace-check`: validate a Chrome trace-event file written by
+/// `--trace-out` (or any B/E/M trace) and summarize what it holds.
+fn run_trace_check() -> ExitCode {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(2) {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => files.push(PathBuf::from(other)),
+        }
+    }
+    if files.is_empty() {
+        return fail("trace-check needs at least one FILE (try --help)");
+    }
+    for path in &files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => return fail(format!("cannot read {}: {e}", path.display())),
+        };
+        match sleepy_telemetry::validate_trace(&text) {
+            Ok(check) => println!(
+                "{}: OK — {} events, {} spans, {} timelines, categories [{}]",
+                path.display(),
+                check.events,
+                check.spans,
+                check.timelines,
+                check.categories.join(", "),
+            ),
+            Err(e) => return fail(format!("{}: INVALID — {e}", path.display())),
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// Flags shared by the `worker` and `merge` subcommands.
@@ -357,6 +485,8 @@ struct SubArgs {
     store: Option<PathBuf>,
     from: Vec<PathBuf>,
     out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+    trace_from: Vec<PathBuf>,
     ttl_secs: Option<u64>,
     threads: usize,
     shard_size: usize,
@@ -391,6 +521,10 @@ fn parse_sub_args(what: &str, allowed: &[&str]) -> Result<SubArgs, String> {
                 args.from = value("--from")?.split(',').map(PathBuf::from).collect();
             }
             "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--trace-out" => args.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--trace-from" => {
+                args.trace_from = value("--trace-from")?.split(',').map(PathBuf::from).collect();
+            }
             "--ttl-secs" => {
                 args.ttl_secs =
                     Some(value("--ttl-secs")?.parse().map_err(|_| "bad --ttl-secs value")?);
@@ -424,7 +558,15 @@ fn fail(msg: impl std::fmt::Display) -> ExitCode {
 fn run_worker() -> ExitCode {
     let sub = match parse_sub_args(
         "worker",
-        &["--plan", "--shard", "--store", "--threads", "--shard-size", "--no-progress"],
+        &[
+            "--plan",
+            "--shard",
+            "--store",
+            "--trace-out",
+            "--threads",
+            "--shard-size",
+            "--no-progress",
+        ],
     ) {
         Ok(sub) => sub,
         Err(msg) => return fail(msg),
@@ -434,6 +576,7 @@ fn run_worker() -> ExitCode {
     else {
         return fail("worker needs --plan, --shard and --store (try --help)");
     };
+    set_telemetry_mode(sub.trace_out.is_some());
     let plan = match read_plan_file(plan_path) {
         Ok(plan) => plan,
         Err(e) => return fail(e),
@@ -455,6 +598,10 @@ fn run_worker() -> ExitCode {
                  in {:.2?}",
                 out.total_trials, out.cache.executed, out.cache.hits, out.cache.stored, out.elapsed,
             );
+            let name = format!("fleet-worker-{index}");
+            if let Err(e) = finish_telemetry(None, sub.trace_out.as_deref(), &name, !sub.progress) {
+                return fail(e);
+            }
             ExitCode::SUCCESS
         }
         Err(e) => fail(format!("worker {index}/{count} failed: {e}")),
@@ -467,7 +614,17 @@ fn run_worker() -> ExitCode {
 fn run_merge() -> ExitCode {
     let sub = match parse_sub_args(
         "merge",
-        &["--plan", "--from", "--store", "--out", "--threads", "--shard-size", "--no-progress"],
+        &[
+            "--plan",
+            "--from",
+            "--store",
+            "--out",
+            "--trace-out",
+            "--trace-from",
+            "--threads",
+            "--shard-size",
+            "--no-progress",
+        ],
     ) {
         Ok(sub) => sub,
         Err(msg) => return fail(msg),
@@ -478,6 +635,10 @@ fn run_merge() -> ExitCode {
     if sub.from.is_empty() {
         return fail("merge needs --from DIR1,DIR2,... (try --help)");
     }
+    if !sub.trace_from.is_empty() && sub.trace_out.is_none() {
+        return fail("--trace-from needs --trace-out (nowhere to put the merged trace)");
+    }
+    set_telemetry_mode(sub.trace_out.is_some());
     let plan = match read_plan_file(plan_path) {
         Ok(plan) => plan,
         Err(e) => return fail(e),
@@ -513,9 +674,11 @@ fn run_merge() -> ExitCode {
     };
     let report = out.report(&plan);
     print_static_table(&report);
-    eprintln!(
-        "fleet merge: {} trials ({} cached, {} re-executed) in {:.2?}",
-        out.total_trials, out.cache.hits, out.cache.executed, out.elapsed,
+    print_run_line(
+        &format!("merge replayed {} trials", out.total_trials),
+        out.elapsed,
+        sleepy_fleet::pool::resolve_threads(sub.threads),
+        Some(&out.cache),
     );
     if let Some(dir) = &sub.out {
         if let Err(e) = write_static_outputs(dir, &report, Some(out.cache)) {
@@ -525,6 +688,16 @@ fn run_merge() -> ExitCode {
             "fleet merge: wrote {}/aggregates.json, aggregates.csv, cache_stats.json",
             dir.display()
         );
+    }
+    for path in &sub.trace_from {
+        if let Err(e) = sleepy_telemetry::import_trace_file(path) {
+            eprintln!("fleet: warning: trace not imported: {e}");
+        }
+    }
+    if let Err(e) =
+        finish_telemetry(sub.out.as_deref(), sub.trace_out.as_deref(), "fleet-merge", !sub.progress)
+    {
+        return fail(e);
     }
     ExitCode::SUCCESS
 }
@@ -947,22 +1120,12 @@ fn run_dynamic(args: &Args) -> ExitCode {
             );
         }
     }
-    eprintln!(
-        "fleet: {} dynamic trials ({} phases each) in {:.2?} ({} threads)",
-        out.total_trials,
-        args.phases,
+    print_run_line(
+        &format!("{} dynamic trials ({} phases each)", out.total_trials, args.phases),
         out.elapsed,
         sleepy_fleet::pool::resolve_threads(args.threads),
+        store.is_some().then_some(&out.cache),
     );
-    if store.is_some() {
-        eprintln!(
-            "fleet: cache {} hits / {} executed ({:.1}% hit rate), {} phase records stored",
-            out.cache.hits,
-            out.cache.executed,
-            100.0 * out.cache.hit_rate(),
-            out.cache.stored,
-        );
-    }
 
     if let Some(dir) = &args.out {
         let write_all = || -> std::io::Result<()> {
@@ -986,6 +1149,11 @@ fn run_dynamic(args: &Args) -> ExitCode {
             dir.display(),
             if store.is_some() { ", cache_stats.json" } else { "" },
         );
+    }
+    if let Err(e) =
+        finish_telemetry(args.out.as_deref(), args.trace_out.as_deref(), "fleet", !args.progress)
+    {
+        return fail(e);
     }
     ExitCode::SUCCESS
 }
@@ -1100,21 +1268,12 @@ fn run_static(args: &Args) -> ExitCode {
     let report = out.report(&plan);
 
     print_static_table(&report);
-    eprintln!(
-        "fleet: {} trials in {:.2?} ({} threads)",
-        out.total_trials,
+    print_run_line(
+        &format!("{} trials", out.total_trials),
         out.elapsed,
         sleepy_fleet::pool::resolve_threads(args.threads),
+        store.is_some().then_some(&out.cache),
     );
-    if store.is_some() {
-        eprintln!(
-            "fleet: cache {} hits / {} executed ({:.1}% hit rate), {} stored",
-            out.cache.hits,
-            out.cache.executed,
-            100.0 * out.cache.hit_rate(),
-            out.cache.stored,
-        );
-    }
 
     if let Some(dir) = &args.out {
         let cache = store.is_some().then_some(out.cache);
@@ -1126,6 +1285,11 @@ fn run_static(args: &Args) -> ExitCode {
             dir.display(),
             if cache.is_some() { ", cache_stats.json" } else { "" },
         );
+    }
+    if let Err(e) =
+        finish_telemetry(args.out.as_deref(), args.trace_out.as_deref(), "fleet", !args.progress)
+    {
+        return fail(e);
     }
     ExitCode::SUCCESS
 }

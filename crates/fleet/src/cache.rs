@@ -25,12 +25,10 @@ use serde::{Serialize, Value};
 use sleepy_net::ComplexitySummary;
 use sleepy_store::Store;
 
-/// Cache-hit accounting for one run. Serialized to
-/// `cache_stats.json` by the CLI — deliberately *not* part of
-/// [`FleetReport`](crate::FleetReport), whose bytes must not differ
-/// between a cold and a warm run of the same plan.
+/// Cache-hit accounting for one key namespace (`s/` static trials or
+/// `d/` dynamic trials) of a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
-pub struct CacheStats {
+pub struct NamespaceStats {
     /// Trials served from the store without executing.
     pub hits: u64,
     /// Trials actually executed.
@@ -39,7 +37,7 @@ pub struct CacheStats {
     pub stored: u64,
 }
 
-impl CacheStats {
+impl NamespaceStats {
     /// Fraction of trials served from the cache (1.0 for an empty run).
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.executed;
@@ -59,6 +57,95 @@ impl CacheStats {
             "stored": self.stored,
             "hit_rate": self.hit_rate()
         })
+    }
+}
+
+/// Cache-hit accounting for one run. Serialized to
+/// `cache_stats.json` by the CLI — deliberately *not* part of
+/// [`FleetReport`](crate::FleetReport), whose bytes must not differ
+/// between a cold and a warm run of the same plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct CacheStats {
+    /// Trials served from the store without executing.
+    pub hits: u64,
+    /// Trials actually executed.
+    pub executed: u64,
+    /// Freshly executed results written back to the store.
+    pub stored: u64,
+    /// The static (`s/`) namespace's share of the totals.
+    pub static_ns: NamespaceStats,
+    /// The dynamic (`d/`) namespace's share of the totals.
+    pub dynamic_ns: NamespaceStats,
+}
+
+impl CacheStats {
+    /// Fraction of trials served from the cache (1.0 for an empty run).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.executed;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counts a cache hit in namespace `ns` ([`STATIC_NS`] or
+    /// [`DYNAMIC_NS`]) and in the totals.
+    pub fn count_hit(&mut self, ns: &str) {
+        self.hits += 1;
+        self.ns_mut(ns).hits += 1;
+    }
+
+    /// Counts an executed trial in namespace `ns` and in the totals.
+    pub fn count_executed(&mut self, ns: &str) {
+        self.executed += 1;
+        self.ns_mut(ns).executed += 1;
+    }
+
+    /// Counts `n` freshly stored records in namespace `ns` and in the
+    /// totals.
+    pub fn count_stored(&mut self, ns: &str, n: u64) {
+        self.stored += n;
+        self.ns_mut(ns).stored += n;
+    }
+
+    fn ns_mut(&mut self, ns: &str) -> &mut NamespaceStats {
+        if ns == DYNAMIC_NS {
+            &mut self.dynamic_ns
+        } else {
+            &mut self.static_ns
+        }
+    }
+
+    /// The serializable JSON document: the global `hits`, `executed`,
+    /// `stored`, `hit_rate`, plus a `namespaces` section breaking the
+    /// same numbers down by key namespace (`s/` static vs `d/`
+    /// dynamic).
+    pub fn to_json(&self) -> Value {
+        serde_json::json!({
+            "hits": self.hits,
+            "executed": self.executed,
+            "stored": self.stored,
+            "hit_rate": self.hit_rate(),
+            "namespaces": serde_json::json!({
+                "s/": self.static_ns.to_json(),
+                "d/": self.dynamic_ns.to_json()
+            })
+        })
+    }
+
+    /// Publishes the per-namespace numbers as telemetry counters
+    /// (`cache.static.*`, `cache.dynamic.*`). No-op when telemetry is
+    /// off.
+    pub fn publish(&self) {
+        if !sleepy_telemetry::enabled() {
+            return;
+        }
+        for (label, ns) in [("static", &self.static_ns), ("dynamic", &self.dynamic_ns)] {
+            sleepy_telemetry::counter_add(&format!("cache.{label}.hits"), ns.hits);
+            sleepy_telemetry::counter_add(&format!("cache.{label}.executed"), ns.executed);
+            sleepy_telemetry::counter_add(&format!("cache.{label}.stored"), ns.stored);
+        }
     }
 }
 
@@ -285,8 +372,28 @@ mod tests {
     #[test]
     fn hit_rate_edge_cases() {
         assert_eq!(CacheStats::default().hit_rate(), 1.0);
-        let s = CacheStats { hits: 3, executed: 1, stored: 1 };
+        let s = CacheStats { hits: 3, executed: 1, stored: 1, ..CacheStats::default() };
         assert_eq!(s.hit_rate(), 0.75);
         assert!(serde_json::to_string(&s.to_json()).unwrap().contains("\"hit_rate\":0.75"));
+    }
+
+    #[test]
+    fn namespace_counting_splits_static_from_dynamic() {
+        let mut s = CacheStats::default();
+        s.count_hit(STATIC_NS);
+        s.count_executed(STATIC_NS);
+        s.count_stored(STATIC_NS, 1);
+        s.count_hit(DYNAMIC_NS);
+        s.count_hit(DYNAMIC_NS);
+        s.count_executed(DYNAMIC_NS);
+        s.count_stored(DYNAMIC_NS, 3);
+        assert_eq!((s.hits, s.executed, s.stored), (3, 2, 4));
+        assert_eq!(s.static_ns, NamespaceStats { hits: 1, executed: 1, stored: 1 });
+        assert_eq!(s.dynamic_ns, NamespaceStats { hits: 2, executed: 1, stored: 3 });
+        let text = serde_json::to_string(&s.to_json()).unwrap();
+        assert!(text.contains("\"namespaces\""));
+        assert!(text.contains("\"s/\""));
+        assert!(text.contains("\"d/\""));
+        assert_eq!(s.dynamic_ns.hit_rate(), 2.0 / 3.0);
     }
 }

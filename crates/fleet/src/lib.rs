@@ -48,6 +48,10 @@
 //!   recovering aggregates byte-identical to a single-process run.
 //! * a `fleet` CLI binary with progress reporting and `worker` /
 //!   `merge` / `gc` subcommands (see `--help`).
+//! * telemetry throughout (via [`sleepy_telemetry`]): pool scheduling,
+//!   trial execution, store I/O, worker supervision, and dynamic
+//!   repair all emit spans and counters. Strictly side-channel — see
+//!   `docs/observability.md`; `--trace-out` exports a Chrome trace.
 //!
 //! The experiment harness (`sleepy-harness`) expresses all its trial
 //! loops as plans submitted here; [`deterministic_map`] is the shared
@@ -91,7 +95,7 @@ mod spec;
 mod workload;
 
 pub use agg::{DynamicJobAggregate, JobAggregate, MetricAggregate, MetricStats};
-pub use cache::CacheStats;
+pub use cache::{CacheStats, NamespaceStats};
 pub use error::FleetError;
 pub use measure::{
     measure_dynamic, measure_once, AlgoKind, ComplexityReport, DynamicReport, Execution,

@@ -323,6 +323,10 @@ pub fn measure_dynamic(
     ));
 
     for phase in 1..workload.phases {
+        let _phase_span = sleepy_telemetry::span!("repair", "phase", {
+            "phase": phase,
+            "strategy": strategy.to_string(),
+        });
         // The churn batch is sampled against the *current* MIS so the
         // adversarial model can aim; strategies then differ only in how
         // they absorb it.
@@ -496,6 +500,15 @@ pub struct IncrementalRepairer {
     local_of: Vec<NodeId>,
     /// Edge list of the frontier-induced subgraph, local ids.
     sub_edges: Vec<(NodeId, NodeId)>,
+    // Telemetry tallies for this phase, flushed to the registry by
+    // `finish`. Kept out of `AbsorbTotals`, which `RebuildRepairer`
+    // shares and whose records must stay bit-identical.
+    /// Events absorbed this phase.
+    events_absorbed: u64,
+    /// Member evictions forced by edge insertions.
+    evictions: u64,
+    /// Events whose frontier was empty (no re-run needed).
+    zero_scope: u64,
 }
 
 impl IncrementalRepairer {
@@ -516,6 +529,9 @@ impl IncrementalRepairer {
             in_frontier: vec![false; cap],
             local_of: vec![0; cap],
             sub_edges: Vec::new(),
+            events_absorbed: 0,
+            evictions: 0,
+            zero_scope: 0,
         }
     }
 
@@ -595,6 +611,8 @@ impl IncrementalRepairer {
     /// Propagates event-validation and execution errors.
     pub fn absorb(&mut self, event: DeltaEvent, seed: u64) -> Result<UpdateRecord, FleetError> {
         let kind = UpdateKind::of(&event);
+        let _span = sleepy_telemetry::span!("repair", "event", {"kind": kind.label()});
+        self.events_absorbed += 1;
         self.candidates.clear();
         // Apply the mutation in place and gather the candidate slots
         // whose decidedness it can change: the edge endpoints, a
@@ -644,6 +662,7 @@ impl IncrementalRepairer {
                     self.set[evicted as usize] = false;
                     self.carried[evicted as usize] = false;
                     self.candidates.extend_from_slice(self.graph.neighbors(evicted));
+                    self.evictions += 1;
                 }
             }
         }
@@ -664,6 +683,7 @@ impl IncrementalRepairer {
             }
         }
         if self.frontier.is_empty() {
+            self.zero_scope += 1;
             return Ok(UpdateRecord { kind, scope: 0, awake_sum: 0.0 });
         }
         self.frontier.sort_unstable();
@@ -700,9 +720,29 @@ impl IncrementalRepairer {
 
     /// Ends the phase, snapshotting the phase-end graph into compact-id
     /// CSR form (the phase's single rebuild) and folding the per-update
-    /// sums into one whole-phase-graph summary.
+    /// sums into one whole-phase-graph summary. Flushes this phase's
+    /// telemetry counters (`repair.*`, `graph.*`) to the registry.
     pub fn finish(self) -> IncrementalPhase {
+        if sleepy_telemetry::enabled() {
+            sleepy_telemetry::counter_add("repair.events", self.events_absorbed);
+            sleepy_telemetry::counter_add("repair.evictions", self.evictions);
+            sleepy_telemetry::counter_add("repair.zero_scope", self.zero_scope);
+            sleepy_telemetry::counter_add("repair.frontier_nodes", self.totals.scope_total as u64);
+            // The bench-churn claim, visible in normal runs: absorption
+            // itself triggers no CSR rebuilds.
+            sleepy_telemetry::counter_add("graph.absorb_rebuilds", self.graph.rebuild_count());
+            for (key, buf) in [
+                ("repair.scratch_candidates_hw", self.candidates.capacity()),
+                ("repair.scratch_frontier_hw", self.frontier.capacity()),
+                ("repair.scratch_edges_hw", self.sub_edges.capacity()),
+            ] {
+                sleepy_telemetry::gauge_max(key, buf as u64);
+            }
+        }
         let (graph, set, carried) = self.compact_view();
+        // After the snapshot: the phase's one rebuild, plus any counted
+        // above.
+        sleepy_telemetry::counter_add("graph.rebuilds", self.graph.rebuild_count());
         let n = graph.n();
         IncrementalPhase {
             graph,

@@ -119,9 +119,15 @@ where
     C: FnMut(usize, T) -> Result<(), E>,
 {
     let workers = resolve_threads(threads).min(shard_count.max(1));
+    sleepy_telemetry::gauge_max("pool.workers", workers as u64);
     if workers <= 1 || shard_count <= 1 {
         for i in 0..shard_count {
-            collect(i, run_shard(i)?)?;
+            let r = {
+                let _span = sleepy_telemetry::span!("pool", "shard", {"shard": i});
+                sleepy_telemetry::counter_add("pool.shards", 1);
+                run_shard(i)
+            };
+            collect(i, r?)?;
         }
         return Ok(());
     }
@@ -132,7 +138,7 @@ where
     let mut collect_err: Option<E> = None;
     let mut worker_err: Option<E> = None;
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        for w in 0..workers {
             let tx = tx.clone();
             let gate = &gate;
             let next = &next;
@@ -148,6 +154,13 @@ where
                 }
                 if !gate.wait_for(i) {
                     break;
+                }
+                let _span = sleepy_telemetry::span!("pool", "shard", {"shard": i, "worker": w});
+                sleepy_telemetry::counter_add("pool.shards", 1);
+                // A "steal": dynamic claiming handed this shard to a
+                // different worker than static round-robin would have.
+                if i % workers != w {
+                    sleepy_telemetry::counter_add("pool.steals", 1);
                 }
                 let r = run_shard(i);
                 if r.is_err() {

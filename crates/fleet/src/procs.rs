@@ -38,19 +38,30 @@ pub struct ProcsConfig {
     pub procs: usize,
     /// Worker threads per process (0 = all cores).
     pub threads_per_proc: usize,
+    /// Ask each worker to write a Chrome trace
+    /// ([`shard_trace_path`]) and import the traces onto the
+    /// coordinator's timeline after the workers exit.
+    pub worker_trace: bool,
 }
 
 impl ProcsConfig {
     /// A config spawning `procs` workers from `fleet_bin`, one thread
     /// each (the usual shape: processes are the parallelism axis).
     pub fn new(fleet_bin: impl Into<PathBuf>, procs: usize) -> Self {
-        ProcsConfig { fleet_bin: fleet_bin.into(), procs, threads_per_proc: 1 }
+        ProcsConfig { fleet_bin: fleet_bin.into(), procs, threads_per_proc: 1, worker_trace: false }
     }
 }
 
 /// The shard-store directory of worker `index` under `dir`.
 pub fn shard_store_dir(dir: &Path, index: usize) -> PathBuf {
     dir.join(format!("shard-{index}"))
+}
+
+/// The trace file worker `index` writes under `dir` when
+/// [`ProcsConfig::worker_trace`] is set. Beside the shard store, never
+/// inside it (the store scans its directory for segment files).
+pub fn shard_trace_path(dir: &Path, index: usize) -> PathBuf {
+    dir.join(format!("shard-{index}.trace.json"))
 }
 
 /// The merged-store directory under `dir`.
@@ -103,30 +114,34 @@ pub fn run_plan_sharded_procs(
     let plan_path = write_plan_file(dir, plan)?;
 
     let mut children = Vec::with_capacity(procs_config.procs);
-    for k in 0..procs_config.procs {
-        let child = Command::new(&procs_config.fleet_bin)
-            .arg("worker")
-            .arg("--plan")
-            .arg(&plan_path)
-            .arg("--shard")
-            .arg(format!("{k}/{}", procs_config.procs))
-            .arg("--store")
-            .arg(shard_store_dir(dir, k))
-            .arg("--threads")
-            .arg(procs_config.threads_per_proc.to_string())
-            .arg("--no-progress")
-            .stdin(Stdio::null())
-            .stdout(Stdio::null())
-            .spawn()
-            .map_err(|e| {
+    {
+        let _span = sleepy_telemetry::span("procs", "spawn-workers");
+        for k in 0..procs_config.procs {
+            let mut cmd = Command::new(&procs_config.fleet_bin);
+            cmd.arg("worker")
+                .arg("--plan")
+                .arg(&plan_path)
+                .arg("--shard")
+                .arg(format!("{k}/{}", procs_config.procs))
+                .arg("--store")
+                .arg(shard_store_dir(dir, k))
+                .arg("--threads")
+                .arg(procs_config.threads_per_proc.to_string())
+                .arg("--no-progress");
+            if procs_config.worker_trace {
+                cmd.arg("--trace-out").arg(shard_trace_path(dir, k));
+            }
+            let child = cmd.stdin(Stdio::null()).stdout(Stdio::null()).spawn().map_err(|e| {
                 FleetError::Config(format!(
                     "cannot spawn worker {k} from {}: {e}",
                     procs_config.fleet_bin.display()
                 ))
             })?;
-        children.push((k, child));
+            children.push((k, child));
+        }
     }
     for (k, mut child) in children {
+        let _span = sleepy_telemetry::span!("procs", "wait-worker", {"worker": k});
         let status = child
             .wait()
             .map_err(|e| FleetError::Config(format!("waiting for worker {k} failed: {e}")))?;
@@ -134,11 +149,23 @@ pub fn run_plan_sharded_procs(
             return Err(FleetError::Config(format!("worker {k} exited with {status}")));
         }
     }
+    if procs_config.worker_trace && sleepy_telemetry::tracing() {
+        // Best-effort: a worker that produced results but no readable
+        // trace only degrades the timeline, not the run.
+        for k in 0..procs_config.procs {
+            if let Err(e) = sleepy_telemetry::import_trace_file(shard_trace_path(dir, k)) {
+                eprintln!("fleet: warning: worker {k} trace not imported: {e}");
+            }
+        }
+    }
 
     let mut merged = Store::open(merged_store_dir(dir))?;
-    for k in 0..procs_config.procs {
-        let shard = Store::open(shard_store_dir(dir, k))?;
-        merged.merge_from(&shard)?;
+    {
+        let _span = sleepy_telemetry::span("procs", "merge-stores");
+        for k in 0..procs_config.procs {
+            let shard = Store::open(shard_store_dir(dir, k))?;
+            merged.merge_from(&shard)?;
+        }
     }
     run_plan_cached(plan, config, sinks, Some(&mut merged), true)
 }
@@ -202,7 +229,7 @@ mod tests {
     fn zero_procs_is_a_config_error() {
         let plan = TrialPlan::new(1);
         let cfg = FleetConfig::default();
-        let procs = ProcsConfig { fleet_bin: "fleet".into(), procs: 0, threads_per_proc: 1 };
+        let procs = ProcsConfig::new("fleet", 0);
         let dir = std::env::temp_dir().join("fleet-procs-zero");
         assert!(matches!(
             run_plan_sharded_procs(&plan, &cfg, &procs, &dir, &mut []),

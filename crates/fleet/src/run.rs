@@ -11,7 +11,7 @@ use crate::sink::{PhaseRecord, PhaseSink, TrialRecord, TrialSink};
 use crate::spec::{DynamicPlan, TrialPlan};
 use serde::{Deserialize, Serialize};
 use sleepy_store::Store;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Runner configuration. Everything here affects only *how fast* a plan
 /// runs, never *what* it computes: outputs are byte-identical across
@@ -370,7 +370,7 @@ fn run_plan_inner(
     read_cache: bool,
     shard: Option<(usize, usize)>,
 ) -> Result<FleetOutput, FleetError> {
-    let start = Instant::now();
+    let watch = sleepy_telemetry::stopwatch("run", "static-plan");
     let job_keys: Vec<String> = plan.jobs.iter().map(|j| j.key(plan.base_seed)).collect();
     let dedup = DedupPlan::of(plan, &job_keys);
     let total_exec: usize = dedup.exec_counts.iter().sum();
@@ -401,14 +401,15 @@ fn run_plan_inner(
                     }
                 }
             }
+            let _span = sleepy_telemetry::span!("trial", "static", {"job": job_idx, "seed": seed});
             let graph = job.workload.instance(seed)?;
             Ok((measure_once(&graph, job.algo, seed, job.execution)?, false))
         },
         |job_idx, trial_idx, seed, (report, hit): &(ComplexityReport, bool)| {
             if *hit {
-                stats.hits += 1;
+                stats.count_hit(cache::STATIC_NS);
             } else {
-                stats.executed += 1;
+                stats.count_executed(cache::STATIC_NS);
                 if let Some(cell) = &store_cell {
                     pending.push((
                         cache::trial_key(&job_keys[job_idx], seed),
@@ -417,7 +418,7 @@ fn run_plan_inner(
                     if pending.len() >= STORE_FLUSH_BATCH {
                         let chunk = std::mem::take(&mut pending);
                         let mut guard = cell.write().expect("store lock poisoned");
-                        stats.stored += guard.append(chunk)?;
+                        stats.count_stored(cache::STATIC_NS, guard.append(chunk)?);
                     }
                 }
             }
@@ -442,12 +443,13 @@ fn run_plan_inner(
 
     if let Some(cell) = store_cell {
         let store = cell.into_inner().expect("store lock poisoned");
-        stats.stored += store.append(pending)?;
+        stats.count_stored(cache::STATIC_NS, store.append(pending)?);
     }
     for sink in sinks.iter_mut() {
         sink.finish()?;
     }
-    Ok(FleetOutput { aggregates, total_trials: done, cache: stats, elapsed: start.elapsed() })
+    stats.publish();
+    Ok(FleetOutput { aggregates, total_trials: done, cache: stats, elapsed: watch.finish() })
 }
 
 /// The in-memory result of a dynamic fleet run.
@@ -639,7 +641,7 @@ pub fn run_dynamic_plan_cached(
     store: Option<&mut Store>,
     read_cache: bool,
 ) -> Result<DynamicFleetOutput, FleetError> {
-    let start = Instant::now();
+    let watch = sleepy_telemetry::stopwatch("run", "dynamic-plan");
     let job_keys: Vec<String> = plan.jobs.iter().map(|j| j.key(plan.base_seed)).collect();
     let counts: Vec<usize> = plan.jobs.iter().map(|j| j.trials).collect();
     let mut aggregates: Vec<DynamicJobAggregate> =
@@ -671,15 +673,16 @@ pub fn run_dynamic_plan_cached(
                     }
                 }
             }
+            let _span = sleepy_telemetry::span!("trial", "dynamic", {"job": job_idx, "seed": seed});
             let report =
                 measure_dynamic(&job.workload, job.algo, seed, job.execution, job.strategy)?;
             Ok((report, false))
         },
         |job_idx, trial_idx, seed, (report, hit): &(DynamicReport, bool)| {
             if *hit {
-                stats.hits += 1;
+                stats.count_hit(cache::DYNAMIC_NS);
             } else {
-                stats.executed += 1;
+                stats.count_executed(cache::DYNAMIC_NS);
                 if let Some(cell) = &store_cell {
                     for phase in &report.phases {
                         pending.push((
@@ -690,7 +693,7 @@ pub fn run_dynamic_plan_cached(
                     if pending.len() >= STORE_FLUSH_BATCH {
                         let chunk = std::mem::take(&mut pending);
                         let mut guard = cell.write().expect("store lock poisoned");
-                        stats.stored += guard.append(chunk)?;
+                        stats.count_stored(cache::DYNAMIC_NS, guard.append(chunk)?);
                     }
                 }
             }
@@ -712,17 +715,13 @@ pub fn run_dynamic_plan_cached(
 
     if let Some(cell) = store_cell {
         let store = cell.into_inner().expect("store lock poisoned");
-        stats.stored += store.append(pending)?;
+        stats.count_stored(cache::DYNAMIC_NS, store.append(pending)?);
     }
     for sink in sinks.iter_mut() {
         sink.finish()?;
     }
-    Ok(DynamicFleetOutput {
-        aggregates,
-        total_trials: done,
-        cache: stats,
-        elapsed: start.elapsed(),
-    })
+    stats.publish();
+    Ok(DynamicFleetOutput { aggregates, total_trials: done, cache: stats, elapsed: watch.finish() })
 }
 
 #[cfg(test)]

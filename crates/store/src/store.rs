@@ -78,6 +78,7 @@ impl Store {
     /// Filesystem failures only — corrupt data is quarantined, not
     /// fatal.
     pub fn open(dir: impl AsRef<Path>) -> Result<Store, StoreError> {
+        let _span = sleepy_telemetry::span("store", "open");
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir).map_err(|e| StoreError::Io(dir.clone(), e))?;
         let mut store = Store {
@@ -114,6 +115,10 @@ impl Store {
         if adopted || live != listed {
             store.write_manifest()?;
         }
+        let stats = store.stats();
+        sleepy_telemetry::counter_add("store.segments_loaded", stats.segments);
+        sleepy_telemetry::counter_add("store.entries_loaded", stats.entries);
+        sleepy_telemetry::counter_add("store.quarantined", stats.quarantined);
         Ok(store)
     }
 
@@ -169,9 +174,7 @@ impl Store {
     /// Filesystem failures.
     pub fn append(&mut self, batch: Vec<(String, Value)>) -> Result<u64, StoreError> {
         let stamp = now_unix();
-        self.append_entries(
-            batch.into_iter().map(|(key, payload)| Entry { key, stamp, payload }).collect(),
-        )
+        self.append_stamped(batch, stamp)
     }
 
     /// [`append`](Store::append) with an explicit stamp — for tests and
@@ -185,9 +188,12 @@ impl Store {
         batch: Vec<(String, Value)>,
         stamp: u64,
     ) -> Result<u64, StoreError> {
-        self.append_entries(
+        let _span = sleepy_telemetry::span("store", "append");
+        let added = self.append_entries(
             batch.into_iter().map(|(key, payload)| Entry { key, stamp, payload }).collect(),
-        )
+        )?;
+        sleepy_telemetry::counter_add("store.records_stored", added);
+        Ok(added)
     }
 
     /// Unions `other` into this store: every entry of `other` whose key
@@ -201,9 +207,12 @@ impl Store {
     ///
     /// Filesystem failures.
     pub fn merge_from(&mut self, other: &Store) -> Result<u64, StoreError> {
+        let _span = sleepy_telemetry::span("store", "merge");
         let fresh: Vec<Entry> =
             other.entries().filter(|e| !self.contains(&e.key)).cloned().collect();
-        self.append_entries(fresh)
+        let added = self.append_entries(fresh)?;
+        sleepy_telemetry::counter_add("store.records_merged", added);
+        Ok(added)
     }
 
     /// Drops every entry stamped strictly before `expire_before` (pass
@@ -214,6 +223,7 @@ impl Store {
     ///
     /// Filesystem failures.
     pub fn gc(&mut self, expire_before: u64) -> Result<GcStats, StoreError> {
+        let _span = sleepy_telemetry::span("store", "gc");
         let segments_before = self.segments.len() as u64;
         let survivors: Vec<Entry> =
             self.entries().filter(|e| e.stamp >= expire_before).cloned().collect();

@@ -1,0 +1,308 @@
+//! Chrome trace-event export and validation.
+//!
+//! The exporter emits the JSON object form
+//! (`{"traceEvents": [...], "displayTimeUnit": "ms"}`) with paired
+//! `"B"`/`"E"` duration events plus `"M"` metadata naming the process
+//! and threads. Perfetto and `chrome://tracing` both load it directly.
+//!
+//! Spans are recorded independently per thread, so on one thread two
+//! spans may *overlap without nesting* (a guard kept alive across
+//! another's lifetime). Chrome's B/E model only expresses stacks, so
+//! the exporter runs a stack sweep per thread: events sort by
+//! `(start, -end, seq)` and a child's end is clamped to its parent's
+//! end. This guarantees — by construction — matched B/E pairs and
+//! non-decreasing timestamps per thread, which [`validate_trace`]
+//! checks.
+
+use crate::registry::{Snapshot, SpanEvent};
+use serde::Value;
+use std::collections::BTreeMap;
+
+/// Summary of a validated trace file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceCheck {
+    /// Total events, including metadata.
+    pub events: usize,
+    /// Matched B/E span pairs.
+    pub spans: usize,
+    /// Distinct `(pid, tid)` timelines carrying spans.
+    pub timelines: usize,
+    /// Distinct span categories, sorted.
+    pub categories: Vec<String>,
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Builds the trace-event document for a snapshot. Own events carry
+/// this process's pid; imported worker events keep their own pid/tid.
+pub(crate) fn trace_value(snap: &Snapshot, process_name: &str) -> Value {
+    let pid = std::process::id() as u64;
+    let mut events: Vec<Value> = Vec::new();
+    events.push(obj(vec![
+        ("name", Value::String("process_name".to_string())),
+        ("ph", Value::String("M".to_string())),
+        ("pid", Value::UInt(pid)),
+        ("tid", Value::UInt(0)),
+        ("args", obj(vec![("name", Value::String(process_name.to_string()))])),
+    ]));
+
+    let mut by_tid: BTreeMap<u64, Vec<&SpanEvent>> = BTreeMap::new();
+    for ev in &snap.events {
+        by_tid.entry(ev.tid).or_default().push(ev);
+    }
+    for (&tid, list) in &mut by_tid {
+        events.push(obj(vec![
+            ("name", Value::String("thread_name".to_string())),
+            ("ph", Value::String("M".to_string())),
+            ("pid", Value::UInt(pid)),
+            ("tid", Value::UInt(tid)),
+            ("args", obj(vec![("name", Value::String(format!("thread-{tid}")))])),
+        ]));
+        // Parents sort before their children: earlier start first, and
+        // on a start tie the longer span first.
+        list.sort_by(|a, b| {
+            a.start_us.cmp(&b.start_us).then(b.end_us.cmp(&a.end_us)).then(a.seq.cmp(&b.seq))
+        });
+        // Stack sweep: close every span that ends at or before the next
+        // one starts, clamp children into their parents.
+        let mut stack: Vec<(&SpanEvent, u64)> = Vec::new();
+        for &ev in list.iter() {
+            while let Some(&(top, top_end)) = stack.last() {
+                if top_end > ev.start_us {
+                    break;
+                }
+                events.push(end_event(top, pid, top_end));
+                stack.pop();
+            }
+            let end = match stack.last() {
+                Some(&(_, parent_end)) => ev.end_us.min(parent_end),
+                None => ev.end_us,
+            }
+            .max(ev.start_us);
+            events.push(begin_event(ev, pid));
+            stack.push((ev, end));
+        }
+        while let Some((top, top_end)) = stack.pop() {
+            events.push(end_event(top, pid, top_end));
+        }
+    }
+
+    events.extend(snap.imported.iter().cloned());
+
+    obj(vec![
+        ("traceEvents", Value::Array(events)),
+        ("displayTimeUnit", Value::String("ms".to_string())),
+    ])
+}
+
+fn begin_event(ev: &SpanEvent, pid: u64) -> Value {
+    let mut fields = vec![
+        ("name", Value::String(ev.name.to_string())),
+        ("cat", Value::String(ev.cat.to_string())),
+        ("ph", Value::String("B".to_string())),
+        ("ts", Value::UInt(ev.start_us)),
+        ("pid", Value::UInt(pid)),
+        ("tid", Value::UInt(ev.tid)),
+    ];
+    if let Some(args) = &ev.args {
+        fields.push(("args", args.clone()));
+    }
+    obj(fields)
+}
+
+fn end_event(ev: &SpanEvent, pid: u64, ts: u64) -> Value {
+    obj(vec![
+        ("name", Value::String(ev.name.to_string())),
+        ("cat", Value::String(ev.cat.to_string())),
+        ("ph", Value::String("E".to_string())),
+        ("ts", Value::UInt(ts)),
+        ("pid", Value::UInt(pid)),
+        ("tid", Value::UInt(ev.tid)),
+    ])
+}
+
+/// Validates `text` as a Chrome trace-event document: every event has
+/// the required fields, timestamps are non-decreasing within each
+/// `(pid, tid)` timeline, and every `"B"` has a matching same-name
+/// `"E"` in stack order.
+///
+/// # Errors
+///
+/// A description of the first violation found.
+pub fn validate_trace(text: &str) -> Result<TraceCheck, String> {
+    let doc = serde_json::from_str(text).map_err(|e| format!("not JSON: {e}"))?;
+    let events = match doc.get("traceEvents").and_then(Value::as_array) {
+        Some(events) => events,
+        None => doc
+            .as_array()
+            .ok_or_else(|| "neither a traceEvents object nor a bare array".to_string())?,
+    };
+    let mut check = TraceCheck { events: events.len(), ..TraceCheck::default() };
+    let mut last_ts: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    let mut stacks: BTreeMap<(u64, u64), Vec<String>> = BTreeMap::new();
+    let mut cats: Vec<String> = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let name = ev
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing name"))?;
+        let ph = ev
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i} ({name}): missing ph"))?;
+        let pid = ev
+            .get("pid")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("event {i} ({name}): missing pid"))?;
+        let tid = ev
+            .get("tid")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("event {i} ({name}): missing tid"))?;
+        if ph == "M" {
+            continue;
+        }
+        if ph != "B" && ph != "E" {
+            return Err(format!("event {i} ({name}): unsupported ph {ph:?}"));
+        }
+        let ts = ev
+            .get("ts")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("event {i} ({name}): missing ts"))?;
+        let key = (pid, tid);
+        if let Some(&prev) = last_ts.get(&key) {
+            if ts < prev {
+                return Err(format!(
+                    "event {i} ({name}): ts {ts} < {prev} on timeline pid={pid} tid={tid}"
+                ));
+            }
+        }
+        last_ts.insert(key, ts);
+        let stack = stacks.entry(key).or_default();
+        if ph == "B" {
+            stack.push(name.to_string());
+            if let Some(cat) = ev.get("cat").and_then(Value::as_str) {
+                if !cats.iter().any(|c| c == cat) {
+                    cats.push(cat.to_string());
+                }
+            }
+        } else {
+            let open =
+                stack.pop().ok_or_else(|| format!("event {i} ({name}): E without open B"))?;
+            if open != name {
+                return Err(format!("event {i}: E {name:?} closes open span {open:?}"));
+            }
+            check.spans += 1;
+        }
+    }
+    for ((pid, tid), stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!("unclosed span {open:?} on timeline pid={pid} tid={tid}"));
+        }
+    }
+    check.timelines = stacks.len();
+    cats.sort();
+    check.categories = cats;
+    Ok(check)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(
+        tid: u64,
+        cat: &'static str,
+        name: &'static str,
+        start: u64,
+        end: u64,
+        seq: u64,
+    ) -> SpanEvent {
+        SpanEvent { cat, name, args: None, tid, start_us: start, end_us: end, seq }
+    }
+
+    fn validate(snap: &Snapshot) -> TraceCheck {
+        let text = serde::value::to_compact_string(&trace_value(snap, "t"));
+        validate_trace(&text).expect("trace validates")
+    }
+
+    #[test]
+    fn nested_and_sequential_spans_export_cleanly() {
+        let snap = Snapshot {
+            events: vec![
+                span(1, "run", "plan", 100, 900, 0),
+                span(1, "pool", "shard", 150, 400, 1),
+                span(1, "pool", "shard", 450, 800, 2),
+                span(2, "trial", "static", 200, 300, 3),
+            ],
+            ..Snapshot::default()
+        };
+        let check = validate(&snap);
+        assert_eq!(check.spans, 4);
+        assert_eq!(check.timelines, 2);
+        assert_eq!(check.categories, vec!["pool", "run", "trial"]);
+    }
+
+    #[test]
+    fn overlapping_spans_are_clamped_not_crossed() {
+        // Overlap without nesting: [100, 500) and [300, 700).
+        let snap = Snapshot {
+            events: vec![span(1, "a", "first", 100, 500, 0), span(1, "a", "second", 300, 700, 1)],
+            ..Snapshot::default()
+        };
+        let check = validate(&snap);
+        assert_eq!(check.spans, 2);
+    }
+
+    #[test]
+    fn identical_start_spans_keep_seq_order() {
+        let snap = Snapshot {
+            events: vec![span(1, "a", "outer", 100, 100, 0), span(1, "a", "inner", 100, 100, 1)],
+            ..Snapshot::default()
+        };
+        let check = validate(&snap);
+        assert_eq!(check.spans, 2);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_traces() {
+        assert!(validate_trace("not json").is_err());
+        assert!(validate_trace(r#"{"traceEvents": 3}"#).is_err());
+        // Unmatched B.
+        let unmatched = r#"[{"name":"x","ph":"B","ts":1,"pid":1,"tid":1}]"#;
+        assert!(validate_trace(unmatched).unwrap_err().contains("unclosed"));
+        // Decreasing ts.
+        let unsorted = r#"[
+            {"name":"x","ph":"B","ts":5,"pid":1,"tid":1},
+            {"name":"x","ph":"E","ts":4,"pid":1,"tid":1}
+        ]"#;
+        assert!(validate_trace(unsorted).unwrap_err().contains("ts"));
+        // Mismatched close.
+        let crossed = r#"[
+            {"name":"x","ph":"B","ts":1,"pid":1,"tid":1},
+            {"name":"y","ph":"B","ts":2,"pid":1,"tid":1},
+            {"name":"x","ph":"E","ts":3,"pid":1,"tid":1}
+        ]"#;
+        assert!(validate_trace(crossed).unwrap_err().contains("closes"));
+    }
+
+    #[test]
+    fn imported_worker_events_survive_export() {
+        let snap = Snapshot {
+            events: vec![span(1, "procs", "wait-worker", 100, 200, 0)],
+            imported: vec![
+                serde_json::from_str(
+                    r#"{"name":"w","cat":"trial","ph":"B","ts":120,"pid":999,"tid":1}"#,
+                )
+                .unwrap(),
+                serde_json::from_str(r#"{"name":"w","ph":"E","ts":180,"pid":999,"tid":1}"#)
+                    .unwrap(),
+            ],
+            ..Snapshot::default()
+        };
+        let check = validate(&snap);
+        assert_eq!(check.spans, 2);
+        assert_eq!(check.timelines, 2);
+    }
+}

@@ -1,0 +1,292 @@
+//! Side-channel observability for the fleet runtime.
+//!
+//! This crate answers "where does wall-clock go?" for the machinery
+//! *around* the CONGEST simulator — the worker pool, the result store,
+//! shard-worker supervision, and the dynamic repair loop — without ever
+//! touching the artifacts those layers produce. Three pieces:
+//!
+//! - **Spans** ([`span!`], [`span()`](fn@span), [`span_with`]): RAII guards that
+//!   record `(category, name, thread, start, duration)` into per-thread
+//!   buffers. When telemetry is [`Mode::Off`] a span is a no-op (no
+//!   clock read, no lock, no allocation). [`Mode::Metrics`] keeps only
+//!   bounded per-`(category, name)` aggregates; [`Mode::Trace`]
+//!   additionally retains every event for trace export.
+//! - **Registry** ([`counter_add`], [`gauge_max`], [`gauge_set`]):
+//!   named monotonic counters and high-water gauges absorbing the
+//!   runtime's ad-hoc numbers (cache hits per namespace, dynamic-graph
+//!   rebuilds, scratch-buffer capacities, pool steals). Drained by
+//!   [`snapshot_and_reset`] into a [`Snapshot`], which renders
+//!   `run_metrics.json` and the end-of-run stderr summary.
+//! - **Exporters**: [`Snapshot::chrome_trace_value`] emits Chrome
+//!   trace-event JSON loadable in Perfetto or `chrome://tracing`;
+//!   [`import_trace_file`] merges trace files produced by shard worker
+//!   processes onto the same timeline (distinguished by `pid`/`tid`).
+//!
+//! **Invariant:** telemetry is side-channel only. Nothing here is ever
+//! written into `phases.jsonl`, `aggregates.json`, or store records, so
+//! those stay byte-identical with telemetry on, off, or at any thread
+//! count. Timestamps exist only in the trace/metrics outputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chrome;
+mod registry;
+
+pub use chrome::{validate_trace, TraceCheck};
+pub use registry::{
+    counter_add, gauge_max, gauge_set, import_trace_file, snapshot_and_reset, Snapshot, SpanStat,
+};
+pub use serde::Value;
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant, SystemTime};
+
+/// How much the telemetry layer records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Record nothing; spans and registry calls are no-ops.
+    Off,
+    /// Keep bounded per-`(category, name)` span aggregates plus the
+    /// counter/gauge registry; individual events are discarded.
+    Metrics,
+    /// Everything in `Metrics`, plus every span event is retained for
+    /// Chrome-trace export. Memory grows with the number of spans.
+    Trace,
+}
+
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the global telemetry mode. Call once near process start;
+/// switching modes mid-run is allowed but spans in flight record under
+/// the mode seen when they *end*.
+pub fn set_mode(mode: Mode) {
+    let v = match mode {
+        Mode::Off => 0,
+        Mode::Metrics => 1,
+        Mode::Trace => 2,
+    };
+    MODE.store(v, Ordering::Relaxed);
+}
+
+/// The current global telemetry mode.
+pub fn mode() -> Mode {
+    match MODE.load(Ordering::Relaxed) {
+        0 => Mode::Off,
+        1 => Mode::Metrics,
+        _ => Mode::Trace,
+    }
+}
+
+/// Whether any recording is active (`Metrics` or `Trace`).
+pub fn enabled() -> bool {
+    MODE.load(Ordering::Relaxed) != 0
+}
+
+/// Whether full event retention is active (`Trace`).
+pub fn tracing() -> bool {
+    MODE.load(Ordering::Relaxed) == 2
+}
+
+/// The process-wide clock epoch: a monotonic `Instant` anchored to the
+/// Unix wall clock once, so timestamps are monotonic *within* a process
+/// yet comparable *across* processes (shard workers merge onto the
+/// coordinator's timeline with at most clock-sync skew).
+struct Epoch {
+    base_us: u64,
+    start: Instant,
+}
+
+static EPOCH: OnceLock<Epoch> = OnceLock::new();
+
+fn epoch() -> &'static Epoch {
+    EPOCH.get_or_init(|| {
+        let base_us = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        Epoch { base_us, start: Instant::now() }
+    })
+}
+
+/// Microseconds since the Unix epoch, measured monotonically after the
+/// first call.
+pub(crate) fn now_us() -> u64 {
+    let e = epoch();
+    e.base_us + e.start.elapsed().as_micros() as u64
+}
+
+/// An active span being timed; consumed when its [`SpanGuard`] drops.
+struct ActiveSpan {
+    cat: &'static str,
+    name: &'static str,
+    args: Option<Value>,
+    start_us: u64,
+}
+
+/// RAII guard for a span: records the span into the current thread's
+/// buffer when dropped. Obtained from [`span()`](fn@span), [`span_with`], or the
+/// [`span!`] macro; holds nothing when telemetry is off.
+pub struct SpanGuard(Option<ActiveSpan>);
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(active) = self.0.take() {
+            let end_us = now_us();
+            registry::record_span(active.cat, active.name, active.args, active.start_us, end_us);
+        }
+    }
+}
+
+/// Starts a span with no arguments. Zero-cost when telemetry is off.
+pub fn span(cat: &'static str, name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard(None);
+    }
+    SpanGuard(Some(ActiveSpan { cat, name, args: None, start_us: now_us() }))
+}
+
+/// Starts a span with lazy arguments: `args` is evaluated only in
+/// [`Mode::Trace`] (aggregate-only modes never pay for argument
+/// construction).
+pub fn span_with<F: FnOnce() -> Value>(
+    cat: &'static str,
+    name: &'static str,
+    args: F,
+) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard(None);
+    }
+    let args = if tracing() { Some(args()) } else { None };
+    SpanGuard(Some(ActiveSpan { cat, name, args, start_us: now_us() }))
+}
+
+/// Converts one span argument into a [`Value`] (used by [`span!`]).
+pub fn arg_value<T: serde::Serialize>(v: &T) -> Value {
+    v.to_value()
+}
+
+/// Starts a span: `span!("cat", "name")` or
+/// `span!("cat", "name", {"key": value, ...})`. Argument expressions
+/// are evaluated only in [`Mode::Trace`]. Bind the result
+/// (`let _span = span!(...)`) so the guard lives to the end of the
+/// scope being timed.
+#[macro_export]
+macro_rules! span {
+    ($cat:expr, $name:expr $(,)?) => {
+        $crate::span($cat, $name)
+    };
+    ($cat:expr, $name:expr, { $($k:literal : $v:expr),* $(,)? }) => {
+        $crate::span_with($cat, $name, || {
+            $crate::Value::Object(vec![$(($k.to_string(), $crate::arg_value(&$v))),*])
+        })
+    };
+}
+
+/// A stopwatch that both times a scope for the caller *and* records it
+/// as a span. Unlike a bare [`SpanGuard`], the elapsed time is always
+/// measured (even with telemetry off) so call sites that report
+/// durations in their own output keep working on one code path.
+pub struct Stopwatch {
+    start: Instant,
+    guard: SpanGuard,
+}
+
+/// Starts a [`Stopwatch`] recording under `cat`/`name`.
+pub fn stopwatch(cat: &'static str, name: &'static str) -> Stopwatch {
+    Stopwatch { start: Instant::now(), guard: span(cat, name) }
+}
+
+impl Stopwatch {
+    /// Ends the span and returns the measured wall-clock duration.
+    pub fn finish(self) -> Duration {
+        let Stopwatch { start, guard } = self;
+        drop(guard);
+        start.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Telemetry state is process-global; serialize tests that touch it.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn off_mode_records_nothing() {
+        let _l = locked();
+        set_mode(Mode::Off);
+        snapshot_and_reset();
+        {
+            let _s = span!("cat", "noop");
+            counter_add("k", 3);
+            gauge_max("g", 9);
+        }
+        let snap = snapshot_and_reset();
+        assert!(snap.is_empty());
+    }
+
+    #[test]
+    fn metrics_mode_aggregates_without_events() {
+        let _l = locked();
+        set_mode(Mode::Metrics);
+        snapshot_and_reset();
+        for _ in 0..3 {
+            let _s = span!("trial", "static", {"seed": 7u64});
+        }
+        counter_add("cache.hits", 2);
+        counter_add("cache.hits", 5);
+        gauge_max("hw", 4);
+        gauge_max("hw", 2);
+        set_mode(Mode::Off);
+        let snap = snapshot_and_reset();
+        let stat = &snap.spans["trial/static"];
+        assert_eq!(stat.count, 3);
+        assert_eq!(snap.counters["cache.hits"], 7);
+        assert_eq!(snap.gauges["hw"], 4);
+        assert_eq!(snap.event_count(), 0);
+    }
+
+    #[test]
+    fn trace_mode_retains_events_across_threads() {
+        let _l = locked();
+        set_mode(Mode::Trace);
+        snapshot_and_reset();
+        {
+            let _outer = span!("run", "outer");
+            let _inner = span!("pool", "shard", {"shard": 0usize});
+        }
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _s = span!("trial", "static", {"job": "a", "seed": 1u64});
+            });
+        });
+        set_mode(Mode::Off);
+        let snap = snapshot_and_reset();
+        assert_eq!(snap.event_count(), 3);
+        let trace = snap.chrome_trace_value("test");
+        let text = serde_json::to_string(&trace).expect("trace serializes");
+        let check = validate_trace(&text).expect("trace validates");
+        assert_eq!(check.spans, 3);
+        assert!(check.timelines >= 2, "expected two thread timelines");
+        assert!(check.categories.iter().any(|c| c == "trial"));
+    }
+
+    #[test]
+    fn stopwatch_measures_even_when_off() {
+        let _l = locked();
+        set_mode(Mode::Off);
+        snapshot_and_reset();
+        let sw = stopwatch("run", "plan");
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(sw.finish() >= Duration::from_millis(1));
+        assert!(snapshot_and_reset().is_empty());
+    }
+}

@@ -1,0 +1,337 @@
+//! Per-thread span buffers, the counter/gauge registry, and the
+//! drained [`Snapshot`] with its renderers.
+
+use crate::chrome;
+use crate::{enabled, mode, Mode};
+use serde::Value;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// One completed span, as retained in `Trace` mode.
+#[derive(Debug, Clone)]
+pub(crate) struct SpanEvent {
+    pub(crate) cat: &'static str,
+    pub(crate) name: &'static str,
+    pub(crate) args: Option<Value>,
+    pub(crate) tid: u64,
+    pub(crate) start_us: u64,
+    pub(crate) end_us: u64,
+    pub(crate) seq: u64,
+}
+
+/// Aggregate statistics for one `(category, name)` span kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Spans recorded.
+    pub count: u64,
+    /// Summed duration, microseconds.
+    pub total_us: u64,
+    /// Longest single span, microseconds.
+    pub max_us: u64,
+}
+
+#[derive(Default)]
+struct ThreadBuf {
+    events: Vec<SpanEvent>,
+    agg: BTreeMap<(&'static str, &'static str), SpanStat>,
+}
+
+/// Every thread buffer ever registered. Buffers are drained in place by
+/// [`snapshot_and_reset`] but never removed: a live thread keeps a
+/// handle to its own buffer in thread-local storage.
+static THREADS: Mutex<Vec<Arc<Mutex<ThreadBuf>>>> = Mutex::new(Vec::new());
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+static SEQ: AtomicU64 = AtomicU64::new(0);
+static COUNTERS: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
+static GAUGES: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
+/// Raw Chrome trace events imported from worker processes.
+static IMPORTED: Mutex<Vec<Value>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static LOCAL: RefCell<Option<(u64, Arc<Mutex<ThreadBuf>>)>> = const { RefCell::new(None) };
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` with this thread's tid and buffer, registering the thread
+/// on first use.
+fn with_local<R>(f: impl FnOnce(u64, &mut ThreadBuf) -> R) -> R {
+    LOCAL.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        if slot.is_none() {
+            let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            let buf = Arc::new(Mutex::new(ThreadBuf::default()));
+            lock(&THREADS).push(Arc::clone(&buf));
+            *slot = Some((tid, buf));
+        }
+        let (tid, buf) = slot.as_ref().expect("just initialized");
+        let mut guard = lock(buf);
+        f(*tid, &mut guard)
+    })
+}
+
+/// Records one completed span into the current thread's buffer.
+pub(crate) fn record_span(
+    cat: &'static str,
+    name: &'static str,
+    args: Option<Value>,
+    start_us: u64,
+    end_us: u64,
+) {
+    let m = mode();
+    if m == Mode::Off {
+        return;
+    }
+    with_local(|tid, buf| {
+        let stat = buf.agg.entry((cat, name)).or_default();
+        stat.count += 1;
+        let dur = end_us.saturating_sub(start_us);
+        stat.total_us += dur;
+        stat.max_us = stat.max_us.max(dur);
+        if m == Mode::Trace {
+            let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+            buf.events.push(SpanEvent { cat, name, args, tid, start_us, end_us, seq });
+        }
+    });
+}
+
+/// Adds `delta` to the named monotonic counter. A zero delta still
+/// creates the key, so "this happened zero times" is visible in the
+/// output. No-op when telemetry is off.
+pub fn counter_add(key: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    *lock(&COUNTERS).entry(key.to_string()).or_insert(0) += delta;
+}
+
+/// Raises the named high-water gauge to at least `value`. No-op when
+/// telemetry is off.
+pub fn gauge_max(key: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut g = lock(&GAUGES);
+    let slot = g.entry(key.to_string()).or_insert(0);
+    *slot = (*slot).max(value);
+}
+
+/// Sets the named gauge to `value` (last write wins). No-op when
+/// telemetry is off.
+pub fn gauge_set(key: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    lock(&GAUGES).insert(key.to_string(), value);
+}
+
+/// Reads a Chrome trace file produced by a worker process and queues
+/// its events for inclusion in this process's trace export (worker
+/// events keep their own `pid`/`tid`, so they land on separate rows of
+/// the same timeline). Returns the number of events imported.
+///
+/// # Errors
+///
+/// A description of the I/O or parse failure.
+pub fn import_trace_file(path: impl AsRef<Path>) -> Result<usize, String> {
+    let path = path.as_ref();
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let doc = serde_json::from_str(&text).map_err(|e| format!("parse {}: {e}", path.display()))?;
+    let events = match doc.get("traceEvents").and_then(Value::as_array) {
+        Some(events) => events.clone(),
+        None => match doc {
+            Value::Array(events) => events,
+            _ => return Err(format!("{}: no traceEvents array", path.display())),
+        },
+    };
+    let n = events.len();
+    lock(&IMPORTED).extend(events);
+    Ok(n)
+}
+
+/// Everything the registry accumulated since the last drain.
+#[derive(Debug, Default)]
+pub struct Snapshot {
+    /// Monotonic counters by key.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by key.
+    pub gauges: BTreeMap<String, u64>,
+    /// Span aggregates keyed `"category/name"`.
+    pub spans: BTreeMap<String, SpanStat>,
+    pub(crate) events: Vec<SpanEvent>,
+    pub(crate) imported: Vec<Value>,
+}
+
+/// Drains all thread buffers, counters, gauges, and imported worker
+/// events into a [`Snapshot`], leaving the registry empty.
+pub fn snapshot_and_reset() -> Snapshot {
+    let mut snap = Snapshot::default();
+    for buf in lock(&THREADS).iter() {
+        let mut buf = lock(buf);
+        snap.events.append(&mut buf.events);
+        for (&(cat, name), stat) in &buf.agg {
+            let merged = snap.spans.entry(format!("{cat}/{name}")).or_default();
+            merged.count += stat.count;
+            merged.total_us += stat.total_us;
+            merged.max_us = merged.max_us.max(stat.max_us);
+        }
+        buf.agg.clear();
+    }
+    std::mem::swap(&mut snap.counters, &mut lock(&COUNTERS));
+    std::mem::swap(&mut snap.gauges, &mut lock(&GAUGES));
+    std::mem::swap(&mut snap.imported, &mut lock(&IMPORTED));
+    snap
+}
+
+impl Snapshot {
+    /// Whether nothing at all was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.spans.is_empty()
+            && self.events.is_empty()
+            && self.imported.is_empty()
+    }
+
+    /// Retained span events (non-zero only after a `Trace`-mode run).
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The `run_metrics.json` document: counters, gauges, and span
+    /// aggregates. Wall-clock appears *here* and nowhere else.
+    pub fn run_metrics_value(&self) -> Value {
+        let counters: Vec<(String, Value)> =
+            self.counters.iter().map(|(k, &v)| (k.clone(), Value::UInt(v))).collect();
+        let gauges: Vec<(String, Value)> =
+            self.gauges.iter().map(|(k, &v)| (k.clone(), Value::UInt(v))).collect();
+        let spans: Vec<(String, Value)> = self
+            .spans
+            .iter()
+            .map(|(k, s)| {
+                (
+                    k.clone(),
+                    Value::Object(vec![
+                        ("count".to_string(), Value::UInt(s.count)),
+                        ("total_us".to_string(), Value::UInt(s.total_us)),
+                        ("max_us".to_string(), Value::UInt(s.max_us)),
+                    ]),
+                )
+            })
+            .collect();
+        Value::Object(vec![
+            ("counters".to_string(), Value::Object(counters)),
+            ("gauges".to_string(), Value::Object(gauges)),
+            ("spans".to_string(), Value::Object(spans)),
+        ])
+    }
+
+    /// Renders the end-of-run summary table (spans, then counters and
+    /// gauges) for stderr. Empty string when nothing was recorded.
+    pub fn render_summary(&self) -> String {
+        if self.spans.is_empty() && self.counters.is_empty() && self.gauges.is_empty() {
+            return String::new();
+        }
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            let width = self.spans.keys().map(String::len).max().unwrap_or(0).max("span".len());
+            out.push_str(&format!(
+                "{:<width$}  {:>9}  {:>12}  {:>12}\n",
+                "span", "count", "total", "max"
+            ));
+            for (key, s) in &self.spans {
+                out.push_str(&format!(
+                    "{key:<width$}  {:>9}  {:>12}  {:>12}\n",
+                    s.count,
+                    fmt_us(s.total_us),
+                    fmt_us(s.max_us),
+                ));
+            }
+        }
+        if !(self.counters.is_empty() && self.gauges.is_empty()) {
+            let width = self
+                .counters
+                .keys()
+                .chain(self.gauges.keys())
+                .map(String::len)
+                .max()
+                .unwrap_or(0)
+                .max("counter".len());
+            out.push_str(&format!("{:<width$}  {:>12}\n", "counter", "value"));
+            for (key, v) in self.counters.iter().chain(self.gauges.iter()) {
+                out.push_str(&format!("{key:<width$}  {v:>12}\n"));
+            }
+        }
+        out
+    }
+
+    /// The Chrome trace-event document for this snapshot (own events
+    /// plus any imported worker events), as a JSON value.
+    pub fn chrome_trace_value(&self, process_name: &str) -> Value {
+        chrome::trace_value(self, process_name)
+    }
+
+    /// Writes the Chrome trace-event document to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures.
+    pub fn write_chrome_trace(
+        &self,
+        path: impl AsRef<Path>,
+        process_name: &str,
+    ) -> std::io::Result<()> {
+        let doc = self.chrome_trace_value(process_name);
+        let text = serde::value::to_compact_string(&doc);
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(text.as_bytes())?;
+        f.write_all(b"\n")
+    }
+}
+
+/// Formats microseconds human-readably for the summary table.
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{us}us")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_us_scales() {
+        assert_eq!(fmt_us(999), "999us");
+        assert_eq!(fmt_us(1_500), "1.50ms");
+        assert_eq!(fmt_us(2_500_000), "2.50s");
+    }
+
+    #[test]
+    fn run_metrics_value_shape() {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("a.b".to_string(), 3);
+        snap.gauges.insert("hw".to_string(), 7);
+        snap.spans
+            .insert("trial/static".to_string(), SpanStat { count: 2, total_us: 10, max_us: 6 });
+        let v = snap.run_metrics_value();
+        assert_eq!(v.get("counters").and_then(|c| c.get("a.b")).and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("gauges").and_then(|g| g.get("hw")).and_then(Value::as_u64), Some(7));
+        let s = v.get("spans").and_then(|s| s.get("trial/static")).expect("span entry");
+        assert_eq!(s.get("count").and_then(Value::as_u64), Some(2));
+        let summary = snap.render_summary();
+        assert!(summary.contains("trial/static"));
+        assert!(summary.contains("a.b"));
+    }
+}
