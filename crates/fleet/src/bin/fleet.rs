@@ -6,6 +6,8 @@
 //!       --trials 30 --threads 8 --out results/fleet
 //! ```
 
+#![forbid(unsafe_code)]
+
 use sleepy_baselines::BaselineKind;
 use sleepy_fleet::procs::read_plan_file;
 use sleepy_fleet::sink::{
@@ -36,6 +38,8 @@ USAGE:
                                     (in-place DynGraph vs CSR rebuild)
     fleet trace-check FILE          validate a Chrome trace written by
                                     --trace-out (format, ts order, B/E pairs)
+    fleet lint [LINT OPTIONS]       determinism-zone static analysis of the
+                                    workspace source (see `fleet lint --help`)
 
 OPTIONS:
     --families LIST   comma-separated graph families (default: the standard
@@ -352,6 +356,11 @@ fn main() -> ExitCode {
         Some("gc") => return run_gc(),
         Some("bench-churn") => return run_bench_churn(),
         Some("trace-check") => return run_trace_check(),
+        Some("lint") => {
+            let args: Vec<String> = std::env::args().skip(2).collect();
+            let code = sleepy_lint::run_cli(&args);
+            return ExitCode::from(u8::try_from(code).unwrap_or(2));
+        }
         _ => {}
     }
     let args = match parse_args() {
@@ -718,6 +727,9 @@ fn run_gc() -> ExitCode {
     };
     let expire_before = match sub.ttl_secs {
         Some(ttl) => {
+            // sleepy-lint: allow(no-wall-clock): gc compares TTL *metadata* stamps
+            // against the clock; entry payloads and keys are untouched, so byte
+            // identity of surviving records is preserved (cache_semantics.rs).
             let now = std::time::SystemTime::now()
                 .duration_since(std::time::UNIX_EPOCH)
                 .map(|d| d.as_secs())
@@ -829,6 +841,8 @@ fn run_bench_churn() -> ExitCode {
         base_seed: u64,
         mut absorb: impl FnMut(DeltaEvent, u64) -> Result<UpdateRecord, FleetError>,
     ) -> f64 {
+        // sleepy-lint: allow(no-wall-clock): bench-churn's whole job is timing;
+        // its throughput report is diagnostic output, not a golden artifact.
         let t = Instant::now();
         for (k, &event) in events.iter().enumerate() {
             absorb(event, seed::update_seed(base_seed, k as u64)).expect("verified above");

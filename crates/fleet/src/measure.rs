@@ -403,6 +403,10 @@ pub struct IncrementalPhase {
     pub carried: usize,
 }
 
+// sleepy-lint: deny(telemetry-purity): AbsorbTotals is the arithmetic both repair
+// paths must agree on bit-for-bit; a telemetry call here would be a side channel
+// the in-place-vs-rebuild oracle cannot see. This file legitimately opens spans
+// elsewhere, so the purity zone is re-imposed just for this region.
 /// The per-update complexity sums an incremental phase accumulates
 /// (shared by [`IncrementalRepairer`] and [`RebuildRepairer`], whose
 /// records must stay bit-identical).
@@ -456,6 +460,7 @@ impl AbsorbTotals {
         }
     }
 }
+// sleepy-lint: end-deny(telemetry-purity)
 
 /// Absorbs [`DeltaEvent`]s one at a time, keeping the MIS valid after
 /// *every single update* — the incremental counterpart of the batched

@@ -344,7 +344,7 @@ struct DedupPlan {
 impl DedupPlan {
     fn of(plan: &TrialPlan, job_keys: &[String]) -> Self {
         let n_jobs = plan.jobs.len();
-        let mut first: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+        let mut first: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
         let mut members: Vec<Vec<usize>> = vec![Vec::new(); n_jobs];
         for (j, key) in job_keys.iter().enumerate() {
             let rep = *first.entry(key.as_str()).or_insert(j);

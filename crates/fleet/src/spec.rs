@@ -132,8 +132,8 @@ fn dedup_keyed<J>(
     key_of: impl Fn(&J) -> String,
     trials_of: impl Fn(&mut J) -> &mut usize,
 ) {
-    use std::collections::hash_map::Entry;
-    let mut seen: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    use std::collections::btree_map::Entry;
+    let mut seen: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
     let mut kept: Vec<J> = Vec::with_capacity(jobs.len());
     for mut job in jobs.drain(..) {
         match seen.entry(key_of(&job)) {

@@ -12,14 +12,10 @@ use sleepy_graph::GraphFamily;
 use sleepy_store::Store;
 use std::path::PathBuf;
 
+mod util;
+
 fn tmp_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "fleet-procs-test-{tag}-{}-{:?}",
-        std::process::id(),
-        std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().subsec_nanos()
-    ));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
+    util::tmp_dir("fleet-procs-test", tag)
 }
 
 #[test]

@@ -26,14 +26,10 @@ fn locked() -> std::sync::MutexGuard<'static, ()> {
     MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+mod util;
+
 fn tmp_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "fleet-telemetry-test-{tag}-{}-{:?}",
-        std::process::id(),
-        std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().subsec_nanos()
-    ));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
+    util::tmp_dir("fleet-telemetry-test", tag)
 }
 
 fn static_plan() -> TrialPlan {

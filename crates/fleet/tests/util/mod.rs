@@ -1,0 +1,22 @@
+//! Shared helpers for the fleet integration tests.
+//!
+//! This module is the single blessed wall-clock shim for test code:
+//! `lint.toml` exempts `crates/fleet/tests/util/` from `no-wall-clock`
+//! so the temp-dir nonce below lives in exactly one audited spot
+//! instead of being copy-pasted into every test file.
+
+use std::path::PathBuf;
+
+/// A fresh per-invocation temp directory, namespaced by `prefix` (one
+/// per test binary) and `tag` (one per test), unique across processes
+/// and repeated runs via the pid and a sub-second wall-clock nonce.
+///
+/// The nonce only names a scratch directory — it can never reach the
+/// bytes of any artifact the tests assert on.
+pub fn tmp_dir(prefix: &str, tag: &str) -> PathBuf {
+    let nonce =
+        std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().subsec_nanos();
+    let dir = std::env::temp_dir().join(format!("{prefix}-{tag}-{}-{nonce:?}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}

@@ -559,10 +559,10 @@ pub fn churn_delta_with_mis(
                 new_to_old[old_to_new[v] as usize] = v as NodeId;
             }
         }
-        let deleted: std::collections::HashSet<(NodeId, NodeId)> =
+        let deleted: std::collections::BTreeSet<(NodeId, NodeId)> =
             remove_edges.iter().copied().collect();
-        let mut batch: std::collections::HashSet<(NodeId, NodeId)> =
-            std::collections::HashSet::with_capacity(insertions);
+        let mut batch: std::collections::BTreeSet<(NodeId, NodeId)> =
+            std::collections::BTreeSet::new();
         let mut budget = 12 * insertions + 64;
         let mut inserted = 0usize;
         while inserted < insertions && budget > 0 {

@@ -4,6 +4,9 @@ use crate::error::GraphError;
 use crate::graph::{Graph, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+// sleepy-lint: allow(no-hash-collections): membership-only dedup set in the hot
+// Steger–Wormald pairing loop — it is never iterated, so its order cannot reach an
+// artifact, and the O(1) probe matters at n*d/2 insertions per restart attempt.
 use std::collections::HashSet;
 
 /// Maximum number of full restarts before giving up.
@@ -66,6 +69,8 @@ fn try_incremental(n: usize, d: usize, rng: &mut SmallRng) -> Option<Vec<(NodeId
             stubs.push(v);
         }
     }
+    // sleepy-lint: allow(no-hash-collections): membership probes only (see import note);
+    // edge order is carried by the `edges` Vec below.
     let mut present: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(n * d / 2);
     let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(n * d / 2);
     while !stubs.is_empty() {

@@ -2,6 +2,8 @@
 //! Algorithm 2's greedy budget constant c and the recursion truncation
 //! depth.
 
+#![forbid(unsafe_code)]
+
 use sleepy_harness::ablation::{run_ablation, AblationConfig};
 use sleepy_harness::output::{default_results_dir, quick_flag, save_report};
 

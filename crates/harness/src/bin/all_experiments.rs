@@ -3,6 +3,8 @@
 //! reports into `results/`. Pass `--quick` for a fast smoke run of the
 //! full pipeline.
 
+#![forbid(unsafe_code)]
+
 use sleepy_harness::output::{default_results_dir, quick_flag, save_report};
 use sleepy_harness::{
     ablation, churn, coloring, corollary1, energy, figure1, figure2, lemmas, robustness, table1,

@@ -1,6 +1,8 @@
 //! Measures MIS repair vs recomputation under seeded graph churn
 //! (experiment CH).
 
+#![forbid(unsafe_code)]
+
 use sleepy_harness::churn::{run_churn, ChurnConfig};
 use sleepy_harness::output::{default_results_dir, quick_flag, save_report};
 

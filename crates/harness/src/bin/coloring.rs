@@ -1,6 +1,8 @@
 //! The §1.5 contrast experiment (CO): (Δ+1)-coloring is O(1) node-averaged
 //! in the traditional model; MIS is not known to be.
 
+#![forbid(unsafe_code)]
+
 use sleepy_harness::coloring::{run_coloring, ColoringConfig};
 use sleepy_harness::output::{default_results_dir, quick_flag, save_report};
 

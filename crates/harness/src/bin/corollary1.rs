@@ -1,6 +1,8 @@
 //! Verifies Corollary 1 (lexicographically-first MIS equivalence) and the
 //! Lemma 1 whp-correctness rate (experiments C1/WHP).
 
+#![forbid(unsafe_code)]
+
 use sleepy_harness::corollary1::{run_corollary1, Corollary1Config};
 use sleepy_harness::output::{default_results_dir, quick_flag, save_report};
 

@@ -1,6 +1,8 @@
 //! Measures the sensor-network energy savings motivating the sleeping
 //! model (experiment EN).
 
+#![forbid(unsafe_code)]
+
 use sleepy_harness::energy::{run_energy, EnergyConfig};
 use sleepy_harness::output::{default_results_dir, quick_flag, save_report};
 

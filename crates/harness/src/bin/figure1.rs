@@ -1,6 +1,8 @@
 //! Regenerates the paper's Figure 1 (experiment F1): the recursion-tree
 //! timing labels, exactly as printed in the paper.
 
+#![forbid(unsafe_code)]
+
 use sleepy_harness::figure1::run_figure1;
 use sleepy_harness::output::{default_results_dir, save_report};
 

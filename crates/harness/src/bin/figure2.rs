@@ -2,6 +2,8 @@
 //! recursion tree of Algorithm 2 vs Algorithm 1's full tree, with measured
 //! level occupancies against Lemma 7's (3/4)^i·n envelope.
 
+#![forbid(unsafe_code)]
+
 use sleepy_harness::figure2::{run_figure2, Figure2Config};
 use sleepy_harness::output::{default_results_dir, quick_flag, save_report};
 

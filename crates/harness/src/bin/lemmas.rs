@@ -1,6 +1,8 @@
 //! Empirically validates Lemmas 2, 3 (Pruning), 5 and 7 (experiments
 //! L2/L3/L5/L7).
 
+#![forbid(unsafe_code)]
+
 use sleepy_harness::lemmas::{run_lemmas, LemmasConfig};
 use sleepy_harness::output::{default_results_dir, quick_flag, save_report};
 

@@ -2,6 +2,8 @@
 //! paper): how output quality degrades when the reliable-links assumption
 //! is relaxed.
 
+#![forbid(unsafe_code)]
+
 use sleepy_harness::output::{default_results_dir, quick_flag, save_report};
 use sleepy_harness::robustness::{run_robustness, RobustnessConfig};
 

@@ -1,6 +1,8 @@
 //! Regenerates the paper's Table 1 (experiment T1). `--quick` shrinks the
 //! sweep for smoke runs.
 
+#![forbid(unsafe_code)]
+
 use sleepy_harness::output::{default_results_dir, quick_flag, save_report};
 use sleepy_harness::table1::{run_table1, Table1Config};
 

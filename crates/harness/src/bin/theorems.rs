@@ -1,5 +1,7 @@
 //! Measures the scaling claims of Theorems 1 and 2 (experiments TH1/TH2).
 
+#![forbid(unsafe_code)]
+
 use sleepy_harness::output::{default_results_dir, quick_flag, save_report};
 use sleepy_harness::theorems::{run_theorems, TheoremsConfig};
 

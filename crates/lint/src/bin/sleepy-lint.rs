@@ -1,0 +1,11 @@
+//! Standalone entry point; `fleet lint` drives the same
+//! [`sleepy_lint::run_cli`].
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    ExitCode::from(u8::try_from(sleepy_lint::run_cli(&args)).unwrap_or(2))
+}

@@ -1,0 +1,268 @@
+//! `lint.toml`: the determinism-zone configuration.
+//!
+//! Parsed with a hand-rolled reader over a deliberately tiny TOML
+//! subset (same spirit as `planio.rs` in the fleet crate — the
+//! vendored `serde` stand-in has no typed deserialization, and the
+//! lint takes no dependencies at all). Supported syntax:
+//!
+//! ```toml
+//! # comment
+//! [section.name]
+//! key = "string"
+//! key = true
+//! key = ["a", "b",     # arrays may span lines
+//!        "c"]
+//! ```
+//!
+//! Path patterns in zone and exemption lists are repo-relative with
+//! forward slashes and match by prefix; a leading `*/` matches the
+//! rest anywhere after a `/` (so `*/tests/` covers every crate's
+//! integration-test tree).
+
+use std::collections::BTreeMap;
+
+/// Per-rule configuration from `[rule.<name>]` sections.
+#[derive(Debug, Clone, Default)]
+pub struct RuleConfig {
+    /// Paths (or `zone:<name>` references) where the rule does *not*
+    /// fire. Used by deny-by-default rules.
+    pub exempt: Vec<String>,
+    /// Paths where the rule *does* fire (fire-only-here rules, e.g.
+    /// `telemetry-purity`). Empty means "everywhere not exempt".
+    pub zones: Vec<String>,
+    /// Single file a whole-file rule inspects (`seed-domain-discipline`).
+    pub file: Option<String>,
+    /// Identifier prefix for the seed-domain scan.
+    pub prefix: Option<String>,
+    /// `enabled = false` turns a rule off wholesale.
+    pub enabled: bool,
+}
+
+/// The parsed `lint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Directory prefixes never scanned (vendored code, build output).
+    pub exclude: Vec<String>,
+    /// Named zones: `zone:<name>` in an exemption list expands to these
+    /// path patterns.
+    pub zones: BTreeMap<String, Vec<String>>,
+    /// Rule sections by rule name.
+    pub rules: BTreeMap<String, RuleConfig>,
+}
+
+impl Config {
+    /// Parses the `lint.toml` text.
+    ///
+    /// # Errors
+    ///
+    /// A `line N: <what>` description of the first malformed construct.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        let mut section: Vec<String> = Vec::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((i, raw)) = lines.next() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            let errl = |what: &str| format!("line {}: {}", i + 1, what);
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                section = name.split('.').map(|s| s.trim().to_string()).collect();
+                if section.iter().any(String::is_empty) {
+                    return Err(errl("empty section name"));
+                }
+                continue;
+            }
+            let Some(eq) = line.find('=') else {
+                return Err(errl("expected `key = value` or `[section]`"));
+            };
+            let key = line[..eq].trim().to_string();
+            let mut value = line[eq + 1..].trim().to_string();
+            // Multi-line array: keep consuming lines until the `]`.
+            if value.starts_with('[') && !value.ends_with(']') {
+                for (_, cont) in lines.by_ref() {
+                    let cont = strip_comment(cont).trim().to_string();
+                    value.push(' ');
+                    value.push_str(&cont);
+                    if cont.ends_with(']') {
+                        break;
+                    }
+                }
+                if !value.ends_with(']') {
+                    return Err(errl("unterminated array"));
+                }
+            }
+            let parsed = parse_value(&value).ok_or_else(|| errl("bad value"))?;
+            cfg.assign(&section, &key, parsed).map_err(|e| errl(&e))?;
+        }
+        Ok(cfg)
+    }
+
+    fn assign(&mut self, section: &[String], key: &str, value: Value) -> Result<(), String> {
+        let path = section.join(".");
+        match (section.first().map(String::as_str), section.len()) {
+            (Some("lint"), 1) => match (key, value) {
+                ("exclude", Value::List(v)) => self.exclude = v,
+                _ => return Err(format!("unknown key `{key}` in [lint]")),
+            },
+            (Some("zones"), 1) => match value {
+                Value::List(v) => {
+                    self.zones.insert(key.to_string(), v);
+                }
+                _ => return Err(format!("zone `{key}` must be a path list")),
+            },
+            (Some("rule"), 2) => {
+                let rule = self
+                    .rules
+                    .entry(section[1].clone())
+                    .or_insert_with(|| RuleConfig { enabled: true, ..RuleConfig::default() });
+                match (key, value) {
+                    ("exempt", Value::List(v)) => rule.exempt = v,
+                    ("zones", Value::List(v)) => rule.zones = v,
+                    ("file", Value::Str(s)) => rule.file = Some(s),
+                    ("prefix", Value::Str(s)) => rule.prefix = Some(s),
+                    ("enabled", Value::Bool(b)) => rule.enabled = b,
+                    _ => return Err(format!("unknown key `{key}` in [rule.{}]", section[1])),
+                }
+            }
+            _ => return Err(format!("unknown section `[{path}]`")),
+        }
+        Ok(())
+    }
+
+    /// Expands an exemption entry: `zone:<name>` becomes the zone's
+    /// path patterns, anything else is itself a pattern.
+    pub fn expand<'a>(&'a self, entry: &'a str) -> Vec<&'a str> {
+        match entry.strip_prefix("zone:") {
+            Some(zone) => self
+                .zones
+                .get(zone)
+                .map(|v| v.iter().map(String::as_str).collect())
+                .unwrap_or_default(),
+            None => vec![entry],
+        }
+    }
+
+    /// Does the repo-relative `path` fall under any of `entries`
+    /// (zone references expanded)?
+    pub fn path_matches(&self, path: &str, entries: &[String]) -> bool {
+        entries.iter().flat_map(|e| self.expand(e)).any(|pat| pattern_matches(path, pat))
+    }
+}
+
+/// Prefix match, with `*/` meaning "anywhere after a slash".
+pub fn pattern_matches(path: &str, pattern: &str) -> bool {
+    if let Some(rest) = pattern.strip_prefix("*/") {
+        let needle = format!("/{rest}");
+        path.starts_with(rest) || path.contains(&needle)
+    } else {
+        path.starts_with(pattern)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Value {
+    Str(String),
+    Bool(bool),
+    List(Vec<String>),
+}
+
+/// Strips a `#` comment, respecting `"…"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, b) in line.bytes().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(text: &str) -> Option<Value> {
+    let text = text.trim();
+    if text == "true" {
+        return Some(Value::Bool(true));
+    }
+    if text == "false" {
+        return Some(Value::Bool(false));
+    }
+    if let Some(s) = unquote(text) {
+        return Some(Value::Str(s));
+    }
+    let inner = text.strip_prefix('[')?.strip_suffix(']')?;
+    let mut items = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue; // trailing comma
+        }
+        items.push(unquote(part)?);
+    }
+    Some(Value::List(items))
+}
+
+fn unquote(text: &str) -> Option<String> {
+    let inner = text.strip_prefix('"')?.strip_suffix('"')?;
+    (!inner.contains('"')).then(|| inner.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_values_and_multiline_arrays() {
+        let cfg = Config::parse(
+            r#"
+# top comment
+[lint]
+exclude = ["target/", "vendor/"]
+
+[zones]
+tests = ["tests/", "*/tests/",   # inline comment
+         "examples/"]
+
+[rule.no-wall-clock]
+exempt = ["zone:tests", "crates/telemetry/"]
+enabled = true
+
+[rule.seed-domain-discipline]
+file = "crates/fleet/src/seed.rs"
+prefix = "DOMAIN_"
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.exclude, vec!["target/", "vendor/"]);
+        assert_eq!(cfg.zones["tests"].len(), 3);
+        let rule = &cfg.rules["no-wall-clock"];
+        assert_eq!(rule.exempt.len(), 2);
+        assert!(rule.enabled);
+        assert_eq!(
+            cfg.rules["seed-domain-discipline"].file.as_deref(),
+            Some("crates/fleet/src/seed.rs")
+        );
+    }
+
+    #[test]
+    fn zone_references_expand_in_path_matching() {
+        let cfg = Config::parse(
+            "[zones]\nt = [\"*/tests/\"]\n[rule.r]\nexempt = [\"zone:t\", \"docs/\"]\n",
+        )
+        .unwrap();
+        let ex = cfg.rules["r"].exempt.clone();
+        assert!(cfg.path_matches("crates/fleet/tests/util.rs", &ex));
+        assert!(cfg.path_matches("tests/foo.rs", &ex));
+        assert!(cfg.path_matches("docs/x.rs", &ex));
+        assert!(!cfg.path_matches("crates/fleet/src/run.rs", &ex));
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_with_lines() {
+        assert!(Config::parse("[lint]\nbogus = 1\n").is_err());
+        assert!(Config::parse("key_without_section = \"x\"\n").is_err());
+        let err = Config::parse("[lint]\n\nexclude = [\"a\"\n").unwrap_err();
+        assert!(err.starts_with("line 3"), "{err}");
+    }
+}

@@ -1,0 +1,435 @@
+//! A minimal hand-rolled Rust "shape" lexer.
+//!
+//! The rules never need a full parse — only a view of the source in
+//! which comments and the *contents* of string/char literals are
+//! blanked out, so that a `HashMap` inside a doc comment, an error
+//! message, or an `r#"…"#` fixture can never trip a ban. The lexer
+//! therefore produces:
+//!
+//! * [`Lexed::masked`] — the source with every comment and every
+//!   literal body replaced by spaces. Byte length and line structure
+//!   are preserved exactly, so offsets and line numbers in the masked
+//!   text are valid in the original.
+//! * [`Lexed::comments`] — the comment texts with their starting
+//!   lines, for the `sleepy-lint:` directive scanner.
+//!
+//! Handled corners: nested block comments, escapes in strings and
+//! chars, byte strings (`b"…"`, `br#"…"#`), raw strings with any
+//! number of `#`s, raw identifiers (`r#match` is *not* a raw string),
+//! and lifetimes (`'static` is *not* a char literal).
+
+/// One comment (line or block) with the line it starts on (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line of the comment's first character.
+    pub line: u32,
+    /// The comment text, delimiters included.
+    pub text: String,
+}
+
+/// The lexer's output: masked source plus extracted comments.
+#[derive(Debug, Clone)]
+pub struct Lexed {
+    /// Source with comments and literal bodies blanked (newlines kept).
+    pub masked: String,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`, blanking comments and literal contents.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::with_capacity(src.len()),
+        comments: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<u8>,
+    comments: Vec<Comment>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Lexed {
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            match b {
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'r' if !self.in_ident() && self.raw_string_ahead(1) => self.raw_string(1),
+                b'b' if !self.in_ident() && self.peek(1) == Some(b'"') => {
+                    self.copy(1);
+                    self.string();
+                }
+                b'b' if !self.in_ident()
+                    && self.peek(1) == Some(b'r')
+                    && self.raw_string_ahead(2) =>
+                {
+                    self.copy(1);
+                    self.raw_string(1)
+                }
+                b'b' if !self.in_ident() && self.peek(1) == Some(b'\'') => {
+                    self.copy(1);
+                    self.char_literal();
+                }
+                b'\'' if !self.in_ident_or_digit() => self.quote(),
+                _ => self.copy(1),
+            }
+        }
+        Lexed {
+            masked: String::from_utf8(self.out).expect("masking preserves UTF-8"),
+            comments: self.comments,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Is the previous emitted byte part of an identifier? Guards the
+    /// `r`/`b` literal prefixes against identifiers that merely end in
+    /// them (`for_br"` cannot happen, but `har"x"` must not raw-parse).
+    fn in_ident(&self) -> bool {
+        self.pos > 0 && {
+            let p = self.src[self.pos - 1];
+            p == b'_' || p.is_ascii_alphanumeric()
+        }
+    }
+
+    /// Like [`in_ident`](Self::in_ident), for the `'` disambiguation:
+    /// after an identifier or digit, `'` can never begin a char
+    /// literal (it is a lifetime position only inside generics, where
+    /// the *preceding* char is punctuation).
+    fn in_ident_or_digit(&self) -> bool {
+        self.in_ident()
+    }
+
+    /// Does `r` (at `pos + skip - 1`) start a raw string? True when
+    /// zero or more `#`s are followed by `"`. `r#ident` fails the
+    /// check and stays an identifier.
+    fn raw_string_ahead(&self, skip: usize) -> bool {
+        let mut i = skip;
+        while self.peek(i) == Some(b'#') {
+            i += 1;
+        }
+        self.peek(i) == Some(b'"')
+    }
+
+    /// Copies `n` bytes through unmasked, tracking lines.
+    fn copy(&mut self, n: usize) {
+        for _ in 0..n {
+            let b = self.src[self.pos];
+            if b == b'\n' {
+                self.line += 1;
+            }
+            self.out.push(b);
+            self.pos += 1;
+        }
+    }
+
+    /// Masks `n` bytes (newlines kept so lines stay aligned).
+    fn blank(&mut self, n: usize) {
+        for _ in 0..n {
+            let b = self.src[self.pos];
+            if b == b'\n' {
+                self.line += 1;
+                self.out.push(b'\n');
+            } else {
+                self.out.push(b' ');
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let mut end = self.pos;
+        while end < self.src.len() && self.src[end] != b'\n' {
+            end += 1;
+        }
+        let text = String::from_utf8_lossy(&self.src[start..end]).into_owned();
+        self.comments.push(Comment { line, text });
+        self.blank(end - start);
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let mut end = self.pos + 2;
+        let mut depth = 1usize;
+        while end < self.src.len() && depth > 0 {
+            if self.src[end] == b'/' && self.src.get(end + 1) == Some(&b'*') {
+                depth += 1;
+                end += 2;
+            } else if self.src[end] == b'*' && self.src.get(end + 1) == Some(&b'/') {
+                depth -= 1;
+                end += 2;
+            } else {
+                end += 1;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..end]).into_owned();
+        self.comments.push(Comment { line, text });
+        self.blank(end - start);
+    }
+
+    /// A `"…"` string: keep the quotes, blank the body.
+    fn string(&mut self) {
+        self.copy(1); // opening quote
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' if self.pos + 1 < self.src.len() => self.blank(2),
+                b'"' => {
+                    self.copy(1);
+                    return;
+                }
+                _ => self.blank(1),
+            }
+        }
+    }
+
+    /// A raw string starting at the current `r`: `r##"…"##` etc.
+    /// `hashes_at` is where the `#`s begin relative to `pos`.
+    fn raw_string(&mut self, hashes_at: usize) {
+        let mut hashes = 0usize;
+        while self.peek(hashes_at + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        // r + #s + " all kept; body blanked until " + same #s.
+        self.copy(hashes_at + hashes + 1);
+        while self.pos < self.src.len() {
+            if self.src[self.pos] == b'"' {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if self.peek(1 + k) != Some(b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.copy(1 + hashes);
+                    return;
+                }
+            }
+            self.blank(1);
+        }
+    }
+
+    /// A `'` outside identifier position: char literal or lifetime.
+    fn quote(&mut self) {
+        // Escape => char literal for sure.
+        if self.peek(1) == Some(b'\\') {
+            self.char_literal();
+            return;
+        }
+        // 'x' (any single non-quote char then ') => char literal.
+        // Otherwise it is a lifetime: copy just the quote and move on.
+        match (self.peek(1), self.peek(2)) {
+            (Some(c), Some(b'\'')) if c != b'\'' => self.char_literal(),
+            _ => self.copy(1),
+        }
+    }
+
+    /// Masks a char/byte-char literal body, copying the quotes.
+    fn char_literal(&mut self) {
+        self.copy(1); // opening '
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' if self.pos + 1 < self.src.len() => self.blank(2),
+                b'\'' => {
+                    self.copy(1);
+                    return;
+                }
+                b'\n' => return, // malformed; stop rather than eat the file
+                _ => self.blank(1),
+            }
+        }
+    }
+}
+
+/// A token over the masked source: identifiers and the two punctuation
+/// shapes the rule patterns need (`::` and `!`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok<'a> {
+    /// An identifier (or keyword — the rules don't care).
+    Ident(&'a str),
+    /// The path separator `::`.
+    PathSep,
+    /// A `!` (macro bang or negation; patterns only look at it right
+    /// after an identifier, where negation cannot appear).
+    Bang,
+    /// Any other non-whitespace punctuation byte.
+    Other,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned<'a> {
+    /// The token.
+    pub tok: Tok<'a>,
+    /// Its 1-based source line.
+    pub line: u32,
+}
+
+/// Tokenizes masked source into identifiers and coarse punctuation.
+pub fn tokens(masked: &str) -> Vec<Spanned<'_>> {
+    let bytes = masked.as_bytes();
+    let mut out = Vec::new();
+    let mut line = 1u32;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+            i += 1;
+        } else if b.is_ascii_whitespace() {
+            i += 1;
+        } else if b == b'_' || b.is_ascii_alphabetic() {
+            let start = i;
+            while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
+                i += 1;
+            }
+            out.push(Spanned { tok: Tok::Ident(&masked[start..i]), line });
+        } else if b == b':' && bytes.get(i + 1) == Some(&b':') {
+            out.push(Spanned { tok: Tok::PathSep, line });
+            i += 2;
+        } else if b == b'!' {
+            out.push(Spanned { tok: Tok::Bang, line });
+            i += 1;
+        } else if b.is_ascii_digit() {
+            // Numbers (incl. suffixed/underscored) are skipped wholesale
+            // so `0x51EE_9F1E` never splits into spurious identifiers.
+            while i < bytes.len()
+                && (bytes[i] == b'_' || bytes[i] == b'.' || bytes[i].is_ascii_alphanumeric())
+            {
+                i += 1;
+            }
+        } else {
+            out.push(Spanned { tok: Tok::Other, line });
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        tokens(&lex(src).masked)
+            .into_iter()
+            .filter_map(|s| match s.tok {
+                Tok::Ident(i) => Some(i.to_string()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_masked() {
+        let src = "let a = \"HashMap\"; // HashMap here\n/* HashMap */ let b = 1;";
+        let ids = idents(src);
+        assert!(ids.contains(&"let".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "/* outer /* inner */ still comment */ HashMap";
+        assert_eq!(idents(src), vec!["HashMap"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_masked() {
+        // The `r` prefix survives as a stray ident token; the body and
+        // its embedded quote do not.
+        let src = "let s = r#\"HashMap \" inner\"#; SystemTime";
+        assert_eq!(idents(src), vec!["let", "s", "r", "SystemTime"]);
+        let src2 = "let s = r##\"a \"# b\"##; Instant";
+        assert_eq!(idents(src2), vec!["let", "s", "r", "Instant"]);
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        let src = "let r#match = 1; HashMap";
+        let ids = idents(src);
+        assert!(ids.contains(&"r".to_string()) || ids.contains(&"match".to_string()));
+        assert!(ids.contains(&"HashMap".to_string()));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars_are_masked() {
+        let src = "let a = b\"HashMap\"; let c = b'x'; let r = br#\"HashMap\"#; Instant";
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(ids.contains(&"Instant".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        // If 'a opened a char literal the rest of the line would be
+        // swallowed and `HashMap` would vanish.
+        let src = "fn f<'a>(x: &'a str) { HashMap }";
+        assert!(idents(src).contains(&"HashMap".to_string()));
+    }
+
+    #[test]
+    fn char_literal_with_quote_escape() {
+        let src = "let q = '\\''; let n = '\\n'; HashMap";
+        assert!(idents(src).contains(&"HashMap".to_string()));
+    }
+
+    #[test]
+    fn string_with_escaped_quote_does_not_leak() {
+        let src = "let s = \"a \\\" HashMap\"; Instant";
+        assert_eq!(idents(src), vec!["let", "s", "Instant"]);
+    }
+
+    #[test]
+    fn comments_are_reported_with_lines() {
+        let src = "line1\n// sleepy-lint: allow(x): y\ncode();\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[0].text.contains("allow(x)"));
+    }
+
+    #[test]
+    fn line_numbers_survive_masking() {
+        let src = "a\n\"two\nlines\"\nSystemTime";
+        let lexed = lex(src);
+        let toks = tokens(&lexed.masked);
+        let st = toks
+            .iter()
+            .find(|s| matches!(s.tok, Tok::Ident("SystemTime")))
+            .expect("SystemTime token");
+        assert_eq!(st.line, 4);
+    }
+
+    #[test]
+    fn path_sep_and_bang_tokens() {
+        let toks = tokens("Instant::now(); span!(x)");
+        let shapes: Vec<String> = toks
+            .iter()
+            .map(|s| match &s.tok {
+                Tok::Ident(i) => (*i).to_string(),
+                Tok::PathSep => "::".into(),
+                Tok::Bang => "!".into(),
+                Tok::Other => ".".into(),
+            })
+            .collect();
+        let joined = shapes.join(" ");
+        assert!(joined.contains("Instant :: now"), "{joined}");
+        assert!(joined.contains("span !"), "{joined}");
+    }
+}

@@ -1,0 +1,475 @@
+//! The rule catalog and the per-file checking engine.
+//!
+//! Every rule is a *token-shape* rule over the masked source (see
+//! [`crate::lexer`]): banned identifiers or `A::b` / `name!` sequences,
+//! scoped by path-based zones from `lint.toml`, except
+//! `seed-domain-discipline`, which parses the seed-domain constants of
+//! one designated file. Suppression and re-enforcement are inline:
+//!
+//! ```text
+//! // sleepy-lint: allow(<rule>): <justification>      (this or next code line)
+//! // sleepy-lint: deny(<rule>): <reason>              (begin fenced region)
+//! // sleepy-lint: end-deny(<rule>)                    (end fenced region)
+//! ```
+//!
+//! An `allow` without a written justification is itself a diagnostic:
+//! the whole point is that every escape hatch carries its reasoning in
+//! the source.
+
+use crate::config::Config;
+use crate::lexer::{lex, tokens, Comment, Spanned, Tok};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One `file:line` finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Repo-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name (or `lint-directive` for directive errors).
+    pub rule: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// The canonical one-line text rendering.
+    pub fn render(&self) -> String {
+        format!("{}:{}: {}: {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// A banned token shape: path segments joined by `::`, optionally a
+/// macro bang (`segs: ["span"], bang: true` matches `span!`).
+pub struct Pattern {
+    /// Path segments (`["Instant", "now"]` matches `Instant::now`).
+    pub segs: &'static [&'static str],
+    /// Require a `!` right after the last segment (macro invocation).
+    pub bang: bool,
+}
+
+impl Pattern {
+    /// Display form (`Instant::now`, `span!`).
+    pub fn show(&self) -> String {
+        let mut s = self.segs.join("::");
+        if self.bang {
+            s.push('!');
+        }
+        s
+    }
+}
+
+/// A static rule definition. Zone behavior:
+/// * `fire_only_in_zones = false` (default): fires everywhere except
+///   the configured `exempt` paths — the determinism-zone rules.
+/// * `fire_only_in_zones = true`: fires only inside the configured
+///   `zones` paths — the purity rules.
+pub struct RuleDef {
+    /// The rule's name as used in `lint.toml` and directives.
+    pub name: &'static str,
+    /// One-line description for `--list-rules`.
+    pub summary: &'static str,
+    /// Banned token shapes.
+    pub patterns: &'static [Pattern],
+    /// Zone behavior (see type docs).
+    pub fire_only_in_zones: bool,
+    /// Remediation hint appended to every diagnostic.
+    pub hint: &'static str,
+}
+
+/// The rule catalog. `seed-domain-discipline` has no token patterns —
+/// it is the whole-file scan in [`check_seed_domains`].
+pub const RULES: &[RuleDef] = &[
+    RuleDef {
+        name: "no-hash-collections",
+        summary: "HashMap/HashSet forbidden in determinism zones",
+        patterns: &[
+            Pattern { segs: &["HashMap"], bang: false },
+            Pattern { segs: &["HashSet"], bang: false },
+            Pattern { segs: &["hash_map"], bang: false },
+            Pattern { segs: &["hash_set"], bang: false },
+        ],
+        fire_only_in_zones: false,
+        hint: "iteration order can leak into artifacts; use BTreeMap/BTreeSet",
+    },
+    RuleDef {
+        name: "no-wall-clock",
+        summary: "Instant::now/SystemTime::now forbidden outside telemetry",
+        patterns: &[
+            Pattern { segs: &["Instant", "now"], bang: false },
+            Pattern { segs: &["SystemTime", "now"], bang: false },
+        ],
+        fire_only_in_zones: false,
+        hint: "route timing through sleepy-telemetry or an allowlisted shim",
+    },
+    RuleDef {
+        name: "no-ambient-entropy",
+        summary: "ambient randomness forbidden everywhere",
+        patterns: &[
+            Pattern { segs: &["thread_rng"], bang: false },
+            Pattern { segs: &["from_entropy"], bang: false },
+            Pattern { segs: &["OsRng"], bang: false },
+            Pattern { segs: &["getrandom"], bang: false },
+            Pattern { segs: &["rand", "random"], bang: false },
+        ],
+        fire_only_in_zones: false,
+        hint: "all randomness must flow through the SplitMix64 domains in seed.rs",
+    },
+    RuleDef {
+        name: "seed-domain-discipline",
+        summary: "seed-domain tags and constants must be unique",
+        patterns: &[],
+        fire_only_in_zones: false,
+        hint: "two domains sharing a constant would silently correlate their streams",
+    },
+    RuleDef {
+        name: "telemetry-purity",
+        summary: "telemetry calls forbidden in pure-arithmetic zones",
+        patterns: &[
+            Pattern { segs: &["sleepy_telemetry"], bang: false },
+            Pattern { segs: &["counter_add"], bang: false },
+            Pattern { segs: &["gauge_set"], bang: false },
+            Pattern { segs: &["gauge_max"], bang: false },
+            Pattern { segs: &["span"], bang: true },
+        ],
+        fire_only_in_zones: true,
+        hint: "telemetry is a side channel; pure kernels must not observe it (invariant 8)",
+    },
+];
+
+/// Looks a rule up by name.
+pub fn rule_by_name(name: &str) -> Option<&'static RuleDef> {
+    RULES.iter().find(|r| r.name == name)
+}
+
+/// A parsed inline directive.
+#[derive(Debug)]
+enum Directive {
+    Allow { rule: String, line: u32 },
+    Deny { rule: String, line: u32 },
+    EndDeny { rule: String, line: u32 },
+}
+
+/// Scans comments for `sleepy-lint:` directives; malformed ones become
+/// `lint-directive` diagnostics immediately.
+fn parse_directives(
+    file: &str,
+    comments: &[Comment],
+    diags: &mut Vec<Diagnostic>,
+) -> Vec<Directive> {
+    fn bad(file: &str, line: u32, message: String, diags: &mut Vec<Diagnostic>) {
+        diags.push(Diagnostic {
+            file: file.to_string(),
+            line,
+            rule: "lint-directive".to_string(),
+            message,
+        });
+    }
+    let mut out = Vec::new();
+    for c in comments {
+        // Directives live in implementation comments only; doc comments
+        // may *describe* the syntax (as the lint's own docs do) without
+        // being parsed as directives.
+        let t = c.text.as_str();
+        if t.starts_with("///")
+            || t.starts_with("//!")
+            || t.starts_with("/**")
+            || t.starts_with("/*!")
+        {
+            continue;
+        }
+        let Some(at) = c.text.find("sleepy-lint:") else { continue };
+        let body = c.text[at + "sleepy-lint:".len()..].trim();
+        let (kind, rest) = if let Some(r) = body.strip_prefix("allow(") {
+            ("allow", r)
+        } else if let Some(r) = body.strip_prefix("end-deny(") {
+            ("end-deny", r)
+        } else if let Some(r) = body.strip_prefix("deny(") {
+            ("deny", r)
+        } else {
+            bad(
+                file,
+                c.line,
+                format!("unrecognized directive `{body}` (allow/deny/end-deny)"),
+                diags,
+            );
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            bad(file, c.line, "missing `)` after rule name".to_string(), diags);
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        if rule_by_name(&rule).is_none() {
+            bad(file, c.line, format!("unknown rule `{rule}`"), diags);
+            continue;
+        }
+        let after = rest[close + 1..].trim();
+        match kind {
+            "allow" | "deny" => {
+                let justification = after.strip_prefix(':').map(str::trim).unwrap_or("");
+                if justification.is_empty() {
+                    bad(
+                        file,
+                        c.line,
+                        format!(
+                            "`{kind}({rule})` needs a written justification: \
+                             `sleepy-lint: {kind}({rule}): <why>`"
+                        ),
+                        diags,
+                    );
+                    continue;
+                }
+                if kind == "allow" {
+                    out.push(Directive::Allow { rule, line: c.line });
+                } else {
+                    out.push(Directive::Deny { rule, line: c.line });
+                }
+            }
+            _ => out.push(Directive::EndDeny { rule, line: c.line }),
+        }
+    }
+    out
+}
+
+/// Per-rule fenced regions and allow-lines for one file.
+#[derive(Debug, Default)]
+struct FileDirectives {
+    /// rule -> closed (start, end) line ranges where the rule is
+    /// force-applied.
+    deny_regions: BTreeMap<String, Vec<(u32, u32)>>,
+    /// rule -> lines on which a diagnostic is suppressed.
+    allow_lines: BTreeMap<String, BTreeSet<u32>>,
+}
+
+/// Resolves directives into regions and suppression lines.
+///
+/// An `allow` covers its own line (trailing-comment form) and the next
+/// line containing code (comment-above form).
+fn resolve_directives(
+    file: &str,
+    directives: Vec<Directive>,
+    code_lines: &BTreeSet<u32>,
+    diags: &mut Vec<Diagnostic>,
+) -> FileDirectives {
+    let mut fd = FileDirectives::default();
+    let mut open: BTreeMap<String, u32> = BTreeMap::new();
+    for d in directives {
+        match d {
+            Directive::Allow { rule, line } => {
+                let lines = fd.allow_lines.entry(rule).or_default();
+                lines.insert(line);
+                if let Some(&next) = code_lines.range(line + 1..).next() {
+                    lines.insert(next);
+                }
+            }
+            Directive::Deny { rule, line } => {
+                if open.insert(rule.clone(), line).is_some() {
+                    diags.push(Diagnostic {
+                        file: file.to_string(),
+                        line,
+                        rule: "lint-directive".to_string(),
+                        message: format!(
+                            "nested deny({rule}) region (close the previous one first)"
+                        ),
+                    });
+                }
+            }
+            Directive::EndDeny { rule, line } => match open.remove(&rule) {
+                Some(start) => fd.deny_regions.entry(rule).or_default().push((start, line)),
+                None => diags.push(Diagnostic {
+                    file: file.to_string(),
+                    line,
+                    rule: "lint-directive".to_string(),
+                    message: format!("end-deny({rule}) without a matching deny({rule})"),
+                }),
+            },
+        }
+    }
+    for (rule, start) in open {
+        diags.push(Diagnostic {
+            file: file.to_string(),
+            line: start,
+            rule: "lint-directive".to_string(),
+            message: format!("unclosed deny({rule}) region"),
+        });
+    }
+    fd
+}
+
+/// Matches `pattern` starting at token `i`; returns the line on a hit.
+fn match_at(toks: &[Spanned<'_>], i: usize, pattern: &Pattern) -> Option<u32> {
+    let mut j = i;
+    for (k, seg) in pattern.segs.iter().enumerate() {
+        if k > 0 {
+            match toks.get(j) {
+                Some(Spanned { tok: Tok::PathSep, .. }) => j += 1,
+                _ => return None,
+            }
+        }
+        match toks.get(j) {
+            Some(Spanned { tok: Tok::Ident(id), .. }) if id == seg => j += 1,
+            _ => return None,
+        }
+    }
+    if pattern.bang && !matches!(toks.get(j), Some(Spanned { tok: Tok::Bang, .. })) {
+        return None;
+    }
+    Some(toks[i].line)
+}
+
+/// Lints one file's source. `relpath` is repo-relative with forward
+/// slashes; zone decisions and the seed-domain special case key off it.
+pub fn check_source(cfg: &Config, relpath: &str, src: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let lexed = lex(src);
+    let directives = parse_directives(relpath, &lexed.comments, &mut diags);
+    let code_lines: BTreeSet<u32> = lexed
+        .masked
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, _)| i as u32 + 1)
+        .collect();
+    let fd = resolve_directives(relpath, directives, &code_lines, &mut diags);
+    let toks = tokens(&lexed.masked);
+
+    for rule in RULES {
+        let rcfg = cfg.rules.get(rule.name);
+        if rcfg.is_some_and(|r| !r.enabled) {
+            continue;
+        }
+        // The seed-domain scan runs only on its configured file.
+        if rule.name == "seed-domain-discipline" {
+            if rcfg.and_then(|r| r.file.as_deref()) == Some(relpath) {
+                let prefix = rcfg.and_then(|r| r.prefix.as_deref()).unwrap_or("DOMAIN_");
+                check_seed_domains(relpath, &lexed.masked, prefix, &mut diags);
+            }
+            continue;
+        }
+        if rule.patterns.is_empty() {
+            continue;
+        }
+        let base_applies = if rule.fire_only_in_zones {
+            rcfg.is_some_and(|r| cfg.path_matches(relpath, &r.zones))
+        } else {
+            !rcfg.is_some_and(|r| cfg.path_matches(relpath, &r.exempt))
+        };
+        let regions = fd.deny_regions.get(rule.name);
+        let in_region =
+            |line: u32| regions.is_some_and(|rs| rs.iter().any(|&(a, b)| a <= line && line <= b));
+        if !base_applies && regions.is_none() {
+            continue;
+        }
+        let allows = fd.allow_lines.get(rule.name);
+        for i in 0..toks.len() {
+            for pattern in rule.patterns {
+                let Some(line) = match_at(&toks, i, pattern) else { continue };
+                let fenced = in_region(line);
+                if !base_applies && !fenced {
+                    continue;
+                }
+                if allows.is_some_and(|a| a.contains(&line)) {
+                    continue;
+                }
+                let mut message = format!("`{}` — {}", pattern.show(), rule.hint);
+                if fenced && !base_applies {
+                    message.push_str(" [inside a deny-fenced region]");
+                }
+                diags.push(Diagnostic {
+                    file: relpath.to_string(),
+                    line,
+                    rule: rule.name.to_string(),
+                    message,
+                });
+            }
+        }
+    }
+    diags.sort();
+    diags.dedup();
+    diags
+}
+
+/// The `seed-domain-discipline` scan: every `const <PREFIX>…: u64 = …;`
+/// in the masked source must have a unique name and a unique constant.
+pub fn check_seed_domains(file: &str, masked: &str, prefix: &str, diags: &mut Vec<Diagnostic>) {
+    let mut by_name: BTreeMap<String, u32> = BTreeMap::new();
+    let mut by_value: BTreeMap<String, (String, u32)> = BTreeMap::new();
+    let mut found = 0usize;
+    for (i, line) in masked.lines().enumerate() {
+        let lineno = i as u32 + 1;
+        let mut t = line.trim_start();
+        // Visibility doesn't matter to the discipline: `pub const`,
+        // `pub(crate) const`, and bare `const` all declare a domain.
+        if let Some(after_pub) = t.strip_prefix("pub") {
+            let after_vis = match after_pub.strip_prefix('(') {
+                Some(rest) => match rest.find(')') {
+                    Some(close) => &rest[close + 1..],
+                    None => continue,
+                },
+                None => after_pub,
+            };
+            if after_vis.starts_with(char::is_whitespace) {
+                t = after_vis.trim_start();
+            }
+        }
+        let Some(rest) = t.strip_prefix("const ") else { continue };
+        let name: String =
+            rest.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
+        if !name.starts_with(prefix) {
+            continue;
+        }
+        found += 1;
+        let Some(eq) = rest.find('=') else {
+            diags.push(Diagnostic {
+                file: file.to_string(),
+                line: lineno,
+                rule: "seed-domain-discipline".to_string(),
+                message: format!("domain `{name}` has no `= value` on its line"),
+            });
+            continue;
+        };
+        // Normalize the constant: strip `_`, whitespace and the `;`,
+        // lowercase, so 0x51EE_9F1E == 0x51ee9f1e.
+        let value: String = rest[eq + 1..]
+            .chars()
+            .filter(|c| !c.is_whitespace() && *c != '_' && *c != ';')
+            .collect::<String>()
+            .to_ascii_lowercase();
+        if let Some(&first) = by_name.get(&name) {
+            diags.push(Diagnostic {
+                file: file.to_string(),
+                line: lineno,
+                rule: "seed-domain-discipline".to_string(),
+                message: format!("duplicate domain tag `{name}` (first at line {first})"),
+            });
+        } else {
+            by_name.insert(name.clone(), lineno);
+        }
+        if let Some((other, first)) = by_value.get(&value) {
+            diags.push(Diagnostic {
+                file: file.to_string(),
+                line: lineno,
+                rule: "seed-domain-discipline".to_string(),
+                message: format!(
+                    "domain `{name}` reuses the constant of `{other}` (line {first}) — \
+                     their seed streams would be correlated"
+                ),
+            });
+        } else {
+            by_value.insert(value, (name, lineno));
+        }
+    }
+    if found == 0 {
+        diags.push(Diagnostic {
+            file: file.to_string(),
+            line: 1,
+            rule: "seed-domain-discipline".to_string(),
+            message: format!(
+                "no `const {prefix}…` declarations found — the seed-domain scan is \
+                 pointed at the wrong file or the prefix changed"
+            ),
+        });
+    }
+}

@@ -1,0 +1,275 @@
+//! Per-rule firing fixtures: every rule fires on a bad snippet, every
+//! escape hatch is respected, and the lexer survives the tricky cases
+//! (raw strings, nested block comments, raw identifiers).
+//!
+//! Bad code is passed to [`check_source`] as *string literals*, so when
+//! the lint scans this test file itself the snippets are masked and the
+//! workspace self-check stays clean.
+
+use sleepy_lint::{check_source, Config, Diagnostic};
+
+fn cfg() -> Config {
+    Config::parse(
+        r##"
+[lint]
+exclude = ["vendor/"]
+
+[zones]
+telemetry = ["crates/telemetry/"]
+tests = ["tests/", "*/tests/"]
+pure = ["crates/graph/src/"]
+
+[rule.no-hash-collections]
+exempt = ["zone:telemetry", "zone:tests"]
+
+[rule.no-wall-clock]
+exempt = ["zone:telemetry"]
+
+[rule.no-ambient-entropy]
+exempt = []
+
+[rule.seed-domain-discipline]
+file = "crates/fleet/src/seed.rs"
+prefix = "DOMAIN_"
+
+[rule.telemetry-purity]
+zones = ["zone:pure"]
+"##,
+    )
+    .expect("fixture config parses")
+}
+
+fn rules_fired(diags: &[Diagnostic]) -> Vec<String> {
+    diags.iter().map(|d| d.rule.clone()).collect()
+}
+
+// ---- no-hash-collections -------------------------------------------------
+
+#[test]
+fn hash_collections_fire_in_determinism_zone() {
+    let src = "use std::collections::HashMap;\nfn f() -> HashMap<u32, u32> { HashMap::new() }\n";
+    let diags = check_source(&cfg(), "crates/core/src/lib.rs", src);
+    assert!(
+        diags.iter().all(|d| d.rule == "no-hash-collections") && diags.len() >= 2,
+        "expected no-hash-collections findings, got {diags:?}"
+    );
+    assert_eq!(diags[0].line, 1, "first finding anchors to the use line");
+}
+
+#[test]
+fn hash_collections_silent_in_tests_zone() {
+    let src = "use std::collections::HashSet;\n";
+    assert!(check_source(&cfg(), "crates/core/tests/t.rs", src).is_empty());
+    assert!(check_source(&cfg(), "tests/t.rs", src).is_empty());
+    assert!(check_source(&cfg(), "crates/telemetry/src/registry.rs", src).is_empty());
+}
+
+#[test]
+fn justified_allow_suppresses_comment_above_and_trailing_forms() {
+    let above = "// sleepy-lint: allow(no-hash-collections): membership only, never iterated\n\
+                 use std::collections::HashSet;\n";
+    assert!(check_source(&cfg(), "crates/core/src/lib.rs", above).is_empty());
+    let trailing = "use std::collections::HashSet; // sleepy-lint: allow(no-hash-collections): membership only\n";
+    assert!(check_source(&cfg(), "crates/core/src/lib.rs", trailing).is_empty());
+}
+
+#[test]
+fn multi_line_allow_comment_still_covers_next_code_line() {
+    let src = "// sleepy-lint: allow(no-hash-collections): this justification is long\n\
+               // and wraps onto a second comment line before the code.\n\
+               use std::collections::HashMap;\n";
+    assert!(check_source(&cfg(), "crates/core/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn allow_without_justification_is_itself_a_finding() {
+    let src = "// sleepy-lint: allow(no-hash-collections)\nuse std::collections::HashMap;\n";
+    let diags = check_source(&cfg(), "crates/core/src/lib.rs", src);
+    let fired = rules_fired(&diags);
+    assert!(fired.contains(&"lint-directive".to_string()), "got {diags:?}");
+    assert!(
+        fired.contains(&"no-hash-collections".to_string()),
+        "an unjustified allow must not suppress anything: {diags:?}"
+    );
+}
+
+#[test]
+fn allow_for_one_rule_does_not_suppress_another() {
+    let src = "// sleepy-lint: allow(no-wall-clock): wrong rule on purpose\n\
+               use std::collections::HashMap;\n";
+    let diags = check_source(&cfg(), "crates/core/src/lib.rs", src);
+    assert_eq!(rules_fired(&diags), vec!["no-hash-collections"]);
+}
+
+// ---- no-wall-clock -------------------------------------------------------
+
+#[test]
+fn wall_clock_fires_outside_telemetry() {
+    let src = "fn t() { let _ = std::time::Instant::now(); }\n\
+               fn u() { let _ = std::time::SystemTime::now(); }\n";
+    let diags = check_source(&cfg(), "crates/fleet/src/run.rs", src);
+    assert_eq!(rules_fired(&diags), vec!["no-wall-clock", "no-wall-clock"]);
+    assert_eq!((diags[0].line, diags[1].line), (1, 2));
+    assert!(check_source(&cfg(), "crates/telemetry/src/span.rs", src).is_empty());
+}
+
+#[test]
+fn spaced_path_tokens_still_match() {
+    let src = "fn t() { let _ = Instant :: now (); }\n";
+    let diags = check_source(&cfg(), "crates/core/src/lib.rs", src);
+    assert_eq!(rules_fired(&diags), vec!["no-wall-clock"]);
+}
+
+// ---- no-ambient-entropy --------------------------------------------------
+
+#[test]
+fn ambient_entropy_fires_everywhere_even_in_tests() {
+    let src = "fn r() { let mut rng = rand::thread_rng(); }\n";
+    for path in ["crates/core/src/lib.rs", "crates/core/tests/t.rs", "crates/telemetry/src/x.rs"] {
+        let diags = check_source(&cfg(), path, src);
+        assert_eq!(rules_fired(&diags), vec!["no-ambient-entropy"], "at {path}");
+    }
+    let diags =
+        check_source(&cfg(), "tests/t.rs", "fn s() { let r = SmallRng::from_entropy(); }\n");
+    assert_eq!(rules_fired(&diags), vec!["no-ambient-entropy"]);
+}
+
+// ---- seed-domain-discipline ----------------------------------------------
+
+#[test]
+fn duplicate_domain_constant_fires_even_with_different_formatting() {
+    let src = "pub const DOMAIN_TRIAL: u64 = 0x51EE_9F1E_E700_0001;\n\
+               pub const DOMAIN_GRAPH: u64 = 0x51ee9f1ee7000001;\n";
+    let diags = check_source(&cfg(), "crates/fleet/src/seed.rs", src);
+    assert_eq!(rules_fired(&diags), vec!["seed-domain-discipline"], "got {diags:?}");
+    assert!(diags[0].message.contains("reuses the constant"), "{}", diags[0].message);
+}
+
+#[test]
+fn duplicate_domain_tag_fires() {
+    let src = "pub const DOMAIN_TRIAL: u64 = 1;\npub const DOMAIN_TRIAL: u64 = 2;\n";
+    let diags = check_source(&cfg(), "crates/fleet/src/seed.rs", src);
+    assert!(diags.iter().any(|d| d.message.contains("duplicate domain tag")), "got {diags:?}");
+}
+
+#[test]
+fn distinct_domains_are_clean_and_other_files_are_ignored() {
+    let good = "pub const DOMAIN_TRIAL: u64 = 1;\npub const DOMAIN_GRAPH: u64 = 2;\n";
+    assert!(check_source(&cfg(), "crates/fleet/src/seed.rs", good).is_empty());
+    // The same duplicate constants in a *different* file are out of scope.
+    let dup = "pub const DOMAIN_A: u64 = 1;\npub const DOMAIN_B: u64 = 1;\n";
+    assert!(check_source(&cfg(), "crates/fleet/src/other.rs", dup).is_empty());
+}
+
+#[test]
+fn empty_seed_file_reports_a_pointed_at_the_wrong_file_finding() {
+    let diags = check_source(&cfg(), "crates/fleet/src/seed.rs", "fn no_consts_here() {}\n");
+    assert_eq!(rules_fired(&diags), vec!["seed-domain-discipline"]);
+    assert!(diags[0].message.contains("no `const DOMAIN_"), "{}", diags[0].message);
+}
+
+// ---- telemetry-purity ----------------------------------------------------
+
+#[test]
+fn telemetry_calls_fire_only_inside_pure_zones() {
+    let src = "fn kernel() { let _s = span!(\"absorb\"); counter_add(\"n\", 1); }\n";
+    let diags = check_source(&cfg(), "crates/graph/src/kernel.rs", src);
+    assert_eq!(rules_fired(&diags), vec!["telemetry-purity", "telemetry-purity"]);
+    // Outside the pure zones the same code is legitimate instrumentation.
+    assert!(check_source(&cfg(), "crates/fleet/src/measure.rs", src).is_empty());
+}
+
+#[test]
+fn deny_fence_reimposes_purity_inside_an_unzoned_file() {
+    let src = "fn instrumented() { span!(\"ok here\"); }\n\
+               // sleepy-lint: deny(telemetry-purity): totals must stay pure\n\
+               fn totals() { counter_add(\"leak\", 1); }\n\
+               // sleepy-lint: end-deny(telemetry-purity)\n\
+               fn after() { span!(\"ok again\"); }\n";
+    let diags = check_source(&cfg(), "crates/fleet/src/measure.rs", src);
+    assert_eq!(rules_fired(&diags), vec!["telemetry-purity"], "got {diags:?}");
+    assert_eq!(diags[0].line, 3);
+    assert!(diags[0].message.contains("deny-fenced"), "{}", diags[0].message);
+}
+
+#[test]
+fn unclosed_and_unmatched_fences_are_findings() {
+    let unclosed = "// sleepy-lint: deny(telemetry-purity): never closed\nfn f() {}\n";
+    let diags = check_source(&cfg(), "crates/fleet/src/x.rs", unclosed);
+    assert_eq!(rules_fired(&diags), vec!["lint-directive"]);
+    assert!(diags[0].message.contains("unclosed"), "{}", diags[0].message);
+
+    let unmatched = "// sleepy-lint: end-deny(telemetry-purity)\nfn f() {}\n";
+    let diags = check_source(&cfg(), "crates/fleet/src/x.rs", unmatched);
+    assert_eq!(rules_fired(&diags), vec!["lint-directive"]);
+    assert!(diags[0].message.contains("without a matching"), "{}", diags[0].message);
+}
+
+#[test]
+fn unknown_rule_in_directive_is_a_finding() {
+    let src = "// sleepy-lint: allow(no-such-rule): whatever\nfn f() {}\n";
+    let diags = check_source(&cfg(), "crates/core/src/lib.rs", src);
+    assert_eq!(rules_fired(&diags), vec!["lint-directive"]);
+    assert!(diags[0].message.contains("unknown rule"), "{}", diags[0].message);
+}
+
+// ---- tricky lexing -------------------------------------------------------
+
+#[test]
+fn banned_names_inside_strings_and_comments_never_fire() {
+    let src = "// HashMap in a line comment\n\
+               /* HashMap in /* a nested */ block comment */\n\
+               fn f() -> &'static str { \"HashMap::new() SystemTime::now()\" }\n\
+               fn g() -> &'static str { r#\"use std::collections::HashMap;\"# }\n\
+               fn h() -> &'static str { r##\"thread_rng() with \"# inside\"## }\n\
+               fn i() -> u8 { b\"HashSet\"[0] }\n";
+    assert!(check_source(&cfg(), "crates/core/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn raw_identifier_is_not_a_raw_string_and_lexing_continues() {
+    // If `r#match` were mis-lexed as a raw-string opener, the real
+    // HashMap after it would be swallowed into a string body.
+    let src = "fn r#match() { let _m = HashMap::new(); }\n";
+    let diags = check_source(&cfg(), "crates/core/src/lib.rs", src);
+    assert_eq!(rules_fired(&diags), vec!["no-hash-collections"]);
+}
+
+#[test]
+fn escaped_quotes_and_char_literals_do_not_derail_masking() {
+    let src = "fn f() { let _s = \"esc \\\" quote\"; let _c = '\"'; let _m = HashMap::new(); }\n\
+               fn g<'a>(x: &'a u32) -> &'a u32 { x }\n";
+    let diags = check_source(&cfg(), "crates/core/src/lib.rs", src);
+    assert_eq!(rules_fired(&diags), vec!["no-hash-collections"]);
+    assert_eq!(diags[0].line, 1);
+}
+
+#[test]
+fn directives_inside_strings_and_doc_comments_are_inert() {
+    // A doc comment may *describe* the syntax without enacting it, and a
+    // string containing directive text must not suppress anything.
+    let src = "/// Write `// sleepy-lint: allow(no-hash-collections): why` above the line.\n\
+               fn doc() -> &'static str { \"// sleepy-lint: allow(no-hash-collections): nope\" }\n\
+               fn f() { let _m = HashMap::new(); }\n";
+    let diags = check_source(&cfg(), "crates/core/src/lib.rs", src);
+    assert_eq!(rules_fired(&diags), vec!["no-hash-collections"]);
+}
+
+// ---- run_with_config plumbing --------------------------------------------
+
+#[test]
+fn missing_seed_file_is_reported_by_a_workspace_run() {
+    let dir = std::env::temp_dir().join(format!("sleepy-lint-fixture-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("src")).expect("mkdir");
+    std::fs::write(dir.join("src/lib.rs"), "pub fn ok() {}\n").expect("write");
+    let cfg = Config::parse(
+        "[rule.seed-domain-discipline]\nfile = \"src/seed.rs\"\nprefix = \"DOMAIN_\"\n",
+    )
+    .expect("parses");
+    let report = sleepy_lint::run_with_config(&dir, &cfg).expect("runs");
+    assert_eq!(report.files_scanned, 1);
+    assert_eq!(rules_fired(&report.diagnostics), vec!["seed-domain-discipline"]);
+    assert!(report.diagnostics[0].message.contains("was not found"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,33 @@
+//! The workspace eats its own dog food: the tree this crate ships in
+//! must be lint-clean under its own `lint.toml`, with every escape
+//! hatch carrying a written justification.
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let report = sleepy_lint::run(&root).expect("lint runs against the workspace");
+    assert!(
+        report.is_clean(),
+        "workspace has {} lint finding(s):\n{}",
+        report.diagnostics.len(),
+        report.diagnostics.iter().map(|d| d.render()).collect::<Vec<_>>().join("\n")
+    );
+    // A walk that silently found almost nothing would make the clean
+    // verdict meaningless.
+    assert!(report.files_scanned > 50, "suspiciously few files scanned: {}", report.files_scanned);
+}
+
+#[test]
+fn json_report_round_trips_through_a_parser() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let json = sleepy_lint::run(&root).expect("lint runs").to_json();
+    let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+    assert!(v.get("files_scanned").is_some());
+    assert!(v.get("diagnostics").is_some());
+}

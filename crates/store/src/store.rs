@@ -4,7 +4,7 @@
 use crate::error::StoreError;
 use crate::segment::{decode_line, encode_line, Entry};
 use serde::Value;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -57,7 +57,10 @@ pub struct GcStats {
 pub struct Store {
     dir: PathBuf,
     entries: Vec<Entry>,
-    index: HashMap<String, usize>,
+    // Key → position in `entries`. Lookup-only today, but a BTreeMap
+    // keeps even an accidental future iteration deterministic
+    // (no-hash-collections).
+    index: BTreeMap<String, usize>,
     segments: Vec<SegmentMeta>,
     next_segment: u64,
     stats_quarantined: u64,
@@ -84,7 +87,7 @@ impl Store {
         let mut store = Store {
             dir: dir.clone(),
             entries: Vec::new(),
-            index: HashMap::new(),
+            index: BTreeMap::new(),
             segments: Vec::new(),
             next_segment: 1,
             stats_quarantined: 0,
@@ -258,7 +261,7 @@ impl Store {
     /// segment atomically, and updates manifest + index.
     fn append_entries(&mut self, batch: Vec<Entry>) -> Result<u64, StoreError> {
         let mut fresh: Vec<Entry> = Vec::with_capacity(batch.len());
-        let mut batch_keys: std::collections::HashSet<String> = std::collections::HashSet::new();
+        let mut batch_keys: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
         for e in batch {
             // Skip keys already stored and duplicates within the batch
             // itself; only the key is cloned, never the payload.
@@ -426,6 +429,9 @@ impl Store {
 
 /// Current unix time in seconds (0 if the clock is before the epoch).
 fn now_unix() -> u64 {
+    // sleepy-lint: allow(no-wall-clock): TTL stamps are cache *metadata* — they gate gc
+    // expiry only and are never part of a content-addressed key or a replayed payload,
+    // so byte identity of artifacts is untouched (pinned by cache_semantics.rs).
     std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -442,6 +448,8 @@ mod tests {
             std::process::id(),
             {
                 use std::time::{SystemTime, UNIX_EPOCH};
+                // sleepy-lint: allow(no-wall-clock): test-only temp-dir nonce; cannot
+                // reach any artifact bytes.
                 SystemTime::now().duration_since(UNIX_EPOCH).unwrap().subsec_nanos()
             }
         ));

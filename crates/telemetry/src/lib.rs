@@ -27,6 +27,11 @@
 //! those stay byte-identical with telemetry on, off, or at any thread
 //! count. Timestamps exist only in the trace/metrics outputs.
 
+// Unsafe audit (PR 7): the whole crate is safe code — the thread-local
+// span stack uses `std::thread_local!` + `RefCell`, not raw TLS, so a
+// full `forbid` holds. If a future TLS optimization ever needs
+// `unsafe`, downgrade to `deny` with a scoped `allow` and record the
+// justification here.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -78,6 +78,8 @@ fn main() {
     let _ = std::fs::remove_dir_all(&dir);
     let cfg = FleetConfig::with_threads(2);
     let mut store = Store::open(&dir).expect("store opens");
+    // sleepy-lint: allow(no-wall-clock): example prints cold-vs-warm timings
+    // to stderr for humans; no asserted bytes depend on them.
     let cold_start = std::time::Instant::now();
     let cold = run_dynamic_plan_cached(&plan, &cfg, &mut [], Some(&mut store), true).expect("cold");
     let cold_elapsed = cold_start.elapsed();
@@ -86,6 +88,7 @@ fn main() {
 
     let mut store = Store::open(&dir).expect("store reopens");
     let mut warm_sink = PhaseJsonlSink::new(Vec::new());
+    // sleepy-lint: allow(no-wall-clock): same diagnostic timing as above.
     let warm_start = std::time::Instant::now();
     let warm = run_dynamic_plan_cached(&plan, &cfg, &mut [&mut warm_sink], Some(&mut store), true)
         .expect("warm");

@@ -80,6 +80,8 @@ fn warm_dynamic_reruns_byte_identical_across_threads() {
     let dir = std::env::temp_dir().join(format!(
         "sleepy-dyn-warm-det-{}-{:?}",
         std::process::id(),
+        // sleepy-lint: allow(no-wall-clock): temp-dir nonce only (root-crate test,
+        // out of reach of the shared crates/fleet/tests/util shim).
         std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().subsec_nanos()
     ));
     let _ = std::fs::remove_dir_all(&dir);
