@@ -3,7 +3,9 @@
 use crate::{Ghaffari, GreedyCrt, LubyA, LubyB};
 use serde::{Deserialize, Serialize};
 use sleepy_graph::{Graph, NodeId};
-use sleepy_net::{run_protocol, EngineConfig, EngineError, RunMetrics};
+use sleepy_net::{
+    run_protocol, run_protocol_with_sink, EngineConfig, EngineError, RunMetrics, TraceSink,
+};
 
 /// Which baseline MIS algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -86,6 +88,48 @@ pub fn run_baseline(
         BaselineKind::Ghaffari => {
             collect(run_protocol(graph, engine_config, |id, _| Ghaffari::new(id, seed))?)
         }
+    }
+}
+
+/// [`run_baseline`] with the engine streaming every protocol event into
+/// `sink` — the entry point for round-timeline recorders and schedule
+/// validators (`config.trace` flags are ignored on this path).
+///
+/// # Errors
+///
+/// Same as [`run_baseline`].
+pub fn run_baseline_with_sink(
+    graph: &Graph,
+    kind: BaselineKind,
+    seed: u64,
+    engine_config: &EngineConfig,
+    sink: &mut dyn TraceSink,
+) -> Result<BaselineRun, EngineError> {
+    match kind {
+        BaselineKind::LubyA => collect(run_protocol_with_sink(
+            graph,
+            engine_config,
+            |id, _| LubyA::new(id, seed),
+            sink,
+        )?),
+        BaselineKind::LubyB => collect(run_protocol_with_sink(
+            graph,
+            engine_config,
+            |id, _| LubyB::new(id, seed),
+            sink,
+        )?),
+        BaselineKind::GreedyCrt => collect(run_protocol_with_sink(
+            graph,
+            engine_config,
+            |id, _| GreedyCrt::new(id, seed),
+            sink,
+        )?),
+        BaselineKind::Ghaffari => collect(run_protocol_with_sink(
+            graph,
+            engine_config,
+            |id, _| Ghaffari::new(id, seed),
+            sink,
+        )?),
     }
 }
 

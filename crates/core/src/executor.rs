@@ -57,6 +57,7 @@ impl ExecOutcome {
             active_rounds: self.active_rounds,
             total_messages: self.messages_sent.iter().sum(),
             dropped_messages: 0,
+            lost_messages: 0,
             total_bits: 0,
         }
     }

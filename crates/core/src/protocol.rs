@@ -38,8 +38,8 @@ use crate::rank::{greedy_key, NodeRandomness};
 use crate::schedule::Schedule;
 use sleepy_graph::{Graph, NodeId, Port};
 use sleepy_net::{
-    run_protocol, Action, EngineConfig, Incoming, MessageSize, NodeCtx, Outbox, Protocol, Round,
-    RunMetrics, Trace,
+    run_protocol, run_protocol_with_sink, Action, EngineConfig, Incoming, MessageSize, NodeCtx,
+    Outbox, Protocol, Round, RunMetrics, Trace, TraceSink,
 };
 
 /// Tri-state MIS status, as stored in `v.inMIS` by the paper's pseudocode.
@@ -614,7 +614,36 @@ pub fn run_sleeping_mis(
     let outcome = run_protocol(graph, engine_config, |id, _ctx| {
         SleepingMisProtocol::new(id, prepared.clone())
     })?;
-    let mut in_mis = Vec::with_capacity(graph.n());
+    Ok(collect_mis(outcome))
+}
+
+/// [`run_sleeping_mis`] with the engine streaming every protocol event
+/// into `sink` instead of (or in addition to) buffering a [`Trace`] —
+/// the entry point for round-timeline recorders and schedule validators.
+/// The returned result's `trace` is always `None`; tee a
+/// [`TraceBuffer`](sleepy_net::TraceBuffer) into `sink` to keep one.
+///
+/// # Errors
+///
+/// Same as [`run_sleeping_mis`].
+pub fn run_sleeping_mis_with_sink(
+    graph: &Graph,
+    config: MisConfig,
+    engine_config: &EngineConfig,
+    sink: &mut dyn TraceSink,
+) -> Result<MisRunResult, MisError> {
+    let prepared = PreparedMis::new(graph.n(), config)?;
+    let outcome = run_protocol_with_sink(
+        graph,
+        engine_config,
+        |id, _ctx| SleepingMisProtocol::new(id, prepared.clone()),
+        sink,
+    )?;
+    Ok(collect_mis(outcome))
+}
+
+fn collect_mis(outcome: sleepy_net::RunOutcome<NodeOutput>) -> MisRunResult {
+    let mut in_mis = Vec::with_capacity(outcome.outputs.len());
     let mut base_timeouts = Vec::new();
     for (id, out) in outcome.outputs.iter().enumerate() {
         let out = out.as_ref().expect("completed runs have outputs for every node");
@@ -623,7 +652,7 @@ pub fn run_sleeping_mis(
             base_timeouts.push(id as NodeId);
         }
     }
-    Ok(MisRunResult { in_mis, base_timeouts, metrics: outcome.metrics, trace: outcome.trace })
+    MisRunResult { in_mis, base_timeouts, metrics: outcome.metrics, trace: outcome.trace }
 }
 
 #[cfg(test)]

@@ -296,6 +296,7 @@ mod tests {
                 active_rounds: 0,
                 total_messages: (5.0 * x) as u64,
                 dropped_messages: 0,
+                lost_messages: 0,
                 total_bits: 0,
             },
             mis_size: x as usize,

@@ -66,6 +66,18 @@ OPTIONS:
     --trace-out FILE  record every span and export a Chrome trace-event
                       file (open it in Perfetto or chrome://tracing).
                       Without it telemetry keeps aggregates only
+    --round-timeline  with --out: after the measured run, replay every
+                      trial through the protocol flight recorder and
+                      write round_timeline.jsonl — one JSON object per
+                      active round per trial (awake/sent/lost/decided/
+                      slept counts), cross-checked against the trial's
+                      own complexity accounting. Static runs only
+    --protocol-trace FILE
+                      replay trial 0 of every job with the full
+                      protocol recorder and export a Chrome trace of
+                      per-node awake spans plus per-round awake/sent
+                      counters (static runs only; distinct from
+                      --trace-out, which traces host wall-clock)
     --no-progress     suppress the stderr progress line and the
                       end-of-run telemetry table
     --dry-run         print the job list and exit
@@ -74,7 +86,10 @@ OPTIONS:
 Telemetry is side-channel only: trials.jsonl/phases.jsonl, aggregates,
 and store records are byte-identical with or without --trace-out. With
 --out, a run_metrics.json (counters, gauges, span aggregates) lands
-next to the aggregates.
+next to the aggregates. The protocol recorder is likewise a pure side
+channel: --round-timeline / --protocol-trace re-run the engine after
+the measured run and never touch the measured artifacts, and
+round_timeline.jsonl itself is byte-identical across --threads.
 
 WORKER OPTIONS (run by the multi-process coordinator, or by hand):
     --plan FILE       plan.json written by --emit-plan (required)
@@ -198,6 +213,8 @@ struct Args {
     no_cache: bool,
     emit_plan: Option<PathBuf>,
     trace_out: Option<PathBuf>,
+    round_timeline: bool,
+    protocol_trace: Option<PathBuf>,
     progress: bool,
     dry_run: bool,
     dynamic: bool,
@@ -224,6 +241,8 @@ fn parse_args() -> Result<Option<Args>, String> {
         no_cache: false,
         emit_plan: None,
         trace_out: None,
+        round_timeline: false,
+        protocol_trace: None,
         progress: true,
         dry_run: false,
         dynamic: false,
@@ -277,6 +296,10 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--no-cache" => args.no_cache = true,
             "--emit-plan" => args.emit_plan = Some(PathBuf::from(value("--emit-plan")?)),
             "--trace-out" => args.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--round-timeline" => args.round_timeline = true,
+            "--protocol-trace" => {
+                args.protocol_trace = Some(PathBuf::from(value("--protocol-trace")?));
+            }
             "--no-progress" => args.progress = false,
             "--dry-run" => args.dry_run = true,
             "--dynamic" => args.dynamic = true,
@@ -336,6 +359,15 @@ fn parse_args() -> Result<Option<Args>, String> {
     }
     if args.no_cache && args.store.is_none() {
         return Err("--no-cache only makes sense with --store".to_string());
+    }
+    if args.dynamic && (args.round_timeline || args.protocol_trace.is_some()) {
+        return Err("--round-timeline/--protocol-trace record static protocol runs, not --dynamic"
+            .to_string());
+    }
+    if args.round_timeline && args.out.is_none() {
+        return Err(
+            "--round-timeline needs --out (it writes round_timeline.jsonl there)".to_string()
+        );
     }
     Ok(Some(args))
 }
@@ -473,10 +505,11 @@ fn run_trace_check() -> ExitCode {
         };
         match sleepy_telemetry::validate_trace(&text) {
             Ok(check) => println!(
-                "{}: OK — {} events, {} spans, {} timelines, categories [{}]",
+                "{}: OK — {} events, {} spans, {} counters, {} timelines, categories [{}]",
                 path.display(),
                 check.events,
                 check.spans,
+                check.counters,
                 check.timelines,
                 check.categories.join(", "),
             ),
@@ -1299,6 +1332,29 @@ fn run_static(args: &Args) -> ExitCode {
             dir.display(),
             if cache.is_some() { ", cache_stats.json" } else { "" },
         );
+    }
+    // Protocol flight recorder: a separate engine replay AFTER the
+    // measured run, so the artifacts above are already on disk (and
+    // byte-identical) before any recording happens. Host-level spans
+    // live here, not in the recorder (crates/fleet/src/scope.rs is in
+    // the lint `pure` zone).
+    if args.round_timeline {
+        let dir = args.out.as_deref().expect("checked in parse_args");
+        let path = dir.join("round_timeline.jsonl");
+        let _span = sleepy_telemetry::span!("scope", "round_timeline");
+        match sleepy_fleet::write_round_timeline(&plan, args.threads, &path) {
+            Ok(trials) => {
+                eprintln!("fleet: wrote {} ({trials} trials)", path.display());
+            }
+            Err(e) => return fail(format!("round timeline failed: {e}")),
+        }
+    }
+    if let Some(path) = &args.protocol_trace {
+        let _span = sleepy_telemetry::span!("scope", "protocol_trace");
+        if let Err(e) = sleepy_fleet::write_protocol_trace(&plan, path) {
+            return fail(format!("protocol trace failed: {e}"));
+        }
+        eprintln!("fleet: wrote protocol trace {}", path.display());
     }
     if let Err(e) =
         finish_telemetry(args.out.as_deref(), args.trace_out.as_deref(), "fleet", !args.progress)

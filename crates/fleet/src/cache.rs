@@ -198,6 +198,9 @@ pub fn report_from_value(v: &Value) -> Option<ComplexityReport> {
             active_rounds: s.get("active_rounds")?.as_u64()?,
             total_messages: s.get("total_messages")?.as_u64()?,
             dropped_messages: s.get("dropped_messages")?.as_u64()?,
+            // Serde-defaulted: absent in records written before the field
+            // existed and omitted when zero.
+            lost_messages: s.get("lost_messages").and_then(Value::as_u64).unwrap_or(0),
             total_bits: s.get("total_bits")?.as_u64()?,
         },
         mis_size: v.get("mis_size")?.as_u64()? as usize,

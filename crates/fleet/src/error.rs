@@ -23,6 +23,9 @@ pub enum FleetError {
     Store(sleepy_store::StoreError),
     /// An invalid plan or configuration.
     Config(String),
+    /// The protocol recorder's trace-derived totals disagree with the
+    /// engine's own accounting (see [`crate::scope`]).
+    ScheduleDrift(String),
 }
 
 impl fmt::Display for FleetError {
@@ -34,6 +37,7 @@ impl fmt::Display for FleetError {
             FleetError::Io(e) => write!(f, "result sink failed: {e}"),
             FleetError::Store(e) => write!(f, "result store failed: {e}"),
             FleetError::Config(msg) => write!(f, "invalid fleet configuration: {msg}"),
+            FleetError::ScheduleDrift(msg) => write!(f, "schedule accounting drift: {msg}"),
         }
     }
 }
@@ -46,7 +50,7 @@ impl Error for FleetError {
             FleetError::Engine(e) => Some(e),
             FleetError::Io(e) => Some(e),
             FleetError::Store(e) => Some(e),
-            FleetError::Config(_) => None,
+            FleetError::Config(_) | FleetError::ScheduleDrift(_) => None,
         }
     }
 }

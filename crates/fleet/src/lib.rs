@@ -89,6 +89,7 @@ pub mod planio;
 pub mod pool;
 pub mod procs;
 pub mod run;
+pub mod scope;
 pub mod seed;
 pub mod sink;
 mod spec;
@@ -110,6 +111,9 @@ pub use run::{
     run_plan_cached, run_plan_shard, run_plan_with_sinks, shard_bounds, DynamicFleetOutput,
     DynamicFleetReport, DynamicJobReport, FleetConfig, FleetOutput, FleetReport, PhaseJobReport,
     UpdateStats, STORE_FLUSH_BATCH,
+};
+pub use scope::{
+    record_round_series, write_protocol_trace, write_round_timeline, RecordedTrial, MAX_TRACK_NODES,
 };
 pub use seed::{splitmix64, SeedStream};
 pub use spec::{DynamicJobSpec, DynamicPlan, JobSpec, TrialPlan};

@@ -419,6 +419,7 @@ struct AbsorbTotals {
     active_rounds: u64,
     messages: u64,
     dropped: u64,
+    lost: u64,
     bits: u64,
     timeouts: usize,
     scope_total: usize,
@@ -436,6 +437,7 @@ impl AbsorbTotals {
         self.active_rounds += summary.active_rounds;
         self.messages += summary.total_messages;
         self.dropped += summary.dropped_messages;
+        self.lost += summary.lost_messages;
         self.bits += summary.total_bits;
         self.timeouts += timeouts;
         self.scope_total += scope;
@@ -456,6 +458,7 @@ impl AbsorbTotals {
             active_rounds: self.active_rounds,
             total_messages: self.messages,
             dropped_messages: self.dropped,
+            lost_messages: self.lost,
             total_bits: self.bits,
         }
     }
@@ -937,6 +940,7 @@ fn repair_phase(
         active_rounds: sub_summary.active_rounds,
         total_messages: sub_summary.total_messages,
         dropped_messages: sub_summary.dropped_messages,
+        lost_messages: sub_summary.lost_messages,
         total_bits: sub_summary.total_bits,
     };
     Ok((set, summary, timeouts, scope, carried))
@@ -953,6 +957,7 @@ fn zero_summary(n: usize) -> ComplexitySummary {
         active_rounds: 0,
         total_messages: 0,
         dropped_messages: 0,
+        lost_messages: 0,
         total_bits: 0,
     }
 }

@@ -1,0 +1,349 @@
+//! sleepy-scope: the protocol-level flight recorder.
+//!
+//! Where `sleepy-telemetry` observes the *host* (thread pools, store
+//! I/O, wall-clock), this module observes the *simulated protocol*:
+//! which nodes were awake in which round, who slept, who decided, and
+//! what every message did. It records by re-running a trial on the
+//! message-passing engine with a [`RoundSeries`] (and optionally a full
+//! [`Trace`]) streamed out of [`run_protocol_with_sink`]'s observer
+//! hook, then cross-checks everything the trace says against the
+//! engine's own [`RunMetrics`] accounting — any disagreement is a
+//! [`FleetError::ScheduleDrift`], not a silently wrong plot.
+//!
+//! The recorder is a **pure side channel**: it runs *after* the normal
+//! measured plan, on its own engine runs with the plan's own per-trial
+//! seeds (the engine and the combinatorial executor are bit-identical,
+//! so the recorded schedule is the schedule the reported numbers came
+//! from). It never touches trial records, aggregates, or store
+//! contents, and its own outputs are produced by an in-order
+//! [`deterministic_map`], so they are byte-identical across thread
+//! counts. The module sits in the `pure` sleepy-lint zone: no telemetry
+//! calls, clocks, or hash collections here — host-level spans around
+//! recording belong to the callers (the `fleet` CLI).
+//!
+//! [`run_protocol_with_sink`]: sleepy_net::run_protocol_with_sink
+
+use crate::error::FleetError;
+use crate::measure::AlgoKind;
+use crate::pool::deterministic_map;
+use crate::seed::SeedStream;
+use crate::spec::TrialPlan;
+use serde::Value;
+use sleepy_baselines::run_baseline_with_sink;
+use sleepy_graph::Graph;
+use sleepy_mis::{run_sleeping_mis_with_sink, MisConfig};
+use sleepy_net::{
+    validate_series_against_metrics, validate_series_against_trace, validate_trace_against_metrics,
+    EngineConfig, RoundRow, RoundSeries, RunMetrics, Tee, Trace, TraceBuffer, TraceEvent,
+};
+// sleepy-lint: allow(telemetry-purity): pure trace-document types and their exporter — plain
+// functions of their arguments, no clocks, no global registry; the recording side channel
+// (spans/counters/gauges) stays out of this module.
+use sleepy_telemetry::{protocol_trace_value, ProtoCounter, ProtoProcess, ProtoTrack};
+use std::io::Write as _;
+use std::path::Path;
+
+/// Per-node Chrome tracks are emitted only up to this node count; above
+/// it a run's protocol trace degrades to counter series (a 10⁵-node
+/// run would otherwise mean 10⁵ viewer threads).
+pub const MAX_TRACK_NODES: usize = 128;
+
+/// One recorded (and validated) trial: the per-round timeline, the
+/// engine's metrics, and — when requested — the full event trace.
+#[derive(Debug)]
+pub struct RecordedTrial {
+    /// One row per active round, in round order.
+    pub rows: Vec<RoundRow>,
+    /// The engine's own accounting, already cross-checked against the
+    /// rows (and the trace, when present).
+    pub metrics: RunMetrics,
+    /// The full message-level event trace, if `full_trace` was set.
+    pub trace: Option<Trace>,
+}
+
+/// Runs `algo` on `graph` through the message-passing engine with the
+/// flight recorder attached, then validates the recording against the
+/// engine's metrics. With `full_trace` the complete event trace is kept
+/// and additionally cross-checked row by row against the timeline.
+///
+/// # Errors
+///
+/// Execution errors, or [`FleetError::ScheduleDrift`] if any validator
+/// finds the trace and the metrics disagreeing.
+pub fn record_round_series(
+    graph: &Graph,
+    algo: AlgoKind,
+    seed: u64,
+    full_trace: bool,
+) -> Result<RecordedTrial, FleetError> {
+    let engine = EngineConfig::default();
+    let mut series = RoundSeries::new();
+    let (metrics, trace) = if full_trace {
+        let mut buffer = TraceBuffer::new(true);
+        let mut tee = Tee::new(&mut buffer, &mut series);
+        let metrics = run_recorded(graph, algo, seed, &engine, &mut tee)?;
+        (metrics, Some(buffer.into_trace()))
+    } else {
+        (run_recorded(graph, algo, seed, &engine, &mut series)?, None)
+    };
+    let rows = series.into_rows();
+    let drift = |what: &str, e: String| {
+        FleetError::ScheduleDrift(format!("{algo} seed {seed:#x}: {what}: {e}"))
+    };
+    validate_series_against_metrics(&rows, &metrics)
+        .map_err(|e| drift("timeline vs metrics", e))?;
+    if let Some(trace) = &trace {
+        validate_trace_against_metrics(trace, &metrics, true)
+            .map_err(|e| drift("trace vs metrics", e))?;
+        validate_series_against_trace(&rows, trace).map_err(|e| drift("timeline vs trace", e))?;
+    }
+    Ok(RecordedTrial { rows, metrics, trace })
+}
+
+fn run_recorded(
+    graph: &Graph,
+    algo: AlgoKind,
+    seed: u64,
+    engine: &EngineConfig,
+    sink: &mut dyn sleepy_net::TraceSink,
+) -> Result<RunMetrics, FleetError> {
+    Ok(match algo {
+        AlgoKind::SleepingMis => {
+            run_sleeping_mis_with_sink(graph, MisConfig::alg1(seed), engine, sink)?.metrics
+        }
+        AlgoKind::FastSleepingMis => {
+            run_sleeping_mis_with_sink(graph, MisConfig::alg2(seed), engine, sink)?.metrics
+        }
+        AlgoKind::Baseline(kind) => {
+            run_baseline_with_sink(graph, kind, seed, engine, sink)?.metrics
+        }
+    })
+}
+
+/// Serializes one trial's timeline as JSONL: one object per active
+/// round, each carrying the trial coordinates (`job`, `algo`,
+/// `workload`, `trial`, `seed`) followed by the [`RoundRow`] fields.
+fn timeline_lines(
+    job: usize,
+    algo: AlgoKind,
+    workload_label: &str,
+    trial: usize,
+    seed: u64,
+    rows: &[RoundRow],
+) -> String {
+    use serde::Serialize as _;
+    let mut out = String::new();
+    for row in rows {
+        let mut fields = vec![
+            ("job".to_string(), Value::UInt(job as u64)),
+            ("algo".to_string(), Value::String(algo.to_string())),
+            ("workload".to_string(), Value::String(workload_label.to_string())),
+            ("trial".to_string(), Value::UInt(trial as u64)),
+            ("seed".to_string(), Value::UInt(seed)),
+        ];
+        if let Value::Object(row_fields) = row.to_value() {
+            fields.extend(row_fields);
+        }
+        out.push_str(&serde::value::to_compact_string(&Value::Object(fields)));
+        out.push('\n');
+    }
+    out
+}
+
+/// Records every trial of `plan` and writes the per-round timeline to
+/// `path` as `round_timeline.jsonl`-style JSONL, in plan order.
+/// Recording runs on `threads` workers through [`deterministic_map`],
+/// so the file is byte-identical for every thread count. Returns the
+/// number of trials recorded.
+///
+/// # Errors
+///
+/// Execution, validation ([`FleetError::ScheduleDrift`]) and I/O
+/// errors.
+pub fn write_round_timeline(
+    plan: &TrialPlan,
+    threads: usize,
+    path: &Path,
+) -> Result<usize, FleetError> {
+    let coords: Vec<(usize, usize)> = plan
+        .jobs
+        .iter()
+        .enumerate()
+        .flat_map(|(j, job)| (0..job.trials).map(move |t| (j, t)))
+        .collect();
+    let seeds = SeedStream::new(plan.base_seed);
+    let chunks: Vec<String> = deterministic_map(coords.len(), threads, |i| {
+        let (j, t) = coords[i];
+        let job = &plan.jobs[j];
+        let seed = seeds.trial_seed(j as u64, t as u64);
+        let graph = job.workload.instance(seed)?;
+        let recorded = record_round_series(&graph, job.algo, seed, false)?;
+        Ok::<String, FleetError>(timeline_lines(
+            j,
+            job.algo,
+            &job.workload.label(),
+            t,
+            seed,
+            &recorded.rows,
+        ))
+    })?;
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for chunk in &chunks {
+        file.write_all(chunk.as_bytes())?;
+    }
+    file.flush()?;
+    Ok(coords.len())
+}
+
+/// Per-node awake intervals in rounds, replayed from a full trace:
+/// `(first_awake_round, last_awake_round)` per contiguous awake
+/// stretch, per node. Every node starts awake at round 0 and closes
+/// its last interval at termination.
+fn awake_intervals(trace: &Trace, n: usize) -> Vec<Vec<(u64, u64)>> {
+    let mut intervals: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n];
+    let mut since: Vec<Option<u64>> = vec![Some(0); n];
+    for e in &trace.events {
+        match *e {
+            TraceEvent::Sleep { round, node, .. } | TraceEvent::Terminate { round, node } => {
+                if let Some(s) = since[node as usize].take() {
+                    intervals[node as usize].push((s, round));
+                }
+            }
+            TraceEvent::Wake { round, node } => since[node as usize] = Some(round),
+            _ => {}
+        }
+    }
+    intervals
+}
+
+/// Records trial 0 of every job in `plan` with a full trace and writes
+/// one Chrome trace-event document to `path`: one process per job
+/// (pid = job index + 1, so protocol pids stay clear of real host
+/// pids), per-node awake tracks for runs up to [`MAX_TRACK_NODES`]
+/// nodes, and `awake`/`sent` counter series for every run. Simulated
+/// time maps 1 round to 1 µs. The file passes
+/// [`sleepy_telemetry::validate_trace`] and loads in Perfetto alongside
+/// the PR-6 host traces.
+///
+/// # Errors
+///
+/// Execution, validation ([`FleetError::ScheduleDrift`]) and I/O
+/// errors.
+pub fn write_protocol_trace(plan: &TrialPlan, path: &Path) -> Result<(), FleetError> {
+    let seeds = SeedStream::new(plan.base_seed);
+    let mut processes = Vec::with_capacity(plan.jobs.len());
+    for (j, job) in plan.jobs.iter().enumerate() {
+        if job.trials == 0 {
+            continue;
+        }
+        let seed = seeds.trial_seed(j as u64, 0);
+        let graph = job.workload.instance(seed)?;
+        let recorded = record_round_series(&graph, job.algo, seed, true)?;
+        let trace = recorded.trace.as_ref().expect("full_trace recordings keep the trace");
+        let mut tracks = Vec::new();
+        if graph.n() <= MAX_TRACK_NODES {
+            for (v, spans) in awake_intervals(trace, graph.n()).into_iter().enumerate() {
+                tracks.push(ProtoTrack {
+                    tid: v as u64 + 1,
+                    name: format!("node {v}"),
+                    // 1 round = 1 µs; the +1 renders a 1-round stretch
+                    // 1 µs wide instead of invisible.
+                    spans: spans.into_iter().map(|(s, e)| (s, e + 1)).collect(),
+                });
+            }
+        }
+        let series = |f: fn(&RoundRow) -> u64| -> Vec<(u64, u64)> {
+            let mut points: Vec<(u64, u64)> =
+                recorded.rows.iter().map(|r| (r.round, f(r))).collect();
+            points.push((recorded.metrics.total_rounds, 0));
+            points
+        };
+        processes.push(ProtoProcess {
+            pid: j as u64 + 1,
+            name: job.label(),
+            tracks,
+            counters: vec![
+                ProtoCounter { name: "awake".to_string(), points: series(|r| r.awake) },
+                ProtoCounter { name: "sent".to_string(), points: series(|r| r.sent) },
+            ],
+        });
+    }
+    let doc = protocol_trace_value(&processes);
+    let mut text = serde::value::to_compact_string(&doc);
+    text.push('\n');
+    std::fs::write(path, text)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::ALL_ALGOS;
+    use crate::spec::JobSpec;
+    use crate::workload::Workload;
+    use sleepy_graph::GraphFamily;
+
+    #[test]
+    fn every_algorithm_records_and_validates() {
+        let g = Workload::new(GraphFamily::GnpAvgDeg(6.0), 60).instance(11).unwrap();
+        for algo in ALL_ALGOS {
+            let rec =
+                record_round_series(&g, algo, 11, true).unwrap_or_else(|e| panic!("{algo}: {e}"));
+            assert_eq!(rec.rows.len() as u64, rec.metrics.active_rounds, "{algo}");
+            let awake_sum: u64 = rec.metrics.per_node.iter().map(|m| m.awake_rounds).sum();
+            assert_eq!(rec.rows.last().unwrap().cum_awake, awake_sum, "{algo}");
+            assert!(rec.trace.is_some());
+        }
+    }
+
+    #[test]
+    fn awake_intervals_cover_exactly_the_awake_rounds() {
+        let g = Workload::new(GraphFamily::Tree, 40).instance(3).unwrap();
+        let rec = record_round_series(&g, AlgoKind::SleepingMis, 3, true).unwrap();
+        let intervals = awake_intervals(rec.trace.as_ref().unwrap(), g.n());
+        for (v, m) in rec.metrics.per_node.iter().enumerate() {
+            let covered: u64 = intervals[v].iter().map(|&(s, e)| e - s + 1).sum();
+            assert_eq!(covered, m.awake_rounds, "node {v}");
+            // Intervals are ascending and disjoint.
+            for w in intervals[v].windows(2) {
+                assert!(w[0].1 < w[1].0, "node {v}: {:?}", intervals[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn timeline_lines_are_one_json_object_per_round() {
+        let g = Workload::new(GraphFamily::Cycle, 24).instance(1).unwrap();
+        let rec = record_round_series(&g, AlgoKind::FastSleepingMis, 1, false).unwrap();
+        let text = timeline_lines(2, AlgoKind::FastSleepingMis, "cycle/n=24", 0, 1, &rec.rows);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), rec.rows.len());
+        for (line, row) in lines.iter().zip(&rec.rows) {
+            let v: Value = serde_json::from_str(line).unwrap();
+            assert_eq!(v.get("job").and_then(Value::as_u64), Some(2));
+            assert_eq!(v.get("algo").and_then(Value::as_str), Some("Fast-SleepingMIS"));
+            assert_eq!(v.get("round").and_then(Value::as_u64), Some(row.round));
+            assert_eq!(v.get("awake").and_then(Value::as_u64), Some(row.awake));
+            assert_eq!(v.get("cum_awake").and_then(Value::as_u64), Some(row.cum_awake));
+        }
+    }
+
+    #[test]
+    fn protocol_trace_file_validates() {
+        let dir = std::env::temp_dir().join(format!("sleepy-scope-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let plan = TrialPlan::new(0xC0FFEE).with_job(JobSpec::new(
+            Workload::new(GraphFamily::GnpAvgDeg(5.0), 32),
+            AlgoKind::SleepingMis,
+            2,
+        ));
+        let path = dir.join("proto.json");
+        write_protocol_trace(&plan, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let check = sleepy_telemetry::validate_trace(&text).unwrap(); // sleepy-lint: allow(telemetry-purity): pure parser in a test
+        assert!(check.spans > 0, "per-node tracks expected at n=32");
+        assert!(check.counters > 0);
+        assert_eq!(check.categories, vec!["proto"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,268 @@
+//! **Experiment AW — awake fraction over rounds (flight-recorder figure).**
+//!
+//! The paper's headline claim is about the *area* under the awake curve:
+//! O(1) node-averaged awake complexity means the per-round awake
+//! fractions sum to a constant, independent of n. This experiment uses
+//! the protocol flight recorder ([`sleepy_fleet::record_round_series`])
+//! to measure that curve directly: for every algorithm it replays
+//! engine runs with the [`RoundSeries`] sink attached and aggregates,
+//! per active-round index, the fraction of nodes awake and the
+//! cumulative awake rounds per node. The sleeping algorithms should
+//! show a sharp geometric decay (most nodes asleep after the first few
+//! active rounds) while the always-awake baselines hold near 1.0 until
+//! termination.
+//!
+//! Every recorded trial passes the schedule validators on the way in —
+//! a timeline that disagrees with the engine's own accounting is an
+//! error, not a plot.
+//!
+//! [`RoundSeries`]: sleepy_net::RoundSeries
+
+use crate::error::HarnessError;
+use crate::measure::ALL_ALGOS;
+use crate::workloads::Workload;
+use serde::{Deserialize, Serialize};
+use sleepy_fleet::{deterministic_map, record_round_series};
+use sleepy_graph::GraphFamily;
+use sleepy_stats::TextTable;
+
+/// Configuration of experiment AW.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AwakeTimelineConfig {
+    /// Graph family.
+    pub family: GraphFamily,
+    /// Node count.
+    pub n: usize,
+    /// Recorded trials per algorithm (same instances across algorithms).
+    pub trials: usize,
+    /// Base seed.
+    pub base_seed: u64,
+}
+
+impl Default for AwakeTimelineConfig {
+    fn default() -> Self {
+        AwakeTimelineConfig {
+            family: GraphFamily::GnpAvgDeg(8.0),
+            n: 1 << 10,
+            trials: 5,
+            base_seed: 0xA3A,
+        }
+    }
+}
+
+/// One point of an algorithm's awake curve: the `index`-th *active*
+/// round, averaged across trials.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AwakePoint {
+    /// Active-round index (idle rounds never get a row).
+    pub index: u32,
+    /// Mean engine round number at this index, over the trials that
+    /// reached it.
+    pub round_mean: f64,
+    /// Mean fraction of nodes awake (trials already finished contribute
+    /// 0, so the curve integrates to `node_avg_awake`).
+    pub awake_fraction: f64,
+    /// Mean cumulative awake rounds per node through this index.
+    pub cum_node_avg: f64,
+}
+
+/// The recorded awake curve of one algorithm.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AlgoTimeline {
+    /// Algorithm label.
+    pub algo: String,
+    /// Mean engine rounds to global termination.
+    pub rounds_mean: f64,
+    /// Mean number of active rounds (rows recorded).
+    pub active_rounds_mean: f64,
+    /// Mean node-averaged awake complexity, from the recorder's own
+    /// cumulative counter.
+    pub node_avg_awake: f64,
+    /// The averaged curve, one point per active-round index.
+    pub series: Vec<AwakePoint>,
+}
+
+/// Results of experiment AW.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AwakeTimelineReport {
+    /// The configuration used.
+    pub config: AwakeTimelineConfig,
+    /// One recorded curve per algorithm.
+    pub algos: Vec<AlgoTimeline>,
+}
+
+/// Runs experiment AW.
+///
+/// # Errors
+///
+/// Propagates workload, execution, and schedule-validation failures.
+pub fn run_awake_timeline(
+    config: &AwakeTimelineConfig,
+) -> Result<AwakeTimelineReport, HarnessError> {
+    let workload = Workload::new(config.family, config.n);
+    let algos = ALL_ALGOS;
+    // One recorded engine run per (algorithm, trial), in parallel on the
+    // fleet pool; results come back in index order so the aggregation
+    // below is deterministic regardless of thread count.
+    let per_run = deterministic_map(algos.len() * config.trials, 0, |i| {
+        let (a, t) = (i / config.trials, i % config.trials);
+        let seed = config.base_seed.wrapping_add(t as u64 * 0x9E37);
+        let graph = workload.instance(seed)?;
+        let rec = record_round_series(&graph, algos[a], seed, false)?;
+        Ok::<_, HarnessError>((rec.rows, rec.metrics))
+    })?;
+    let n = config.n as f64;
+    let trials = config.trials as f64;
+    let mut out = Vec::with_capacity(algos.len());
+    for (a, algo) in algos.iter().enumerate() {
+        let runs = &per_run[a * config.trials..(a + 1) * config.trials];
+        let max_len = runs.iter().map(|(rows, _)| rows.len()).max().unwrap_or(0);
+        let mut series = Vec::with_capacity(max_len);
+        for i in 0..max_len {
+            let mut awake_sum = 0.0;
+            let mut cum_sum = 0.0;
+            let mut round_sum = 0.0;
+            let mut reached = 0.0f64;
+            for (rows, _) in runs {
+                match rows.get(i) {
+                    Some(row) => {
+                        awake_sum += row.awake as f64;
+                        cum_sum += row.cum_awake as f64;
+                        round_sum += row.round as f64;
+                        reached += 1.0;
+                    }
+                    // This trial already terminated: 0 awake from here
+                    // on, and its cumulative total stays frozen.
+                    None => cum_sum += rows.last().map_or(0, |r| r.cum_awake) as f64,
+                }
+            }
+            series.push(AwakePoint {
+                index: i as u32,
+                round_mean: round_sum / reached.max(1.0),
+                awake_fraction: awake_sum / (trials * n),
+                cum_node_avg: cum_sum / (trials * n),
+            });
+        }
+        out.push(AlgoTimeline {
+            algo: algo.to_string(),
+            rounds_mean: runs.iter().map(|(_, m)| m.total_rounds as f64).sum::<f64>() / trials,
+            active_rounds_mean: runs.iter().map(|(rows, _)| rows.len() as f64).sum::<f64>()
+                / trials,
+            node_avg_awake: runs
+                .iter()
+                .map(|(rows, _)| rows.last().map_or(0, |r| r.cum_awake) as f64 / n)
+                .sum::<f64>()
+                / trials,
+            series,
+        });
+    }
+    Ok(AwakeTimelineReport { config: config.clone(), algos: out })
+}
+
+/// Active-round indices shown per algorithm in the text rendering (the
+/// JSON report always carries the full series).
+const RENDERED_POINTS: usize = 12;
+
+impl AwakeTimelineReport {
+    /// Renders the per-algorithm curves and the cross-algorithm summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "== Experiment AW: awake fraction over rounds ({}, n = {}, {} trials) ==\n\n",
+            self.config.family.label(),
+            self.config.n,
+            self.config.trials,
+        ));
+        for a in &self.algos {
+            let mut t = TextTable::new(vec![
+                "active round",
+                "engine round",
+                "awake frac",
+                "cum awake/node",
+            ]);
+            for p in a.series.iter().take(RENDERED_POINTS) {
+                t.row(vec![
+                    p.index.to_string(),
+                    format!("{:.1}", p.round_mean),
+                    format!("{:.4}", p.awake_fraction),
+                    format!("{:.3}", p.cum_node_avg),
+                ]);
+            }
+            out.push_str(&format!("-- {} --\n{}", a.algo, t.render()));
+            if a.series.len() > RENDERED_POINTS {
+                out.push_str(&format!(
+                    "   ... {} more active rounds (full series in the JSON report)\n",
+                    a.series.len() - RENDERED_POINTS
+                ));
+            }
+            out.push('\n');
+        }
+        let mut t = TextTable::new(vec![
+            "algorithm",
+            "rounds",
+            "active rounds",
+            "node-avg awake (= area under curve)",
+        ]);
+        for a in &self.algos {
+            t.row(vec![
+                a.algo.clone(),
+                format!("{:.1}", a.rounds_mean),
+                format!("{:.1}", a.active_rounds_mean),
+                format!("{:.3}", a.node_avg_awake),
+            ]);
+        }
+        out.push_str(&format!("-- summary --\n{}", t.render()));
+        out.push_str(
+            "\nEvery recorded trial was cross-checked by the schedule validators\n\
+             (timeline totals vs the engine's per-node accounting).\n",
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::AlgoKind;
+
+    #[test]
+    fn awake_timeline_runs_small() {
+        let cfg = AwakeTimelineConfig {
+            family: GraphFamily::GnpAvgDeg(5.0),
+            n: 64,
+            trials: 2,
+            base_seed: 7,
+        };
+        let r = run_awake_timeline(&cfg).unwrap();
+        assert_eq!(r.algos.len(), ALL_ALGOS.len());
+        for a in &r.algos {
+            // Round 0: everyone is awake in every algorithm.
+            assert!((a.series[0].awake_fraction - 1.0).abs() < 1e-9, "{}", a.algo);
+            // The curve integrates to the node-averaged awake complexity.
+            let area: f64 = a.series.iter().map(|p| p.awake_fraction).sum();
+            assert!((area - a.node_avg_awake).abs() < 1e-6, "{}", a.algo);
+            assert!(a.rounds_mean >= a.active_rounds_mean);
+        }
+        let text = r.render();
+        assert!(text.contains("Experiment AW"));
+        assert!(text.contains("SleepingMIS"));
+    }
+
+    #[test]
+    fn sleeping_curve_decays_below_baselines() {
+        let cfg = AwakeTimelineConfig {
+            family: GraphFamily::GnpAvgDeg(6.0),
+            n: 128,
+            trials: 2,
+            base_seed: 3,
+        };
+        let r = run_awake_timeline(&cfg).unwrap();
+        let by_name = |name: &str| r.algos.iter().find(|a| a.algo == name).unwrap();
+        let alg1 = by_name(&AlgoKind::SleepingMis.to_string());
+        let luby = by_name("Luby-A");
+        // By the 4th active round most sleeping-MIS nodes are asleep,
+        // while Luby keeps (nearly) everyone awake until termination.
+        assert!(alg1.series[3].awake_fraction < 0.5, "{}", alg1.series[3].awake_fraction);
+        assert!(luby.series[3].awake_fraction > 0.5, "{}", luby.series[3].awake_fraction);
+    }
+}

@@ -1,5 +1,5 @@
 //! Runs every experiment of the reproduction in sequence (T1, F1, F2,
-//! L2/L3/L5/L7, TH1/TH2, C1/WHP, EN, AB, CO, RB, CH), writing all
+//! L2/L3/L5/L7, TH1/TH2, C1/WHP, EN, AB, CO, RB, CH, AW), writing all
 //! reports into `results/`. Pass `--quick` for a fast smoke run of the
 //! full pipeline.
 
@@ -7,8 +7,8 @@
 
 use sleepy_harness::output::{default_results_dir, quick_flag, save_report};
 use sleepy_harness::{
-    ablation, churn, coloring, corollary1, energy, figure1, figure2, lemmas, robustness, table1,
-    theorems,
+    ablation, awake_timeline, churn, coloring, corollary1, energy, figure1, figure2, lemmas,
+    robustness, table1, theorems,
 };
 
 fn main() {
@@ -129,6 +129,15 @@ fn main() {
             cfg.trials = 3;
         }
         churn::run_churn(&cfg)
+            .map(|r| (r.render(), serde_json::to_value(&r).expect("serializable")))
+    });
+    experiment!("awake_timeline", {
+        let mut cfg = awake_timeline::AwakeTimelineConfig::default();
+        if quick {
+            cfg.n = 256;
+            cfg.trials = 3;
+        }
+        awake_timeline::run_awake_timeline(&cfg)
             .map(|r| (r.render(), serde_json::to_value(&r).expect("serializable")))
     });
 

@@ -1,0 +1,32 @@
+//! Runs experiment AW: per-round awake fractions for every algorithm,
+//! recorded through the protocol flight recorder and cross-checked by
+//! the schedule validators. The sleeping algorithms' curves integrate
+//! to the paper's O(1) node-averaged awake complexity.
+
+#![forbid(unsafe_code)]
+
+use sleepy_harness::awake_timeline::{run_awake_timeline, AwakeTimelineConfig};
+use sleepy_harness::output::{default_results_dir, quick_flag, save_report};
+
+fn main() {
+    let mut config = AwakeTimelineConfig::default();
+    if quick_flag() {
+        config.n = 256;
+        config.trials = 3;
+    }
+    match run_awake_timeline(&config) {
+        Ok(report) => {
+            let text = report.render();
+            println!("{text}");
+            let json = serde_json::to_value(&report).expect("serializable report");
+            match save_report(&default_results_dir(), "awake_timeline", &text, &json) {
+                Ok(path) => println!("(written to {})", path.display()),
+                Err(e) => eprintln!("warning: could not save report: {e}"),
+            }
+        }
+        Err(e) => {
+            eprintln!("awake-timeline failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

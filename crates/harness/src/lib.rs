@@ -19,6 +19,7 @@
 //! | CO  | §1.5 contrast: (Δ+1)-coloring is O(1) node-averaged in the traditional model | [`coloring`] |
 //! | RB  | robustness under injected message loss (beyond the paper) | [`robustness`] |
 //! | CH  | MIS repair vs recompute under graph churn (beyond the paper) | [`churn`] |
+//! | AW  | awake fraction per round via the protocol flight recorder | [`awake_timeline`] |
 //!
 //! All experiments are deterministic given their configured base seed.
 
@@ -26,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod awake_timeline;
 pub mod churn;
 pub mod coloring;
 pub mod corollary1;

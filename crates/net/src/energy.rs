@@ -155,4 +155,48 @@ mod tests {
         let em = EnergyModel::default();
         assert!(em.sleep_per_round < em.idle_per_round / 10.0);
     }
+
+    #[test]
+    fn never_terminated_node_pays_sleep_for_the_whole_tail() {
+        let em = EnergyModel {
+            idle_per_round: 1.0,
+            sleep_per_round: 0.5,
+            tx_per_message: 0.0,
+            rx_per_message: 0.0,
+        };
+        // No finish round: the lifetime is the full run, so 5 awake rounds
+        // plus 95 asleep.
+        let m = metrics_one(5, None, 0, 0);
+        assert!((em.node_energy(&m, 100) - (5.0 + 0.5 * 95.0)).abs() < 1e-12);
+        // Degenerate accounting (awake > lifetime) saturates instead of
+        // producing negative sleep.
+        let m = metrics_one(10, None, 0, 0);
+        assert!((em.node_energy(&m, 4) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_round_run_costs_nothing() {
+        let em = EnergyModel::default();
+        let m = metrics_one(0, None, 0, 0);
+        assert_eq!(em.node_energy(&m, 0), 0.0);
+        let rep = em.report(&RunMetrics { per_node: vec![], total_rounds: 0, active_rounds: 0 });
+        assert_eq!(rep.total, 0.0);
+        assert_eq!(rep.mean, 0.0);
+        assert_eq!(rep.max, 0.0);
+        assert!(rep.per_node.is_empty());
+    }
+
+    #[test]
+    fn sleep_dominated_lifetime_is_priced_by_the_sleep_rate() {
+        let em = EnergyModel::default();
+        // Algorithm 1's shape: awake O(1) rounds of a padded Θ(n³)-round
+        // schedule. 3 awake rounds out of a 1_000_000-round lifetime.
+        let m = metrics_one(3, Some(999_999), 2, 1);
+        let e = em.node_energy(&m, 1_000_000);
+        let expected = 3.0 + 0.02 * 999_997.0 + 0.4 * 2.0 + 0.2 * 1.0;
+        assert!((e - expected).abs() < 1e-9);
+        // Sleeping through the schedule beats idling through it by ~50x.
+        let all_idle = em.idle_per_round * 1_000_000.0;
+        assert!(e < all_idle / 40.0);
+    }
 }

@@ -4,6 +4,7 @@ use crate::error::EngineError;
 use crate::message::{Incoming, MessageSize, Outbox};
 use crate::metrics::{NodeMetrics, RunMetrics};
 use crate::protocol::{Action, NodeCtx, Protocol};
+use crate::sink::{NullSink, TraceBuffer, TraceSink};
 use crate::trace::{Trace, TraceEvent};
 use crate::Round;
 use rand::SeedableRng as _;
@@ -91,13 +92,50 @@ enum Status {
 pub fn run_protocol<P, F>(
     graph: &Graph,
     config: &EngineConfig,
+    factory: F,
+) -> Result<RunOutcome<P::Output>, EngineError>
+where
+    P: Protocol,
+    F: FnMut(NodeId, &NodeCtx) -> P,
+{
+    if config.trace {
+        let mut buffer = TraceBuffer::new(config.trace_messages);
+        let mut outcome = run_protocol_with_sink(graph, config, factory, &mut buffer)?;
+        outcome.trace = Some(buffer.into_trace());
+        Ok(outcome)
+    } else {
+        run_protocol_with_sink(graph, config, factory, &mut NullSink)
+    }
+}
+
+/// Runs `protocol` instances on `graph` like [`run_protocol`], streaming
+/// every engine event into `sink` instead of (or in addition to)
+/// buffering a [`Trace`].
+///
+/// The sink observes the run in deterministic order — see
+/// [`TraceSink`](crate::TraceSink) for the exact per-round sequence.
+/// Message-level events are generated only when
+/// [`TraceSink::wants_messages`](crate::TraceSink::wants_messages) is
+/// true; [`EngineConfig::trace`] and
+/// [`EngineConfig::trace_messages`] are ignored here (they configure
+/// [`run_protocol`]'s implicit buffer sink), so `outcome.trace` is always
+/// `None`.
+///
+/// # Errors
+///
+/// See [`run_protocol`].
+pub fn run_protocol_with_sink<P, F>(
+    graph: &Graph,
+    config: &EngineConfig,
     mut factory: F,
+    sink: &mut dyn TraceSink,
 ) -> Result<RunOutcome<P::Output>, EngineError>
 where
     P: Protocol,
     F: FnMut(NodeId, &NodeCtx) -> P,
 {
     let n = graph.n();
+    let wants_messages = sink.wants_messages();
     let mut nodes: Vec<P> = Vec::with_capacity(n);
     for id in 0..n as NodeId {
         let ctx = NodeCtx { id, n, degree: graph.degree(id), round: 0 };
@@ -111,7 +149,6 @@ where
 
     let mut status = vec![Status::Awake; n];
     let mut metrics: Vec<NodeMetrics> = vec![NodeMetrics::default(); n];
-    let mut trace = if config.trace { Some(Trace::default()) } else { None };
 
     // Nodes awake in the round currently being processed, ascending ids.
     let mut active: Vec<NodeId> = (0..n as NodeId).collect();
@@ -154,9 +191,6 @@ where
             }
             wake_heap.pop();
             status[v as usize] = Status::Awake;
-            if let Some(t) = trace.as_mut() {
-                t.events.push(TraceEvent::Wake { round, node: v });
-            }
             woken.push(v);
         }
         if !woken.is_empty() {
@@ -164,6 +198,10 @@ where
         }
         debug_assert!(active.windows(2).all(|w| w[0] < w[1]));
         active_rounds += 1;
+        sink.round_begin(round, active.len());
+        for &v in &woken {
+            sink.event(&TraceEvent::Wake { round, node: v });
+        }
 
         // --- Send phase ---
         for &v in &active {
@@ -188,19 +226,20 @@ where
                     use rand::Rng as _;
                     if rng.gen_bool(config.loss_probability) {
                         metrics[dst as usize].messages_lost += 1;
+                        if wants_messages {
+                            sink.event(&TraceEvent::MessageLost { round, from: v, to: dst });
+                        }
                         continue;
                     }
                 }
                 let delivered = status[dst as usize] == Status::Awake;
-                if config.trace_messages {
-                    if let Some(t) = trace.as_mut() {
-                        t.events.push(TraceEvent::Message {
-                            round,
-                            from: v,
-                            to: dst,
-                            dropped: !delivered,
-                        });
-                    }
+                if wants_messages {
+                    sink.event(&TraceEvent::Message {
+                        round,
+                        from: v,
+                        to: dst,
+                        dropped: !delivered,
+                    });
                 }
                 if delivered {
                     let back_port = graph
@@ -226,6 +265,7 @@ where
             vm.awake_rounds += 1;
             if vm.decide_round.is_none() && nodes[v as usize].output().is_some() {
                 vm.decide_round = Some(round);
+                sink.event(&TraceEvent::Decide { round, node: v });
             }
             match action {
                 Action::Continue => carry.push(v),
@@ -235,9 +275,7 @@ where
                     }
                     status[v as usize] = Status::Asleep;
                     wake_heap.push(Reverse((wake_at, v)));
-                    if let Some(t) = trace.as_mut() {
-                        t.events.push(TraceEvent::Sleep { round, node: v, until: wake_at });
-                    }
+                    sink.event(&TraceEvent::Sleep { round, node: v, until: wake_at });
                 }
                 Action::Terminate => {
                     if nodes[v as usize].output().is_none() {
@@ -247,9 +285,7 @@ where
                     vm.finish_round = Some(round);
                     max_finish = max_finish.max(round);
                     remaining -= 1;
-                    if let Some(t) = trace.as_mut() {
-                        t.events.push(TraceEvent::Terminate { round, node: v });
-                    }
+                    sink.event(&TraceEvent::Terminate { round, node: v });
                 }
             }
         }
@@ -266,7 +302,7 @@ where
     Ok(RunOutcome {
         outputs,
         metrics: RunMetrics { per_node: metrics, total_rounds, active_rounds },
-        trace,
+        trace: None,
     })
 }
 
@@ -694,6 +730,45 @@ mod tests {
         fn output(&self) -> Option<u8> {
             Some(self.seen_from_port.map(|p| p as u8).unwrap_or(255))
         }
+    }
+
+    #[test]
+    fn sink_path_reproduces_the_buffered_trace_and_validates() {
+        use crate::sink::{RoundSeries, Tee, TraceBuffer};
+        use crate::validate::{
+            validate_series_against_metrics, validate_series_against_trace,
+            validate_trace_against_metrics,
+        };
+        let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+        let cfg = EngineConfig {
+            trace: true,
+            trace_messages: true,
+            loss_probability: 0.25,
+            loss_seed: 9,
+            ..EngineConfig::default()
+        };
+        let buffered = run_protocol(&g, &cfg, |id, _| DropProbe { id, heard: 0 }).unwrap();
+        let mut buffer = TraceBuffer::new(true);
+        let mut series = RoundSeries::new();
+        let mut tee = Tee::new(&mut buffer, &mut series);
+        let streamed =
+            run_protocol_with_sink(&g, &cfg, |id, _| DropProbe { id, heard: 0 }, &mut tee).unwrap();
+        assert!(streamed.trace.is_none(), "sink path never materializes a Trace itself");
+        assert_eq!(streamed.outputs, buffered.outputs);
+        assert_eq!(streamed.metrics, buffered.metrics);
+        let trace = buffer.into_trace();
+        assert_eq!(Some(&trace), buffered.trace.as_ref());
+        assert!(trace.events.iter().any(|e| matches!(e, TraceEvent::Decide { .. })));
+        validate_trace_against_metrics(&trace, &streamed.metrics, true).unwrap();
+        let rows = series.into_rows();
+        validate_series_against_metrics(&rows, &streamed.metrics).unwrap();
+        validate_series_against_trace(&rows, &trace).unwrap();
+        // The series' awake counts reproduce the engine's accounting.
+        assert_eq!(rows.len() as u64, streamed.metrics.active_rounds);
+        assert_eq!(
+            rows.last().unwrap().cum_awake,
+            streamed.metrics.per_node.iter().map(|m| m.awake_rounds).sum::<u64>()
+        );
     }
 
     #[test]

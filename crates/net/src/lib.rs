@@ -67,15 +67,21 @@ mod error;
 mod message;
 mod metrics;
 mod protocol;
+mod sink;
 mod trace;
+mod validate;
 
 pub use energy::{EnergyModel, EnergyReport};
-pub use engine::{run_protocol, EngineConfig, RunOutcome};
+pub use engine::{run_protocol, run_protocol_with_sink, EngineConfig, RunOutcome};
 pub use error::EngineError;
 pub use message::{congest_bits_budget, Incoming, MessageSize, Outbox};
 pub use metrics::{ComplexitySummary, NodeMetrics, RunMetrics};
 pub use protocol::{Action, NodeCtx, Protocol};
+pub use sink::{NullSink, RoundRow, RoundSeries, Tee, TraceBuffer, TraceSink};
 pub use trace::{Trace, TraceEvent};
+pub use validate::{
+    validate_series_against_metrics, validate_series_against_trace, validate_trace_against_metrics,
+};
 
 /// Round number (0-based).
 pub type Round = u64;

@@ -54,6 +54,7 @@ impl RunMetrics {
         let total_messages: u64 = self.per_node.iter().map(|m| m.messages_sent).sum();
         let total_bits: u64 = self.per_node.iter().map(|m| m.bits_sent).sum();
         let dropped_messages: u64 = self.per_node.iter().map(|m| m.messages_dropped).sum();
+        let lost_messages: u64 = self.per_node.iter().map(|m| m.messages_lost).sum();
         ComplexitySummary {
             n,
             node_avg_awake: if n == 0 { 0.0 } else { total_awake as f64 / n as f64 },
@@ -63,6 +64,7 @@ impl RunMetrics {
             active_rounds: self.active_rounds,
             total_messages,
             dropped_messages,
+            lost_messages,
             total_bits,
         }
     }
@@ -72,7 +74,7 @@ impl RunMetrics {
 ///
 /// *Awake* measures count only rounds a node spent awake; *round* measures
 /// count wall-clock rounds including sleep (the traditional measure).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Deserialize)]
 pub struct ComplexitySummary {
     /// Number of nodes.
     pub n: usize,
@@ -91,8 +93,36 @@ pub struct ComplexitySummary {
     pub total_messages: u64,
     /// Messages dropped because the addressee was asleep.
     pub dropped_messages: u64,
+    /// Messages lost to injected transit failures (serde-defaulted: absent
+    /// in JSON written before the field existed, and omitted when zero).
+    #[serde(default)]
+    pub lost_messages: u64,
     /// Total bits sent.
     pub total_bits: u64,
+}
+
+// Hand-written so `lost_messages` is *omitted when zero*: every summary
+// from a loss-free run — i.e. every artifact the byte-identity suites
+// pin — serializes to exactly the bytes the derived impl produced before
+// the field existed.
+impl Serialize for ComplexitySummary {
+    fn to_value(&self) -> serde::Value {
+        let mut obj = vec![
+            ("n".to_string(), Serialize::to_value(&self.n)),
+            ("node_avg_awake".to_string(), Serialize::to_value(&self.node_avg_awake)),
+            ("worst_awake".to_string(), Serialize::to_value(&self.worst_awake)),
+            ("worst_round".to_string(), Serialize::to_value(&self.worst_round)),
+            ("node_avg_round".to_string(), Serialize::to_value(&self.node_avg_round)),
+            ("active_rounds".to_string(), Serialize::to_value(&self.active_rounds)),
+            ("total_messages".to_string(), Serialize::to_value(&self.total_messages)),
+            ("dropped_messages".to_string(), Serialize::to_value(&self.dropped_messages)),
+        ];
+        if self.lost_messages > 0 {
+            obj.push(("lost_messages".to_string(), Serialize::to_value(&self.lost_messages)));
+        }
+        obj.push(("total_bits".to_string(), Serialize::to_value(&self.total_bits)));
+        serde::Value::Object(obj)
+    }
 }
 
 #[cfg(test)]
@@ -128,8 +158,39 @@ mod tests {
         assert!((s.node_avg_round - 11.25).abs() < 1e-12);
         assert_eq!(s.total_messages, 12);
         assert_eq!(s.dropped_messages, 4);
+        assert_eq!(s.lost_messages, 0);
         assert_eq!(s.total_bits, 96);
         assert_eq!(s.active_rounds, 12);
+    }
+
+    #[test]
+    fn summary_sums_lost_messages() {
+        let mut a = node(1, 2);
+        a.messages_lost = 3;
+        let mut b = node(1, 2);
+        b.messages_lost = 4;
+        let m = RunMetrics { per_node: vec![a, b], total_rounds: 3, active_rounds: 3 };
+        assert_eq!(m.summary().lost_messages, 7);
+    }
+
+    #[test]
+    fn lost_messages_field_is_omitted_when_zero() {
+        let m = RunMetrics {
+            per_node: vec![node(3, 9), node(5, 19)],
+            total_rounds: 20,
+            active_rounds: 12,
+        };
+        let mut s = m.summary();
+        let clean = serde::value::to_compact_string(&s.to_value());
+        assert!(!clean.contains("lost_messages"), "zero-loss summary must keep legacy bytes");
+        s.lost_messages = 2;
+        let lossy = serde::value::to_compact_string(&s.to_value());
+        assert!(lossy.contains("\"lost_messages\":2"));
+        // Field order: between dropped_messages and total_bits.
+        let d = lossy.find("dropped_messages").unwrap();
+        let l = lossy.find("lost_messages").unwrap();
+        let t = lossy.find("total_bits").unwrap();
+        assert!(d < l && l < t);
     }
 
     #[test]

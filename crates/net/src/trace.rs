@@ -33,6 +33,14 @@ pub enum TraceEvent {
         /// The node.
         node: NodeId,
     },
+    /// A node's [`Protocol::output`](crate::Protocol::output) first became
+    /// `Some` at this round (the node committed its output).
+    Decide {
+        /// Round of the event.
+        round: Round,
+        /// The node.
+        node: NodeId,
+    },
     /// A message was routed (only with message tracing enabled).
     Message {
         /// Round of the event.
@@ -44,6 +52,17 @@ pub enum TraceEvent {
         /// Whether the addressee was asleep and the message dropped.
         dropped: bool,
     },
+    /// A message was lost to injected transit failure before reaching the
+    /// addressee (only with message tracing enabled; see
+    /// [`EngineConfig::loss_probability`](crate::EngineConfig)).
+    MessageLost {
+        /// Round of the event.
+        round: Round,
+        /// Sender.
+        from: NodeId,
+        /// Addressee.
+        to: NodeId,
+    },
 }
 
 impl TraceEvent {
@@ -53,7 +72,9 @@ impl TraceEvent {
             TraceEvent::Wake { round, .. }
             | TraceEvent::Sleep { round, .. }
             | TraceEvent::Terminate { round, .. }
-            | TraceEvent::Message { round, .. } => round,
+            | TraceEvent::Decide { round, .. }
+            | TraceEvent::Message { round, .. }
+            | TraceEvent::MessageLost { round, .. } => round,
         }
     }
 }
@@ -71,14 +92,27 @@ impl Trace {
         self.events.iter().filter(move |e| match **e {
             TraceEvent::Wake { node: n, .. }
             | TraceEvent::Sleep { node: n, .. }
-            | TraceEvent::Terminate { node: n, .. } => n == node,
-            TraceEvent::Message { from, to, .. } => from == node || to == node,
+            | TraceEvent::Terminate { node: n, .. }
+            | TraceEvent::Decide { node: n, .. } => n == node,
+            TraceEvent::Message { from, to, .. } | TraceEvent::MessageLost { from, to, .. } => {
+                from == node || to == node
+            }
         })
+    }
+
+    /// The contiguous slice of events in a particular round, found by
+    /// binary search over the round-sorted log (the engine appends events
+    /// in non-decreasing round order, so no scan of the whole log is
+    /// needed).
+    pub fn round_range(&self, round: Round) -> &[TraceEvent] {
+        let start = self.events.partition_point(|e| e.round() < round);
+        let len = self.events[start..].partition_point(|e| e.round() <= round);
+        &self.events[start..start + len]
     }
 
     /// Events in a particular round.
     pub fn in_round(&self, round: Round) -> impl Iterator<Item = &TraceEvent> + '_ {
-        self.events.iter().filter(move |e| e.round() == round)
+        self.round_range(round).iter()
     }
 }
 
@@ -100,5 +134,39 @@ mod tests {
         assert_eq!(t.for_node(2).count(), 2);
         assert_eq!(t.in_round(0).count(), 2);
         assert_eq!(t.events[2].round(), 1);
+    }
+
+    #[test]
+    fn round_range_matches_linear_scan() {
+        let t = Trace {
+            events: vec![
+                TraceEvent::Wake { round: 0, node: 1 },
+                TraceEvent::Sleep { round: 0, node: 2, until: 5 },
+                TraceEvent::Decide { round: 2, node: 1 },
+                TraceEvent::Terminate { round: 2, node: 1 },
+                TraceEvent::MessageLost { round: 5, from: 2, to: 1 },
+                TraceEvent::Terminate { round: 5, node: 2 },
+            ],
+        };
+        for round in 0..=6 {
+            let linear: Vec<&TraceEvent> = t.events.iter().filter(|e| e.round() == round).collect();
+            let ranged: Vec<&TraceEvent> = t.round_range(round).iter().collect();
+            assert_eq!(linear, ranged, "round {round}");
+            assert_eq!(t.in_round(round).count(), linear.len());
+        }
+        assert!(t.round_range(1).is_empty());
+        assert!(t.round_range(99).is_empty());
+    }
+
+    #[test]
+    fn new_event_kinds_carry_node_and_round() {
+        let d = TraceEvent::Decide { round: 7, node: 3 };
+        let l = TraceEvent::MessageLost { round: 8, from: 3, to: 4 };
+        assert_eq!(d.round(), 7);
+        assert_eq!(l.round(), 8);
+        let t = Trace { events: vec![d, l] };
+        assert_eq!(t.for_node(3).count(), 2);
+        assert_eq!(t.for_node(4).count(), 1);
+        assert_eq!(t.for_node(9).count(), 0);
     }
 }

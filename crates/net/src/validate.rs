@@ -1,0 +1,444 @@
+//! Schedule validation: cross-checks a run's trace-derived totals against
+//! the engine's own accounting.
+//!
+//! The engine maintains [`NodeMetrics`]/[`RunMetrics`] incrementally while
+//! the trace (or a [`RoundSeries`]) records the same run event by event.
+//! These are two independent derivations of identical quantities — awake
+//! rounds, finish/decide rounds, message counts — so any disagreement
+//! means the engine's accounting drifted. The fleet's protocol recorder
+//! runs these checks on every recorded trial, turning such drift into a
+//! hard failure instead of a silently wrong plot.
+
+use crate::metrics::RunMetrics;
+use crate::sink::RoundRow;
+use crate::trace::{Trace, TraceEvent};
+use crate::Round;
+use sleepy_graph::NodeId;
+
+/// Per-node tallies reconstructed from a [`Trace`].
+#[derive(Debug, Clone, Copy, Default)]
+struct NodeTally {
+    /// Round the node's current awake interval started, if awake.
+    awake_since: Option<Round>,
+    /// Wake round promised by the node's last `Sleep`, while asleep.
+    pending_wake: Option<Round>,
+    awake_rounds: u64,
+    finish_round: Option<Round>,
+    decide_round: Option<Round>,
+    sent: u64,
+    received: u64,
+    dropped: u64,
+    lost: u64,
+}
+
+fn err(node: NodeId, what: impl std::fmt::Display) -> String {
+    format!("node {node}: {what}")
+}
+
+/// Replays `trace` and cross-checks every derivable quantity against
+/// `metrics`: per-node awake rounds (from wake/sleep/terminate intervals),
+/// finish and decide rounds, total rounds, and — when the trace carries
+/// message events (`messages_traced`) — per-node sent/received/dropped/
+/// lost counts.
+///
+/// # Errors
+///
+/// A description of the first discrepancy found.
+pub fn validate_trace_against_metrics(
+    trace: &Trace,
+    metrics: &RunMetrics,
+    messages_traced: bool,
+) -> Result<(), String> {
+    let n = metrics.per_node.len();
+    // Every node starts awake at round 0.
+    let mut tally = vec![NodeTally { awake_since: Some(0), ..NodeTally::default() }; n];
+    let get = |v: NodeId| -> Result<usize, String> {
+        if (v as usize) < n {
+            Ok(v as usize)
+        } else {
+            Err(format!("trace names node {v} but the run has {n} nodes"))
+        }
+    };
+
+    for e in &trace.events {
+        match *e {
+            TraceEvent::Wake { round, node } => {
+                let t = &mut tally[get(node)?];
+                match t.pending_wake.take() {
+                    Some(until) if until == round => {}
+                    Some(until) => {
+                        return Err(err(node, format!("woke at {round} but slept until {until}")))
+                    }
+                    None => return Err(err(node, format!("wake at {round} without sleep"))),
+                }
+                t.awake_since = Some(round);
+            }
+            TraceEvent::Sleep { round, node, until } => {
+                let t = &mut tally[get(node)?];
+                let Some(since) = t.awake_since.take() else {
+                    return Err(err(node, format!("sleep at {round} while not awake")));
+                };
+                if until <= round {
+                    return Err(err(node, format!("sleep at {round} until past round {until}")));
+                }
+                t.awake_rounds += round - since + 1;
+                t.pending_wake = Some(until);
+            }
+            TraceEvent::Terminate { round, node } => {
+                let t = &mut tally[get(node)?];
+                let Some(since) = t.awake_since.take() else {
+                    return Err(err(node, format!("terminate at {round} while not awake")));
+                };
+                if t.finish_round.is_some() {
+                    return Err(err(node, format!("terminated twice (again at {round})")));
+                }
+                t.awake_rounds += round - since + 1;
+                t.finish_round = Some(round);
+            }
+            TraceEvent::Decide { round, node } => {
+                let t = &mut tally[get(node)?];
+                if t.decide_round.is_some() {
+                    return Err(err(node, format!("decided twice (again at {round})")));
+                }
+                t.decide_round = Some(round);
+            }
+            TraceEvent::Message { from, to, dropped, .. } => {
+                tally[get(from)?].sent += 1;
+                let t = &mut tally[get(to)?];
+                if dropped {
+                    t.dropped += 1;
+                } else {
+                    t.received += 1;
+                }
+            }
+            TraceEvent::MessageLost { from, to, .. } => {
+                tally[get(from)?].sent += 1;
+                tally[get(to)?].lost += 1;
+            }
+        }
+    }
+
+    let mut max_finish: Round = 0;
+    for (v, (t, m)) in tally.iter().zip(&metrics.per_node).enumerate() {
+        let v = v as NodeId;
+        if t.awake_since.is_some() || t.pending_wake.is_some() {
+            return Err(err(v, "never terminated in the trace"));
+        }
+        if t.awake_rounds != m.awake_rounds {
+            return Err(err(
+                v,
+                format!("trace shows {} awake rounds, metrics {}", t.awake_rounds, m.awake_rounds),
+            ));
+        }
+        if t.finish_round != m.finish_round {
+            return Err(err(
+                v,
+                format!("trace finish {:?} != metrics {:?}", t.finish_round, m.finish_round),
+            ));
+        }
+        if t.decide_round != m.decide_round {
+            return Err(err(
+                v,
+                format!("trace decide {:?} != metrics {:?}", t.decide_round, m.decide_round),
+            ));
+        }
+        max_finish = max_finish.max(t.finish_round.unwrap_or(0));
+        if messages_traced {
+            let pairs = [
+                ("sent", t.sent, m.messages_sent),
+                ("received", t.received, m.messages_received),
+                ("dropped", t.dropped, m.messages_dropped),
+                ("lost", t.lost, m.messages_lost),
+            ];
+            for (what, traced, counted) in pairs {
+                if traced != counted {
+                    return Err(err(
+                        v,
+                        format!("trace shows {traced} messages {what}, metrics {counted}"),
+                    ));
+                }
+            }
+        }
+    }
+    let total_rounds = if n == 0 { 0 } else { max_finish + 1 };
+    if total_rounds != metrics.total_rounds {
+        return Err(format!(
+            "trace-derived total_rounds {total_rounds} != metrics {}",
+            metrics.total_rounds
+        ));
+    }
+    Ok(())
+}
+
+/// Cross-checks a [`RoundSeries`](crate::RoundSeries) timeline against
+/// `metrics`: one row per active round, strictly increasing rounds ending
+/// at `total_rounds - 1`, awake/cumulative sums equal to the summed
+/// per-node awake rounds, message totals equal to the per-node counter
+/// sums, and exactly `n` terminations and decisions.
+///
+/// # Errors
+///
+/// A description of the first discrepancy found.
+pub fn validate_series_against_metrics(
+    rows: &[RoundRow],
+    metrics: &RunMetrics,
+) -> Result<(), String> {
+    let n = metrics.per_node.len() as u64;
+    if rows.len() as u64 != metrics.active_rounds {
+        return Err(format!(
+            "{} timeline rows but {} active rounds",
+            rows.len(),
+            metrics.active_rounds
+        ));
+    }
+    let mut cum = 0u64;
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 && rows[i - 1].round >= row.round {
+            return Err(format!(
+                "rounds not strictly increasing at row {i} ({} then {})",
+                rows[i - 1].round,
+                row.round
+            ));
+        }
+        cum += row.awake;
+        if row.cum_awake != cum {
+            return Err(format!("row {i}: cum_awake {} != running sum {cum}", row.cum_awake));
+        }
+        if row.dropped + row.lost > row.sent {
+            return Err(format!("row {i}: dropped+lost exceed sent"));
+        }
+    }
+    if n > 0 {
+        let last = rows.last().expect("active_rounds > 0 whenever n > 0");
+        if last.round + 1 != metrics.total_rounds {
+            return Err(format!(
+                "last row is round {} but total_rounds is {}",
+                last.round, metrics.total_rounds
+            ));
+        }
+    }
+    let awake_sum: u64 = metrics.per_node.iter().map(|m| m.awake_rounds).sum();
+    if cum != awake_sum {
+        return Err(format!("timeline awake sum {cum} != per-node awake sum {awake_sum}"));
+    }
+    let checks = [
+        ("sent", rows.iter().map(|r| r.sent).sum::<u64>(), {
+            metrics.per_node.iter().map(|m| m.messages_sent).sum::<u64>()
+        }),
+        ("dropped", rows.iter().map(|r| r.dropped).sum::<u64>(), {
+            metrics.per_node.iter().map(|m| m.messages_dropped).sum::<u64>()
+        }),
+        ("lost", rows.iter().map(|r| r.lost).sum::<u64>(), {
+            metrics.per_node.iter().map(|m| m.messages_lost).sum::<u64>()
+        }),
+        ("terminations", rows.iter().map(|r| r.terminations).sum::<u64>(), n),
+        ("decisions", rows.iter().map(|r| r.decided).sum::<u64>(), n),
+    ];
+    for (what, series, counted) in checks {
+        if series != counted {
+            return Err(format!("timeline shows {series} {what}, metrics say {counted}"));
+        }
+    }
+    let wakes: u64 = rows.iter().map(|r| r.wakes).sum();
+    let sleeps: u64 = rows.iter().map(|r| r.sleeps).sum();
+    if wakes != sleeps {
+        return Err(format!(
+            "{wakes} wakes vs {sleeps} sleeps — every completed run must pair them"
+        ));
+    }
+    Ok(())
+}
+
+/// Cross-checks a [`RoundSeries`](crate::RoundSeries) timeline against a
+/// full message-level [`Trace`] of the same run: for every row, the event
+/// counts in that round (via [`Trace::round_range`]) must reproduce the
+/// row's wake/sleep/termination/decision and message tallies, and the
+/// trace must contain no events in rounds without a row.
+///
+/// # Errors
+///
+/// A description of the first discrepancy found.
+pub fn validate_series_against_trace(rows: &[RoundRow], trace: &Trace) -> Result<(), String> {
+    let mut covered = 0usize;
+    for (i, row) in rows.iter().enumerate() {
+        let mut derived = RoundRow { round: row.round, awake: row.awake, ..RoundRow::default() };
+        let events = trace.round_range(row.round);
+        covered += events.len();
+        for e in events {
+            match e {
+                TraceEvent::Wake { .. } => derived.wakes += 1,
+                TraceEvent::Sleep { .. } => derived.sleeps += 1,
+                TraceEvent::Terminate { .. } => derived.terminations += 1,
+                TraceEvent::Decide { .. } => derived.decided += 1,
+                TraceEvent::Message { dropped, .. } => {
+                    derived.sent += 1;
+                    if *dropped {
+                        derived.dropped += 1;
+                    }
+                }
+                TraceEvent::MessageLost { .. } => {
+                    derived.sent += 1;
+                    derived.lost += 1;
+                }
+            }
+        }
+        derived.cum_awake = row.cum_awake;
+        if derived != *row {
+            return Err(format!(
+                "row {i} (round {}): trace-derived {derived:?} != recorded {row:?}",
+                row.round
+            ));
+        }
+    }
+    if covered != trace.events.len() {
+        return Err(format!(
+            "trace has {} events but timeline rounds cover only {covered}",
+            trace.events.len()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::NodeMetrics;
+
+    fn node(awake: u64, finish: Round) -> NodeMetrics {
+        NodeMetrics {
+            awake_rounds: awake,
+            finish_round: Some(finish),
+            decide_round: Some(finish),
+            ..NodeMetrics::default()
+        }
+    }
+
+    /// One node: awake rounds 0..=1, asleep 2..=4, awake 5, terminating
+    /// and deciding at 5.
+    fn consistent() -> (Trace, RunMetrics) {
+        let trace = Trace {
+            events: vec![
+                TraceEvent::Sleep { round: 1, node: 0, until: 5 },
+                TraceEvent::Wake { round: 5, node: 0 },
+                TraceEvent::Decide { round: 5, node: 0 },
+                TraceEvent::Terminate { round: 5, node: 0 },
+            ],
+        };
+        let metrics = RunMetrics { per_node: vec![node(3, 5)], total_rounds: 6, active_rounds: 3 };
+        (trace, metrics)
+    }
+
+    #[test]
+    fn consistent_trace_passes() {
+        let (trace, metrics) = consistent();
+        validate_trace_against_metrics(&trace, &metrics, false).unwrap();
+    }
+
+    #[test]
+    fn awake_round_drift_is_caught() {
+        let (trace, mut metrics) = consistent();
+        metrics.per_node[0].awake_rounds = 4;
+        let e = validate_trace_against_metrics(&trace, &metrics, false).unwrap_err();
+        assert!(e.contains("awake rounds"), "{e}");
+    }
+
+    #[test]
+    fn wake_must_match_promised_round() {
+        let (mut trace, metrics) = consistent();
+        trace.events[1] = TraceEvent::Wake { round: 4, node: 0 };
+        let e = validate_trace_against_metrics(&trace, &metrics, false).unwrap_err();
+        assert!(e.contains("slept until"), "{e}");
+    }
+
+    #[test]
+    fn message_counts_checked_only_when_traced() {
+        let (mut trace, mut metrics) = consistent();
+        metrics.per_node.push(node(3, 5));
+        metrics.per_node[1].messages_sent = 1;
+        metrics.per_node[0].messages_lost = 1;
+        trace.events.insert(0, TraceEvent::Sleep { round: 1, node: 1, until: 5 });
+        trace.events.insert(2, TraceEvent::Wake { round: 5, node: 1 });
+        trace.events.push(TraceEvent::Decide { round: 5, node: 1 });
+        trace.events.push(TraceEvent::Terminate { round: 5, node: 1 });
+        // Without message events: passes when not messages_traced, fails
+        // when the caller claims messages were traced.
+        validate_trace_against_metrics(&trace, &metrics, false).unwrap();
+        let e = validate_trace_against_metrics(&trace, &metrics, true).unwrap_err();
+        assert!(e.contains("messages lost"), "{e}");
+        // Adding the matching loss event reconciles it.
+        trace.events.insert(4, TraceEvent::MessageLost { round: 5, from: 1, to: 0 });
+        validate_trace_against_metrics(&trace, &metrics, true).unwrap();
+    }
+
+    #[test]
+    fn series_totals_must_match_metrics() {
+        let rows = vec![
+            RoundRow { round: 0, awake: 1, sleeps: 1, cum_awake: 1, ..RoundRow::default() },
+            RoundRow { round: 1, awake: 1, cum_awake: 2, ..RoundRow::default() },
+            RoundRow {
+                round: 5,
+                awake: 1,
+                wakes: 1,
+                terminations: 1,
+                decided: 1,
+                cum_awake: 3,
+                ..RoundRow::default()
+            },
+        ];
+        let metrics = RunMetrics { per_node: vec![node(3, 5)], total_rounds: 6, active_rounds: 3 };
+        validate_series_against_metrics(&rows, &metrics).unwrap();
+
+        let mut short = metrics.clone();
+        short.active_rounds = 2;
+        assert!(validate_series_against_metrics(&rows, &short)
+            .unwrap_err()
+            .contains("active rounds"));
+
+        let mut drifted = metrics.clone();
+        drifted.per_node[0].awake_rounds = 9;
+        assert!(validate_series_against_metrics(&rows, &drifted)
+            .unwrap_err()
+            .contains("awake sum"));
+
+        let mut bad_rows = rows.clone();
+        bad_rows[2].cum_awake = 7;
+        assert!(validate_series_against_metrics(&bad_rows, &metrics)
+            .unwrap_err()
+            .contains("cum_awake"));
+    }
+
+    #[test]
+    fn series_cross_checks_against_trace() {
+        let (trace, _) = consistent();
+        let rows = vec![
+            RoundRow { round: 0, awake: 1, cum_awake: 1, ..RoundRow::default() },
+            RoundRow { round: 1, awake: 1, sleeps: 1, cum_awake: 2, ..RoundRow::default() },
+            RoundRow {
+                round: 5,
+                awake: 1,
+                wakes: 1,
+                terminations: 1,
+                decided: 1,
+                cum_awake: 3,
+                ..RoundRow::default()
+            },
+        ];
+        validate_series_against_trace(&rows, &trace).unwrap();
+        let mut bad = rows.clone();
+        bad[1].sleeps = 0;
+        assert!(validate_series_against_trace(&bad, &trace).is_err());
+        // A trace event in a round the series missed is also drift
+        // (inserted in round order — the `round_range` precondition).
+        let mut extra = trace.clone();
+        extra.events.insert(1, TraceEvent::Decide { round: 3, node: 0 });
+        assert!(validate_series_against_trace(&rows, &extra).unwrap_err().contains("cover"));
+    }
+
+    #[test]
+    fn empty_run_validates() {
+        let metrics = RunMetrics { per_node: vec![], total_rounds: 0, active_rounds: 0 };
+        validate_trace_against_metrics(&Trace::default(), &metrics, true).unwrap();
+        validate_series_against_metrics(&[], &metrics).unwrap();
+        validate_series_against_trace(&[], &Trace::default()).unwrap();
+    }
+}

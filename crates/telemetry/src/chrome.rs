@@ -29,6 +29,8 @@ pub struct TraceCheck {
     pub timelines: usize,
     /// Distinct span categories, sorted.
     pub categories: Vec<String>,
+    /// `"C"` counter samples.
+    pub counters: usize,
 }
 
 fn obj(entries: Vec<(&str, Value)>) -> Value {
@@ -123,10 +125,111 @@ fn end_event(ev: &SpanEvent, pid: u64, ts: u64) -> Value {
     ])
 }
 
+/// One per-node timeline of a protocol-level trace: the rounds a node
+/// spent awake, as `(start_us, end_us)` microsecond intervals (end
+/// inclusive-rendered; an interval never overlaps the next). Rendered
+/// as one Chrome thread of paired B/E `"awake"` spans.
+#[derive(Debug, Clone, Default)]
+pub struct ProtoTrack {
+    /// Thread id inside the owning process (typically the node id + 1).
+    pub tid: u64,
+    /// Thread label shown by the viewer (e.g. `"node 7"`).
+    pub name: String,
+    /// Awake intervals, ascending and non-overlapping.
+    pub spans: Vec<(u64, u64)>,
+}
+
+/// One counter series of a protocol-level trace (e.g. nodes awake per
+/// round), rendered as Chrome `"C"` events on the process timeline.
+#[derive(Debug, Clone, Default)]
+pub struct ProtoCounter {
+    /// Counter name shown by the viewer.
+    pub name: String,
+    /// `(ts_us, value)` samples, ascending in time.
+    pub points: Vec<(u64, u64)>,
+}
+
+/// One simulated run in a protocol-level trace — its own Chrome
+/// process, so several runs (or the PR-6 host trace) can sit side by
+/// side in one Perfetto session.
+#[derive(Debug, Clone, Default)]
+pub struct ProtoProcess {
+    /// Process id; pick ids that cannot collide with real host pids in
+    /// the same viewer session (the fleet uses small 1-based indices).
+    pub pid: u64,
+    /// Process label (e.g. `"SleepingMIS on gnp-6 n=128"`).
+    pub name: String,
+    /// Per-node awake timelines.
+    pub tracks: Vec<ProtoTrack>,
+    /// Aggregate counter series.
+    pub counters: Vec<ProtoCounter>,
+}
+
+/// Builds a Chrome trace-event document from protocol-level rows:
+/// simulated rounds on the microsecond axis (the fleet maps 1 round to
+/// 1 µs) instead of host wall-clock. The output passes
+/// [`validate_trace`] by construction and loads alongside host traces
+/// from [`Snapshot::write_chrome_trace`].
+pub fn protocol_trace_value(processes: &[ProtoProcess]) -> Value {
+    let mut events: Vec<Value> = Vec::new();
+    for p in processes {
+        events.push(obj(vec![
+            ("name", Value::String("process_name".to_string())),
+            ("ph", Value::String("M".to_string())),
+            ("pid", Value::UInt(p.pid)),
+            ("tid", Value::UInt(0)),
+            ("args", obj(vec![("name", Value::String(p.name.clone()))])),
+        ]));
+        for t in &p.tracks {
+            events.push(obj(vec![
+                ("name", Value::String("thread_name".to_string())),
+                ("ph", Value::String("M".to_string())),
+                ("pid", Value::UInt(p.pid)),
+                ("tid", Value::UInt(t.tid)),
+                ("args", obj(vec![("name", Value::String(t.name.clone()))])),
+            ]));
+            for &(start, end) in &t.spans {
+                for (ph, ts) in [("B", start), ("E", end.max(start))] {
+                    events.push(obj(vec![
+                        ("name", Value::String("awake".to_string())),
+                        ("cat", Value::String("proto".to_string())),
+                        ("ph", Value::String(ph.to_string())),
+                        ("ts", Value::UInt(ts)),
+                        ("pid", Value::UInt(p.pid)),
+                        ("tid", Value::UInt(t.tid)),
+                    ]));
+                }
+            }
+        }
+        // Counter samples share the process timeline (tid 0), so merge
+        // the series into one time-sorted stream.
+        let mut samples: Vec<(u64, &str, u64)> = Vec::new();
+        for c in &p.counters {
+            samples.extend(c.points.iter().map(|&(ts, v)| (ts, c.name.as_str(), v)));
+        }
+        samples.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(b.1)));
+        for (ts, name, v) in samples {
+            events.push(obj(vec![
+                ("name", Value::String(name.to_string())),
+                ("cat", Value::String("proto".to_string())),
+                ("ph", Value::String("C".to_string())),
+                ("ts", Value::UInt(ts)),
+                ("pid", Value::UInt(p.pid)),
+                ("tid", Value::UInt(0)),
+                ("args", obj(vec![("value", Value::UInt(v))])),
+            ]));
+        }
+    }
+    obj(vec![
+        ("traceEvents", Value::Array(events)),
+        ("displayTimeUnit", Value::String("ms".to_string())),
+    ])
+}
+
 /// Validates `text` as a Chrome trace-event document: every event has
 /// the required fields, timestamps are non-decreasing within each
-/// `(pid, tid)` timeline, and every `"B"` has a matching same-name
-/// `"E"` in stack order.
+/// `(pid, tid)` timeline, every `"B"` has a matching same-name
+/// `"E"` in stack order, and `"C"` counter samples carry timestamps.
 ///
 /// # Errors
 ///
@@ -163,7 +266,7 @@ pub fn validate_trace(text: &str) -> Result<TraceCheck, String> {
         if ph == "M" {
             continue;
         }
-        if ph != "B" && ph != "E" {
+        if ph != "B" && ph != "E" && ph != "C" {
             return Err(format!("event {i} ({name}): unsupported ph {ph:?}"));
         }
         let ts = ev
@@ -179,6 +282,10 @@ pub fn validate_trace(text: &str) -> Result<TraceCheck, String> {
             }
         }
         last_ts.insert(key, ts);
+        if ph == "C" {
+            check.counters += 1;
+            continue;
+        }
         let stack = stacks.entry(key).or_default();
         if ph == "B" {
             stack.push(name.to_string());
@@ -285,6 +392,37 @@ mod tests {
             {"name":"x","ph":"E","ts":3,"pid":1,"tid":1}
         ]"#;
         assert!(validate_trace(crossed).unwrap_err().contains("closes"));
+    }
+
+    #[test]
+    fn protocol_trace_validates_with_counters() {
+        let procs = vec![ProtoProcess {
+            pid: 1,
+            name: "SleepingMIS".to_string(),
+            tracks: vec![
+                ProtoTrack { tid: 1, name: "node 0".to_string(), spans: vec![(0, 3), (7, 7)] },
+                ProtoTrack { tid: 2, name: "node 1".to_string(), spans: vec![(0, 5)] },
+            ],
+            counters: vec![ProtoCounter {
+                name: "awake".to_string(),
+                points: vec![(0, 2), (4, 1), (8, 0)],
+            }],
+        }];
+        let text = serde::value::to_compact_string(&protocol_trace_value(&procs));
+        let check = validate_trace(&text).expect("protocol trace validates");
+        assert_eq!(check.spans, 3);
+        assert_eq!(check.counters, 3);
+        assert_eq!(check.categories, vec!["proto"]);
+        // Per-node tracks plus the counter timeline on tid 0.
+        assert_eq!(check.timelines, 2);
+    }
+
+    #[test]
+    fn counter_events_need_timestamps() {
+        let no_ts = r#"[{"name":"awake","ph":"C","pid":1,"tid":0}]"#;
+        assert!(validate_trace(no_ts).unwrap_err().contains("missing ts"));
+        let ok = r#"[{"name":"awake","ph":"C","ts":3,"pid":1,"tid":0,"args":{"value":2}}]"#;
+        assert_eq!(validate_trace(ok).unwrap().counters, 1);
     }
 
     #[test]

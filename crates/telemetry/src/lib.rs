@@ -38,7 +38,9 @@
 mod chrome;
 mod registry;
 
-pub use chrome::{validate_trace, TraceCheck};
+pub use chrome::{
+    protocol_trace_value, validate_trace, ProtoCounter, ProtoProcess, ProtoTrack, TraceCheck,
+};
 pub use registry::{
     counter_add, gauge_max, gauge_set, import_trace_file, snapshot_and_reset, Snapshot, SpanStat,
 };
