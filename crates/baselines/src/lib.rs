@@ -54,4 +54,7 @@ pub use coloring::{ColoringMsg, LubyColoring};
 pub use ghaffari::Ghaffari;
 pub use greedy::GreedyCrt;
 pub use luby::{LubyA, LubyB};
-pub use runner::{run_baseline, run_baseline_with_sink, BaselineKind, BaselineRun, ALL_BASELINES};
+pub use runner::{
+    run_baseline, run_baseline_taped, run_baseline_with_sink, BaselineKind, BaselineRun,
+    ALL_BASELINES,
+};

@@ -4,7 +4,8 @@ use crate::{Ghaffari, GreedyCrt, LubyA, LubyB};
 use serde::{Deserialize, Serialize};
 use sleepy_graph::{Graph, NodeId};
 use sleepy_net::{
-    run_protocol, run_protocol_with_sink, EngineConfig, EngineError, RunMetrics, TraceSink,
+    run_protocol, run_protocol_taped, run_protocol_with_sink, EngineConfig, EngineError,
+    RunMetrics, Tape, TraceSink,
 };
 
 /// Which baseline MIS algorithm to run.
@@ -131,6 +132,36 @@ pub fn run_baseline_with_sink(
             sink,
         )?),
     }
+}
+
+/// [`run_baseline_with_sink`] recording the run as an engine
+/// [`Tape`] — the entry point behind `fleet record-tape`.
+///
+/// The tape is returned even when the engine errors (the recorded error
+/// is part of the conformance artifact); its `label` and `seed` stamps
+/// are left empty for the caller to fill.
+pub fn run_baseline_taped(
+    graph: &Graph,
+    kind: BaselineKind,
+    seed: u64,
+    engine_config: &EngineConfig,
+    sink: &mut dyn TraceSink,
+) -> (Result<BaselineRun, EngineError>, Tape) {
+    let (result, tape) = match kind {
+        BaselineKind::LubyA => {
+            run_protocol_taped(graph, engine_config, |id, _| LubyA::new(id, seed), sink)
+        }
+        BaselineKind::LubyB => {
+            run_protocol_taped(graph, engine_config, |id, _| LubyB::new(id, seed), sink)
+        }
+        BaselineKind::GreedyCrt => {
+            run_protocol_taped(graph, engine_config, |id, _| GreedyCrt::new(id, seed), sink)
+        }
+        BaselineKind::Ghaffari => {
+            run_protocol_taped(graph, engine_config, |id, _| Ghaffari::new(id, seed), sink)
+        }
+    };
+    (result.and_then(collect), tape)
 }
 
 fn collect(outcome: sleepy_net::RunOutcome<bool>) -> Result<BaselineRun, EngineError> {

@@ -76,8 +76,8 @@ pub use params::{
     Variant, ELL,
 };
 pub use protocol::{
-    run_sleeping_mis, run_sleeping_mis_with_sink, MisMsg, MisRunResult, MisStatus, NodeOutput,
-    PreparedMis, SleepingMisProtocol,
+    run_sleeping_mis, run_sleeping_mis_taped, run_sleeping_mis_with_sink, MisMsg, MisRunResult,
+    MisStatus, NodeOutput, PreparedMis, SleepingMisProtocol,
 };
 pub use rank::{derive_all, greedy_key, splitmix64, NodeRandomness};
 pub use schedule::{CallPhases, Convention, Schedule};

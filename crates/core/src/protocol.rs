@@ -38,8 +38,8 @@ use crate::rank::{greedy_key, NodeRandomness};
 use crate::schedule::Schedule;
 use sleepy_graph::{Graph, NodeId, Port};
 use sleepy_net::{
-    run_protocol, run_protocol_with_sink, Action, EngineConfig, Incoming, MessageSize, NodeCtx,
-    Outbox, Protocol, Round, RunMetrics, Trace, TraceSink,
+    run_protocol, run_protocol_taped, run_protocol_with_sink, Action, EngineConfig, Incoming,
+    MessageSize, NodeCtx, Outbox, Protocol, Round, RunMetrics, Tape, Trace, TraceSink,
 };
 
 /// Tri-state MIS status, as stored in `v.inMIS` by the paper's pseudocode.
@@ -640,6 +640,33 @@ pub fn run_sleeping_mis_with_sink(
         sink,
     )?;
     Ok(collect_mis(outcome))
+}
+
+/// [`run_sleeping_mis_with_sink`] recording the run as an engine
+/// [`Tape`] — the entry point behind `fleet record-tape`.
+///
+/// Returns the run result together with the tape. The tape is produced
+/// even when the engine errors (the error is part of the recorded
+/// conformance artifact); it is `None` only when the configuration
+/// itself is rejected before the engine starts. The tape's `label` and
+/// `seed` stamps are left empty for the caller to fill.
+pub fn run_sleeping_mis_taped(
+    graph: &Graph,
+    config: MisConfig,
+    engine_config: &EngineConfig,
+    sink: &mut dyn TraceSink,
+) -> (Result<MisRunResult, MisError>, Option<Tape>) {
+    let prepared = match PreparedMis::new(graph.n(), config) {
+        Ok(p) => p,
+        Err(e) => return (Err(e), None),
+    };
+    let (result, tape) = run_protocol_taped(
+        graph,
+        engine_config,
+        |id, _ctx| SleepingMisProtocol::new(id, prepared.clone()),
+        sink,
+    );
+    (result.map(collect_mis).map_err(MisError::from), Some(tape))
 }
 
 fn collect_mis(outcome: sleepy_net::RunOutcome<NodeOutput>) -> MisRunResult {

@@ -93,6 +93,7 @@ pub mod scope;
 pub mod seed;
 pub mod sink;
 mod spec;
+pub mod tape;
 mod workload;
 
 pub use agg::{DynamicJobAggregate, JobAggregate, MetricAggregate, MetricStats};

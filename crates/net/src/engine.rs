@@ -1,12 +1,24 @@
 //! The event-driven sleeping-model round engine.
+//!
+//! Since the sans-io refactor, the round semantics live in
+//! [`SleepyEngine`](crate::SleepyEngine) (`statemachine` module) and the
+//! functions here are thin drivers: they run protocol callbacks whenever
+//! the state machine asks ([`EngineOutput::PollSend`] /
+//! [`EngineOutput::PollReceive`]), move payloads between outboxes and
+//! inboxes, and forward trace outputs into the caller's sink. The
+//! pre-refactor monolithic loop survives as
+//! [`run_protocol_with_sink_legacy`] — a differential oracle the test
+//! suite holds the state machine byte-identical to.
 
 use crate::error::EngineError;
 use crate::message::{Incoming, MessageSize, Outbox};
 use crate::metrics::{NodeMetrics, RunMetrics};
 use crate::protocol::{Action, NodeCtx, Protocol};
 use crate::sink::{NullSink, TraceBuffer, TraceSink};
+use crate::statemachine::{EngineInput, EngineOutput, OutMsg, SleepyEngine};
+use crate::tape::{Tape, TapeRecorder};
 use crate::trace::{Trace, TraceEvent};
-use crate::Round;
+use crate::{alarm::AlarmKind, Round};
 use rand::SeedableRng as _;
 use sleepy_graph::{Graph, NodeId};
 use std::cmp::Reverse;
@@ -64,7 +76,7 @@ pub struct RunOutcome<O> {
     pub trace: Option<Trace>,
 }
 
-/// Node lifecycle inside the engine.
+/// Node lifecycle inside the legacy engine loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Status {
     Awake,
@@ -125,6 +137,170 @@ where
 ///
 /// See [`run_protocol`].
 pub fn run_protocol_with_sink<P, F>(
+    graph: &Graph,
+    config: &EngineConfig,
+    factory: F,
+    sink: &mut dyn TraceSink,
+) -> Result<RunOutcome<P::Output>, EngineError>
+where
+    P: Protocol,
+    F: FnMut(NodeId, &NodeCtx) -> P,
+{
+    drive(graph, config, factory, sink, AlarmKind::default(), None)
+}
+
+/// [`run_protocol_with_sink`] with an explicit wake-alarm queue choice.
+///
+/// Both [`AlarmKind`]s produce byte-identical runs; the choice only
+/// matters for performance, and `fleet bench-wakes` uses this entry point
+/// to hold them equivalent before timing them.
+///
+/// # Errors
+///
+/// See [`run_protocol`].
+pub fn run_protocol_with_alarms<P, F>(
+    graph: &Graph,
+    config: &EngineConfig,
+    factory: F,
+    sink: &mut dyn TraceSink,
+    alarms: AlarmKind,
+) -> Result<RunOutcome<P::Output>, EngineError>
+where
+    P: Protocol,
+    F: FnMut(NodeId, &NodeCtx) -> P,
+{
+    drive(graph, config, factory, sink, alarms, None)
+}
+
+/// Runs a protocol like [`run_protocol_with_sink`] while recording the
+/// run as a [`Tape`]: the graph and engine config, every
+/// [`EngineInput`] the driver fed, and a digest of every
+/// [`EngineOutput`] the state machine emitted.
+///
+/// The tape is returned even when the run fails — the recorded error is
+/// part of the conformance artifact (replaying must reproduce it). The
+/// returned tape's [`label`](crate::tape::TapeHeader::label) and
+/// [`seed`](crate::tape::TapeHeader::seed) are empty/zero; callers that
+/// archive tapes stamp them afterwards.
+pub fn run_protocol_taped<P, F>(
+    graph: &Graph,
+    config: &EngineConfig,
+    factory: F,
+    sink: &mut dyn TraceSink,
+) -> (Result<RunOutcome<P::Output>, EngineError>, Tape)
+where
+    P: Protocol,
+    F: FnMut(NodeId, &NodeCtx) -> P,
+{
+    let mut recorder = TapeRecorder::new(graph, config, sink.wants_messages());
+    let result = drive(graph, config, factory, sink, AlarmKind::default(), Some(&mut recorder));
+    let error = result.as_ref().err().map(|e| e.to_string());
+    (result, recorder.finish(error))
+}
+
+/// The shared driver: builds the protocol instances, then serves the
+/// [`SleepyEngine`]'s output stream — poll prompts run protocol
+/// callbacks, `Deliver` outputs move payloads into inboxes, trace
+/// outputs feed the sink (and everything feeds the tape recorder when
+/// present).
+fn drive<P, F>(
+    graph: &Graph,
+    config: &EngineConfig,
+    mut factory: F,
+    sink: &mut dyn TraceSink,
+    alarms: AlarmKind,
+    mut tap: Option<&mut TapeRecorder>,
+) -> Result<RunOutcome<P::Output>, EngineError>
+where
+    P: Protocol,
+    F: FnMut(NodeId, &NodeCtx) -> P,
+{
+    let n = graph.n();
+    let mut nodes: Vec<P> = Vec::with_capacity(n);
+    for id in 0..n as NodeId {
+        let ctx = NodeCtx { id, n, degree: graph.degree(id), round: 0 };
+        nodes.push(factory(id, &ctx));
+    }
+    let mut sm = SleepyEngine::with_alarms(graph, config, sink.wants_messages(), alarms);
+
+    // Reusable message plumbing. `payloads` holds the most recent sender's
+    // messages in emission order; `Deliver` outputs index into it (they are
+    // always drained before the next `PollSend` refills it).
+    let mut outbox: Outbox<P::Msg> = Outbox::new();
+    let mut inboxes: Vec<Vec<Incoming<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
+    let mut payloads: Vec<P::Msg> = Vec::new();
+
+    let mut failure: Option<EngineError> = None;
+    while let Some(out) = sm.poll_output() {
+        if let Some(t) = tap.as_deref_mut() {
+            t.record_output(&out);
+        }
+        match out {
+            EngineOutput::RoundBegin { round, awake } => sink.round_begin(round, awake as usize),
+            EngineOutput::Event(e) => sink.event(&e),
+            EngineOutput::Deliver { to, port, from: _, index } => {
+                inboxes[to as usize].push(Incoming { port, msg: payloads[index].clone() });
+            }
+            EngineOutput::PollSend { node, round } => {
+                debug_assert!(failure.is_none(), "no prompt survives a failed input");
+                let ctx = NodeCtx { id: node, n, degree: graph.degree(node), round };
+                outbox.reset(ctx.degree);
+                nodes[node as usize].send(&ctx, &mut outbox);
+                payloads.clear();
+                let mut msgs = Vec::with_capacity(outbox.items().len());
+                for (port, msg) in outbox.items().drain(..) {
+                    msgs.push(OutMsg { port, bits: msg.bits() });
+                    payloads.push(msg);
+                }
+                let input = EngineInput::Sends { node, msgs };
+                if let Some(t) = tap.as_deref_mut() {
+                    t.record_input(&input);
+                }
+                if let Err(e) = sm.handle_input(input) {
+                    // Keep draining: outputs queued before the failure are
+                    // part of the sink-visible (and taped) stream, exactly
+                    // as the legacy loop emitted them eagerly.
+                    failure = Some(e);
+                }
+            }
+            EngineOutput::PollReceive { node, round } => {
+                debug_assert!(failure.is_none(), "no prompt survives a failed input");
+                let ctx = NodeCtx { id: node, n, degree: graph.degree(node), round };
+                let action = nodes[node as usize].receive(&ctx, &inboxes[node as usize]);
+                // The send phase completed before the first receive of the
+                // round, so this inbox is final and can be recycled now.
+                inboxes[node as usize].clear();
+                let output_some = nodes[node as usize].output().is_some();
+                let input = EngineInput::Step { node, action, output_some };
+                if let Some(t) = tap.as_deref_mut() {
+                    t.record_input(&input);
+                }
+                if let Err(e) = sm.handle_input(input) {
+                    failure = Some(e);
+                }
+            }
+            EngineOutput::Finished => break,
+        }
+    }
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    debug_assert!(sm.is_finished(), "output stream ended without Finished");
+    let outputs: Vec<Option<P::Output>> = nodes.iter().map(|p| p.output()).collect();
+    debug_assert!(outputs.iter().all(Option::is_some));
+    Ok(RunOutcome { outputs, metrics: sm.finish(), trace: None })
+}
+
+/// The pre-refactor monolithic round loop, kept verbatim as the
+/// differential-testing oracle for the sans-io state machine: the
+/// conformance suite (`tests/engine_statemachine.rs`) holds
+/// [`run_protocol_with_sink`] byte-identical to this function on random
+/// graphs × protocols × loss rates. Production callers should not use it.
+///
+/// # Errors
+///
+/// See [`run_protocol`].
+pub fn run_protocol_with_sink_legacy<P, F>(
     graph: &Graph,
     config: &EngineConfig,
     mut factory: F,
@@ -308,7 +484,7 @@ where
 
 /// Merges two ascending id lists into one (both deduplicated by
 /// construction: a node cannot be both carried over and woken).
-fn merge_sorted(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+pub(crate) fn merge_sorted(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
     let mut out = Vec::with_capacity(a.len() + b.len());
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
@@ -417,7 +593,7 @@ mod tests {
             match (self.id, ctx.round) {
                 (1, 0) => Action::SleepUntil(4),
                 (1, 4) => Action::Terminate,
-                (0, r) if r >= 5 => Action::Terminate,
+                (_, r) if r >= 5 => Action::Terminate,
                 _ => Action::Continue,
             }
         }
@@ -783,5 +959,82 @@ mod tests {
         .unwrap();
         assert_eq!(run.outputs[0], Some(0));
         assert_eq!(run.outputs[2], Some(255)); // nothing received
+    }
+
+    /// The state-machine driver and the legacy loop must agree event for
+    /// event, metric for metric. The broad randomized version lives in
+    /// `tests/engine_statemachine.rs`; this is the in-crate smoke check.
+    #[test]
+    fn driver_matches_legacy_loop() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]).unwrap();
+        let cfg = EngineConfig { loss_probability: 0.2, loss_seed: 7, ..EngineConfig::default() };
+        let mut new_buf = TraceBuffer::new(true);
+        let new_run =
+            run_protocol_with_sink(&g, &cfg, |id, _| DropProbe { id, heard: 0 }, &mut new_buf)
+                .unwrap();
+        let mut old_buf = TraceBuffer::new(true);
+        let old_run = run_protocol_with_sink_legacy(
+            &g,
+            &cfg,
+            |id, _| DropProbe { id, heard: 0 },
+            &mut old_buf,
+        )
+        .unwrap();
+        assert_eq!(new_run.outputs, old_run.outputs);
+        assert_eq!(new_run.metrics, old_run.metrics);
+        assert_eq!(new_buf.into_trace(), old_buf.into_trace());
+    }
+
+    /// Error runs must also agree, including the events the sink saw
+    /// before the failure.
+    #[test]
+    fn driver_matches_legacy_loop_on_errors() {
+        let g = generators::empty(1).unwrap();
+        let mut new_buf = TraceBuffer::new(true);
+        let new_err = run_protocol_with_sink(
+            &g,
+            &EngineConfig::default(),
+            |_, _| SleepsIntoPast,
+            &mut new_buf,
+        )
+        .unwrap_err();
+        let mut old_buf = TraceBuffer::new(true);
+        let old_err = run_protocol_with_sink_legacy(
+            &g,
+            &EngineConfig::default(),
+            |_, _| SleepsIntoPast,
+            &mut old_buf,
+        )
+        .unwrap_err();
+        assert_eq!(new_err, old_err);
+        assert_eq!(new_buf.into_trace(), old_buf.into_trace());
+    }
+
+    /// Both alarm-queue kinds drive byte-identical runs.
+    #[test]
+    fn alarm_kinds_agree() {
+        let g = generators::star(6).unwrap();
+        let cfg = EngineConfig::default();
+        let mut a = TraceBuffer::new(true);
+        let ra = run_protocol_with_alarms(
+            &g,
+            &cfg,
+            |id, _| DropProbe { id, heard: 0 },
+            &mut a,
+            AlarmKind::Heap,
+        )
+        .unwrap();
+        let mut b = TraceBuffer::new(true);
+        let rb = run_protocol_with_alarms(
+            &g,
+            &cfg,
+            |id, _| DropProbe { id, heard: 0 },
+            &mut b,
+            AlarmKind::Wheel,
+        )
+        .unwrap();
+        assert_eq!(ra.outputs, rb.outputs);
+        assert_eq!(ra.metrics, rb.metrics);
+        assert_eq!(a.into_trace(), b.into_trace());
     }
 }

@@ -62,6 +62,15 @@ pub enum EngineError {
         /// The configured per-message budget.
         budget: usize,
     },
+    /// The sans-io state machine was fed an input that does not answer
+    /// its pending poll prompt — a driver bug or a corrupted tape, never
+    /// a protocol bug (see [`SleepyEngine`](crate::SleepyEngine)).
+    UnexpectedInput {
+        /// The round being processed when the input arrived.
+        round: Round,
+        /// What was fed versus what was expected.
+        detail: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -87,6 +96,9 @@ impl fmt::Display for EngineError {
                 f,
                 "node {node} sent a {bits}-bit message exceeding the {budget}-bit CONGEST budget"
             ),
+            EngineError::UnexpectedInput { round, detail } => {
+                write!(f, "unexpected engine input at round {round}: {detail}")
+            }
         }
     }
 }
@@ -106,6 +118,7 @@ mod tests {
             EngineError::SleepIntoPast { node: 1, round: 4, wake_at: 4 },
             EngineError::TerminatedWithoutOutput { node: 2, round: 0 },
             EngineError::MessageTooLarge { node: 3, bits: 4096, budget: 64 },
+            EngineError::UnexpectedInput { round: 1, detail: "Sends out of phase".to_string() },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

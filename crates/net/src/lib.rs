@@ -61,6 +61,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod alarm;
 mod energy;
 mod engine;
 mod error;
@@ -68,16 +69,24 @@ mod message;
 mod metrics;
 mod protocol;
 mod sink;
+mod statemachine;
+mod tape;
 mod trace;
 mod validate;
 
+pub use alarm::{AlarmKind, AlarmQueue, HeapAlarms, TimerWheel, WHEEL_SLOTS};
 pub use energy::{EnergyModel, EnergyReport};
-pub use engine::{run_protocol, run_protocol_with_sink, EngineConfig, RunOutcome};
+pub use engine::{
+    run_protocol, run_protocol_taped, run_protocol_with_alarms, run_protocol_with_sink,
+    run_protocol_with_sink_legacy, EngineConfig, RunOutcome,
+};
 pub use error::EngineError;
 pub use message::{congest_bits_budget, Incoming, MessageSize, Outbox};
 pub use metrics::{ComplexitySummary, NodeMetrics, RunMetrics};
 pub use protocol::{Action, NodeCtx, Protocol};
 pub use sink::{NullSink, RoundRow, RoundSeries, Tee, TraceBuffer, TraceSink};
+pub use statemachine::{EngineInput, EngineOutput, OutMsg, SleepyEngine};
+pub use tape::{replay_tape, ReplayOutcome, Tape, TapeError, TapeHeader, TAPE_VERSION};
 pub use trace::{Trace, TraceEvent};
 pub use validate::{
     validate_series_against_metrics, validate_series_against_trace, validate_trace_against_metrics,

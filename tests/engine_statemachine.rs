@@ -1,0 +1,157 @@
+//! Differential conformance: the sans-io state-machine driver against
+//! the legacy round loop, across random graphs × protocols × drop rates.
+//!
+//! [`run_protocol_with_sink`] now drives a [`SleepyEngine`] state
+//! machine; [`run_protocol_with_sink_legacy`] is the pre-refactor loop
+//! kept verbatim as the differential oracle. For every sampled
+//! configuration the two must agree on **everything observable**: the
+//! full message-level trace, per-node metrics, the complexity summary
+//! and the final outputs. On top of that, recording the run as a tape
+//! and replaying it through a fresh engine must reproduce the same
+//! metrics — the tape path shares no protocol code with the live run.
+//!
+//! [`run_protocol_with_sink`]: sleepy::net::run_protocol_with_sink
+//! [`run_protocol_with_sink_legacy`]: sleepy::net::run_protocol_with_sink_legacy
+//! [`SleepyEngine`]: sleepy::net::SleepyEngine
+
+use proptest::prelude::*;
+use sleepy::baselines::{Ghaffari, GreedyCrt, LubyA, LubyB};
+use sleepy::graph::{Graph, NodeId};
+use sleepy::mis::{MisConfig, PreparedMis, SleepingMisProtocol};
+use sleepy::net::{
+    replay_tape, run_protocol_taped, run_protocol_with_sink, run_protocol_with_sink_legacy,
+    EngineConfig, NodeCtx, Protocol, Tape, TraceBuffer,
+};
+
+/// Strategy: an arbitrary simple graph as (n, edge set).
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (1..max_n).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n as NodeId, 0..n as NodeId), 0..max_edges.min(4 * n))
+            .prop_map(move |pairs| {
+                let edges: Vec<(NodeId, NodeId)> =
+                    pairs.into_iter().filter(|(u, v)| u != v).collect();
+                Graph::from_edges(n, edges).expect("filtered edges are valid")
+            })
+    })
+}
+
+/// Strategy: an engine config sweeping the loss process. Lossy runs get
+/// `lossy_cap` as a round cap: message-waiting protocols (the baselines)
+/// may legitimately stall forever once messages drop, and a capped run
+/// that errors identically on both drivers is just as much a conformance
+/// check as a finishing one. The paper's algorithms follow a fixed
+/// rank-determined schedule, so they terminate under loss — but reach
+/// Θ(n³) round *numbers*, hence their cap stays effectively unlimited.
+fn arb_config(lossy_cap: u64) -> impl Strategy<Value = EngineConfig> {
+    (0usize..3, 0u64..50).prop_map(move |(p, s)| {
+        let loss = [0.0, 0.15, 0.5][p];
+        EngineConfig {
+            loss_probability: loss,
+            loss_seed: s,
+            max_rounds: if loss > 0.0 { lossy_cap } else { EngineConfig::default().max_rounds },
+            ..EngineConfig::default()
+        }
+    })
+}
+
+/// Runs `factory`'s protocol through the state-machine driver, the
+/// legacy loop, and the tape record/replay cycle, asserting byte-level
+/// agreement everywhere.
+fn assert_statemachine_conformance<P, F>(graph: &Graph, config: &EngineConfig, factory: F)
+where
+    P: Protocol,
+    P::Output: PartialEq + std::fmt::Debug,
+    F: FnMut(NodeId, &NodeCtx) -> P + Clone,
+{
+    let mut new_buf = TraceBuffer::new(true);
+    let new = run_protocol_with_sink(graph, config, factory.clone(), &mut new_buf);
+    let mut old_buf = TraceBuffer::new(true);
+    let old = run_protocol_with_sink_legacy(graph, config, factory.clone(), &mut old_buf);
+    match (new, old) {
+        (Ok(a), Ok(b)) => {
+            assert_eq!(a.outputs, b.outputs, "outputs diverge");
+            assert_eq!(a.metrics, b.metrics, "metrics diverge");
+            assert_eq!(a.metrics.summary(), b.metrics.summary(), "summaries diverge");
+        }
+        (a, b) => {
+            let (a, b) = (a.map(|_| ()), b.map(|_| ()));
+            assert_eq!(
+                a.as_ref().err().map(ToString::to_string),
+                b.as_ref().err().map(ToString::to_string),
+                "error behavior diverges"
+            );
+        }
+    }
+    assert_eq!(new_buf.into_trace(), old_buf.into_trace(), "traces diverge");
+
+    // Tape cycle: the recorded exchange must replay to the same digest
+    // and metrics through a fresh engine, and serialize canonically.
+    let mut tape_buf = TraceBuffer::new(true);
+    let (result, tape) = run_protocol_taped(graph, config, factory, &mut tape_buf);
+    let outcome = replay_tape(&tape).expect("fresh tape replays");
+    if let Ok(run) = result {
+        assert_eq!(outcome.metrics.as_ref(), Some(&run.metrics), "replay metrics diverge");
+    } else {
+        assert!(outcome.error.is_some(), "live error missing from replay");
+    }
+    let text = tape.to_jsonl();
+    let reparsed = Tape::from_jsonl(&text).expect("canonical tape parses");
+    assert_eq!(reparsed.to_jsonl(), text, "tape serialization not canonical");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn alg1_statemachine_matches_legacy(
+        g in arb_graph(30),
+        config in arb_config(EngineConfig::default().max_rounds),
+        seed in 0u64..100,
+    ) {
+        let prepared = PreparedMis::new(g.n(), MisConfig::alg1(seed)).unwrap();
+        assert_statemachine_conformance(&g, &config, |id, _| {
+            SleepingMisProtocol::new(id, prepared.clone())
+        });
+    }
+
+    #[test]
+    fn alg2_statemachine_matches_legacy(
+        g in arb_graph(24),
+        config in arb_config(EngineConfig::default().max_rounds),
+        seed in 0u64..100,
+    ) {
+        let prepared = PreparedMis::new(g.n(), MisConfig::alg2(seed)).unwrap();
+        assert_statemachine_conformance(&g, &config, |id, _| {
+            SleepingMisProtocol::new(id, prepared.clone())
+        });
+    }
+
+    #[test]
+    fn baselines_statemachine_matches_legacy(
+        g in arb_graph(24),
+        config in arb_config(500),
+        seed in 0u64..100,
+        which in 0usize..4,
+    ) {
+        match which {
+            0 => assert_statemachine_conformance(&g, &config, |id, _| LubyA::new(id, seed)),
+            1 => assert_statemachine_conformance(&g, &config, |id, _| LubyB::new(id, seed)),
+            2 => assert_statemachine_conformance(&g, &config, |id, _| GreedyCrt::new(id, seed)),
+            _ => assert_statemachine_conformance(&g, &config, |id, _| Ghaffari::new(id, seed)),
+        }
+    }
+
+    #[test]
+    fn error_runs_agree_under_round_caps(
+        g in arb_graph(16),
+        seed in 0u64..50,
+        cap in 1u64..4,
+    ) {
+        // Tiny round caps force MaxRoundsExceeded on most instances;
+        // driver and legacy loop must fail identically (same error, same
+        // pre-failure trace) and the tape must reproduce the error.
+        let config = EngineConfig { max_rounds: cap, ..EngineConfig::default() };
+        assert_statemachine_conformance(&g, &config, |id, _| Ghaffari::new(id, seed));
+    }
+}

@@ -3,14 +3,33 @@
 //! combinatorial executor must agree *exactly* — same MIS, same per-node
 //! awake rounds, decide rounds, finish rounds, message counts, and the
 //! same total/active round counts.
+//!
+//! Every engine run additionally streams through a full trace buffer and
+//! a round-series sink, and the three schedule validators cross-check
+//! trace ↔ metrics ↔ timeline — so each compared run is also internally
+//! consistent, not merely equal to the executor.
 
 use sleepy_graph::{generators, Graph, GraphFamily};
-use sleepy_mis::{execute_sleeping_mis, run_sleeping_mis, MisConfig};
-use sleepy_net::EngineConfig;
+use sleepy_mis::{execute_sleeping_mis, run_sleeping_mis_with_sink, MisConfig};
+use sleepy_net::{
+    validate_series_against_metrics, validate_series_against_trace, validate_trace_against_metrics,
+    EngineConfig, RoundSeries, Tee, TraceBuffer,
+};
 
 fn assert_exact_agreement(g: &Graph, cfg: MisConfig, label: &str) {
-    let engine = run_sleeping_mis(g, cfg, &EngineConfig::default())
+    let mut buffer = TraceBuffer::new(true);
+    let mut series = RoundSeries::new();
+    let mut tee = Tee::new(&mut buffer, &mut series);
+    let engine = run_sleeping_mis_with_sink(g, cfg, &EngineConfig::default(), &mut tee)
         .unwrap_or_else(|e| panic!("{label}: engine failed: {e}"));
+    let trace = buffer.into_trace();
+    let rows = series.into_rows();
+    validate_trace_against_metrics(&trace, &engine.metrics, true)
+        .unwrap_or_else(|e| panic!("{label}: trace/metrics validator: {e}"));
+    validate_series_against_metrics(&rows, &engine.metrics)
+        .unwrap_or_else(|e| panic!("{label}: series/metrics validator: {e}"));
+    validate_series_against_trace(&rows, &trace)
+        .unwrap_or_else(|e| panic!("{label}: series/trace validator: {e}"));
     let exec =
         execute_sleeping_mis(g, cfg).unwrap_or_else(|e| panic!("{label}: executor failed: {e}"));
     assert_eq!(engine.in_mis, exec.in_mis, "{label}: MIS mismatch");
