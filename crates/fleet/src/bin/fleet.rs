@@ -50,6 +50,11 @@ USAGE:
                                     divergence from the recorded outputs
     fleet trace-check FILE          validate a Chrome trace written by
                                     --trace-out (format, ts order, B/E pairs)
+    fleet chaos [CHAOS OPTIONS]     seeded fault-injection matrix: kill and
+                                    wedge real worker processes, corrupt the
+                                    store on disk, fault the network — and
+                                    fail unless every recovery is
+                                    byte-identical to a fault-free oracle
     fleet lint [LINT OPTIONS]       determinism-zone static analysis of the
                                     workspace source (see `fleet lint --help`)
 
@@ -109,6 +114,13 @@ WORKER OPTIONS (run by the multi-process coordinator, or by hand):
     --store DIR       this worker's result store (required)
     --trace-out FILE  write this worker's Chrome trace
     --threads/--shard-size/--no-progress as above
+    --chaos-kill FILE   test-only: on the first attempt (FILE absent;
+                      it is created as a marker) run only the first
+                      half of the shard, then exit 17. With FILE
+                      present, run normally — so the supervisor's
+                      retry completes the shard
+    --chaos-wedge FILE  test-only: on the first attempt hang forever
+                      (exercises the supervisor's wait-timeout kill)
 
 MERGE OPTIONS:
     --plan FILE       the plan the shards ran (required)
@@ -125,6 +137,26 @@ GC OPTIONS:
     --store DIR       the store to compact (required)
     --ttl-secs N      drop entries older than N seconds (default: keep
                       everything, compact segments only)
+
+CHAOS OPTIONS:
+    --dir DIR         scratch directory for the matrix (default: a
+                      fresh directory under the system temp dir)
+    --seed S          master seed for plan, faults, and tapes
+                      (default: 0xC4A05)
+    --n N             node count of the matrix workloads (default: 48)
+    --trials N        trials per job (default: 4)
+    --procs N         worker processes for the supervision legs
+                      (default: 3)
+    --threads N       worker threads for in-process legs (default: 0)
+    --smoke           CI shape: n=32, 2 trials, 2 procs, 1 thread,
+                      2s wedge timeout
+
+  Legs: worker-kill (child dies with exit 17 mid-shard; supervisor
+  retries with backoff), worker-wedge (child hangs; wait timeout kills
+  it), store-truncate / store-bitflip / store-manifest (on-disk
+  corruption; quarantine + warm replay), engine-burst / engine-crash
+  (fault plans recorded twice must be byte-identical tapes that
+  replay). Exit status is nonzero unless every leg passes.
 
 BENCH-CHURN OPTIONS:
     --sizes LIST      node counts to sweep (default: 1000,10000,100000)
@@ -166,6 +198,17 @@ RECORD-TAPE OPTIONS:
                       (default: 1)
     --loss P          message-loss probability (default: 0)
     --loss-seed S     loss-process seed (default: 0)
+    --fault-burst E,X,G,B
+                      Gilbert–Elliott burst loss: enter/exit
+                      probabilities E and X, loss probability G in the
+                      good state and B in the bad state
+    --fault-seed S    seed of the burst-loss process (default: 0)
+    --fault-crash NODE:START:END[,...]
+                      crash windows: NODE is silent (sends and receives
+                      nothing) for rounds [START, END)
+    --fault-partition U-V:START:END[,...]
+                      link partitions: edge {U,V} drops everything for
+                      rounds [START, END)
     --max-rounds R    engine round cap; exceeding it records the error
                       in the tape (still a valid conformance artifact)
     --out FILE        tape path (default: tape_<algo>_n<N>_s<SEED>.jsonl)
@@ -436,6 +479,7 @@ fn main() -> ExitCode {
         Some("bench-wakes") => return run_bench_wakes(),
         Some("record-tape") => return run_record_tape(),
         Some("replay") => return run_replay(),
+        Some("chaos") => return run_chaos(),
         Some("trace-check") => return run_trace_check(),
         Some("lint") => {
             let args: Vec<String> = std::env::args().skip(2).collect();
@@ -582,6 +626,8 @@ struct SubArgs {
     threads: usize,
     shard_size: usize,
     progress: bool,
+    chaos_kill: Option<PathBuf>,
+    chaos_wedge: Option<PathBuf>,
 }
 
 fn parse_sub_args(what: &str, allowed: &[&str]) -> Result<SubArgs, String> {
@@ -628,6 +674,8 @@ fn parse_sub_args(what: &str, allowed: &[&str]) -> Result<SubArgs, String> {
                     value("--shard-size")?.parse().map_err(|_| "bad --shard-size value")?;
             }
             "--no-progress" => args.progress = false,
+            "--chaos-kill" => args.chaos_kill = Some(PathBuf::from(value("--chaos-kill")?)),
+            "--chaos-wedge" => args.chaos_wedge = Some(PathBuf::from(value("--chaos-wedge")?)),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -657,6 +705,8 @@ fn run_worker() -> ExitCode {
             "--threads",
             "--shard-size",
             "--no-progress",
+            "--chaos-kill",
+            "--chaos-wedge",
         ],
     ) {
         Ok(sub) => sub,
@@ -667,6 +717,29 @@ fn run_worker() -> ExitCode {
     else {
         return fail("worker needs --plan, --shard and --store (try --help)");
     };
+    // Test-only fault injection, driven by the supervisor's chaos
+    // config. The marker file makes the fault fire exactly once: the
+    // first attempt misbehaves, the retry runs the shard for real.
+    let first_attempt = |marker: &std::path::Path| {
+        if marker.exists() {
+            false
+        } else {
+            if let Some(parent) = marker.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            let _ = std::fs::write(marker, b"chaos\n");
+            true
+        }
+    };
+    if let Some(marker) = &sub.chaos_wedge {
+        if first_attempt(marker) {
+            eprintln!("fleet worker {index}/{count}: chaos wedge — hanging until killed");
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+    }
+    let chaos_kill_now = sub.chaos_kill.as_deref().is_some_and(first_attempt);
     set_telemetry_mode(sub.trace_out.is_some());
     let plan = match read_plan_file(plan_path) {
         Ok(plan) => plan,
@@ -682,6 +755,18 @@ fn run_worker() -> ExitCode {
         max_in_flight: 0,
         progress: sub.progress,
     };
+    if chaos_kill_now {
+        // Execute exactly the first half of this worker's shard —
+        // shard 2k/2N is a prefix of shard k/N — then die with a
+        // nonzero exit so the supervisor classifies and retries. The
+        // retry finds the half-filled store and completes the rest.
+        let (index, count) = (2 * index, 2 * count);
+        eprintln!("fleet worker: chaos kill — running half shard {index}/{count}, then exit 17");
+        match run_plan_shard(&plan, &config, &mut [], Some(&mut store), index, count) {
+            Ok(_) => std::process::exit(17),
+            Err(e) => return fail(format!("chaos half-shard {index}/{count} failed: {e}")),
+        }
+    }
     match run_plan_shard(&plan, &config, &mut [], Some(&mut store), index, count) {
         Ok(out) => {
             eprintln!(
@@ -1187,7 +1272,8 @@ fn drive_alarms(
             if remaining[v as usize] > 0 {
                 k += 1;
                 let r = splitmix64(seed ^ (k << 24) ^ v as u64);
-                let delta = if r.is_multiple_of(4) { 256 + (r >> 8) % 7936 } else { 1 + (r >> 8) % 255 };
+                let delta =
+                    if r.is_multiple_of(4) { 256 + (r >> 8) % 7936 } else { 1 + (r >> 8) % 255 };
                 queue.schedule(round + delta, v);
                 ops += 1;
             }
@@ -1371,6 +1457,10 @@ fn run_record_tape() -> ExitCode {
     let mut seed = 1u64;
     let mut config = sleepy_net::EngineConfig::default();
     let mut out: Option<PathBuf> = None;
+    let mut fault_burst: Option<(f64, f64, f64, f64)> = None;
+    let mut fault_seed = 0u64;
+    let mut fault_crash: Vec<sleepy_net::CrashWindow> = Vec::new();
+    let mut fault_partition: Vec<sleepy_net::LinkWindow> = Vec::new();
     let mut it = std::env::args().skip(2);
     while let Some(flag) = it.next() {
         let mut value = |flag: &str| it.next().ok_or_else(|| format!("missing value for {flag}"));
@@ -1411,6 +1501,47 @@ fn run_record_tape() -> ExitCode {
                         .parse()
                         .map_err(|_| "bad --max-rounds value".to_string())?;
                 }
+                "--fault-burst" => {
+                    let v = value("--fault-burst")?;
+                    let parts: Vec<f64> = v.split(',').filter_map(|p| p.parse().ok()).collect();
+                    let [e, x, g, b] = parts[..] else {
+                        return Err(format!("bad --fault-burst `{v}` (expected E,X,G,B)"));
+                    };
+                    fault_burst = Some((e, x, g, b));
+                }
+                "--fault-seed" => {
+                    let v = value("--fault-seed")?;
+                    fault_seed =
+                        parse_u64_maybe_hex(&v).ok_or(format!("bad --fault-seed `{v}`"))?;
+                }
+                "--fault-crash" => {
+                    let v = value("--fault-crash")?;
+                    for spec in v.split(',') {
+                        let parts: Vec<u64> =
+                            spec.split(':').filter_map(|p| p.parse().ok()).collect();
+                        let [node, start, end] = parts[..] else {
+                            return Err(format!(
+                                "bad --fault-crash `{spec}` (expected NODE:START:END)"
+                            ));
+                        };
+                        fault_crash.push(sleepy_net::CrashWindow { node: node as u32, start, end });
+                    }
+                }
+                "--fault-partition" => {
+                    let v = value("--fault-partition")?;
+                    for spec in v.split(',') {
+                        let bad =
+                            || format!("bad --fault-partition `{spec}` (expected U-V:START:END)");
+                        let parts: Vec<&str> = spec.split(':').collect();
+                        let [edge, start, end] = parts[..] else { return Err(bad()) };
+                        let (u, v2) = edge.split_once('-').ok_or_else(bad)?;
+                        let a: u32 = u.parse().map_err(|_| bad())?;
+                        let b: u32 = v2.parse().map_err(|_| bad())?;
+                        let start: u64 = start.parse().map_err(|_| bad())?;
+                        let end: u64 = end.parse().map_err(|_| bad())?;
+                        fault_partition.push(sleepy_net::LinkWindow { a, b, start, end });
+                    }
+                }
                 "--out" => out = Some(PathBuf::from(value("--out")?)),
                 other => return Err(format!("unknown `fleet record-tape` flag `{other}`")),
             }
@@ -1425,6 +1556,23 @@ fn run_record_tape() -> ExitCode {
     let Some(algo) = algo else {
         return fail("record-tape needs --algo (try --help)");
     };
+    let fault_kinds = usize::from(fault_burst.is_some())
+        + usize::from(!fault_crash.is_empty())
+        + usize::from(!fault_partition.is_empty());
+    if fault_kinds > 1 {
+        return fail("--fault-burst, --fault-crash and --fault-partition are mutually exclusive");
+    }
+    if let Some((p_enter, p_exit, loss_good, loss_bad)) = fault_burst {
+        config.fault =
+            sleepy_net::FaultPlan::Burst { p_enter, p_exit, loss_good, loss_bad, seed: fault_seed };
+    } else if !fault_crash.is_empty() {
+        config.fault = sleepy_net::FaultPlan::Crash { windows: fault_crash };
+    } else if !fault_partition.is_empty() {
+        config.fault = sleepy_net::FaultPlan::Partition { windows: fault_partition };
+    }
+    if let Err(e) = config.fault.validate() {
+        return fail(format!("invalid fault plan: {e}"));
+    }
     let tape = match sleepy_fleet::tape::record_tape(algo, family, n, seed, &config) {
         Ok(tape) => tape,
         Err(e) => return fail(e),
@@ -1452,6 +1600,91 @@ fn run_record_tape() -> ExitCode {
         },
     );
     ExitCode::SUCCESS
+}
+
+/// `fleet chaos`: run the seeded fault-injection matrix (see
+/// `sleepy_fleet::chaos`) and exit nonzero unless every leg's recovery
+/// invariant holds.
+fn run_chaos() -> ExitCode {
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(e) => return fail(format!("cannot locate the fleet binary: {e}")),
+    };
+    let mut dir: Option<PathBuf> = None;
+    let mut smoke = false;
+    let mut seed: Option<u64> = None;
+    let mut n: Option<usize> = None;
+    let mut trials: Option<usize> = None;
+    let mut procs: Option<usize> = None;
+    let mut threads: Option<usize> = None;
+    let mut it = std::env::args().skip(2);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("missing value for {flag}"));
+        let result = (|| -> Result<bool, String> {
+            let num =
+                |v: String, flag: &str| v.parse::<usize>().map_err(|_| format!("bad {flag} `{v}`"));
+            match flag.as_str() {
+                "--help" | "-h" => {
+                    println!("{USAGE}");
+                    return Ok(false);
+                }
+                "--dir" => dir = Some(PathBuf::from(value("--dir")?)),
+                "--smoke" => smoke = true,
+                "--seed" => {
+                    let v = value("--seed")?;
+                    seed = Some(parse_u64_maybe_hex(&v).ok_or(format!("bad --seed `{v}`"))?);
+                }
+                "--n" => n = Some(num(value("--n")?, "--n")?),
+                "--trials" => trials = Some(num(value("--trials")?, "--trials")?),
+                "--procs" => procs = Some(num(value("--procs")?, "--procs")?),
+                "--threads" => threads = Some(num(value("--threads")?, "--threads")?),
+                other => return Err(format!("unknown `fleet chaos` flag `{other}`")),
+            }
+            Ok(true)
+        })();
+        match result {
+            Ok(true) => {}
+            Ok(false) => return ExitCode::SUCCESS,
+            Err(msg) => return fail(msg),
+        }
+    }
+    let dir = dir.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("fleet-chaos-{}", std::process::id()))
+    });
+    let mut cfg = if smoke {
+        sleepy_fleet::chaos::ChaosConfig::smoke(&exe, &dir)
+    } else {
+        sleepy_fleet::chaos::ChaosConfig::full(&exe, &dir)
+    };
+    if let Some(seed) = seed {
+        cfg.seed = seed;
+    }
+    if let Some(n) = n {
+        cfg.n = n;
+    }
+    if let Some(trials) = trials {
+        cfg.trials = trials;
+    }
+    if let Some(procs) = procs {
+        cfg.procs = procs;
+    }
+    if let Some(threads) = threads {
+        cfg.threads = threads;
+    }
+    if cfg.procs == 0 {
+        return fail("--procs must be at least 1");
+    }
+    match sleepy_fleet::chaos::run_chaos_matrix(&cfg) {
+        Ok(report) => {
+            println!("{report}");
+            if report.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => fail(format!("chaos matrix could not run: {e}")),
+    }
 }
 
 /// `fleet replay`: re-run committed tapes through the sans-io engine in

@@ -6,6 +6,46 @@ use sleepy_net::EngineError;
 use std::error::Error;
 use std::fmt;
 
+/// How a worker process failed, as classified by the sharded-run
+/// supervisor (see
+/// [`run_plan_sharded_procs_supervised`](crate::run_plan_sharded_procs_supervised)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WorkerStatus {
+    /// The worker process could not be spawned — including the
+    /// `Stdio` pipe setup, which fails before the child exists.
+    SpawnFailed(String),
+    /// The worker outlived the supervisor's wait timeout and was
+    /// killed (the silent-hang guard: a wedged worker can no longer
+    /// block the coordinator forever).
+    TimedOut {
+        /// The timeout that elapsed, in seconds.
+        timeout_secs: u64,
+    },
+    /// The worker exited with a failure status (`None` when it was
+    /// killed by a signal and has no exit code).
+    Exited {
+        /// The exit code, if any.
+        code: Option<i32>,
+    },
+    /// Waiting on the worker failed at the OS level.
+    WaitFailed(String),
+}
+
+impl fmt::Display for WorkerStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkerStatus::SpawnFailed(msg) => write!(f, "spawn failed: {msg}"),
+            WorkerStatus::TimedOut { timeout_secs } => {
+                write!(f, "stalled past the {timeout_secs}s wait timeout and was killed")
+            }
+            WorkerStatus::Exited { code: Some(c) } => write!(f, "exited with code {c}"),
+            WorkerStatus::Exited { code: None } => write!(f, "was killed by a signal"),
+            WorkerStatus::WaitFailed(msg) => write!(f, "wait failed: {msg}"),
+        }
+    }
+}
+
 /// Any failure inside a fleet run: workload generation, algorithm
 /// configuration/execution, or sink I/O.
 #[derive(Debug)]
@@ -23,6 +63,17 @@ pub enum FleetError {
     Store(sleepy_store::StoreError),
     /// An invalid plan or configuration.
     Config(String),
+    /// A worker process failed for good: its classified status after
+    /// the supervisor exhausted the configured retries.
+    Worker {
+        /// Worker index (shard `id` of `procs`).
+        id: usize,
+        /// The global trial range `[start, end)` the worker owned, so
+        /// the error names exactly which slice of the plan stalled.
+        range: (usize, usize),
+        /// The classified failure of the final attempt.
+        status: WorkerStatus,
+    },
     /// The protocol recorder's trace-derived totals disagree with the
     /// engine's own accounting (see [`crate::scope`]).
     ScheduleDrift(String),
@@ -37,6 +88,9 @@ impl fmt::Display for FleetError {
             FleetError::Io(e) => write!(f, "result sink failed: {e}"),
             FleetError::Store(e) => write!(f, "result store failed: {e}"),
             FleetError::Config(msg) => write!(f, "invalid fleet configuration: {msg}"),
+            FleetError::Worker { id, range, status } => {
+                write!(f, "worker {id} (trials {}..{}) {status}", range.0, range.1)
+            }
             FleetError::ScheduleDrift(msg) => write!(f, "schedule accounting drift: {msg}"),
         }
     }
@@ -50,7 +104,9 @@ impl Error for FleetError {
             FleetError::Engine(e) => Some(e),
             FleetError::Io(e) => Some(e),
             FleetError::Store(e) => Some(e),
-            FleetError::Config(_) | FleetError::ScheduleDrift(_) => None,
+            FleetError::Config(_) | FleetError::Worker { .. } | FleetError::ScheduleDrift(_) => {
+                None
+            }
         }
     }
 }

@@ -83,6 +83,7 @@
 
 pub mod agg;
 pub mod cache;
+pub mod chaos;
 mod error;
 mod measure;
 pub mod planio;
@@ -98,7 +99,7 @@ mod workload;
 
 pub use agg::{DynamicJobAggregate, JobAggregate, MetricAggregate, MetricStats};
 pub use cache::{CacheStats, NamespaceStats};
-pub use error::FleetError;
+pub use error::{FleetError, WorkerStatus};
 pub use measure::{
     measure_dynamic, measure_once, AlgoKind, ComplexityReport, DynamicReport, Execution,
     IncrementalPhase, IncrementalRepairer, PhaseReport, RebuildRepairer, RepairStrategy,
@@ -106,7 +107,10 @@ pub use measure::{
 };
 pub use planio::{plan_from_json, plan_to_json};
 pub use pool::deterministic_map;
-pub use procs::{run_plan_sharded_procs, ProcsConfig};
+pub use procs::{
+    run_plan_sharded_procs, run_plan_sharded_procs_supervised, ProcsConfig, SupervisionReport,
+    WorkerFailure,
+};
 pub use run::{
     run_dynamic_plan, run_dynamic_plan_cached, run_dynamic_plan_with_sinks, run_plan,
     run_plan_cached, run_plan_shard, run_plan_with_sinks, shard_bounds, DynamicFleetOutput,

@@ -11,6 +11,7 @@
 //! suite holds the state machine byte-identical to.
 
 use crate::error::EngineError;
+use crate::fault::FaultPlan;
 use crate::message::{Incoming, MessageSize, Outbox};
 use crate::metrics::{NodeMetrics, RunMetrics};
 use crate::protocol::{Action, NodeCtx, Protocol};
@@ -19,7 +20,6 @@ use crate::statemachine::{EngineInput, EngineOutput, OutMsg, SleepyEngine};
 use crate::tape::{Tape, TapeRecorder};
 use crate::trace::{Trace, TraceEvent};
 use crate::{alarm::AlarmKind, Round};
-use rand::SeedableRng as _;
 use sleepy_graph::{Graph, NodeId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -45,9 +45,34 @@ pub struct EngineConfig {
     /// receivers). 0.0 = the paper's reliable model. Losses are
     /// deterministic given [`EngineConfig::loss_seed`] and are counted in
     /// [`NodeMetrics::messages_lost`].
+    ///
+    /// This is the legacy spelling of [`FaultPlan::Iid`]; it applies only
+    /// when [`EngineConfig::fault`] is [`FaultPlan::None`] (see
+    /// [`EngineConfig::effective_fault`]).
     pub loss_probability: f64,
     /// Seed for the loss process.
     pub loss_seed: u64,
+    /// The generalized fault process (burst loss, link partitions, node
+    /// crashes — see [`FaultPlan`]). When set to anything other than
+    /// [`FaultPlan::None`] it replaces the legacy loss fields.
+    pub fault: FaultPlan,
+}
+
+impl EngineConfig {
+    /// The fault plan this configuration effectively runs under: an
+    /// explicit [`EngineConfig::fault`] wins; otherwise a nonzero
+    /// [`EngineConfig::loss_probability`] defines the equivalent
+    /// [`FaultPlan::Iid`] (byte-identical decisions); otherwise no
+    /// faults.
+    pub fn effective_fault(&self) -> FaultPlan {
+        if !self.fault.is_none() {
+            self.fault.clone()
+        } else if self.loss_probability > 0.0 {
+            FaultPlan::Iid { probability: self.loss_probability, seed: self.loss_seed }
+        } else {
+            FaultPlan::None
+        }
+    }
 }
 
 impl Default for EngineConfig {
@@ -59,6 +84,7 @@ impl Default for EngineConfig {
             congest_bits: None,
             loss_probability: 0.0,
             loss_seed: 0,
+            fault: FaultPlan::None,
         }
     }
 }
@@ -317,11 +343,7 @@ where
         let ctx = NodeCtx { id, n, degree: graph.degree(id), round: 0 };
         nodes.push(factory(id, &ctx));
     }
-    let mut loss_rng = if config.loss_probability > 0.0 {
-        Some(rand::rngs::SmallRng::seed_from_u64(config.loss_seed))
-    } else {
-        None
-    };
+    let mut fault = config.effective_fault().build();
 
     let mut status = vec![Status::Awake; n];
     let mut metrics: Vec<NodeMetrics> = vec![NodeMetrics::default(); n];
@@ -398,9 +420,8 @@ where
                 vm.messages_sent += 1;
                 vm.bits_sent += bits as u64;
                 let dst = graph.endpoint(v, port);
-                if let Some(rng) = loss_rng.as_mut() {
-                    use rand::Rng as _;
-                    if rng.gen_bool(config.loss_probability) {
+                if let Some(model) = fault.as_mut() {
+                    if model.message_lost(round, v, dst) {
                         metrics[dst as usize].messages_lost += 1;
                         if wants_messages {
                             sink.event(&TraceEvent::MessageLost { round, from: v, to: dst });
@@ -864,6 +885,103 @@ mod tests {
         let cfg0 = EngineConfig::default();
         let run0 = run_protocol(&g, &cfg0, |id, _| Chatter { id, heard: 0 }).unwrap();
         assert_eq!(run0.metrics.per_node.iter().map(|m| m.messages_lost).sum::<u64>(), 0);
+    }
+
+    /// `FaultPlan::Iid` must reproduce the legacy loss fields decision
+    /// for decision — same RNG, same draw order — across both drivers.
+    #[test]
+    fn iid_fault_plan_is_byte_identical_to_legacy_loss_fields() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]).unwrap();
+        let legacy =
+            EngineConfig { loss_probability: 0.2, loss_seed: 7, ..EngineConfig::default() };
+        let planned = EngineConfig {
+            fault: FaultPlan::Iid { probability: 0.2, seed: 7 },
+            ..EngineConfig::default()
+        };
+        let mut a = TraceBuffer::new(true);
+        let ra = run_protocol_with_sink(&g, &legacy, |id, _| DropProbe { id, heard: 0 }, &mut a)
+            .unwrap();
+        let mut b = TraceBuffer::new(true);
+        let rb = run_protocol_with_sink(&g, &planned, |id, _| DropProbe { id, heard: 0 }, &mut b)
+            .unwrap();
+        assert_eq!(ra.outputs, rb.outputs);
+        assert_eq!(ra.metrics, rb.metrics);
+        assert_eq!(a.into_trace(), b.into_trace());
+        // An explicit plan overrides the legacy fields.
+        let both = EngineConfig {
+            loss_probability: 0.9,
+            loss_seed: 999,
+            fault: FaultPlan::Iid { probability: 0.2, seed: 7 },
+            ..EngineConfig::default()
+        };
+        let rc = run_protocol(&g, &both, |id, _| DropProbe { id, heard: 0 }).unwrap();
+        assert_eq!(rc.outputs, ra.outputs);
+    }
+
+    /// The state-machine driver and the legacy loop agree under every
+    /// fault plan, and each plan behaves as specified end to end.
+    #[test]
+    fn fault_plans_drive_both_loops_identically() {
+        use crate::fault::{CrashWindow, LinkWindow};
+        let g = generators::star(11).unwrap();
+        let plans = [
+            FaultPlan::Burst {
+                p_enter: 0.1,
+                p_exit: 0.2,
+                loss_good: 0.02,
+                loss_bad: 0.95,
+                seed: 13,
+            },
+            FaultPlan::Partition { windows: vec![LinkWindow { a: 0, b: 3, start: 1, end: 4 }] },
+            FaultPlan::Crash { windows: vec![CrashWindow { node: 5, start: 0, end: 200 }] },
+        ];
+        for plan in plans {
+            let cfg = EngineConfig { fault: plan.clone(), ..EngineConfig::default() };
+            let mut new_buf = TraceBuffer::new(true);
+            let new_run =
+                run_protocol_with_sink(&g, &cfg, |id, _| DropProbe { id, heard: 0 }, &mut new_buf)
+                    .unwrap();
+            let mut old_buf = TraceBuffer::new(true);
+            let old_run = run_protocol_with_sink_legacy(
+                &g,
+                &cfg,
+                |id, _| DropProbe { id, heard: 0 },
+                &mut old_buf,
+            )
+            .unwrap();
+            assert_eq!(new_run.outputs, old_run.outputs, "{plan:?}");
+            assert_eq!(new_run.metrics, old_run.metrics, "{plan:?}");
+            assert_eq!(new_buf.into_trace(), old_buf.into_trace(), "{plan:?}");
+            let lost: u64 = new_run.metrics.per_node.iter().map(|m| m.messages_lost).sum();
+            assert!(lost > 0, "{plan:?} should lose something on this workload");
+        }
+    }
+
+    /// A node crashed for the whole run hears nothing; everyone else is
+    /// untouched relative to a fault-free run.
+    #[test]
+    fn crash_windows_silence_exactly_the_crashed_node() {
+        use crate::fault::CrashWindow;
+        let g = generators::star(6).unwrap();
+        let crashed = EngineConfig {
+            fault: FaultPlan::Crash {
+                windows: vec![CrashWindow { node: 2, start: 0, end: Round::MAX }],
+            },
+            ..EngineConfig::default()
+        };
+        let run = run_protocol(&g, &crashed, |id, _| DropProbe { id, heard: 0 }).unwrap();
+        let clean =
+            run_protocol(&g, &EngineConfig::default(), |id, _| DropProbe { id, heard: 0 }).unwrap();
+        assert_eq!(run.outputs[2], Some(0), "crashed leaf hears nothing");
+        for id in [1, 3, 4, 5] {
+            assert_eq!(run.outputs[id], clean.outputs[id], "node {id} unaffected");
+        }
+        // The hub loses exactly the crashed leaf's replies... which a
+        // DropProbe leaf never sends; node 2's inbound messages are the
+        // only losses.
+        let lost: u64 = run.metrics.per_node.iter().map(|m| m.messages_lost).sum();
+        assert_eq!(lost, run.metrics.per_node[2].messages_lost);
+        assert!(lost > 0);
     }
 
     #[test]

@@ -65,6 +65,7 @@ mod alarm;
 mod energy;
 mod engine;
 mod error;
+mod fault;
 mod message;
 mod metrics;
 mod protocol;
@@ -81,6 +82,7 @@ pub use engine::{
     run_protocol_with_sink_legacy, EngineConfig, RunOutcome,
 };
 pub use error::EngineError;
+pub use fault::{CrashWindow, FaultModel, FaultPlan, LinkWindow};
 pub use message::{congest_bits_budget, Incoming, MessageSize, Outbox};
 pub use metrics::{ComplexitySummary, NodeMetrics, RunMetrics};
 pub use protocol::{Action, NodeCtx, Protocol};

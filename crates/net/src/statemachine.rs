@@ -28,11 +28,11 @@
 use crate::alarm::{AlarmKind, AlarmQueue};
 use crate::engine::{merge_sorted, EngineConfig};
 use crate::error::EngineError;
+use crate::fault::FaultModel;
 use crate::metrics::{NodeMetrics, RunMetrics};
 use crate::protocol::Action;
 use crate::trace::TraceEvent;
 use crate::Round;
-use rand::SeedableRng as _;
 use serde::{Serialize, Value};
 use sleepy_graph::{Graph, NodeId, Port};
 use std::collections::VecDeque;
@@ -222,8 +222,7 @@ pub struct SleepyEngine<'g> {
     graph: &'g Graph,
     max_rounds: Round,
     congest_bits: Option<usize>,
-    loss_probability: f64,
-    loss_rng: Option<rand::rngs::SmallRng>,
+    fault: Option<Box<dyn FaultModel>>,
     messages: bool,
     status: Vec<Status>,
     metrics: Vec<NodeMetrics>,
@@ -266,17 +265,11 @@ impl<'g> SleepyEngine<'g> {
         alarms: AlarmKind,
     ) -> Self {
         let n = graph.n();
-        let loss_rng = if config.loss_probability > 0.0 {
-            Some(rand::rngs::SmallRng::seed_from_u64(config.loss_seed))
-        } else {
-            None
-        };
         let mut sm = SleepyEngine {
             graph,
             max_rounds: config.max_rounds,
             congest_bits: config.congest_bits,
-            loss_probability: config.loss_probability,
-            loss_rng,
+            fault: config.effective_fault().build(),
             messages,
             status: vec![Status::Awake; n],
             metrics: vec![NodeMetrics::default(); n],
@@ -402,9 +395,8 @@ impl<'g> SleepyEngine<'g> {
             vm.messages_sent += 1;
             vm.bits_sent += m.bits as u64;
             let dst = self.graph.endpoint(node, m.port);
-            if let Some(rng) = self.loss_rng.as_mut() {
-                use rand::Rng as _;
-                if rng.gen_bool(self.loss_probability) {
+            if let Some(model) = self.fault.as_mut() {
+                if model.message_lost(round, node, dst) {
                     self.metrics[dst as usize].messages_lost += 1;
                     if self.messages {
                         self.outputs.push_back(EngineOutput::Event(TraceEvent::MessageLost {

@@ -29,6 +29,7 @@
 //!    newline), and the run's error, if it failed.
 
 use crate::engine::EngineConfig;
+use crate::fault::FaultPlan;
 use crate::metrics::RunMetrics;
 use crate::protocol::Action;
 use crate::statemachine::{EngineInput, OutMsg, SleepyEngine};
@@ -94,6 +95,11 @@ pub struct TapeHeader {
     pub loss_probability: f64,
     /// [`EngineConfig::loss_seed`] at capture time.
     pub loss_seed: u64,
+    /// [`EngineConfig::fault`] at capture time — the generalized fault
+    /// plan. Serialized as an optional `fault` header key only when it
+    /// is not [`FaultPlan::None`], so fault-free tapes keep their exact
+    /// pre-fault byte layout.
+    pub fault: FaultPlan,
     /// Whether message-level events were generated (the recording
     /// sink's [`wants_messages`](crate::TraceSink::wants_messages)) —
     /// part of the output stream's definition, so part of the tape.
@@ -110,6 +116,7 @@ impl TapeHeader {
             congest_bits: self.congest_bits,
             loss_probability: self.loss_probability,
             loss_seed: self.loss_seed,
+            fault: self.fault.clone(),
         }
     }
 
@@ -150,7 +157,7 @@ impl Tape {
             .iter()
             .map(|&(u, v)| Value::Array(vec![Value::UInt(u64::from(u)), Value::UInt(u64::from(v))]))
             .collect();
-        let header = Value::Object(vec![
+        let mut entries = vec![
             ("tape".to_string(), Value::String(TAPE_MAGIC.to_string())),
             ("version".to_string(), Value::UInt(TAPE_VERSION)),
             ("label".to_string(), Value::String(h.label.clone())),
@@ -164,8 +171,12 @@ impl Tape {
             ),
             ("loss_probability".to_string(), Value::Float(h.loss_probability)),
             ("loss_seed".to_string(), Value::UInt(h.loss_seed)),
-            ("messages".to_string(), Value::Bool(h.messages)),
-        ]);
+        ];
+        if !h.fault.is_none() {
+            entries.push(("fault".to_string(), h.fault.to_value()));
+        }
+        entries.push(("messages".to_string(), Value::Bool(h.messages)));
+        let header = Value::Object(entries);
         let mut out = String::new();
         out.push_str(&serde::value::to_compact_string(&header));
         out.push('\n');
@@ -290,6 +301,12 @@ fn parse_header(line: usize, text: &str) -> Result<TapeHeader, TapeError> {
     let loss_probability = field(line, &v, "loss_probability")?.as_f64().ok_or_else(|| {
         TapeError::Parse { line, reason: "field `loss_probability` is not a number".to_string() }
     })?;
+    // Optional for backward compatibility: pre-fault tapes have no
+    // `fault` key and parse as `FaultPlan::None`.
+    let fault = match v.get("fault") {
+        None => FaultPlan::None,
+        Some(f) => FaultPlan::from_value(f).map_err(|reason| TapeError::Parse { line, reason })?,
+    };
     Ok(TapeHeader {
         label: field_str(line, &v, "label")?.to_string(),
         seed: field_u64(line, &v, "seed")?,
@@ -299,6 +316,7 @@ fn parse_header(line: usize, text: &str) -> Result<TapeHeader, TapeError> {
         congest_bits,
         loss_probability,
         loss_seed: field_u64(line, &v, "loss_seed")?,
+        fault,
         messages: field_bool(line, &v, "messages")?,
     })
 }
@@ -388,6 +406,7 @@ impl TapeRecorder {
                 congest_bits: config.congest_bits,
                 loss_probability: config.loss_probability,
                 loss_seed: config.loss_seed,
+                fault: config.fault.clone(),
                 messages,
             },
             inputs: Vec::new(),
@@ -681,6 +700,47 @@ mod tests {
         let text = tape.to_jsonl();
         let headerless = text.lines().next().unwrap().to_string();
         assert!(matches!(Tape::from_jsonl(&headerless), Err(TapeError::Truncated)));
+    }
+
+    /// Faulted runs are first-class tapes: the plan rides in the header,
+    /// the recorded stream replays byte-for-byte, and fault-free tapes
+    /// keep the exact pre-fault header layout (no `fault` key at all).
+    #[test]
+    fn fault_plans_ride_in_headers_and_replay() {
+        use crate::fault::{CrashWindow, FaultPlan};
+        let g = Graph::from_edges(3, [(0, 1), (0, 2), (1, 2)]).unwrap();
+        let plans = [
+            FaultPlan::Burst { p_enter: 0.3, p_exit: 0.5, loss_good: 0.0, loss_bad: 1.0, seed: 3 },
+            FaultPlan::Crash { windows: vec![CrashWindow { node: 1, start: 0, end: 2 }] },
+        ];
+        for plan in plans {
+            let cfg = EngineConfig { fault: plan.clone(), ..EngineConfig::default() };
+            let mut buffer = TraceBuffer::new(true);
+            let (run, tape) =
+                run_protocol_taped(&g, &cfg, |id, _| Mixer { id, heard: 0 }, &mut buffer);
+            run.unwrap();
+            assert_eq!(tape.header.fault, plan);
+            let text = tape.to_jsonl();
+            assert!(text.contains("\"fault\":{\"kind\":"), "header carries the plan: {text}");
+            let parsed = Tape::from_jsonl(&text).unwrap();
+            assert_eq!(parsed, tape);
+            assert_eq!(parsed.to_jsonl(), text, "canonical round trip");
+            let replay = replay_tape(&parsed).unwrap();
+            assert_eq!(replay.outputs_fnv, tape.outputs_fnv);
+        }
+        // Fault-free recordings emit no `fault` key, and headers without
+        // one (every pre-fault tape) still parse.
+        let (_, tape) = record();
+        let text = tape.to_jsonl();
+        assert!(!text.contains("\"fault\""), "legacy layout preserved: {text}");
+        assert_eq!(Tape::from_jsonl(&text).unwrap().header.fault, FaultPlan::None);
+        // A malformed plan is a parse error, not a panic.
+        let bad = text.replacen(
+            "\"loss_seed\":5",
+            "\"loss_seed\":5,\"fault\":{\"kind\":\"iid\",\"probability\":7.0,\"seed\":0}",
+            1,
+        );
+        assert!(matches!(Tape::from_jsonl(&bad), Err(TapeError::Parse { line: 1, .. })));
     }
 
     #[test]

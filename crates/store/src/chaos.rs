@@ -1,0 +1,302 @@
+//! Deterministic fault injection against a store directory on disk.
+//!
+//! [`StoreFaultInjector`] corrupts the on-disk representation of a
+//! [`Store`](crate::Store) the way real crashes and bad disks do —
+//! truncated segment files, flipped bits, torn manifests — but from a
+//! seed, so a failing chaos trial is replayable byte-for-byte. The
+//! store's own invariants (self-checking lines, wholesale quarantine,
+//! manifest rebuild) guarantee a reopened store never *serves*
+//! corrupted data; the injector exists so tests and `fleet chaos` can
+//! prove that claim against arbitrary corruption instead of the two or
+//! three hand-written cases.
+//!
+//! The injector never touches the [`Store`](crate::Store) API: it
+//! mutates files directly, between a close and a reopen, exactly like
+//! an external corruption event. All randomness comes from an internal
+//! SplitMix64 stream seeded at construction (this crate deliberately
+//! has no RNG dependency).
+
+use crate::error::StoreError;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// What a single injected fault did — returned so tests can log the
+/// exact corruption and assert on its class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StoreFault {
+    /// A segment file was truncated from `old_len` to `new_len` bytes.
+    TruncatedSegment {
+        /// Segment file name.
+        name: String,
+        /// Length before the cut, in bytes.
+        old_len: u64,
+        /// Length after the cut, in bytes.
+        new_len: u64,
+    },
+    /// One bit of a segment file was flipped.
+    FlippedBit {
+        /// Segment file name.
+        name: String,
+        /// Byte offset of the corrupted byte.
+        offset: u64,
+        /// Which bit (0–7) was flipped.
+        bit: u8,
+    },
+    /// The manifest was truncated (a torn metadata write).
+    TornManifest {
+        /// Length before the cut, in bytes.
+        old_len: u64,
+        /// Length after the cut, in bytes.
+        new_len: u64,
+    },
+    /// No fault was injected (the store has nothing to corrupt).
+    Nothing,
+}
+
+impl fmt::Display for StoreFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreFault::TruncatedSegment { name, old_len, new_len } => {
+                write!(f, "truncated {name}: {old_len} -> {new_len} bytes")
+            }
+            StoreFault::FlippedBit { name, offset, bit } => {
+                write!(f, "flipped bit {bit} of byte {offset} in {name}")
+            }
+            StoreFault::TornManifest { old_len, new_len } => {
+                write!(f, "tore manifest: {old_len} -> {new_len} bytes")
+            }
+            StoreFault::Nothing => write!(f, "nothing to corrupt"),
+        }
+    }
+}
+
+/// Seeded corruption of a store directory (see the module docs).
+#[derive(Debug)]
+pub struct StoreFaultInjector {
+    dir: PathBuf,
+    state: u64,
+}
+
+impl StoreFaultInjector {
+    /// An injector over `dir`, drawing all its choices from `seed`.
+    pub fn new(dir: impl Into<PathBuf>, seed: u64) -> Self {
+        StoreFaultInjector { dir: dir.into(), state: seed }
+    }
+
+    /// The next value of the internal SplitMix64 stream.
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A draw in `0..n` (`n` must be nonzero). Uses the high-quality
+    /// high bits via 128-bit multiply, like the fleet seed streams.
+    fn below(&mut self, n: u64) -> u64 {
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// The store's live segment file names, sorted — a deterministic
+    /// population regardless of directory iteration order.
+    ///
+    /// # Errors
+    ///
+    /// Directory read failures.
+    pub fn segments(&self) -> Result<Vec<String>, StoreError> {
+        let io = |e| StoreError::Io(self.dir.clone(), e);
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.dir).map_err(io)? {
+            let entry = entry.map_err(io)?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with("seg-") && name.ends_with(".jsonl") {
+                names.push(name);
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    /// Truncates a seeded segment at a seeded byte offset (simulating
+    /// a crash mid-write or a filesystem that lost a tail). The cut
+    /// point ranges over the whole file, so it may or may not land on
+    /// a line boundary — the store must quarantine either way unless
+    /// the surviving prefix is a whole number of valid lines.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures.
+    pub fn truncate_segment(&mut self) -> Result<StoreFault, StoreError> {
+        let Some((name, path, len)) = self.pick_segment()? else {
+            return Ok(StoreFault::Nothing);
+        };
+        let new_len = self.below(len);
+        truncate_file(&path, new_len)?;
+        Ok(StoreFault::TruncatedSegment { name, old_len: len, new_len })
+    }
+
+    /// Flips one seeded bit of one seeded segment (simulating media
+    /// corruption). The per-line checksum must catch it; the segment
+    /// is quarantined wholesale.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures.
+    pub fn flip_bit(&mut self) -> Result<StoreFault, StoreError> {
+        let Some((name, path, len)) = self.pick_segment()? else {
+            return Ok(StoreFault::Nothing);
+        };
+        let offset = self.below(len);
+        let bit = (self.next_u64() % 8) as u8;
+        let io = |e| StoreError::Io(path.clone(), e);
+        let mut bytes = fs::read(&path).map_err(io)?;
+        bytes[offset as usize] ^= 1 << bit;
+        fs::write(&path, &bytes).map_err(io)?;
+        Ok(StoreFault::FlippedBit { name, offset, bit })
+    }
+
+    /// Truncates the manifest at a seeded offset (a torn metadata
+    /// write). The store must rebuild the segment list from the
+    /// self-validating segment files and lose nothing.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures.
+    pub fn tear_manifest(&mut self) -> Result<StoreFault, StoreError> {
+        let path = self.dir.join("manifest.json");
+        let io = |e| StoreError::Io(path.clone(), e);
+        let len = match fs::metadata(&path) {
+            Ok(meta) => meta.len(),
+            Err(_) => return Ok(StoreFault::Nothing),
+        };
+        if len == 0 {
+            return Ok(StoreFault::Nothing);
+        }
+        let new_len = self.below(len);
+        fs::read(&path)
+            .map_err(io)
+            .and_then(|bytes| fs::write(&path, &bytes[..new_len as usize]).map_err(io))?;
+        Ok(StoreFault::TornManifest { old_len: len, new_len })
+    }
+
+    /// Injects one seeded fault of a seeded class — the general move
+    /// of a chaos matrix trial.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures.
+    pub fn corrupt_one(&mut self) -> Result<StoreFault, StoreError> {
+        match self.next_u64() % 3 {
+            0 => self.truncate_segment(),
+            1 => self.flip_bit(),
+            _ => self.tear_manifest(),
+        }
+    }
+
+    /// Picks a seeded nonempty segment: `(name, path, len)`.
+    fn pick_segment(&mut self) -> Result<Option<(String, PathBuf, u64)>, StoreError> {
+        let mut candidates = Vec::new();
+        for name in self.segments()? {
+            let path = self.dir.join(&name);
+            let len = fs::metadata(&path).map_err(|e| StoreError::Io(path.clone(), e))?.len();
+            if len > 0 {
+                candidates.push((name, path, len));
+            }
+        }
+        if candidates.is_empty() {
+            return Ok(None);
+        }
+        let idx = self.below(candidates.len() as u64) as usize;
+        Ok(Some(candidates.swap_remove(idx)))
+    }
+}
+
+/// Truncates `path` to `len` bytes.
+fn truncate_file(path: &Path, len: u64) -> Result<(), StoreError> {
+    let io = |e| StoreError::Io(path.to_path_buf(), e);
+    let bytes = fs::read(path).map_err(io)?;
+    fs::write(path, &bytes[..len as usize]).map_err(io)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::Store;
+    use serde_json::json;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sleepy-store-chaos-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn seeded_store(dir: &Path, entries: u64) -> Store {
+        let mut store = Store::open(dir).unwrap();
+        let batch: Vec<(String, serde::Value)> =
+            (0..entries).map(|i| (format!("k/{i}"), json!({"v": i}))).collect();
+        store.append(batch).unwrap();
+        store
+    }
+
+    #[test]
+    fn injector_is_deterministic() {
+        let dir_a = tmp_dir("det-a");
+        let dir_b = tmp_dir("det-b");
+        drop(seeded_store(&dir_a, 8));
+        drop(seeded_store(&dir_b, 8));
+        let fault_a = StoreFaultInjector::new(&dir_a, 42).corrupt_one().unwrap();
+        let fault_b = StoreFaultInjector::new(&dir_b, 42).corrupt_one().unwrap();
+        // Same seed, same directory contents: identical fault.
+        assert_eq!(fault_a, fault_b);
+        fs::remove_dir_all(&dir_a).unwrap();
+        fs::remove_dir_all(&dir_b).unwrap();
+    }
+
+    #[test]
+    fn empty_store_yields_nothing() {
+        let dir = tmp_dir("empty");
+        drop(Store::open(&dir).unwrap());
+        let mut inj = StoreFaultInjector::new(&dir, 7);
+        assert_eq!(inj.truncate_segment().unwrap(), StoreFault::Nothing);
+        assert_eq!(inj.flip_bit().unwrap(), StoreFault::Nothing);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flipped_bit_never_serves_corrupt_data() {
+        for seed in 0..16 {
+            let dir = tmp_dir(&format!("flip-{seed}"));
+            drop(seeded_store(&dir, 8));
+            let fault = StoreFaultInjector::new(&dir, seed).flip_bit().unwrap();
+            assert!(matches!(fault, StoreFault::FlippedBit { .. }), "{fault:?}");
+            let store = Store::open(&dir).unwrap();
+            // Every surviving entry must carry its original payload —
+            // the checksum quarantines the whole corrupted segment, so
+            // nothing readable can be wrong.
+            for e in store.entries() {
+                let i: u64 = e.key.strip_prefix("k/").unwrap().parse().unwrap();
+                assert_eq!(e.payload.get("v").and_then(|v| v.as_u64()), Some(i));
+            }
+            fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn torn_manifest_loses_nothing() {
+        for seed in 0..8 {
+            let dir = tmp_dir(&format!("tear-{seed}"));
+            drop(seeded_store(&dir, 8));
+            let fault = StoreFaultInjector::new(&dir, seed).tear_manifest().unwrap();
+            assert!(matches!(fault, StoreFault::TornManifest { .. }), "{fault:?}");
+            let store = Store::open(&dir).unwrap();
+            // Segments are self-validating: a torn manifest is rebuilt
+            // and every entry survives.
+            assert_eq!(store.len(), 8);
+            fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+}

@@ -64,10 +64,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chaos;
 mod error;
 mod segment;
 mod store;
 
+pub use chaos::{StoreFault, StoreFaultInjector};
 pub use error::StoreError;
 pub use segment::{decode_line, encode_line, fnv1a64, Entry};
 pub use store::{GcStats, Store, StoreStats};

@@ -11,7 +11,7 @@
 use sleepy_fleet::tape::{record_tape, replay_text};
 use sleepy_fleet::AlgoKind;
 use sleepy_graph::GraphFamily;
-use sleepy_net::{replay_tape, EngineConfig, Tape};
+use sleepy_net::{replay_tape, EngineConfig, FaultPlan, Tape};
 
 fn corpus() -> Vec<(String, String)> {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/tapes");
@@ -25,7 +25,7 @@ fn corpus() -> Vec<(String, String)> {
         }
     }
     tapes.sort();
-    assert!(tapes.len() >= 8, "tape corpus went missing: {} files", tapes.len());
+    assert!(tapes.len() >= 10, "tape corpus went missing: {} files", tapes.len());
     tapes
 }
 
@@ -66,6 +66,17 @@ fn corpus_covers_the_required_edge_cases() {
     assert!(
         tapes.iter().any(|(_, t)| t.error.as_deref().is_some_and(|e| e.contains("round cap"))),
         "no recorded-error tape"
+    );
+    // A burst-loss tape and a node-crash tape: faulted runs are
+    // first-class conformance artifacts (the fault plan rides in the
+    // header and replays without protocol code).
+    assert!(
+        tapes.iter().any(|(_, t)| matches!(t.header.fault, FaultPlan::Burst { .. })),
+        "no burst-loss tape"
+    );
+    assert!(
+        tapes.iter().any(|(_, t)| matches!(t.header.fault, FaultPlan::Crash { .. })),
+        "no node-crash tape"
     );
 }
 
